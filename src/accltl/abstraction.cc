@@ -1,0 +1,61 @@
+#include "src/accltl/abstraction.h"
+
+namespace accltl {
+namespace acc {
+
+namespace {
+
+int InternAtom(const logic::PosFormulaPtr& s,
+               std::vector<logic::PosFormulaPtr>* atoms) {
+  for (size_t i = 0; i < atoms->size(); ++i) {
+    if (logic::PosFormula::Equal((*atoms)[i], s)) {
+      return static_cast<int>(i);
+    }
+  }
+  atoms->push_back(s);
+  return static_cast<int>(atoms->size() - 1);
+}
+
+ltl::LtlPtr Rec(const AccFormula* f, std::vector<logic::PosFormulaPtr>* atoms) {
+  switch (f->kind()) {
+    case AccKind::kAtom: {
+      if (f->sentence()->kind() == logic::NodeKind::kTrue) {
+        return ltl::LtlFormula::True();
+      }
+      if (f->sentence()->kind() == logic::NodeKind::kFalse) {
+        return ltl::LtlFormula::False();
+      }
+      return ltl::LtlFormula::Prop(InternAtom(f->sentence(), atoms));
+    }
+    case AccKind::kNot:
+      return ltl::LtlFormula::Not(Rec(f->child().get(), atoms));
+    case AccKind::kNext:
+      return ltl::LtlFormula::Next(Rec(f->child().get(), atoms));
+    case AccKind::kUntil:
+      return ltl::LtlFormula::Until(Rec(f->lhs().get(), atoms),
+                                    Rec(f->rhs().get(), atoms));
+    case AccKind::kAnd:
+    case AccKind::kOr: {
+      std::vector<ltl::LtlPtr> kids;
+      kids.reserve(f->children().size());
+      for (const AccPtr& c : f->children()) {
+        kids.push_back(Rec(c.get(), atoms));
+      }
+      return f->kind() == AccKind::kAnd
+                 ? ltl::LtlFormula::And(std::move(kids))
+                 : ltl::LtlFormula::Or(std::move(kids));
+    }
+  }
+  return ltl::LtlFormula::True();
+}
+
+}  // namespace
+
+Abstraction Abstract(const AccPtr& f) {
+  Abstraction out;
+  out.skeleton = Rec(f.get(), &out.atoms);
+  return out;
+}
+
+}  // namespace acc
+}  // namespace accltl

@@ -1,0 +1,28 @@
+#ifndef ACCLTL_ACCLTL_ABSTRACTION_H_
+#define ACCLTL_ACCLTL_ABSTRACTION_H_
+
+#include <vector>
+
+#include "src/accltl/formula.h"
+#include "src/ltl/formula.h"
+
+namespace accltl {
+namespace acc {
+
+/// Propositional abstraction of an AccLTL formula: the temporal skeleton
+/// becomes a propositional LTL formula whose propositions stand for the
+/// atomic L-sentences (deduplicated structurally). Both the Lemma 4.5
+/// compilation and the Thm 4.12 reduction start here.
+struct Abstraction {
+  ltl::LtlPtr skeleton;
+  /// Proposition id i ↔ atoms[i].
+  std::vector<logic::PosFormulaPtr> atoms;
+};
+
+/// Builds the abstraction (linear time).
+Abstraction Abstract(const AccPtr& f);
+
+}  // namespace acc
+}  // namespace accltl
+
+#endif  // ACCLTL_ACCLTL_ABSTRACTION_H_

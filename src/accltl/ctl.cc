@@ -1,0 +1,131 @@
+#include "src/accltl/ctl.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+#include "src/logic/eval.h"
+
+namespace accltl {
+namespace acc {
+
+std::shared_ptr<CtlFormula> CtlFormula::NewNode() {
+  return std::shared_ptr<CtlFormula>(new CtlFormula());
+}
+
+CtlPtr CtlFormula::Atom(logic::PosFormulaPtr sentence) {
+  assert(sentence->IsSentence());
+  auto n = NewNode();
+  n->kind_ = CtlKind::kAtom;
+  n->sentence_ = std::move(sentence);
+  return n;
+}
+
+CtlPtr CtlFormula::Not(CtlPtr f) {
+  if (f->kind_ == CtlKind::kNot) return f->child_;
+  auto n = NewNode();
+  n->kind_ = CtlKind::kNot;
+  n->child_ = std::move(f);
+  return n;
+}
+
+CtlPtr CtlFormula::And(std::vector<CtlPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto n = NewNode();
+  n->kind_ = CtlKind::kAnd;
+  n->children_ = std::move(children);
+  return n;
+}
+
+CtlPtr CtlFormula::Or(std::vector<CtlPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto n = NewNode();
+  n->kind_ = CtlKind::kOr;
+  n->children_ = std::move(children);
+  return n;
+}
+
+CtlPtr CtlFormula::Ex(CtlPtr f) {
+  auto n = NewNode();
+  n->kind_ = CtlKind::kEx;
+  n->child_ = std::move(f);
+  return n;
+}
+
+CtlPtr CtlFormula::Ax(CtlPtr f) { return Not(Ex(Not(std::move(f)))); }
+
+int CtlFormula::ExDepth() const {
+  switch (kind_) {
+    case CtlKind::kAtom:
+      return 0;
+    case CtlKind::kNot:
+      return child_->ExDepth();
+    case CtlKind::kEx:
+      return 1 + child_->ExDepth();
+    case CtlKind::kAnd:
+    case CtlKind::kOr: {
+      int d = 0;
+      for (const CtlPtr& c : children_) d = std::max(d, c->ExDepth());
+      return d;
+    }
+  }
+  return 0;
+}
+
+std::string CtlFormula::ToString(const schema::Schema& schema) const {
+  switch (kind_) {
+    case CtlKind::kAtom:
+      return "[" + sentence_->ToString(schema) + "]";
+    case CtlKind::kNot:
+      return "NOT " + child_->ToString(schema);
+    case CtlKind::kEx:
+      return "EX " + child_->ToString(schema);
+    case CtlKind::kAnd:
+    case CtlKind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const CtlPtr& c : children_) {
+        parts.push_back("(" + c->ToString(schema) + ")");
+      }
+      return Join(parts, kind_ == CtlKind::kAnd ? " AND " : " OR ");
+    }
+  }
+  return "?";
+}
+
+bool EvalCtl(const CtlPtr& f, const schema::Schema& schema,
+             const schema::Transition& t,
+             const schema::LtsOptions& options) {
+  switch (f->kind()) {
+    case CtlKind::kAtom: {
+      logic::TransitionView view(t);
+      return logic::EvalSentence(f->sentence(), view);
+    }
+    case CtlKind::kNot:
+      return !EvalCtl(f->child(), schema, t, options);
+    case CtlKind::kAnd:
+      return std::all_of(f->children().begin(), f->children().end(),
+                         [&](const CtlPtr& c) {
+                           return EvalCtl(c, schema, t, options);
+                         });
+    case CtlKind::kOr:
+      return std::any_of(f->children().begin(), f->children().end(),
+                         [&](const CtlPtr& c) {
+                           return EvalCtl(c, schema, t, options);
+                         });
+    case CtlKind::kEx: {
+      std::vector<schema::Transition> succ =
+          schema::Successors(schema, t.post, options);
+      return std::any_of(succ.begin(), succ.end(),
+                         [&](const schema::Transition& next) {
+                           return EvalCtl(f->child(), schema, next, options);
+                         });
+    }
+  }
+  return false;
+}
+
+}  // namespace acc
+}  // namespace accltl

@@ -1,0 +1,69 @@
+#ifndef ACCLTL_ACCLTL_CTL_H_
+#define ACCLTL_ACCLTL_CTL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+#include "src/schema/lts.h"
+
+namespace accltl {
+namespace acc {
+
+/// CTLEX(L) (§5.2): boolean combinations of L-sentences closed under the
+/// one-step existential modality EX. Satisfiability is undecidable even
+/// for L = FO∃+0−Acc (Thm 5.3); this library evaluates CTLEX formulas
+/// over concrete (bounded) LTSs and offers bounded satisfiability search
+/// in analysis/.
+enum class CtlKind {
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kEx,
+};
+
+class CtlFormula;
+using CtlPtr = std::shared_ptr<const CtlFormula>;
+
+class CtlFormula {
+ public:
+  static CtlPtr Atom(logic::PosFormulaPtr sentence);
+  static CtlPtr Not(CtlPtr f);
+  static CtlPtr And(std::vector<CtlPtr> children);
+  static CtlPtr Or(std::vector<CtlPtr> children);
+  static CtlPtr Ex(CtlPtr f);
+  /// Derived box modality AX φ = ¬EX¬φ (§5.2).
+  static CtlPtr Ax(CtlPtr f);
+
+  CtlKind kind() const { return kind_; }
+  const logic::PosFormulaPtr& sentence() const { return sentence_; }
+  const CtlPtr& child() const { return child_; }
+  const std::vector<CtlPtr>& children() const { return children_; }
+
+  /// Maximum nesting depth of EX (how far the evaluator must look).
+  int ExDepth() const;
+
+  std::string ToString(const schema::Schema& schema) const;
+
+ private:
+  CtlFormula() = default;
+  static std::shared_ptr<CtlFormula> NewNode();
+
+  CtlKind kind_ = CtlKind::kAtom;
+  logic::PosFormulaPtr sentence_;
+  CtlPtr child_;
+  std::vector<CtlPtr> children_;
+};
+
+/// (S, t) ⊨ φ where S is the LTS induced by `schema` and `options`
+/// (the options fix the hidden universe and thereby bound branching).
+bool EvalCtl(const CtlPtr& f, const schema::Schema& schema,
+             const schema::Transition& t,
+             const schema::LtsOptions& options);
+
+}  // namespace acc
+}  // namespace accltl
+
+#endif  // ACCLTL_ACCLTL_CTL_H_

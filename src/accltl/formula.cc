@@ -1,0 +1,169 @@
+#include "src/accltl/formula.h"
+
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace accltl {
+namespace acc {
+
+std::shared_ptr<AccFormula> AccFormula::NewNode() {
+  return std::shared_ptr<AccFormula>(new AccFormula());
+}
+
+AccPtr AccFormula::Atom(logic::PosFormulaPtr sentence) {
+  assert(sentence->IsSentence() && "AccLTL atoms must be closed sentences");
+  auto n = NewNode();
+  n->kind_ = AccKind::kAtom;
+  n->sentence_ = std::move(sentence);
+  return n;
+}
+
+AccPtr AccFormula::True() { return Atom(logic::PosFormula::True()); }
+AccPtr AccFormula::False() { return Atom(logic::PosFormula::False()); }
+
+AccPtr AccFormula::Not(AccPtr f) {
+  if (f->kind_ == AccKind::kNot) return f->lhs_;
+  auto n = NewNode();
+  n->kind_ = AccKind::kNot;
+  n->lhs_ = std::move(f);
+  return n;
+}
+
+AccPtr AccFormula::And(std::vector<AccPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  std::vector<AccPtr> flat;
+  for (AccPtr& c : children) {
+    if (c->kind_ == AccKind::kAnd) {
+      flat.insert(flat.end(), c->children_.begin(), c->children_.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  auto n = NewNode();
+  n->kind_ = AccKind::kAnd;
+  n->children_ = std::move(flat);
+  return n;
+}
+
+AccPtr AccFormula::Or(std::vector<AccPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  std::vector<AccPtr> flat;
+  for (AccPtr& c : children) {
+    if (c->kind_ == AccKind::kOr) {
+      flat.insert(flat.end(), c->children_.begin(), c->children_.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  auto n = NewNode();
+  n->kind_ = AccKind::kOr;
+  n->children_ = std::move(flat);
+  return n;
+}
+
+AccPtr AccFormula::Next(AccPtr f) {
+  auto n = NewNode();
+  n->kind_ = AccKind::kNext;
+  n->lhs_ = std::move(f);
+  return n;
+}
+
+AccPtr AccFormula::Until(AccPtr lhs, AccPtr rhs) {
+  auto n = NewNode();
+  n->kind_ = AccKind::kUntil;
+  n->lhs_ = std::move(lhs);
+  n->rhs_ = std::move(rhs);
+  return n;
+}
+
+AccPtr AccFormula::Eventually(AccPtr f) {
+  return Until(True(), std::move(f));
+}
+
+AccPtr AccFormula::Globally(AccPtr f) {
+  return Not(Eventually(Not(std::move(f))));
+}
+
+size_t AccFormula::Size() const {
+  switch (kind_) {
+    case AccKind::kAtom:
+      return 1;
+    case AccKind::kNot:
+    case AccKind::kNext:
+      return 1 + lhs_->Size();
+    case AccKind::kUntil:
+      return 1 + lhs_->Size() + rhs_->Size();
+    case AccKind::kAnd:
+    case AccKind::kOr: {
+      size_t n = 1;
+      for (const AccPtr& c : children_) n += c->Size();
+      return n;
+    }
+  }
+  return 1;
+}
+
+namespace {
+
+void CollectAtoms(const AccFormula* f,
+                  std::vector<logic::PosFormulaPtr>* out) {
+  switch (f->kind()) {
+    case AccKind::kAtom: {
+      for (const logic::PosFormulaPtr& s : *out) {
+        if (s.get() == f->sentence().get()) return;
+      }
+      out->push_back(f->sentence());
+      return;
+    }
+    case AccKind::kNot:
+    case AccKind::kNext:
+      CollectAtoms(f->child().get(), out);
+      return;
+    case AccKind::kUntil:
+      CollectAtoms(f->lhs().get(), out);
+      CollectAtoms(f->rhs().get(), out);
+      return;
+    case AccKind::kAnd:
+    case AccKind::kOr:
+      for (const AccPtr& c : f->children()) CollectAtoms(c.get(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<logic::PosFormulaPtr> AccFormula::AtomSentences() const {
+  std::vector<logic::PosFormulaPtr> out;
+  CollectAtoms(this, &out);
+  return out;
+}
+
+std::string AccFormula::ToString(const schema::Schema& schema) const {
+  switch (kind_) {
+    case AccKind::kAtom:
+      return "[" + sentence_->ToString(schema) + "]";
+    case AccKind::kNot:
+      return "NOT " + lhs_->ToString(schema);
+    case AccKind::kNext:
+      return "X " + lhs_->ToString(schema);
+    case AccKind::kUntil:
+      return "(" + lhs_->ToString(schema) + " U " + rhs_->ToString(schema) +
+             ")";
+    case AccKind::kAnd:
+    case AccKind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const AccPtr& c : children_) {
+        parts.push_back("(" + c->ToString(schema) + ")");
+      }
+      return Join(parts, kind_ == AccKind::kAnd ? " AND " : " OR ");
+    }
+  }
+  return "?";
+}
+
+}  // namespace acc
+}  // namespace accltl

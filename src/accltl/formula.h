@@ -1,0 +1,81 @@
+#ifndef ACCLTL_ACCLTL_FORMULA_H_
+#define ACCLTL_ACCLTL_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+
+namespace accltl {
+namespace acc {
+
+/// Temporal constructors of AccLTL (Def. 2.1):
+///   ¬φ | φ ∨ φ | φ ∧ φ | X φ | φ U φ
+/// Atoms are L-sentences over SchAcc evaluated on transition structures.
+enum class AccKind {
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,
+  kUntil,
+};
+
+class AccFormula;
+using AccPtr = std::shared_ptr<const AccFormula>;
+
+/// An AccLTL(L) formula: LTL skeleton over first-order sentences.
+///
+/// Example (Ex. 2.3, long-term relevance):
+///   F (¬Q_pre ∧ IsBind_AcM1(b̄) ∧ Q_post)
+/// is built as
+///   AccFormula::Eventually(AccFormula::And({
+///       AccFormula::Not(AccFormula::Atom(q_pre)),
+///       AccFormula::Atom(bind_and_qpost)}))
+class AccFormula {
+ public:
+  /// An atomic L-sentence. The sentence must be closed.
+  static AccPtr Atom(logic::PosFormulaPtr sentence);
+  static AccPtr Not(AccPtr f);
+  static AccPtr And(std::vector<AccPtr> children);
+  static AccPtr Or(std::vector<AccPtr> children);
+  static AccPtr Next(AccPtr f);
+  static AccPtr Until(AccPtr lhs, AccPtr rhs);
+  /// F φ = TRUE U φ.
+  static AccPtr Eventually(AccPtr f);
+  /// G φ = ¬F¬φ.
+  static AccPtr Globally(AccPtr f);
+  /// The trivially true / false formulas (atoms over TRUE / FALSE).
+  static AccPtr True();
+  static AccPtr False();
+
+  AccKind kind() const { return kind_; }
+  const logic::PosFormulaPtr& sentence() const { return sentence_; }
+  const AccPtr& child() const { return lhs_; }  // kNot / kNext
+  const AccPtr& lhs() const { return lhs_; }
+  const AccPtr& rhs() const { return rhs_; }
+  const std::vector<AccPtr>& children() const { return children_; }
+
+  /// Number of temporal-skeleton nodes.
+  size_t Size() const;
+
+  /// All atomic sentences (deduplicated by pointer order of discovery).
+  std::vector<logic::PosFormulaPtr> AtomSentences() const;
+
+  std::string ToString(const schema::Schema& schema) const;
+
+ private:
+  AccFormula() = default;
+  static std::shared_ptr<AccFormula> NewNode();
+
+  AccKind kind_ = AccKind::kAtom;
+  logic::PosFormulaPtr sentence_;
+  AccPtr lhs_, rhs_;
+  std::vector<AccPtr> children_;
+};
+
+}  // namespace acc
+}  // namespace accltl
+
+#endif  // ACCLTL_ACCLTL_FORMULA_H_

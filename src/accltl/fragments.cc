@@ -1,0 +1,102 @@
+#include "src/accltl/fragments.h"
+
+#include <algorithm>
+
+namespace accltl {
+namespace acc {
+
+namespace {
+
+void Walk(const AccFormula* f, bool under_negation, FragmentInfo* info,
+          int depth) {
+  info->x_depth = std::max(info->x_depth, depth);
+  switch (f->kind()) {
+    case AccKind::kAtom: {
+      const logic::PosFormulaPtr& s = f->sentence();
+      if (s->UsesInequality()) info->uses_inequality = true;
+      if (s->UsesNAryBind()) info->zero_ary_bindings = false;
+      if (s->UsesBind() && under_negation) info->binding_positive = false;
+      return;
+    }
+    case AccKind::kNot:
+      Walk(f->child().get(), !under_negation, info, depth);
+      return;
+    case AccKind::kNext:
+      Walk(f->child().get(), under_negation, info, depth + 1);
+      return;
+    case AccKind::kUntil:
+      info->x_only = false;
+      // Both operands of U occur positively.
+      Walk(f->lhs().get(), under_negation, info, depth);
+      Walk(f->rhs().get(), under_negation, info, depth);
+      return;
+    case AccKind::kAnd:
+    case AccKind::kOr:
+      for (const AccPtr& c : f->children()) {
+        Walk(c.get(), under_negation, info, depth);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+FragmentInfo Analyze(const AccPtr& f) {
+  FragmentInfo info;
+  Walk(f.get(), /*under_negation=*/false, &info, 0);
+  return info;
+}
+
+Fragment FragmentInfo::Classify() const {
+  if (zero_ary_bindings) {
+    return x_only ? Fragment::kZeroAryXOnly : Fragment::kZeroAry;
+  }
+  if (binding_positive) return Fragment::kBindingPositive;
+  return Fragment::kFull;
+}
+
+bool FragmentInfo::Decidable() const {
+  switch (Classify()) {
+    case Fragment::kZeroAryXOnly:
+    case Fragment::kZeroAry:
+      return true;  // with or without ≠ (Thms 4.12, 4.14, 5.1)
+    case Fragment::kBindingPositive:
+      return !uses_inequality;  // Thm 4.2 vs Thm 5.2
+    case Fragment::kFull:
+      return false;  // Thm 3.1
+  }
+  return false;
+}
+
+std::string FragmentInfo::ComplexityName() const {
+  switch (Classify()) {
+    case Fragment::kZeroAryXOnly:
+      return "SigmaP2-complete";
+    case Fragment::kZeroAry:
+      return "PSPACE-complete";
+    case Fragment::kBindingPositive:
+      return uses_inequality ? "undecidable" : "in 3EXPTIME";
+    case Fragment::kFull:
+      return "undecidable";
+  }
+  return "?";
+}
+
+std::string FragmentName(Fragment fragment, bool uses_inequality) {
+  switch (fragment) {
+    case Fragment::kZeroAryXOnly:
+      return uses_inequality ? "AccLTL(X)(FO^E+,neq_0-Acc)"
+                             : "AccLTL(X)(FO^E+_0-Acc)";
+    case Fragment::kZeroAry:
+      return uses_inequality ? "AccLTL(FO^E+,neq_0-Acc)"
+                             : "AccLTL(FO^E+_0-Acc)";
+    case Fragment::kBindingPositive:
+      return uses_inequality ? "AccLTL+(neq)" : "AccLTL+";
+    case Fragment::kFull:
+      return uses_inequality ? "AccLTL(FO^E+,neq_Acc)" : "AccLTL(FO^E+_Acc)";
+  }
+  return "?";
+}
+
+}  // namespace acc
+}  // namespace accltl

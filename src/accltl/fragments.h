@@ -1,0 +1,64 @@
+#ifndef ACCLTL_ACCLTL_FRAGMENTS_H_
+#define ACCLTL_ACCLTL_FRAGMENTS_H_
+
+#include <string>
+
+#include "src/accltl/formula.h"
+
+namespace accltl {
+namespace acc {
+
+/// The specification languages of Table 1 / Figure 2, ordered roughly by
+/// expressiveness.
+enum class Fragment {
+  /// AccLTL(X)(FO∃+0−Acc): X-only skeleton, 0-ary binding predicates.
+  /// Satisfiability ΣP2-complete (Thm 4.14); with ≠ likewise (Thm 5.1).
+  kZeroAryXOnly,
+  /// AccLTL(FO∃+0−Acc): 0-ary binding predicates. PSPACE-complete
+  /// (Thm 4.12); with ≠ likewise (Thm 5.1).
+  kZeroAry,
+  /// AccLTL+: binding-positive AccLTL(FO∃+Acc). Decidable, in 3EXPTIME
+  /// (Thm 4.2); undecidable with ≠ (Thm 5.2).
+  kBindingPositive,
+  /// Full AccLTL(FO∃+Acc): undecidable (Thm 3.1).
+  kFull,
+};
+
+/// Syntactic facts about a formula, used to pick a decision procedure
+/// and to reproduce Table 1's columns.
+struct FragmentInfo {
+  /// Every atom mentioning IsBind occurs under an even number of
+  /// negations (Def. 4.1's binding-positivity, lifted to whole atoms).
+  bool binding_positive = true;
+  /// No IsBind atom carries terms (the Sch0−Acc vocabulary of §4.2).
+  bool zero_ary_bindings = true;
+  /// Some atom uses ≠ (§5.1 extensions).
+  bool uses_inequality = false;
+  /// The temporal skeleton uses only X (no U), §4.2's AccLTL(X).
+  bool x_only = true;
+  /// Temporal nesting depth of X operators.
+  int x_depth = 0;
+
+  /// The smallest fragment of Figure 2 containing the formula.
+  Fragment Classify() const;
+
+  /// Is satisfiability of this fragment decidable (Table 1)?
+  /// Note kBindingPositive with ≠ is undecidable (Thm 5.2).
+  bool Decidable() const;
+
+  /// Table 1's complexity entry for this fragment, e.g.
+  /// "PSPACE-complete".
+  std::string ComplexityName() const;
+};
+
+/// Analyzes the syntactic shape of `f`.
+FragmentInfo Analyze(const AccPtr& f);
+
+/// Human-readable fragment name, e.g. "AccLTL+" or
+/// "AccLTL(X)(FO∃+0−Acc)".
+std::string FragmentName(Fragment fragment, bool uses_inequality);
+
+}  // namespace acc
+}  // namespace accltl
+
+#endif  // ACCLTL_ACCLTL_FRAGMENTS_H_

@@ -1,0 +1,112 @@
+#include "src/accltl/semantics.h"
+
+#include <map>
+
+#include "src/logic/eval.h"
+
+namespace accltl {
+namespace acc {
+
+std::vector<schema::Transition> PathTransitions(
+    const schema::Schema& schema, const schema::AccessPath& path,
+    const schema::Instance& initial) {
+  std::vector<schema::Transition> out;
+  out.reserve(path.size());
+  schema::Instance current = initial;
+  for (const schema::AccessStep& step : path.steps()) {
+    schema::Transition t =
+        schema::MakeTransition(schema, current, step.access, step.response);
+    current = t.post;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+
+class PathEvaluator {
+ public:
+  explicit PathEvaluator(const std::vector<schema::Transition>& transitions)
+      : transitions_(transitions) {}
+
+  bool Eval(const AccFormula* f, size_t i) {
+    auto key = std::make_pair(f, i);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    bool res = false;
+    switch (f->kind()) {
+      case AccKind::kAtom: {
+        logic::TransitionView view(transitions_[i]);
+        res = logic::EvalSentence(f->sentence(), view);
+        break;
+      }
+      case AccKind::kNot:
+        res = !Eval(f->child().get(), i);
+        break;
+      case AccKind::kAnd: {
+        res = true;
+        for (const AccPtr& c : f->children()) {
+          if (!Eval(c.get(), i)) {
+            res = false;
+            break;
+          }
+        }
+        break;
+      }
+      case AccKind::kOr: {
+        res = false;
+        for (const AccPtr& c : f->children()) {
+          if (Eval(c.get(), i)) {
+            res = true;
+            break;
+          }
+        }
+        break;
+      }
+      case AccKind::kNext:
+        res = i + 1 < transitions_.size() && Eval(f->child().get(), i + 1);
+        break;
+      case AccKind::kUntil: {
+        // (p, i) ⊨ φ U ψ iff ∃ j ≥ i: (p, j) ⊨ ψ and ∀ i ≤ k < j:
+        // (p, k) ⊨ φ (Def. 2.1, finite path).
+        res = false;
+        for (size_t j = i; j < transitions_.size(); ++j) {
+          if (Eval(f->rhs().get(), j)) {
+            res = true;
+            break;
+          }
+          if (!Eval(f->lhs().get(), j)) break;
+        }
+        break;
+      }
+    }
+    memo_[key] = res;
+    return res;
+  }
+
+ private:
+  const std::vector<schema::Transition>& transitions_;
+  std::map<std::pair<const AccFormula*, size_t>, bool> memo_;
+};
+
+}  // namespace
+
+bool EvalOnTransitions(const AccPtr& f,
+                       const std::vector<schema::Transition>& transitions,
+                       size_t position) {
+  if (position >= transitions.size()) return false;
+  PathEvaluator ev(transitions);
+  return ev.Eval(f.get(), position);
+}
+
+bool EvalOnPath(const AccPtr& f, const schema::Schema& schema,
+                const schema::AccessPath& path,
+                const schema::Instance& initial) {
+  if (path.empty()) return false;
+  std::vector<schema::Transition> transitions =
+      PathTransitions(schema, path, initial);
+  return EvalOnTransitions(f, transitions, 0);
+}
+
+}  // namespace acc
+}  // namespace accltl

@@ -1,0 +1,35 @@
+#ifndef ACCLTL_ACCLTL_SEMANTICS_H_
+#define ACCLTL_ACCLTL_SEMANTICS_H_
+
+#include <vector>
+
+#include "src/accltl/formula.h"
+#include "src/schema/access.h"
+#include "src/schema/lts.h"
+
+namespace accltl {
+namespace acc {
+
+/// Materializes the LTS transitions t1 … tn of an access path starting
+/// from `initial` (§2: ti = (Ii, (AcMi, b̄i), Ii+1)).
+std::vector<schema::Transition> PathTransitions(
+    const schema::Schema& schema, const schema::AccessPath& path,
+    const schema::Instance& initial);
+
+/// The relation (p, i) ⊨ φ of Def. 2.1 over an explicit transition
+/// sequence; positions are 0-based (paper is 1-based). Dynamic
+/// programming over (subformula, position).
+bool EvalOnTransitions(const AccPtr& f,
+                       const std::vector<schema::Transition>& transitions,
+                       size_t position = 0);
+
+/// Convenience: (p, 1) ⊨ φ for an access path from `initial`.
+/// An empty path satisfies no formula (paths have at least one access).
+bool EvalOnPath(const AccPtr& f, const schema::Schema& schema,
+                const schema::AccessPath& path,
+                const schema::Instance& initial);
+
+}  // namespace acc
+}  // namespace accltl
+
+#endif  // ACCLTL_ACCLTL_SEMANTICS_H_

@@ -1,0 +1,104 @@
+#include "src/analysis/accessible.h"
+
+#include <set>
+
+namespace accltl {
+namespace analysis {
+
+schema::Instance AccessiblePart(const schema::Schema& schema,
+                                const schema::Instance& universe,
+                                const schema::Instance& initial,
+                                const std::vector<Value>& seed_values) {
+  schema::Instance known = initial;
+  std::set<Value> values = initial.ActiveDomain();
+  values.insert(seed_values.begin(), seed_values.end());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (schema::AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+      const schema::AccessMethod& am = schema.method(m);
+      const schema::Relation& rel = schema.relation(am.relation);
+      // Try every grounded binding: tuples over known values with the
+      // right types. Rather than enumerating the full product, scan the
+      // universe's tuples and check their input projections are known —
+      // equivalent and linear in the universe.
+      for (const Tuple& t : universe.tuples(am.relation)) {
+        bool grounded = true;
+        for (schema::Position p : am.input_positions) {
+          if (values.count(t[static_cast<size_t>(p)]) == 0) {
+            grounded = false;
+            break;
+          }
+        }
+        (void)rel;
+        if (!grounded) continue;
+        if (known.AddFact(am.relation, t)) {
+          changed = true;
+          for (const Value& v : t) values.insert(v);
+        }
+      }
+    }
+  }
+  return known;
+}
+
+datalog::Program AccessibleDatalogProgram(const schema::Schema& schema) {
+  datalog::Program prog;
+  auto var = [](int i) { return logic::Term::Var("x" + std::to_string(i)); };
+
+  // Seed values are accessible.
+  prog.AddRule(datalog::DlRule{datalog::DlAtom{"accval", {var(0)}},
+                               {datalog::DlAtom{"seedval", {var(0)}}}});
+
+  for (schema::AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+    const schema::AccessMethod& am = schema.method(m);
+    const schema::Relation& rel = schema.relation(am.relation);
+    // acc_R(x1..xn) :- R(x1..xn), accval(x_p) for each input position p.
+    datalog::DlRule rule;
+    std::vector<logic::Term> xs;
+    for (int i = 0; i < rel.arity(); ++i) xs.push_back(var(i));
+    rule.head = datalog::DlAtom{"acc_" + rel.name, xs};
+    rule.body.push_back(datalog::DlAtom{rel.name, xs});
+    for (schema::Position p : am.input_positions) {
+      rule.body.push_back(datalog::DlAtom{"accval", {var(p)}});
+    }
+    prog.AddRule(std::move(rule));
+    // Every value of an accessible tuple becomes accessible.
+    for (int i = 0; i < rel.arity(); ++i) {
+      prog.AddRule(
+          datalog::DlRule{datalog::DlAtom{"accval", {var(i)}},
+                          {datalog::DlAtom{"acc_" + rel.name, xs}}});
+    }
+  }
+  prog.SetGoal("accval");
+  return prog;
+}
+
+datalog::DlDatabase EncodeForDatalog(const schema::Schema& schema,
+                                     const schema::Instance& universe,
+                                     const std::vector<Value>& seed_values) {
+  datalog::DlDatabase db;
+  for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+    for (const Tuple& t : universe.tuples(r)) {
+      db.AddFact(schema.relation(r).name, t);
+    }
+  }
+  for (const Value& v : seed_values) db.AddFact("seedval", Tuple{v});
+  return db;
+}
+
+schema::Instance DecodeAccessible(const schema::Schema& schema,
+                                  const datalog::DlDatabase& result) {
+  schema::Instance out(schema);
+  for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+    const std::set<Tuple>* tuples =
+        result.GetTuples("acc_" + schema.relation(r).name);
+    if (tuples == nullptr) continue;
+    for (const Tuple& t : *tuples) out.AddFact(r, t);
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace accltl

@@ -1,0 +1,41 @@
+#ifndef ACCLTL_ANALYSIS_ACCESSIBLE_H_
+#define ACCLTL_ANALYSIS_ACCESSIBLE_H_
+
+#include "src/datalog/program.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace analysis {
+
+/// The accessible part of an instance (§1, [15]): the tuples obtainable
+/// by iterating all grounded exact accesses to a fixpoint, starting
+/// from the values of `initial` (plus `seed_values`). This is the
+/// brute-force strategy of the paper's introduction.
+schema::Instance AccessiblePart(const schema::Schema& schema,
+                                const schema::Instance& universe,
+                                const schema::Instance& initial,
+                                const std::vector<Value>& seed_values = {});
+
+/// [15]: builds, in linear time, a Datalog program computing the same
+/// accessible part: predicates accval (known values), acc_R (accessible
+/// tuples of R), with one rule per access method. Evaluating the
+/// program on `universe` (encoded as EDB relations named after the
+/// schema) reproduces AccessiblePart.
+datalog::Program AccessibleDatalogProgram(const schema::Schema& schema);
+
+/// Encodes an instance as the EDB of AccessibleDatalogProgram (relation
+/// names, plus seed values as "seedval" facts).
+datalog::DlDatabase EncodeForDatalog(const schema::Schema& schema,
+                                     const schema::Instance& universe,
+                                     const std::vector<Value>& seed_values);
+
+/// Decodes the acc_R relations of an evaluation result back into an
+/// instance.
+schema::Instance DecodeAccessible(const schema::Schema& schema,
+                                  const datalog::DlDatabase& result);
+
+}  // namespace analysis
+}  // namespace accltl
+
+#endif  // ACCLTL_ANALYSIS_ACCESSIBLE_H_

@@ -1,0 +1,198 @@
+#include "src/analysis/decide.h"
+
+#include "src/analysis/minimize.h"
+#include "src/analysis/properties.h"
+#include "src/automata/compile.h"
+
+namespace accltl {
+namespace analysis {
+
+const char* AnswerName(Answer a) {
+  switch (a) {
+    case Answer::kYes:
+      return "yes";
+    case Answer::kNo:
+      return "no";
+    case Answer::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
+                                      const schema::Schema& schema,
+                                      const DecideOptions& options) {
+  Decision d;
+  acc::FragmentInfo info = acc::Analyze(formula);
+  d.fragment = info.Classify();
+  d.uses_inequality = info.uses_inequality;
+
+  // Engine 1: the zero-ary solver (complete when it applies — it
+  // rejects variable-term IsBind atoms itself).
+  {
+    ZeroSolverOptions zopts = options.zero;
+    zopts.grounded = options.grounded;
+    Result<ZeroSolverResult> r =
+        CheckZeroArySatisfiable(formula, schema, zopts);
+    if (r.ok()) {
+      d.engine = "zero-ary";
+      if (r.value().satisfiable) {
+        d.satisfiable = Answer::kYes;
+        d.has_witness = true;
+        d.witness = r.value().witness;
+        if (options.shrink_witness) {
+          d.witness = ShrinkWitness(formula, schema,
+                                    schema::Instance(schema), d.witness,
+                                    options.grounded);
+        }
+      } else {
+        d.satisfiable =
+            r.value().exhausted_budget ? Answer::kUnknown : Answer::kNo;
+      }
+      return d;
+    }
+    if (r.status().code() != StatusCode::kUnsupported) return r.status();
+  }
+
+  // Engine 2: AccLTL+ — compile to an A-automaton, bounded witness
+  // search, optional Datalog certification of emptiness.
+  Result<automata::AAutomaton> compiled =
+      automata::CompileToAutomaton(formula, schema);
+  if (compiled.ok()) {
+    automata::WitnessSearchOptions wopts = options.bounded;
+    wopts.grounded = options.grounded;
+    automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+        compiled.value(), schema, schema::Instance(schema), wopts);
+    d.engine = "automata-bounded";
+    if (r.found) {
+      d.satisfiable = Answer::kYes;
+      d.has_witness = true;
+      d.witness = r.witness;
+      if (options.shrink_witness) {
+        d.witness = ShrinkWitness(formula, schema, schema::Instance(schema),
+                                  d.witness, options.grounded);
+      }
+      return d;
+    }
+    if (options.use_datalog_pipeline && !options.grounded) {
+      Result<bool> empty = automata::EmptinessViaDatalog(
+          compiled.value(), schema, options.decompose);
+      if (empty.ok()) {
+        d.engine = "automata-datalog";
+        d.satisfiable = empty.value() ? Answer::kNo : Answer::kYes;
+        return d;
+      }
+      // Fall through to "unknown" when the pipeline hits a cap.
+      if (empty.status().code() != StatusCode::kResourceExhausted &&
+          empty.status().code() != StatusCode::kUnsupported) {
+        return empty.status();
+      }
+    }
+    d.satisfiable = Answer::kUnknown;
+    return d;
+  }
+  if (compiled.status().code() != StatusCode::kUnsupported) {
+    return compiled.status();
+  }
+
+  // Engine 3: undecidable fragments (Thm 3.1 / Thm 5.2): bounded
+  // semi-decision is not implemented for non-binding-positive formulas
+  // (their negated IsBind atoms fall outside Def. 4.3 guards).
+  d.engine = "none";
+  d.satisfiable = Answer::kUnknown;
+  return d;
+}
+
+Result<Decision> DecideValidity(const acc::AccPtr& formula,
+                                const schema::Schema& schema,
+                                const DecideOptions& options) {
+  Result<Decision> neg = DecideSatisfiability(
+      acc::AccFormula::Not(formula), schema, options);
+  if (!neg.ok()) return neg.status();
+  Decision d = neg.value();
+  d.fragment = acc::Analyze(formula).Classify();
+  switch (neg.value().satisfiable) {
+    case Answer::kYes:
+      d.satisfiable = Answer::kNo;  // counterexample path in d.witness
+      break;
+    case Answer::kNo:
+      d.satisfiable = Answer::kYes;
+      d.has_witness = false;
+      break;
+    case Answer::kUnknown:
+      d.satisfiable = Answer::kUnknown;
+      break;
+  }
+  return d;
+}
+
+Result<Decision> ContainedUnderAccessPatterns(
+    const logic::PosFormulaPtr& q1, const logic::PosFormulaPtr& q2,
+    const schema::Schema& schema,
+    const std::vector<schema::DisjointnessConstraint>& disjointness,
+    const DecideOptions& options) {
+  // Build the Prop. 4.4 automaton directly and search for a
+  // non-containment witness over grounded paths.
+  automata::AAutomaton a =
+      NonContainmentAutomaton(schema, q1, q2, disjointness);
+  automata::WitnessSearchOptions wopts = options.bounded;
+  wopts.grounded = options.grounded;
+  automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+      a, schema, schema::Instance(schema), wopts);
+  Decision d;
+  d.engine = "automata-bounded";
+  d.fragment = acc::Fragment::kBindingPositive;
+  if (r.found) {
+    d.satisfiable = Answer::kNo;  // counterexample path: NOT contained
+    d.has_witness = true;
+    d.witness = r.witness;
+    if (options.shrink_witness) {
+      d.witness = ShrinkAutomatonWitness(a, schema, schema::Instance(schema),
+                                         d.witness, options.grounded);
+    }
+    return d;
+  }
+  if (options.use_datalog_pipeline && !options.grounded) {
+    Result<bool> empty =
+        automata::EmptinessViaDatalog(a, schema, options.decompose);
+    if (empty.ok()) {
+      d.engine = "automata-datalog";
+      d.satisfiable = empty.value() ? Answer::kYes : Answer::kNo;
+      return d;
+    }
+  }
+  d.satisfiable = r.exhausted_budget ? Answer::kUnknown : Answer::kYes;
+  return d;
+}
+
+Result<Decision> IsLongTermRelevant(
+    const schema::Schema& schema, schema::AccessMethodId method,
+    const Tuple& binding, const logic::PosFormulaPtr& q,
+    const std::vector<schema::DisjointnessConstraint>& disjointness,
+    const DecideOptions& options) {
+  ACCLTL_RETURN_IF_ERROR(schema.ValidateBinding(method, binding));
+  automata::AAutomaton a =
+      RelevanceAutomaton(schema, method, binding, q, disjointness);
+  automata::WitnessSearchOptions wopts = options.bounded;
+  wopts.grounded = options.grounded;
+  automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+      a, schema, schema::Instance(schema), wopts);
+  Decision d;
+  d.engine = "automata-bounded";
+  d.fragment = acc::Fragment::kBindingPositive;
+  if (r.found) {
+    d.satisfiable = Answer::kYes;
+    d.has_witness = true;
+    d.witness = r.witness;
+    if (options.shrink_witness) {
+      d.witness = ShrinkAutomatonWitness(a, schema, schema::Instance(schema),
+                                         d.witness, options.grounded);
+    }
+    return d;
+  }
+  d.satisfiable = r.exhausted_budget ? Answer::kUnknown : Answer::kNo;
+  return d;
+}
+
+}  // namespace analysis
+}  // namespace accltl

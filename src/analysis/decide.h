@@ -1,0 +1,99 @@
+#ifndef ACCLTL_ANALYSIS_DECIDE_H_
+#define ACCLTL_ANALYSIS_DECIDE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/accltl/formula.h"
+#include "src/accltl/fragments.h"
+#include "src/analysis/zero_solver.h"
+#include "src/automata/emptiness.h"
+#include "src/automata/progressive.h"
+#include "src/schema/dependencies.h"
+
+namespace accltl {
+namespace analysis {
+
+/// Three-valued outcome: bounded engines may be unable to conclude.
+enum class Answer {
+  kYes,
+  kNo,
+  kUnknown,
+};
+
+const char* AnswerName(Answer a);
+
+struct Decision {
+  Answer satisfiable = Answer::kUnknown;
+  /// Fragment the formula was classified into (Figure 2).
+  acc::Fragment fragment = acc::Fragment::kFull;
+  bool uses_inequality = false;
+  /// Engine that produced the answer: "zero-ary", "automata-bounded",
+  /// "automata-datalog".
+  std::string engine;
+  /// Witness path when satisfiable.
+  bool has_witness = false;
+  schema::AccessPath witness;
+};
+
+struct DecideOptions {
+  /// Restrict to grounded access paths.
+  bool grounded = false;
+  /// Run the Lemma 4.9/4.10 Datalog pipeline to certify emptiness when
+  /// the bounded search finds no witness (AccLTL+ only).
+  bool use_datalog_pipeline = false;
+  /// Shrink returned witnesses to 1-minimal paths (analysis/minimize.h).
+  bool shrink_witness = false;
+  ZeroSolverOptions zero;
+  automata::WitnessSearchOptions bounded;
+  automata::DecomposeOptions decompose;
+};
+
+/// Routes a satisfiability question to the right engine per Table 1:
+///  - no variable-term IsBind atoms → the ZeroSolver (complete;
+///    Thms 4.12/4.14/5.1),
+///  - binding-positive, ≠-free → compile (Lemma 4.5) + bounded witness
+///    search, optionally certified empty via the Datalog pipeline
+///    (Thms 4.2/4.6),
+///  - otherwise (undecidable fragments, Thms 3.1/5.2) → bounded
+///    semi-decision: kYes with witness, else kUnknown.
+Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
+                                      const schema::Schema& schema,
+                                      const DecideOptions& options = {});
+
+/// The validity problem (§2, "Basic Computational Problems"): does
+/// *every* access path satisfy `formula`? Decided through the
+/// negation's satisfiability, as the paper prescribes ("bounds for
+/// validity will follow from our results on satisfiability"). A
+/// negation witness is returned as the counterexample path. Note the
+/// routing consequence: the negation of an AccLTL+ formula is
+/// generally not binding-positive, so validity is decided exactly for
+/// the 0-ary fragments and semi-decided (counterexample search)
+/// elsewhere. In the returned Decision, `satisfiable` reads as *valid*:
+/// kYes = every path satisfies the formula; kNo = the witness is a
+/// counterexample path.
+Result<Decision> DecideValidity(const acc::AccPtr& formula,
+                                const schema::Schema& schema,
+                                const DecideOptions& options = {});
+
+/// Example 2.2 / Prop. 4.4: is q1 contained in q2 under grounded access
+/// patterns (with optional disjointness constraints)? Decided through
+/// the negation's satisfiability; kYes means *contained*.
+Result<Decision> ContainedUnderAccessPatterns(
+    const logic::PosFormulaPtr& q1, const logic::PosFormulaPtr& q2,
+    const schema::Schema& schema,
+    const std::vector<schema::DisjointnessConstraint>& disjointness = {},
+    const DecideOptions& options = {});
+
+/// Example 2.3 / Prop. 4.4: is the boolean access (method, binding)
+/// long-term relevant for q? kYes means relevant, with a witness path.
+Result<Decision> IsLongTermRelevant(
+    const schema::Schema& schema, schema::AccessMethodId method,
+    const Tuple& binding, const logic::PosFormulaPtr& q,
+    const std::vector<schema::DisjointnessConstraint>& disjointness = {},
+    const DecideOptions& options = {});
+
+}  // namespace analysis
+}  // namespace accltl
+
+#endif  // ACCLTL_ANALYSIS_DECIDE_H_

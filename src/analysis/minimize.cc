@@ -1,0 +1,92 @@
+#include "src/analysis/minimize.h"
+
+#include <vector>
+
+#include "src/accltl/semantics.h"
+
+namespace accltl {
+namespace analysis {
+
+namespace {
+
+schema::AccessPath WithoutStep(const schema::AccessPath& path, size_t drop) {
+  std::vector<schema::AccessStep> steps;
+  steps.reserve(path.size() - 1);
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i != drop) steps.push_back(path.step(i));
+  }
+  return schema::AccessPath(std::move(steps));
+}
+
+schema::AccessPath WithoutResponseTuple(const schema::AccessPath& path,
+                                        size_t step, const Tuple& tuple) {
+  std::vector<schema::AccessStep> steps;
+  steps.reserve(path.size());
+  for (size_t i = 0; i < path.size(); ++i) {
+    schema::AccessStep s = path.step(i);
+    if (i == step) s.response.erase(tuple);
+    steps.push_back(std::move(s));
+  }
+  return schema::AccessPath(std::move(steps));
+}
+
+}  // namespace
+
+schema::AccessPath ShrinkPath(const schema::AccessPath& path,
+                              const PathPredicate& keep) {
+  if (!keep(path)) return path;
+  schema::AccessPath current = path;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Drop whole steps, back to front (later steps usually carry the
+    // padding the searches introduce).
+    for (size_t i = current.size(); i-- > 0;) {
+      schema::AccessPath candidate = WithoutStep(current, i);
+      if (candidate.empty()) continue;  // paths have at least one access
+      if (keep(candidate)) {
+        current = std::move(candidate);
+        changed = true;
+      }
+    }
+    // Drop individual response tuples.
+    for (size_t i = 0; i < current.size(); ++i) {
+      // Iterate over a snapshot: the candidate mutates the response.
+      std::vector<Tuple> tuples(current.step(i).response.begin(),
+                                current.step(i).response.end());
+      for (const Tuple& t : tuples) {
+        schema::AccessPath candidate = WithoutResponseTuple(current, i, t);
+        if (keep(candidate)) {
+          current = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+schema::AccessPath ShrinkWitness(const acc::AccPtr& formula,
+                                 const schema::Schema& schema,
+                                 const schema::Instance& initial,
+                                 const schema::AccessPath& witness,
+                                 bool grounded) {
+  return ShrinkPath(witness, [&](const schema::AccessPath& p) {
+    if (grounded && !p.IsGrounded(schema, initial)) return false;
+    return acc::EvalOnPath(formula, schema, p, initial);
+  });
+}
+
+schema::AccessPath ShrinkAutomatonWitness(const automata::AAutomaton& a,
+                                          const schema::Schema& schema,
+                                          const schema::Instance& initial,
+                                          const schema::AccessPath& witness,
+                                          bool grounded) {
+  return ShrinkPath(witness, [&](const schema::AccessPath& p) {
+    if (grounded && !p.IsGrounded(schema, initial)) return false;
+    return automata::Accepts(a, schema, p, initial);
+  });
+}
+
+}  // namespace analysis
+}  // namespace accltl

@@ -1,0 +1,47 @@
+#ifndef ACCLTL_ANALYSIS_MINIMIZE_H_
+#define ACCLTL_ANALYSIS_MINIMIZE_H_
+
+#include <functional>
+
+#include "src/accltl/formula.h"
+#include "src/automata/a_automaton.h"
+#include "src/schema/access.h"
+
+namespace accltl {
+namespace analysis {
+
+/// Keep-predicate over candidate paths; ShrinkPath only returns paths
+/// the predicate accepts.
+using PathPredicate = std::function<bool(const schema::AccessPath&)>;
+
+/// Greedily shrinks `path` while `keep` stays true: whole steps are
+/// dropped (back to front), then individual response tuples, to a
+/// fixpoint. The result is 1-minimal — no single step or response
+/// tuple can be removed — but not necessarily globally minimal
+/// (delta-debugging style). If `keep(path)` is false, returns `path`
+/// unchanged.
+///
+/// Deterministic; cost is O(rounds · path length · cost(keep)).
+schema::AccessPath ShrinkPath(const schema::AccessPath& path,
+                              const PathPredicate& keep);
+
+/// Shrinks a satisfying path of an AccLTL formula; the result still
+/// satisfies the formula from `initial` (and stays grounded when
+/// `grounded` is set).
+schema::AccessPath ShrinkWitness(const acc::AccPtr& formula,
+                                 const schema::Schema& schema,
+                                 const schema::Instance& initial,
+                                 const schema::AccessPath& witness,
+                                 bool grounded = false);
+
+/// Shrinks an accepting path of an A-automaton.
+schema::AccessPath ShrinkAutomatonWitness(const automata::AAutomaton& a,
+                                          const schema::Schema& schema,
+                                          const schema::Instance& initial,
+                                          const schema::AccessPath& witness,
+                                          bool grounded = false);
+
+}  // namespace analysis
+}  // namespace accltl
+
+#endif  // ACCLTL_ANALYSIS_MINIMIZE_H_

@@ -1,0 +1,279 @@
+#include "src/analysis/properties.h"
+
+#include <cassert>
+
+namespace accltl {
+namespace analysis {
+
+using acc::AccFormula;
+using acc::AccPtr;
+using logic::PosFormula;
+using logic::PosFormulaPtr;
+using logic::PredSpace;
+using logic::Term;
+
+acc::AccPtr NonContainmentFormula(const PosFormulaPtr& q1,
+                                  const PosFormulaPtr& q2) {
+  PosFormulaPtr q1post = logic::ShiftPlainSpace(q1, PredSpace::kPost);
+  PosFormulaPtr q2post = logic::ShiftPlainSpace(q2, PredSpace::kPost);
+  return AccFormula::Eventually(
+      AccFormula::And({AccFormula::Atom(q1post),
+                       AccFormula::Not(AccFormula::Atom(q2post))}));
+}
+
+acc::AccPtr LongTermRelevanceFormula(const schema::Schema& schema,
+                                     schema::AccessMethodId method,
+                                     const Tuple& binding,
+                                     const PosFormulaPtr& q) {
+  (void)schema;
+  PosFormulaPtr qpre = logic::ShiftPlainSpace(q, PredSpace::kPre);
+  PosFormulaPtr qpost = logic::ShiftPlainSpace(q, PredSpace::kPost);
+  std::vector<Term> terms;
+  terms.reserve(binding.size());
+  for (const Value& v : binding) terms.push_back(Term::Const(v));
+  PosFormulaPtr bind_atom =
+      PosFormula::MakeAtom(logic::Bind(method), std::move(terms));
+  return AccFormula::Eventually(AccFormula::And(
+      {AccFormula::Not(AccFormula::Atom(qpre)),
+       AccFormula::Atom(PosFormula::And({bind_atom, qpost}))}));
+}
+
+logic::PosFormulaPtr DisjointnessViolation(
+    const schema::Schema& schema, const schema::DisjointnessConstraint& c,
+    PredSpace space) {
+  // EXISTS shared, ... R(..shared..) AND S(..shared..)
+  std::vector<Term> r_terms, s_terms;
+  std::vector<std::string> vars;
+  for (int i = 0; i < schema.relation(c.r).arity(); ++i) {
+    std::string v = "dr" + std::to_string(i);
+    r_terms.push_back(Term::Var(v));
+    vars.push_back(v);
+  }
+  for (int i = 0; i < schema.relation(c.s).arity(); ++i) {
+    if (i == c.s_position) {
+      s_terms.push_back(Term::Var("dr" + std::to_string(c.r_position)));
+      continue;
+    }
+    std::string v = "ds" + std::to_string(i);
+    s_terms.push_back(Term::Var(v));
+    vars.push_back(v);
+  }
+  PosFormulaPtr body = PosFormula::And(
+      {PosFormula::MakeAtom(logic::PredicateRef{space, c.r},
+                            std::move(r_terms)),
+       PosFormula::MakeAtom(logic::PredicateRef{space, c.s},
+                            std::move(s_terms))});
+  return PosFormula::Exists(std::move(vars), std::move(body));
+}
+
+acc::AccPtr DisjointnessRestriction(const schema::Schema& schema,
+                                    const schema::DisjointnessConstraint& c) {
+  return AccFormula::Globally(AccFormula::Not(
+      AccFormula::Atom(DisjointnessViolation(schema, c, PredSpace::kPost))));
+}
+
+acc::AccPtr FdRestriction(const schema::Schema& schema,
+                          const schema::FunctionalDependency& fd) {
+  int arity = schema.relation(fd.relation).arity();
+  std::vector<Term> y, yp;
+  std::vector<std::string> vars;
+  for (int i = 0; i < arity; ++i) {
+    y.push_back(Term::Var("fy" + std::to_string(i)));
+    yp.push_back(Term::Var("fz" + std::to_string(i)));
+    vars.push_back("fy" + std::to_string(i));
+    vars.push_back("fz" + std::to_string(i));
+  }
+  std::vector<PosFormulaPtr> conjuncts = {
+      PosFormula::MakeAtom(logic::Pre(fd.relation), y),
+      PosFormula::MakeAtom(logic::Pre(fd.relation), yp)};
+  for (schema::Position p : fd.lhs) {
+    conjuncts.push_back(
+        PosFormula::Eq(y[static_cast<size_t>(p)], yp[static_cast<size_t>(p)]));
+  }
+  conjuncts.push_back(PosFormula::Neq(y[static_cast<size_t>(fd.rhs)],
+                                      yp[static_cast<size_t>(fd.rhs)]));
+  PosFormulaPtr violation =
+      PosFormula::Exists(std::move(vars), PosFormula::And(conjuncts));
+  return AccFormula::Not(
+      AccFormula::Eventually(AccFormula::Atom(std::move(violation))));
+}
+
+namespace {
+
+/// ¬IsBind_m() rewritten positively (§6): every transition uses exactly
+/// one method, so "not m" is the disjunction of all other methods.
+PosFormulaPtr OtherMethodUsed(const schema::Schema& schema,
+                              schema::AccessMethodId m) {
+  std::vector<PosFormulaPtr> options;
+  for (schema::AccessMethodId other = 0;
+       other < schema.num_access_methods(); ++other) {
+    if (other == m) continue;
+    options.push_back(PosFormula::MakeAtom(logic::Bind(other), {}));
+  }
+  return options.empty() ? PosFormula::False()
+                         : PosFormula::Or(std::move(options));
+}
+
+}  // namespace
+
+acc::AccPtr AccessOrderRestriction(const schema::Schema& schema,
+                                   schema::AccessMethodId earlier,
+                                   schema::AccessMethodId later) {
+  // "No access with `later` before one with `earlier`", kept
+  // binding-positive: (¬later U earlier) ∨ G ¬later, with ¬later
+  // rewritten via OtherMethodUsed. (Atoms under G's double negation
+  // stay positive.)
+  PosFormulaPtr not_later = OtherMethodUsed(schema, later);
+  PosFormulaPtr earlier_used =
+      PosFormula::MakeAtom(logic::Bind(earlier), {});
+  return AccFormula::Or(
+      {AccFormula::Until(AccFormula::Atom(not_later),
+                         AccFormula::Atom(earlier_used)),
+       AccFormula::Globally(AccFormula::Atom(not_later))});
+}
+
+acc::AccPtr GroundednessFormula(const schema::Schema& schema) {
+  // G ⋀_AcM ( IsBind_AcM(x̄) → each x_i occurs in some Rpre )  — encoded
+  // positively per §4: ∃x̄ IsBind(x̄) ∧ ⋀_i ⋁_R ∃ȳ R_pre(ȳ) ∧ ⋁_j y_j = x_i,
+  // disjoined over methods (every transition uses exactly one method).
+  std::vector<AccPtr> per_method;
+  for (schema::AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+    const schema::AccessMethod& am = schema.method(m);
+    const schema::Relation& mrel = schema.relation(am.relation);
+    std::vector<std::string> xs;
+    std::vector<Term> x_terms;
+    for (int i = 0; i < am.num_inputs(); ++i) {
+      xs.push_back("gx" + std::to_string(i));
+      x_terms.push_back(Term::Var(xs.back()));
+    }
+    std::vector<PosFormulaPtr> conjuncts = {
+        PosFormula::MakeAtom(logic::Bind(m), x_terms)};
+    for (int i = 0; i < am.num_inputs(); ++i) {
+      ValueType want = mrel.position_types[static_cast<size_t>(
+          am.input_positions[i])];
+      std::vector<PosFormulaPtr> options;
+      for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+        const schema::Relation& rel = schema.relation(r);
+        std::vector<Term> ys;
+        std::vector<std::string> yvars;
+        std::vector<PosFormulaPtr> eq_options;
+        for (int j = 0; j < rel.arity(); ++j) {
+          std::string yv =
+              "gy" + std::to_string(r) + "_" + std::to_string(j);
+          ys.push_back(Term::Var(yv));
+          yvars.push_back(yv);
+          if (rel.position_types[static_cast<size_t>(j)] == want) {
+            eq_options.push_back(
+                PosFormula::Eq(Term::Var(yv), Term::Var(xs[i])));
+          }
+        }
+        if (eq_options.empty()) continue;
+        options.push_back(PosFormula::Exists(
+            std::move(yvars),
+            PosFormula::And({PosFormula::MakeAtom(logic::Pre(r), ys),
+                             PosFormula::Or(std::move(eq_options))})));
+      }
+      conjuncts.push_back(options.empty() ? PosFormula::False()
+                                          : PosFormula::Or(options));
+    }
+    PosFormulaPtr sentence = PosFormula::Exists(
+        std::move(xs), PosFormula::And(std::move(conjuncts)));
+    if (am.num_inputs() == 0) {
+      // A no-input access is always grounded.
+      sentence = PosFormula::MakeAtom(logic::Bind(m), {});
+    }
+    per_method.push_back(AccFormula::Atom(std::move(sentence)));
+  }
+  assert(!per_method.empty());
+  return AccFormula::Globally(AccFormula::Or(std::move(per_method)));
+}
+
+acc::AccPtr DataflowRestriction(const schema::Schema& schema,
+                                schema::AccessMethodId method,
+                                schema::RelationId source,
+                                schema::Position source_position) {
+  const schema::Relation& rel = schema.relation(source);
+  // G ( IsBind_m() → ∃n IsBind_m(n) ∧ ∃ȳ R_pre(... n at position ...) )
+  // encoded positively as the Example 2.3 restriction.
+  std::vector<Term> ys;
+  std::vector<std::string> yvars;
+  for (int j = 0; j < rel.arity(); ++j) {
+    if (j == source_position) {
+      ys.push_back(Term::Var("dfn"));
+      continue;
+    }
+    std::string v = "dfy" + std::to_string(j);
+    ys.push_back(Term::Var(v));
+    yvars.push_back(v);
+  }
+  PosFormulaPtr flow = PosFormula::Exists(
+      {"dfn"},
+      PosFormula::And(
+          {PosFormula::MakeAtom(logic::Bind(method), {Term::Var("dfn")}),
+           PosFormula::Exists(std::move(yvars),
+                              PosFormula::MakeAtom(logic::Pre(source), ys))}));
+  // G ( used → flow ) = G ( other-method-used ∨ flow ), binding-positive
+  // via the §6 rewriting of ¬IsBind.
+  return AccFormula::Globally(AccFormula::Or(
+      {AccFormula::Atom(OtherMethodUsed(schema, method)),
+       AccFormula::Atom(std::move(flow))}));
+}
+
+namespace {
+
+automata::Guard SigmaGuard(
+    const schema::Schema& schema,
+    const std::vector<schema::DisjointnessConstraint>& disjointness) {
+  automata::Guard g;
+  g.positive = PosFormula::True();
+  for (const schema::DisjointnessConstraint& c : disjointness) {
+    g.negated.push_back(
+        DisjointnessViolation(schema, c, PredSpace::kPost));
+  }
+  return g;
+}
+
+}  // namespace
+
+automata::AAutomaton NonContainmentAutomaton(
+    const schema::Schema& schema, const PosFormulaPtr& q1,
+    const PosFormulaPtr& q2,
+    const std::vector<schema::DisjointnessConstraint>& disjointness) {
+  automata::AAutomaton a;
+  int s0 = a.AddState();
+  int s1 = a.AddState();
+  a.SetInitial(s0);
+  a.AddAccepting(s1);
+  a.AddTransition(s0, SigmaGuard(schema, disjointness), s0);
+  automata::Guard final_guard = SigmaGuard(schema, disjointness);
+  final_guard.positive = logic::ShiftPlainSpace(q1, PredSpace::kPost);
+  final_guard.negated.push_back(
+      logic::ShiftPlainSpace(q2, PredSpace::kPost));
+  a.AddTransition(s0, std::move(final_guard), s1);
+  return a;
+}
+
+automata::AAutomaton RelevanceAutomaton(
+    const schema::Schema& schema, schema::AccessMethodId method,
+    const Tuple& binding, const PosFormulaPtr& q,
+    const std::vector<schema::DisjointnessConstraint>& disjointness) {
+  automata::AAutomaton a;
+  int s0 = a.AddState();
+  int s1 = a.AddState();
+  a.SetInitial(s0);
+  a.AddAccepting(s1);
+  a.AddTransition(s0, SigmaGuard(schema, disjointness), s0);
+  automata::Guard flip = SigmaGuard(schema, disjointness);
+  std::vector<Term> terms;
+  for (const Value& v : binding) terms.push_back(Term::Const(v));
+  flip.positive = PosFormula::And(
+      {PosFormula::MakeAtom(logic::Bind(method), std::move(terms)),
+       logic::ShiftPlainSpace(q, PredSpace::kPost)});
+  flip.negated.push_back(logic::ShiftPlainSpace(q, PredSpace::kPre));
+  a.AddTransition(s0, std::move(flip), s1);
+  a.AddTransition(s1, SigmaGuard(schema, disjointness), s1);
+  return a;
+}
+
+}  // namespace analysis
+}  // namespace accltl

@@ -1,0 +1,84 @@
+#ifndef ACCLTL_ANALYSIS_PROPERTIES_H_
+#define ACCLTL_ANALYSIS_PROPERTIES_H_
+
+#include <vector>
+
+#include "src/accltl/formula.h"
+#include "src/automata/a_automaton.h"
+#include "src/schema/access.h"
+#include "src/schema/dependencies.h"
+
+namespace accltl {
+namespace analysis {
+
+/// Example 2.2: "Q1 contained in Q2 under (grounded) access patterns"
+/// as an AccLTL validity: G ¬(Q1pre ∧ ¬Q2pre). This returns the
+/// *negation* — the satisfiability target F (Q1post ∧ ¬Q2post): a path
+/// whose configuration reveals Q1 but not Q2 witnesses non-containment.
+/// Q1, Q2 are boolean queries over the plain schema vocabulary.
+acc::AccPtr NonContainmentFormula(const logic::PosFormulaPtr& q1,
+                                  const logic::PosFormulaPtr& q2);
+
+/// Example 2.3: long-term relevance of the boolean access
+/// (method, binding) to query Q from the empty instance:
+/// F (¬Qpre ∧ IsBind_AcM(b̄) ∧ Qpost).
+acc::AccPtr LongTermRelevanceFormula(const schema::Schema& schema,
+                                     schema::AccessMethodId method,
+                                     const Tuple& binding,
+                                     const logic::PosFormulaPtr& q);
+
+/// §1/Example 2.3: data-integrity restriction "positions are disjoint":
+/// the G ¬(violation) constraint for one disjointness constraint.
+acc::AccPtr DisjointnessRestriction(const schema::Schema& schema,
+                                    const schema::DisjointnessConstraint& c);
+
+/// Example 2.4: the functional-dependency path restriction
+/// ¬F ∃ȳȳ′ (Rpre(ȳ) ∧ Rpre(ȳ′) ∧ ⋀lhs y=y′ ∧ y_rhs ≠ y′_rhs).
+/// Uses inequalities (the FO∃+,≠ extension of §5.1).
+acc::AccPtr FdRestriction(const schema::Schema& schema,
+                          const schema::FunctionalDependency& fd);
+
+/// §1: access-order restriction "before any access with `later`, an
+/// access with `earlier` must have occurred", kept binding-positive via
+/// the §6 rewriting of negated 0-ary IsBind atoms:
+/// (¬later U earlier) ∨ G ¬later.
+acc::AccPtr AccessOrderRestriction(const schema::Schema& schema,
+                                   schema::AccessMethodId earlier,
+                                   schema::AccessMethodId later);
+
+/// §4: the groundedness formula of AccLTL+ — every binding value occurs
+/// in some relation before the access (expressible because IsBind
+/// occurs positively).
+acc::AccPtr GroundednessFormula(const schema::Schema& schema);
+
+/// Example 2.3's dataflow restriction: names entered into `method` must
+/// occur at position `source_position` of `source` beforehand.
+acc::AccPtr DataflowRestriction(const schema::Schema& schema,
+                                schema::AccessMethodId method,
+                                schema::RelationId source,
+                                schema::Position source_position);
+
+/// Prop. 4.4: the A-automaton whose language is empty iff Q1 ⊆ Q2 under
+/// access patterns with the given disjointness constraints.
+automata::AAutomaton NonContainmentAutomaton(
+    const schema::Schema& schema, const logic::PosFormulaPtr& q1,
+    const logic::PosFormulaPtr& q2,
+    const std::vector<schema::DisjointnessConstraint>& disjointness);
+
+/// Prop. 4.4 (second part): the A-automaton for long-term relevance of
+/// a boolean access under disjointness constraints.
+automata::AAutomaton RelevanceAutomaton(
+    const schema::Schema& schema, schema::AccessMethodId method,
+    const Tuple& binding, const logic::PosFormulaPtr& q,
+    const std::vector<schema::DisjointnessConstraint>& disjointness);
+
+/// The violation query of a disjointness constraint (a positive
+/// sentence over the *_pre vocabulary, per the paper's example in §2).
+logic::PosFormulaPtr DisjointnessViolation(
+    const schema::Schema& schema, const schema::DisjointnessConstraint& c,
+    logic::PredSpace space);
+
+}  // namespace analysis
+}  // namespace accltl
+
+#endif  // ACCLTL_ANALYSIS_PROPERTIES_H_

@@ -1,0 +1,362 @@
+#include "src/analysis/zero_solver.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/accltl/abstraction.h"
+#include "src/accltl/semantics.h"
+#include "src/logic/cq.h"
+#include "src/logic/eval.h"
+#include "src/ltl/tableau.h"
+
+namespace accltl {
+namespace analysis {
+
+namespace {
+
+using logic::PredSpace;
+using schema::AccessMethodId;
+using schema::RelationId;
+
+/// One pool fact: a concrete tuple for a relation, plus (when the
+/// witness disjunct constrains the access) the method/binding that must
+/// reveal it.
+struct PoolFact {
+  RelationId relation = 0;
+  Tuple tuple;
+  /// Method forced by a constant-only IsBind atom of the disjunct
+  /// (-1: any method on the relation).
+  int forced_method = -1;
+};
+
+struct SearchState {
+  /// Bitmask over pool facts injected so far.
+  uint64_t facts = 0;
+  /// Active tableau states (NFA subset).
+  std::set<int> tableau;
+
+  friend bool operator<(const SearchState& a, const SearchState& b) {
+    if (a.facts != b.facts) return a.facts < b.facts;
+    return a.tableau < b.tableau;
+  }
+};
+
+class ZeroSolver {
+ public:
+  ZeroSolver(const acc::AccPtr& formula, const schema::Schema& schema,
+             const ZeroSolverOptions& options)
+      : schema_(schema), options_(options) {
+    abstraction_ = acc::Abstract(formula);
+  }
+
+  Result<ZeroSolverResult> Run() {
+    // 1. Reject formulas outside the (constant-extended) 0-ary fragment.
+    for (const logic::PosFormulaPtr& atom : abstraction_.atoms) {
+      Status s = CheckZeroAry(atom);
+      if (!s.ok()) return s;
+    }
+    // 2. Build the canonical-witness pool.
+    ACCLTL_RETURN_IF_ERROR(BuildPool());
+    if (pool_.size() > 63) {
+      return Status::ResourceExhausted(
+          "witness pool exceeds 63 facts; split the formula");
+    }
+    // 3. Build the LTL tableau for the skeleton.
+    Result<ltl::TableauAutomaton> tableau =
+        ltl::BuildTableau(abstraction_.skeleton, 1u << 18);
+    if (!tableau.ok()) return tableau.status();
+    tableau_ = std::move(tableau.value());
+    edges_by_state_.assign(static_cast<size_t>(tableau_.num_states), {});
+    for (size_t i = 0; i < tableau_.edges.size(); ++i) {
+      edges_by_state_[static_cast<size_t>(tableau_.edges[i].from)].push_back(
+          static_cast<int>(i));
+    }
+    // 4. Search.
+    ZeroSolverResult result;
+    SearchState init;
+    init.facts = 0;
+    init.tableau = {tableau_.initial};
+    std::vector<schema::AccessStep> path;
+    result.satisfiable = Dfs(init, schema::Instance(schema_), 0, &path,
+                             &result);
+    if (result.satisfiable) {
+      result.witness = schema::AccessPath(path);
+    }
+    return result;
+  }
+
+ private:
+  Status CheckZeroAry(const logic::PosFormulaPtr& f) {
+    switch (f->kind()) {
+      case logic::NodeKind::kAtom:
+        if (f->pred().space == PredSpace::kBind) {
+          for (const logic::Term& t : f->terms()) {
+            if (t.is_var()) {
+              return Status::Unsupported(
+                  "IsBind atom with variable terms: formula is outside "
+                  "AccLTL(FO^E+_0-Acc); use the AccLTL+ automata engine");
+            }
+          }
+        }
+        if (f->pred().space == PredSpace::kPlain) {
+          return Status::InvalidArgument(
+              "plain-schema atom in a transition formula (use _pre/_post)");
+        }
+        return Status::OK();
+      case logic::NodeKind::kAnd:
+      case logic::NodeKind::kOr: {
+        for (const logic::PosFormulaPtr& c : f->children()) {
+          ACCLTL_RETURN_IF_ERROR(CheckZeroAry(c));
+        }
+        return Status::OK();
+      }
+      case logic::NodeKind::kExists:
+        return CheckZeroAry(f->body());
+      default:
+        return Status::OK();
+    }
+  }
+
+  /// Freezes every UCQ disjunct of every atom into pool facts.
+  Status BuildPool() {
+    logic::FreshValueFactory factory;
+    for (const logic::PosFormulaPtr& atom : abstraction_.atoms) {
+      Result<logic::Ucq> ucq = logic::NormalizeToUcq(atom, {}, schema_);
+      if (!ucq.ok()) return ucq.status();
+      for (const logic::Cq& d : ucq.value().disjuncts) {
+        // Method forced by constant-only bind atoms (at most one per
+        // disjunct is satisfiable on a transition, but facts of the
+        // disjunct may span several transitions; the forced method
+        // applies to facts of that method's relation).
+        std::map<RelationId, int> forced;
+        for (const logic::CqAtom& a : d.atoms) {
+          if (a.pred.space == PredSpace::kBind) {
+            forced[schema_.method(a.pred.id).relation] = a.pred.id;
+          }
+        }
+        Result<logic::FrozenCq> frozen =
+            logic::FreezeCq(d, schema_, &factory);
+        if (!frozen.ok()) return frozen.status();
+        for (const auto& [pred, tuples] : frozen.value().db.relations()) {
+          if (pred.space == PredSpace::kBind) continue;
+          for (const Tuple& t : tuples) {
+            PoolFact f;
+            f.relation = pred.id;
+            f.tuple = t;
+            auto it = forced.find(pred.id);
+            f.forced_method = it == forced.end() ? -1 : it->second;
+            // Dedupe identical facts.
+            bool dup = false;
+            for (const PoolFact& existing : pool_) {
+              if (existing.relation == f.relation &&
+                  existing.tuple == f.tuple) {
+                dup = true;
+                break;
+              }
+            }
+            if (!dup) pool_.push_back(std::move(f));
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Evaluates all atoms on a transition; returns the set of true
+  /// proposition ids.
+  std::set<int> TrueAtoms(const schema::Transition& t) {
+    std::set<int> out;
+    logic::TransitionView view(t);
+    for (size_t i = 0; i < abstraction_.atoms.size(); ++i) {
+      if (logic::EvalSentence(abstraction_.atoms[i], view)) {
+        out.insert(static_cast<int>(i));
+      }
+    }
+    return out;
+  }
+
+  bool Dfs(const SearchState& state, const schema::Instance& current,
+           size_t depth, std::vector<schema::AccessStep>* path,
+           ZeroSolverResult* result) {
+    if (++result->nodes_explored > options_.max_nodes) {
+      result->exhausted_budget = true;
+      return false;
+    }
+    if (depth >= options_.max_path_length) return false;
+    if (!options_.require_idempotent) {
+      // Memo on the first (shallowest) visit: a failure at depth d only
+      // transfers to depths >= d because of the path-length cap.
+      auto it = visited_.find(state);
+      if (it != visited_.end() && it->second <= depth) return false;
+      visited_[state] = depth;
+    }
+
+    // Enumerate one access: a method plus a subset of not-yet-injected
+    // pool facts of its relation (possibly empty), agreeing on input
+    // positions (they share the binding).
+    for (AccessMethodId m = 0; m < schema_.num_access_methods(); ++m) {
+      const schema::AccessMethod& am = schema_.method(m);
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < pool_.size(); ++i) {
+        if (state.facts & (uint64_t{1} << i)) continue;
+        if (pool_[i].relation != am.relation) continue;
+        if (pool_[i].forced_method >= 0 &&
+            pool_[i].forced_method != static_cast<int>(m)) {
+          continue;
+        }
+        candidates.push_back(i);
+      }
+      size_t limit = std::min(candidates.size(), size_t{12});
+      size_t subsets = size_t{1} << limit;
+      for (size_t mask = 0; mask < subsets; ++mask) {
+        if (static_cast<size_t>(__builtin_popcountll(mask)) >
+            options_.max_facts_per_step) {
+          continue;
+        }
+        std::vector<const PoolFact*> chosen;
+        for (size_t b = 0; b < limit; ++b) {
+          if (mask & (size_t{1} << b)) chosen.push_back(&pool_[candidates[b]]);
+        }
+        // All chosen facts must agree on input positions (one binding).
+        std::optional<Tuple> binding;
+        bool ok = true;
+        for (const PoolFact* f : chosen) {
+          Tuple b;
+          for (schema::Position p : am.input_positions) {
+            b.push_back(f->tuple[static_cast<size_t>(p)]);
+          }
+          if (!binding.has_value()) {
+            binding = std::move(b);
+          } else if (*binding != b) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        if (!binding.has_value()) {
+          // Empty response: synthesize a binding (grounded mode draws
+          // from the revealed domain).
+          Tuple b;
+          bool bind_ok = true;
+          std::set<Value> dom = current.ActiveDomain();
+          const schema::Relation& rel = schema_.relation(am.relation);
+          for (schema::Position p : am.input_positions) {
+            ValueType type = rel.position_types[static_cast<size_t>(p)];
+            std::optional<Value> v;
+            for (const Value& cand : dom) {
+              if (cand.type() == type) {
+                v = cand;
+                break;
+              }
+            }
+            if (!v.has_value()) {
+              if (options_.grounded) {
+                bind_ok = false;
+                break;
+              }
+              v = Value::Int(-3000000 - static_cast<int64_t>(depth));
+              if (type == ValueType::kString) {
+                v = Value::Str("~b" + std::to_string(depth));
+              } else if (type == ValueType::kBool) {
+                v = Value::Bool(false);
+              }
+            }
+            b.push_back(*v);
+          }
+          if (!bind_ok) continue;
+          binding = std::move(b);
+        } else if (options_.grounded) {
+          std::set<Value> dom = current.ActiveDomain();
+          for (const Value& v : *binding) {
+            if (dom.count(v) == 0) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+        }
+
+        schema::Response response;
+        uint64_t new_facts = state.facts;
+        for (const PoolFact* f : chosen) {
+          response.insert(f->tuple);
+          new_facts |= uint64_t{1}
+                       << static_cast<size_t>(f - pool_.data());
+        }
+        schema::Transition t = schema::MakeTransition(
+            schema_, current, schema::Access{m, *binding}, response);
+
+        if (options_.require_idempotent) {
+          bool violates = false;
+          for (const schema::AccessStep& prev : *path) {
+            if (prev.access == t.access && prev.response != t.response) {
+              violates = true;
+              break;
+            }
+          }
+          if (violates) continue;
+        }
+
+        // Advance the tableau over this letter.
+        std::set<int> letter = TrueAtoms(t);
+        std::set<int> next_states;
+        bool may_end = false;
+        for (int s : state.tableau) {
+          for (int ei : edges_by_state_[static_cast<size_t>(s)]) {
+            const ltl::TableauEdge& e = tableau_.edges[static_cast<size_t>(
+                ei)];
+            bool match = true;
+            for (int p : e.pos_lits) {
+              if (letter.count(p) == 0) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              for (int p : e.neg_lits) {
+                if (letter.count(p) > 0) {
+                  match = false;
+                  break;
+                }
+              }
+            }
+            if (!match) continue;
+            next_states.insert(e.to);
+            may_end = may_end || e.may_end;
+          }
+        }
+        if (next_states.empty() && !may_end) continue;
+        path->push_back(schema::AccessStep{t.access, t.response});
+        if (may_end) return true;  // the path may stop here: satisfied
+        SearchState next{new_facts, next_states};
+        if (Dfs(next, t.post, depth + 1, path, result)) return true;
+        path->pop_back();
+        if (result->exhausted_budget) return false;
+      }
+    }
+    return false;
+  }
+
+  const schema::Schema& schema_;
+  const ZeroSolverOptions& options_;
+  acc::Abstraction abstraction_;
+  std::vector<PoolFact> pool_;
+  ltl::TableauAutomaton tableau_;
+  std::vector<std::vector<int>> edges_by_state_;
+  std::map<SearchState, size_t> visited_;
+};
+
+}  // namespace
+
+Result<ZeroSolverResult> CheckZeroArySatisfiable(
+    const acc::AccPtr& formula, const schema::Schema& schema,
+    const ZeroSolverOptions& options) {
+  ZeroSolver solver(formula, schema, options);
+  return solver.Run();
+}
+
+}  // namespace analysis
+}  // namespace accltl

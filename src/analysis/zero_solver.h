@@ -1,0 +1,67 @@
+#ifndef ACCLTL_ANALYSIS_ZERO_SOLVER_H_
+#define ACCLTL_ANALYSIS_ZERO_SOLVER_H_
+
+#include <cstddef>
+
+#include "src/accltl/formula.h"
+#include "src/common/status.h"
+#include "src/schema/access.h"
+
+namespace accltl {
+namespace acc {
+class AccFormula;
+}
+
+namespace analysis {
+
+struct ZeroSolverOptions {
+  /// Restrict to grounded access paths. The paper leaves tight bounds
+  /// for the grounded 0-ary case open (§6); this solver supports it as
+  /// a bounded-complete procedure over the witness pool.
+  bool grounded = false;
+  /// Require idempotent witnesses (repeated access => same response).
+  bool require_idempotent = false;
+  /// Search budget.
+  size_t max_nodes = 500000;
+  /// Cap on the number of facts injected per access (response size).
+  size_t max_facts_per_step = 6;
+  /// Hard cap on path length (0 = derived from the state space).
+  size_t max_path_length = 64;
+};
+
+struct ZeroSolverResult {
+  bool satisfiable = false;
+  schema::AccessPath witness;
+  size_t nodes_explored = 0;
+  bool exhausted_budget = false;
+};
+
+/// Decision procedure for AccLTL(FO∃+(,≠)0−Acc) satisfiability
+/// (Thms 4.12 / 4.14 / 5.1) from the empty initial instance.
+///
+/// Realizes the proof constructively: Lemma 4.13 bounds witnesses by a
+/// pool of *canonical witnesses* — the frozen canonical databases of the
+/// UCQ disjuncts of the formula's positive sentences, with fresh values
+/// per witness. The search schedules pool facts over accesses (one
+/// method per step, response ⊆ pool facts of its relation), evaluates
+/// every atomic sentence concretely on each transition, and drives the
+/// propositional skeleton through the finite-word LTL tableau. States
+/// (injected-facts set × tableau-state set) are memoized, so the search
+/// is a complete decision procedure over the pool.
+///
+/// Completeness: the disjoint-block argument (see DESIGN.md) shows the
+/// fresh-value pool is complete for ≠-free formulas; formulas with ≠
+/// and grounded mode are complete up to the pool (value fusion across
+/// witnesses is not enumerated).
+///
+/// Atoms may use 0-ary IsBind propositions and IsBind atoms whose terms
+/// are all constants; variable binding terms require the AccLTL+
+/// engines (automata/) and are rejected with kUnsupported.
+Result<ZeroSolverResult> CheckZeroArySatisfiable(
+    const acc::AccPtr& formula, const schema::Schema& schema,
+    const ZeroSolverOptions& options = {});
+
+}  // namespace analysis
+}  // namespace accltl
+
+#endif  // ACCLTL_ANALYSIS_ZERO_SOLVER_H_

@@ -1,0 +1,109 @@
+#include "src/automata/a_automaton.h"
+
+#include "src/accltl/semantics.h"
+#include "src/common/strings.h"
+#include "src/logic/eval.h"
+
+namespace accltl {
+namespace automata {
+
+bool Guard::Eval(const schema::Transition& t) const {
+  logic::TransitionView view(t);
+  if (positive != nullptr && !logic::EvalSentence(positive, view)) {
+    return false;
+  }
+  for (const logic::PosFormulaPtr& gamma : negated) {
+    if (logic::EvalSentence(gamma, view)) return false;
+  }
+  return true;
+}
+
+std::string Guard::ToString(const schema::Schema& schema) const {
+  std::vector<std::string> parts;
+  if (positive != nullptr) parts.push_back(positive->ToString(schema));
+  for (const logic::PosFormulaPtr& gamma : negated) {
+    parts.push_back("NOT(" + gamma->ToString(schema) + ")");
+  }
+  if (parts.empty()) return "TRUE";
+  return Join(parts, " AND ");
+}
+
+std::vector<const ATransition*> AAutomaton::From(int s) const {
+  std::vector<const ATransition*> out;
+  for (const ATransition& t : transitions_) {
+    if (t.from == s) out.push_back(&t);
+  }
+  return out;
+}
+
+Status AAutomaton::Validate() const {
+  if (initial_ < 0 || initial_ >= num_states_) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  for (int s : accepting_) {
+    if (s < 0 || s >= num_states_) {
+      return Status::InvalidArgument("accepting state out of range");
+    }
+  }
+  for (const ATransition& t : transitions_) {
+    if (t.from < 0 || t.from >= num_states_ || t.to < 0 ||
+        t.to >= num_states_) {
+      return Status::InvalidArgument("transition state out of range");
+    }
+    for (const logic::PosFormulaPtr& gamma : t.guard.negated) {
+      if (gamma->UsesBind()) {
+        return Status::InvalidArgument(
+            "negated guard component mentions IsBind (violates Def. 4.3)");
+      }
+      if (!gamma->IsSentence()) {
+        return Status::InvalidArgument("guard component is not a sentence");
+      }
+    }
+    if (t.guard.positive != nullptr && !t.guard.positive->IsSentence()) {
+      return Status::InvalidArgument("guard component is not a sentence");
+    }
+  }
+  return Status::OK();
+}
+
+std::string AAutomaton::ToString(const schema::Schema& schema) const {
+  std::string out = "states: " + std::to_string(num_states_) +
+                    ", initial: " + std::to_string(initial_) + ", accepting:";
+  for (int s : accepting_) out += " " + std::to_string(s);
+  out += "\n";
+  for (const ATransition& t : transitions_) {
+    out += "  " + std::to_string(t.from) + " --[" +
+           t.guard.ToString(schema) + "]--> " + std::to_string(t.to) + "\n";
+  }
+  return out;
+}
+
+bool AcceptsTransitions(const AAutomaton& automaton,
+                        const std::vector<schema::Transition>& transitions) {
+  std::set<int> current = {automaton.initial()};
+  for (const schema::Transition& t : transitions) {
+    std::set<int> next;
+    for (const ATransition& at : automaton.transitions()) {
+      if (current.count(at.from) == 0) continue;
+      if (next.count(at.to) > 0) continue;
+      if (at.guard.Eval(t)) next.insert(at.to);
+    }
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  for (int s : current) {
+    if (automaton.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+bool Accepts(const AAutomaton& automaton, const schema::Schema& schema,
+             const schema::AccessPath& path,
+             const schema::Instance& initial) {
+  std::vector<schema::Transition> transitions =
+      acc::PathTransitions(schema, path, initial);
+  return AcceptsTransitions(automaton, transitions);
+}
+
+}  // namespace automata
+}  // namespace accltl

@@ -1,0 +1,89 @@
+#ifndef ACCLTL_AUTOMATA_A_AUTOMATON_H_
+#define ACCLTL_AUTOMATA_A_AUTOMATON_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/logic/formula.h"
+#include "src/schema/access.h"
+#include "src/schema/lts.h"
+
+namespace accltl {
+namespace automata {
+
+/// A transition guard ψ− ∧ ψ+ (Def. 4.3): ψ+ is an FO∃+ sentence over
+/// SchAcc (may mention IsBind); ψ− is a conjunction of negated FO∃+
+/// sentences that must not mention IsBind.
+struct Guard {
+  /// ψ+ (TRUE when absent).
+  logic::PosFormulaPtr positive;
+  /// The γ of each ¬γ conjunct of ψ−.
+  std::vector<logic::PosFormulaPtr> negated;
+
+  /// Evaluates the guard on the transition structure M(t).
+  bool Eval(const schema::Transition& t) const;
+
+  std::string ToString(const schema::Schema& schema) const;
+};
+
+struct ATransition {
+  int from = 0;
+  Guard guard;
+  int to = 0;
+};
+
+/// An Access-automaton (Def. 4.3): finite control running over access
+/// paths; each path transition must satisfy the guard of the automaton
+/// transition taken.
+class AAutomaton {
+ public:
+  AAutomaton() = default;
+
+  /// Adds a state; returns its id.
+  int AddState() { return num_states_++; }
+
+  void SetInitial(int s) { initial_ = s; }
+  void AddAccepting(int s) { accepting_.insert(s); }
+  void AddTransition(int from, Guard guard, int to) {
+    transitions_.push_back(ATransition{from, std::move(guard), to});
+  }
+
+  int num_states() const { return num_states_; }
+  int initial() const { return initial_; }
+  const std::set<int>& accepting() const { return accepting_; }
+  bool IsAccepting(int s) const { return accepting_.count(s) > 0; }
+  const std::vector<ATransition>& transitions() const { return transitions_; }
+
+  /// Transitions leaving `s`.
+  std::vector<const ATransition*> From(int s) const;
+
+  /// Checks Def. 4.3's well-formedness: state ids in range and no
+  /// IsBind predicate inside the negated guard parts.
+  Status Validate() const;
+
+  std::string ToString(const schema::Schema& schema) const;
+
+ private:
+  int num_states_ = 0;
+  int initial_ = 0;
+  std::set<int> accepting_;
+  std::vector<ATransition> transitions_;
+};
+
+/// Does the automaton accept this access path (some run over all
+/// transitions ending in an accepting state)? NFA subset simulation;
+/// guards evaluated on each M(ti).
+bool Accepts(const AAutomaton& automaton, const schema::Schema& schema,
+             const schema::AccessPath& path,
+             const schema::Instance& initial);
+
+/// Same over pre-materialized transitions.
+bool AcceptsTransitions(const AAutomaton& automaton,
+                        const std::vector<schema::Transition>& transitions);
+
+}  // namespace automata
+}  // namespace accltl
+
+#endif  // ACCLTL_AUTOMATA_A_AUTOMATON_H_

@@ -1,0 +1,65 @@
+#include "src/automata/compile.h"
+
+#include "src/accltl/abstraction.h"
+#include "src/accltl/fragments.h"
+#include "src/ltl/tableau.h"
+
+namespace accltl {
+namespace automata {
+
+Result<AAutomaton> CompileToAutomaton(const acc::AccPtr& formula,
+                                      const schema::Schema& schema,
+                                      size_t max_states,
+                                      CompileStats* stats) {
+  (void)schema;
+  acc::FragmentInfo info = acc::Analyze(formula);
+  if (!info.binding_positive) {
+    return Status::Unsupported(
+        "CompileToAutomaton requires a binding-positive formula (AccLTL+, "
+        "Def. 4.1); negated IsBind atoms cannot appear in A-automaton "
+        "guards (Def. 4.3)");
+  }
+
+  acc::Abstraction abs = acc::Abstract(formula);
+  Result<ltl::TableauAutomaton> tableau =
+      ltl::BuildTableau(abs.skeleton, max_states);
+  if (!tableau.ok()) return tableau.status();
+  const ltl::TableauAutomaton& ta = tableau.value();
+  if (stats != nullptr) {
+    stats->tableau_states = static_cast<size_t>(ta.num_states);
+  }
+
+  AAutomaton out;
+  // States 0..num_states-1 mirror the tableau; one extra accepting sink
+  // receives "the word may end here" edges.
+  for (int i = 0; i < ta.num_states; ++i) out.AddState();
+  int sink = out.AddState();
+  out.SetInitial(ta.initial);
+  out.AddAccepting(sink);
+
+  for (const ltl::TableauEdge& e : ta.edges) {
+    Guard guard;
+    std::vector<logic::PosFormulaPtr> pos;
+    pos.reserve(e.pos_lits.size());
+    for (int p : e.pos_lits) {
+      pos.push_back(abs.atoms[static_cast<size_t>(p)]);
+    }
+    guard.positive = pos.empty() ? logic::PosFormula::True()
+                                 : logic::PosFormula::And(std::move(pos));
+    for (int p : e.neg_lits) {
+      guard.negated.push_back(abs.atoms[static_cast<size_t>(p)]);
+    }
+    out.AddTransition(e.from, guard, e.to);
+    if (e.may_end) {
+      out.AddTransition(e.from, std::move(guard), sink);
+    }
+    if (stats != nullptr) {
+      stats->automaton_transitions += e.may_end ? 2 : 1;
+    }
+  }
+  ACCLTL_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace automata
+}  // namespace accltl

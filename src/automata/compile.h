@@ -1,0 +1,33 @@
+#ifndef ACCLTL_AUTOMATA_COMPILE_H_
+#define ACCLTL_AUTOMATA_COMPILE_H_
+
+#include "src/accltl/formula.h"
+#include "src/automata/a_automaton.h"
+#include "src/common/status.h"
+
+namespace accltl {
+namespace automata {
+
+struct CompileStats {
+  size_t tableau_states = 0;
+  size_t automaton_transitions = 0;
+};
+
+/// Lemma 4.5: compiles an AccLTL+ formula into an equivalent
+/// A-automaton (size worst-case exponential in |φ|).
+///
+/// The construction abstracts atoms into propositions, builds the
+/// finite-word LTL tableau, and re-concretizes each tableau edge into a
+/// guard: required-true atoms conjoin into ψ+, required-false atoms
+/// become the ψ− conjuncts. Binding-positivity of the input guarantees
+/// required-false atoms never mention IsBind, so the result satisfies
+/// Def. 4.3; non-binding-positive inputs are rejected (kUnsupported).
+Result<AAutomaton> CompileToAutomaton(const acc::AccPtr& formula,
+                                      const schema::Schema& schema,
+                                      size_t max_states = 1u << 18,
+                                      CompileStats* stats = nullptr);
+
+}  // namespace automata
+}  // namespace accltl
+
+#endif  // ACCLTL_AUTOMATA_COMPILE_H_

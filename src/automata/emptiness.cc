@@ -1,0 +1,497 @@
+#include "src/automata/emptiness.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "src/logic/cq.h"
+#include "src/logic/eval.h"
+
+namespace accltl {
+namespace automata {
+
+namespace {
+
+using logic::Cq;
+using logic::CqAtom;
+using logic::Env;
+using logic::PredSpace;
+using schema::AccessMethodId;
+using schema::Instance;
+using schema::RelationId;
+
+/// One way to take an automaton transition as a concrete access.
+struct Realization {
+  AccessMethodId method = 0;
+  Tuple binding;
+  std::vector<Tuple> new_facts;
+};
+
+/// Enumerates concrete realizations of a guard disjunct from the
+/// current instance; calls `fn` for each (stop when it returns true).
+class RealizationEnumerator {
+ public:
+  RealizationEnumerator(const schema::Schema& schema, const Instance& current,
+                        const WitnessSearchOptions& options,
+                        logic::FreshValueFactory* factory)
+      : schema_(schema),
+        current_(current),
+        options_(options),
+        factory_(factory) {}
+
+  bool ForEach(const Cq& disjunct,
+               const std::function<bool(const Realization&)>& fn) {
+    // Partition atoms by space.
+    std::vector<const CqAtom*> pre, post, bind;
+    for (const CqAtom& a : disjunct.atoms) {
+      switch (a.pred.space) {
+        case PredSpace::kPre:
+          pre.push_back(&a);
+          break;
+        case PredSpace::kPost:
+          post.push_back(&a);
+          break;
+        case PredSpace::kBind:
+          bind.push_back(&a);
+          break;
+        case PredSpace::kPlain:
+          return false;  // not a transition formula
+      }
+    }
+    // All bind atoms must agree on the method (a transition has one).
+    std::optional<AccessMethodId> method;
+    for (const CqAtom* b : bind) {
+      if (method.has_value() && *method != b->pred.id) return false;
+      method = b->pred.id;
+    }
+    std::vector<AccessMethodId> methods;
+    if (method.has_value()) {
+      methods.push_back(*method);
+    } else {
+      for (AccessMethodId m = 0; m < schema_.num_access_methods(); ++m) {
+        methods.push_back(m);
+      }
+    }
+    emitted_ = 0;
+    for (AccessMethodId m : methods) {
+      // Choose which post atoms denote newly returned tuples. Post atoms
+      // can also map to already-revealed facts; mapping to *other* new
+      // facts is covered by putting both atoms in the new set.
+      RelationId target = schema_.method(m).relation;
+      size_t subsets = size_t{1} << post.size();
+      for (size_t mask = 0; mask < subsets; ++mask) {
+        std::vector<const CqAtom*> as_new, as_old;
+        bool ok = true;
+        for (size_t i = 0; i < post.size(); ++i) {
+          if (mask & (size_t{1} << i)) {
+            if (post[i]->pred.id != target) {
+              ok = false;
+              break;
+            }
+            as_new.push_back(post[i]);
+          } else {
+            as_old.push_back(post[i]);
+          }
+        }
+        if (!ok) continue;
+        if (Match(disjunct, m, pre, as_old, as_new, bind, fn)) return true;
+        if (emitted_ >= options_.max_realizations_per_step) return false;
+      }
+    }
+    return false;
+  }
+
+ private:
+  /// Backtracking match of pre/old-post atoms against revealed facts,
+  /// then instantiation of new facts and the binding.
+  bool Match(const Cq& disjunct, AccessMethodId m,
+             const std::vector<const CqAtom*>& pre,
+             const std::vector<const CqAtom*>& as_old,
+             const std::vector<const CqAtom*>& as_new,
+             const std::vector<const CqAtom*>& bind,
+             const std::function<bool(const Realization&)>& fn) {
+    std::vector<const CqAtom*> to_match = pre;
+    to_match.insert(to_match.end(), as_old.begin(), as_old.end());
+    Env env;
+    std::function<bool(size_t)> rec = [&](size_t idx) -> bool {
+      if (emitted_ >= options_.max_realizations_per_step) return false;
+      if (idx == to_match.size()) {
+        return Finish(disjunct, m, as_new, bind, &env, fn);
+      }
+      const CqAtom& atom = *to_match[idx];
+      for (const Tuple& tuple : current_.tuples(atom.pred.id)) {
+        std::vector<std::string> newly;
+        bool ok = true;
+        for (size_t i = 0; i < tuple.size(); ++i) {
+          const logic::Term& t = atom.terms[i];
+          if (t.is_const()) {
+            if (t.value() != tuple[i]) {
+              ok = false;
+              break;
+            }
+          } else {
+            auto it = env.find(t.var_name());
+            if (it != env.end()) {
+              if (it->second != tuple[i]) {
+                ok = false;
+                break;
+              }
+            } else {
+              env[t.var_name()] = tuple[i];
+              newly.push_back(t.var_name());
+            }
+          }
+        }
+        if (ok && rec(idx + 1)) return true;
+        for (const std::string& v : newly) env.erase(v);
+      }
+      return false;
+    };
+    return rec(0);
+  }
+
+  /// Term to value: bound / constant / fresh (registering in env).
+  std::optional<Value> Resolve(const logic::Term& t, ValueType type, Env* env,
+                               bool allow_fresh) {
+    if (t.is_const()) return t.value();
+    auto it = env->find(t.var_name());
+    if (it != env->end()) return it->second;
+    if (!allow_fresh) return std::nullopt;
+    Value v = factory_->Fresh(type);
+    (*env)[t.var_name()] = v;
+    return v;
+  }
+
+  bool Finish(const Cq& disjunct, AccessMethodId m,
+              const std::vector<const CqAtom*>& as_new,
+              const std::vector<const CqAtom*>& bind, Env* env,
+              const std::function<bool(const Realization&)>& fn) {
+    const schema::AccessMethod& method = schema_.method(m);
+    const schema::Relation& rel = schema_.relation(method.relation);
+    Env saved = *env;
+    auto restore = [&] { *env = saved; };
+
+    Realization r;
+    r.method = m;
+
+    // 0-ary IsBind atoms (the Sch0−Acc abstraction) constrain only the
+    // method, not the binding values — drop them here.
+    std::vector<const CqAtom*> bind_full;
+    for (const CqAtom* b : bind) {
+      if (static_cast<int>(b->terms.size()) == method.num_inputs() &&
+          !b->terms.empty()) {
+        bind_full.push_back(b);
+      }
+    }
+
+    // Binding first: bind-atom terms; grounded mode forbids fresh values
+    // in bindings.
+    if (!bind_full.empty()) {
+      const CqAtom& batom = *bind_full[0];
+      for (size_t i = 0; i < batom.terms.size(); ++i) {
+        ValueType type = rel.position_types[static_cast<size_t>(
+            method.input_positions[i])];
+        std::optional<Value> v =
+            Resolve(batom.terms[i], type, env, /*allow_fresh=*/
+                    !options_.grounded);
+        if (!v.has_value()) {
+          restore();
+          return false;
+        }
+        r.binding.push_back(*v);
+      }
+      // Remaining bind atoms (same method) must agree.
+      for (size_t b = 1; b < bind_full.size(); ++b) {
+        for (size_t i = 0; i < bind_full[b]->terms.size(); ++i) {
+          ValueType type = rel.position_types[static_cast<size_t>(
+              method.input_positions[i])];
+          std::optional<Value> v =
+              Resolve(bind_full[b]->terms[i], type, env, !options_.grounded);
+          if (!v.has_value() || *v != r.binding[i]) {
+            restore();
+            return false;
+          }
+        }
+      }
+    }
+
+    // New facts. When the binding is already fixed (bind atoms), the
+    // response must agree with it on input positions — propagate the
+    // binding into unbound variables there instead of inventing fresh
+    // values that could never agree.
+    for (const CqAtom* a : as_new) {
+      if (!r.binding.empty()) {
+        for (size_t i = 0; i < method.input_positions.size(); ++i) {
+          const logic::Term& term =
+              a->terms[static_cast<size_t>(method.input_positions[i])];
+          if (term.is_var() && env->find(term.var_name()) == env->end()) {
+            (*env)[term.var_name()] = r.binding[i];
+          }
+        }
+      }
+      Tuple t;
+      t.reserve(a->terms.size());
+      bool ok = true;
+      for (size_t i = 0; i < a->terms.size(); ++i) {
+        std::optional<Value> v =
+            Resolve(a->terms[i], rel.position_types[i], env, true);
+        if (!v.has_value()) {
+          ok = false;
+          break;
+        }
+        t.push_back(*v);
+      }
+      if (!ok) {
+        restore();
+        return false;
+      }
+      r.new_facts.push_back(std::move(t));
+    }
+
+    // Derive or check the binding from the new facts.
+    if (bind_full.empty()) {
+      if (!r.new_facts.empty()) {
+        for (schema::Position p : method.input_positions) {
+          r.binding.push_back(r.new_facts[0][static_cast<size_t>(p)]);
+        }
+      } else {
+        // Free access: pick deterministic binding values.
+        for (schema::Position p : method.input_positions) {
+          ValueType type = rel.position_types[static_cast<size_t>(p)];
+          std::optional<Value> v;
+          if (options_.grounded) {
+            for (const Value& cand : current_.ActiveDomain()) {
+              if (cand.type() == type) {
+                v = cand;
+                break;
+              }
+            }
+          } else {
+            v = factory_->Fresh(type);
+          }
+          if (!v.has_value()) {
+            restore();
+            return false;  // grounded and nothing to enter into the form
+          }
+          r.binding.push_back(*v);
+        }
+      }
+      if (options_.grounded) {
+        std::set<Value> dom = current_.ActiveDomain();
+        for (const Value& v : r.binding) {
+          if (dom.count(v) == 0) {
+            restore();
+            return false;
+          }
+        }
+      }
+    }
+    // Responses must agree with the binding on input positions.
+    for (const Tuple& t : r.new_facts) {
+      for (size_t i = 0; i < method.input_positions.size(); ++i) {
+        if (t[static_cast<size_t>(method.input_positions[i])] !=
+            r.binding[i]) {
+          restore();
+          return false;
+        }
+      }
+    }
+    // Inequalities of the disjunct.
+    for (const auto& [l, rterm] : disjunct.neqs) {
+      auto value_of = [&](const logic::Term& t) -> std::optional<Value> {
+        if (t.is_const()) return t.value();
+        auto it = env->find(t.var_name());
+        if (it == env->end()) return std::nullopt;
+        return it->second;
+      };
+      std::optional<Value> lv = value_of(l), rv = value_of(rterm);
+      if (!lv.has_value() || !rv.has_value() || *lv == *rv) {
+        restore();
+        return false;
+      }
+    }
+    ++emitted_;
+    bool stop = fn(r);
+    restore();
+    return stop;
+  }
+
+  const schema::Schema& schema_;
+  const Instance& current_;
+  const WitnessSearchOptions& options_;
+  logic::FreshValueFactory* factory_;
+  size_t emitted_ = 0;
+};
+
+class Searcher {
+ public:
+  Searcher(const AAutomaton& automaton, const schema::Schema& schema,
+           const WitnessSearchOptions& options)
+      : automaton_(automaton), schema_(schema), options_(options) {
+    // Pre-normalize guards to UCQs.
+    for (const ATransition& t : automaton_.transitions()) {
+      logic::PosFormulaPtr pos =
+          t.guard.positive ? t.guard.positive : logic::PosFormula::True();
+      Result<logic::Ucq> ucq = logic::NormalizeToUcq(pos, {}, schema_);
+      guards_.push_back(ucq.ok() ? ucq.value() : logic::Ucq{});
+      // Degenerate case: TRUE normalizes to one empty disjunct.
+      if (pos->kind() == logic::NodeKind::kTrue) {
+        logic::Ucq truth;
+        truth.disjuncts.push_back(logic::Cq{});
+        guards_.back() = truth;
+      }
+    }
+    // Speculative fact pool: canonical (frozen) facts of every guard
+    // disjunct. Guards often require facts in their *pre* structure
+    // that only an earlier, unconstrained access can reveal; injecting
+    // pool facts through permissive transitions realizes such paths.
+    for (const logic::Ucq& g : guards_) {
+      for (const logic::Cq& d : g.disjuncts) {
+        logic::Cq data_only;
+        for (const logic::CqAtom& a : d.atoms) {
+          if (a.pred.space == PredSpace::kPre ||
+              a.pred.space == PredSpace::kPost) {
+            data_only.atoms.push_back(a);
+          }
+        }
+        if (data_only.atoms.empty()) continue;
+        Result<logic::FrozenCq> frozen =
+            logic::FreezeCq(data_only, schema_, &factory_);
+        if (!frozen.ok()) continue;
+        for (const auto& [pred, tuples] : frozen.value().db.relations()) {
+          for (const Tuple& t : tuples) {
+            if (pool_.size() >= 64) break;
+            pool_.emplace_back(pred.id, t);
+          }
+        }
+      }
+    }
+  }
+
+  WitnessSearchResult Run(const Instance& initial) {
+    result_ = WitnessSearchResult{};
+    path_.clear();
+    Dfs(automaton_.initial(), initial, 0);
+    return result_;
+  }
+
+ private:
+  bool AcceptHere(int state, const Instance& initial_instance) {
+    if (!automaton_.IsAccepting(state)) return false;
+    schema::AccessPath path(path_);
+    if (options_.require_idempotent && !path.IsIdempotent()) return false;
+    if (options_.require_exact &&
+        !path.IsExact(schema_, initial_instance)) {
+      return false;
+    }
+    result_.found = true;
+    result_.witness = path;
+    return true;
+  }
+
+  bool Dfs(int state, const Instance& current, size_t depth) {
+    if (++result_.nodes_explored > options_.max_nodes) {
+      result_.exhausted_budget = true;
+      return false;
+    }
+    if (AcceptHere(state, initial_for_checks_ ? *initial_for_checks_
+                                              : current)) {
+      return true;
+    }
+    if (depth >= options_.max_path_length) return false;
+    auto key = std::make_pair(state, current);
+    auto it = visited_.find(key);
+    if (it != visited_.end() && it->second <= depth) return false;
+    visited_[key] = depth;
+
+    for (size_t ti = 0; ti < automaton_.transitions().size(); ++ti) {
+      const ATransition& at = automaton_.transitions()[ti];
+      if (at.from != state) continue;
+      RealizationEnumerator en(schema_, current, options_, &factory_);
+      for (const logic::Cq& disjunct : guards_[ti].disjuncts) {
+        bool stop = en.ForEach(disjunct, [&](const Realization& r) -> bool {
+          schema::Response response(r.new_facts.begin(), r.new_facts.end());
+          return TryTransition(at, schema::Access{r.method, r.binding},
+                               std::move(response), current, depth);
+        });
+        if (stop) return true;
+        if (result_.exhausted_budget) return false;
+      }
+      // Speculative pool injection: reveal one canonical fact through
+      // this transition (useful when the guard is permissive and a
+      // later guard needs the fact in its pre-structure).
+      for (const auto& [rel, tuple] : pool_) {
+        if (current.Contains(rel, tuple)) continue;
+        for (schema::AccessMethodId m : schema_.methods_on(rel)) {
+          const schema::AccessMethod& am = schema_.method(m);
+          Tuple binding;
+          for (schema::Position p : am.input_positions) {
+            binding.push_back(tuple[static_cast<size_t>(p)]);
+          }
+          if (options_.grounded) {
+            std::set<Value> dom = current.ActiveDomain();
+            bool ok = true;
+            for (const Value& v : binding) {
+              if (dom.count(v) == 0) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+          }
+          if (TryTransition(at, schema::Access{m, binding},
+                            schema::Response{tuple}, current, depth)) {
+            return true;
+          }
+          if (result_.exhausted_budget) return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Takes the automaton transition with a concrete access if the full
+  /// guard holds on it; recurses. Returns true when a witness was found.
+  bool TryTransition(const ATransition& at, schema::Access access,
+                     schema::Response response,
+                     const schema::Instance& current, size_t depth) {
+    schema::Transition t = schema::MakeTransition(
+        schema_, current, std::move(access), std::move(response));
+    if (!at.guard.Eval(t)) return false;
+    path_.push_back(schema::AccessStep{t.access, t.response});
+    bool found = Dfs(at.to, t.post, depth + 1);
+    if (!found) path_.pop_back();
+    return found;
+  }
+
+  const AAutomaton& automaton_;
+  const schema::Schema& schema_;
+  const WitnessSearchOptions& options_;
+  std::vector<logic::Ucq> guards_;
+  std::vector<std::pair<RelationId, Tuple>> pool_;
+  logic::FreshValueFactory factory_;
+  std::map<std::pair<int, Instance>, size_t> visited_;
+  std::vector<schema::AccessStep> path_;
+  WitnessSearchResult result_;
+  const Instance* initial_for_checks_ = nullptr;
+
+ public:
+  void SetInitialForChecks(const Instance* initial) {
+    initial_for_checks_ = initial;
+  }
+};
+
+}  // namespace
+
+WitnessSearchResult BoundedWitnessSearch(const AAutomaton& automaton,
+                                         const schema::Schema& schema,
+                                         const schema::Instance& initial,
+                                         const WitnessSearchOptions& options) {
+  Searcher searcher(automaton, schema, options);
+  searcher.SetInitialForChecks(&initial);
+  return searcher.Run(initial);
+}
+
+}  // namespace automata
+}  // namespace accltl

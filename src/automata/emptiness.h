@@ -1,0 +1,53 @@
+#ifndef ACCLTL_AUTOMATA_EMPTINESS_H_
+#define ACCLTL_AUTOMATA_EMPTINESS_H_
+
+#include <cstddef>
+
+#include "src/automata/a_automaton.h"
+#include "src/schema/access.h"
+
+namespace accltl {
+namespace automata {
+
+struct WitnessSearchOptions {
+  /// Maximum access-path length explored.
+  size_t max_path_length = 6;
+  /// Restrict to grounded paths (§2): binding values must come from the
+  /// current configuration (no guessed values).
+  bool grounded = false;
+  /// Require the witness to be an idempotent path.
+  bool require_idempotent = false;
+  /// Require the witness to be exact (for all methods).
+  bool require_exact = false;
+  /// Node budget for the search.
+  size_t max_nodes = 200000;
+  /// Cap on realizations enumerated per (transition, disjunct) step.
+  size_t max_realizations_per_step = 512;
+};
+
+struct WitnessSearchResult {
+  /// True when an accepting access path was found (L(A) non-empty).
+  bool found = false;
+  schema::AccessPath witness;
+  /// True when a budget was hit before the bounded space was exhausted;
+  /// `found == false` then means "unknown", not "empty".
+  bool exhausted_budget = false;
+  size_t nodes_explored = 0;
+};
+
+/// Bounded explicit-state emptiness: searches for an accepting access
+/// path of length ≤ max_path_length, growing a concrete instance whose
+/// facts realize the positive guard parts via homomorphism search and
+/// fresh ("guessed") values, and checking the negated parts on each
+/// concrete transition. Sound: a returned witness is a real accepting
+/// access path. Complete up to the path-length bound for guards whose
+/// negative parts do not force value fusion (see DESIGN.md).
+WitnessSearchResult BoundedWitnessSearch(const AAutomaton& automaton,
+                                         const schema::Schema& schema,
+                                         const schema::Instance& initial,
+                                         const WitnessSearchOptions& options);
+
+}  // namespace automata
+}  // namespace accltl
+
+#endif  // ACCLTL_AUTOMATA_EMPTINESS_H_

@@ -1,0 +1,886 @@
+#include "src/automata/progressive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/logic/containment.h"
+#include "src/logic/cq.h"
+
+namespace accltl {
+namespace automata {
+
+namespace {
+
+using logic::Cq;
+using logic::CqAtom;
+using logic::PosFormula;
+using logic::PosFormulaPtr;
+using logic::PredSpace;
+
+// ---------------------------------------------------------------------------
+// Guard analysis
+// ---------------------------------------------------------------------------
+
+/// The ϕ̃ operation (§4.1): post-shift a guard disjunct and
+/// existentialize the binding (drop IsBind atoms; their variables were
+/// already existential in the sentence).
+PosFormulaPtr PostShiftDisjunct(const Cq& d) {
+  std::vector<PosFormulaPtr> conjuncts;
+  for (const CqAtom& a : d.atoms) {
+    if (a.pred.space == PredSpace::kBind) continue;
+    logic::PredicateRef pred = a.pred;
+    if (pred.space == PredSpace::kPre) pred.space = PredSpace::kPost;
+    conjuncts.push_back(PosFormula::MakeAtom(pred, a.terms));
+  }
+  for (const auto& [l, r] : d.neqs) {
+    conjuncts.push_back(PosFormula::Neq(l, r));
+  }
+  PosFormulaPtr body = PosFormula::And(std::move(conjuncts));
+  std::set<std::string> var_set;
+  for (const CqAtom& a : d.atoms) {
+    for (const logic::Term& t : a.terms) {
+      if (t.is_var()) var_set.insert(t.var_name());
+    }
+  }
+  return PosFormula::Exists(
+      std::vector<std::string>(var_set.begin(), var_set.end()), body);
+}
+
+PosFormulaPtr PostShiftSentence(const PosFormulaPtr& f) {
+  // γ sentences use no IsBind; shift pre atoms to post.
+  std::function<PosFormulaPtr(const PosFormulaPtr&)> rec =
+      [&](const PosFormulaPtr& g) -> PosFormulaPtr {
+    switch (g->kind()) {
+      case logic::NodeKind::kAtom: {
+        logic::PredicateRef pred = g->pred();
+        if (pred.space == PredSpace::kPre) pred.space = PredSpace::kPost;
+        return PosFormula::MakeAtom(pred, g->terms());
+      }
+      case logic::NodeKind::kAnd:
+      case logic::NodeKind::kOr: {
+        std::vector<PosFormulaPtr> kids;
+        for (const PosFormulaPtr& c : g->children()) kids.push_back(rec(c));
+        return g->kind() == logic::NodeKind::kAnd
+                   ? PosFormula::And(std::move(kids))
+                   : PosFormula::Or(std::move(kids));
+      }
+      case logic::NodeKind::kExists:
+        return PosFormula::Exists(g->bound_vars(), rec(g->body()));
+      default:
+        return g;
+    }
+  };
+  return rec(f);
+}
+
+/// Per-transition normalized guard info.
+struct GuardInfo {
+  logic::Ucq positive;                 // ψ+ disjuncts
+  std::vector<int> disjunct_phi;       // Φ index of each disjunct's ϕ̃
+  std::vector<int> negated_phi;        // Φ indices of post-shifted γs
+  std::vector<PosFormulaPtr> negated;  // the original γs
+};
+
+int InternPhi(const PosFormulaPtr& f, std::vector<PosFormulaPtr>* phi) {
+  for (size_t i = 0; i < phi->size(); ++i) {
+    if (PosFormula::Equal((*phi)[i], f)) return static_cast<int>(i);
+  }
+  phi->push_back(f);
+  return static_cast<int>(phi->size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// SCC computation (iterative Tarjan)
+// ---------------------------------------------------------------------------
+
+std::vector<int> ComputeSccs(int num_states,
+                             const std::vector<ATransition>& transitions,
+                             int* num_sccs) {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_states));
+  for (const ATransition& t : transitions) {
+    adj[static_cast<size_t>(t.from)].push_back(t.to);
+  }
+  std::vector<int> index(static_cast<size_t>(num_states), -1);
+  std::vector<int> low(static_cast<size_t>(num_states), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(num_states), false);
+  std::vector<int> stack;
+  std::vector<int> scc(static_cast<size_t>(num_states), -1);
+  int next_index = 0;
+  int next_scc = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<size_t>(v)] = low[static_cast<size_t>(v)] =
+        next_index++;
+    stack.push_back(v);
+    on_stack[static_cast<size_t>(v)] = true;
+    for (int w : adj[static_cast<size_t>(v)]) {
+      if (index[static_cast<size_t>(w)] == -1) {
+        strongconnect(w);
+        low[static_cast<size_t>(v)] =
+            std::min(low[static_cast<size_t>(v)], low[static_cast<size_t>(w)]);
+      } else if (on_stack[static_cast<size_t>(w)]) {
+        low[static_cast<size_t>(v)] = std::min(low[static_cast<size_t>(v)],
+                                               index[static_cast<size_t>(w)]);
+      }
+    }
+    if (low[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+      while (true) {
+        int w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<size_t>(w)] = false;
+        scc[static_cast<size_t>(w)] = next_scc;
+        if (w == v) break;
+      }
+      ++next_scc;
+    }
+  };
+  for (int v = 0; v < num_states; ++v) {
+    if (index[static_cast<size_t>(v)] == -1) strongconnect(v);
+  }
+  *num_sccs = next_scc;
+  return scc;
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition
+// ---------------------------------------------------------------------------
+
+class Decomposer {
+ public:
+  Decomposer(const AAutomaton& automaton, const schema::Schema& schema,
+             const DecomposeOptions& options)
+      : automaton_(automaton), schema_(schema), options_(options) {}
+
+  Result<std::vector<ProgressiveAutomaton>> Run() {
+    // 1. Normalize guards and build Φ.
+    for (const ATransition& t : automaton_.transitions()) {
+      GuardInfo info;
+      PosFormulaPtr pos =
+          t.guard.positive ? t.guard.positive : PosFormula::True();
+      if (pos->UsesInequality()) {
+        return Status::Unsupported(
+            "progressive pipeline requires inequality-free guards "
+            "(Thm 5.2: AccLTL+ with != is undecidable)");
+      }
+      Result<logic::Ucq> ucq = logic::NormalizeToUcq(pos, {}, schema_);
+      if (!ucq.ok()) return ucq.status();
+      info.positive = ucq.value();
+      if (pos->kind() == logic::NodeKind::kTrue) {
+        info.positive.disjuncts = {Cq{}};
+      }
+      for (const Cq& d : info.positive.disjuncts) {
+        info.disjunct_phi.push_back(InternPhi(PostShiftDisjunct(d), &phi_));
+      }
+      for (const PosFormulaPtr& gamma : t.guard.negated) {
+        if (gamma->UsesInequality()) {
+          return Status::Unsupported(
+              "progressive pipeline requires inequality-free guards");
+        }
+        info.negated.push_back(gamma);
+        info.negated_phi.push_back(InternPhi(PostShiftSentence(gamma), &phi_));
+      }
+      guards_.push_back(std::move(info));
+    }
+    if (phi_.size() > options_.max_phi) {
+      return Status::ResourceExhausted("progressive decomposition: |Phi| = " +
+                                       std::to_string(phi_.size()) +
+                                       " exceeds max_phi");
+    }
+    // Drop trivially-true ϕ̃ (empty disjunct): treat as always-true by
+    // pinning them true in every type.
+    scc_ = ComputeSccs(automaton_.num_states(), automaton_.transitions(),
+                       &num_sccs_);
+
+    std::vector<bool> type(phi_.size(), false);
+    // The empty-disjunct ϕ̃ (TRUE) is true from the start.
+    for (size_t i = 0; i < phi_.size(); ++i) {
+      if (phi_[i]->kind() == logic::NodeKind::kTrue) type[i] = true;
+    }
+    std::vector<Stage> stages;
+    Status s = Dfs(automaton_.initial(), type, &stages);
+    if (!s.ok()) return s;
+    return std::move(variants_);
+  }
+
+ private:
+  /// Internal usable transitions for the SCC of `entry` under `type`:
+  /// transitions inside the SCC whose γ̃s are false and some disjunct ϕ̃
+  /// true, restricted to states reachable from entry.
+  Stage BuildStage(int entry, const std::vector<bool>& type) const {
+    Stage stage;
+    stage.entry = entry;
+    stage.type = type;
+    int my_scc = scc_[static_cast<size_t>(entry)];
+    for (int s = 0; s < automaton_.num_states(); ++s) {
+      if (scc_[static_cast<size_t>(s)] == my_scc) stage.states.push_back(s);
+    }
+    // Usable transitions (before reachability).
+    std::vector<int> usable;
+    for (size_t ti = 0; ti < automaton_.transitions().size(); ++ti) {
+      const ATransition& t = automaton_.transitions()[ti];
+      if (scc_[static_cast<size_t>(t.from)] != my_scc ||
+          scc_[static_cast<size_t>(t.to)] != my_scc) {
+        continue;
+      }
+      const GuardInfo& g = guards_[ti];
+      bool negs_ok = true;
+      for (int np : g.negated_phi) {
+        if (type[static_cast<size_t>(np)]) {
+          negs_ok = false;
+          break;
+        }
+      }
+      if (!negs_ok) continue;
+      bool some_pos = false;
+      for (int dp : g.disjunct_phi) {
+        if (type[static_cast<size_t>(dp)]) {
+          some_pos = true;
+          break;
+        }
+      }
+      if (some_pos) usable.push_back(static_cast<int>(ti));
+    }
+    // Reachability from entry over usable transitions.
+    std::set<int> reach = {entry};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (int ti : usable) {
+        const ATransition& t =
+            automaton_.transitions()[static_cast<size_t>(ti)];
+        if (reach.count(t.from) > 0 && reach.insert(t.to).second) grew = true;
+      }
+    }
+    for (int ti : usable) {
+      const ATransition& t = automaton_.transitions()[static_cast<size_t>(ti)];
+      if (reach.count(t.from) > 0) stage.internal_transitions.push_back(ti);
+    }
+    reachable_cache_ = reach;
+    return stage;
+  }
+
+  /// Fresh constant of the right type for crossing bindings.
+  Value FreshConstant(ValueType type) {
+    int64_t n = const_counter_++;
+    switch (type) {
+      case ValueType::kInt:
+        return Value::Int(-2000000 - n);
+      case ValueType::kString:
+        return Value::Str("~x" + std::to_string(n));
+      case ValueType::kBool:
+        return Value::Bool(n % 2 == 0);
+    }
+    return Value::Int(-2000000 - n);
+  }
+
+  /// Instantiates the bind variables of a crossing disjunct with fresh
+  /// constants (Def. 4.8 condition 5) and records the method.
+  Result<std::pair<Cq, schema::AccessMethodId>> InstantiateCrossing(
+      const Cq& disjunct) {
+    std::optional<schema::AccessMethodId> method;
+    for (const CqAtom& a : disjunct.atoms) {
+      if (a.pred.space == PredSpace::kBind) {
+        if (method.has_value() && *method != a.pred.id) {
+          return Status::InvalidArgument(
+              "crossing disjunct names two access methods");
+        }
+        method = a.pred.id;
+      }
+    }
+    Cq out = disjunct;
+    if (!method.has_value()) {
+      // No binding constraint: any method works for the crossing; pick
+      // one whose relation matches a post atom if possible.
+      schema::AccessMethodId m = 0;
+      for (const CqAtom& a : disjunct.atoms) {
+        if (a.pred.space == PredSpace::kPost) {
+          const std::vector<schema::AccessMethodId>& ms =
+              schema_.methods_on(a.pred.id);
+          if (!ms.empty()) {
+            m = ms[0];
+            break;
+          }
+        }
+      }
+      return std::make_pair(out, m);
+    }
+    // Substitute bind-atom variables by fresh constants everywhere.
+    std::map<std::string, Value> subst;
+    const schema::AccessMethod& am = schema_.method(*method);
+    const schema::Relation& rel = schema_.relation(am.relation);
+    for (CqAtom& a : out.atoms) {
+      if (a.pred.space != PredSpace::kBind) continue;
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        if (!a.terms[i].is_var()) continue;
+        ValueType vt = rel.position_types[static_cast<size_t>(
+            am.input_positions[i])];
+        auto [it, inserted] =
+            subst.emplace(a.terms[i].var_name(), FreshConstant(vt));
+        (void)inserted;
+        (void)it;
+      }
+    }
+    auto apply = [&](logic::Term& t) {
+      if (!t.is_var()) return;
+      auto it = subst.find(t.var_name());
+      if (it != subst.end()) t = logic::Term::Const(it->second);
+    };
+    for (CqAtom& a : out.atoms) {
+      for (logic::Term& t : a.terms) apply(t);
+    }
+    for (auto& [l, r] : out.neqs) {
+      apply(l);
+      apply(r);
+    }
+    return std::make_pair(out, *method);
+  }
+
+  /// Enumerates monotone supersets of `type` (including equality when
+  /// allowed) and calls fn.
+  void ForEachSuperset(const std::vector<bool>& type, bool strict,
+                       const std::function<void(const std::vector<bool>&)>& fn) {
+    std::vector<size_t> free_idx;
+    for (size_t i = 0; i < type.size(); ++i) {
+      if (!type[i]) free_idx.push_back(i);
+    }
+    size_t combos = size_t{1} << free_idx.size();
+    for (size_t mask = 0; mask < combos; ++mask) {
+      if (strict && mask == 0) continue;
+      std::vector<bool> next = type;
+      for (size_t b = 0; b < free_idx.size(); ++b) {
+        if (mask & (size_t{1} << b)) next[free_idx[b]] = true;
+      }
+      fn(next);
+      if (overflow_) return;
+    }
+  }
+
+  Status Dfs(int entry, const std::vector<bool>& type,
+             std::vector<Stage>* stages) {
+    if (overflow_) {
+      return Status::ResourceExhausted(
+          "progressive decomposition exceeded max_variants");
+    }
+    if (stages->size() >= options_.max_stages) return Status::OK();
+    Stage stage = BuildStage(entry, type);
+    std::set<int> reach = reachable_cache_;
+
+    // Option 1: finish here if an accepting state is reachable.
+    bool accepting_reachable = false;
+    for (int s : reach) {
+      if (automaton_.IsAccepting(s)) {
+        accepting_reachable = true;
+        break;
+      }
+    }
+    if (accepting_reachable) {
+      ProgressiveAutomaton variant;
+      variant.automaton = &automaton_;
+      variant.stages = *stages;
+      variant.stages.push_back(stage);
+      variant.phi = phi_;
+      variants_.push_back(std::move(variant));
+      if (variants_.size() >= options_.max_variants) {
+        overflow_ = true;
+        return Status::ResourceExhausted(
+            "progressive decomposition exceeded max_variants");
+      }
+    }
+
+    // Option 2: cross to a next stage — either a type flip within the
+    // same SCC or a move to another SCC (the stage sequence of Def. 4.8
+    // condition 5, with flips splitting an SCC into several stages).
+    int my_scc = scc_[static_cast<size_t>(entry)];
+    for (size_t ti = 0; ti < automaton_.transitions().size(); ++ti) {
+      const ATransition& t = automaton_.transitions()[ti];
+      if (reach.count(t.from) == 0) continue;
+      bool same_scc = scc_[static_cast<size_t>(t.to)] == my_scc &&
+                      scc_[static_cast<size_t>(t.from)] == my_scc;
+      const GuardInfo& g = guards_[ti];
+      for (size_t di = 0; di < g.positive.disjuncts.size(); ++di) {
+        Result<std::pair<Cq, schema::AccessMethodId>> inst =
+            InstantiateCrossing(g.positive.disjuncts[di]);
+        if (!inst.ok()) continue;
+        Status status = Status::OK();
+        ForEachSuperset(type, /*strict=*/same_scc, [&](const std::vector<
+                                                       bool>& next_type) {
+          // Crossing requirements: the realized disjunct's ϕ̃ true and
+          // all γ̃ false in the next type.
+          if (!next_type[static_cast<size_t>(g.disjunct_phi[di])]) return;
+          for (int np : g.negated_phi) {
+            if (next_type[static_cast<size_t>(np)]) return;
+          }
+          std::vector<Stage> extended = *stages;
+          Stage crossing_stage = stage;
+          crossing_stage.crossing_transition = static_cast<int>(ti);
+          crossing_stage.crossing_disjunct = inst.value().first;
+          crossing_stage.crossing_method = inst.value().second;
+          extended.push_back(std::move(crossing_stage));
+          Status s = Dfs(t.to, next_type, &extended);
+          if (!s.ok()) status = s;
+        });
+        if (!status.ok() && overflow_) return status;
+      }
+    }
+    return Status::OK();
+  }
+
+  const AAutomaton& automaton_;
+  const schema::Schema& schema_;
+  const DecomposeOptions& options_;
+  std::vector<GuardInfo> guards_;
+  std::vector<PosFormulaPtr> phi_;
+  std::vector<int> scc_;
+  int num_sccs_ = 0;
+  int64_t const_counter_ = 0;
+  std::vector<ProgressiveAutomaton> variants_;
+  bool overflow_ = false;
+  mutable std::set<int> reachable_cache_;
+};
+
+}  // namespace
+
+Result<std::vector<ProgressiveAutomaton>> DecomposeToProgressive(
+    const AAutomaton& automaton, const schema::Schema& schema,
+    const DecomposeOptions& options) {
+  ACCLTL_RETURN_IF_ERROR(automaton.Validate());
+  Decomposer d(automaton, schema, options);
+  return d.Run();
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4.10: the Datalog reduction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string RelName(const schema::Schema& schema, schema::RelationId r) {
+  return schema.relation(r).name;
+}
+
+/// Rewrites a (pre|post)-space CQ atom into a Datalog atom over the
+/// stage-i view predicates.
+datalog::DlAtom ViewAtom(const schema::Schema& schema, const CqAtom& a,
+                         int stage) {
+  datalog::DlAtom out;
+  out.pred = "V_" + RelName(schema, a.pred.id) + "_" + std::to_string(stage);
+  out.terms = a.terms;
+  return out;
+}
+
+}  // namespace
+
+Result<DatalogReduction> BuildDatalogReduction(const ProgressiveAutomaton& pa,
+                                               const schema::Schema& schema) {
+  DatalogReduction out;
+  datalog::Program& prog = out.program;
+  const AAutomaton& automaton = *pa.automaton;
+  int h = static_cast<int>(pa.stages.size());
+  assert(h >= 1);
+
+  auto stage_pred = [](int i) { return "Stage_" + std::to_string(i); };
+  auto typeok_pred = [](int i) { return "TypeOK_" + std::to_string(i); };
+  auto bg = [&](schema::RelationId r, int i) {
+    return "BG_" + RelName(schema, r) + "_" + std::to_string(i);
+  };
+  auto xbg = [&](schema::RelationId r, int i) {
+    return "XBG_" + RelName(schema, r) + "_" + std::to_string(i);
+  };
+  auto view = [&](schema::RelationId r, int i) {
+    return "V_" + RelName(schema, r) + "_" + std::to_string(i);
+  };
+
+  // Stage_1 is reachable from the start.
+  prog.AddRule(datalog::DlRule{datalog::DlAtom{stage_pred(1), {}}, {}});
+
+  int rename_counter = 0;
+  auto fresh_var = [&] {
+    return logic::Term::Var("r$" + std::to_string(rename_counter++));
+  };
+
+  // Every view predicate must be intensional even when no access can
+  // populate it (otherwise it would default to an extensional relation
+  // the containment adversary may fill). A tautological self-rule makes
+  // it IDB without deriving anything.
+  for (int i = 1; i <= h; ++i) {
+    for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+      datalog::DlRule self;
+      std::vector<logic::Term> vars;
+      for (int pidx = 0; pidx < schema.relation(r).arity(); ++pidx) {
+        vars.push_back(fresh_var());
+      }
+      self.head = datalog::DlAtom{view(r, i), vars};
+      self.body.push_back(datalog::DlAtom{view(r, i), vars});
+      prog.AddRule(std::move(self));
+    }
+  }
+
+  // --- Per-stage view-accumulation rules -----------------------------------
+  for (int i = 1; i <= h; ++i) {
+    const Stage& stage = pa.stages[static_cast<size_t>(i - 1)];
+    for (int ti : stage.internal_transitions) {
+      const ATransition& t =
+          automaton.transitions()[static_cast<size_t>(ti)];
+      PosFormulaPtr pos =
+          t.guard.positive ? t.guard.positive : PosFormula::True();
+      Result<logic::Ucq> ucq = logic::NormalizeToUcq(pos, {}, schema);
+      if (!ucq.ok()) return ucq.status();
+      logic::Ucq positive = ucq.value();
+      if (pos->kind() == logic::NodeKind::kTrue) {
+        positive.disjuncts = {Cq{}};
+      }
+      for (const Cq& d : positive.disjuncts) {
+        // Only disjuncts whose ϕ̃ is true in this stage's type can fire
+        // here (monotonicity: firing makes ϕ̃ true by end of stage).
+        int phi_idx = -1;
+        PosFormulaPtr shifted = PostShiftDisjunct(d);
+        for (size_t k = 0; k < pa.phi.size(); ++k) {
+          if (PosFormula::Equal(pa.phi[k], shifted)) {
+            phi_idx = static_cast<int>(k);
+            break;
+          }
+        }
+        if (phi_idx >= 0 && !stage.type[static_cast<size_t>(phi_idx)]) {
+          continue;
+        }
+        // Split atoms; the accessed relation gains one new tuple per
+        // Datalog step. NOTE(paper-gap): the appendix's construction
+        // adds response tuples one at a time; within a stage this is
+        // justified by condition 4's free-replay property.
+        std::vector<const CqAtom*> pre, post, bind;
+        for (const CqAtom& a : d.atoms) {
+          switch (a.pred.space) {
+            case PredSpace::kPre:
+              pre.push_back(&a);
+              break;
+            case PredSpace::kPost:
+              post.push_back(&a);
+              break;
+            case PredSpace::kBind:
+              bind.push_back(&a);
+              break;
+            case PredSpace::kPlain:
+              break;
+          }
+        }
+        std::optional<schema::AccessMethodId> method;
+        if (!bind.empty()) method = bind[0]->pred.id;
+
+        // Choose the subset of post atoms denoting the new tuple; all
+        // must unify with one head tuple over the accessed relation.
+        size_t subsets = size_t{1} << post.size();
+        for (size_t mask = 1; mask < subsets; ++mask) {
+          std::optional<schema::RelationId> target;
+          std::vector<const CqAtom*> as_new, as_old;
+          bool ok = true;
+          for (size_t b = 0; b < post.size(); ++b) {
+            if (mask & (size_t{1} << b)) {
+              if (target.has_value() && *target != post[b]->pred.id) {
+                ok = false;
+                break;
+              }
+              target = post[b]->pred.id;
+              as_new.push_back(post[b]);
+            } else {
+              as_old.push_back(post[b]);
+            }
+          }
+          if (!ok || !target.has_value()) continue;
+          if (method.has_value() &&
+              schema.method(*method).relation != *target) {
+            continue;
+          }
+          // Unify all new atoms with the head tuple (term-level MGU).
+          std::map<std::string, logic::Term> mgu;
+          std::function<logic::Term(logic::Term)> res =
+              [&](logic::Term x) {
+                while (x.is_var()) {
+                  auto it = mgu.find(x.var_name());
+                  if (it == mgu.end()) break;
+                  x = it->second;
+                }
+                return x;
+              };
+          bool unified = true;
+          for (size_t b = 1; b < as_new.size() && unified; ++b) {
+            for (size_t p = 0; p < as_new[b]->terms.size(); ++p) {
+              logic::Term x = res(as_new[0]->terms[p]);
+              logic::Term y = res(as_new[b]->terms[p]);
+              if (x == y) continue;
+              if (x.is_var()) {
+                mgu[x.var_name()] = y;
+              } else if (y.is_var()) {
+                mgu[y.var_name()] = x;
+              } else {
+                unified = false;
+                break;
+              }
+            }
+          }
+          if (!unified) continue;
+          // Binding agreement: bind atom terms equal head tuple's input
+          // positions.
+          if (method.has_value()) {
+            const schema::AccessMethod& am = schema.method(*method);
+            for (const CqAtom* batom : bind) {
+              for (size_t bi = 0; bi < batom->terms.size() && unified;
+                   ++bi) {
+                logic::Term x = res(batom->terms[bi]);
+                logic::Term y = res(
+                    as_new[0]->terms[static_cast<size_t>(
+                        am.input_positions[bi])]);
+                if (x == y) continue;
+                if (x.is_var()) {
+                  mgu[x.var_name()] = y;
+                } else if (y.is_var()) {
+                  mgu[y.var_name()] = x;
+                } else {
+                  unified = false;
+                }
+              }
+            }
+            if (!unified) continue;
+          }
+          auto subst_atom = [&](const CqAtom& a) {
+            CqAtom c = a;
+            for (logic::Term& term : c.terms) term = res(term);
+            return c;
+          };
+          datalog::DlRule rule;
+          CqAtom head_atom = subst_atom(*as_new[0]);
+          rule.head = datalog::DlAtom{view(*target, i), head_atom.terms};
+          rule.body.push_back(datalog::DlAtom{stage_pred(i), {}});
+          rule.body.push_back(
+              datalog::DlAtom{bg(*target, i), head_atom.terms});
+          for (const CqAtom* a : pre) {
+            rule.body.push_back(ViewAtom(schema, subst_atom(*a), i));
+          }
+          for (const CqAtom* a : as_old) {
+            rule.body.push_back(ViewAtom(schema, subst_atom(*a), i));
+          }
+          prog.AddRule(std::move(rule));
+        }
+      }
+    }
+
+    // TypeOK_i: concrete witnesses for every Φ sentence the type claims
+    // true (used by crossing/goal rules; justifies free replay).
+    std::vector<datalog::DlAtom> typeok_body = {
+        datalog::DlAtom{stage_pred(i), {}}};
+    for (size_t k = 0; k < pa.phi.size(); ++k) {
+      if (!stage.type[k]) continue;
+      if (pa.phi[k]->kind() == logic::NodeKind::kTrue) continue;
+      std::string tok = "TOK_" + std::to_string(i) + "_" + std::to_string(k);
+      Result<logic::Ucq> ucq = logic::NormalizeToUcq(pa.phi[k], {}, schema);
+      if (!ucq.ok()) return ucq.status();
+      for (const Cq& d : ucq.value().disjuncts) {
+        datalog::DlRule rule;
+        rule.head = datalog::DlAtom{tok, {}};
+        rule.body.push_back(datalog::DlAtom{stage_pred(i), {}});
+        // Rename disjunct variables apart from other rules.
+        std::map<std::string, logic::Term> ren;
+        for (const CqAtom& a : d.atoms) {
+          CqAtom c = a;
+          for (logic::Term& term : c.terms) {
+            if (term.is_var()) {
+              auto [it, inserted] = ren.emplace(term.var_name(), fresh_var());
+              term = it->second;
+            }
+          }
+          rule.body.push_back(ViewAtom(schema, c, i));
+        }
+        prog.AddRule(std::move(rule));
+      }
+      typeok_body.push_back(datalog::DlAtom{tok, {}});
+    }
+    prog.AddRule(
+        datalog::DlRule{datalog::DlAtom{typeok_pred(i), {}}, typeok_body});
+
+    // Crossing into stage i+1.
+    if (i < h) {
+      const Cq& cd = stage.crossing_disjunct;
+      datalog::DlRule rule;
+      rule.head = datalog::DlAtom{stage_pred(i + 1), {}};
+      rule.body.push_back(datalog::DlAtom{stage_pred(i), {}});
+      rule.body.push_back(datalog::DlAtom{typeok_pred(i), {}});
+      schema::RelationId xrel = schema.method(stage.crossing_method).relation;
+      for (const CqAtom& a : cd.atoms) {
+        if (a.pred.space == PredSpace::kBind) continue;  // constants already
+        if (a.pred.space == PredSpace::kPre) {
+          rule.body.push_back(ViewAtom(schema, a, i));
+        } else {
+          // Post atom: revealed earlier or by the crossing access.
+          // Encode the "by the crossing" option only for the accessed
+          // relation; generate both variants as separate rules would
+          // double the rule count — here we use the XBG option when the
+          // relation matches, plus a view option rule below.
+          if (a.pred.id == xrel) {
+            rule.body.push_back(
+                datalog::DlAtom{xbg(a.pred.id, i), a.terms});
+          } else {
+            rule.body.push_back(ViewAtom(schema, a, i));
+          }
+        }
+      }
+      prog.AddRule(std::move(rule));
+
+      // Views carry over, plus the crossing tuples that agree with the
+      // (constant) crossing binding.
+      for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+        datalog::DlRule carry;
+        std::vector<logic::Term> vars;
+        for (int pidx = 0; pidx < schema.relation(r).arity(); ++pidx) {
+          vars.push_back(fresh_var());
+        }
+        carry.head = datalog::DlAtom{view(r, i + 1), vars};
+        carry.body.push_back(datalog::DlAtom{stage_pred(i + 1), {}});
+        carry.body.push_back(datalog::DlAtom{view(r, i), vars});
+        prog.AddRule(std::move(carry));
+      }
+      {
+        datalog::DlRule xin;
+        std::vector<logic::Term> pattern;
+        const schema::AccessMethod& am = schema.method(stage.crossing_method);
+        // Pattern: input positions forced to the crossing binding
+        // constants (taken from the instantiated bind atom when
+        // present; otherwise fresh constants are already embedded in
+        // the disjunct or the binding is unconstrained).
+        std::map<int, Value> input_consts;
+        for (const CqAtom& a : cd.atoms) {
+          if (a.pred.space != PredSpace::kBind) continue;
+          for (size_t bi = 0; bi < a.terms.size(); ++bi) {
+            if (a.terms[bi].is_const()) {
+              input_consts[am.input_positions[bi]] = a.terms[bi].value();
+            }
+          }
+        }
+        for (int pidx = 0; pidx < schema.relation(xrel).arity(); ++pidx) {
+          auto it = input_consts.find(pidx);
+          pattern.push_back(it != input_consts.end()
+                                ? logic::Term::Const(it->second)
+                                : fresh_var());
+        }
+        xin.head = datalog::DlAtom{view(xrel, i + 1), pattern};
+        xin.body.push_back(datalog::DlAtom{stage_pred(i + 1), {}});
+        xin.body.push_back(datalog::DlAtom{xbg(xrel, i), pattern});
+        prog.AddRule(std::move(xin));
+      }
+    }
+  }
+
+  // Goal.
+  prog.AddRule(datalog::DlRule{
+      datalog::DlAtom{"Accept", {}},
+      {datalog::DlAtom{stage_pred(h), {}},
+       datalog::DlAtom{typeok_pred(h), {}}}});
+  prog.SetGoal("Accept");
+
+  // --- P′A: the negative constraints ---------------------------------------
+  // For each γ required false through stage L (its last-false stage), a
+  // violation disjunct: γ holds over the backgrounds visible by stage L
+  // (BG_*_1..L and XBG_*_1..L-1), expanded over per-atom stage choices.
+  std::set<std::string> emitted;
+  for (int i = 1; i <= h; ++i) {
+    const Stage& stage = pa.stages[static_cast<size_t>(i - 1)];
+    std::vector<int> gamma_transitions = stage.internal_transitions;
+    if (i < h) gamma_transitions.push_back(stage.crossing_transition);
+    for (int ti : gamma_transitions) {
+      const ATransition& t =
+          automaton.transitions()[static_cast<size_t>(ti)];
+      for (const PosFormulaPtr& gamma : t.guard.negated) {
+        // Horizon: last stage whose type keeps γ̃ false. Crossing
+        // negatives are checked against stage i+1 content.
+        PosFormulaPtr shifted = PostShiftSentence(gamma);
+        int phi_idx = -1;
+        for (size_t k = 0; k < pa.phi.size(); ++k) {
+          if (PosFormula::Equal(pa.phi[k], shifted)) {
+            phi_idx = static_cast<int>(k);
+            break;
+          }
+        }
+        int horizon = i;
+        if (phi_idx >= 0) {
+          for (int j = h; j >= 1; --j) {
+            if (!pa.stages[static_cast<size_t>(j - 1)]
+                     .type[static_cast<size_t>(phi_idx)]) {
+              horizon = std::max(horizon, j);
+              break;
+            }
+          }
+        }
+        std::string key =
+            gamma->ToString(schema) + "@" + std::to_string(horizon);
+        if (!emitted.insert(key).second) continue;
+        Result<logic::Ucq> ucq = logic::NormalizeToUcq(gamma, {}, schema);
+        if (!ucq.ok()) return ucq.status();
+        for (const Cq& d : ucq.value().disjuncts) {
+          // Expand per-atom stage assignments <= horizon.
+          std::vector<datalog::DlAtom> atoms_template;
+          std::function<void(size_t, std::vector<datalog::DlAtom>*)> expand =
+              [&](size_t ai, std::vector<datalog::DlAtom>* acc) {
+                if (ai == d.atoms.size()) {
+                  out.constraint.push_back(datalog::DlCq{*acc});
+                  return;
+                }
+                const CqAtom& a = d.atoms[ai];
+                for (int j = 1; j <= horizon; ++j) {
+                  acc->push_back(datalog::DlAtom{bg(a.pred.id, j), a.terms});
+                  expand(ai + 1, acc);
+                  acc->pop_back();
+                  if (j < horizon) {
+                    acc->push_back(
+                        datalog::DlAtom{xbg(a.pred.id, j), a.terms});
+                    expand(ai + 1, acc);
+                    acc->pop_back();
+                  }
+                }
+              };
+          std::vector<datalog::DlAtom> acc;
+          expand(0, &acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<bool> EmptinessViaDatalog(const AAutomaton& automaton,
+                                 const schema::Schema& schema,
+                                 const DecomposeOptions& options,
+                                 PipelineStats* stats) {
+  // An automaton whose initial state is accepting accepts the empty
+  // path.
+  if (automaton.IsAccepting(automaton.initial())) return false;
+
+  Result<std::vector<ProgressiveAutomaton>> variants =
+      DecomposeToProgressive(automaton, schema, options);
+  if (!variants.ok()) return variants.status();
+  if (stats != nullptr) stats->variants = variants.value().size();
+
+  for (const ProgressiveAutomaton& pa : variants.value()) {
+    Result<DatalogReduction> red = BuildDatalogReduction(pa, schema);
+    if (!red.ok()) return red.status();
+    if (stats != nullptr) {
+      stats->datalog_rules += red.value().program.rules().size();
+      stats->constraint_disjuncts += red.value().constraint.size();
+    }
+    datalog::ContainmentStats cstats;
+    Result<bool> contained = datalog::ContainedInPositive(
+        red.value().program, red.value().constraint, {}, &cstats);
+    if (stats != nullptr) {
+      stats->containment.type_entries += cstats.type_entries;
+      stats->containment.compositions += cstats.compositions;
+      stats->containment.iterations += cstats.iterations;
+    }
+    if (!contained.ok()) return contained.status();
+    if (!contained.value()) return false;  // witness exists: non-empty
+  }
+  return true;  // all variants contained: L(A) empty
+}
+
+}  // namespace automata
+}  // namespace accltl

@@ -1,0 +1,49 @@
+#ifndef ACCLTL_COMMON_RNG_H_
+#define ACCLTL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace accltl {
+
+/// Deterministic pseudo-random generator (SplitMix64) used by workload
+/// generators and property tests, so every test/bench run is exactly
+/// reproducible across platforms (std::mt19937 distributions are not
+/// guaranteed identical across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Uniform(den) < num; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace accltl
+
+#endif  // ACCLTL_COMMON_RNG_H_

@@ -1,0 +1,124 @@
+#ifndef ACCLTL_COMMON_STATUS_H_
+#define ACCLTL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace accltl {
+
+/// Error codes used across the library. Follows the RocksDB/Arrow idiom:
+/// library entry points that can fail return a Status (or Result<T>),
+/// never throw.
+enum class StatusCode {
+  kOk = 0,
+  /// Input violates a documented precondition (bad arity, unknown
+  /// relation, free variable in a sentence, ...).
+  kInvalidArgument,
+  /// A lookup failed (unknown relation / access-method / predicate name).
+  kNotFound,
+  /// A resource bound was exhausted (path length, instance size,
+  /// tableau states); the answer is "unknown", not "no".
+  kResourceExhausted,
+  /// The requested operation is outside the decidable fragment the
+  /// callee implements (e.g. full AccLTL(FO∃+Acc) satisfiability).
+  kUnsupported,
+  /// Internal invariant violation; indicates a library bug.
+  kInternal,
+};
+
+/// Lightweight status object: code + human-readable message.
+///
+/// Example:
+///   Status s = schema.AddRelation(...);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: arity mismatch for R".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+///
+/// Example:
+///   Result<Schema> r = Schema::Parse(text);
+///   if (!r.ok()) return r.status();
+///   const Schema& s = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB style.
+#define ACCLTL_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::accltl::Status _accltl_status = (expr);       \
+    if (!_accltl_status.ok()) return _accltl_status; \
+  } while (0)
+
+}  // namespace accltl
+
+#endif  // ACCLTL_COMMON_STATUS_H_

@@ -1,0 +1,18 @@
+#ifndef ACCLTL_COMMON_STRINGS_H_
+#define ACCLTL_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace accltl {
+
+/// Joins `parts` with `sep`, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace accltl
+
+#endif  // ACCLTL_COMMON_STRINGS_H_

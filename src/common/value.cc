@@ -1,0 +1,61 @@
+#include "src/common/value.h"
+
+namespace accltl {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kString:
+      return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(rep_.index());
+  switch (type()) {
+    case ValueType::kInt:
+      HashCombine(&seed, std::hash<int64_t>()(AsInt()));
+      break;
+    case ValueType::kBool:
+      HashCombine(&seed, std::hash<bool>()(AsBool()));
+      break;
+    case ValueType::kString:
+      HashCombine(&seed, std::hash<std::string>()(AsString()));
+      break;
+  }
+  return seed;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t seed = t.size();
+  for (const Value& v : t) HashCombine(&seed, v.Hash());
+  return seed;
+}
+
+}  // namespace accltl

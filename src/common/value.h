@@ -1,0 +1,98 @@
+#ifndef ACCLTL_COMMON_VALUE_H_
+#define ACCLTL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace accltl {
+
+/// Data types supported at relation positions (§2: "Let Types be some
+/// fixed set of datatypes, including at least the integers and
+/// booleans"). We additionally support strings, which the paper's
+/// running example (names, streets, postcodes) uses throughout.
+enum class ValueType {
+  kInt = 0,
+  kBool = 1,
+  kString = 2,
+};
+
+/// Returns a human-readable name ("int", "bool", "string").
+const char* ValueTypeName(ValueType t);
+
+/// A single data value: a tagged union of int64 / bool / string with
+/// total ordering and hashing, suitable for use in tuples, bindings and
+/// homomorphism tables.
+///
+/// Values are small and cheap to copy for ints/bools; string payloads
+/// use std::string (the library's workloads are logic-bound, not
+/// scan-bound, so interning is not worth the API friction).
+class Value {
+ public:
+  /// Default-constructs the integer 0.
+  Value() : rep_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Requires is_bool().
+  bool AsBool() const { return std::get<bool>(rep_); }
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for diagnostics, e.g. `42`, `true`, `"Jones"`.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+  /// Total order: by type tag first, then payload. Used to keep
+  /// instances in deterministic (sorted) order.
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<int64_t, bool, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+/// A tuple of values (one per relation position, "unnamed perspective").
+using Tuple = std::vector<Value>;
+
+/// Renders e.g. `("Jones", 42)`.
+std::string TupleToString(const Tuple& t);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+/// Combines a hash into a seed (boost::hash_combine recipe).
+inline void HashCombine(size_t* seed, size_t h) {
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace accltl
+
+#endif  // ACCLTL_COMMON_VALUE_H_

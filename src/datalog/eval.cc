@@ -1,0 +1,148 @@
+#include "src/datalog/eval.h"
+
+#include <cassert>
+#include <functional>
+
+namespace accltl {
+namespace datalog {
+
+namespace {
+
+using Env = std::map<std::string, Value>;
+
+/// Matches `atom` against tuples of `source`, extending `env`;
+/// calls `k` per match. Returns true if `k` ever returned true.
+bool MatchAtom(const DlAtom& atom, const std::set<Tuple>* source, Env* env,
+               const std::function<bool()>& k) {
+  if (source == nullptr) return false;
+  for (const Tuple& tuple : *source) {
+    if (tuple.size() != atom.terms.size()) continue;
+    std::vector<std::string> newly;
+    bool ok = true;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const logic::Term& t = atom.terms[i];
+      if (t.is_const()) {
+        if (t.value() != tuple[i]) {
+          ok = false;
+          break;
+        }
+      } else {
+        auto it = env->find(t.var_name());
+        if (it != env->end()) {
+          if (it->second != tuple[i]) {
+            ok = false;
+            break;
+          }
+        } else {
+          (*env)[t.var_name()] = tuple[i];
+          newly.push_back(t.var_name());
+        }
+      }
+    }
+    if (ok && k()) return true;
+    for (const std::string& v : newly) env->erase(v);
+  }
+  return false;
+}
+
+/// Evaluates a rule body where body atom `delta_pos` (if >= 0) reads
+/// from `delta` instead of `full`; emits head facts via `emit`.
+void FireRule(const DlRule& rule, const DlDatabase& full,
+              const DlDatabase* delta, int delta_pos, EvalStats* stats,
+              const std::function<void(Tuple)>& emit) {
+  Env env;
+  std::function<bool(size_t)> rec = [&](size_t i) -> bool {
+    if (i == rule.body.size()) {
+      Tuple head;
+      head.reserve(rule.head.terms.size());
+      for (const logic::Term& t : rule.head.terms) {
+        if (t.is_const()) {
+          head.push_back(t.value());
+        } else {
+          auto it = env.find(t.var_name());
+          assert(it != env.end() && "unsafe rule slipped past Validate");
+          head.push_back(it->second);
+        }
+      }
+      if (stats != nullptr) ++stats->rule_firings;
+      emit(std::move(head));
+      return false;  // enumerate all matches
+    }
+    const DlAtom& atom = rule.body[i];
+    const std::set<Tuple>* source =
+        (static_cast<int>(i) == delta_pos && delta != nullptr)
+            ? delta->GetTuples(atom.pred)
+            : full.GetTuples(atom.pred);
+    return MatchAtom(atom, source, &env, [&] { return rec(i + 1); });
+  };
+  rec(0);
+}
+
+}  // namespace
+
+DlDatabase Evaluate(const Program& program, const DlDatabase& edb,
+                    EvalStats* stats) {
+  DlDatabase full = edb;
+  // Round 0: rules as if all their IDB body atoms were deltas — i.e.
+  // plain evaluation once (covers EDB-only rules and facts).
+  DlDatabase delta;
+  for (const DlRule& r : program.rules()) {
+    FireRule(r, full, nullptr, -1, stats, [&](Tuple t) {
+      if (!full.Contains(r.head.pred, t)) {
+        delta.AddFact(r.head.pred, t);
+      }
+    });
+  }
+  while (delta.TotalFacts() > 0) {
+    if (stats != nullptr) {
+      ++stats->iterations;
+      stats->facts_derived += delta.TotalFacts();
+    }
+    full.UnionWith(delta);
+    DlDatabase next_delta;
+    for (const DlRule& r : program.rules()) {
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        if (!program.IsIdb(r.body[i].pred)) continue;
+        // Semi-naive: position i reads the delta; positions < i that are
+        // IDB read the full relation (new ∪ old), which over-counts
+        // derivations but never misses or duplicates facts.
+        FireRule(r, full, &delta, static_cast<int>(i), stats, [&](Tuple t) {
+          if (!full.Contains(r.head.pred, t) &&
+              !next_delta.Contains(r.head.pred, t)) {
+            next_delta.AddFact(r.head.pred, t);
+          }
+        });
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return full;
+}
+
+DlDatabase EvaluateNaive(const Program& program, const DlDatabase& edb,
+                         EvalStats* stats) {
+  DlDatabase full = edb;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (stats != nullptr) ++stats->iterations;
+    for (const DlRule& r : program.rules()) {
+      FireRule(r, full, nullptr, -1, stats, [&](Tuple t) {
+        if (full.AddFact(r.head.pred, std::move(t))) {
+          changed = true;
+          if (stats != nullptr) ++stats->facts_derived;
+        }
+      });
+    }
+  }
+  return full;
+}
+
+bool Accepts(const Program& program, const DlDatabase& edb) {
+  DlDatabase result = Evaluate(program, edb);
+  const std::set<Tuple>* goal = result.GetTuples(program.goal());
+  return goal != nullptr && !goal->empty();
+}
+
+}  // namespace datalog
+}  // namespace accltl

@@ -1,0 +1,38 @@
+#ifndef ACCLTL_DATALOG_EVAL_H_
+#define ACCLTL_DATALOG_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "src/datalog/program.h"
+
+namespace accltl {
+namespace datalog {
+
+/// Statistics of a bottom-up evaluation (for the benchmarks).
+struct EvalStats {
+  size_t iterations = 0;
+  size_t facts_derived = 0;
+  size_t rule_firings = 0;
+};
+
+/// Computes the least fixpoint P(D) (§4.1) by semi-naive bottom-up
+/// evaluation: each iteration joins rule bodies with at least one
+/// delta-bound IDB atom, so settled facts are never re-derived.
+/// Returns the database extended with all derived IDB facts.
+DlDatabase Evaluate(const Program& program, const DlDatabase& edb,
+                    EvalStats* stats = nullptr);
+
+/// Naive (re-derive everything each round) evaluation — the baseline
+/// the semi-naive benchmark compares against; results are identical.
+DlDatabase EvaluateNaive(const Program& program, const DlDatabase& edb,
+                         EvalStats* stats = nullptr);
+
+/// True iff the program accepts `edb`: goal predicate non-empty in the
+/// least fixpoint.
+bool Accepts(const Program& program, const DlDatabase& edb);
+
+}  // namespace datalog
+}  // namespace accltl
+
+#endif  // ACCLTL_DATALOG_EVAL_H_

@@ -1,0 +1,131 @@
+#include "src/datalog/program.h"
+
+#include <functional>
+
+#include "src/common/strings.h"
+
+namespace accltl {
+namespace datalog {
+
+std::string DlAtom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(terms.size());
+  for (const logic::Term& t : terms) parts.push_back(t.ToString());
+  return pred + "(" + Join(parts, ", ") + ")";
+}
+
+std::string DlRule::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const DlAtom& a : body) parts.push_back(a.ToString());
+  return head.ToString() + " :- " + Join(parts, ", ") + ".";
+}
+
+std::string DlDatabase::ToString() const {
+  std::string out;
+  for (const auto& [p, ts] : rels_) {
+    for (const Tuple& t : ts) out += p + TupleToString(t) + "\n";
+  }
+  return out;
+}
+
+std::set<std::string> Program::IdbPredicates() const {
+  std::set<std::string> out;
+  for (const DlRule& r : rules_) out.insert(r.head.pred);
+  return out;
+}
+
+std::set<std::string> Program::EdbPredicates() const {
+  std::set<std::string> idb = IdbPredicates();
+  std::set<std::string> out;
+  for (const DlRule& r : rules_) {
+    for (const DlAtom& a : r.body) {
+      if (idb.count(a.pred) == 0) out.insert(a.pred);
+    }
+  }
+  return out;
+}
+
+bool Program::IsIdb(const std::string& pred) const {
+  for (const DlRule& r : rules_) {
+    if (r.head.pred == pred) return true;
+  }
+  return false;
+}
+
+std::vector<const DlRule*> Program::RulesFor(const std::string& pred) const {
+  std::vector<const DlRule*> out;
+  for (const DlRule& r : rules_) {
+    if (r.head.pred == pred) out.push_back(&r);
+  }
+  return out;
+}
+
+bool Program::IsRecursive() const {
+  // Dependency edges: head -> IDB body predicates; detect a cycle.
+  std::set<std::string> idb = IdbPredicates();
+  std::map<std::string, std::set<std::string>> deps;
+  for (const DlRule& r : rules_) {
+    for (const DlAtom& a : r.body) {
+      if (idb.count(a.pred)) deps[r.head.pred].insert(a.pred);
+    }
+  }
+  std::map<std::string, int> state;  // 0 unvisited, 1 in-stack, 2 done
+  std::function<bool(const std::string&)> has_cycle =
+      [&](const std::string& p) -> bool {
+    int& s = state[p];
+    if (s == 1) return true;
+    if (s == 2) return false;
+    s = 1;
+    for (const std::string& d : deps[p]) {
+      if (has_cycle(d)) return true;
+    }
+    s = 2;
+    return false;
+  };
+  for (const std::string& p : idb) {
+    if (has_cycle(p)) return true;
+  }
+  return false;
+}
+
+Status Program::Validate() const {
+  if (goal_.empty()) {
+    return Status::InvalidArgument("program has no goal predicate");
+  }
+  std::map<std::string, size_t> arity;
+  auto check_arity = [&](const DlAtom& a) -> Status {
+    auto [it, inserted] = arity.emplace(a.pred, a.terms.size());
+    if (!inserted && it->second != a.terms.size()) {
+      return Status::InvalidArgument("inconsistent arity for predicate " +
+                                     a.pred);
+    }
+    return Status::OK();
+  };
+  for (const DlRule& r : rules_) {
+    ACCLTL_RETURN_IF_ERROR(check_arity(r.head));
+    std::set<std::string> body_vars;
+    for (const DlAtom& a : r.body) {
+      ACCLTL_RETURN_IF_ERROR(check_arity(a));
+      for (const logic::Term& t : a.terms) {
+        if (t.is_var()) body_vars.insert(t.var_name());
+      }
+    }
+    for (const logic::Term& t : r.head.terms) {
+      if (t.is_var() && body_vars.count(t.var_name()) == 0) {
+        return Status::InvalidArgument(
+            "unsafe rule (head variable not in body): " + r.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string out = "goal: " + goal_ + "\n";
+  for (const DlRule& r : rules_) out += r.ToString() + "\n";
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace accltl

@@ -1,0 +1,127 @@
+#ifndef ACCLTL_DATALOG_PROGRAM_H_
+#define ACCLTL_DATALOG_PROGRAM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/logic/term.h"
+
+namespace accltl {
+namespace datalog {
+
+/// An atom of a Datalog rule: predicate name plus terms (variables or
+/// constants). Predicates are identified by name; the split into
+/// extensional (EDB) and intensional (IDB) predicates is derived from
+/// rule heads (§4.1).
+struct DlAtom {
+  std::string pred;
+  std::vector<logic::Term> terms;
+
+  std::string ToString() const;
+
+  friend bool operator==(const DlAtom& a, const DlAtom& b) {
+    return a.pred == b.pred && a.terms == b.terms;
+  }
+  friend bool operator<(const DlAtom& a, const DlAtom& b) {
+    if (a.pred != b.pred) return a.pred < b.pred;
+    return a.terms < b.terms;
+  }
+};
+
+/// A rule head :- body (body conjunctive, possibly empty for facts).
+struct DlRule {
+  DlAtom head;
+  std::vector<DlAtom> body;
+
+  std::string ToString() const;
+};
+
+/// A database over string-named predicates.
+class DlDatabase {
+ public:
+  bool AddFact(const std::string& pred, Tuple t) {
+    return rels_[pred].insert(std::move(t)).second;
+  }
+
+  const std::set<Tuple>* GetTuples(const std::string& pred) const {
+    auto it = rels_.find(pred);
+    return it == rels_.end() ? nullptr : &it->second;
+  }
+
+  bool Contains(const std::string& pred, const Tuple& t) const {
+    auto it = rels_.find(pred);
+    return it != rels_.end() && it->second.count(t) > 0;
+  }
+
+  size_t TotalFacts() const {
+    size_t n = 0;
+    for (const auto& [p, ts] : rels_) n += ts.size();
+    return n;
+  }
+
+  const std::map<std::string, std::set<Tuple>>& relations() const {
+    return rels_;
+  }
+
+  void UnionWith(const DlDatabase& other) {
+    for (const auto& [p, ts] : other.rels_) {
+      rels_[p].insert(ts.begin(), ts.end());
+    }
+  }
+
+  friend bool operator==(const DlDatabase& a, const DlDatabase& b) {
+    return a.rels_ == b.rels_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::set<Tuple>> rels_;
+};
+
+/// A Datalog program (§4.1): rules plus a distinguished goal predicate.
+/// The program "accepts" a database when the goal predicate is non-empty
+/// in the least fixpoint.
+class Program {
+ public:
+  Program() = default;
+
+  void AddRule(DlRule rule) { rules_.push_back(std::move(rule)); }
+  void SetGoal(std::string goal) { goal_ = std::move(goal); }
+
+  const std::vector<DlRule>& rules() const { return rules_; }
+  const std::string& goal() const { return goal_; }
+
+  /// Predicates appearing in some rule head.
+  std::set<std::string> IdbPredicates() const;
+
+  /// Predicates appearing only in bodies.
+  std::set<std::string> EdbPredicates() const;
+
+  bool IsIdb(const std::string& pred) const;
+
+  /// Rules whose head predicate is `pred`.
+  std::vector<const DlRule*> RulesFor(const std::string& pred) const;
+
+  /// True iff some IDB predicate depends (transitively) on itself.
+  bool IsRecursive() const;
+
+  /// Checks safety (every head variable occurs in the body) and arity
+  /// consistency per predicate.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<DlRule> rules_;
+  std::string goal_;
+};
+
+}  // namespace datalog
+}  // namespace accltl
+
+#endif  // ACCLTL_DATALOG_PROGRAM_H_

@@ -1,0 +1,402 @@
+#include "src/logic/cq.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace accltl {
+namespace logic {
+
+std::set<std::string> Cq::Vars() const {
+  std::set<std::string> vars(head.begin(), head.end());
+  for (const CqAtom& a : atoms) {
+    for (const Term& t : a.terms) {
+      if (t.is_var()) vars.insert(t.var_name());
+    }
+  }
+  for (const auto& [l, r] : neqs) {
+    if (l.is_var()) vars.insert(l.var_name());
+    if (r.is_var()) vars.insert(r.var_name());
+  }
+  for (const auto& [l, r] : head_eqs) {
+    vars.insert(l);
+    vars.insert(r);
+  }
+  for (const auto& [v, c] : head_consts) {
+    vars.insert(v);
+    (void)c;
+  }
+  return vars;
+}
+
+std::set<Value> Cq::Constants() const {
+  std::set<Value> out;
+  for (const CqAtom& a : atoms) {
+    for (const Term& t : a.terms) {
+      if (t.is_const()) out.insert(t.value());
+    }
+  }
+  for (const auto& [l, r] : neqs) {
+    if (l.is_const()) out.insert(l.value());
+    if (r.is_const()) out.insert(r.value());
+  }
+  return out;
+}
+
+PosFormulaPtr Cq::ToFormula() const {
+  std::vector<PosFormulaPtr> conjuncts;
+  for (const CqAtom& a : atoms) {
+    conjuncts.push_back(PosFormula::MakeAtom(a.pred, a.terms));
+  }
+  for (const auto& [l, r] : neqs) {
+    conjuncts.push_back(PosFormula::Neq(l, r));
+  }
+  for (const auto& [l, r] : head_eqs) {
+    conjuncts.push_back(PosFormula::Eq(Term::Var(l), Term::Var(r)));
+  }
+  for (const auto& [v, c] : head_consts) {
+    conjuncts.push_back(PosFormula::Eq(Term::Var(v), Term::Const(c)));
+  }
+  PosFormulaPtr body = PosFormula::And(std::move(conjuncts));
+  std::set<std::string> head_set(head.begin(), head.end());
+  std::vector<std::string> exist;
+  for (const std::string& v : Vars()) {
+    if (head_set.count(v) == 0) exist.push_back(v);
+  }
+  return PosFormula::Exists(std::move(exist), std::move(body));
+}
+
+std::string Cq::ToString(const schema::Schema& schema) const {
+  std::vector<std::string> parts;
+  for (const CqAtom& a : atoms) {
+    std::vector<std::string> ts;
+    ts.reserve(a.terms.size());
+    for (const Term& t : a.terms) ts.push_back(t.ToString());
+    parts.push_back(PredicateName(a.pred, schema) + "(" + Join(ts, ",") +
+                    ")");
+  }
+  for (const auto& [l, r] : neqs) {
+    parts.push_back(l.ToString() + "!=" + r.ToString());
+  }
+  for (const auto& [l, r] : head_eqs) {
+    parts.push_back(l + "=" + r);
+  }
+  return "(" + Join(head, ",") + ") :- " + Join(parts, ", ");
+}
+
+PosFormulaPtr Ucq::ToFormula() const {
+  std::vector<PosFormulaPtr> parts;
+  parts.reserve(disjuncts.size());
+  for (const Cq& q : disjuncts) parts.push_back(q.ToFormula());
+  return PosFormula::Or(std::move(parts));
+}
+
+bool Ucq::UsesInequality() const {
+  return std::any_of(disjuncts.begin(), disjuncts.end(),
+                     [](const Cq& q) { return q.UsesInequality(); });
+}
+
+std::string Ucq::ToString(const schema::Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts.size());
+  for (const Cq& q : disjuncts) parts.push_back(q.ToString(schema));
+  return Join(parts, "\n  UNION ");
+}
+
+namespace {
+
+/// A disjunct under construction: atoms plus raw (un-resolved)
+/// equalities and inequalities.
+struct PartialCq {
+  std::vector<CqAtom> atoms;
+  std::vector<std::pair<Term, Term>> eqs;
+  std::vector<std::pair<Term, Term>> neqs;
+};
+
+Term ApplySubst(const std::map<std::string, Term>& subst, const Term& t) {
+  if (!t.is_var()) return t;
+  auto it = subst.find(t.var_name());
+  return it == subst.end() ? t : it->second;
+}
+
+/// Recursively flattens into disjuncts; Exists introduces fresh names.
+Status Flatten(const PosFormulaPtr& f, std::map<std::string, Term> subst,
+               int* counter, size_t max_disjuncts,
+               std::vector<PartialCq>* out) {
+  switch (f->kind()) {
+    case NodeKind::kTrue:
+      out->push_back(PartialCq{});
+      return Status::OK();
+    case NodeKind::kFalse:
+      return Status::OK();
+    case NodeKind::kAtom: {
+      PartialCq p;
+      CqAtom a;
+      a.pred = f->pred();
+      a.terms.reserve(f->terms().size());
+      for (const Term& t : f->terms()) a.terms.push_back(ApplySubst(subst, t));
+      p.atoms.push_back(std::move(a));
+      out->push_back(std::move(p));
+      return Status::OK();
+    }
+    case NodeKind::kEq: {
+      PartialCq p;
+      p.eqs.emplace_back(ApplySubst(subst, f->lhs()),
+                         ApplySubst(subst, f->rhs()));
+      out->push_back(std::move(p));
+      return Status::OK();
+    }
+    case NodeKind::kNeq: {
+      PartialCq p;
+      p.neqs.emplace_back(ApplySubst(subst, f->lhs()),
+                          ApplySubst(subst, f->rhs()));
+      out->push_back(std::move(p));
+      return Status::OK();
+    }
+    case NodeKind::kAnd: {
+      std::vector<PartialCq> acc = {PartialCq{}};
+      for (const PosFormulaPtr& c : f->children()) {
+        std::vector<PartialCq> child;
+        ACCLTL_RETURN_IF_ERROR(
+            Flatten(c, subst, counter, max_disjuncts, &child));
+        std::vector<PartialCq> next;
+        if (acc.size() * child.size() > max_disjuncts) {
+          return Status::ResourceExhausted(
+              "UCQ normalization exceeded max_disjuncts");
+        }
+        for (const PartialCq& a : acc) {
+          for (const PartialCq& b : child) {
+            PartialCq merged = a;
+            merged.atoms.insert(merged.atoms.end(), b.atoms.begin(),
+                                b.atoms.end());
+            merged.eqs.insert(merged.eqs.end(), b.eqs.begin(), b.eqs.end());
+            merged.neqs.insert(merged.neqs.end(), b.neqs.begin(),
+                               b.neqs.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      out->insert(out->end(), acc.begin(), acc.end());
+      return Status::OK();
+    }
+    case NodeKind::kOr: {
+      for (const PosFormulaPtr& c : f->children()) {
+        ACCLTL_RETURN_IF_ERROR(Flatten(c, subst, counter, max_disjuncts, out));
+        if (out->size() > max_disjuncts) {
+          return Status::ResourceExhausted(
+              "UCQ normalization exceeded max_disjuncts");
+        }
+      }
+      return Status::OK();
+    }
+    case NodeKind::kExists: {
+      for (const std::string& v : f->bound_vars()) {
+        subst[v] = Term::Var("v$" + std::to_string((*counter)++));
+      }
+      return Flatten(f->body(), std::move(subst), counter, max_disjuncts,
+                     out);
+    }
+  }
+  return Status::Internal("unknown node kind");
+}
+
+/// Union-find over variable names, with an optional constant per class.
+class Unifier {
+ public:
+  std::string Find(const std::string& v) {
+    auto it = parent_.find(v);
+    if (it == parent_.end()) {
+      parent_[v] = v;
+      return v;
+    }
+    if (it->second == v) return v;
+    std::string root = Find(it->second);
+    parent_[v] = root;
+    return root;
+  }
+
+  /// Returns false on constant conflict.
+  bool UnionVars(const std::string& a, const std::string& b) {
+    std::string ra = Find(a), rb = Find(b);
+    if (ra == rb) return true;
+    parent_[ra] = rb;
+    auto ia = const_.find(ra);
+    if (ia != const_.end()) {
+      Value va = ia->second;
+      const_.erase(ia);
+      return AssignConst(rb, va);
+    }
+    return true;
+  }
+
+  bool AssignConst(const std::string& v, const Value& value) {
+    std::string r = Find(v);
+    auto it = const_.find(r);
+    if (it != const_.end()) return it->second == value;
+    const_[r] = value;
+    return true;
+  }
+
+  /// Resolved term for a variable: its class constant or class rep var.
+  Term Resolve(const std::string& v) {
+    std::string r = Find(v);
+    auto it = const_.find(r);
+    if (it != const_.end()) return Term::Const(it->second);
+    return Term::Var(r);
+  }
+
+  Term ResolveTerm(const Term& t) {
+    return t.is_var() ? Resolve(t.var_name()) : t;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+  std::map<std::string, Value> const_;
+};
+
+/// Resolves equalities; returns nullopt when the disjunct is
+/// unsatisfiable (constant clash or x != x).
+std::optional<Cq> ResolvePartial(const PartialCq& p,
+                                 const std::vector<std::string>& head) {
+  Unifier u;
+  for (const auto& [l, r] : p.eqs) {
+    if (l.is_var() && r.is_var()) {
+      if (!u.UnionVars(l.var_name(), r.var_name())) return std::nullopt;
+    } else if (l.is_var()) {
+      if (!u.AssignConst(l.var_name(), r.value())) return std::nullopt;
+    } else if (r.is_var()) {
+      if (!u.AssignConst(r.var_name(), l.value())) return std::nullopt;
+    } else if (l.value() != r.value()) {
+      return std::nullopt;
+    }
+  }
+  Cq q;
+  q.head = head;
+  for (const CqAtom& a : p.atoms) {
+    CqAtom resolved;
+    resolved.pred = a.pred;
+    resolved.terms.reserve(a.terms.size());
+    for (const Term& t : a.terms) resolved.terms.push_back(u.ResolveTerm(t));
+    q.atoms.push_back(std::move(resolved));
+  }
+  for (const auto& [l, r] : p.neqs) {
+    Term rl = u.ResolveTerm(l), rr = u.ResolveTerm(r);
+    if (rl == rr) return std::nullopt;  // x != x is unsatisfiable
+    if (rl.is_const() && rr.is_const()) continue;  // distinct consts: true
+    q.neqs.emplace_back(std::move(rl), std::move(rr));
+  }
+  // Head variables must survive as themselves; if a head variable was
+  // merged away or set to a constant, record the equation explicitly.
+  for (const std::string& h : head) {
+    Term r = u.Resolve(h);
+    if (r.is_var() && r.var_name() == h) continue;
+    if (r.is_var()) {
+      q.head_eqs.emplace_back(h, r.var_name());
+    } else {
+      q.head_consts.emplace_back(h, r.value());
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+Result<Ucq> NormalizeToUcq(const PosFormulaPtr& f,
+                           const std::vector<std::string>& head,
+                           const schema::Schema& schema,
+                           size_t max_disjuncts) {
+  (void)schema;
+  std::vector<PartialCq> partials;
+  int counter = 0;
+  std::map<std::string, Term> subst;
+  Status s = Flatten(f, subst, &counter, max_disjuncts, &partials);
+  if (!s.ok()) return s;
+  Ucq ucq;
+  ucq.head = head;
+  for (const PartialCq& p : partials) {
+    std::optional<Cq> q = ResolvePartial(p, head);
+    if (q.has_value()) ucq.disjuncts.push_back(std::move(*q));
+  }
+  return ucq;
+}
+
+Result<std::map<std::string, ValueType>> InferVarTypes(
+    const Cq& q, const schema::Schema& schema) {
+  std::map<std::string, ValueType> types;
+  for (const CqAtom& a : q.atoms) {
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (!a.terms[i].is_var()) continue;
+      ValueType t =
+          PredicatePositionType(a.pred, static_cast<int>(i), schema);
+      auto [it, inserted] = types.emplace(a.terms[i].var_name(), t);
+      if (!inserted && it->second != t) {
+        return Status::InvalidArgument("variable " + a.terms[i].var_name() +
+                                       " used at differently-typed "
+                                       "positions");
+      }
+    }
+  }
+  // Variables appearing only in (in)equalities inherit the other side's
+  // type when available; remaining untyped variables default to kInt.
+  for (const auto& [l, r] : q.neqs) {
+    if (l.is_var() && types.find(l.var_name()) == types.end()) {
+      if (r.is_const()) {
+        types[l.var_name()] = r.value().type();
+      } else if (r.is_var()) {
+        auto it = types.find(r.var_name());
+        if (it != types.end()) types[l.var_name()] = it->second;
+      }
+    }
+    if (r.is_var() && types.find(r.var_name()) == types.end()) {
+      if (l.is_const()) {
+        types[r.var_name()] = l.value().type();
+      } else if (l.is_var()) {
+        auto it = types.find(l.var_name());
+        if (it != types.end()) types[r.var_name()] = it->second;
+      }
+    }
+  }
+  for (const std::string& v : q.Vars()) {
+    types.emplace(v, ValueType::kInt);
+  }
+  return types;
+}
+
+Value FreshValueFactory::Fresh(ValueType type) {
+  int64_t n = counter_++;
+  switch (type) {
+    case ValueType::kInt:
+      return Value::Int(kFreshIntBase - n);
+    case ValueType::kString:
+      return Value::Str("~n" + std::to_string(n));
+    case ValueType::kBool:
+      bool_domain_touched_ = true;
+      return Value::Bool(n % 2 == 0);
+  }
+  return Value::Int(kFreshIntBase - n);
+}
+
+Result<FrozenCq> FreezeCq(const Cq& q, const schema::Schema& schema,
+                          FreshValueFactory* factory) {
+  Result<std::map<std::string, ValueType>> types = InferVarTypes(q, schema);
+  if (!types.ok()) return types.status();
+  FrozenCq out;
+  for (const auto& [var, type] : types.value()) {
+    out.var_values[var] = factory->Fresh(type);
+  }
+  for (const CqAtom& a : q.atoms) {
+    Tuple t;
+    t.reserve(a.terms.size());
+    for (const Term& term : a.terms) {
+      t.push_back(term.is_const() ? term.value()
+                                  : out.var_values[term.var_name()]);
+    }
+    out.db.AddFact(a.pred, std::move(t));
+  }
+  return out;
+}
+
+}  // namespace logic
+}  // namespace accltl

@@ -1,0 +1,127 @@
+#ifndef ACCLTL_LOGIC_CQ_H_
+#define ACCLTL_LOGIC_CQ_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/logic/eval.h"
+#include "src/logic/formula.h"
+#include "src/logic/structure.h"
+
+namespace accltl {
+namespace logic {
+
+/// One relational atom of a conjunctive query.
+struct CqAtom {
+  PredicateRef pred;
+  std::vector<Term> terms;
+
+  friend bool operator==(const CqAtom& a, const CqAtom& b) {
+    return a.pred == b.pred && a.terms == b.terms;
+  }
+  friend bool operator<(const CqAtom& a, const CqAtom& b) {
+    if (!(a.pred == b.pred)) return a.pred < b.pred;
+    return a.terms < b.terms;
+  }
+};
+
+/// A conjunctive query with optional inequalities:
+///   head(x̄) :- atoms, neqs      (all non-head variables existential)
+/// A boolean query has an empty head.
+struct Cq {
+  std::vector<std::string> head;
+  std::vector<CqAtom> atoms;
+  /// Inequality side conditions t1 != t2.
+  std::vector<std::pair<Term, Term>> neqs;
+  /// Head variables identified with each other during normalization
+  /// (kept separate so the head keeps its arity).
+  std::vector<std::pair<std::string, std::string>> head_eqs;
+  /// Head variables forced to a constant during normalization.
+  std::vector<std::pair<std::string, Value>> head_consts;
+
+  /// All variables occurring anywhere.
+  std::set<std::string> Vars() const;
+
+  /// All constants occurring anywhere.
+  std::set<Value> Constants() const;
+
+  bool UsesInequality() const { return !neqs.empty(); }
+
+  /// Rebuilds the equivalent FO∃+(≠) formula (existentially closing all
+  /// non-head variables).
+  PosFormulaPtr ToFormula() const;
+
+  std::string ToString(const schema::Schema& schema) const;
+};
+
+/// A union of conjunctive queries with a shared head.
+struct Ucq {
+  std::vector<std::string> head;
+  std::vector<Cq> disjuncts;
+
+  PosFormulaPtr ToFormula() const;
+  bool UsesInequality() const;
+  std::string ToString(const schema::Schema& schema) const;
+};
+
+/// Converts a positive-existential formula into UCQ normal form, with
+/// `head` as the answer variables (must be exactly the free variables).
+/// Fails with kResourceExhausted when distributing ∧ over ∨ exceeds
+/// `max_disjuncts`.
+Result<Ucq> NormalizeToUcq(const PosFormulaPtr& f,
+                           const std::vector<std::string>& head,
+                           const schema::Schema& schema,
+                           size_t max_disjuncts = 100000);
+
+/// Infers the declared type of each variable of the CQ from atom
+/// positions. Variables only occurring in (in)equalities against typed
+/// terms inherit that type; a variable with conflicting types yields
+/// kInvalidArgument.
+Result<std::map<std::string, ValueType>> InferVarTypes(
+    const Cq& q, const schema::Schema& schema);
+
+/// Produces fresh "labelled-null" values for freezing canonical
+/// databases. Fresh values are drawn from a reserved namespace
+/// (negative ints below kFreshIntBase; strings prefixed "~") that
+/// workloads must not use for real constants.
+class FreshValueFactory {
+ public:
+  static constexpr int64_t kFreshIntBase = -1000000;
+
+  /// Returns a fresh value of the given type, distinct from all values
+  /// previously returned by this factory. Booleans cannot be fresh
+  /// (two-element domain); they alternate and a warning flag is set.
+  Value Fresh(ValueType type);
+
+  /// True iff a boolean fresh value was ever requested (the analyses'
+  /// unbounded-domain assumption was violated).
+  bool bool_domain_touched() const { return bool_domain_touched_; }
+
+ private:
+  int64_t counter_ = 0;
+  bool bool_domain_touched_ = false;
+};
+
+/// A frozen (canonical) database of a CQ: each variable mapped to a
+/// fresh value, constants kept.
+struct FrozenCq {
+  Database db;
+  /// Where each variable went.
+  std::map<std::string, Value> var_values;
+};
+
+/// Freezes `q` into its canonical database (§4.1 uses these throughout).
+/// `factory` supplies fresh values so multiple freezes can coexist in
+/// one instance without value collisions.
+Result<FrozenCq> FreezeCq(const Cq& q, const schema::Schema& schema,
+                          FreshValueFactory* factory);
+
+}  // namespace logic
+}  // namespace accltl
+
+#endif  // ACCLTL_LOGIC_CQ_H_

@@ -1,0 +1,226 @@
+#include "src/logic/eval.h"
+
+#include <cassert>
+#include <functional>
+
+namespace accltl {
+namespace logic {
+
+namespace {
+
+/// Continuation: invoked when the current subgoal is satisfied; returns
+/// true to stop the search (overall success), false to keep enumerating.
+using Cont = std::function<bool()>;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const StructureView& view) : view_(view) {}
+
+  bool Eval(const PosFormula* f, Env* env, const Cont& k) {
+    switch (f->kind()) {
+      case NodeKind::kTrue:
+        return k();
+      case NodeKind::kFalse:
+        return false;
+      case NodeKind::kAtom:
+        return EvalAtom(f, env, k);
+      case NodeKind::kEq:
+        return EvalEq(f, env, k);
+      case NodeKind::kNeq:
+        return EvalNeq(f, env, k);
+      case NodeKind::kAnd:
+        return EvalAnd(f->children(), env, k);
+      case NodeKind::kOr: {
+        for (const PosFormulaPtr& c : f->children()) {
+          if (Eval(c.get(), env, k)) return true;
+        }
+        return false;
+      }
+      case NodeKind::kExists: {
+        // Shadow the quantified variables, evaluate, then restore.
+        std::vector<std::pair<std::string, std::optional<Value>>> saved;
+        for (const std::string& v : f->bound_vars()) {
+          auto it = env->find(v);
+          if (it != env->end()) {
+            saved.emplace_back(v, it->second);
+            env->erase(it);
+          } else {
+            saved.emplace_back(v, std::nullopt);
+          }
+        }
+        bool res = Eval(f->body().get(), env, [&] {
+          // Inner bindings of the quantified variables must not leak
+          // into the continuation's view of the outer scope; but since
+          // the continuation runs *inside* the quantifier semantics
+          // (ψ holds for these witnesses), we keep them while k runs.
+          return k();
+        });
+        for (auto& [v, old] : saved) {
+          env->erase(v);
+          if (old.has_value()) (*env)[v] = *old;
+        }
+        return res;
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool TermValue(const Term& t, const Env& env, Value* out) const {
+    if (t.is_const()) {
+      *out = t.value();
+      return true;
+    }
+    auto it = env.find(t.var_name());
+    if (it == env.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  bool EvalAtom(const PosFormula* f, Env* env, const Cont& k) {
+    const PredicateRef& pred = f->pred();
+    // 0-ary IsBind proposition (Sch0−Acc, §4.2): an IsBind atom written
+    // with no terms for a method that has input positions.
+    if (pred.space == PredSpace::kBind && f->terms().empty()) {
+      const std::set<Tuple>* tuples = view_.GetTuples(pred);
+      bool holds = view_.MethodUsed(pred.id) ||
+                   (tuples != nullptr && tuples->count(Tuple{}) > 0);
+      return holds ? k() : false;
+    }
+    const std::set<Tuple>* tuples = view_.GetTuples(pred);
+    if (tuples == nullptr) return false;
+    for (const Tuple& tuple : *tuples) {
+      if (tuple.size() != f->terms().size()) continue;
+      std::vector<std::string> newly_bound;
+      bool match = true;
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        const Term& t = f->terms()[i];
+        Value bound;
+        if (TermValue(t, *env, &bound)) {
+          if (bound != tuple[i]) {
+            match = false;
+            break;
+          }
+        } else {
+          (*env)[t.var_name()] = tuple[i];
+          newly_bound.push_back(t.var_name());
+        }
+      }
+      if (match && k()) return true;
+      for (const std::string& v : newly_bound) env->erase(v);
+    }
+    return false;
+  }
+
+  bool EvalEq(const PosFormula* f, Env* env, const Cont& k) {
+    Value l, r;
+    bool lb = TermValue(f->lhs(), *env, &l);
+    bool rb = TermValue(f->rhs(), *env, &r);
+    if (lb && rb) return l == r ? k() : false;
+    if (lb && !rb) {
+      (*env)[f->rhs().var_name()] = l;
+      bool res = k();
+      env->erase(f->rhs().var_name());
+      return res;
+    }
+    if (!lb && rb) {
+      (*env)[f->lhs().var_name()] = r;
+      bool res = k();
+      env->erase(f->lhs().var_name());
+      return res;
+    }
+    // Both sides unbound: an unguarded equality. Formulas built by this
+    // library are range-restricted, so this indicates misuse.
+    assert(false && "equality over two unbound variables");
+    return false;
+  }
+
+  bool EvalNeq(const PosFormula* f, Env* env, const Cont& k) {
+    Value l, r;
+    bool lb = TermValue(f->lhs(), *env, &l);
+    bool rb = TermValue(f->rhs(), *env, &r);
+    assert(lb && rb && "inequality over unbound variables");
+    if (!lb || !rb) return false;
+    return l != r ? k() : false;
+  }
+
+  /// Readiness-ordered conjunction: runs atoms and nested formulas
+  /// first, (in)equalities as soon as their variables are bound.
+  bool EvalAnd(const std::vector<PosFormulaPtr>& children, Env* env,
+               const Cont& k) {
+    std::vector<const PosFormula*> ordered;
+    std::vector<const PosFormula*> eqs, neqs;
+    for (const PosFormulaPtr& c : children) {
+      switch (c->kind()) {
+        case NodeKind::kEq:
+          eqs.push_back(c.get());
+          break;
+        case NodeKind::kNeq:
+          neqs.push_back(c.get());
+          break;
+        default:
+          ordered.push_back(c.get());
+          break;
+      }
+    }
+    ordered.insert(ordered.end(), eqs.begin(), eqs.end());
+    ordered.insert(ordered.end(), neqs.begin(), neqs.end());
+    std::function<bool(size_t)> chain = [&](size_t i) -> bool {
+      if (i == ordered.size()) return k();
+      return Eval(ordered[i], env, [&, i] { return chain(i + 1); });
+    };
+    return chain(0);
+  }
+
+  const StructureView& view_;
+};
+
+}  // namespace
+
+bool EvalSentence(const PosFormulaPtr& f, const StructureView& view) {
+  assert(f->IsSentence() && "EvalSentence requires a closed formula");
+  Env env;
+  Evaluator ev(view);
+  return ev.Eval(f.get(), &env, [] { return true; });
+}
+
+bool EvalWithEnv(const PosFormulaPtr& f, const StructureView& view,
+                 const Env& env) {
+  Env working = env;
+  Evaluator ev(view);
+  return ev.Eval(f.get(), &working, [] { return true; });
+}
+
+std::set<Tuple> EnumerateAnswers(const PosFormulaPtr& f,
+                                 const std::vector<std::string>& head,
+                                 const StructureView& view) {
+  std::set<Tuple> answers;
+  Env env;
+  Evaluator ev(view);
+  ev.Eval(f.get(), &env, [&]() -> bool {
+    Tuple row;
+    row.reserve(head.size());
+    for (const std::string& v : head) {
+      auto it = env.find(v);
+      if (it == env.end()) return false;  // head var unbound: skip
+      row.push_back(it->second);
+    }
+    answers.insert(std::move(row));
+    return false;  // keep enumerating
+  });
+  return answers;
+}
+
+bool EvalOnInstance(const PosFormulaPtr& f,
+                    const schema::Instance& instance) {
+  InstanceView view(instance);
+  return EvalSentence(f, view);
+}
+
+bool EvalOnTransition(const PosFormulaPtr& f, const schema::Transition& t) {
+  TransitionView view(t);
+  return EvalSentence(f, view);
+}
+
+}  // namespace logic
+}  // namespace accltl

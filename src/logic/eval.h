@@ -1,0 +1,49 @@
+#ifndef ACCLTL_LOGIC_EVAL_H_
+#define ACCLTL_LOGIC_EVAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/logic/formula.h"
+#include "src/logic/structure.h"
+
+namespace accltl {
+namespace logic {
+
+/// A partial assignment of values to variables.
+using Env = std::map<std::string, Value>;
+
+/// Evaluates a sentence (closed formula) of FO∃+(≠) against a structure.
+///
+/// Evaluation is a backtracking join: atoms bind variables by iterating
+/// the view's tuples; equalities propagate or test bindings;
+/// inequalities test. Conjunctions are dynamically reordered so that a
+/// conjunct runs only once it is "ready" (an atom is always ready; an
+/// (in)equality once enough of its sides are bound). Formulas whose
+/// every variable is guarded by an atom — all formulas in this library —
+/// never get stuck.
+bool EvalSentence(const PosFormulaPtr& f, const StructureView& view);
+
+/// Evaluates a formula with free variables pre-bound by `env`.
+bool EvalWithEnv(const PosFormulaPtr& f, const StructureView& view,
+                 const Env& env);
+
+/// Enumerates the answers of an open formula: all assignments of
+/// `head` (the answer variables, each free in `f`) that satisfy `f`.
+std::set<Tuple> EnumerateAnswers(const PosFormulaPtr& f,
+                                 const std::vector<std::string>& head,
+                                 const StructureView& view);
+
+/// Convenience: evaluates a boolean query over the kPlain vocabulary on
+/// an instance.
+bool EvalOnInstance(const PosFormulaPtr& f, const schema::Instance& instance);
+
+/// Convenience: evaluates a SchAcc sentence on a transition (M(t), §2).
+bool EvalOnTransition(const PosFormulaPtr& f, const schema::Transition& t);
+
+}  // namespace logic
+}  // namespace accltl
+
+#endif  // ACCLTL_LOGIC_EVAL_H_

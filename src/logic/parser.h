@@ -1,0 +1,38 @@
+#ifndef ACCLTL_LOGIC_PARSER_H_
+#define ACCLTL_LOGIC_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/logic/formula.h"
+
+namespace accltl {
+namespace logic {
+
+/// Parses a textual FO∃+(≠) formula against a schema's vocabulary.
+///
+/// Grammar (whitespace-insensitive, keywords uppercase):
+///   formula  := 'EXISTS' var (',' var)* '.' formula | disjunct
+///   disjunct := conjunct ('OR' conjunct)*
+///   conjunct := unit ('AND' unit)*
+///   unit     := '(' formula ')' | 'TRUE' | 'FALSE'
+///             | pred '(' [term (',' term)*] ')'
+///             | term ('=' | '!=') term
+///   pred     := Name            (plain schema relation)
+///             | Name '_pre' | Name '_post'
+///             | 'IsBind_' MethodName
+///   term     := identifier starting lowercase        (variable)
+///             | '"' chars '"'                        (string constant)
+///             | ['-'] digits                         (int constant)
+///             | 'true' | 'false'                     (bool constant)
+///
+/// Examples:
+///   EXISTS n, p . Mobile_pre(n, p, s, ph) AND IsBind_AcM1(n)
+///   EXISTS x . R(x, "Jones") AND x != 3
+Result<PosFormulaPtr> ParseFormula(const std::string& text,
+                                   const schema::Schema& schema);
+
+}  // namespace logic
+}  // namespace accltl
+
+#endif  // ACCLTL_LOGIC_PARSER_H_

@@ -1,0 +1,17 @@
+#include "src/logic/structure.h"
+
+namespace accltl {
+namespace logic {
+
+std::string Database::ToString(const schema::Schema& schema) const {
+  std::string out;
+  for (const auto& [pred, tuples] : rels_) {
+    for (const Tuple& t : tuples) {
+      out += PredicateName(pred, schema) + TupleToString(t) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace logic
+}  // namespace accltl

@@ -1,0 +1,158 @@
+#ifndef ACCLTL_LOGIC_STRUCTURE_H_
+#define ACCLTL_LOGIC_STRUCTURE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/value.h"
+#include "src/logic/predicate.h"
+#include "src/schema/lts.h"
+
+namespace accltl {
+namespace logic {
+
+/// Read-only view of a relational structure over (a subset of) the
+/// SchAcc vocabulary. The evaluator (eval.h) works against this
+/// interface, so instances, transitions and canonical databases are all
+/// queried uniformly.
+class StructureView {
+ public:
+  virtual ~StructureView() = default;
+
+  /// Tuples interpreting `pred`; nullptr means the empty interpretation.
+  virtual const std::set<Tuple>* GetTuples(const PredicateRef& pred) const = 0;
+
+  /// The 0-ary IsBind_AcM proposition of the Sch0−Acc vocabulary
+  /// (§4.2): did this position's transition use method `m`?
+  virtual bool MethodUsed(schema::AccessMethodId m) const {
+    (void)m;
+    return false;
+  }
+};
+
+/// Views a plain instance: interprets only the kPlain space.
+class InstanceView : public StructureView {
+ public:
+  explicit InstanceView(const schema::Instance& instance)
+      : instance_(instance) {}
+
+  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const override {
+    if (pred.space != PredSpace::kPlain) return nullptr;
+    return &instance_.tuples(pred.id);
+  }
+
+ private:
+  const schema::Instance& instance_;
+};
+
+/// Views the structure M(t) of a transition t = (I, (AcM, b̄), I′) (§2):
+/// Rpre ↦ I(R), Rpost ↦ I′(R), IsBind_AcM ↦ {b̄}, other IsBind empty.
+/// Also serves as M′(t) for the 0-ary vocabulary via MethodUsed.
+class TransitionView : public StructureView {
+ public:
+  explicit TransitionView(const schema::Transition& t) : t_(t) {
+    binding_singleton_.insert(t.access.binding);
+  }
+
+  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const override {
+    switch (pred.space) {
+      case PredSpace::kPre:
+        return &t_.pre.tuples(pred.id);
+      case PredSpace::kPost:
+        return &t_.post.tuples(pred.id);
+      case PredSpace::kBind:
+        return pred.id == t_.access.method ? &binding_singleton_ : nullptr;
+      case PredSpace::kPlain:
+        return nullptr;
+    }
+    return nullptr;
+  }
+
+  bool MethodUsed(schema::AccessMethodId m) const override {
+    return m == t_.access.method;
+  }
+
+ private:
+  const schema::Transition& t_;
+  std::set<Tuple> binding_singleton_;
+};
+
+/// A free-form database over any mix of vocabulary spaces; used for
+/// canonical databases of queries and for the Datalog machinery.
+class Database {
+ public:
+  /// Adds a fact; returns true if new.
+  bool AddFact(const PredicateRef& pred, Tuple t) {
+    return rels_[pred].insert(std::move(t)).second;
+  }
+
+  bool Contains(const PredicateRef& pred, const Tuple& t) const {
+    auto it = rels_.find(pred);
+    return it != rels_.end() && it->second.count(t) > 0;
+  }
+
+  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const {
+    auto it = rels_.find(pred);
+    return it == rels_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<PredicateRef, std::set<Tuple>>& relations() const {
+    return rels_;
+  }
+
+  size_t TotalFacts() const {
+    size_t n = 0;
+    for (const auto& [pred, tuples] : rels_) n += tuples.size();
+    return n;
+  }
+
+  void UnionWith(const Database& other) {
+    for (const auto& [pred, tuples] : other.rels_) {
+      rels_[pred].insert(tuples.begin(), tuples.end());
+    }
+  }
+
+  std::set<Value> ActiveDomain() const {
+    std::set<Value> dom;
+    for (const auto& [pred, tuples] : rels_) {
+      for (const Tuple& t : tuples) dom.insert(t.begin(), t.end());
+    }
+    return dom;
+  }
+
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.rels_ == b.rels_;
+  }
+  friend bool operator<(const Database& a, const Database& b) {
+    return a.rels_ < b.rels_;
+  }
+
+  std::string ToString(const schema::Schema& schema) const;
+
+ private:
+  std::map<PredicateRef, std::set<Tuple>> rels_;
+};
+
+/// Views a Database. The 0-ary IsBind proposition holds when the
+/// database contains the empty tuple for the bind predicate.
+class DatabaseView : public StructureView {
+ public:
+  explicit DatabaseView(const Database& db) : db_(db) {}
+
+  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const override {
+    return db_.GetTuples(pred);
+  }
+
+  bool MethodUsed(schema::AccessMethodId m) const override {
+    return db_.Contains(logic::Bind(m), Tuple{});
+  }
+
+ private:
+  const Database& db_;
+};
+
+}  // namespace logic
+}  // namespace accltl
+
+#endif  // ACCLTL_LOGIC_STRUCTURE_H_

@@ -1,0 +1,62 @@
+#ifndef ACCLTL_LOGIC_TERM_H_
+#define ACCLTL_LOGIC_TERM_H_
+
+#include <string>
+
+#include "src/common/value.h"
+
+namespace accltl {
+namespace logic {
+
+/// A term of the relational calculus tier: a variable (identified by
+/// name) or a constant value.
+class Term {
+ public:
+  /// Default-constructs the variable "x".
+  Term() : is_var_(true), name_("x") {}
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var_ = true;
+    t.name_ = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(v);
+    return t;
+  }
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  /// Requires is_var().
+  const std::string& var_name() const { return name_; }
+  /// Requires is_const().
+  const Value& value() const { return value_; }
+
+  std::string ToString() const {
+    return is_var_ ? name_ : value_.ToString();
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.name_ == b.name_ : a.value_ == b.value_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_ < b.is_var_;
+    return a.is_var_ ? a.name_ < b.name_ : a.value_ < b.value_;
+  }
+
+ private:
+  bool is_var_ = true;
+  std::string name_;  // when is_var_
+  Value value_;       // when !is_var_
+};
+
+}  // namespace logic
+}  // namespace accltl
+
+#endif  // ACCLTL_LOGIC_TERM_H_

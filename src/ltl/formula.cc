@@ -1,0 +1,371 @@
+#include "src/ltl/formula.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace accltl {
+namespace ltl {
+
+std::shared_ptr<LtlFormula> LtlFormula::NewNode() {
+  return std::shared_ptr<LtlFormula>(new LtlFormula());
+}
+
+LtlPtr LtlFormula::True() {
+  static const LtlPtr kTrue = [] {
+    auto n = NewNode();
+    n->kind_ = LtlKind::kTrue;
+    return n;
+  }();
+  return kTrue;
+}
+
+LtlPtr LtlFormula::False() {
+  static const LtlPtr kFalse = [] {
+    auto n = NewNode();
+    n->kind_ = LtlKind::kFalse;
+    return n;
+  }();
+  return kFalse;
+}
+
+LtlPtr LtlFormula::Prop(int id) {
+  auto n = NewNode();
+  n->kind_ = LtlKind::kProp;
+  n->prop_ = id;
+  return n;
+}
+
+LtlPtr LtlFormula::Not(LtlPtr f) {
+  if (f->kind_ == LtlKind::kTrue) return False();
+  if (f->kind_ == LtlKind::kFalse) return True();
+  if (f->kind_ == LtlKind::kNot) return f->lhs_;
+  auto n = NewNode();
+  n->kind_ = LtlKind::kNot;
+  n->lhs_ = std::move(f);
+  return n;
+}
+
+LtlPtr LtlFormula::And(std::vector<LtlPtr> children) {
+  std::vector<LtlPtr> flat;
+  for (LtlPtr& c : children) {
+    if (c->kind_ == LtlKind::kFalse) return False();
+    if (c->kind_ == LtlKind::kTrue) continue;
+    if (c->kind_ == LtlKind::kAnd) {
+      flat.insert(flat.end(), c->children_.begin(), c->children_.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  auto n = NewNode();
+  n->kind_ = LtlKind::kAnd;
+  n->children_ = std::move(flat);
+  return n;
+}
+
+LtlPtr LtlFormula::Or(std::vector<LtlPtr> children) {
+  std::vector<LtlPtr> flat;
+  for (LtlPtr& c : children) {
+    if (c->kind_ == LtlKind::kTrue) return True();
+    if (c->kind_ == LtlKind::kFalse) continue;
+    if (c->kind_ == LtlKind::kOr) {
+      flat.insert(flat.end(), c->children_.begin(), c->children_.end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  auto n = NewNode();
+  n->kind_ = LtlKind::kOr;
+  n->children_ = std::move(flat);
+  return n;
+}
+
+LtlPtr LtlFormula::Next(LtlPtr f) {
+  auto n = NewNode();
+  n->kind_ = LtlKind::kNext;
+  n->lhs_ = std::move(f);
+  return n;
+}
+
+LtlPtr LtlFormula::WeakNext(LtlPtr f) {
+  auto n = NewNode();
+  n->kind_ = LtlKind::kWeakNext;
+  n->lhs_ = std::move(f);
+  return n;
+}
+
+LtlPtr LtlFormula::Until(LtlPtr lhs, LtlPtr rhs) {
+  auto n = NewNode();
+  n->kind_ = LtlKind::kUntil;
+  n->lhs_ = std::move(lhs);
+  n->rhs_ = std::move(rhs);
+  return n;
+}
+
+LtlPtr LtlFormula::Release(LtlPtr lhs, LtlPtr rhs) {
+  auto n = NewNode();
+  n->kind_ = LtlKind::kRelease;
+  n->lhs_ = std::move(lhs);
+  n->rhs_ = std::move(rhs);
+  return n;
+}
+
+LtlPtr LtlFormula::Eventually(LtlPtr f) { return Until(True(), std::move(f)); }
+
+LtlPtr LtlFormula::Globally(LtlPtr f) { return Release(False(), std::move(f)); }
+
+namespace {
+
+LtlPtr NnfImpl(const LtlPtr& f, bool negate) {
+  switch (f->kind()) {
+    case LtlKind::kTrue:
+      return negate ? LtlFormula::False() : LtlFormula::True();
+    case LtlKind::kFalse:
+      return negate ? LtlFormula::True() : LtlFormula::False();
+    case LtlKind::kProp:
+      return negate ? LtlFormula::Not(LtlFormula::Prop(f->prop()))
+                    : LtlFormula::Prop(f->prop());
+    case LtlKind::kNot:
+      return NnfImpl(f->child(), !negate);
+    case LtlKind::kAnd:
+    case LtlKind::kOr: {
+      std::vector<LtlPtr> kids;
+      kids.reserve(f->children().size());
+      for (const LtlPtr& c : f->children()) {
+        kids.push_back(NnfImpl(c, negate));
+      }
+      bool is_and = (f->kind() == LtlKind::kAnd) != negate;
+      return is_and ? LtlFormula::And(std::move(kids))
+                    : LtlFormula::Or(std::move(kids));
+    }
+    case LtlKind::kNext:
+      // ¬X φ = N ¬φ on finite words.
+      return negate ? LtlFormula::WeakNext(NnfImpl(f->child(), true))
+                    : LtlFormula::Next(NnfImpl(f->child(), false));
+    case LtlKind::kWeakNext:
+      return negate ? LtlFormula::Next(NnfImpl(f->child(), true))
+                    : LtlFormula::WeakNext(NnfImpl(f->child(), false));
+    case LtlKind::kUntil:
+      return negate ? LtlFormula::Release(NnfImpl(f->lhs(), true),
+                                          NnfImpl(f->rhs(), true))
+                    : LtlFormula::Until(NnfImpl(f->lhs(), false),
+                                        NnfImpl(f->rhs(), false));
+    case LtlKind::kRelease:
+      return negate ? LtlFormula::Until(NnfImpl(f->lhs(), true),
+                                        NnfImpl(f->rhs(), true))
+                    : LtlFormula::Release(NnfImpl(f->lhs(), false),
+                                          NnfImpl(f->rhs(), false));
+  }
+  return LtlFormula::True();
+}
+
+}  // namespace
+
+LtlPtr LtlFormula::Nnf(const LtlPtr& f) { return NnfImpl(f, false); }
+
+bool LtlFormula::IsXOnly() const {
+  switch (kind_) {
+    case LtlKind::kUntil:
+    case LtlKind::kRelease:
+      return false;
+    case LtlKind::kNot:
+    case LtlKind::kNext:
+    case LtlKind::kWeakNext:
+      return lhs_->IsXOnly();
+    case LtlKind::kAnd:
+    case LtlKind::kOr:
+      return std::all_of(children_.begin(), children_.end(),
+                         [](const LtlPtr& c) { return c->IsXOnly(); });
+    default:
+      return true;
+  }
+}
+
+int LtlFormula::XDepth() const {
+  switch (kind_) {
+    case LtlKind::kNot:
+      return lhs_->XDepth();
+    case LtlKind::kNext:
+    case LtlKind::kWeakNext:
+      return 1 + lhs_->XDepth();
+    case LtlKind::kUntil:
+    case LtlKind::kRelease:
+      return 1 + std::max(lhs_->XDepth(), rhs_->XDepth());
+    case LtlKind::kAnd:
+    case LtlKind::kOr: {
+      int d = 0;
+      for (const LtlPtr& c : children_) d = std::max(d, c->XDepth());
+      return d;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::set<int> LtlFormula::Props() const {
+  std::set<int> out;
+  switch (kind_) {
+    case LtlKind::kProp:
+      out.insert(prop_);
+      break;
+    case LtlKind::kNot:
+    case LtlKind::kNext:
+    case LtlKind::kWeakNext: {
+      out = lhs_->Props();
+      break;
+    }
+    case LtlKind::kUntil:
+    case LtlKind::kRelease: {
+      out = lhs_->Props();
+      std::set<int> r = rhs_->Props();
+      out.insert(r.begin(), r.end());
+      break;
+    }
+    case LtlKind::kAnd:
+    case LtlKind::kOr:
+      for (const LtlPtr& c : children_) {
+        std::set<int> sub = c->Props();
+        out.insert(sub.begin(), sub.end());
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+size_t LtlFormula::Size() const {
+  switch (kind_) {
+    case LtlKind::kNot:
+    case LtlKind::kNext:
+    case LtlKind::kWeakNext:
+      return 1 + lhs_->Size();
+    case LtlKind::kUntil:
+    case LtlKind::kRelease:
+      return 1 + lhs_->Size() + rhs_->Size();
+    case LtlKind::kAnd:
+    case LtlKind::kOr: {
+      size_t n = 1;
+      for (const LtlPtr& c : children_) n += c->Size();
+      return n;
+    }
+    default:
+      return 1;
+  }
+}
+
+std::string LtlFormula::ToString() const {
+  switch (kind_) {
+    case LtlKind::kTrue:
+      return "true";
+    case LtlKind::kFalse:
+      return "false";
+    case LtlKind::kProp:
+      return "p" + std::to_string(prop_);
+    case LtlKind::kNot:
+      return "!(" + lhs_->ToString() + ")";
+    case LtlKind::kAnd:
+    case LtlKind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const LtlPtr& c : children_) {
+        parts.push_back("(" + c->ToString() + ")");
+      }
+      return Join(parts, kind_ == LtlKind::kAnd ? " & " : " | ");
+    }
+    case LtlKind::kNext:
+      return "X(" + lhs_->ToString() + ")";
+    case LtlKind::kWeakNext:
+      return "N(" + lhs_->ToString() + ")";
+    case LtlKind::kUntil:
+      return "(" + lhs_->ToString() + ") U (" + rhs_->ToString() + ")";
+    case LtlKind::kRelease:
+      return "(" + lhs_->ToString() + ") R (" + rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+bool EvalRec(const LtlFormula* f, const Word& w, size_t pos,
+             std::map<std::pair<const LtlFormula*, size_t>, bool>* memo) {
+  auto key = std::make_pair(f, pos);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+  bool res = false;
+  switch (f->kind()) {
+    case LtlKind::kTrue:
+      res = true;
+      break;
+    case LtlKind::kFalse:
+      res = false;
+      break;
+    case LtlKind::kProp:
+      res = pos < w.size() && w[pos].count(f->prop()) > 0;
+      break;
+    case LtlKind::kNot:
+      res = !EvalRec(f->child().get(), w, pos, memo);
+      break;
+    case LtlKind::kAnd:
+      res = std::all_of(f->children().begin(), f->children().end(),
+                        [&](const LtlPtr& c) {
+                          return EvalRec(c.get(), w, pos, memo);
+                        });
+      break;
+    case LtlKind::kOr:
+      res = std::any_of(f->children().begin(), f->children().end(),
+                        [&](const LtlPtr& c) {
+                          return EvalRec(c.get(), w, pos, memo);
+                        });
+      break;
+    case LtlKind::kNext:
+      res = pos + 1 < w.size() && EvalRec(f->child().get(), w, pos + 1, memo);
+      break;
+    case LtlKind::kWeakNext:
+      res = pos + 1 >= w.size() || EvalRec(f->child().get(), w, pos + 1, memo);
+      break;
+    case LtlKind::kUntil: {
+      res = false;
+      for (size_t j = pos; j < w.size(); ++j) {
+        if (EvalRec(f->rhs().get(), w, j, memo)) {
+          res = true;
+          break;
+        }
+        if (!EvalRec(f->lhs().get(), w, j, memo)) break;
+      }
+      break;
+    }
+    case LtlKind::kRelease: {
+      // φ R ψ on finite words: ψ holds up to and including the first
+      // position where φ holds; if φ never holds, ψ holds everywhere.
+      res = true;
+      for (size_t j = pos; j < w.size(); ++j) {
+        if (!EvalRec(f->rhs().get(), w, j, memo)) {
+          res = false;
+          break;
+        }
+        if (EvalRec(f->lhs().get(), w, j, memo)) break;
+      }
+      break;
+    }
+  }
+  (*memo)[key] = res;
+  return res;
+}
+
+}  // namespace
+
+bool EvalOnWord(const LtlPtr& f, const Word& w, size_t pos) {
+  assert(pos <= w.size());
+  std::map<std::pair<const LtlFormula*, size_t>, bool> memo;
+  return EvalRec(f.get(), w, pos, &memo);
+}
+
+}  // namespace ltl
+}  // namespace accltl

@@ -1,0 +1,99 @@
+#ifndef ACCLTL_LTL_FORMULA_H_
+#define ACCLTL_LTL_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace accltl {
+namespace ltl {
+
+/// Node kinds of propositional LTL. The library interprets LTL over
+/// *finite* words (the paper's access paths are finite; see Thm 4.12's
+/// "satisfiability of a LTL formula over finite words").
+///
+/// kNext is the strong next (false at the last position); kWeakNext is
+/// its dual (true at the last position). kUntil/kRelease are the usual
+/// duals; G/F are derived.
+enum class LtlKind {
+  kTrue,
+  kFalse,
+  kProp,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,      // X φ, strong
+  kWeakNext,  // N φ, weak
+  kUntil,     // φ U ψ
+  kRelease,   // φ R ψ
+};
+
+class LtlFormula;
+using LtlPtr = std::shared_ptr<const LtlFormula>;
+
+/// Immutable propositional LTL formulas; propositions are dense ints.
+class LtlFormula {
+ public:
+  static LtlPtr True();
+  static LtlPtr False();
+  static LtlPtr Prop(int id);
+  static LtlPtr Not(LtlPtr f);
+  static LtlPtr And(std::vector<LtlPtr> children);
+  static LtlPtr Or(std::vector<LtlPtr> children);
+  static LtlPtr Next(LtlPtr f);
+  static LtlPtr WeakNext(LtlPtr f);
+  static LtlPtr Until(LtlPtr lhs, LtlPtr rhs);
+  static LtlPtr Release(LtlPtr lhs, LtlPtr rhs);
+  /// F φ = TRUE U φ.
+  static LtlPtr Eventually(LtlPtr f);
+  /// G φ = FALSE R φ.
+  static LtlPtr Globally(LtlPtr f);
+
+  LtlKind kind() const { return kind_; }
+  int prop() const { return prop_; }
+  const LtlPtr& child() const { return lhs_; }        // kNot/kNext/kWeakNext
+  const LtlPtr& lhs() const { return lhs_; }          // kUntil/kRelease
+  const LtlPtr& rhs() const { return rhs_; }          // kUntil/kRelease
+  const std::vector<LtlPtr>& children() const { return children_; }
+
+  /// Negation normal form: negation only on propositions.
+  static LtlPtr Nnf(const LtlPtr& f);
+
+  /// True iff only X/WeakNext temporal operators occur (the LTLX
+  /// fragment of §4.2).
+  bool IsXOnly() const;
+
+  /// Nesting depth of X/N operators; an X-only formula is insensitive
+  /// to word positions beyond this depth.
+  int XDepth() const;
+
+  /// All proposition ids used.
+  std::set<int> Props() const;
+
+  /// Number of AST nodes.
+  size_t Size() const;
+
+  std::string ToString() const;
+
+ private:
+  LtlFormula() = default;
+  static std::shared_ptr<LtlFormula> NewNode();
+
+  LtlKind kind_ = LtlKind::kTrue;
+  int prop_ = 0;
+  LtlPtr lhs_, rhs_;
+  std::vector<LtlPtr> children_;
+};
+
+/// A finite word: at each position, the set of true propositions.
+using Word = std::vector<std::set<int>>;
+
+/// Model checking: does `w` (evaluated at position `pos`) satisfy `f`?
+/// Dynamic programming, O(|w| · |subformulas|).
+bool EvalOnWord(const LtlPtr& f, const Word& w, size_t pos = 0);
+
+}  // namespace ltl
+}  // namespace accltl
+
+#endif  // ACCLTL_LTL_FORMULA_H_

@@ -1,0 +1,78 @@
+#include "src/monitor/automaton_monitor.h"
+
+#include <utility>
+
+namespace accltl {
+namespace monitor {
+
+AutomatonMonitor::AutomatonMonitor(automata::AAutomaton automaton,
+                                   const schema::Schema& schema,
+                                   schema::Instance initial)
+    : automaton_(std::move(automaton)),
+      schema_(schema),
+      current_(std::move(initial)) {
+  states_ = {automaton_.initial()};
+  // Backward reachability from the accepting states over the
+  // transition graph.
+  can_reach_accepting_.assign(
+      static_cast<size_t>(automaton_.num_states()), false);
+  for (int s : automaton_.accepting()) {
+    can_reach_accepting_[static_cast<size_t>(s)] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const automata::ATransition& tr : automaton_.transitions()) {
+      if (!can_reach_accepting_[static_cast<size_t>(tr.from)] &&
+          can_reach_accepting_[static_cast<size_t>(tr.to)]) {
+        can_reach_accepting_[static_cast<size_t>(tr.from)] = true;
+        changed = true;
+      }
+    }
+  }
+}
+
+void AutomatonMonitor::Step(const schema::Access& access,
+                            const schema::Response& response) {
+  schema::Transition t =
+      schema::MakeTransition(schema_, current_, access, response);
+  StepTransition(t);
+}
+
+void AutomatonMonitor::StepTransition(const schema::Transition& t) {
+  std::set<int> next;
+  for (const automata::ATransition& tr : automaton_.transitions()) {
+    if (states_.count(tr.from) == 0) continue;
+    if (next.count(tr.to) > 0) continue;  // guard eval is the costly part
+    if (tr.guard.Eval(t)) next.insert(tr.to);
+  }
+  states_ = std::move(next);
+  current_ = t.post;
+  ++num_steps_;
+}
+
+bool AutomatonMonitor::CurrentlyAccepted() const {
+  // The empty prefix is not an access path (paths have ≥1 access), so
+  // the initial state being accepting does not count before step 1.
+  if (num_steps_ == 0) return false;
+  for (int s : states_) {
+    if (automaton_.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+bool AutomatonMonitor::AcceptancePossible() const {
+  for (int s : states_) {
+    if (can_reach_accepting_[static_cast<size_t>(s)]) return true;
+  }
+  return false;
+}
+
+Verdict AutomatonMonitor::verdict() const {
+  if (CurrentlyAccepted()) return Verdict::kCurrentlyTrue;
+  if (!AcceptancePossible()) return Verdict::kViolated;
+  return Verdict::kCurrentlyFalse;
+}
+
+}  // namespace monitor
+}  // namespace accltl

@@ -1,0 +1,70 @@
+#ifndef ACCLTL_MONITOR_AUTOMATON_MONITOR_H_
+#define ACCLTL_MONITOR_AUTOMATON_MONITOR_H_
+
+#include <set>
+#include <vector>
+
+#include "src/automata/a_automaton.h"
+#include "src/monitor/progression.h"
+#include "src/schema/access.h"
+#include "src/schema/lts.h"
+
+namespace accltl {
+namespace monitor {
+
+/// Online monitor that runs an A-automaton (Def. 4.3) as an NFA over
+/// the access stream: the monitor keeps the set of control states
+/// reachable over the consumed prefix and evaluates guards on each
+/// concrete transition structure M(t).
+///
+/// Verdicts:
+///  - kCurrentlyTrue:  some reachable state is accepting (the prefix is
+///    in L(A)); an extension may still leave the language.
+///  - kCurrentlyFalse: no reachable state is accepting but an accepting
+///    state is graph-reachable, so some extension may be accepted.
+///  - kViolated: the state set is empty, or no accepting state is
+///    graph-reachable from it — no extension is in L(A). Irrevocable.
+///  - kSatisfied is never reported: deciding that *every* extension
+///    stays in L(A) is NFA universality (PSPACE-hard) and is not a
+///    monitoring-time operation. Use ProgressionMonitor when the
+///    distinction matters.
+class AutomatonMonitor {
+ public:
+  AutomatonMonitor(automata::AAutomaton automaton,
+                   const schema::Schema& schema, schema::Instance initial);
+
+  /// Consumes one access/response step.
+  void Step(const schema::Access& access, const schema::Response& response);
+
+  /// Consumes a pre-materialized transition (pre must match the current
+  /// configuration).
+  void StepTransition(const schema::Transition& t);
+
+  Verdict verdict() const;
+
+  /// The prefix consumed so far is in L(A).
+  bool CurrentlyAccepted() const;
+
+  /// Some extension of the prefix can be in L(A) (graph
+  /// over-approximation: guard satisfiability is not consulted).
+  bool AcceptancePossible() const;
+
+  const std::set<int>& states() const { return states_; }
+  size_t num_steps() const { return num_steps_; }
+  const schema::Instance& configuration() const { return current_; }
+
+ private:
+  automata::AAutomaton automaton_;
+  const schema::Schema& schema_;
+  schema::Instance current_;
+  std::set<int> states_;
+  /// can_reach_accepting_[s]: an accepting state is reachable from s in
+  /// the transition graph (guards ignored). Precomputed once.
+  std::vector<bool> can_reach_accepting_;
+  size_t num_steps_ = 0;
+};
+
+}  // namespace monitor
+}  // namespace accltl
+
+#endif  // ACCLTL_MONITOR_AUTOMATON_MONITOR_H_

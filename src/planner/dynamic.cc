@@ -1,0 +1,251 @@
+#include "src/planner/dynamic.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "src/logic/eval.h"
+#include "src/logic/structure.h"
+
+namespace accltl {
+namespace planner {
+
+namespace {
+
+/// Where a known value came from. Seeded values (query constants,
+/// seed_values, initial-instance values) are never pruned by
+/// provenance: the analyses cannot bound what they might match.
+struct Origin {
+  bool seeded = false;
+  /// (relation, position) pairs the value was revealed at.
+  std::set<std::pair<schema::RelationId, schema::Position>> positions;
+};
+
+using OriginMap = std::map<Value, Origin>;
+
+void AddSeed(OriginMap* origins, const Value& v) { (*origins)[v].seeded = true; }
+
+void AddRevealed(OriginMap* origins, const Value& v, schema::RelationId r,
+                 schema::Position p) {
+  (*origins)[v].positions.emplace(r, p);
+}
+
+/// Is (r1,p1) ⊥ (r2,p2) declared (in either order)?
+bool DeclaredDisjoint(
+    const std::vector<schema::DisjointnessConstraint>& constraints,
+    schema::RelationId r1, schema::Position p1, schema::RelationId r2,
+    schema::Position p2) {
+  for (const schema::DisjointnessConstraint& c : constraints) {
+    if (c.r == r1 && c.r_position == p1 && c.s == r2 && c.s_position == p2) {
+      return true;
+    }
+    if (c.r == r2 && c.r_position == p2 && c.s == r1 && c.s_position == p1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// §1 provenance rule: the access is useless when some binding value's
+/// every known provenance is disjoint from the input position it would
+/// be entered into — it must return ∅ on any instance satisfying the
+/// constraints.
+bool PrunedByProvenance(
+    const schema::Schema& schema, const schema::AccessMethod& method,
+    schema::RelationId target_relation, const Tuple& binding,
+    const OriginMap& origins,
+    const std::vector<schema::DisjointnessConstraint>& constraints) {
+  if (constraints.empty()) return false;
+  for (size_t k = 0; k < binding.size(); ++k) {
+    schema::Position p = method.input_positions[k];
+    auto it = origins.find(binding[k]);
+    if (it == origins.end()) continue;  // unknown origin: keep
+    const Origin& o = it->second;
+    if (o.seeded || o.positions.empty()) continue;
+    bool all_disjoint = true;
+    for (const auto& [r, rp] : o.positions) {
+      if (!DeclaredDisjoint(constraints, r, rp, target_relation, p)) {
+        all_disjoint = false;
+        break;
+      }
+    }
+    if (all_disjoint) return true;
+  }
+  (void)schema;
+  return false;
+}
+
+/// Enumerates the cartesian product of per-position candidate values,
+/// calling `fn` for each binding until `fn` asks to stop or `cap`
+/// bindings were emitted.
+void ForEachBinding(const std::vector<std::vector<Value>>& candidates,
+                    size_t cap, const std::function<void(const Tuple&)>& fn) {
+  Tuple binding(candidates.size());
+  size_t emitted = 0;
+  std::function<void(size_t)> rec = [&](size_t i) {
+    if (emitted >= cap) return;
+    if (i == candidates.size()) {
+      ++emitted;
+      fn(binding);
+      return;
+    }
+    for (const Value& v : candidates[i]) {
+      binding[i] = v;
+      rec(i + 1);
+      if (emitted >= cap) return;
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+std::set<schema::RelationId> RelevantRelations(const logic::Cq& q,
+                                               const schema::Schema& schema) {
+  std::set<schema::RelationId> relevant;
+  for (const logic::CqAtom& a : q.atoms) {
+    if (a.pred.space == logic::PredSpace::kPlain) relevant.insert(a.pred.id);
+  }
+  // Backward closure: R joins when some position type of R matches an
+  // input-position type of a method on an already-relevant relation
+  // (R's values could then be entered into that method).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Types consumable by methods on relevant relations.
+    std::set<ValueType> consumable;
+    for (schema::RelationId s : relevant) {
+      for (schema::AccessMethodId m : schema.methods_on(s)) {
+        for (schema::Position p : schema.method(m).input_positions) {
+          consumable.insert(schema.relation(s).position_types[
+              static_cast<size_t>(p)]);
+        }
+      }
+    }
+    for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+      if (relevant.count(r) > 0) continue;
+      for (ValueType t : schema.relation(r).position_types) {
+        if (consumable.count(t) > 0) {
+          relevant.insert(r);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return relevant;
+}
+
+Result<DynamicResult> AnswerWithDynamicAccesses(
+    const logic::Cq& q, const schema::Schema& schema,
+    const schema::Instance& universe, const schema::Instance& initial,
+    const DynamicOptions& options) {
+  for (const logic::CqAtom& a : q.atoms) {
+    if (a.pred.space != logic::PredSpace::kPlain) {
+      return Status::InvalidArgument(
+          "dynamic execution answers plain-vocabulary queries");
+    }
+  }
+
+  DynamicResult result;
+  result.configuration = initial;
+
+  OriginMap origins;
+  for (const Value& v : options.seed_values) AddSeed(&origins, v);
+  for (const Value& v : q.Constants()) AddSeed(&origins, v);
+  for (const Value& v : initial.ActiveDomain()) AddSeed(&origins, v);
+
+  std::set<schema::RelationId> relevant;
+  if (options.prune_by_reachability) relevant = RelevantRelations(q, schema);
+
+  std::set<schema::Access> performed;
+  bool out_of_budget = false;
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.stats.rounds;
+    bool changed = false;
+
+    // Snapshot the typed candidate pools: values discovered during the
+    // round are used from the next round on (deterministic order).
+    std::map<ValueType, std::vector<Value>> pool;
+    for (const auto& [v, origin] : origins) pool[v.type()].push_back(v);
+
+    for (schema::AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+      const schema::AccessMethod& method = schema.method(m);
+      if (options.prune_by_reachability &&
+          relevant.count(method.relation) == 0) {
+        // Whole method pruned; count one pruned candidate so ablations
+        // see the effect even when the binding space is empty.
+        ++result.stats.accesses_pruned;
+        continue;
+      }
+      std::vector<std::vector<Value>> candidates;
+      candidates.reserve(method.input_positions.size());
+      bool feasible = true;
+      for (schema::Position p : method.input_positions) {
+        ValueType t = schema.relation(method.relation)
+                          .position_types[static_cast<size_t>(p)];
+        auto it = pool.find(t);
+        if (it == pool.end()) {
+          feasible = false;
+          break;
+        }
+        candidates.push_back(it->second);
+      }
+      if (!feasible) continue;
+
+      ForEachBinding(
+          candidates, options.max_bindings_per_method,
+          [&](const Tuple& binding) {
+            if (out_of_budget) return;
+            schema::Access access{m, binding};
+            if (performed.count(access) > 0) return;
+            if (options.prune_by_provenance &&
+                PrunedByProvenance(schema, method, method.relation, binding,
+                                   origins, options.disjointness)) {
+              ++result.stats.accesses_pruned;
+              return;
+            }
+            if (result.stats.accesses_made >= options.max_accesses) {
+              out_of_budget = true;
+              return;
+            }
+            std::vector<Tuple> matching = universe.Matching(
+                method.relation, method.input_positions, binding);
+            schema::Response response(matching.begin(), matching.end());
+            performed.insert(access);
+            ++result.stats.accesses_made;
+            schema::AccessStep step;
+            step.access = access;
+            step.response = response;
+            result.trace.Append(std::move(step));
+            for (const Tuple& t : matching) {
+              if (result.configuration.AddFact(method.relation, Tuple(t))) {
+                changed = true;
+              }
+              for (size_t i = 0; i < t.size(); ++i) {
+                if (origins.find(t[i]) == origins.end()) changed = true;
+                AddRevealed(&origins, t[i], method.relation,
+                            static_cast<schema::Position>(i));
+              }
+            }
+          });
+      if (out_of_budget) break;
+    }
+
+    if (!changed || out_of_budget) {
+      result.stats.reached_fixpoint = !changed;
+      break;
+    }
+  }
+
+  logic::InstanceView view(result.configuration);
+  result.answers =
+      logic::EnumerateAnswers(q.ToFormula(), q.head, view);
+  // ≠ and head side conditions are part of ToFormula and handled by the
+  // evaluator; nothing further to filter here.
+  return result;
+}
+
+}  // namespace planner
+}  // namespace accltl

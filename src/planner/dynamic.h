@@ -1,0 +1,94 @@
+#ifndef ACCLTL_PLANNER_DYNAMIC_H_
+#define ACCLTL_PLANNER_DYNAMIC_H_
+
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/logic/cq.h"
+#include "src/schema/access.h"
+#include "src/schema/dependencies.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace planner {
+
+/// Options for the dynamic (grounded, fixpoint) executor.
+struct DynamicOptions {
+  /// Initially-known constants usable as binding values in addition to
+  /// the query's constants (e.g. "Smith" in Figure 1).
+  std::vector<Value> seed_values;
+
+  /// Disjointness constraints *known to hold on the hidden instance*.
+  /// With `prune_by_provenance` they justify skipping accesses (§1:
+  /// "we should not bother to make accesses to the Mobile# table using
+  /// street names acquired earlier").
+  std::vector<schema::DisjointnessConstraint> disjointness;
+
+  /// §1 optimization: skip an access when the provenance of some
+  /// binding value is disjoint (under `disjointness`) from the input
+  /// position it would be entered into. Sound: such an access always
+  /// returns the empty set on any instance satisfying the constraints.
+  bool prune_by_provenance = true;
+
+  /// [3]-style optimization: additionally skip accesses whose relation
+  /// cannot reach the query's relations in the value-flow graph
+  /// (outputs of R feed inputs of methods on S). Sound: pruned accesses
+  /// can never contribute a value that influences the answers.
+  bool prune_by_reachability = true;
+
+  /// Fixpoint bounds.
+  size_t max_rounds = 64;
+  size_t max_accesses = 100000;
+  /// Cap on candidate bindings enumerated per method per round.
+  size_t max_bindings_per_method = 100000;
+};
+
+struct DynamicStats {
+  size_t accesses_made = 0;
+  /// Candidate accesses skipped by the pruning rules.
+  size_t accesses_pruned = 0;
+  size_t rounds = 0;
+  /// True when a full round added no new facts and no new values (the
+  /// Datalog fixpoint of [15] was reached).
+  bool reached_fixpoint = false;
+};
+
+struct DynamicResult {
+  /// Everything revealed: Conf(trace, initial).
+  schema::Instance configuration;
+  /// Q evaluated on the final configuration — the *maximal answers*
+  /// obtainable with grounded accesses ([15], §1).
+  std::set<Tuple> answers;
+  DynamicStats stats;
+  /// The grounded access path performed.
+  schema::AccessPath trace;
+};
+
+/// Answers `q` over the hidden `universe` by iterating grounded exact
+/// accesses to a fixpoint — the brute-force Datalog strategy of §1 —
+/// with the optional §1/[3] pruning optimizations. With all pruning
+/// disabled this computes exactly the accessible part
+/// (analysis::AccessiblePart) restricted to values reachable from
+/// `initial`, the query constants and `seed_values`.
+///
+/// The hidden instance is assumed to satisfy `options.disjointness`
+/// (callers typically validate with DisjointnessConstraint::SatisfiedBy;
+/// pruning soundness depends on it).
+Result<DynamicResult> AnswerWithDynamicAccesses(
+    const logic::Cq& q, const schema::Schema& schema,
+    const schema::Instance& universe, const schema::Instance& initial,
+    const DynamicOptions& options = {});
+
+/// The value-flow relevance set used by `prune_by_reachability`: the
+/// relations whose revealed values could (transitively, through typed
+/// method inputs) influence accesses to the query's relations, plus the
+/// query relations themselves. Exposed for tests and the ablation bench.
+std::set<schema::RelationId> RelevantRelations(const logic::Cq& q,
+                                               const schema::Schema& schema);
+
+}  // namespace planner
+}  // namespace accltl
+
+#endif  // ACCLTL_PLANNER_DYNAMIC_H_

@@ -1,0 +1,243 @@
+#include "src/planner/static_plan.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/logic/eval.h"
+
+namespace accltl {
+namespace planner {
+
+using logic::Term;
+
+std::string PlannedStep::ToString(const logic::Cq& q,
+                                  const schema::Schema& s) const {
+  const logic::CqAtom& a = q.atoms[atom_index];
+  std::vector<std::string> ts;
+  ts.reserve(a.terms.size());
+  for (const Term& t : a.terms) ts.push_back(t.ToString());
+  return s.method(method).name + " -> " + logic::PredicateName(a.pred, s) +
+         "(" + Join(ts, ",") + ")";
+}
+
+std::string ExecutablePlan::ToString(const logic::Cq& q,
+                                     const schema::Schema& s) const {
+  std::vector<std::string> lines;
+  lines.reserve(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    lines.push_back(std::to_string(i + 1) + ". " + steps[i].ToString(q, s));
+  }
+  return Join(lines, "\n");
+}
+
+namespace {
+
+/// Variables of atom i, as indices into a dense variable table.
+struct AtomInfo {
+  std::vector<int> vars;  // ids of variables occurring in the atom
+  schema::RelationId relation = 0;
+};
+
+/// Is `method` executable for `atom` given the bound-variable set?
+/// Every input position must carry a constant or a bound variable.
+bool MethodExecutable(const schema::AccessMethod& method,
+                      const logic::CqAtom& atom,
+                      const std::map<std::string, int>& var_ids,
+                      const std::vector<bool>& bound) {
+  for (schema::Position p : method.input_positions) {
+    const Term& t = atom.terms[static_cast<size_t>(p)];
+    if (t.is_const()) continue;
+    int id = var_ids.at(t.var_name());
+    if (!bound[static_cast<size_t>(id)]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExecutablePlan> PlanConjunctiveQuery(const logic::Cq& q,
+                                            const schema::Schema& schema) {
+  if (q.atoms.size() > 64) {
+    return Status::InvalidArgument("plan search supports at most 64 atoms");
+  }
+  for (const logic::CqAtom& a : q.atoms) {
+    if (a.pred.space != logic::PredSpace::kPlain) {
+      return Status::InvalidArgument(
+          "plans are over the plain schema vocabulary");
+    }
+  }
+
+  // Dense variable ids.
+  std::map<std::string, int> var_ids;
+  std::vector<AtomInfo> infos(q.atoms.size());
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    infos[i].relation = q.atoms[i].pred.id;
+    for (const Term& t : q.atoms[i].terms) {
+      if (!t.is_var()) continue;
+      auto [it, inserted] =
+          var_ids.emplace(t.var_name(), static_cast<int>(var_ids.size()));
+      infos[i].vars.push_back(it->second);
+    }
+  }
+
+  ExecutablePlan plan;
+  std::vector<bool> bound(var_ids.size(), false);
+  std::set<uint64_t> failed;  // masks proven un-completable
+
+  // DFS over orderings; the bound set is a function of the mask, so
+  // memoizing failed masks makes the search O(2^atoms) worst case.
+  std::function<bool(uint64_t)> complete = [&](uint64_t mask) -> bool {
+    if (mask == (q.atoms.size() == 64
+                     ? ~uint64_t{0}
+                     : (uint64_t{1} << q.atoms.size()) - 1)) {
+      return true;
+    }
+    if (failed.count(mask) > 0) return false;
+    for (size_t i = 0; i < q.atoms.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) continue;
+      for (schema::AccessMethodId m : schema.methods_on(infos[i].relation)) {
+        if (!MethodExecutable(schema.method(m), q.atoms[i], var_ids, bound)) {
+          continue;
+        }
+        plan.steps.push_back(PlannedStep{i, m});
+        std::vector<int> newly;
+        for (int v : infos[i].vars) {
+          if (!bound[static_cast<size_t>(v)]) {
+            bound[static_cast<size_t>(v)] = true;
+            newly.push_back(v);
+          }
+        }
+        if (complete(mask | (uint64_t{1} << i))) return true;
+        for (int v : newly) bound[static_cast<size_t>(v)] = false;
+        plan.steps.pop_back();
+        break;  // other methods bind the same variables; the memo on
+                // the mask covers alternative method choices below
+      }
+    }
+    failed.insert(mask);
+    return false;
+  };
+
+  // NOTE: the `break` above is safe for *feasibility* only when every
+  // method choice binds the same variable set (true: variables come
+  // from the atom, not the method). Different methods can still differ
+  // in which one is executable, so we must try each method until one
+  // is executable — the break fires only after a recursive failure,
+  // where any other executable method would fail identically (same
+  // mask, same bound set).
+  if (complete(0)) return plan;
+  return Status::NotFound("no executable ordering under binding patterns");
+}
+
+Result<std::set<Tuple>> ExecutePlan(const ExecutablePlan& plan,
+                                    const logic::Cq& q,
+                                    const schema::Schema& schema,
+                                    const schema::Instance& universe,
+                                    PlanExecutionStats* stats,
+                                    schema::AccessPath* trace) {
+  if (plan.steps.size() != q.atoms.size()) {
+    return Status::InvalidArgument("plan does not cover all atoms");
+  }
+  PlanExecutionStats local;
+  std::set<schema::Access> performed;  // dedupe repeated accesses
+
+  std::vector<logic::Env> envs = {logic::Env{}};
+  for (const PlannedStep& step : plan.steps) {
+    const logic::CqAtom& atom = q.atoms[step.atom_index];
+    const schema::AccessMethod& method = schema.method(step.method);
+    std::vector<logic::Env> next;
+    for (const logic::Env& env : envs) {
+      // Build the binding for the method's input positions.
+      Tuple binding;
+      binding.reserve(method.input_positions.size());
+      bool ok = true;
+      for (schema::Position p : method.input_positions) {
+        const Term& t = atom.terms[static_cast<size_t>(p)];
+        if (t.is_const()) {
+          binding.push_back(t.value());
+        } else {
+          auto it = env.find(t.var_name());
+          if (it == env.end()) {
+            ok = false;  // plan was not executable after all
+            break;
+          }
+          binding.push_back(it->second);
+        }
+      }
+      if (!ok) {
+        return Status::Internal("unbound input position during execution");
+      }
+      // Exact access against the hidden universe.
+      std::vector<Tuple> response = universe.Matching(
+          atom.pred.id, method.input_positions, binding);
+      schema::Access access{step.method, binding};
+      if (performed.insert(access).second) {
+        ++local.accesses;
+        local.tuples_fetched += response.size();
+        if (trace != nullptr) {
+          schema::AccessStep ts;
+          ts.access = access;
+          ts.response = schema::Response(response.begin(), response.end());
+          trace->Append(std::move(ts));
+        }
+      }
+      // Unify each returned tuple with the atom.
+      for (const Tuple& tuple : response) {
+        logic::Env extended = env;
+        bool match = true;
+        for (size_t i = 0; i < tuple.size(); ++i) {
+          const Term& t = atom.terms[i];
+          if (t.is_const()) {
+            if (t.value() != tuple[i]) {
+              match = false;
+              break;
+            }
+            continue;
+          }
+          auto [it, inserted] = extended.emplace(t.var_name(), tuple[i]);
+          if (!inserted && it->second != tuple[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) next.push_back(std::move(extended));
+      }
+    }
+    envs = std::move(next);
+    local.max_envs = std::max(local.max_envs, envs.size());
+    if (envs.empty()) break;
+  }
+
+  // Residual side conditions (≠, head equalities/constants).
+  std::set<Tuple> answers;
+  for (const logic::Env& env : envs) {
+    bool ok = true;
+    for (const auto& [l, r] : q.neqs) {
+      Value lv = l.is_const() ? l.value() : env.at(l.var_name());
+      Value rv = r.is_const() ? r.value() : env.at(r.var_name());
+      if (lv == rv) {
+        ok = false;
+        break;
+      }
+    }
+    for (const auto& [a, b] : q.head_eqs) {
+      if (ok && env.at(a) != env.at(b)) ok = false;
+    }
+    for (const auto& [v, c] : q.head_consts) {
+      if (ok && env.at(v) != c) ok = false;
+    }
+    if (!ok) continue;
+    Tuple row;
+    row.reserve(q.head.size());
+    for (const std::string& h : q.head) row.push_back(env.at(h));
+    answers.insert(std::move(row));
+  }
+  if (stats != nullptr) *stats = local;
+  return answers;
+}
+
+}  // namespace planner
+}  // namespace accltl

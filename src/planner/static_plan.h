@@ -1,0 +1,76 @@
+#ifndef ACCLTL_PLANNER_STATIC_PLAN_H_
+#define ACCLTL_PLANNER_STATIC_PLAN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/logic/cq.h"
+#include "src/schema/access.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace planner {
+
+/// One step of an executable plan: answer atom `atom_index` of the CQ
+/// through access method `method`, whose input positions are covered by
+/// constants of the atom or by variables bound in earlier steps.
+struct PlannedStep {
+  size_t atom_index = 0;
+  schema::AccessMethodId method = 0;
+
+  std::string ToString(const logic::Cq& q, const schema::Schema& s) const;
+};
+
+/// A left-deep executable ordering of the atoms of a conjunctive query
+/// under the schema's binding patterns ([20], [18]: a query is
+/// *answerable by exact accesses alone* iff such an ordering exists).
+struct ExecutablePlan {
+  std::vector<PlannedStep> steps;
+
+  std::string ToString(const logic::Cq& q, const schema::Schema& s) const;
+};
+
+/// Finds an executable ordering of the CQ's atoms, if any (§1: the
+/// query Address(X,Y,"Jones",Z) has none under AcM1/AcM2).
+///
+/// An atom is executable once every input position of some method on
+/// its relation is covered by a constant of the atom or by a variable
+/// occurring in an earlier atom. Search is DFS over atom orderings with
+/// memoization on the set of placed atoms; kNotFound when no ordering
+/// exists, kInvalidArgument for non-plain atoms or > 64 atoms.
+Result<ExecutablePlan> PlanConjunctiveQuery(const logic::Cq& q,
+                                            const schema::Schema& schema);
+
+struct PlanExecutionStats {
+  /// Distinct accesses performed.
+  size_t accesses = 0;
+  /// Total tuples returned across accesses.
+  size_t tuples_fetched = 0;
+  /// Intermediate binding environments materialized (join width).
+  size_t max_envs = 0;
+};
+
+/// Executes the plan against a hidden `universe` with *exact* accesses
+/// (§2), nested-loop style: each step expands every current variable
+/// binding through one access. Returns the head projections (for a
+/// boolean query: a set containing the empty tuple iff the query
+/// holds); they coincide with Q(universe) because the plan is
+/// executable and the accesses are exact.
+///
+/// `trace`, when non-null, receives the access path performed — the
+/// path is grounded in the plan's constants (every binding value is a
+/// constant of Q or was returned by an earlier access).
+Result<std::set<Tuple>> ExecutePlan(const ExecutablePlan& plan,
+                                    const logic::Cq& q,
+                                    const schema::Schema& schema,
+                                    const schema::Instance& universe,
+                                    PlanExecutionStats* stats = nullptr,
+                                    schema::AccessPath* trace = nullptr);
+
+}  // namespace planner
+}  // namespace accltl
+
+#endif  // ACCLTL_PLANNER_STATIC_PLAN_H_

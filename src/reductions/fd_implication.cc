@@ -1,0 +1,151 @@
+#include "src/reductions/fd_implication.h"
+
+#include <map>
+#include <set>
+
+namespace accltl {
+namespace reductions {
+
+bool FdsImply(const std::vector<schema::FunctionalDependency>& fds,
+              const schema::FunctionalDependency& sigma) {
+  // Attribute-set closure of sigma.lhs under the FDs of the same
+  // relation.
+  std::set<schema::Position> closure(sigma.lhs.begin(), sigma.lhs.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const schema::FunctionalDependency& fd : fds) {
+      if (fd.relation != sigma.relation) continue;
+      bool applicable = true;
+      for (schema::Position p : fd.lhs) {
+        if (closure.count(p) == 0) {
+          applicable = false;
+          break;
+        }
+      }
+      if (applicable && closure.insert(fd.rhs).second) changed = true;
+    }
+  }
+  return closure.count(sigma.rhs) > 0;
+}
+
+Result<bool> ChaseImplies(const schema::Schema& schema,
+                          const std::vector<schema::FunctionalDependency>& fds,
+                          const std::vector<schema::InclusionDependency>& ids,
+                          const schema::FunctionalDependency& sigma,
+                          size_t max_steps) {
+  // Start from the canonical counterexample to sigma: two tuples of
+  // sigma's relation agreeing on sigma.lhs, disagreeing on sigma.rhs,
+  // all other positions fresh. Chase with FDs (merge values) and IDs
+  // (add tuples with fresh values). Sigma is implied iff the chase
+  // equates the two rhs values (or produces a hard FD violation between
+  // already-equated constants, which cannot happen with labelled
+  // nulls).
+  int arity = schema.relation(sigma.relation).arity();
+  int next_null = 0;
+  auto fresh = [&] { return Value::Int(next_null++); };
+
+  std::map<schema::RelationId, std::vector<Tuple>> tuples;
+  Tuple t1, t2;
+  std::set<schema::Position> lhs(sigma.lhs.begin(), sigma.lhs.end());
+  for (int i = 0; i < arity; ++i) {
+    if (lhs.count(i) > 0) {
+      Value shared = fresh();
+      t1.push_back(shared);
+      t2.push_back(shared);
+    } else {
+      t1.push_back(fresh());
+      t2.push_back(fresh());
+    }
+  }
+  Value rhs1 = t1[static_cast<size_t>(sigma.rhs)];
+  Value rhs2 = t2[static_cast<size_t>(sigma.rhs)];
+  tuples[sigma.relation] = {t1, t2};
+
+  // Note: parameters are by value — the arguments typically alias into
+  // the tuples being rewritten, and must not change mid-substitution.
+  auto substitute = [&](Value from, Value to) {
+    for (auto& [rel, ts] : tuples) {
+      for (Tuple& t : ts) {
+        for (Value& v : t) {
+          if (v == from) v = to;
+        }
+      }
+    }
+    if (rhs1 == from) rhs1 = to;
+    if (rhs2 == from) rhs2 = to;
+  };
+
+  for (size_t step = 0; step < max_steps; ++step) {
+    bool changed = false;
+    // FD chase: merge rhs values of agreeing tuples.
+    for (const schema::FunctionalDependency& fd : fds) {
+      auto it = tuples.find(fd.relation);
+      if (it == tuples.end()) continue;
+      for (size_t i = 0; i < it->second.size() && !changed; ++i) {
+        for (size_t j = i + 1; j < it->second.size() && !changed; ++j) {
+          const Tuple& a = it->second[i];
+          const Tuple& b = it->second[j];
+          bool agree = true;
+          for (schema::Position p : fd.lhs) {
+            if (a[static_cast<size_t>(p)] != b[static_cast<size_t>(p)]) {
+              agree = false;
+              break;
+            }
+          }
+          if (agree && a[static_cast<size_t>(fd.rhs)] !=
+                           b[static_cast<size_t>(fd.rhs)]) {
+            substitute(b[static_cast<size_t>(fd.rhs)],
+                       a[static_cast<size_t>(fd.rhs)]);
+            changed = true;
+          }
+        }
+      }
+      if (changed) break;
+    }
+    if (changed) {
+      if (rhs1 == rhs2) return true;
+      continue;
+    }
+    // ID chase: add a witness tuple when missing.
+    for (const schema::InclusionDependency& id : ids) {
+      auto it = tuples.find(id.source);
+      if (it == tuples.end()) continue;
+      for (const Tuple& src : it->second) {
+        bool found = false;
+        for (const Tuple& tgt : tuples[id.target]) {
+          bool match = true;
+          for (size_t k = 0; k < id.source_positions.size(); ++k) {
+            if (tgt[static_cast<size_t>(id.target_positions[k])] !=
+                src[static_cast<size_t>(id.source_positions[k])]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          Tuple fresh_tuple;
+          int target_arity = schema.relation(id.target).arity();
+          for (int p = 0; p < target_arity; ++p) fresh_tuple.push_back(fresh());
+          for (size_t k = 0; k < id.source_positions.size(); ++k) {
+            fresh_tuple[static_cast<size_t>(id.target_positions[k])] =
+                src[static_cast<size_t>(id.source_positions[k])];
+          }
+          tuples[id.target].push_back(std::move(fresh_tuple));
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+    if (!changed) return rhs1 == rhs2;  // chase terminated
+  }
+  return Status::ResourceExhausted("chase did not terminate within budget");
+}
+
+}  // namespace reductions
+}  // namespace accltl

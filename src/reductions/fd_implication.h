@@ -1,0 +1,32 @@
+#ifndef ACCLTL_REDUCTIONS_FD_IMPLICATION_H_
+#define ACCLTL_REDUCTIONS_FD_IMPLICATION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/schema/dependencies.h"
+
+namespace accltl {
+namespace reductions {
+
+/// Armstrong closure: does the set of functional dependencies imply
+/// sigma? (Polynomial; the decidable sub-problem used to validate the
+/// §3/§5 reductions, whose source problem — FD+ID implication — is
+/// undecidable [Chandra–Vardi 1985].)
+bool FdsImply(const std::vector<schema::FunctionalDependency>& fds,
+              const schema::FunctionalDependency& sigma);
+
+/// FD + inclusion-dependency implication via the chase, with a step
+/// budget: kYes/kNo when the chase terminates (e.g. acyclic IDs),
+/// kResourceExhausted otherwise. Works on a single-schema instance
+/// world where all positions share one domain.
+Result<bool> ChaseImplies(const schema::Schema& schema,
+                          const std::vector<schema::FunctionalDependency>& fds,
+                          const std::vector<schema::InclusionDependency>& ids,
+                          const schema::FunctionalDependency& sigma,
+                          size_t max_steps = 4096);
+
+}  // namespace reductions
+}  // namespace accltl
+
+#endif  // ACCLTL_REDUCTIONS_FD_IMPLICATION_H_

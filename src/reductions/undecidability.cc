@@ -1,0 +1,303 @@
+#include "src/reductions/undecidability.h"
+
+#include <string>
+
+namespace accltl {
+namespace reductions {
+
+using acc::AccFormula;
+using acc::AccPtr;
+using acc::CtlFormula;
+using acc::CtlPtr;
+using logic::PosFormula;
+using logic::PosFormulaPtr;
+using logic::Term;
+
+namespace {
+
+/// Extends the base schema per the Thm 5.3 sketch: a no-input Fill
+/// method per relation, plus ChkFD(R) (arity 2n) and CheckIncDep(R)
+/// (arity n) relations with boolean (all-input) access methods.
+schema::Schema ExtendSchema(const ImplicationInstance& instance,
+                            std::vector<schema::AccessMethodId>* fill_methods,
+                            std::vector<schema::RelationId>* chkfd,
+                            std::vector<schema::RelationId>* chkid) {
+  schema::Schema ext = instance.base;
+  for (schema::RelationId r = 0; r < instance.base.num_relations(); ++r) {
+    const schema::Relation& rel = instance.base.relation(r);
+    fill_methods->push_back(
+        ext.AddAccessMethod("Fill" + rel.name, r, {}));
+    std::vector<ValueType> doubled = rel.position_types;
+    doubled.insert(doubled.end(), rel.position_types.begin(),
+                   rel.position_types.end());
+    schema::RelationId cf = ext.AddRelation("ChkFD_" + rel.name, doubled);
+    std::vector<schema::Position> all2;
+    for (int i = 0; i < 2 * rel.arity(); ++i) all2.push_back(i);
+    ext.AddAccessMethod("ChkFD_" + rel.name + "_b", cf, all2);
+    chkfd->push_back(cf);
+    schema::RelationId ci =
+        ext.AddRelation("CheckIncDep_" + rel.name, rel.position_types);
+    std::vector<schema::Position> all1;
+    for (int i = 0; i < rel.arity(); ++i) all1.push_back(i);
+    ext.AddAccessMethod("CheckIncDep_" + rel.name + "_b", ci, all1);
+    chkid->push_back(ci);
+  }
+  return ext;
+}
+
+/// ∃x̄ȳ ChkFDpost(x̄ȳ) ∧ ⋀_{p∈lhs} x_p = y_p ∧ Rpost(x̄) ∧ Rpost(ȳ).
+PosFormulaPtr ChkFdPairWitness(const schema::Schema& ext,
+                               schema::RelationId chk,
+                               const schema::FunctionalDependency& fd) {
+  int n = ext.relation(fd.relation).arity();
+  std::vector<Term> xs, ys, xy;
+  std::vector<std::string> vars;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(Term::Var("cx" + std::to_string(i)));
+    vars.push_back("cx" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    ys.push_back(Term::Var("cy" + std::to_string(i)));
+    vars.push_back("cy" + std::to_string(i));
+  }
+  xy = xs;
+  xy.insert(xy.end(), ys.begin(), ys.end());
+  std::vector<PosFormulaPtr> conj = {
+      PosFormula::MakeAtom(logic::Post(chk), xy),
+      PosFormula::MakeAtom(logic::Post(fd.relation), xs),
+      PosFormula::MakeAtom(logic::Post(fd.relation), ys)};
+  for (schema::Position p : fd.lhs) {
+    conj.push_back(PosFormula::Eq(xs[static_cast<size_t>(p)],
+                                  ys[static_cast<size_t>(p)]));
+  }
+  return PosFormula::Exists(std::move(vars), PosFormula::And(std::move(conj)));
+}
+
+/// ∃x̄ȳ ChkFDpost(x̄ȳ) ∧ x_rhs = y_rhs (the "agreement confirmed" part).
+PosFormulaPtr ChkFdAgreement(const schema::Schema& ext,
+                             schema::RelationId chk,
+                             const schema::FunctionalDependency& fd) {
+  int n = ext.relation(fd.relation).arity();
+  std::vector<Term> xy;
+  std::vector<std::string> vars;
+  for (int i = 0; i < 2 * n; ++i) {
+    xy.push_back(Term::Var("ca" + std::to_string(i)));
+    vars.push_back("ca" + std::to_string(i));
+  }
+  std::vector<PosFormulaPtr> conj = {PosFormula::MakeAtom(logic::Post(chk), xy)};
+  conj.push_back(PosFormula::Eq(xy[static_cast<size_t>(fd.rhs)],
+                                xy[static_cast<size_t>(fd.rhs + n)]));
+  return PosFormula::Exists(std::move(vars), PosFormula::And(std::move(conj)));
+}
+
+}  // namespace
+
+Result<CtlReduction> BuildCtlReduction(const ImplicationInstance& instance) {
+  CtlReduction out;
+  std::vector<schema::AccessMethodId> fill_methods;
+  std::vector<schema::RelationId> chkfd, chkid;
+  out.extended = ExtendSchema(instance, &fill_methods, &chkfd, &chkid);
+  const schema::Schema& ext = out.extended;
+
+  // φfd: AX ( pair-tested-in-ChkFD ∧ agrees-on-lhs ⇒ agrees-on-rhs ).
+  // Encoded as ¬EX(test ∧ ¬agree) using the one-tuple-per-boolean-access
+  // trick of the proof.
+  std::vector<CtlPtr> conjuncts;
+  for (const schema::FunctionalDependency& fd : instance.fds) {
+    schema::RelationId chk = chkfd[static_cast<size_t>(fd.relation)];
+    CtlPtr test = CtlFormula::Atom(ChkFdPairWitness(ext, chk, fd));
+    CtlPtr agree = CtlFormula::Atom(ChkFdAgreement(ext, chk, fd));
+    conjuncts.push_back(CtlFormula::Ax(
+        CtlFormula::Or({CtlFormula::Not(test), agree})));
+  }
+  // φ¬σ: EX(test ∧ ¬agree) for σ.
+  {
+    schema::RelationId chk = chkfd[static_cast<size_t>(instance.sigma.relation)];
+    CtlPtr test =
+        CtlFormula::Atom(ChkFdPairWitness(ext, chk, instance.sigma));
+    CtlPtr agree =
+        CtlFormula::Atom(ChkFdAgreement(ext, chk, instance.sigma));
+    conjuncts.push_back(
+        CtlFormula::Ex(CtlFormula::And({test, CtlFormula::Not(agree)})));
+  }
+  // φid: whenever a test access confirms a source tuple, some next
+  // access reveals a matching target tuple.
+  for (const schema::InclusionDependency& id : instance.ids) {
+    schema::RelationId src_chk = chkid[static_cast<size_t>(id.source)];
+    schema::RelationId tgt_chk = chkid[static_cast<size_t>(id.target)];
+    int n_src = ext.relation(id.source).arity();
+    int n_tgt = ext.relation(id.target).arity();
+    std::vector<Term> xs, ys;
+    std::vector<std::string> xvars, yvars;
+    for (int i = 0; i < n_src; ++i) {
+      xs.push_back(Term::Var("ix" + std::to_string(i)));
+      xvars.push_back("ix" + std::to_string(i));
+    }
+    for (int i = 0; i < n_tgt; ++i) {
+      ys.push_back(Term::Var("iy" + std::to_string(i)));
+      yvars.push_back("iy" + std::to_string(i));
+    }
+    PosFormulaPtr src_test = PosFormula::Exists(
+        xvars, PosFormula::And(
+                   {PosFormula::MakeAtom(logic::Post(src_chk), xs),
+                    PosFormula::MakeAtom(logic::Post(id.source), xs)}));
+    std::vector<PosFormulaPtr> match_conj = {
+        PosFormula::MakeAtom(logic::Post(src_chk), xs),
+        PosFormula::MakeAtom(logic::Post(tgt_chk), ys),
+        PosFormula::MakeAtom(logic::Post(id.target), ys)};
+    for (size_t k = 0; k < id.source_positions.size(); ++k) {
+      match_conj.push_back(PosFormula::Eq(
+          xs[static_cast<size_t>(id.source_positions[k])],
+          ys[static_cast<size_t>(id.target_positions[k])]));
+    }
+    std::vector<std::string> all_vars = xvars;
+    all_vars.insert(all_vars.end(), yvars.begin(), yvars.end());
+    PosFormulaPtr match = PosFormula::Exists(
+        all_vars, PosFormula::And(std::move(match_conj)));
+    conjuncts.push_back(CtlFormula::Ax(
+        CtlFormula::Or({CtlFormula::Not(CtlFormula::Atom(src_test)),
+                        CtlFormula::Ex(CtlFormula::Atom(match))})));
+  }
+
+  // Wrap in the Fill prefix: EX(Fill_R1 ∧ EX(… ∧ body)).
+  CtlPtr body = CtlFormula::And(std::move(conjuncts));
+  for (int r = instance.base.num_relations() - 1; r >= 0; --r) {
+    PosFormulaPtr used =
+        PosFormula::MakeAtom(logic::Bind(fill_methods[static_cast<size_t>(r)]),
+                             {});
+    body = CtlFormula::Ex(CtlFormula::And({CtlFormula::Atom(used), body}));
+  }
+  out.formula = body;
+  return out;
+}
+
+Result<AccReduction> BuildAccLtlReduction(const ImplicationInstance& instance) {
+  AccReduction out;
+  std::vector<schema::AccessMethodId> fill_methods;
+  std::vector<schema::RelationId> chkfd, chkid;
+  out.extended = ExtendSchema(instance, &fill_methods, &chkfd, &chkid);
+  const schema::Schema& ext = out.extended;
+
+  // Thm 3.1 skeleton: fill every relation, then iterate FD checks via
+  // boolean ChkFD accesses; the iteration "accesses them progressively
+  // within ChkFD" — a binding must NOT satisfy the already-checked set,
+  // which needs negated IsBind context. We encode the characteristic
+  // un-positivity: G( IsBind_ChkFD(x̄ȳ) occurring only for *new* pairs )
+  // expressed via ¬∃x̄ȳ (IsBind(x̄ȳ) ∧ ChkFD_pre(x̄ȳ)).
+  std::vector<AccPtr> conjuncts;
+  for (const schema::FunctionalDependency& fd : instance.fds) {
+    schema::RelationId chk = chkfd[static_cast<size_t>(fd.relation)];
+    // Every checked pair satisfies the FD...
+    conjuncts.push_back(AccFormula::Globally(AccFormula::Or(
+        {AccFormula::Not(
+             AccFormula::Atom(ChkFdPairWitness(ext, chk, fd))),
+         AccFormula::Atom(ChkFdAgreement(ext, chk, fd))})));
+    // ...and re-checking an already-checked pair is forbidden: the
+    // binding-negative constraint that breaks Def. 4.1.
+    int n2 = 2 * ext.relation(fd.relation).arity();
+    std::vector<Term> xy;
+    std::vector<std::string> vars;
+    for (int i = 0; i < n2; ++i) {
+      xy.push_back(Term::Var("rx" + std::to_string(i)));
+      vars.push_back("rx" + std::to_string(i));
+    }
+    Result<schema::AccessMethodId> bm =
+        ext.FindMethod("ChkFD_" + ext.relation(fd.relation).name + "_b");
+    if (!bm.ok()) return bm.status();
+    PosFormulaPtr recheck = PosFormula::Exists(
+        std::move(vars),
+        PosFormula::And({PosFormula::MakeAtom(logic::Bind(bm.value()), xy),
+                         PosFormula::MakeAtom(logic::Pre(chk), xy)}));
+    conjuncts.push_back(AccFormula::Globally(
+        AccFormula::Not(AccFormula::Atom(std::move(recheck)))));
+  }
+  // σ must fail on some checked pair.
+  {
+    schema::RelationId chk =
+        chkfd[static_cast<size_t>(instance.sigma.relation)];
+    conjuncts.push_back(AccFormula::Eventually(AccFormula::And(
+        {AccFormula::Atom(ChkFdPairWitness(ext, chk, instance.sigma)),
+         AccFormula::Not(
+             AccFormula::Atom(ChkFdAgreement(ext, chk, instance.sigma)))})));
+  }
+  out.formula = AccFormula::And(std::move(conjuncts));
+  return out;
+}
+
+Result<AccReduction> BuildBindingPositiveNeqReduction(
+    const ImplicationInstance& instance) {
+  AccReduction out;
+  std::vector<schema::AccessMethodId> fill_methods;
+  std::vector<schema::RelationId> chkfd, chkid;
+  out.extended = ExtendSchema(instance, &fill_methods, &chkfd, &chkid);
+  const schema::Schema& ext = out.extended;
+
+  // Thm 5.2: FD satisfaction/failure via boolean combinations of CQs
+  // with inequality — binding-positive throughout.
+  std::vector<AccPtr> conjuncts;
+  auto fd_violation = [&](const schema::FunctionalDependency& fd) {
+    int n = ext.relation(fd.relation).arity();
+    std::vector<Term> xs, ys;
+    std::vector<std::string> vars;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(Term::Var("vx" + std::to_string(i)));
+      vars.push_back("vx" + std::to_string(i));
+      ys.push_back(Term::Var("vy" + std::to_string(i)));
+      vars.push_back("vy" + std::to_string(i));
+    }
+    std::vector<PosFormulaPtr> conj = {
+        PosFormula::MakeAtom(logic::Post(fd.relation), xs),
+        PosFormula::MakeAtom(logic::Post(fd.relation), ys)};
+    for (schema::Position p : fd.lhs) {
+      conj.push_back(PosFormula::Eq(xs[static_cast<size_t>(p)],
+                                    ys[static_cast<size_t>(p)]));
+    }
+    conj.push_back(PosFormula::Neq(xs[static_cast<size_t>(fd.rhs)],
+                                   ys[static_cast<size_t>(fd.rhs)]));
+    return PosFormula::Exists(std::move(vars),
+                              PosFormula::And(std::move(conj)));
+  };
+  for (const schema::FunctionalDependency& fd : instance.fds) {
+    conjuncts.push_back(AccFormula::Not(
+        AccFormula::Eventually(AccFormula::Atom(fd_violation(fd)))));
+  }
+  conjuncts.push_back(
+      AccFormula::Eventually(AccFormula::Atom(fd_violation(instance.sigma))));
+  // ID satisfaction via the CheckIncDep iteration (successor-driven in
+  // the full proof; here the until-loop over boolean check accesses).
+  for (const schema::InclusionDependency& id : instance.ids) {
+    int n_src = ext.relation(id.source).arity();
+    int n_tgt = ext.relation(id.target).arity();
+    std::vector<Term> xs, ys;
+    std::vector<std::string> vars;
+    for (int i = 0; i < n_src; ++i) {
+      xs.push_back(Term::Var("wx" + std::to_string(i)));
+      vars.push_back("wx" + std::to_string(i));
+    }
+    for (int i = 0; i < n_tgt; ++i) {
+      ys.push_back(Term::Var("wy" + std::to_string(i)));
+      vars.push_back("wy" + std::to_string(i));
+    }
+    Result<schema::AccessMethodId> bm = ext.FindMethod(
+        "CheckIncDep_" + ext.relation(id.source).name + "_b");
+    if (!bm.ok()) return bm.status();
+    std::vector<PosFormulaPtr> conj = {
+        PosFormula::MakeAtom(logic::Bind(bm.value()), xs),
+        PosFormula::MakeAtom(logic::Post(id.source), xs),
+        PosFormula::MakeAtom(logic::Post(id.target), ys)};
+    for (size_t k = 0; k < id.source_positions.size(); ++k) {
+      conj.push_back(PosFormula::Eq(
+          xs[static_cast<size_t>(id.source_positions[k])],
+          ys[static_cast<size_t>(id.target_positions[k])]));
+    }
+    PosFormulaPtr checked = PosFormula::Exists(
+        std::move(vars), PosFormula::And(std::move(conj)));
+    conjuncts.push_back(
+        AccFormula::Eventually(AccFormula::Atom(std::move(checked))));
+  }
+  out.formula = AccFormula::And(std::move(conjuncts));
+  return out;
+}
+
+}  // namespace reductions
+}  // namespace accltl

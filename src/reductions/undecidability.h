@@ -1,0 +1,56 @@
+#ifndef ACCLTL_REDUCTIONS_UNDECIDABILITY_H_
+#define ACCLTL_REDUCTIONS_UNDECIDABILITY_H_
+
+#include <vector>
+
+#include "src/accltl/ctl.h"
+#include "src/accltl/formula.h"
+#include "src/common/status.h"
+#include "src/schema/dependencies.h"
+
+namespace accltl {
+namespace reductions {
+
+/// An FD+ID implication instance over a base schema (the undecidable
+/// source problem [6] of Thms 3.1, 5.2, 5.3).
+struct ImplicationInstance {
+  schema::Schema base;
+  std::vector<schema::FunctionalDependency> fds;
+  std::vector<schema::InclusionDependency> ids;
+  schema::FunctionalDependency sigma;
+};
+
+/// Output of a reduction: the extended schema (check relations, fill
+/// methods, successor relations per the §3/§5 proof sketches) plus the
+/// constructed formula. The formula is satisfiable iff Γ does NOT imply
+/// σ (over the intended encodings).
+struct CtlReduction {
+  schema::Schema extended;
+  acc::CtlPtr formula;
+};
+
+/// Thm 5.3: builds ψ(Γ, σ) = EX(FillR1 ∧ EX(… ∧ ⋀φfd ∧ ⋀φid ∧ φ¬σ))
+/// over the schema extended with no-input Fill methods and boolean-access
+/// ChkFD/CheckIncDep relations. CTLEX(FO∃+0−Acc) satisfiability being
+/// undecidable follows from this construction.
+Result<CtlReduction> BuildCtlReduction(const ImplicationInstance& instance);
+
+struct AccReduction {
+  schema::Schema extended;
+  acc::AccPtr formula;
+};
+
+/// Thm 3.1's reduction target: an AccLTL(FO∃+Acc) formula (NOT
+/// binding-positive — negated IsBind atoms drive the iteration over the
+/// successor relation) encoding "Γ holds and σ fails".
+Result<AccReduction> BuildAccLtlReduction(const ImplicationInstance& instance);
+
+/// Thm 5.2's reduction target: a *binding-positive* formula with
+/// inequalities (the fragment AccLTL+(≠) this proves undecidable).
+Result<AccReduction> BuildBindingPositiveNeqReduction(
+    const ImplicationInstance& instance);
+
+}  // namespace reductions
+}  // namespace accltl
+
+#endif  // ACCLTL_REDUCTIONS_UNDECIDABILITY_H_

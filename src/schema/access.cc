@@ -1,0 +1,140 @@
+#include "src/schema/access.h"
+
+#include <map>
+
+namespace accltl {
+namespace schema {
+
+std::string Access::ToString(const Schema& schema) const {
+  const AccessMethod& m = schema.method(method);
+  const Relation& rel = schema.relation(m.relation);
+  std::string out = m.name + ":" + rel.name + "(";
+  size_t bi = 0;
+  for (int pos = 0; pos < rel.arity(); ++pos) {
+    if (pos > 0) out += ", ";
+    if (bi < m.input_positions.size() && m.input_positions[bi] == pos) {
+      out += binding[bi].ToString();
+      ++bi;
+    } else {
+      out += "?";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string AccessStep::ToString(const Schema& schema) const {
+  std::string out = access.ToString(schema) + " -> {";
+  bool first = true;
+  for (const Tuple& t : response) {
+    if (!first) out += ", ";
+    first = false;
+    out += TupleToString(t);
+  }
+  out += "}";
+  return out;
+}
+
+Status AccessPath::Validate(const Schema& schema) const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const AccessStep& st = steps_[i];
+    ACCLTL_RETURN_IF_ERROR(
+        schema.ValidateBinding(st.access.method, st.access.binding));
+    const AccessMethod& m = schema.method(st.access.method);
+    for (const Tuple& t : st.response) {
+      ACCLTL_RETURN_IF_ERROR(schema.ValidateTuple(m.relation, t));
+      for (int k = 0; k < m.num_inputs(); ++k) {
+        if (t[static_cast<size_t>(m.input_positions[k])] !=
+            st.access.binding[k]) {
+          return Status::InvalidArgument(
+              "step " + std::to_string(i) + ": response tuple " +
+              TupleToString(t) + " disagrees with binding on input position " +
+              std::to_string(m.input_positions[k]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Instance AccessPath::Configuration(const Schema& schema,
+                                   const Instance& initial) const {
+  Instance conf = initial;
+  for (const AccessStep& st : steps_) {
+    RelationId rel = schema.method(st.access.method).relation;
+    for (const Tuple& t : st.response) conf.AddFact(rel, t);
+  }
+  return conf;
+}
+
+std::vector<Instance> AccessPath::ConfigurationSequence(
+    const Schema& schema, const Instance& initial) const {
+  std::vector<Instance> confs;
+  confs.reserve(steps_.size() + 1);
+  confs.push_back(initial);
+  for (const AccessStep& st : steps_) {
+    Instance next = confs.back();
+    RelationId rel = schema.method(st.access.method).relation;
+    for (const Tuple& t : st.response) next.AddFact(rel, t);
+    confs.push_back(std::move(next));
+  }
+  return confs;
+}
+
+bool AccessPath::IsGrounded(const Schema& schema,
+                            const Instance& initial) const {
+  std::set<Value> known = initial.ActiveDomain();
+  for (const AccessStep& st : steps_) {
+    for (const Value& v : st.access.binding) {
+      if (known.find(v) == known.end()) return false;
+    }
+    (void)schema;
+    for (const Tuple& t : st.response) known.insert(t.begin(), t.end());
+  }
+  return true;
+}
+
+bool AccessPath::IsIdempotent(const std::set<AccessMethodId>& methods) const {
+  std::map<Access, const Response*> seen;
+  for (const AccessStep& st : steps_) {
+    if (!methods.empty() && methods.find(st.access.method) == methods.end()) {
+      continue;
+    }
+    auto [it, inserted] = seen.emplace(st.access, &st.response);
+    if (!inserted && *it->second != st.response) return false;
+  }
+  return true;
+}
+
+bool AccessPath::IsExact(const Schema& schema, const Instance& initial,
+                         const std::set<AccessMethodId>& methods) const {
+  // A path is S-exact iff it is exact for the *final* configuration:
+  // any witnessing instance I must contain all revealed tuples, and
+  // shrinking I toward the final configuration only shrinks the matching
+  // sets, which must still cover each response.
+  Instance full = Configuration(schema, initial);
+  for (const AccessStep& st : steps_) {
+    if (!methods.empty() && methods.find(st.access.method) == methods.end()) {
+      continue;
+    }
+    const AccessMethod& m = schema.method(st.access.method);
+    std::vector<Tuple> matching =
+        full.Matching(m.relation, m.input_positions, st.access.binding);
+    if (matching.size() != st.response.size()) return false;
+    for (const Tuple& t : matching) {
+      if (st.response.find(t) == st.response.end()) return false;
+    }
+  }
+  return true;
+}
+
+std::string AccessPath::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    out += std::to_string(i) + ": " + steps_[i].ToString(schema) + "\n";
+  }
+  return out;
+}
+
+}  // namespace schema
+}  // namespace accltl

@@ -1,0 +1,100 @@
+#ifndef ACCLTL_SCHEMA_ACCESS_H_
+#define ACCLTL_SCHEMA_ACCESS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace schema {
+
+/// An access (§2): an access method plus a binding for its input
+/// positions. Example: Mobile("Jones", ?, ?, ?) is Access{AcM1,
+/// {Str("Jones")}} when AcM1 has input position 0.
+struct Access {
+  AccessMethodId method = 0;
+  Tuple binding;
+
+  friend bool operator==(const Access& a, const Access& b) {
+    return a.method == b.method && a.binding == b.binding;
+  }
+  friend bool operator<(const Access& a, const Access& b) {
+    if (a.method != b.method) return a.method < b.method;
+    return a.binding < b.binding;
+  }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A response: the set of full tuples returned for an access.
+using Response = std::set<Tuple>;
+
+/// One step of an access path: an access and its (well-formed) response.
+struct AccessStep {
+  Access access;
+  Response response;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// An access path (§2): a sequence of accesses and responses. Every
+/// such sequence is an access path *for some instance* (the instance of
+/// all returned tuples); the checks below test the extra sanity
+/// properties a schema or analysis may require.
+class AccessPath {
+ public:
+  AccessPath() = default;
+  explicit AccessPath(std::vector<AccessStep> steps)
+      : steps_(std::move(steps)) {}
+
+  const std::vector<AccessStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+  const AccessStep& step(size_t i) const { return steps_[i]; }
+
+  void Append(AccessStep step) { steps_.push_back(std::move(step)); }
+
+  /// Structural validity: bindings/tuples typed correctly, and every
+  /// response tuple agrees with the binding on the method's input
+  /// positions ("well-formed output", §2).
+  Status Validate(const Schema& schema) const;
+
+  /// Conf(p, I0) (§2): I0 plus every tuple returned by any access.
+  Instance Configuration(const Schema& schema, const Instance& initial) const;
+
+  /// The configurations after 0, 1, ..., n steps (n+1 instances).
+  /// Configurations grow monotonically along the path.
+  std::vector<Instance> ConfigurationSequence(const Schema& schema,
+                                              const Instance& initial) const;
+
+  /// Grounded in I0 (§2): every binding value occurs in I0 or in an
+  /// earlier response.
+  bool IsGrounded(const Schema& schema, const Instance& initial) const;
+
+  /// Idempotent (§2): repeating the same access yields the same
+  /// response. `methods` restricts the check to a subset of access
+  /// methods (S-idempotence); empty set means all methods.
+  bool IsIdempotent(const std::set<AccessMethodId>& methods = {}) const;
+
+  /// S-exact (§2): is there an instance for which every access whose
+  /// method is in `methods` returned *exactly* the matching tuples?
+  /// (Equivalently: checked against the final configuration, which is
+  /// the minimal candidate instance.) Empty set means all methods.
+  bool IsExact(const Schema& schema, const Instance& initial,
+               const std::set<AccessMethodId>& methods = {}) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<AccessStep> steps_;
+};
+
+}  // namespace schema
+}  // namespace accltl
+
+#endif  // ACCLTL_SCHEMA_ACCESS_H_

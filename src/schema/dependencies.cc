@@ -1,0 +1,97 @@
+#include "src/schema/dependencies.h"
+
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace accltl {
+namespace schema {
+
+namespace {
+
+std::string PositionsToString(const std::vector<Position>& ps) {
+  std::vector<std::string> parts;
+  parts.reserve(ps.size());
+  for (Position p : ps) parts.push_back(std::to_string(p));
+  return "[" + Join(parts, ",") + "]";
+}
+
+}  // namespace
+
+bool FunctionalDependency::SatisfiedBy(const Instance& instance) const {
+  const auto& tuples = instance.tuples(relation);
+  for (auto it = tuples.begin(); it != tuples.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != tuples.end(); ++jt) {
+      bool lhs_agree = true;
+      for (Position p : lhs) {
+        if ((*it)[static_cast<size_t>(p)] != (*jt)[static_cast<size_t>(p)]) {
+          lhs_agree = false;
+          break;
+        }
+      }
+      if (lhs_agree &&
+          (*it)[static_cast<size_t>(rhs)] != (*jt)[static_cast<size_t>(rhs)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  return schema.relation(relation).name + ": " + PositionsToString(lhs) +
+         " -> " + std::to_string(rhs);
+}
+
+bool InclusionDependency::SatisfiedBy(const Instance& instance) const {
+  for (const Tuple& t : instance.tuples(source)) {
+    Tuple projected;
+    projected.reserve(source_positions.size());
+    for (Position p : source_positions) {
+      projected.push_back(t[static_cast<size_t>(p)]);
+    }
+    bool found = false;
+    for (const Tuple& u : instance.tuples(target)) {
+      bool match = true;
+      for (size_t i = 0; i < target_positions.size(); ++i) {
+        if (u[static_cast<size_t>(target_positions[i])] != projected[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string InclusionDependency::ToString(const Schema& schema) const {
+  return schema.relation(source).name + PositionsToString(source_positions) +
+         " subseteq " + schema.relation(target).name +
+         PositionsToString(target_positions);
+}
+
+bool DisjointnessConstraint::SatisfiedBy(const Instance& instance) const {
+  std::set<Value> left;
+  for (const Tuple& t : instance.tuples(r)) {
+    left.insert(t[static_cast<size_t>(r_position)]);
+  }
+  for (const Tuple& t : instance.tuples(s)) {
+    if (left.count(t[static_cast<size_t>(s_position)]) > 0) return false;
+  }
+  return true;
+}
+
+std::string DisjointnessConstraint::ToString(const Schema& schema) const {
+  return "disjoint(" + schema.relation(r).name + "." +
+         std::to_string(r_position) + ", " + schema.relation(s).name + "." +
+         std::to_string(s_position) + ")";
+}
+
+}  // namespace schema
+}  // namespace accltl

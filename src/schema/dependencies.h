@@ -1,0 +1,62 @@
+#ifndef ACCLTL_SCHEMA_DEPENDENCIES_H_
+#define ACCLTL_SCHEMA_DEPENDENCIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace schema {
+
+/// A functional dependency R : lhs -> rhs (Example 2.4): any two
+/// R-tuples agreeing on all `lhs` positions agree on position `rhs`.
+struct FunctionalDependency {
+  RelationId relation = 0;
+  std::vector<Position> lhs;
+  Position rhs = 0;
+
+  /// True iff `instance` satisfies the dependency.
+  bool SatisfiedBy(const Instance& instance) const;
+
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.relation == b.relation && a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// An inclusion dependency R[a1..an] ⊆ S[b1..bn] (§3): for every
+/// R-tuple, some S-tuple matches it on the listed positions.
+struct InclusionDependency {
+  RelationId source = 0;
+  std::vector<Position> source_positions;
+  RelationId target = 0;
+  std::vector<Position> target_positions;
+
+  bool SatisfiedBy(const Instance& instance) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A disjointness constraint (§1, Example 2.3's data-integrity
+/// restriction): the projection of R on `r_position` never intersects
+/// the projection of S on `s_position` — e.g. customer names are
+/// disjoint from street names.
+struct DisjointnessConstraint {
+  RelationId r = 0;
+  Position r_position = 0;
+  RelationId s = 0;
+  Position s_position = 0;
+
+  bool SatisfiedBy(const Instance& instance) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace schema
+}  // namespace accltl
+
+#endif  // ACCLTL_SCHEMA_DEPENDENCIES_H_

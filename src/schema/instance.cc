@@ -1,0 +1,71 @@
+#include "src/schema/instance.h"
+
+#include <cassert>
+
+namespace accltl {
+namespace schema {
+
+void Instance::UnionWith(const Instance& other) {
+  assert(relations_.size() == other.relations_.size());
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    relations_[i].insert(other.relations_[i].begin(),
+                         other.relations_[i].end());
+  }
+}
+
+bool Instance::SubinstanceOf(const Instance& other) const {
+  assert(relations_.size() == other.relations_.size());
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    for (const Tuple& t : relations_[i]) {
+      if (other.relations_[i].find(t) == other.relations_[i].end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t Instance::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& s : relations_) n += s.size();
+  return n;
+}
+
+std::set<Value> Instance::ActiveDomain() const {
+  std::set<Value> dom;
+  for (const auto& s : relations_) {
+    for (const Tuple& t : s) dom.insert(t.begin(), t.end());
+  }
+  return dom;
+}
+
+std::vector<Tuple> Instance::Matching(RelationId id,
+                                      const std::vector<Position>& positions,
+                                      const Tuple& binding) const {
+  assert(positions.size() == binding.size());
+  std::vector<Tuple> out;
+  for (const Tuple& t : tuples(id)) {
+    bool match = true;
+    for (size_t i = 0; i < positions.size(); ++i) {
+      if (t[static_cast<size_t>(positions[i])] != binding[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(t);
+  }
+  return out;
+}
+
+std::string Instance::ToString(const Schema& schema) const {
+  std::string out;
+  for (int r = 0; r < num_relations(); ++r) {
+    for (const Tuple& t : tuples(r)) {
+      out += schema.relation(r).name + TupleToString(t) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace schema
+}  // namespace accltl

@@ -1,0 +1,81 @@
+#ifndef ACCLTL_SCHEMA_INSTANCE_H_
+#define ACCLTL_SCHEMA_INSTANCE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace schema {
+
+/// A (finite) instance of a schema: a set of tuples per relation (§2).
+///
+/// Tuples are kept in sorted std::sets so that iteration order — and
+/// therefore every algorithm built on top — is deterministic.
+class Instance {
+ public:
+  Instance() = default;
+  /// Creates an empty instance with one (empty) tuple-set per relation.
+  explicit Instance(const Schema& schema)
+      : relations_(static_cast<size_t>(schema.num_relations())) {}
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+
+  /// The tuples of relation `id`.
+  const std::set<Tuple>& tuples(RelationId id) const {
+    return relations_[static_cast<size_t>(id)];
+  }
+
+  /// Adds a fact; returns true if it was new.
+  bool AddFact(RelationId id, Tuple t) {
+    return relations_[static_cast<size_t>(id)].insert(std::move(t)).second;
+  }
+
+  /// True iff the fact is present.
+  bool Contains(RelationId id, const Tuple& t) const {
+    const auto& s = relations_[static_cast<size_t>(id)];
+    return s.find(t) != s.end();
+  }
+
+  /// Adds every fact of `other` (schemas must match).
+  void UnionWith(const Instance& other);
+
+  /// True iff every fact of this instance is in `other`.
+  bool SubinstanceOf(const Instance& other) const;
+
+  /// Total number of facts.
+  size_t TotalFacts() const;
+
+  /// All values appearing anywhere in the instance (the active domain).
+  std::set<Value> ActiveDomain() const;
+
+  /// Tuples of `id` that agree with `binding` on `positions`
+  /// (pointwise; positions[i] carries binding[i]).
+  std::vector<Tuple> Matching(RelationId id,
+                              const std::vector<Position>& positions,
+                              const Tuple& binding) const;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.relations_ == b.relations_;
+  }
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Instance& a, const Instance& b) {
+    return a.relations_ < b.relations_;
+  }
+
+  /// Renders facts grouped by relation, using names from `schema`.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<std::set<Tuple>> relations_;
+};
+
+}  // namespace schema
+}  // namespace accltl
+
+#endif  // ACCLTL_SCHEMA_INSTANCE_H_

@@ -1,0 +1,152 @@
+#include "src/schema/lts.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace accltl {
+namespace schema {
+
+std::string Transition::ToString(const Schema& schema) const {
+  AccessStep step{access, response};
+  return step.ToString(schema);
+}
+
+Transition MakeTransition(const Schema& schema, Instance pre, Access access,
+                          Response response) {
+  Transition t;
+  t.post = pre;
+  t.pre = std::move(pre);
+  RelationId rel = schema.method(access.method).relation;
+  for (const Tuple& tuple : response) t.post.AddFact(rel, tuple);
+  t.access = std::move(access);
+  t.response = std::move(response);
+  return t;
+}
+
+namespace {
+
+/// Enumerates candidate bindings for `method`: all tuples over the
+/// candidate value pool, filtered by position types.
+void EnumerateBindings(const Schema& schema, AccessMethodId method,
+                       const std::vector<Value>& pool,
+                       std::vector<Tuple>* out) {
+  const AccessMethod& m = schema.method(method);
+  const Relation& rel = schema.relation(m.relation);
+  std::vector<std::vector<Value>> candidates(
+      static_cast<size_t>(m.num_inputs()));
+  for (int i = 0; i < m.num_inputs(); ++i) {
+    ValueType want = rel.position_types[m.input_positions[i]];
+    for (const Value& v : pool) {
+      if (v.type() == want) candidates[static_cast<size_t>(i)].push_back(v);
+    }
+    if (candidates[static_cast<size_t>(i)].empty()) return;
+  }
+  Tuple current(static_cast<size_t>(m.num_inputs()));
+  std::function<void(size_t)> rec = [&](size_t idx) {
+    if (idx == candidates.size()) {
+      out->push_back(current);
+      return;
+    }
+    for (const Value& v : candidates[idx]) {
+      current[idx] = v;
+      rec(idx + 1);
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+std::vector<Transition> Successors(const Schema& schema,
+                                   const Instance& current,
+                                   const LtsOptions& options) {
+  std::vector<Transition> out;
+  // Candidate binding values: grounded mode restricts to the active
+  // domain of the current configuration plus seeds; otherwise we also
+  // allow any value of the hidden universe (finitely many candidates
+  // standing in for "any value").
+  std::set<Value> pool_set(options.seed_values.begin(),
+                           options.seed_values.end());
+  {
+    std::set<Value> dom = current.ActiveDomain();
+    pool_set.insert(dom.begin(), dom.end());
+  }
+  if (!options.grounded) {
+    std::set<Value> udom = options.universe.ActiveDomain();
+    pool_set.insert(udom.begin(), udom.end());
+  }
+  std::vector<Value> pool(pool_set.begin(), pool_set.end());
+
+  for (AccessMethodId am = 0; am < schema.num_access_methods(); ++am) {
+    const AccessMethod& m = schema.method(am);
+    std::vector<Tuple> bindings;
+    EnumerateBindings(schema, am, pool, &bindings);
+    for (const Tuple& b : bindings) {
+      std::vector<Tuple> matching =
+          options.universe.Matching(m.relation, m.input_positions, b);
+      bool exact = m.exact || options.exact_methods.count(am) > 0;
+      std::vector<Response> responses;
+      Response full(matching.begin(), matching.end());
+      if (exact) {
+        responses.push_back(std::move(full));
+      } else {
+        responses.push_back(Response{});  // empty response
+        if (options.enumerate_singleton_responses) {
+          for (const Tuple& t : matching) responses.push_back(Response{t});
+        }
+        if (matching.size() > 1) responses.push_back(std::move(full));
+      }
+      for (Response& r : responses) {
+        out.push_back(MakeTransition(schema, current, Access{am, b},
+                                     std::move(r)));
+        if (out.size() >= options.max_successors_per_node) return out;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
+                                               const Instance& initial,
+                                               const LtsOptions& options,
+                                               size_t max_depth,
+                                               size_t max_nodes) {
+  std::vector<LtsLevelStats> stats;
+  std::set<Instance> seen;
+  seen.insert(initial);
+  std::vector<Instance> frontier = {initial};
+  {
+    LtsLevelStats s;
+    s.depth = 0;
+    s.distinct_configurations = 1;
+    s.max_configuration_facts = initial.TotalFacts();
+    stats.push_back(s);
+  }
+  for (size_t depth = 1; depth <= max_depth; ++depth) {
+    LtsLevelStats s;
+    s.depth = depth;
+    std::vector<Instance> next;
+    for (const Instance& node : frontier) {
+      std::vector<Transition> succ = Successors(schema, node, options);
+      s.transitions += succ.size();
+      for (Transition& t : succ) {
+        if (seen.size() >= max_nodes) break;
+        if (seen.insert(t.post).second) {
+          s.max_configuration_facts =
+              std::max(s.max_configuration_facts, t.post.TotalFacts());
+          next.push_back(std::move(t.post));
+        }
+      }
+      if (seen.size() >= max_nodes) break;
+    }
+    s.distinct_configurations = next.size();
+    stats.push_back(s);
+    if (next.empty()) break;
+    frontier = std::move(next);
+  }
+  return stats;
+}
+
+}  // namespace schema
+}  // namespace accltl

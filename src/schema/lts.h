@@ -1,0 +1,86 @@
+#ifndef ACCLTL_SCHEMA_LTS_H_
+#define ACCLTL_SCHEMA_LTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/schema/access.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace schema {
+
+/// One transition (I, (AcM, b̄), I′) of the labelled transition system a
+/// schema induces (§2, Figure 1). `post` always equals `pre` plus the
+/// response tuples added to the accessed relation.
+struct Transition {
+  Instance pre;
+  Access access;
+  Response response;
+  Instance post;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Builds the transition that performs `access` with `response` from
+/// instance `pre`.
+Transition MakeTransition(const Schema& schema, Instance pre, Access access,
+                          Response response);
+
+/// Options controlling how the (infinite) LTS is enumerated.
+struct LtsOptions {
+  /// Hidden database: responses are subsets of its matching tuples. The
+  /// LTS of §2 allows *any* well-formed response; fixing a hidden
+  /// universe is how benchmarks and the CTL semantics bound the branching.
+  Instance universe;
+  /// Only grounded accesses (binding values drawn from the current
+  /// configuration's active domain plus `seed_values`).
+  bool grounded = false;
+  /// Extra values available for bindings even when grounded (the
+  /// "initially known" constants, e.g. "Smith" in Figure 1).
+  std::vector<Value> seed_values;
+  /// Methods forced to be exact: their response is always the full
+  /// matching set of `universe`.
+  std::set<AccessMethodId> exact_methods;
+  /// When a method is not exact, how many response subsets to enumerate:
+  /// always the full matching set and the empty set; additionally all
+  /// singletons when true. (Full powerset enumeration is exponential and
+  /// never needed by our analyses.)
+  bool enumerate_singleton_responses = true;
+  /// Cap on the number of successor transitions generated per node.
+  size_t max_successors_per_node = 1u << 20;
+};
+
+/// Enumerates successor transitions of configuration `current` under the
+/// options. Deterministic order (methods, then bindings, then responses).
+std::vector<Transition> Successors(const Schema& schema,
+                                   const Instance& current,
+                                   const LtsOptions& options);
+
+/// Statistics of the tree of paths of Figure 1, per level.
+struct LtsLevelStats {
+  size_t depth = 0;
+  /// Number of distinct configurations first reached at this depth.
+  size_t distinct_configurations = 0;
+  /// Number of transitions explored from nodes at the previous depth.
+  size_t transitions = 0;
+  /// Largest configuration (fact count) seen at this depth.
+  size_t max_configuration_facts = 0;
+};
+
+/// Breadth-first exploration of the LTS up to `max_depth`, deduplicating
+/// configurations. Reproduces the shape of Figure 1's tree.
+std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
+                                               const Instance& initial,
+                                               const LtsOptions& options,
+                                               size_t max_depth,
+                                               size_t max_nodes = 100000);
+
+}  // namespace schema
+}  // namespace accltl
+
+#endif  // ACCLTL_SCHEMA_LTS_H_

@@ -1,0 +1,295 @@
+#include "src/schema/text_format.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace accltl {
+namespace schema {
+
+namespace {
+
+/// Cursor over the input with shared lexing helpers. Line numbers are
+/// tracked for error messages.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipWhitespaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespaceAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWhitespaceAndComments();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  /// [A-Za-z_][A-Za-z0-9_]*; empty string when none.
+  std::string Identifier() {
+    SkipWhitespaceAndComments();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Reads an identifier without consuming it.
+  std::string PeekIdentifier() {
+    size_t saved_pos = pos_;
+    int saved_line = line_;
+    std::string word = Identifier();
+    pos_ = saved_pos;
+    line_ = saved_line;
+    return word;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+                                   msg);
+  }
+
+  /// Parses one value literal: "string", integer, true/false.
+  Result<Value> Literal() {
+    SkipWhitespaceAndComments();
+    if (pos_ >= text_.size()) return Error("expected a value");
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+          ++pos_;
+          char e = text_[pos_];
+          if (e == 'n') {
+            out.push_back('\n');
+          } else {
+            out.push_back(e);  // \" and \\ (and identity for others)
+          }
+        } else {
+          out.push_back(text_[pos_]);
+        }
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated string literal");
+      ++pos_;  // closing quote
+      return Value::Str(std::move(out));
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      if (pos_ == start + (c == '-' ? 1u : 0u)) {
+        return Error("expected digits after '-'");
+      }
+      return Value::Int(std::stoll(text_.substr(start, pos_ - start)));
+    }
+    std::string word = Identifier();
+    if (word == "true") return Value::Bool(true);
+    if (word == "false") return Value::Bool(false);
+    return Error("expected a value, got '" + word + "'");
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Result<ValueType> TypeFromName(const std::string& name, const Cursor& cur) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "bool") return ValueType::kBool;
+  if (name == "string") return ValueType::kString;
+  return cur.Error("unknown type '" + name + "' (int, bool, string)");
+}
+
+}  // namespace
+
+Result<Schema> ParseSchema(const std::string& text) {
+  Schema schema;
+  Cursor cur(text);
+  // Position names per relation, for access-method input designators.
+  std::map<std::string, std::vector<std::string>> position_names;
+
+  while (!cur.AtEnd()) {
+    std::string keyword = cur.Identifier();
+    if (keyword == "relation") {
+      std::string name = cur.Identifier();
+      if (name.empty()) return cur.Error("expected relation name");
+      if (position_names.count(name) > 0) {
+        return cur.Error("duplicate relation '" + name + "'");
+      }
+      if (!cur.Consume('(')) return cur.Error("expected '(' after name");
+      std::vector<std::string> pos_names;
+      std::vector<ValueType> types;
+      while (!cur.Consume(')')) {
+        std::string pname = cur.Identifier();
+        if (pname.empty()) return cur.Error("expected position name");
+        if (!cur.Consume(':')) return cur.Error("expected ':' after position");
+        Result<ValueType> t = TypeFromName(cur.Identifier(), cur);
+        if (!t.ok()) return t.status();
+        pos_names.push_back(pname);
+        types.push_back(t.value());
+        if (cur.Consume(',')) continue;
+        if (cur.Consume(')')) break;
+        return cur.Error("expected ',' or ')' in relation declaration");
+      }
+      schema.AddRelation(name, std::move(types));
+      position_names[name] = std::move(pos_names);
+    } else if (keyword == "access") {
+      std::string mname = cur.Identifier();
+      if (mname.empty()) return cur.Error("expected access-method name");
+      if (cur.Identifier() != "on") return cur.Error("expected 'on'");
+      std::string rname = cur.Identifier();
+      Result<RelationId> rel = schema.FindRelation(rname);
+      if (!rel.ok()) return cur.Error("unknown relation '" + rname + "'");
+      if (!cur.Consume('(')) return cur.Error("expected '(' after relation");
+      const std::vector<std::string>& pnames = position_names[rname];
+      std::vector<Position> inputs;
+      if (!cur.Consume(')')) {
+        while (true) {
+          std::string pname = cur.Identifier();
+          Position p = -1;
+          for (size_t i = 0; i < pnames.size(); ++i) {
+            if (pnames[i] == pname) p = static_cast<Position>(i);
+          }
+          if (p < 0) {
+            return cur.Error("unknown position '" + pname + "' of relation " +
+                             rname);
+          }
+          inputs.push_back(p);
+          if (cur.Consume(',')) continue;
+          if (cur.Consume(')')) break;
+          return cur.Error("expected ',' or ')' in access declaration");
+        }
+      }
+      bool exact = false, idempotent = false;
+      while (true) {
+        std::string q = cur.PeekIdentifier();
+        if (q == "exact") {
+          exact = true;
+        } else if (q == "idempotent") {
+          idempotent = true;
+        } else {
+          break;  // next declaration (or end / syntax error caught there)
+        }
+        cur.Identifier();  // consume the qualifier
+      }
+      schema.AddAccessMethod(mname, rel.value(), std::move(inputs), exact,
+                             idempotent);
+    } else {
+      return cur.Error("expected 'relation' or 'access', got '" + keyword +
+                       "'");
+    }
+  }
+  return schema;
+}
+
+std::string SerializeSchema(const Schema& schema) {
+  std::string out;
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    std::vector<std::string> cols;
+    cols.reserve(rel.position_types.size());
+    for (size_t i = 0; i < rel.position_types.size(); ++i) {
+      cols.push_back("p" + std::to_string(i) + ": " +
+                     ValueTypeName(rel.position_types[i]));
+    }
+    out += "relation " + rel.name + "(" + Join(cols, ", ") + ")\n";
+  }
+  for (AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+    const AccessMethod& method = schema.method(m);
+    std::vector<std::string> inputs;
+    inputs.reserve(method.input_positions.size());
+    for (Position p : method.input_positions) {
+      inputs.push_back("p" + std::to_string(p));
+    }
+    out += "access " + method.name + " on " +
+           schema.relation(method.relation).name + "(" + Join(inputs, ", ") +
+           ")";
+    if (method.exact) out += " exact";
+    if (method.idempotent) out += " idempotent";
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Instance> ParseInstance(const std::string& text,
+                               const Schema& schema) {
+  Instance instance(schema);
+  Cursor cur(text);
+  while (!cur.AtEnd()) {
+    std::string rname = cur.Identifier();
+    if (rname.empty()) return cur.Error("expected relation name");
+    Result<RelationId> rel = schema.FindRelation(rname);
+    if (!rel.ok()) return cur.Error("unknown relation '" + rname + "'");
+    if (!cur.Consume('(')) return cur.Error("expected '(' after relation");
+    Tuple t;
+    if (!cur.Consume(')')) {
+      while (true) {
+        Result<Value> v = cur.Literal();
+        if (!v.ok()) return v.status();
+        t.push_back(std::move(v).value());
+        if (cur.Consume(',')) continue;
+        if (cur.Consume(')')) break;
+        return cur.Error("expected ',' or ')' in fact");
+      }
+    }
+    Status valid = schema.ValidateTuple(rel.value(), t);
+    if (!valid.ok()) {
+      return cur.Error("fact for " + rname + ": " + valid.message());
+    }
+    instance.AddFact(rel.value(), std::move(t));
+  }
+  return instance;
+}
+
+std::string SerializeInstance(const Instance& instance,
+                              const Schema& schema) {
+  std::string out;
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    for (const Tuple& t : instance.tuples(r)) {
+      std::vector<std::string> vals;
+      vals.reserve(t.size());
+      for (const Value& v : t) vals.push_back(v.ToString());
+      out += schema.relation(r).name + "(" + Join(vals, ", ") + ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace schema
+}  // namespace accltl

@@ -1,0 +1,53 @@
+#ifndef ACCLTL_SCHEMA_TEXT_FORMAT_H_
+#define ACCLTL_SCHEMA_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace schema {
+
+/// Text format for schemas with access restrictions. One declaration
+/// per line; `#` starts a comment; blank lines are ignored.
+///
+///   # the paper's phone directory (§1)
+///   relation Mobile(name: string, postcode: string,
+///                   street: string, phone: int)
+///   relation Address(street: string, postcode: string,
+///                    name: string, houseno: int)
+///   access AcM1 on Mobile(name)
+///   access AcM2 on Address(street, postcode) exact
+///
+/// Relation positions are named in the declaration (names are used to
+/// designate access-method inputs and in diagnostics; storage stays
+/// positional, §2's unnamed perspective). Trailing method qualifiers:
+/// `exact`, `idempotent`. A declaration may span lines until its
+/// closing parenthesis (plus qualifiers).
+Result<Schema> ParseSchema(const std::string& text);
+
+/// Renders a schema in the format ParseSchema accepts (round-trips:
+/// parse(serialize(s)) has the same relations/methods in the same
+/// order). Position names are synthesized as p0, p1, ....
+std::string SerializeSchema(const Schema& schema);
+
+/// Text format for instances: one fact per line,
+///
+///   Mobile("Smith", "OX13QD", "Parks Rd", 5551212)
+///   Address("Parks Rd", "OX13QD", "Smith", 13)
+///
+/// Values: double-quoted strings (with \" and \\ escapes), decimal
+/// integers (optionally signed), `true` / `false`. Arity and types are
+/// validated against the schema.
+Result<Instance> ParseInstance(const std::string& text, const Schema& schema);
+
+/// Renders an instance in the format ParseInstance accepts, facts
+/// sorted by relation id, then tuple order.
+std::string SerializeInstance(const Instance& instance, const Schema& schema);
+
+}  // namespace schema
+}  // namespace accltl
+
+#endif  // ACCLTL_SCHEMA_TEXT_FORMAT_H_

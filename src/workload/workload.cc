@@ -1,0 +1,222 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+
+namespace accltl {
+namespace workload {
+
+using logic::PosFormula;
+using logic::PosFormulaPtr;
+using logic::Term;
+
+PhoneDirectory MakePhoneDirectory() {
+  PhoneDirectory pd;
+  pd.mobile = pd.schema.AddRelation(
+      "Mobile", {ValueType::kString, ValueType::kString, ValueType::kString,
+                 ValueType::kInt});
+  pd.address = pd.schema.AddRelation(
+      "Address", {ValueType::kString, ValueType::kString, ValueType::kString,
+                  ValueType::kInt});
+  pd.acm1 = pd.schema.AddAccessMethod("AcM1", pd.mobile, {0});
+  pd.acm2 = pd.schema.AddAccessMethod("AcM2", pd.address, {0, 1});
+  return pd;
+}
+
+schema::Instance MakePhoneUniverse(const PhoneDirectory& pd, Rng* rng,
+                                   size_t extra_people) {
+  schema::Instance universe(pd.schema);
+  universe.AddFact(pd.mobile,
+                   {Value::Str("Smith"), Value::Str("OX13QD"),
+                    Value::Str("Parks Rd"), Value::Int(5551212)});
+  universe.AddFact(pd.address,
+                   {Value::Str("Parks Rd"), Value::Str("OX13QD"),
+                    Value::Str("Smith"), Value::Int(13)});
+  universe.AddFact(pd.address,
+                   {Value::Str("Parks Rd"), Value::Str("OX13QD"),
+                    Value::Str("Jones"), Value::Int(16)});
+  for (size_t i = 0; i < extra_people; ++i) {
+    std::string person = "P" + std::to_string(i);
+    std::string street = "St" + std::to_string(rng->Uniform(extra_people / 2 + 1));
+    std::string postcode = "PC" + std::to_string(rng->Uniform(4));
+    universe.AddFact(pd.mobile,
+                     {Value::Str(person), Value::Str(postcode),
+                      Value::Str(street),
+                      Value::Int(static_cast<int64_t>(1000 + i))});
+    universe.AddFact(pd.address,
+                     {Value::Str(street), Value::Str(postcode),
+                      Value::Str(person),
+                      Value::Int(static_cast<int64_t>(rng->Uniform(99)))});
+  }
+  return universe;
+}
+
+schema::Schema RandomSchema(Rng* rng, int relations, int max_arity) {
+  schema::Schema s;
+  for (int r = 0; r < relations; ++r) {
+    int arity = 1 + static_cast<int>(rng->Uniform(
+                        static_cast<uint64_t>(max_arity)));
+    std::vector<ValueType> types(static_cast<size_t>(arity),
+                                 ValueType::kString);
+    schema::RelationId id =
+        s.AddRelation("R" + std::to_string(r), std::move(types));
+    int methods = 1 + static_cast<int>(rng->Uniform(2));
+    for (int m = 0; m < methods; ++m) {
+      std::vector<schema::Position> inputs;
+      for (int p = 0; p < arity; ++p) {
+        if (rng->Chance(1, 2)) inputs.push_back(p);
+      }
+      s.AddAccessMethod("M" + std::to_string(r) + "_" + std::to_string(m), id,
+                        std::move(inputs));
+    }
+  }
+  return s;
+}
+
+logic::PosFormulaPtr RandomCq(Rng* rng, const schema::Schema& schema,
+                              int atoms, int vars) {
+  std::vector<PosFormulaPtr> conj;
+  std::vector<std::string> var_names;
+  for (int v = 0; v < vars; ++v) var_names.push_back("q" + std::to_string(v));
+  for (int a = 0; a < atoms; ++a) {
+    schema::RelationId r = static_cast<schema::RelationId>(
+        rng->Uniform(static_cast<uint64_t>(schema.num_relations())));
+    std::vector<Term> terms;
+    for (int p = 0; p < schema.relation(r).arity(); ++p) {
+      terms.push_back(Term::Var(rng->Pick(var_names)));
+    }
+    conj.push_back(PosFormula::MakeAtom(logic::Plain(r), std::move(terms)));
+  }
+  return PosFormula::Exists(std::move(var_names),
+                            PosFormula::And(std::move(conj)));
+}
+
+namespace {
+
+PosFormulaPtr RandomTransitionSentence(Rng* rng,
+                                       const schema::Schema& schema,
+                                       bool allow_nary_bind,
+                                       bool allow_bind) {
+  // A small random sentence: one or two pre/post atoms, optionally an
+  // IsBind atom.
+  std::vector<PosFormulaPtr> conj;
+  std::vector<std::string> vars;
+  int natoms = 1 + static_cast<int>(rng->Uniform(2));
+  for (int a = 0; a < natoms; ++a) {
+    schema::RelationId r = static_cast<schema::RelationId>(
+        rng->Uniform(static_cast<uint64_t>(schema.num_relations())));
+    logic::PredSpace space =
+        rng->Chance(1, 2) ? logic::PredSpace::kPre : logic::PredSpace::kPost;
+    std::vector<Term> terms;
+    for (int p = 0; p < schema.relation(r).arity(); ++p) {
+      std::string v = "z" + std::to_string(rng->Uniform(3));
+      terms.push_back(Term::Var(v));
+      vars.push_back(v);
+    }
+    conj.push_back(PosFormula::MakeAtom(logic::PredicateRef{space, r},
+                                        std::move(terms)));
+  }
+  if (allow_bind && rng->Chance(1, 3)) {
+    schema::AccessMethodId m = static_cast<schema::AccessMethodId>(
+        rng->Uniform(static_cast<uint64_t>(schema.num_access_methods())));
+    if (allow_nary_bind && schema.method(m).num_inputs() > 0 &&
+        rng->Chance(1, 2)) {
+      std::vector<Term> terms;
+      for (int i = 0; i < schema.method(m).num_inputs(); ++i) {
+        std::string v = "z" + std::to_string(rng->Uniform(3));
+        terms.push_back(Term::Var(v));
+        vars.push_back(v);
+      }
+      conj.push_back(PosFormula::MakeAtom(logic::Bind(m), std::move(terms)));
+    } else {
+      conj.push_back(PosFormula::MakeAtom(logic::Bind(m), {}));
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return PosFormula::Exists(std::move(vars), PosFormula::And(std::move(conj)));
+}
+
+acc::AccPtr RandomTemporal(Rng* rng, const schema::Schema& schema, int depth,
+                           bool allow_until, bool allow_nary_bind,
+                           bool binding_positive_context,
+                           bool allow_bind = true) {
+  using acc::AccFormula;
+  if (depth <= 0) {
+    return AccFormula::Atom(
+        RandomTransitionSentence(rng, schema, allow_nary_bind, allow_bind));
+  }
+  switch (rng->Uniform(allow_until ? 5 : 4)) {
+    case 0: {
+      // Negation: in a binding-positive context, the negated subtree
+      // must avoid IsBind atoms entirely (Def. 4.1).
+      acc::AccPtr sub = RandomTemporal(
+          rng, schema, depth - 1, allow_until,
+          /*allow_nary_bind=*/false, binding_positive_context,
+          /*allow_bind=*/!binding_positive_context && allow_bind);
+      return AccFormula::Not(sub);
+    }
+    case 1:
+      return AccFormula::Next(RandomTemporal(rng, schema, depth - 1,
+                                             allow_until, allow_nary_bind,
+                                             binding_positive_context,
+                                             allow_bind));
+    case 2:
+      return AccFormula::And(
+          {RandomTemporal(rng, schema, depth - 1, allow_until,
+                          allow_nary_bind, binding_positive_context,
+                          allow_bind),
+           RandomTemporal(rng, schema, depth / 2, allow_until,
+                          allow_nary_bind, binding_positive_context,
+                          allow_bind)});
+    case 3:
+      return AccFormula::Or(
+          {RandomTemporal(rng, schema, depth - 1, allow_until,
+                          allow_nary_bind, binding_positive_context,
+                          allow_bind),
+           RandomTemporal(rng, schema, depth / 2, allow_until,
+                          allow_nary_bind, binding_positive_context,
+                          allow_bind)});
+    default:
+      return AccFormula::Until(
+          RandomTemporal(rng, schema, depth / 2, allow_until, allow_nary_bind,
+                         binding_positive_context, allow_bind),
+          RandomTemporal(rng, schema, depth - 1, allow_until, allow_nary_bind,
+                         binding_positive_context, allow_bind));
+  }
+}
+
+}  // namespace
+
+acc::AccPtr RandomZeroAryFormula(Rng* rng, const schema::Schema& schema,
+                                 int depth, bool allow_until) {
+  return RandomTemporal(rng, schema, depth, allow_until,
+                        /*allow_nary_bind=*/false,
+                        /*binding_positive_context=*/false);
+}
+
+acc::AccPtr RandomBindingPositiveFormula(Rng* rng,
+                                         const schema::Schema& schema,
+                                         int depth) {
+  return RandomTemporal(rng, schema, depth, /*allow_until=*/true,
+                        /*allow_nary_bind=*/true,
+                        /*binding_positive_context=*/true);
+}
+
+schema::Instance RandomInstance(Rng* rng, const schema::Schema& schema,
+                                size_t facts, int domain) {
+  schema::Instance out(schema);
+  for (size_t i = 0; i < facts; ++i) {
+    schema::RelationId r = static_cast<schema::RelationId>(
+        rng->Uniform(static_cast<uint64_t>(schema.num_relations())));
+    Tuple t;
+    for (int p = 0; p < schema.relation(r).arity(); ++p) {
+      t.push_back(Value::Str(
+          "d" + std::to_string(rng->Uniform(static_cast<uint64_t>(domain)))));
+    }
+    out.AddFact(r, std::move(t));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace accltl

@@ -1,0 +1,64 @@
+#ifndef ACCLTL_WORKLOAD_WORKLOAD_H_
+#define ACCLTL_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/accltl/formula.h"
+#include "src/common/rng.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace workload {
+
+/// The paper's running example (§1, Figure 1): Mobile(name, postcode,
+/// street, phoneno) with method AcM1 (input: name) and Address(street,
+/// postcode, name, houseno) with method AcM2 (inputs: street,
+/// postcode). All positions are strings except phone/house numbers.
+struct PhoneDirectory {
+  schema::Schema schema;
+  schema::RelationId mobile = 0;
+  schema::RelationId address = 0;
+  schema::AccessMethodId acm1 = 0;
+  schema::AccessMethodId acm2 = 0;
+};
+
+PhoneDirectory MakePhoneDirectory();
+
+/// A small concrete universe for the phone directory (Smith/Jones on
+/// Parks Rd, deterministic extras drawn from `rng`).
+schema::Instance MakePhoneUniverse(const PhoneDirectory& pd, Rng* rng,
+                                   size_t extra_people);
+
+/// Random schema: `relations` relations of arity in [1, max_arity] (all
+/// string positions), each with 1-2 access methods with random input
+/// positions.
+schema::Schema RandomSchema(Rng* rng, int relations, int max_arity);
+
+/// Random boolean conjunctive query over the plain vocabulary:
+/// `atoms` atoms, variable pool of `vars` names, joined randomly.
+logic::PosFormulaPtr RandomCq(Rng* rng, const schema::Schema& schema,
+                              int atoms, int vars);
+
+/// Random AccLTL formula in the 0-ary fragment: temporal skeleton of
+/// `depth` operators over random pre/post sentences and 0-ary IsBind
+/// atoms. `allow_until` = false yields the X-only fragment.
+acc::AccPtr RandomZeroAryFormula(Rng* rng, const schema::Schema& schema,
+                                 int depth, bool allow_until);
+
+/// Random binding-positive formula (AccLTL+): like RandomZeroAryFormula
+/// but atoms may use n-ary IsBind with variables shared with pre atoms
+/// (dataflow shapes), keeping IsBind positive.
+acc::AccPtr RandomBindingPositiveFormula(Rng* rng,
+                                         const schema::Schema& schema,
+                                         int depth);
+
+/// Random instance over `schema`: about `facts` facts with values from
+/// a pool of `domain` strings.
+schema::Instance RandomInstance(Rng* rng, const schema::Schema& schema,
+                                size_t facts, int domain);
+
+}  // namespace workload
+}  // namespace accltl
+
+#endif  // ACCLTL_WORKLOAD_WORKLOAD_H_

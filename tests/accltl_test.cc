@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include "src/accltl/abstraction.h"
+#include "src/accltl/ctl.h"
+#include "src/accltl/fragments.h"
+#include "src/accltl/parser.h"
+#include "src/accltl/semantics.h"
+#include "src/logic/eval.h"
+#include "src/logic/parser.h"
+#include "src/ltl/formula.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace acc {
+namespace {
+
+Value S(const std::string& s) { return Value::Str(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+class AccLtlTest : public ::testing::Test {
+ protected:
+  AccLtlTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  AccPtr ParseAcc(const std::string& text) {
+    Result<AccPtr> r = ParseAccFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << text;
+    return r.ok() ? r.value() : AccFormula::False();
+  }
+
+  /// The paper's §1 running path: AcM1("Smith") then AcM2("Parks
+  /// Rd","OX13QD") revealing Smith and Jones.
+  schema::AccessPath IntroPath() {
+    schema::AccessStep s1;
+    s1.access = {pd_.acm1, {S("Smith")}};
+    s1.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(5551212)}};
+    schema::AccessStep s2;
+    s2.access = {pd_.acm2, {S("Parks Rd"), S("OX13QD")}};
+    s2.response = {{S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)},
+                   {S("Parks Rd"), S("OX13QD"), S("Jones"), I(16)}};
+    return schema::AccessPath({s1, s2});
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(AccLtlTest, IntroFormulaOnIntroPath) {
+  // The paper's example sentence (§1): no Mobile entries until an AcM1
+  // access whose name already occurs in Address. Negation is a
+  // temporal-tier operator (the lower tier is positive), so the ¬ of
+  // ¬∃… Mobile_pre(…) is written outside the brackets.
+  AccPtr real = ParseAcc(
+      "(NOT [EXISTS n, p, s, ph . Mobile_pre(n, p, s, ph)]) U "
+      "[EXISTS n . IsBind_AcM1(n) AND "
+      "(EXISTS s, p, h . Address_pre(s, p, n, h))]");
+  // Build the path where the Address access comes FIRST, then Mobile.
+  schema::AccessStep a1;
+  a1.access = {pd_.acm2, {S("Parks Rd"), S("OX13QD")}};
+  a1.response = {{S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)}};
+  schema::AccessStep a2;
+  a2.access = {pd_.acm1, {S("Smith")}};
+  a2.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(5551212)}};
+  schema::AccessPath good({a1, a2});
+  EXPECT_TRUE(
+      EvalOnPath(real, pd_.schema, good, schema::Instance(pd_.schema)));
+  // The intro path (Mobile first) does NOT satisfy it: the AcM1 access
+  // happens before Smith appears in Address.
+  EXPECT_FALSE(EvalOnPath(real, pd_.schema, IntroPath(),
+                          schema::Instance(pd_.schema)));
+}
+
+TEST_F(AccLtlTest, TemporalOperatorsOnPaths) {
+  schema::AccessPath p = IntroPath();
+  schema::Instance empty(pd_.schema);
+  // F: eventually Jones appears in Address_post.
+  AccPtr jones = ParseAcc(
+      "F [EXISTS s,pc,h . Address_post(s, pc, \"Jones\", h)]");
+  EXPECT_TRUE(EvalOnPath(jones, pd_.schema, p, empty));
+  // G: Mobile_post always nonempty (true: first access reveals Smith).
+  AccPtr gmobile =
+      ParseAcc("G [EXISTS n,pc,s,ph . Mobile_post(n,pc,s,ph)]");
+  EXPECT_TRUE(EvalOnPath(gmobile, pd_.schema, p, empty));
+  // X: second transition uses AcM2.
+  EXPECT_TRUE(EvalOnPath(ParseAcc("X [IsBind_AcM2()]"), pd_.schema, p, empty));
+  EXPECT_FALSE(EvalOnPath(ParseAcc("X [IsBind_AcM1()]"), pd_.schema, p,
+                          empty));
+  // X at the end of the path is false.
+  EXPECT_FALSE(
+      EvalOnPath(ParseAcc("X X [IsBind_AcM2()]"), pd_.schema, p, empty));
+}
+
+TEST_F(AccLtlTest, EmptyPathSatisfiesNothing) {
+  schema::AccessPath empty_path;
+  EXPECT_FALSE(EvalOnPath(AccFormula::True(), pd_.schema, empty_path,
+                          schema::Instance(pd_.schema)));
+}
+
+TEST_F(AccLtlTest, FragmentClassification) {
+  // Zero-ary, X-only.
+  FragmentInfo info = Analyze(ParseAcc("X [IsBind_AcM1()]"));
+  EXPECT_TRUE(info.zero_ary_bindings);
+  EXPECT_TRUE(info.x_only);
+  EXPECT_TRUE(info.binding_positive);
+  EXPECT_EQ(info.Classify(), Fragment::kZeroAryXOnly);
+  EXPECT_TRUE(info.Decidable());
+  EXPECT_EQ(info.ComplexityName(), "SigmaP2-complete");
+
+  // Zero-ary with U: PSPACE.
+  info = Analyze(ParseAcc("[IsBind_AcM1()] U [IsBind_AcM2()]"));
+  EXPECT_EQ(info.Classify(), Fragment::kZeroAry);
+  EXPECT_EQ(info.ComplexityName(), "PSPACE-complete");
+
+  // n-ary binding, positive: AccLTL+.
+  info = Analyze(ParseAcc("F [EXISTS n . IsBind_AcM1(n)]"));
+  EXPECT_FALSE(info.zero_ary_bindings);
+  EXPECT_TRUE(info.binding_positive);
+  EXPECT_EQ(info.Classify(), Fragment::kBindingPositive);
+  EXPECT_TRUE(info.Decidable());
+  EXPECT_EQ(info.ComplexityName(), "in 3EXPTIME");
+
+  // Negated n-ary binding: full AccLTL(FO∃+Acc), undecidable.
+  info = Analyze(ParseAcc("F NOT [EXISTS n . IsBind_AcM1(n)]"));
+  EXPECT_FALSE(info.binding_positive);
+  EXPECT_EQ(info.Classify(), Fragment::kFull);
+  EXPECT_FALSE(info.Decidable());
+
+  // Double negation restores positivity.
+  info = Analyze(ParseAcc("F NOT NOT [EXISTS n . IsBind_AcM1(n)]"));
+  EXPECT_TRUE(info.binding_positive);
+
+  // Inequalities + binding-positive n-ary: undecidable (Thm 5.2).
+  info = Analyze(ParseAcc(
+      "F [EXISTS n, m . IsBind_AcM1(n) AND "
+      "(EXISTS p,s,ph . Mobile_pre(m,p,s,ph)) AND n != m]"));
+  EXPECT_TRUE(info.uses_inequality);
+  EXPECT_EQ(info.Classify(), Fragment::kBindingPositive);
+  EXPECT_FALSE(info.Decidable());
+  EXPECT_EQ(info.ComplexityName(), "undecidable");
+}
+
+TEST_F(AccLtlTest, UntilOperandsArePositive) {
+  // Both operands of U occur positively (Def. 4.1's polarity).
+  FragmentInfo info = Analyze(ParseAcc(
+      "[EXISTS n . IsBind_AcM1(n)] U [EXISTS n . IsBind_AcM1(n)]"));
+  EXPECT_TRUE(info.binding_positive);
+  // Negating the whole Until flips both.
+  info = Analyze(ParseAcc(
+      "NOT ([EXISTS n . IsBind_AcM1(n)] U [IsBind_AcM2()])"));
+  EXPECT_FALSE(info.binding_positive);
+}
+
+TEST_F(AccLtlTest, AbstractionDedupesAtoms) {
+  AccPtr f = ParseAcc("[IsBind_AcM1()] U [IsBind_AcM1()]");
+  Abstraction abs = Abstract(f);
+  EXPECT_EQ(abs.atoms.size(), 1u);
+  AccPtr g = ParseAcc("[IsBind_AcM1()] U [IsBind_AcM2()]");
+  EXPECT_EQ(Abstract(g).atoms.size(), 2u);
+}
+
+TEST_F(AccLtlTest, GloballyIsDerived) {
+  // G φ = ¬(TRUE U ¬φ): evaluate both on a path.
+  schema::AccessPath p = IntroPath();
+  schema::Instance empty(pd_.schema);
+  AccPtr atom = ParseAcc("[EXISTS n,pc,s,ph . Mobile_post(n,pc,s,ph)]");
+  AccPtr g1 = AccFormula::Globally(atom);
+  AccPtr g2 = AccFormula::Not(AccFormula::Until(
+      AccFormula::True(), AccFormula::Not(atom)));
+  EXPECT_EQ(EvalOnPath(g1, pd_.schema, p, empty),
+            EvalOnPath(g2, pd_.schema, p, empty));
+}
+
+// --- CTLEX -----------------------------------------------------------------
+
+TEST_F(AccLtlTest, CtlExSemantics) {
+  Rng rng(1);
+  schema::Instance universe = workload::MakePhoneUniverse(pd_, &rng, 0);
+  schema::LtsOptions opts;
+  opts.universe = universe;
+  opts.grounded = true;
+  opts.seed_values = {S("Smith")};
+
+  // Start transition: AcM1("Smith") revealing the Smith tuple.
+  schema::Instance empty(pd_.schema);
+  schema::Transition t = schema::MakeTransition(
+      pd_.schema, empty, schema::Access{pd_.acm1, {S("Smith")}},
+      {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(5551212)}});
+
+  Result<logic::PosFormulaPtr> jones = logic::ParseFormula(
+      "EXISTS s,pc,h . Address_post(s, pc, \"Jones\", h)", pd_.schema);
+  ASSERT_TRUE(jones.ok());
+  // EX [Jones revealed]: reachable in one more access (AcM2 with the
+  // now-known street/postcode).
+  CtlPtr ex = CtlFormula::Ex(CtlFormula::Atom(jones.value()));
+  EXPECT_TRUE(EvalCtl(ex, pd_.schema, t, opts));
+  // AX [Jones revealed] is false: empty responses exist.
+  CtlPtr ax = CtlFormula::Ax(CtlFormula::Atom(jones.value()));
+  EXPECT_FALSE(EvalCtl(ax, pd_.schema, t, opts));
+  EXPECT_EQ(ex->ExDepth(), 1);
+}
+
+// --- CTLEX identities (§5.2) -------------------------------------------------
+
+/// Branching-time identities over the bounded LTS: the one-step
+/// modality obeys the classical laws on every concrete transition.
+class CtlIdentityTest : public ::testing::TestWithParam<int> {
+ protected:
+  /// Random boolean CTLEX formula of the given EX-depth over random
+  /// post-space sentences.
+  static CtlPtr RandomCtl(Rng* rng, const schema::Schema& s, int depth) {
+    if (depth == 0 || rng->Chance(1, 4)) {
+      logic::PosFormulaPtr q = workload::RandomCq(rng, s, 1, 2);
+      return CtlFormula::Atom(
+          logic::ShiftPlainSpace(q, logic::PredSpace::kPost));
+    }
+    switch (rng->Uniform(4)) {
+      case 0:
+        return CtlFormula::Not(RandomCtl(rng, s, depth - 1));
+      case 1:
+        return CtlFormula::And({RandomCtl(rng, s, depth - 1),
+                                RandomCtl(rng, s, depth - 1)});
+      case 2:
+        return CtlFormula::Or({RandomCtl(rng, s, depth - 1),
+                               RandomCtl(rng, s, depth - 1)});
+      default:
+        return CtlFormula::Ex(RandomCtl(rng, s, depth - 1));
+    }
+  }
+
+  /// A random start transition over the universe.
+  static schema::Transition RandomStart(Rng* rng, const schema::Schema& s,
+                                        const schema::Instance& universe) {
+    std::vector<Value> domain;
+    for (const Value& v : universe.ActiveDomain()) domain.push_back(v);
+    schema::AccessMethodId m = static_cast<schema::AccessMethodId>(
+        rng->Uniform(static_cast<uint64_t>(s.num_access_methods())));
+    const schema::AccessMethod& method = s.method(m);
+    Tuple binding;
+    for (size_t k = 0; k < method.input_positions.size(); ++k) {
+      binding.push_back(
+          domain[rng->Uniform(static_cast<uint64_t>(domain.size()))]);
+    }
+    std::vector<Tuple> matching =
+        universe.Matching(method.relation, method.input_positions, binding);
+    schema::Response resp(matching.begin(), matching.end());
+    return schema::MakeTransition(s, schema::Instance(s),
+                                  schema::Access{m, binding}, resp);
+  }
+};
+
+TEST_P(CtlIdentityTest, ExAxDualityAndDistribution) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 631 + 17);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 6, 3);
+  schema::LtsOptions opts;
+  opts.universe = universe;
+  schema::Transition t = RandomStart(&rng, s, universe);
+
+  CtlPtr phi = RandomCtl(&rng, s, 2);
+  CtlPtr psi = RandomCtl(&rng, s, 2);
+
+  // AX φ ≡ ¬EX¬φ.
+  EXPECT_EQ(EvalCtl(CtlFormula::Ax(phi), s, t, opts),
+            !EvalCtl(CtlFormula::Ex(CtlFormula::Not(phi)), s, t, opts));
+  // EX distributes over ∨.
+  EXPECT_EQ(
+      EvalCtl(CtlFormula::Ex(CtlFormula::Or({phi, psi})), s, t, opts),
+      EvalCtl(CtlFormula::Ex(phi), s, t, opts) ||
+          EvalCtl(CtlFormula::Ex(psi), s, t, opts));
+  // AX distributes over ∧.
+  EXPECT_EQ(
+      EvalCtl(CtlFormula::Ax(CtlFormula::And({phi, psi})), s, t, opts),
+      EvalCtl(CtlFormula::Ax(phi), s, t, opts) &&
+          EvalCtl(CtlFormula::Ax(psi), s, t, opts));
+}
+
+TEST_P(CtlIdentityTest, GroundedSuccessorsAreSubsetOfFree) {
+  // EX over grounded successors implies EX over free successors (the
+  // grounded LTS is a sub-LTS, §2).
+  Rng rng(static_cast<uint64_t>(GetParam()) * 733 + 19);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 6, 3);
+  schema::Transition t = RandomStart(&rng, s, universe);
+  CtlPtr phi = CtlFormula::Ex(RandomCtl(&rng, s, 1));
+
+  schema::LtsOptions grounded;
+  grounded.universe = universe;
+  grounded.grounded = true;
+  schema::LtsOptions free = grounded;
+  free.grounded = false;
+  if (EvalCtl(phi, s, t, grounded)) {
+    EXPECT_TRUE(EvalCtl(phi, s, t, free))
+        << phi->ToString(s) << " held grounded but not free";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlIdentityTest, ::testing::Range(0, 30));
+
+// --- Temporal identities on random paths ------------------------------------
+
+/// Classic finite-path LTL identities plus the paper's monotonicity
+/// observation (discussion after Thm 3.1), validated against the
+/// reference path semantics on random schemas, formulas and paths.
+class TemporalIdentityTest : public ::testing::TestWithParam<int> {
+ protected:
+  /// A random access path over a random universe (mix of full, empty
+  /// and singleton responses).
+  static schema::AccessPath RandomPath(Rng* rng, const schema::Schema& s,
+                                       const schema::Instance& universe,
+                                       size_t len) {
+    schema::AccessPath p;
+    std::vector<Value> domain;
+    for (const Value& v : universe.ActiveDomain()) domain.push_back(v);
+    for (size_t i = 0; i < len; ++i) {
+      schema::AccessMethodId m = static_cast<schema::AccessMethodId>(
+          rng->Uniform(static_cast<uint64_t>(s.num_access_methods())));
+      const schema::AccessMethod& method = s.method(m);
+      Tuple binding;
+      for (size_t k = 0; k < method.input_positions.size(); ++k) {
+        binding.push_back(
+            domain[rng->Uniform(static_cast<uint64_t>(domain.size()))]);
+      }
+      schema::AccessStep step;
+      step.access = {m, binding};
+      std::vector<Tuple> matching = universe.Matching(
+          method.relation, method.input_positions, binding);
+      if (!matching.empty() && rng->Chance(2, 3)) {
+        if (rng->Chance(1, 2)) {
+          step.response = schema::Response(matching.begin(), matching.end());
+        } else {
+          step.response = {
+              matching[rng->Uniform(static_cast<uint64_t>(matching.size()))]};
+        }
+      }
+      p.Append(std::move(step));
+    }
+    return p;
+  }
+};
+
+TEST_P(TemporalIdentityTest, UntilUnrollingHoldsPointwise) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41 + 1);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  AccPtr phi = workload::RandomZeroAryFormula(&rng, s, 2, true);
+  AccPtr psi = workload::RandomZeroAryFormula(&rng, s, 2, true);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 8, 4);
+  schema::AccessPath p = RandomPath(&rng, s, universe, 5);
+  std::vector<schema::Transition> tr =
+      PathTransitions(s, p, schema::Instance(s));
+
+  AccPtr u = AccFormula::Until(phi, psi);
+  // φ U ψ ≡ ψ ∨ (φ ∧ X(φ U ψ)) at every position.
+  AccPtr unrolled = AccFormula::Or(
+      {psi, AccFormula::And({phi, AccFormula::Next(u)})});
+  for (size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_EQ(EvalOnTransitions(u, tr, i), EvalOnTransitions(unrolled, tr, i))
+        << "position " << i;
+  }
+}
+
+TEST_P(TemporalIdentityTest, EventuallyIdempotentAndNextDistributes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 13);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  AccPtr phi = workload::RandomZeroAryFormula(&rng, s, 2, true);
+  AccPtr psi = workload::RandomZeroAryFormula(&rng, s, 1, true);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 8, 4);
+  schema::AccessPath p = RandomPath(&rng, s, universe, 5);
+  std::vector<schema::Transition> tr =
+      PathTransitions(s, p, schema::Instance(s));
+
+  AccPtr ff = AccFormula::Eventually(AccFormula::Eventually(phi));
+  AccPtr f = AccFormula::Eventually(phi);
+  AccPtr xand = AccFormula::Next(AccFormula::And({phi, psi}));
+  AccPtr andx = AccFormula::And(
+      {AccFormula::Next(phi), AccFormula::Next(psi)});
+  for (size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_EQ(EvalOnTransitions(ff, tr, i), EvalOnTransitions(f, tr, i));
+    EXPECT_EQ(EvalOnTransitions(xand, tr, i), EvalOnTransitions(andx, tr, i));
+  }
+}
+
+TEST_P(TemporalIdentityTest, PositiveSentencesAreMonotoneAlongPaths) {
+  // The paper's observation after Thm 3.1: as a path progresses,
+  // positive existential sentences over *_pre / *_post only flip from
+  // false to true. Hence F([q_post] ∧ F ¬[q_post]) is unsatisfiable —
+  // check it evaluates false on random paths.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 59 + 29);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  logic::PosFormulaPtr q = workload::RandomCq(&rng, s, 2, 3);
+  logic::PosFormulaPtr q_post =
+      logic::ShiftPlainSpace(q, logic::PredSpace::kPost);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 10, 4);
+  schema::AccessPath p = RandomPath(&rng, s, universe, 6);
+
+  AccPtr flip = AccFormula::Eventually(AccFormula::And(
+      {AccFormula::Atom(q_post),
+       AccFormula::Eventually(AccFormula::Not(AccFormula::Atom(q_post)))}));
+  EXPECT_FALSE(EvalOnPath(flip, s, p, schema::Instance(s)))
+      << "a positive post-sentence flipped true->false";
+}
+
+TEST_P(TemporalIdentityTest, PostAtStepEqualsPreAtNext) {
+  // M(t_i) interprets R_post as I_{i+1}, which M(t_{i+1}) interprets
+  // as R_pre: [q_post]@i == [q_pre]@(i+1) for every sentence q.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 211 + 3);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  logic::PosFormulaPtr q = workload::RandomCq(&rng, s, 2, 3);
+  AccPtr pre = AccFormula::Atom(
+      logic::ShiftPlainSpace(q, logic::PredSpace::kPre));
+  AccPtr post = AccFormula::Atom(
+      logic::ShiftPlainSpace(q, logic::PredSpace::kPost));
+  schema::Instance universe = workload::RandomInstance(&rng, s, 10, 4);
+  schema::AccessPath p = RandomPath(&rng, s, universe, 5);
+  std::vector<schema::Transition> tr =
+      PathTransitions(s, p, schema::Instance(s));
+  for (size_t i = 0; i + 1 < tr.size(); ++i) {
+    EXPECT_EQ(EvalOnTransitions(post, tr, i),
+              EvalOnTransitions(pre, tr, i + 1))
+        << "position " << i;
+  }
+}
+
+TEST_P(TemporalIdentityTest, AbstractionSkeletonPreservesEvaluation) {
+  // Evaluating the propositional skeleton over the concrete truth
+  // vector of the atoms agrees with direct AccLTL evaluation.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 149 + 31);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  AccPtr phi = workload::RandomZeroAryFormula(&rng, s, 3, true);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 8, 4);
+  schema::AccessPath p = RandomPath(&rng, s, universe, 4);
+  std::vector<schema::Transition> tr =
+      PathTransitions(s, p, schema::Instance(s));
+  Abstraction abs = Abstract(phi);
+
+  // Word: one letter per transition, proposition i true iff atom i
+  // holds on M(t).
+  ltl::Word word;
+  for (const schema::Transition& t : tr) {
+    std::set<int> letter;
+    for (size_t i = 0; i < abs.atoms.size(); ++i) {
+      if (logic::EvalOnTransition(abs.atoms[i], t)) {
+        letter.insert(static_cast<int>(i));
+      }
+    }
+    word.push_back(std::move(letter));
+  }
+  EXPECT_EQ(ltl::EvalOnWord(abs.skeleton, word),
+            EvalOnTransitions(phi, tr, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalIdentityTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace acc
+}  // namespace accltl

@@ -1,0 +1,630 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/accltl/parser.h"
+#include "src/accltl/semantics.h"
+#include "src/analysis/accessible.h"
+#include "src/analysis/decide.h"
+#include "src/analysis/properties.h"
+#include "src/analysis/zero_solver.h"
+#include "src/datalog/eval.h"
+#include "src/logic/parser.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace analysis {
+namespace {
+
+Value S(const std::string& s) { return Value::Str(s); }
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  logic::PosFormulaPtr ParseL(const std::string& text) {
+    Result<logic::PosFormulaPtr> r = logic::ParseFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : logic::PosFormula::False();
+  }
+
+  acc::AccPtr ParseAcc(const std::string& text) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : acc::AccFormula::False();
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+// --- Accessible part (E9) ---------------------------------------------------
+
+TEST_F(AnalysisTest, AccessiblePartIteratesDataflow) {
+  Rng rng(2);
+  schema::Instance universe = workload::MakePhoneUniverse(pd_, &rng, 0);
+  // Known value: "Smith". AcM1("Smith") reveals street+postcode; AcM2
+  // on those reveals Jones; AcM1("Jones") reveals nothing new (Jones
+  // has no mobile tuple).
+  schema::Instance acc = AccessiblePart(pd_.schema, universe,
+                                        schema::Instance(pd_.schema),
+                                        {S("Smith")});
+  EXPECT_EQ(acc.tuples(pd_.mobile).size(), 1u);
+  EXPECT_EQ(acc.tuples(pd_.address).size(), 2u);
+  // The paper's point (§1): Jones' address IS reachable here, but if
+  // Jones does not occur in Mobile, a Jones-only seed reaches nothing.
+  schema::Instance none = AccessiblePart(pd_.schema, universe,
+                                         schema::Instance(pd_.schema),
+                                         {S("Jones")});
+  EXPECT_EQ(none.TotalFacts(), 0u);
+}
+
+TEST_F(AnalysisTest, AccessibleDatalogMatchesDirect) {
+  Rng rng(3);
+  schema::Instance universe = workload::MakePhoneUniverse(pd_, &rng, 4);
+  datalog::Program prog = AccessibleDatalogProgram(pd_.schema);
+  ASSERT_TRUE(prog.Validate().ok());
+  datalog::DlDatabase edb =
+      EncodeForDatalog(pd_.schema, universe, {S("Smith")});
+  datalog::DlDatabase result = datalog::Evaluate(prog, edb);
+  schema::Instance via_datalog = DecodeAccessible(pd_.schema, result);
+  schema::Instance direct = AccessiblePart(
+      pd_.schema, universe, schema::Instance(pd_.schema), {S("Smith")});
+  EXPECT_EQ(via_datalog, direct);
+}
+
+/// Property: the generated Datalog program equals the direct fixpoint
+/// on random universes and seeds.
+class AccessiblePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccessiblePropertyTest, DatalogEqualsDirectFixpoint) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41 + 9);
+  schema::Schema s = workload::RandomSchema(&rng, 3, 3);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 12, 4);
+  std::vector<Value> seeds = {Value::Str("d0"), Value::Str("d1")};
+  schema::Instance direct =
+      AccessiblePart(s, universe, schema::Instance(s), seeds);
+  datalog::Program prog = AccessibleDatalogProgram(s);
+  datalog::DlDatabase result =
+      datalog::Evaluate(prog, EncodeForDatalog(s, universe, seeds));
+  EXPECT_EQ(DecodeAccessible(s, result), direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessiblePropertyTest,
+                         ::testing::Range(0, 25));
+
+// --- Zero-ary solver (Thm 4.12 / 4.14 / 5.1) -------------------------------
+
+TEST_F(AnalysisTest, ZeroSolverSimpleEventually) {
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]"), pd_.schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().satisfiable);
+  // Soundness: the witness satisfies the formula.
+  EXPECT_TRUE(acc::EvalOnPath(
+      ParseAcc("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]"), pd_.schema,
+      r.value().witness, schema::Instance(pd_.schema)));
+}
+
+TEST_F(AnalysisTest, ZeroSolverUnsatisfiable) {
+  // Mobile eventually nonempty but globally empty.
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+               "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])"),
+      pd_.schema);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().satisfiable);
+  EXPECT_FALSE(r.value().exhausted_budget);
+}
+
+TEST_F(AnalysisTest, ZeroSolverMonotonicityRespected) {
+  // Once revealed, tuples persist: F[Mobile_post] ∧ G(Mobile_post →
+  // XG Mobile_pre-nonempty)… simpler: F [Mobile_post] AND F NOT
+  // [Mobile_post nonempty] after it — unsatisfiable because
+  // configurations grow.
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("F ([EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)] AND "
+               "X F NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])"),
+      pd_.schema);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().satisfiable);
+}
+
+TEST_F(AnalysisTest, ZeroSolverAccessOrder) {
+  // Satisfiable: an AcM2 access before any AcM1 access.
+  acc::AccPtr order = AccessOrderRestriction(pd_.schema, pd_.acm2, pd_.acm1);
+  acc::AccPtr use_acm1 =
+      ParseAcc("F [IsBind_AcM1()]");
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      acc::AccFormula::And({order, use_acm1}), pd_.schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r.value().satisfiable);
+  // Verify the witness: first AcM1 access comes after an AcM2 access.
+  bool seen_acm2 = false;
+  for (const schema::AccessStep& st : r.value().witness.steps()) {
+    if (st.access.method == pd_.acm2) seen_acm2 = true;
+    if (st.access.method == pd_.acm1) {
+      EXPECT_TRUE(seen_acm2);
+      break;
+    }
+  }
+}
+
+TEST_F(AnalysisTest, ZeroSolverXOnlyFragment) {
+  // X X [AcM2 used]: needs a path of length >= 3... positions: the
+  // third transition uses AcM2.
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("X X [IsBind_AcM2()]"), pd_.schema);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().satisfiable);
+  EXPECT_GE(r.value().witness.size(), 3u);
+  EXPECT_EQ(r.value().witness.step(2).access.method, pd_.acm2);
+}
+
+TEST_F(AnalysisTest, ZeroSolverInequalities) {
+  // Thm 5.1: inequalities are free for the 0-ary fragment. Two distinct
+  // names in Mobile.
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("F [EXISTS n,p,s,ph,n2,p2,s2,ph2 . "
+               "Mobile_post(n,p,s,ph) AND Mobile_post(n2,p2,s2,ph2) "
+               "AND n != n2]"),
+      pd_.schema);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().satisfiable);
+}
+
+TEST_F(AnalysisTest, ZeroSolverRejectsVariableBindings) {
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("F [EXISTS n . IsBind_AcM1(n)]"), pd_.schema);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(AnalysisTest, ZeroSolverGroundedBlocksEverything) {
+  // Grounded from empty: both methods need inputs, no values known, so
+  // no facts can ever be revealed.
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(
+      ParseAcc("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]"), pd_.schema,
+      [] {
+        ZeroSolverOptions o;
+        o.grounded = true;
+        return o;
+      }());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().satisfiable);
+}
+
+// --- Decision facade & Table 1 routing --------------------------------------
+
+TEST_F(AnalysisTest, DecideRoutesToZeroAry) {
+  Result<Decision> d = DecideSatisfiability(
+      ParseAcc("F [IsBind_AcM2()]"), pd_.schema);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().engine, "zero-ary");
+  EXPECT_EQ(d.value().satisfiable, Answer::kYes);
+  EXPECT_TRUE(d.value().has_witness);
+}
+
+TEST_F(AnalysisTest, DecideRoutesToAutomata) {
+  Result<Decision> d = DecideSatisfiability(
+      ParseAcc("F [EXISTS n . IsBind_AcM1(n) AND "
+               "(EXISTS s,p,h . Address_pre(s,p,n,h))]"),
+      pd_.schema);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().engine, "automata-bounded");
+  EXPECT_EQ(d.value().satisfiable, Answer::kYes);
+  EXPECT_EQ(d.value().fragment, acc::Fragment::kBindingPositive);
+}
+
+TEST_F(AnalysisTest, DecideUsesDatalogPipelineForEmptiness) {
+  DecideOptions opts;
+  opts.use_datalog_pipeline = true;
+  Result<Decision> d = DecideSatisfiability(
+      acc::AccFormula::And(
+          {ParseAcc("F [EXISTS n . IsBind_AcM1(n) AND "
+                    "(EXISTS p,s,ph . Mobile_pre(n,p,s,ph))]"),
+           ParseAcc("G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]")}),
+      pd_.schema, opts);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  // The binding must come from Mobile_pre ⊆ Mobile_post = ∅: empty.
+  EXPECT_EQ(d.value().satisfiable, Answer::kNo);
+  EXPECT_EQ(d.value().engine, "automata-datalog");
+}
+
+// --- Containment under access patterns (Ex. 2.2 / Prop 4.4 / E4) ----------
+
+TEST_F(AnalysisTest, ContainmentUnderAccessPatterns) {
+  // Q1: some Mobile tuple; Q2: some Mobile tuple with a postcode also
+  // in Address. Under free (non-grounded) paths, Q1 ⊄ Q2.
+  logic::PosFormulaPtr q1 = ParseL("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  logic::PosFormulaPtr q2 = ParseL(
+      "EXISTS n,p,s,ph,st,nm,h . Mobile(n,p,s,ph) AND Address(st,p,nm,h)");
+  Result<Decision> d =
+      ContainedUnderAccessPatterns(q1, q2, pd_.schema, {}, {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, Answer::kNo);
+  EXPECT_TRUE(d.value().has_witness);
+  // Trivial containment: Q2 ⊆ Q1 (Q2 has Q1 as a subquery).
+  Result<Decision> d2 =
+      ContainedUnderAccessPatterns(q2, q1, pd_.schema, {}, {});
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value().satisfiable, Answer::kYes);
+}
+
+TEST_F(AnalysisTest, GroundedContainmentDiffersFromFree) {
+  // Grounded from the empty instance nothing is reachable, so EVERY
+  // containment holds over grounded paths (vacuously).
+  logic::PosFormulaPtr q1 = ParseL("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  logic::PosFormulaPtr q2 = ParseL("EXISTS s,p,n,h . Address(s,p,n,h)");
+  DecideOptions opts;
+  opts.grounded = true;
+  Result<Decision> d =
+      ContainedUnderAccessPatterns(q1, q2, pd_.schema, {}, opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, Answer::kYes);
+  opts.grounded = false;
+  Result<Decision> d2 =
+      ContainedUnderAccessPatterns(q1, q2, pd_.schema, {}, opts);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2.value().satisfiable, Answer::kNo);
+}
+
+TEST_F(AnalysisTest, DisjointnessConstraintsChangeContainment) {
+  // Q1: a name that is both a Mobile customer and a street name in
+  // Address position 0. With names ⊥ streets, Q1 becomes unsatisfiable
+  // so containment in anything holds.
+  logic::PosFormulaPtr q1 = ParseL(
+      "EXISTS n,p,s,ph,pc,nm,h . Mobile(n,p,s,ph) AND Address(n,pc,nm,h)");
+  logic::PosFormulaPtr q2 = ParseL("EXISTS s,p,n,h . Address(s,p,n,h)");
+  logic::PosFormulaPtr q3 =
+      ParseL("EXISTS n,p,s,ph . Mobile(\"nobody\",p,s,ph)");
+  std::vector<schema::DisjointnessConstraint> sigma = {
+      {pd_.mobile, 0, pd_.address, 0}};
+  // Without the constraint: q1 ⊄ q3.
+  Result<Decision> free_d =
+      ContainedUnderAccessPatterns(q1, q3, pd_.schema, {}, {});
+  ASSERT_TRUE(free_d.ok());
+  EXPECT_EQ(free_d.value().satisfiable, Answer::kNo);
+  // With the constraint: q1 can never hold, containment vacuous.
+  Result<Decision> con_d =
+      ContainedUnderAccessPatterns(q1, q3, pd_.schema, sigma, {});
+  ASSERT_TRUE(con_d.ok());
+  EXPECT_EQ(con_d.value().satisfiable, Answer::kYes);
+  (void)q2;
+}
+
+// --- Long-term relevance (Ex. 2.3 / E5) ------------------------------------
+
+TEST_F(AnalysisTest, LongTermRelevanceBasic) {
+  // Boolean-ish access: AcM1("Smith"). Query: some Mobile tuple exists.
+  // Relevant: the access can reveal a Smith tuple making Q true.
+  logic::PosFormulaPtr q = ParseL("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  Result<Decision> d = IsLongTermRelevant(pd_.schema, pd_.acm1,
+                                          {S("Smith")}, q, {}, {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, Answer::kYes);
+  ASSERT_TRUE(d.value().has_witness);
+  // The witness's first access is the candidate access.
+  EXPECT_EQ(d.value().witness.step(0).access.method, pd_.acm1);
+}
+
+TEST_F(AnalysisTest, LongTermRelevanceIrrelevantForOtherRelation) {
+  // The AcM1 access cannot affect a query about Address only — the
+  // Qpre-false / Qpost-true flip can never happen at the AcM1 access.
+  logic::PosFormulaPtr q = ParseL("EXISTS s,p,n,h . Address(s,p,n,h)");
+  Result<Decision> d = IsLongTermRelevant(pd_.schema, pd_.acm1,
+                                          {S("Smith")}, q, {}, {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, Answer::kNo);
+}
+
+TEST_F(AnalysisTest, RelevanceKilledByDisjointness) {
+  // Query: Smith occurs as a *street* in Address position 0 AND as a
+  // mobile customer; with name/street disjointness it is unsatisfiable,
+  // so no access is relevant.
+  logic::PosFormulaPtr q = ParseL(
+      "EXISTS p,s,ph,pc,nm,h . Mobile(\"Smith\",p,s,ph) AND "
+      "Address(\"Smith\",pc,nm,h)");
+  std::vector<schema::DisjointnessConstraint> sigma = {
+      {pd_.mobile, 0, pd_.address, 0}};
+  Result<Decision> with = IsLongTermRelevant(pd_.schema, pd_.acm1,
+                                             {S("Smith")}, q, sigma, {});
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with.value().satisfiable, Answer::kNo);
+  Result<Decision> without =
+      IsLongTermRelevant(pd_.schema, pd_.acm1, {S("Smith")}, q, {}, {});
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without.value().satisfiable, Answer::kYes);
+}
+
+// --- Formula constructions --------------------------------------------------
+
+TEST_F(AnalysisTest, GroundednessFormulaEvaluates) {
+  acc::AccPtr grounded = GroundednessFormula(pd_.schema);
+  acc::FragmentInfo info = acc::Analyze(grounded);
+  EXPECT_TRUE(info.binding_positive);  // §4: expressible in AccLTL+
+  // A grounded path satisfies it; a guessing path does not.
+  schema::AccessStep guessing;
+  guessing.access = {pd_.acm1, {S("Smith")}};
+  guessing.response = {
+      {S("Smith"), S("OX13QD"), S("Parks Rd"), Value::Int(1)}};
+  schema::AccessPath p({guessing});
+  EXPECT_FALSE(acc::EvalOnPath(grounded, pd_.schema, p,
+                               schema::Instance(pd_.schema)));
+  // Same access grounded by a seeded initial instance.
+  schema::Instance seeded(pd_.schema);
+  seeded.AddFact(pd_.mobile, {S("Smith"), S("a"), S("b"), Value::Int(0)});
+  EXPECT_TRUE(acc::EvalOnPath(grounded, pd_.schema, p, seeded));
+}
+
+TEST_F(AnalysisTest, FdRestrictionClassifiesAsNeq) {
+  schema::FunctionalDependency fd{pd_.mobile, {0}, 1};
+  acc::AccPtr f = FdRestriction(pd_.schema, fd);
+  acc::FragmentInfo info = acc::Analyze(f);
+  EXPECT_TRUE(info.uses_inequality);  // Example 2.4 lives in L≠∃
+  // Semantics: a path violating the FD fails the restriction.
+  schema::AccessStep st;
+  st.access = {pd_.acm1, {S("Smith")}};
+  st.response = {{S("Smith"), S("A"), S("x"), Value::Int(1)},
+                 {S("Smith"), S("B"), S("y"), Value::Int(2)}};
+  schema::AccessStep noop;
+  noop.access = {pd_.acm1, {S("Smith")}};
+  noop.response = {};
+  schema::AccessPath viol({st, noop});
+  EXPECT_FALSE(acc::EvalOnPath(f, pd_.schema, viol,
+                               schema::Instance(pd_.schema)));
+}
+
+TEST_F(AnalysisTest, DataflowRestrictionSemantics) {
+  // Names input to AcM1 must occur in Address position 2 beforehand.
+  acc::AccPtr flow =
+      DataflowRestriction(pd_.schema, pd_.acm1, pd_.address, 2);
+  schema::AccessStep a1;
+  a1.access = {pd_.acm2, {S("Parks Rd"), S("OX13QD")}};
+  a1.response = {
+      {S("Parks Rd"), S("OX13QD"), S("Smith"), Value::Int(13)}};
+  schema::AccessStep a2;
+  a2.access = {pd_.acm1, {S("Smith")}};
+  a2.response = {};
+  schema::AccessPath good({a1, a2});
+  EXPECT_TRUE(acc::EvalOnPath(flow, pd_.schema, good,
+                              schema::Instance(pd_.schema)));
+  schema::AccessPath bad({a2, a1});
+  EXPECT_FALSE(acc::EvalOnPath(flow, pd_.schema, bad,
+                               schema::Instance(pd_.schema)));
+}
+
+/// Property: zero-solver witnesses always model their formulas
+/// (soundness across random zero-ary formulas).
+class ZeroSolverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroSolverPropertyTest, WitnessesModelFormulas) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 57 + 23);
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  acc::AccPtr f =
+      workload::RandomZeroAryFormula(&rng, pd.schema, 3, true);
+  ZeroSolverOptions opts;
+  opts.max_nodes = 50000;
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(f, pd.schema, opts);
+  if (!r.ok()) return;  // e.g. pool too large
+  if (r.value().satisfiable) {
+    EXPECT_TRUE(acc::EvalOnPath(f, pd.schema, r.value().witness,
+                                schema::Instance(pd.schema)))
+        << f->ToString(pd.schema) << "\n"
+        << r.value().witness.ToString(pd.schema);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroSolverPropertyTest,
+                         ::testing::Range(0, 40));
+
+// --- Validity (S2, decided through satisfiability of the negation) ----------
+
+TEST(ValidityTest, TautologyIsValid) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Result<acc::AccPtr> p =
+      acc::ParseAccFormula("F [IsBind_AcM1()]", pd.schema);
+  ASSERT_TRUE(p.ok());
+  acc::AccPtr taut =
+      acc::AccFormula::Or({p.value(), acc::AccFormula::Not(p.value())});
+  Result<Decision> d = DecideValidity(taut, pd.schema);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().satisfiable, Answer::kYes);
+  EXPECT_FALSE(d.value().has_witness);
+}
+
+TEST(ValidityTest, NonValidityYieldsCounterexamplePath) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Result<acc::AccPtr> f =
+      acc::ParseAccFormula("F [IsBind_AcM1()]", pd.schema);
+  ASSERT_TRUE(f.ok());
+  Result<Decision> d = DecideValidity(f.value(), pd.schema);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, Answer::kNo);
+  ASSERT_TRUE(d.value().has_witness);
+  // The counterexample avoids AcM1 on every step.
+  for (const schema::AccessStep& s : d.value().witness.steps()) {
+    EXPECT_NE(s.access.method, pd.acm1);
+  }
+}
+
+TEST(ValidityTest, MonotonicityLawIsValid) {
+  // The paper's observation after Thm 3.1 as a validity: a positive
+  // post-sentence never flips back to false -- NOT F([q] AND F NOT [q])
+  // holds on every path.
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Result<acc::AccPtr> q = acc::ParseAccFormula(
+      "[EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]", pd.schema);
+  ASSERT_TRUE(q.ok());
+  acc::AccPtr flip = acc::AccFormula::Eventually(acc::AccFormula::And(
+      {q.value(),
+       acc::AccFormula::Eventually(acc::AccFormula::Not(q.value()))}));
+  Result<Decision> d =
+      DecideValidity(acc::AccFormula::Not(flip), pd.schema);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, Answer::kYes);
+}
+
+// --- Brute-force cross-validation of the zero-ary solver --------------------
+
+/// Exhaustively enumerates access paths over a tiny schema (fixed value
+/// pool; empty / singleton / full-pool responses) and checks whether
+/// any satisfies `f`. Exponential — keep bounds tiny.
+bool BruteForceSatisfiable(const acc::AccPtr& f, const schema::Schema& s,
+                           const std::vector<Value>& pool, size_t max_len,
+                           bool grounded) {
+  // Candidate tuples per relation: the full pool cross-product.
+  std::vector<std::vector<Tuple>> rel_tuples(
+      static_cast<size_t>(s.num_relations()));
+  for (schema::RelationId r = 0; r < s.num_relations(); ++r) {
+    std::vector<Tuple> acc = {{}};
+    for (ValueType t : s.relation(r).position_types) {
+      std::vector<Tuple> next;
+      for (const Tuple& partial : acc) {
+        for (const Value& v : pool) {
+          if (v.type() != t) continue;
+          Tuple e = partial;
+          e.push_back(v);
+          next.push_back(std::move(e));
+        }
+      }
+      acc = std::move(next);
+    }
+    rel_tuples[static_cast<size_t>(r)] = std::move(acc);
+  }
+
+  std::function<bool(schema::AccessPath*, const schema::Instance&)> rec =
+      [&](schema::AccessPath* p, const schema::Instance& conf) -> bool {
+    if (!p->empty() &&
+        acc::EvalOnPath(f, s, *p, schema::Instance(s))) {
+      return true;
+    }
+    if (p->size() >= max_len) return false;
+    std::set<Value> known;
+    if (grounded) known = conf.ActiveDomain();
+    for (schema::AccessMethodId m = 0; m < s.num_access_methods(); ++m) {
+      const schema::AccessMethod& method = s.method(m);
+      // All typed bindings from the pool.
+      std::vector<Tuple> bindings = {{}};
+      for (schema::Position pos : method.input_positions) {
+        ValueType t = s.relation(method.relation)
+                          .position_types[static_cast<size_t>(pos)];
+        std::vector<Tuple> next;
+        for (const Tuple& partial : bindings) {
+          for (const Value& v : pool) {
+            if (v.type() != t) continue;
+            if (grounded && known.count(v) == 0) continue;
+            Tuple e = partial;
+            e.push_back(v);
+            next.push_back(std::move(e));
+          }
+        }
+        bindings = std::move(next);
+      }
+      for (const Tuple& b : bindings) {
+        // Well-formed responses: empty, each compatible singleton, and
+        // the full compatible set.
+        std::vector<schema::Response> responses = {{}};
+        std::vector<Tuple> compatible;
+        for (const Tuple& t : rel_tuples[
+                 static_cast<size_t>(method.relation)]) {
+          bool match = true;
+          for (size_t k = 0; k < method.input_positions.size(); ++k) {
+            if (t[static_cast<size_t>(method.input_positions[k])] != b[k]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) compatible.push_back(t);
+        }
+        for (const Tuple& t : compatible) responses.push_back({t});
+        if (compatible.size() > 1) {
+          responses.push_back(
+              schema::Response(compatible.begin(), compatible.end()));
+        }
+        for (const schema::Response& resp : responses) {
+          schema::AccessStep step;
+          step.access = {m, b};
+          step.response = resp;
+          p->Append(step);
+          schema::Instance next_conf = conf;
+          for (const Tuple& t : resp) next_conf.AddFact(method.relation, t);
+          bool found = rec(p, next_conf);
+          // Rebuild the path without the last step (no pop API).
+          std::vector<schema::AccessStep> steps(p->steps().begin(),
+                                                p->steps().end() - 1);
+          *p = schema::AccessPath(std::move(steps));
+          if (found) return true;
+        }
+      }
+    }
+    return false;
+  };
+  schema::AccessPath p;
+  return rec(&p, schema::Instance(s));
+}
+
+/// Tiny two-relation schema for exhaustive enumeration.
+schema::Schema TinySchema() {
+  schema::Schema s;
+  schema::RelationId r = s.AddRelation("R", {ValueType::kString});
+  schema::RelationId t =
+      s.AddRelation("T", {ValueType::kString, ValueType::kString});
+  s.AddAccessMethod("MR", r, {0});
+  s.AddAccessMethod("MT", t, {0});
+  return s;
+}
+
+/// Thm 4.12/4.14 cross-check: on every random zero-ary formula where
+/// the solver concludes (no budget exhaustion), its verdict matches
+/// brute-force path enumeration in the only direction brute force can
+/// attest: a brute-force witness contradicts an UNSAT verdict, and a
+/// solver witness is a real path (checked in the soundness sweep).
+class ZeroSolverCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroSolverCrossCheckTest, SolverUnsatImpliesBruteForceUnsat) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 401 + 13);
+  schema::Schema s = TinySchema();
+  bool x_only = GetParam() % 3 == 0;
+  acc::AccPtr f = workload::RandomZeroAryFormula(&rng, s, 2, !x_only);
+  ZeroSolverOptions opts;
+  opts.max_nodes = 200000;
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(f, s, opts);
+  if (!r.ok() || r.value().exhausted_budget) return;
+  std::vector<Value> pool = {Value::Str("a"), Value::Str("b")};
+  bool brute = BruteForceSatisfiable(f, s, pool, 3, /*grounded=*/false);
+  if (r.value().satisfiable) {
+    // Witness already validated by the soundness sweep; brute force
+    // with its tiny pool may simply not reach the witness.
+    SUCCEED();
+  } else {
+    EXPECT_FALSE(brute) << "solver said UNSAT but a path exists for\n"
+                        << f->ToString(s);
+  }
+}
+
+TEST_P(ZeroSolverCrossCheckTest, GroundedVerdictsConsistent) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 761 + 29);
+  schema::Schema s = TinySchema();
+  acc::AccPtr f = workload::RandomZeroAryFormula(&rng, s, 2, true);
+  ZeroSolverOptions opts;
+  opts.max_nodes = 200000;
+  opts.grounded = true;
+  Result<ZeroSolverResult> r = CheckZeroArySatisfiable(f, s, opts);
+  if (!r.ok() || r.value().exhausted_budget) return;
+  std::vector<Value> pool = {Value::Str("a"), Value::Str("b")};
+  bool brute = BruteForceSatisfiable(f, s, pool, 3, /*grounded=*/true);
+  if (!r.value().satisfiable) {
+    EXPECT_FALSE(brute) << "grounded UNSAT contradicted for\n"
+                        << f->ToString(s);
+  } else {
+    EXPECT_TRUE(r.value().witness.IsGrounded(s, schema::Instance(s)))
+        << f->ToString(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroSolverCrossCheckTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace analysis
+}  // namespace accltl

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/value.h"
+
+namespace accltl {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i = Value::Int(3), b = Value::Bool(true), s = Value::Str("x");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(b.is_bool());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 3);
+  EXPECT_TRUE(b.AsBool());
+  EXPECT_EQ(s.AsString(), "x");
+}
+
+TEST(ValueTest, TotalOrderGroupsByType) {
+  // Ints < bools < strings by variant index; consistent and strict.
+  std::set<Value> values = {Value::Str("a"), Value::Int(5), Value::Bool(false),
+                            Value::Int(-1)};
+  EXPECT_EQ(values.size(), 4u);
+  EXPECT_TRUE(Value::Int(-1) < Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) < Value::Int(-1));
+}
+
+TEST(ValueTest, EqualityAndHashAgree) {
+  Value a = Value::Str("Jones"), b = Value::Str("Jones");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(Value::Int(1), Value::Bool(true));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Str("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(TupleToString({Value::Int(1), Value::Str("a")}), "(1, \"a\")");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("IsBind_AcM1", "IsBind_"));
+  EXPECT_FALSE(StartsWith("Is", "IsBind_"));
+}
+
+}  // namespace
+}  // namespace accltl

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/datalog/containment.h"
+#include "src/datalog/eval.h"
+
+namespace accltl {
+namespace datalog {
+namespace {
+
+logic::Term V(const std::string& v) { return logic::Term::Var(v); }
+logic::Term C(const std::string& c) {
+  return logic::Term::Const(Value::Str(c));
+}
+Value S(const std::string& s) { return Value::Str(s); }
+
+/// Transitive closure program: tc(x,y) :- e(x,y); tc(x,z) :- tc(x,y),
+/// e(y,z); goal() :- tc(x,y).
+Program TransitiveClosure() {
+  Program p;
+  p.AddRule({{"tc", {V("x"), V("y")}}, {{"e", {V("x"), V("y")}}}});
+  p.AddRule({{"tc", {V("x"), V("z")}},
+             {{"tc", {V("x"), V("y")}}, {"e", {V("y"), V("z")}}}});
+  p.AddRule({{"goal", {}}, {{"tc", {V("x"), V("y")}}}});
+  p.SetGoal("goal");
+  return p;
+}
+
+TEST(DatalogProgramTest, ValidationCatchesUnsafeRules) {
+  Program p;
+  p.AddRule({{"q", {V("x"), V("y")}}, {{"e", {V("x"), V("x")}}}});
+  p.SetGoal("q");
+  EXPECT_FALSE(p.Validate().ok());  // y not in body
+  Program q = TransitiveClosure();
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_TRUE(q.IsRecursive());
+  EXPECT_TRUE(q.IsIdb("tc"));
+  EXPECT_FALSE(q.IsIdb("e"));
+  EXPECT_EQ(q.EdbPredicates(), std::set<std::string>{"e"});
+}
+
+TEST(DatalogEvalTest, TransitiveClosureChain) {
+  Program p = TransitiveClosure();
+  DlDatabase db;
+  db.AddFact("e", {S("a"), S("b")});
+  db.AddFact("e", {S("b"), S("c")});
+  db.AddFact("e", {S("c"), S("d")});
+  DlDatabase result = Evaluate(p, db);
+  const std::set<Tuple>* tc = result.GetTuples("tc");
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->size(), 6u);  // all pairs (a,b),(a,c),(a,d),(b,c),(b,d),(c,d)
+  EXPECT_TRUE(result.Contains("tc", {S("a"), S("d")}));
+  EXPECT_FALSE(result.Contains("tc", {S("d"), S("a")}));
+  EXPECT_TRUE(Accepts(p, db));
+  EXPECT_FALSE(Accepts(p, DlDatabase{}));
+}
+
+TEST(DatalogEvalTest, ConstantsInRules) {
+  Program p;
+  p.AddRule({{"goal", {}}, {{"e", {C("a"), V("x")}}}});
+  p.SetGoal("goal");
+  DlDatabase db;
+  db.AddFact("e", {S("b"), S("c")});
+  EXPECT_FALSE(Accepts(p, db));
+  db.AddFact("e", {S("a"), S("c")});
+  EXPECT_TRUE(Accepts(p, db));
+}
+
+TEST(DatalogEvalTest, FactsViaEmptyBodyRules) {
+  Program p;
+  p.AddRule({{"start", {}}, {}});
+  p.AddRule({{"goal", {}}, {{"start", {}}}});
+  p.SetGoal("goal");
+  EXPECT_TRUE(Accepts(p, DlDatabase{}));
+}
+
+/// Property: semi-naive and naive evaluation produce identical
+/// fixpoints on random graph programs.
+class DatalogEvalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatalogEvalPropertyTest, SemiNaiveEqualsNaive) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 3);
+  Program p = TransitiveClosure();
+  DlDatabase db;
+  int nodes = 2 + static_cast<int>(rng.Uniform(5));
+  int edges = 1 + static_cast<int>(rng.Uniform(12));
+  for (int i = 0; i < edges; ++i) {
+    db.AddFact("e",
+               {S("n" + std::to_string(rng.Uniform(
+                            static_cast<uint64_t>(nodes)))),
+                S("n" + std::to_string(rng.Uniform(
+                            static_cast<uint64_t>(nodes))))});
+  }
+  EvalStats s1, s2;
+  DlDatabase semi = Evaluate(p, db, &s1);
+  DlDatabase naive = EvaluateNaive(p, db, &s2);
+  EXPECT_EQ(semi, naive);
+  // Semi-naive should not fire more rules than naive overall.
+  EXPECT_LE(s1.rule_firings, s2.rule_firings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatalogEvalPropertyTest,
+                         ::testing::Range(0, 20));
+
+// --- UnfoldToUcq -----------------------------------------------------------
+
+TEST(UnfoldTest, NonrecursiveUnfolds) {
+  Program p;
+  p.AddRule({{"mid", {V("x")}}, {{"e", {V("x"), V("y")}}}});
+  p.AddRule({{"mid", {V("x")}}, {{"f", {V("x")}}}});
+  p.AddRule({{"goal", {}}, {{"mid", {V("z")}}, {"g", {V("z")}}}});
+  p.SetGoal("goal");
+  Result<DlUcq> u = UnfoldToUcq(p);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().size(), 2u);
+}
+
+TEST(UnfoldTest, RejectsRecursion) {
+  EXPECT_FALSE(UnfoldToUcq(TransitiveClosure()).ok());
+}
+
+// --- Containment in positive FO (Prop 4.11) --------------------------------
+
+TEST(ContainmentTest, TcContainedInEdgeExistence) {
+  // Any database accepted by TC's goal has an edge.
+  Program p = TransitiveClosure();
+  DlUcq q = {DlCq{{{"e", {V("u"), V("v")}}}}};
+  Result<bool> r = ContainedInPositive(p, q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value());
+}
+
+TEST(ContainmentTest, TcNotContainedInSelfLoopExistence) {
+  // A chain a->b derives tc without any self-loop e(x,x).
+  Program p = TransitiveClosure();
+  DlUcq q = {DlCq{{{"e", {V("u"), V("u")}}}}};
+  Result<bool> r = ContainedInPositive(p, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST(ContainmentTest, TcNotContainedInTwoStepPath) {
+  // goal fires on a single edge; e(x,y),e(y,z) need not exist.
+  Program p = TransitiveClosure();
+  DlUcq q = {DlCq{{{"e", {V("u"), V("v")}}, {"e", {V("v"), V("w")}}}}};
+  Result<bool> r = ContainedInPositive(p, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST(ContainmentTest, GoalRequiringTwoEdgesIsContained) {
+  // goal() :- e(x,y), e(y,z): contained in "exists a 2-path" and in
+  // "exists an edge", not in "exists a self loop".
+  Program p;
+  p.AddRule({{"goal", {}}, {{"e", {V("x"), V("y")}}, {"e", {V("y"), V("z")}}}});
+  p.SetGoal("goal");
+  DlUcq two_path = {
+      DlCq{{{"e", {V("u"), V("v")}}, {"e", {V("v"), V("w")}}}}};
+  DlUcq edge = {DlCq{{{"e", {V("u"), V("v")}}}}};
+  DlUcq loop = {DlCq{{{"e", {V("u"), V("u")}}}}};
+  EXPECT_TRUE(ContainedInPositive(p, two_path).value_or(false));
+  EXPECT_TRUE(ContainedInPositive(p, edge).value_or(false));
+  EXPECT_FALSE(ContainedInPositive(p, loop).value_or(true));
+}
+
+TEST(ContainmentTest, ConstantsInProgramAndQuery) {
+  // goal() :- e("a", x): contained in exists e("a", y), not in exists
+  // e("b", y).
+  Program p;
+  p.AddRule({{"goal", {}}, {{"e", {C("a"), V("x")}}}});
+  p.SetGoal("goal");
+  DlUcq qa = {DlCq{{{"e", {C("a"), V("y")}}}}};
+  DlUcq qb = {DlCq{{{"e", {C("b"), V("y")}}}}};
+  EXPECT_TRUE(ContainedInPositive(p, qa).value_or(false));
+  EXPECT_FALSE(ContainedInPositive(p, qb).value_or(true));
+}
+
+TEST(ContainmentTest, HeadIdentificationPropagates) {
+  // p(x,x) :- e(x). goal() :- p(u,v), f(u,v).
+  // Any accepted db has f(a,a) for some a — so goal ⊆ ∃a f(a,a).
+  Program p;
+  p.AddRule({{"p", {V("x"), V("x")}}, {{"e", {V("x")}}}});
+  p.AddRule({{"goal", {}}, {{"p", {V("u"), V("v")}}, {"f", {V("u"), V("v")}}}});
+  p.SetGoal("goal");
+  DlUcq diag = {DlCq{{{"f", {V("a"), V("a")}}}}};
+  Result<bool> r = ContainedInPositive(p, diag);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value());
+}
+
+TEST(ContainmentTest, UnionOnTheRight) {
+  Program p = TransitiveClosure();
+  DlUcq q = {DlCq{{{"e", {V("u"), V("u")}}}},
+             DlCq{{{"e", {V("u"), V("v")}}}}};
+  EXPECT_TRUE(ContainedInPositive(p, q).value_or(false));
+}
+
+TEST(ContainmentTest, EmptyProgramContainedInAnything) {
+  Program p;
+  p.SetGoal("goal");  // no rules: accepts nothing
+  DlUcq q = {DlCq{{{"e", {V("u"), V("u")}}}}};
+  EXPECT_TRUE(ContainedInPositive(p, q).value_or(false));
+}
+
+/// Property: for random NONrecursive programs, the type-fixpoint
+/// containment agrees with exact unfolding + UCQ containment.
+class ContainmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentPropertyTest, AgreesWithUnfoldingOnNonrecursive) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 71 + 11);
+  // Random program shape: goal() :- mid(...), maybe edb; mid has 1-2
+  // rules over binary EDBs e/f.
+  Program p;
+  auto rand_var = [&] {
+    return V("x" + std::to_string(rng.Uniform(3)));
+  };
+  int mid_rules = 1 + static_cast<int>(rng.Uniform(2));
+  for (int i = 0; i < mid_rules; ++i) {
+    DlRule r;
+    logic::Term a = rand_var(), b = rand_var();
+    r.head = {"mid", {a, b}};
+    r.body.push_back({rng.Chance(1, 2) ? "e" : "f", {a, b}});
+    if (rng.Chance(1, 2)) {
+      r.body.push_back({"e", {b, rand_var()}});
+    }
+    p.AddRule(std::move(r));
+  }
+  DlRule goal;
+  goal.head = {"goal", {}};
+  goal.body.push_back({"mid", {rand_var(), rand_var()}});
+  p.AddRule(std::move(goal));
+  p.SetGoal("goal");
+  ASSERT_TRUE(p.Validate().ok());
+
+  // Random query: 1-2 disjuncts of 1-2 atoms.
+  DlUcq q;
+  int disjuncts = 1 + static_cast<int>(rng.Uniform(2));
+  for (int d = 0; d < disjuncts; ++d) {
+    DlCq cq;
+    int atoms = 1 + static_cast<int>(rng.Uniform(2));
+    for (int a = 0; a < atoms; ++a) {
+      cq.atoms.push_back(
+          {rng.Chance(1, 2) ? "e" : "f",
+           {V("y" + std::to_string(rng.Uniform(2))),
+            V("y" + std::to_string(rng.Uniform(3)))}});
+    }
+    q.push_back(std::move(cq));
+  }
+
+  Result<DlUcq> unfolded = UnfoldToUcq(p);
+  ASSERT_TRUE(unfolded.ok());
+  bool expected = DlUcqContained(unfolded.value(), q);
+  Result<bool> actual = ContainedInPositive(p, q);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_EQ(actual.value(), expected)
+      << "program:\n"
+      << p.ToString() << "query: " << q[0].ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace datalog
+}  // namespace accltl

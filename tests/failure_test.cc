@@ -1,0 +1,227 @@
+// Failure injection: every library entry point reports resource
+// exhaustion and invalid input through Status/Result — never by
+// crashing, looping, or silently degrading an answer. These tests pin
+// the error contracts the other suites rely on.
+
+#include <gtest/gtest.h>
+
+#include "src/accltl/parser.h"
+#include "src/analysis/decide.h"
+#include "src/analysis/zero_solver.h"
+#include "src/automata/compile.h"
+#include "src/automata/emptiness.h"
+#include "src/logic/cq.h"
+#include "src/logic/parser.h"
+#include "src/planner/dynamic.h"
+#include "src/schema/text_format.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : pd_(workload::MakePhoneDirectory()) {}
+  workload::PhoneDirectory pd_;
+};
+
+// --- Parser error contracts -------------------------------------------------
+
+TEST_F(FailureTest, LogicParserRejectsMalformedInput) {
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"Mobile(n,p,s)", "arity mismatch"},
+      {"Nowhere(n)", "unknown relation"},
+      {"EXISTS n . Mobile(n,p,s,ph", "unbalanced paren"},
+      {"EXISTS . Mobile(n,p,s,ph)", "empty variable list"},
+      {"Mobile(n,p,s,ph) AND", "dangling operator"},
+      {"IsBind_NoSuchMethod(n)", "unknown method"},
+  };
+  for (const Case& c : cases) {
+    Result<logic::PosFormulaPtr> r = logic::ParseFormula(c.text, pd_.schema);
+    EXPECT_FALSE(r.ok()) << c.why << ": " << c.text;
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty()) << c.why;
+    }
+  }
+}
+
+TEST_F(FailureTest, AccParserRejectsMalformedInput) {
+  const char* cases[] = {
+      "F [EXISTS n . Mobile_pre(n,p,s,ph)",  // unbalanced bracket
+      "U [IsBind_AcM1()]",                   // operator without lhs
+      "F F",                                 // operator without operand
+      "[Mobile_pre(n,p,s,ph)] EXTRA",        // trailing garbage
+  };
+  for (const char* text : cases) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, pd_.schema);
+    EXPECT_FALSE(r.ok()) << text;
+  }
+}
+
+// --- Resource exhaustion is reported, not silently truncated ----------------
+
+TEST_F(FailureTest, UcqNormalizationReportsBlowup) {
+  // (a ∨ b)^n distributes into 2^n disjuncts; a tiny cap must trip.
+  std::string text = "(Mobile(\"a\",\"a\",\"a\",1)) OR (Address(\"a\",\"a\",\"a\",1))";
+  std::string conj = text;
+  for (int i = 0; i < 4; ++i) conj = "(" + conj + ") AND (" + text + ")";
+  Result<logic::PosFormulaPtr> f = logic::ParseFormula(conj, pd_.schema);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  Result<logic::Ucq> u =
+      logic::NormalizeToUcq(f.value(), {}, pd_.schema, /*max_disjuncts=*/8);
+  ASSERT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kResourceExhausted);
+  // A generous cap succeeds on the same input.
+  Result<logic::Ucq> big =
+      logic::NormalizeToUcq(f.value(), {}, pd_.schema, 100000);
+  EXPECT_TRUE(big.ok());
+  EXPECT_EQ(big.value().disjuncts.size(), 32u);
+}
+
+TEST_F(FailureTest, CompileReportsTableauBlowup) {
+  // Many independent F-obligations blow up the tableau; max_states=2
+  // cannot hold them.
+  Result<acc::AccPtr> f = acc::ParseAccFormula(
+      "F [IsBind_AcM1()] AND F [IsBind_AcM2()] AND "
+      "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]",
+      pd_.schema);
+  ASSERT_TRUE(f.ok());
+  Result<automata::AAutomaton> a =
+      automata::CompileToAutomaton(f.value(), pd_.schema, /*max_states=*/2);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureTest, ZeroSolverReportsBudgetAsUnknownNotNo) {
+  Result<acc::AccPtr> f = acc::ParseAccFormula(
+      "F ([IsBind_AcM1()] AND X ([IsBind_AcM2()] AND X [IsBind_AcM1()]))",
+      pd_.schema);
+  ASSERT_TRUE(f.ok());
+  analysis::ZeroSolverOptions opts;
+  opts.max_nodes = 1;
+  Result<analysis::ZeroSolverResult> r =
+      analysis::CheckZeroArySatisfiable(f.value(), pd_.schema, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.value().satisfiable) {
+    EXPECT_TRUE(r.value().exhausted_budget)
+        << "budget miss must not masquerade as UNSAT";
+  }
+  // Routed through DecideSatisfiability the same miss surfaces as
+  // kUnknown, never kNo.
+  analysis::DecideOptions dopts;
+  dopts.zero = opts;
+  Result<analysis::Decision> d =
+      analysis::DecideSatisfiability(f.value(), pd_.schema, dopts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(d.value().satisfiable, analysis::Answer::kNo);
+}
+
+TEST_F(FailureTest, WitnessSearchReportsBudget) {
+  Result<acc::AccPtr> f = acc::ParseAccFormula(
+      "F [EXISTS n . IsBind_AcM1(n) AND "
+      "(EXISTS s,p,h . Address_pre(s,p,n,h))]",
+      pd_.schema);
+  ASSERT_TRUE(f.ok());
+  Result<automata::AAutomaton> a =
+      automata::CompileToAutomaton(f.value(), pd_.schema);
+  ASSERT_TRUE(a.ok());
+  automata::WitnessSearchOptions opts;
+  opts.max_nodes = 1;
+  automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+      a.value(), pd_.schema, schema::Instance(pd_.schema), opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.exhausted_budget);
+}
+
+TEST_F(FailureTest, DynamicExecutorHonorsAccessBudget) {
+  schema::Instance universe(pd_.schema);
+  universe.AddFact(pd_.mobile, {Value::Str("Smith"), Value::Str("OX13QD"),
+                                Value::Str("Parks Rd"), Value::Int(1)});
+  Result<logic::PosFormulaPtr> f = logic::ParseFormula(
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph)", pd_.schema);
+  Result<logic::Ucq> u = logic::NormalizeToUcq(f.value(), {}, pd_.schema);
+  planner::DynamicOptions opts;
+  opts.seed_values = {Value::Str("Smith"), Value::Str("Jones")};
+  opts.max_accesses = 2;
+  Result<planner::DynamicResult> r = planner::AnswerWithDynamicAccesses(
+      u.value().disjuncts[0], pd_.schema, universe,
+      schema::Instance(pd_.schema), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().stats.accesses_made, 2u);
+  EXPECT_FALSE(r.value().stats.reached_fixpoint);
+}
+
+// --- Structural validation ---------------------------------------------------
+
+TEST_F(FailureTest, SchemaValidatesTuplesAndBindings) {
+  // Arity.
+  EXPECT_FALSE(pd_.schema.ValidateTuple(pd_.mobile, {Value::Str("x")}).ok());
+  // Position type.
+  EXPECT_FALSE(pd_.schema
+                   .ValidateTuple(pd_.mobile,
+                                  {Value::Str("a"), Value::Str("b"),
+                                   Value::Str("c"), Value::Str("not-int")})
+                   .ok());
+  EXPECT_TRUE(pd_.schema
+                  .ValidateTuple(pd_.mobile,
+                                 {Value::Str("a"), Value::Str("b"),
+                                  Value::Str("c"), Value::Int(7)})
+                  .ok());
+  // Binding arity/type.
+  EXPECT_FALSE(pd_.schema.ValidateBinding(pd_.acm2, {Value::Str("x")}).ok());
+  EXPECT_FALSE(
+      pd_.schema.ValidateBinding(pd_.acm1, {Value::Int(3)}).ok());
+  EXPECT_TRUE(
+      pd_.schema.ValidateBinding(pd_.acm1, {Value::Str("Smith")}).ok());
+}
+
+TEST_F(FailureTest, AccessPathValidateCatchesIllFormedResponses) {
+  // Response tuple disagrees with the binding on the input position
+  // ("well-formed output", §2).
+  schema::AccessStep bad;
+  bad.access = {pd_.acm1, {Value::Str("Smith")}};
+  bad.response = {{Value::Str("Jones"), Value::Str("OX13QD"),
+                   Value::Str("Parks Rd"), Value::Int(1)}};
+  schema::AccessPath p({bad});
+  EXPECT_FALSE(p.Validate(pd_.schema).ok());
+
+  schema::AccessStep good = bad;
+  good.response = {{Value::Str("Smith"), Value::Str("OX13QD"),
+                    Value::Str("Parks Rd"), Value::Int(1)}};
+  EXPECT_TRUE(schema::AccessPath({good}).Validate(pd_.schema).ok());
+}
+
+TEST_F(FailureTest, LongTermRelevanceValidatesBinding) {
+  Result<logic::PosFormulaPtr> q = logic::ParseFormula(
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph)", pd_.schema);
+  ASSERT_TRUE(q.ok());
+  // Wrong arity binding for AcM1.
+  Result<analysis::Decision> d = analysis::IsLongTermRelevant(
+      pd_.schema, pd_.acm1, {Value::Str("a"), Value::Str("b")}, q.value());
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureTest, UnsupportedFragmentsAreSignalledNotMisdecided) {
+  // Negated n-ary IsBind: outside AccLTL+ (Thm 3.1 fragment). The
+  // compiler must refuse rather than build a wrong automaton.
+  Result<acc::AccPtr> f = acc::ParseAccFormula(
+      "F NOT [EXISTS n . IsBind_AcM1(n)]", pd_.schema);
+  ASSERT_TRUE(f.ok());
+  Result<automata::AAutomaton> a =
+      automata::CompileToAutomaton(f.value(), pd_.schema);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kUnsupported);
+  // The router degrades to "unknown", never guessing.
+  Result<analysis::Decision> d =
+      analysis::DecideSatisfiability(f.value(), pd_.schema);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().satisfiable, analysis::Answer::kUnknown);
+}
+
+}  // namespace
+}  // namespace accltl

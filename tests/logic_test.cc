@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "src/logic/containment.h"
+#include "src/logic/cq.h"
+#include "src/logic/eval.h"
+#include "src/logic/parser.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace logic {
+namespace {
+
+Value S(const std::string& s) { return Value::Str(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+class LogicTest : public ::testing::Test {
+ protected:
+  LogicTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  PosFormulaPtr Parse(const std::string& text) {
+    Result<PosFormulaPtr> r = ParseFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << text;
+    return r.ok() ? r.value() : PosFormula::False();
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(LogicTest, ParserRoundTrips) {
+  PosFormulaPtr f = Parse(
+      "EXISTS n, p, s, ph . Mobile_pre(n, p, s, ph) AND IsBind_AcM1(n)");
+  EXPECT_TRUE(f->IsSentence());
+  EXPECT_TRUE(f->UsesNAryBind());
+  EXPECT_FALSE(f->UsesInequality());
+  // ToString re-parses to an equal formula.
+  PosFormulaPtr g = Parse(f->ToString(pd_.schema));
+  EXPECT_TRUE(PosFormula::Equal(f, g));
+}
+
+TEST_F(LogicTest, ParserErrors) {
+  EXPECT_FALSE(ParseFormula("Mobile_pre(x)", pd_.schema).ok());  // arity
+  EXPECT_FALSE(ParseFormula("Unknown(x)", pd_.schema).ok());
+  EXPECT_FALSE(ParseFormula("EXISTS x Mobile_pre", pd_.schema).ok());
+  EXPECT_FALSE(ParseFormula("x != ", pd_.schema).ok());
+}
+
+TEST_F(LogicTest, FreeVarsAndSentences) {
+  PosFormulaPtr open = Parse("Mobile(n, p, s, ph)");
+  EXPECT_EQ(open->FreeVars().size(), 4u);
+  EXPECT_FALSE(open->IsSentence());
+  PosFormulaPtr closed = Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  EXPECT_TRUE(closed->IsSentence());
+}
+
+TEST_F(LogicTest, EvalOnInstance) {
+  schema::Instance inst(pd_.schema);
+  inst.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)});
+  EXPECT_TRUE(EvalOnInstance(
+      Parse("EXISTS p, s, ph . Mobile(\"Smith\", p, s, ph)"), inst));
+  EXPECT_FALSE(EvalOnInstance(
+      Parse("EXISTS p, s, ph . Mobile(\"Jones\", p, s, ph)"), inst));
+  // Join through a shared variable.
+  inst.AddFact(pd_.address, {S("Parks Rd"), S("OX13QD"), S("Jones"), I(16)});
+  EXPECT_TRUE(EvalOnInstance(
+      Parse("EXISTS n,p,s,ph,pc,n2,h . Mobile(n,p,s,ph) AND "
+            "Address(s,pc,n2,h)"),
+      inst));
+  EXPECT_FALSE(EvalOnInstance(
+      Parse("EXISTS n,p,s,ph,pc,h . Mobile(n,p,s,ph) AND "
+            "Address(s,pc,n,h)"),
+      inst));
+}
+
+TEST_F(LogicTest, EvalEqualityAndInequality) {
+  schema::Instance inst(pd_.schema);
+  inst.AddFact(pd_.mobile, {S("A"), S("B"), S("A"), I(1)});
+  EXPECT_TRUE(EvalOnInstance(
+      Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n = s"), inst));
+  EXPECT_FALSE(EvalOnInstance(
+      Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != s"), inst));
+  EXPECT_TRUE(EvalOnInstance(
+      Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != p"), inst));
+  EXPECT_TRUE(EvalOnInstance(
+      Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n = \"A\""), inst));
+}
+
+TEST_F(LogicTest, EvalDisjunction) {
+  schema::Instance inst(pd_.schema);
+  inst.AddFact(pd_.address, {S("Parks Rd"), S("OX13QD"), S("Jones"), I(16)});
+  EXPECT_TRUE(EvalOnInstance(
+      Parse("(EXISTS n,p,s,ph . Mobile(n,p,s,ph)) OR "
+            "(EXISTS s,pc,n,h . Address(s,pc,n,h))"),
+      inst));
+}
+
+TEST_F(LogicTest, EnumerateAnswers) {
+  schema::Instance inst(pd_.schema);
+  inst.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)});
+  inst.AddFact(pd_.mobile, {S("Jones"), S("W1"), S("Baker St"), I(2)});
+  PosFormulaPtr open = Parse("EXISTS p, s, ph . Mobile(n, p, s, ph)");
+  InstanceView view(inst);
+  std::set<Tuple> answers = EnumerateAnswers(open, {"n"}, view);
+  EXPECT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers.count({S("Smith")}) > 0);
+  EXPECT_TRUE(answers.count({S("Jones")}) > 0);
+}
+
+TEST_F(LogicTest, TransitionViewSemantics) {
+  schema::Instance pre(pd_.schema);
+  pre.AddFact(pd_.address, {S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)});
+  schema::Transition t = schema::MakeTransition(
+      pd_.schema, pre, schema::Access{pd_.acm1, {S("Smith")}},
+      {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)}});
+  // The running example's second atom (§1): binding appears in
+  // Address_pre.
+  PosFormulaPtr f = Parse(
+      "EXISTS n . IsBind_AcM1(n) AND (EXISTS s, p, h . "
+      "Address_pre(s, p, n, h))");
+  EXPECT_TRUE(EvalOnTransition(f, t));
+  // Pre does not contain the new Mobile tuple; post does.
+  EXPECT_FALSE(EvalOnTransition(
+      Parse("EXISTS n,p,s,ph . Mobile_pre(n,p,s,ph)"), t));
+  EXPECT_TRUE(EvalOnTransition(
+      Parse("EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)"), t));
+  // 0-ary IsBind: the method used.
+  EXPECT_TRUE(EvalOnTransition(Parse("IsBind_AcM1()"), t));
+  EXPECT_FALSE(EvalOnTransition(Parse("IsBind_AcM2()"), t));
+}
+
+TEST_F(LogicTest, ShiftPlainSpace) {
+  PosFormulaPtr q = Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  PosFormulaPtr qpre = ShiftPlainSpace(q, PredSpace::kPre);
+  EXPECT_NE(qpre->ToString(pd_.schema).find("Mobile_pre"),
+            std::string::npos);
+  EXPECT_FALSE(qpre->UsesPlainSpace());
+  PosFormulaPtr qpost = ShiftPlainSpace(q, PredSpace::kPost);
+  EXPECT_NE(qpost->ToString(pd_.schema).find("Mobile_post"),
+            std::string::npos);
+}
+
+TEST_F(LogicTest, NormalizeDistributesOr) {
+  PosFormulaPtr f = Parse(
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND "
+      "((EXISTS a,b,c,d . Address(a,b,c,d)) OR "
+      " (EXISTS a,b,c,d . Mobile(a,b,c,d)))");
+  Result<Ucq> ucq = NormalizeToUcq(f, {}, pd_.schema);
+  ASSERT_TRUE(ucq.ok());
+  EXPECT_EQ(ucq.value().disjuncts.size(), 2u);
+  for (const Cq& d : ucq.value().disjuncts) {
+    EXPECT_EQ(d.atoms.size(), 2u);
+  }
+}
+
+TEST_F(LogicTest, NormalizeResolvesEqualities) {
+  PosFormulaPtr f = Parse(
+      "EXISTS n,p,s,ph,m . Mobile(n,p,s,ph) AND n = m AND m = \"Smith\"");
+  Result<Ucq> ucq = NormalizeToUcq(f, {}, pd_.schema);
+  ASSERT_TRUE(ucq.ok());
+  ASSERT_EQ(ucq.value().disjuncts.size(), 1u);
+  const Cq& d = ucq.value().disjuncts[0];
+  ASSERT_EQ(d.atoms.size(), 1u);
+  EXPECT_EQ(d.atoms[0].terms[0], Term::Const(S("Smith")));
+}
+
+TEST_F(LogicTest, NormalizeDropsContradictions) {
+  PosFormulaPtr f = Parse(
+      "(EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n = \"A\" AND n = \"B\") OR "
+      "(EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != n)");
+  Result<Ucq> ucq = NormalizeToUcq(f, {}, pd_.schema);
+  ASSERT_TRUE(ucq.ok());
+  EXPECT_TRUE(ucq.value().disjuncts.empty());
+}
+
+TEST_F(LogicTest, FreezeCqBuildsCanonicalDb) {
+  PosFormulaPtr f = Parse("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  Result<Ucq> ucq = NormalizeToUcq(f, {}, pd_.schema);
+  ASSERT_TRUE(ucq.ok());
+  FreshValueFactory factory;
+  Result<FrozenCq> frozen =
+      FreezeCq(ucq.value().disjuncts[0], pd_.schema, &factory);
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_EQ(frozen.value().db.TotalFacts(), 1u);
+  // Typed freezing: string positions get string nulls, int position an
+  // int null.
+  const std::set<Tuple>& tuples =
+      *frozen.value().db.GetTuples(Plain(pd_.mobile));
+  const Tuple& t = *tuples.begin();
+  EXPECT_TRUE(t[0].is_string());
+  EXPECT_TRUE(t[3].is_int());
+}
+
+// --- Containment -----------------------------------------------------------
+
+class ContainmentTest : public LogicTest {
+ protected:
+  bool Contained(const std::string& q1, const std::string& q2) {
+    Result<Ucq> u1 = NormalizeToUcq(Parse(q1), {}, pd_.schema);
+    Result<Ucq> u2 = NormalizeToUcq(Parse(q2), {}, pd_.schema);
+    EXPECT_TRUE(u1.ok() && u2.ok());
+    Result<bool> r = UcqContained(u1.value(), u2.value(), pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value_or(false);
+  }
+};
+
+TEST_F(ContainmentTest, Reflexive) {
+  EXPECT_TRUE(Contained("EXISTS n,p,s,ph . Mobile(n,p,s,ph)",
+                        "EXISTS n,p,s,ph . Mobile(n,p,s,ph)"));
+}
+
+TEST_F(ContainmentTest, MoreAtomsContainedInFewer) {
+  EXPECT_TRUE(Contained(
+      "EXISTS n,p,s,ph,a,b,c,d . Mobile(n,p,s,ph) AND Address(a,b,c,d)",
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph)"));
+  EXPECT_FALSE(Contained(
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph)",
+      "EXISTS n,p,s,ph,a,b,c,d . Mobile(n,p,s,ph) AND Address(a,b,c,d)"));
+}
+
+TEST_F(ContainmentTest, ConstantsSpecialize) {
+  EXPECT_TRUE(Contained("EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)",
+                        "EXISTS n,p,s,ph . Mobile(n,p,s,ph)"));
+  EXPECT_FALSE(Contained("EXISTS n,p,s,ph . Mobile(n,p,s,ph)",
+                         "EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)"));
+}
+
+TEST_F(ContainmentTest, UnionOnTheRight) {
+  EXPECT_TRUE(Contained(
+      "EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)",
+      "(EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)) OR "
+      "(EXISTS p,s,ph . Mobile(\"Jones\",p,s,ph))"));
+  EXPECT_FALSE(Contained(
+      "(EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)) OR "
+      "(EXISTS p,s,ph . Mobile(\"Jones\",p,s,ph))",
+      "EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)"));
+}
+
+TEST_F(ContainmentTest, SelfJoinCollapses) {
+  // R(x,y) ∧ R(y,x)-style: Mobile(n,p,..) twice with swapped vars is
+  // contained in the single-atom query, not vice versa.
+  EXPECT_TRUE(Contained(
+      "EXISTS n,p,s,ph,s2,ph2 . Mobile(n,p,s,ph) AND Mobile(p,n,s2,ph2)",
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph)"));
+}
+
+TEST_F(ContainmentTest, InequalityRightRequiresIdentifications) {
+  // ∃n,p: Mobile(n,p,..) is NOT contained in ∃n,p: Mobile(n,p,..) ∧ n≠p
+  // (witness: n = p).
+  EXPECT_FALSE(Contained("EXISTS n,p,s,ph . Mobile(n,p,s,ph)",
+                         "EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != p"));
+  // With the inequality on both sides it holds.
+  EXPECT_TRUE(Contained("EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != p",
+                        "EXISTS n,p,s,ph . Mobile(n,p,s,ph)"));
+  EXPECT_TRUE(
+      Contained("EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != p",
+                "EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != p"));
+}
+
+TEST_F(ContainmentTest, InequalityWithConstants) {
+  // Left restricted to Smith; right demands a non-Smith tuple: not
+  // contained.
+  EXPECT_FALSE(Contained(
+      "EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)",
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != \"Smith\""));
+  // Left's constant differs from the right's: contained.
+  EXPECT_TRUE(Contained(
+      "EXISTS p,s,ph . Mobile(\"Jones\",p,s,ph)",
+      "EXISTS n,p,s,ph . Mobile(n,p,s,ph) AND n != \"Smith\""));
+}
+
+/// Property sweep: containment decisions are consistent with direct
+/// evaluation on random instances (soundness of kContained answers).
+class ContainmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentPropertyTest, ContainmentSoundOnRandomInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+  PosFormulaPtr q1 = workload::RandomCq(&rng, s, 2, 3);
+  PosFormulaPtr q2 = workload::RandomCq(&rng, s, 2, 3);
+  Result<Ucq> u1 = NormalizeToUcq(q1, {}, s);
+  Result<Ucq> u2 = NormalizeToUcq(q2, {}, s);
+  ASSERT_TRUE(u1.ok() && u2.ok());
+  Result<bool> contained = UcqContained(u1.value(), u2.value(), s);
+  ASSERT_TRUE(contained.ok());
+  for (int i = 0; i < 20; ++i) {
+    schema::Instance inst = workload::RandomInstance(&rng, s, 6, 3);
+    bool v1 = EvalOnInstance(q1, inst);
+    bool v2 = EvalOnInstance(q2, inst);
+    if (contained.value()) {
+      EXPECT_TRUE(!v1 || v2) << "containment violated on a random instance";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Range(0, 25));
+
+/// Property sweep: UCQ normalization preserves semantics.
+class NormalizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizePropertyTest, UcqEquivalentToFormula) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+  PosFormulaPtr q = workload::RandomCq(&rng, s, 3, 3);
+  Result<Ucq> u = NormalizeToUcq(q, {}, s);
+  ASSERT_TRUE(u.ok());
+  PosFormulaPtr back = u.value().ToFormula();
+  for (int i = 0; i < 20; ++i) {
+    schema::Instance inst = workload::RandomInstance(&rng, s, 5, 3);
+    EXPECT_EQ(EvalOnInstance(q, inst), EvalOnInstance(back, inst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizePropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace logic
+}  // namespace accltl

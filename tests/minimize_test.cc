@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "src/accltl/parser.h"
+#include "src/accltl/semantics.h"
+#include "src/analysis/decide.h"
+#include "src/analysis/minimize.h"
+#include "src/analysis/properties.h"
+#include "src/logic/parser.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace analysis {
+namespace {
+
+Value S(const std::string& s) { return Value::Str(s); }
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  MinimizeTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& text) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+
+  schema::AccessStep Smith() {
+    schema::AccessStep s;
+    s.access = {pd_.acm1, {S("Smith")}};
+    s.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), Value::Int(1)}};
+    return s;
+  }
+
+  schema::AccessStep Address2() {
+    schema::AccessStep s;
+    s.access = {pd_.acm2, {S("Parks Rd"), S("OX13QD")}};
+    s.response = {{S("Parks Rd"), S("OX13QD"), S("Smith"), Value::Int(13)},
+                  {S("Parks Rd"), S("OX13QD"), S("Jones"), Value::Int(16)}};
+    return s;
+  }
+
+  schema::AccessStep Noise() {
+    schema::AccessStep s;
+    s.access = {pd_.acm1, {S("Nobody")}};
+    s.response = {};
+    return s;
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(MinimizeTest, DropsPaddingSteps) {
+  // Goal: eventually an AcM2 access. Noise steps around it are padding.
+  acc::AccPtr goal = Parse("F [IsBind_AcM2()]");
+  schema::AccessPath padded({Noise(), Smith(), Address2(), Noise()});
+  schema::Instance empty(pd_.schema);
+  ASSERT_TRUE(acc::EvalOnPath(goal, pd_.schema, padded, empty));
+
+  schema::AccessPath shrunk =
+      ShrinkWitness(goal, pd_.schema, empty, padded);
+  EXPECT_EQ(shrunk.size(), 1u);
+  EXPECT_EQ(shrunk.step(0).access.method, pd_.acm2);
+  EXPECT_TRUE(acc::EvalOnPath(goal, pd_.schema, shrunk, empty));
+}
+
+TEST_F(MinimizeTest, DropsUnneededResponseTuples) {
+  // Goal: Jones revealed in Address. The Smith tuple of the AcM2
+  // response is unnecessary.
+  acc::AccPtr goal =
+      Parse("F [EXISTS s,pc,h . Address_post(s,pc,\"Jones\",h)]");
+  schema::AccessPath p({Address2()});
+  schema::Instance empty(pd_.schema);
+  schema::AccessPath shrunk = ShrinkWitness(goal, pd_.schema, empty, p);
+  ASSERT_EQ(shrunk.size(), 1u);
+  EXPECT_EQ(shrunk.step(0).response.size(), 1u);
+  EXPECT_EQ((*shrunk.step(0).response.begin())[2], S("Jones"));
+}
+
+TEST_F(MinimizeTest, NonWitnessReturnedUnchanged) {
+  acc::AccPtr goal = Parse("F [IsBind_AcM2()]");
+  schema::AccessPath p({Noise()});
+  schema::Instance empty(pd_.schema);
+  schema::AccessPath same = ShrinkWitness(goal, pd_.schema, empty, p);
+  EXPECT_EQ(same.size(), p.size());
+}
+
+TEST_F(MinimizeTest, GroundedShrinkKeepsGroundedness) {
+  // Schema with a 1-ary Seed relation so I0 can know just "Smith":
+  // the AcM1("Smith") step is then what grounds the street/postcode
+  // binding of AcM2, and grounded shrinking must keep it even though
+  // the formula alone would not.
+  schema::Schema s;
+  schema::RelationId seed_rel = s.AddRelation("Seed", {ValueType::kString});
+  schema::RelationId mobile =
+      s.AddRelation("Mobile", {ValueType::kString, ValueType::kString,
+                               ValueType::kString, ValueType::kInt});
+  schema::RelationId address =
+      s.AddRelation("Address", {ValueType::kString, ValueType::kString,
+                                ValueType::kString, ValueType::kInt});
+  schema::AccessMethodId acm1 = s.AddAccessMethod("AcM1", mobile, {0});
+  schema::AccessMethodId acm2 = s.AddAccessMethod("AcM2", address, {0, 1});
+
+  schema::Instance i0(s);
+  i0.AddFact(seed_rel, {S("Smith")});
+
+  schema::AccessStep step1;
+  step1.access = {acm1, {S("Smith")}};
+  step1.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), Value::Int(1)}};
+  schema::AccessStep step2;
+  step2.access = {acm2, {S("Parks Rd"), S("OX13QD")}};
+  step2.response = {{S("Parks Rd"), S("OX13QD"), S("Jones"), Value::Int(16)}};
+  schema::AccessPath p({step1, step2});
+  ASSERT_TRUE(p.IsGrounded(s, i0));
+
+  Result<acc::AccPtr> goal = acc::ParseAccFormula("F [IsBind_AcM2()]", s);
+  ASSERT_TRUE(goal.ok());
+
+  // Grounded: the AcM1 step must survive (it reveals street/postcode).
+  schema::AccessPath grounded =
+      ShrinkWitness(goal.value(), s, i0, p, /*grounded=*/true);
+  EXPECT_EQ(grounded.size(), 2u);
+  EXPECT_TRUE(grounded.IsGrounded(s, i0));
+
+  // Ungrounded: the AcM2 step alone satisfies the formula.
+  schema::AccessPath free =
+      ShrinkWitness(goal.value(), s, i0, p, /*grounded=*/false);
+  EXPECT_EQ(free.size(), 1u);
+  EXPECT_EQ(free.step(0).access.method, acm2);
+}
+
+TEST_F(MinimizeTest, DecideOptionShrinksWitness) {
+  acc::AccPtr goal = Parse("F [IsBind_AcM2()]");
+  DecideOptions plain;
+  Result<Decision> d1 = DecideSatisfiability(goal, pd_.schema, plain);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_EQ(d1.value().satisfiable, Answer::kYes);
+  ASSERT_TRUE(d1.value().has_witness);
+
+  DecideOptions shrink = plain;
+  shrink.shrink_witness = true;
+  Result<Decision> d2 = DecideSatisfiability(goal, pd_.schema, shrink);
+  ASSERT_TRUE(d2.ok());
+  ASSERT_TRUE(d2.value().has_witness);
+  EXPECT_LE(d2.value().witness.size(), d1.value().witness.size());
+  EXPECT_TRUE(acc::EvalOnPath(goal, pd_.schema, d2.value().witness,
+                              schema::Instance(pd_.schema)));
+}
+
+TEST_F(MinimizeTest, AutomatonWitnessShrinks) {
+  // Relevance automaton witnesses carry exploration padding; shrinking
+  // keeps acceptance.
+  Result<logic::PosFormulaPtr> q = logic::ParseFormula(
+      "EXISTS n,p,s,ph . Mobile_pre(n,p,s,ph)", pd_.schema);
+  ASSERT_TRUE(q.ok());
+  automata::AAutomaton a = RelevanceAutomaton(
+      pd_.schema, pd_.acm1, {S("Smith")},
+      logic::ParseFormula("EXISTS n,p,s,ph . Mobile(n,p,s,ph)", pd_.schema)
+          .value(),
+      {});
+  schema::AccessPath padded({Noise(), Smith(), Noise()});
+  schema::Instance empty(pd_.schema);
+  if (automata::Accepts(a, pd_.schema, padded, empty)) {
+    schema::AccessPath shrunk =
+        ShrinkAutomatonWitness(a, pd_.schema, empty, padded);
+    EXPECT_LE(shrunk.size(), padded.size());
+    EXPECT_TRUE(automata::Accepts(a, pd_.schema, shrunk, empty));
+  }
+}
+
+/// Shrinking is sound and 1-minimal on random witnesses.
+class ShrinkPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShrinkPropertyTest, ShrunkWitnessStillSatisfiesAndIsOneMinimal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 37 + 5);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  acc::AccPtr phi = workload::RandomZeroAryFormula(&rng, s, 2, true);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 8, 4);
+  schema::Instance initial(s);
+
+  // Build a random path; skip seeds whose path does not satisfy phi.
+  std::vector<Value> domain;
+  for (const Value& v : universe.ActiveDomain()) domain.push_back(v);
+  schema::AccessPath p;
+  for (int i = 0; i < 5; ++i) {
+    schema::AccessMethodId m = static_cast<schema::AccessMethodId>(
+        rng.Uniform(static_cast<uint64_t>(s.num_access_methods())));
+    const schema::AccessMethod& method = s.method(m);
+    Tuple binding;
+    for (size_t k = 0; k < method.input_positions.size(); ++k) {
+      binding.push_back(
+          domain[rng.Uniform(static_cast<uint64_t>(domain.size()))]);
+    }
+    schema::AccessStep step;
+    step.access = {m, binding};
+    std::vector<Tuple> matching =
+        universe.Matching(method.relation, method.input_positions, binding);
+    step.response = schema::Response(matching.begin(), matching.end());
+    p.Append(std::move(step));
+  }
+  if (!acc::EvalOnPath(phi, s, p, initial)) return;
+
+  schema::AccessPath shrunk = ShrinkWitness(phi, s, initial, p);
+  // Sound.
+  EXPECT_TRUE(acc::EvalOnPath(phi, s, shrunk, initial));
+  EXPECT_LE(shrunk.size(), p.size());
+  // 1-minimal: removing any single remaining step breaks it.
+  for (size_t i = 0; i < shrunk.size(); ++i) {
+    std::vector<schema::AccessStep> steps;
+    for (size_t j = 0; j < shrunk.size(); ++j) {
+      if (j != i) steps.push_back(shrunk.step(j));
+    }
+    if (steps.empty()) continue;
+    EXPECT_FALSE(
+        acc::EvalOnPath(phi, s, schema::AccessPath(steps), initial))
+        << "step " << i << " was removable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShrinkPropertyTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace analysis
+}  // namespace accltl

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "src/accltl/parser.h"
+#include "src/accltl/semantics.h"
+#include "src/analysis/properties.h"
+#include "src/automata/compile.h"
+#include "src/logic/parser.h"
+#include "src/monitor/automaton_monitor.h"
+#include "src/monitor/progression.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace monitor {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& s) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(s, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+
+  schema::AccessStep SmithLookup() {
+    schema::AccessStep s;
+    s.access = {pd_.acm1, {Value::Str("Smith")}};
+    s.response = {{Value::Str("Smith"), Value::Str("OX13QD"),
+                   Value::Str("Parks Rd"), Value::Int(5551212)}};
+    return s;
+  }
+
+  schema::AccessStep AddressLookup() {
+    schema::AccessStep s;
+    s.access = {pd_.acm2, {Value::Str("Parks Rd"), Value::Str("OX13QD")}};
+    s.response = {{Value::Str("Parks Rd"), Value::Str("OX13QD"),
+                   Value::Str("Smith"), Value::Int(13)}};
+    return s;
+  }
+
+  schema::AccessStep EmptyLookup() {
+    schema::AccessStep s;
+    s.access = {pd_.acm1, {Value::Str("Nobody")}};
+    s.response = {};
+    return s;
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(MonitorTest, VerdictNamesAreDistinct) {
+  EXPECT_STRNE(VerdictName(Verdict::kSatisfied),
+               VerdictName(Verdict::kViolated));
+  EXPECT_STRNE(VerdictName(Verdict::kCurrentlyTrue),
+               VerdictName(Verdict::kCurrentlyFalse));
+  EXPECT_TRUE(IsFinal(Verdict::kSatisfied));
+  EXPECT_TRUE(IsFinal(Verdict::kViolated));
+  EXPECT_FALSE(IsFinal(Verdict::kCurrentlyTrue));
+  EXPECT_FALSE(IsFinal(Verdict::kCurrentlyFalse));
+}
+
+TEST_F(MonitorTest, EventuallyBecomesSatisfiedIrrevocably) {
+  // F [IsBind_AcM1()]: once an AcM1 access happens, no extension can
+  // undo it.
+  ProgressionMonitor m(Parse("F [IsBind_AcM1()]"), pd_.schema,
+                       schema::Instance(pd_.schema));
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyFalse);
+  m.Step(AddressLookup().access, AddressLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyFalse);
+  m.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kSatisfied);
+  // Satisfied is absorbing.
+  m.Step(EmptyLookup().access, EmptyLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kSatisfied);
+}
+
+TEST_F(MonitorTest, GloballyViolatedIrrevocably) {
+  // G ¬[IsBind_AcM1()]: violated at the first AcM1 access, forever.
+  acc::AccPtr g = acc::AccFormula::Globally(
+      acc::AccFormula::Not(Parse("[IsBind_AcM1()]")));
+  ProgressionMonitor m(g, pd_.schema, schema::Instance(pd_.schema));
+  m.Step(AddressLookup().access, AddressLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyTrue);
+  m.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kViolated);
+  m.Step(AddressLookup().access, AddressLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kViolated);
+}
+
+TEST_F(MonitorTest, StrongNextMatchesReferenceSemantics) {
+  // X [IsBind_AcM2()] on a one-step path is false (strong next): the
+  // residual stays deferred and the current verdict reports false.
+  ProgressionMonitor m(Parse("X [IsBind_AcM2()]"), pd_.schema,
+                       schema::Instance(pd_.schema));
+  m.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyFalse);
+  EXPECT_FALSE(m.CurrentlyHolds());
+  m.Step(AddressLookup().access, AddressLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kSatisfied);
+}
+
+TEST_F(MonitorTest, UntilTracksBothArms) {
+  // (no Mobile fact revealed yet) U (AcM2 access).
+  acc::AccPtr phi = Parse(
+      "(NOT [EXISTS n,p,s,ph . Mobile_pre(n,p,s,ph)]) U [IsBind_AcM2()]");
+  ProgressionMonitor m(phi, pd_.schema, schema::Instance(pd_.schema));
+  m.Step(EmptyLookup().access, EmptyLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyFalse);  // rhs not yet seen
+  m.Step(AddressLookup().access, AddressLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kSatisfied);
+}
+
+TEST_F(MonitorTest, UntilViolatedWhenLhsBreaksFirst) {
+  acc::AccPtr phi = Parse(
+      "(NOT [EXISTS n,p,s,ph . Mobile_pre(n,p,s,ph)]) U [IsBind_AcM2()]");
+  ProgressionMonitor m(phi, pd_.schema, schema::Instance(pd_.schema));
+  // Reveal a Mobile fact, then make lhs false before any AcM2 access.
+  m.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyFalse);
+  m.Step(SmithLookup().access, SmithLookup().response);
+  // lhs (Mobile_pre empty) is now false and rhs never held: violated.
+  EXPECT_EQ(m.verdict(), Verdict::kViolated);
+}
+
+TEST_F(MonitorTest, ConfigurationTracksConf) {
+  ProgressionMonitor m(Parse("F [IsBind_AcM1()]"), pd_.schema,
+                       schema::Instance(pd_.schema));
+  m.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_EQ(m.configuration().tuples(pd_.mobile).size(), 1u);
+  EXPECT_EQ(m.configuration().tuples(pd_.address).size(), 0u);
+  EXPECT_EQ(m.num_steps(), 1u);
+}
+
+TEST_F(MonitorTest, ResidualStaysSmallUnderFolding) {
+  ProgressionMonitor m(Parse("F [IsBind_AcM1()]"), pd_.schema,
+                       schema::Instance(pd_.schema));
+  size_t before = m.ResidualSize();
+  for (int i = 0; i < 50; ++i) {
+    m.Step(AddressLookup().access, AddressLookup().response);
+  }
+  // F φ progresses to itself while φ is false: no growth.
+  EXPECT_LE(m.ResidualSize(), before + 2);
+}
+
+TEST_F(MonitorTest, MonitorPathTraceMatchesStepByStep) {
+  acc::AccPtr phi = Parse("F [IsBind_AcM1()]");
+  schema::AccessPath p({AddressLookup(), SmithLookup(), EmptyLookup()});
+  std::vector<Verdict> trace =
+      MonitorPath(phi, pd_.schema, p, schema::Instance(pd_.schema));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], Verdict::kCurrentlyFalse);
+  EXPECT_EQ(trace[1], Verdict::kSatisfied);
+  EXPECT_EQ(trace[2], Verdict::kSatisfied);
+}
+
+// --- Automaton monitor ------------------------------------------------------
+
+TEST_F(MonitorTest, AutomatonMonitorAcceptsCompliantSession) {
+  acc::AccPtr order =
+      analysis::AccessOrderRestriction(pd_.schema, pd_.acm2, pd_.acm1);
+  Result<automata::AAutomaton> a =
+      automata::CompileToAutomaton(order, pd_.schema);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  AutomatonMonitor good(a.value(), pd_.schema, schema::Instance(pd_.schema));
+  good.Step(AddressLookup().access, AddressLookup().response);
+  good.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_TRUE(good.CurrentlyAccepted());
+
+  AutomatonMonitor bad(a.value(), pd_.schema, schema::Instance(pd_.schema));
+  bad.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_FALSE(bad.CurrentlyAccepted());
+}
+
+TEST_F(MonitorTest, AutomatonMonitorReportsIrrevocableViolation) {
+  // An automaton whose only accepting run requires the first access to
+  // be AcM2: once the first access is AcM1, the state set dies.
+  automata::AAutomaton a;
+  int s0 = a.AddState();
+  int s1 = a.AddState();
+  a.SetInitial(s0);
+  a.AddAccepting(s1);
+  automata::Guard g;
+  g.positive = logic::ParseFormula("IsBind_AcM2()", pd_.schema).value();
+  a.AddTransition(s0, g, s1);
+  automata::Guard loop;  // TRUE guard
+  a.AddTransition(s1, loop, s1);
+
+  AutomatonMonitor m(a, pd_.schema, schema::Instance(pd_.schema));
+  EXPECT_EQ(m.verdict(), Verdict::kCurrentlyFalse);
+  m.Step(SmithLookup().access, SmithLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kViolated);
+  EXPECT_FALSE(m.AcceptancePossible());
+  // Violation is absorbing.
+  m.Step(AddressLookup().access, AddressLookup().response);
+  EXPECT_EQ(m.verdict(), Verdict::kViolated);
+}
+
+TEST_F(MonitorTest, AutomatonMonitorEmptyPrefixNotAccepted) {
+  automata::AAutomaton a;
+  int s0 = a.AddState();
+  a.SetInitial(s0);
+  a.AddAccepting(s0);
+  AutomatonMonitor m(a, pd_.schema, schema::Instance(pd_.schema));
+  // Even with an accepting initial state, the empty prefix is not an
+  // access path.
+  EXPECT_FALSE(m.CurrentlyAccepted());
+  EXPECT_TRUE(m.AcceptancePossible());
+}
+
+// --- Property sweeps: agreement with the reference semantics ---------------
+
+/// Random binding-positive formulas and random paths: after each step
+/// the progression monitor's "currently holds" flag equals the
+/// reference EvalOnTransitions on the consumed prefix, and the
+/// automaton monitor's acceptance equals Accepts on the prefix.
+class MonitorAgreementTest : public ::testing::TestWithParam<int> {};
+
+schema::AccessPath RandomPath(Rng* rng, const schema::Schema& s,
+                              const schema::Instance& universe, size_t len) {
+  schema::AccessPath p;
+  std::vector<Value> domain;
+  for (const Value& v : universe.ActiveDomain()) domain.push_back(v);
+  for (size_t i = 0; i < len; ++i) {
+    schema::AccessMethodId m = static_cast<schema::AccessMethodId>(
+        rng->Uniform(static_cast<uint64_t>(s.num_access_methods())));
+    const schema::AccessMethod& method = s.method(m);
+    Tuple binding;
+    for (schema::Position pos : method.input_positions) {
+      (void)pos;
+      binding.push_back(
+          domain[rng->Uniform(static_cast<uint64_t>(domain.size()))]);
+    }
+    schema::AccessStep step;
+    step.access = {m, binding};
+    std::vector<Tuple> matching =
+        universe.Matching(method.relation, method.input_positions, binding);
+    // Random well-formed subset response: full, empty, or one tuple.
+    switch (rng->Uniform(3)) {
+      case 0:
+        step.response = schema::Response(matching.begin(), matching.end());
+        break;
+      case 1:
+        break;  // empty
+      default:
+        if (!matching.empty()) {
+          step.response = {matching[rng->Uniform(
+              static_cast<uint64_t>(matching.size()))]};
+        }
+        break;
+    }
+    p.Append(std::move(step));
+  }
+  return p;
+}
+
+TEST_P(MonitorAgreementTest, ProgressionMatchesReferenceOnRandomPaths) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  acc::AccPtr phi = workload::RandomBindingPositiveFormula(&rng, s, 3);
+  schema::Instance universe = workload::RandomInstance(&rng, s, 8, 4);
+  schema::Instance initial(s);
+  schema::AccessPath path = RandomPath(&rng, s, universe, 4);
+
+  std::vector<schema::Transition> all =
+      acc::PathTransitions(s, path, initial);
+  ProgressionMonitor m(phi, s, initial);
+  for (size_t i = 0; i < all.size(); ++i) {
+    m.StepTransition(all[i]);
+    std::vector<schema::Transition> prefix(all.begin(),
+                                           all.begin() + static_cast<long>(i) +
+                                               1);
+    EXPECT_EQ(m.CurrentlyHolds(), acc::EvalOnTransitions(phi, prefix))
+        << "step " << i << " formula " << phi->ToString(s);
+  }
+}
+
+TEST_P(MonitorAgreementTest, AutomatonMonitorMatchesAcceptsOnRandomPaths) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 953 + 11);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  acc::AccPtr phi = workload::RandomBindingPositiveFormula(&rng, s, 2);
+  Result<automata::AAutomaton> a = automata::CompileToAutomaton(phi, s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  schema::Instance universe = workload::RandomInstance(&rng, s, 8, 4);
+  schema::Instance initial(s);
+  schema::AccessPath path = RandomPath(&rng, s, universe, 4);
+
+  std::vector<schema::Transition> all =
+      acc::PathTransitions(s, path, initial);
+  AutomatonMonitor m(a.value(), s, initial);
+  for (size_t i = 0; i < all.size(); ++i) {
+    m.StepTransition(all[i]);
+    std::vector<schema::Transition> prefix(all.begin(),
+                                           all.begin() + static_cast<long>(i) +
+                                               1);
+    EXPECT_EQ(m.CurrentlyAccepted(),
+              automata::AcceptsTransitions(a.value(), prefix))
+        << "step " << i << " formula " << phi->ToString(s);
+  }
+}
+
+TEST_P(MonitorAgreementTest, TwoMonitorsAgreeOnCurrentVerdict) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 389 + 3);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+  acc::AccPtr phi = workload::RandomBindingPositiveFormula(&rng, s, 2);
+  Result<automata::AAutomaton> a = automata::CompileToAutomaton(phi, s);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  schema::Instance universe = workload::RandomInstance(&rng, s, 6, 3);
+  schema::Instance initial(s);
+  schema::AccessPath path = RandomPath(&rng, s, universe, 3);
+
+  ProgressionMonitor pm(phi, s, initial);
+  AutomatonMonitor am(a.value(), s, initial);
+  for (const schema::AccessStep& step : path.steps()) {
+    pm.Step(step.access, step.response);
+    am.Step(step.access, step.response);
+    EXPECT_EQ(pm.CurrentlyHolds(), am.CurrentlyAccepted())
+        << "formula " << phi->ToString(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorAgreementTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace monitor
+}  // namespace accltl

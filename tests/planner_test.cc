@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+#include <algorithm>
+
+#include "src/analysis/accessible.h"
+#include "src/logic/eval.h"
+#include "src/logic/parser.h"
+#include "src/planner/dynamic.h"
+#include "src/planner/static_plan.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace planner {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : pd_(workload::MakePhoneDirectory()) {
+    // The Figure-1 universe: Smith and Jones on Parks Rd.
+    universe_ = schema::Instance(pd_.schema);
+    universe_.AddFact(pd_.mobile,
+                      {Value::Str("Smith"), Value::Str("OX13QD"),
+                       Value::Str("Parks Rd"), Value::Int(5551212)});
+    universe_.AddFact(pd_.address,
+                      {Value::Str("Parks Rd"), Value::Str("OX13QD"),
+                       Value::Str("Smith"), Value::Int(13)});
+    universe_.AddFact(pd_.address,
+                      {Value::Str("Parks Rd"), Value::Str("OX13QD"),
+                       Value::Str("Jones"), Value::Int(16)});
+  }
+
+  logic::Cq ParseCq(const std::string& text,
+                    const std::vector<std::string>& head = {}) {
+    Result<logic::PosFormulaPtr> f = logic::ParseFormula(text, pd_.schema);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    Result<logic::Ucq> u = logic::NormalizeToUcq(f.value(), head, pd_.schema);
+    EXPECT_TRUE(u.ok()) << u.status().ToString();
+    EXPECT_EQ(u.value().disjuncts.size(), 1u);
+    return u.value().disjuncts[0];
+  }
+
+  workload::PhoneDirectory pd_;
+  schema::Instance universe_;
+};
+
+// --- Static planning --------------------------------------------------------
+
+TEST_F(PlannerTest, ConstantBoundQueryIsExecutable) {
+  // Mobile("Smith", p, s, ph): AcM1's input (name) is the constant.
+  logic::Cq q = ParseCq("EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)");
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, pd_.schema);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().steps.size(), 1u);
+  EXPECT_EQ(plan.value().steps[0].method, pd_.acm1);
+}
+
+TEST_F(PlannerTest, PaperJonesQueryIsNotExecutable) {
+  // §1: Address(X, Y, "Jones", Z) is not answerable — AcM2 needs
+  // street+postcode, which nothing can supply.
+  logic::Cq q = ParseCq("EXISTS x,y,z . Address(x,y,\"Jones\",z)");
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, pd_.schema);
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound)
+      << plan.status().ToString();
+}
+
+TEST_F(PlannerTest, JoinOrderFollowsDataflow) {
+  // Mobile("Smith",p,s,ph) ⋈ Address(s,p,n,h): AcM1 must run first to
+  // bind s and p for AcM2.
+  logic::Cq q = ParseCq(
+      "EXISTS p,s,ph,n,h . Mobile(\"Smith\",p,s,ph) AND Address(s,p,n,h)");
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, pd_.schema);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().steps.size(), 2u);
+  EXPECT_EQ(plan.value().steps[0].method, pd_.acm1);
+  EXPECT_EQ(plan.value().steps[1].method, pd_.acm2);
+}
+
+TEST_F(PlannerTest, NonPlainAtomsRejected) {
+  logic::Cq q;
+  q.atoms.push_back(
+      logic::CqAtom{logic::Pre(pd_.mobile),
+                    {logic::Term::Var("a"), logic::Term::Var("b"),
+                     logic::Term::Var("c"), logic::Term::Var("d")}});
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, pd_.schema);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, ExecutePlanFindsJoinAnswers) {
+  logic::Cq q = ParseCq(
+      "EXISTS p,s,ph,h . Mobile(\"Smith\",p,s,ph) AND Address(s,p,n,h)",
+      {"n"});
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, pd_.schema);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  PlanExecutionStats stats;
+  schema::AccessPath trace;
+  Result<std::set<Tuple>> answers =
+      ExecutePlan(plan.value(), q, pd_.schema, universe_, &stats, &trace);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // Smith's street/postcode match both residents.
+  EXPECT_EQ(answers.value().size(), 2u);
+  EXPECT_TRUE(answers.value().count({Value::Str("Smith")}) > 0);
+  EXPECT_TRUE(answers.value().count({Value::Str("Jones")}) > 0);
+  EXPECT_GE(stats.accesses, 2u);
+  // The trace is a real access path, grounded once the query constant
+  // "Smith" is known.
+  EXPECT_TRUE(trace.Validate(pd_.schema).ok());
+  EXPECT_TRUE(trace.IsGrounded(pd_.schema, universe_));
+}
+
+TEST_F(PlannerTest, ExecutePlanBooleanQuery) {
+  logic::Cq q = ParseCq("EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)");
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, pd_.schema);
+  ASSERT_TRUE(plan.ok());
+  Result<std::set<Tuple>> answers =
+      ExecutePlan(plan.value(), q, pd_.schema, universe_);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value().size(), 1u);  // {()} = true
+
+  logic::Cq q2 = ParseCq("EXISTS p,s,ph . Mobile(\"Jones\",p,s,ph)");
+  Result<ExecutablePlan> plan2 = PlanConjunctiveQuery(q2, pd_.schema);
+  ASSERT_TRUE(plan2.ok());
+  Result<std::set<Tuple>> answers2 =
+      ExecutePlan(plan2.value(), q2, pd_.schema, universe_);
+  ASSERT_TRUE(answers2.ok());
+  EXPECT_TRUE(answers2.value().empty());  // Jones has no mobile
+}
+
+TEST_F(PlannerTest, PlanCoverageValidated) {
+  logic::Cq q = ParseCq("EXISTS p,s,ph . Mobile(\"Smith\",p,s,ph)");
+  ExecutablePlan empty_plan;
+  Result<std::set<Tuple>> r =
+      ExecutePlan(empty_plan, q, pd_.schema, universe_);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Dynamic execution -------------------------------------------------------
+
+TEST_F(PlannerTest, DynamicAnswersJonesQueryFromSmithSeed) {
+  // The paper's iterative strategy: seed "Smith", obtain street and
+  // postcode through AcM1, enter them into AcM2, discover Jones.
+  logic::Cq q = ParseCq("EXISTS x,y,z . Address(x,y,\"Jones\",z)");
+  DynamicOptions options;
+  options.seed_values = {Value::Str("Smith")};
+  Result<DynamicResult> r = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().answers.size(), 1u);  // boolean true
+  EXPECT_TRUE(r.value().stats.reached_fixpoint);
+  EXPECT_TRUE(
+      r.value().trace.IsGrounded(pd_.schema, schema::Instance(pd_.schema)) ||
+      !options.seed_values.empty());
+}
+
+TEST_F(PlannerTest, DynamicSeedsFromQueryConstants) {
+  // Query constants seed the value pool: "Smith" opens AcM1, whose
+  // response (street, postcode) unlocks AcM2 and reveals the Smith
+  // address tuple — no explicit seed_values needed.
+  logic::Cq q = ParseCq("EXISTS x,y,z . Address(x,y,\"Smith\",z)");
+  DynamicOptions options;
+  Result<DynamicResult> r = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().answers.size(), 1u);
+}
+
+TEST_F(PlannerTest, DynamicWithNoKnownValuesMakesNoAccesses) {
+  // A constant-free query from the empty instance: nothing to bind
+  // with, so the only candidates are input-free methods (none here).
+  logic::Cq q = ParseCq("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  DynamicOptions options;
+  Result<DynamicResult> r = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.accesses_made, 0u);
+  EXPECT_TRUE(r.value().answers.empty());
+  EXPECT_TRUE(r.value().stats.reached_fixpoint);
+}
+
+TEST_F(PlannerTest, BruteForceMatchesAccessiblePart) {
+  logic::Cq q = ParseCq("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  DynamicOptions options;
+  options.prune_by_provenance = false;
+  options.prune_by_reachability = false;
+  options.seed_values = {Value::Str("Smith"), Value::Str("Jones")};
+  Result<DynamicResult> r = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), options);
+  ASSERT_TRUE(r.ok());
+  schema::Instance accessible = analysis::AccessiblePart(
+      pd_.schema, universe_, schema::Instance(pd_.schema),
+      options.seed_values);
+  EXPECT_EQ(r.value().configuration, accessible);
+}
+
+TEST_F(PlannerTest, ProvenancePruningSkipsDisjointAccesses) {
+  // §1: names never overlap with streets, so street names acquired
+  // from Address position 0 need not be entered into AcM1 (Mobile
+  // names, position 0).
+  logic::Cq q = ParseCq("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  // Names live at Mobile[0]; streets at Mobile[2]/Address[0]; postcodes
+  // at Mobile[1]/Address[1]. All are disjoint from names.
+  std::vector<schema::DisjointnessConstraint> constraints = {
+      {pd_.address, 0, pd_.mobile, 0},
+      {pd_.address, 1, pd_.mobile, 0},
+      {pd_.mobile, 2, pd_.mobile, 0},
+      {pd_.mobile, 1, pd_.mobile, 0},
+  };
+  for (const schema::DisjointnessConstraint& c : constraints) {
+    ASSERT_TRUE(c.SatisfiedBy(universe_)) << c.ToString(pd_.schema);
+  }
+
+  DynamicOptions pruned;
+  pruned.seed_values = {Value::Str("Smith")};
+  pruned.disjointness = constraints;
+  pruned.prune_by_reachability = false;
+  Result<DynamicResult> with = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), pruned);
+
+  DynamicOptions brute = pruned;
+  brute.prune_by_provenance = false;
+  brute.disjointness.clear();
+  Result<DynamicResult> without = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), brute);
+
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_EQ(with.value().answers, without.value().answers);
+  EXPECT_GT(with.value().stats.accesses_pruned, 0u);
+  EXPECT_LT(with.value().stats.accesses_made,
+            without.value().stats.accesses_made);
+}
+
+TEST_F(PlannerTest, RelevantRelationsClosesBackward) {
+  // Both relations produce strings consumed by methods on each other:
+  // everything is relevant in the phone schema.
+  logic::Cq q = ParseCq("EXISTS x,y,z . Address(x,y,\"Jones\",z)");
+  std::set<schema::RelationId> rel = RelevantRelations(q, pd_.schema);
+  EXPECT_TRUE(rel.count(pd_.address) > 0);
+  EXPECT_TRUE(rel.count(pd_.mobile) > 0);
+}
+
+TEST_F(PlannerTest, ReachabilityPruningSkipsUnconnectedRelations) {
+  // Add an integer-only relation that cannot feed the string inputs of
+  // the phone methods: its accesses are pruned.
+  schema::Schema s = pd_.schema;
+  schema::RelationId logs =
+      s.AddRelation("Log", {ValueType::kInt, ValueType::kInt});
+  s.AddAccessMethod("AcMLog", logs, {0});
+  schema::Instance universe(s);
+  universe.AddFact(pd_.mobile,
+                   {Value::Str("Smith"), Value::Str("OX13QD"),
+                    Value::Str("Parks Rd"), Value::Int(5551212)});
+  universe.AddFact(logs, {Value::Int(1), Value::Int(2)});
+
+  logic::Cq q;  // boolean: ∃ Mobile tuple
+  Result<logic::PosFormulaPtr> f =
+      logic::ParseFormula("EXISTS n,p,st,ph . Mobile(n,p,st,ph)", s);
+  ASSERT_TRUE(f.ok());
+  Result<logic::Ucq> u = logic::NormalizeToUcq(f.value(), {}, s);
+  ASSERT_TRUE(u.ok());
+  q = u.value().disjuncts[0];
+
+  std::set<schema::RelationId> rel = RelevantRelations(q, s);
+  EXPECT_EQ(rel.count(logs), 0u);
+
+  DynamicOptions options;
+  options.seed_values = {Value::Str("Smith"), Value::Int(1)};
+  Result<DynamicResult> r = AnswerWithDynamicAccesses(
+      q, s, universe, schema::Instance(s), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().answers.size(), 1u);
+  EXPECT_GT(r.value().stats.accesses_pruned, 0u);
+  // No Log access was ever made.
+  for (const schema::AccessStep& step : r.value().trace.steps()) {
+    EXPECT_NE(s.method(step.access.method).relation, logs);
+  }
+}
+
+TEST_F(PlannerTest, BudgetExhaustionReported) {
+  logic::Cq q = ParseCq("EXISTS n,p,s,ph . Mobile(n,p,s,ph)");
+  DynamicOptions options;
+  options.seed_values = {Value::Str("Smith")};
+  options.max_accesses = 1;
+  Result<DynamicResult> r = AnswerWithDynamicAccesses(
+      q, pd_.schema, universe_, schema::Instance(pd_.schema), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.accesses_made, 1u);
+  EXPECT_FALSE(r.value().stats.reached_fixpoint);
+}
+
+// --- Property sweeps ---------------------------------------------------------
+
+/// Reference implementation of plan feasibility: try every permutation
+/// of the atoms (queries here are small), marking variables bound as
+/// atoms are placed.
+bool SomePermutationExecutable(const logic::Cq& q,
+                               const schema::Schema& s) {
+  std::vector<size_t> order(q.atoms.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  do {
+    std::set<std::string> bound;
+    bool ok = true;
+    for (size_t idx : order) {
+      const logic::CqAtom& atom = q.atoms[idx];
+      bool atom_ok = false;
+      for (schema::AccessMethodId m : s.methods_on(atom.pred.id)) {
+        bool method_ok = true;
+        for (schema::Position p : s.method(m).input_positions) {
+          const logic::Term& t = atom.terms[static_cast<size_t>(p)];
+          if (t.is_var() && bound.count(t.var_name()) == 0) {
+            method_ok = false;
+            break;
+          }
+        }
+        if (method_ok) {
+          atom_ok = true;
+          break;
+        }
+      }
+      if (!atom_ok) {
+        ok = false;
+        break;
+      }
+      for (const logic::Term& t : atom.terms) {
+        if (t.is_var()) bound.insert(t.var_name());
+      }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return false;
+}
+
+/// Executable plans compute exactly Q(universe) (exact accesses), and
+/// the DFS planner is *complete*: kNotFound implies no permutation of
+/// the atoms is executable.
+class PlanSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanSoundnessTest, ExecutablePlanMatchesDirectEvaluation) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 9);
+  schema::Schema s = workload::RandomSchema(&rng, 3, 3);
+  logic::PosFormulaPtr f = workload::RandomCq(&rng, s, 3, 4);
+  Result<logic::Ucq> u = logic::NormalizeToUcq(f, {}, s);
+  ASSERT_TRUE(u.ok());
+  const logic::Cq& q = u.value().disjuncts[0];
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, s);
+  if (!plan.ok()) {
+    // Completeness: the DFS may only fail when no ordering exists.
+    EXPECT_FALSE(SomePermutationExecutable(q, s));
+    return;
+  }
+  EXPECT_TRUE(SomePermutationExecutable(q, s));
+  schema::Instance universe = workload::RandomInstance(&rng, s, 12, 4);
+  Result<std::set<Tuple>> answers =
+      ExecutePlan(plan.value(), q, s, universe);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  bool direct = logic::EvalOnInstance(q.ToFormula(), universe);
+  EXPECT_EQ(!answers.value().empty(), direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanSoundnessTest, ::testing::Range(0, 60));
+
+/// Dynamic execution with pruning returns the same answers as brute
+/// force, never more accesses, on random workloads with constraints
+/// that hold by construction.
+class PruningSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningSoundnessTest, PrunedAnswersEqualBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 613 + 17);
+  schema::Schema s = workload::RandomSchema(&rng, 2, 3);
+  logic::PosFormulaPtr f = workload::RandomCq(&rng, s, 2, 3);
+  Result<logic::Ucq> u = logic::NormalizeToUcq(f, {}, s);
+  ASSERT_TRUE(u.ok());
+  const logic::Cq& q = u.value().disjuncts[0];
+  schema::Instance universe = workload::RandomInstance(&rng, s, 10, 5);
+
+  // Random declared disjointness constraints, kept only when they
+  // actually hold on the universe (pruning soundness requires it).
+  std::vector<schema::DisjointnessConstraint> constraints;
+  for (int i = 0; i < 4; ++i) {
+    schema::RelationId r = static_cast<schema::RelationId>(
+        rng.Uniform(static_cast<uint64_t>(s.num_relations())));
+    schema::RelationId t = static_cast<schema::RelationId>(
+        rng.Uniform(static_cast<uint64_t>(s.num_relations())));
+    schema::DisjointnessConstraint c{
+        r,
+        static_cast<schema::Position>(
+            rng.Uniform(static_cast<uint64_t>(s.relation(r).arity()))),
+        t,
+        static_cast<schema::Position>(
+            rng.Uniform(static_cast<uint64_t>(s.relation(t).arity())))};
+    if (c.SatisfiedBy(universe)) constraints.push_back(c);
+  }
+
+  DynamicOptions pruned;
+  pruned.disjointness = constraints;
+  pruned.seed_values = {Value::Str("s0"), Value::Str("s1")};
+  DynamicOptions brute = pruned;
+  brute.prune_by_provenance = false;
+  brute.prune_by_reachability = false;
+  brute.disjointness.clear();
+
+  Result<DynamicResult> a = AnswerWithDynamicAccesses(
+      q, s, universe, schema::Instance(s), pruned);
+  Result<DynamicResult> b = AnswerWithDynamicAccesses(
+      q, s, universe, schema::Instance(s), brute);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().answers, b.value().answers);
+  EXPECT_LE(a.value().stats.accesses_made, b.value().stats.accesses_made);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningSoundnessTest, ::testing::Range(0, 40));
+
+/// Cross-engine property: every answer an executable plan produces is
+/// also found by the dynamic executor — the plan's accesses are all
+/// grounded in the query constants plus earlier responses, which is
+/// exactly the space the fixpoint crawler explores.
+class PlanVsDynamicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanVsDynamicTest, DynamicSubsumesExecutablePlans) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1021 + 7);
+  schema::Schema s = workload::RandomSchema(&rng, 3, 3);
+  logic::PosFormulaPtr f = workload::RandomCq(&rng, s, 2, 3);
+  Result<logic::Ucq> u = logic::NormalizeToUcq(f, {}, s);
+  ASSERT_TRUE(u.ok());
+  const logic::Cq& q = u.value().disjuncts[0];
+  Result<ExecutablePlan> plan = PlanConjunctiveQuery(q, s);
+  if (!plan.ok()) return;  // completeness covered by PlanSoundnessTest
+  schema::Instance universe = workload::RandomInstance(&rng, s, 12, 4);
+
+  Result<std::set<Tuple>> plan_answers = ExecutePlan(plan.value(), q, s,
+                                                     universe);
+  ASSERT_TRUE(plan_answers.ok());
+
+  DynamicOptions options;  // seeds = query constants only
+  Result<DynamicResult> dynamic = AnswerWithDynamicAccesses(
+      q, s, universe, schema::Instance(s), options);
+  ASSERT_TRUE(dynamic.ok());
+  ASSERT_TRUE(dynamic.value().stats.reached_fixpoint);
+  for (const Tuple& t : plan_answers.value()) {
+    EXPECT_TRUE(dynamic.value().answers.count(t) > 0)
+        << "plan answer missed by the fixpoint crawler";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanVsDynamicTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace planner
+}  // namespace accltl

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/accltl/fragments.h"
+#include "src/reductions/fd_implication.h"
+#include "src/reductions/undecidability.h"
+
+namespace accltl {
+namespace reductions {
+namespace {
+
+schema::Schema BinarySchema() {
+  schema::Schema s;
+  s.AddRelation("R", {ValueType::kInt, ValueType::kInt, ValueType::kInt});
+  s.AddRelation("T", {ValueType::kInt, ValueType::kInt});
+  return s;
+}
+
+TEST(FdImplicationTest, ArmstrongTransitivity) {
+  // A->B, B->C implies A->C (positions 0->1, 1->2 of R).
+  std::vector<schema::FunctionalDependency> fds = {{0, {0}, 1}, {0, {1}, 2}};
+  EXPECT_TRUE(FdsImply(fds, {0, {0}, 2}));
+  EXPECT_TRUE(FdsImply(fds, {0, {0}, 1}));
+  EXPECT_FALSE(FdsImply(fds, {0, {2}, 0}));
+  EXPECT_FALSE(FdsImply(fds, {0, {1}, 0}));
+}
+
+TEST(FdImplicationTest, Reflexivity) {
+  EXPECT_TRUE(FdsImply({}, {0, {1}, 1}));  // X -> X always
+}
+
+TEST(FdImplicationTest, AugmentationViaClosure) {
+  // A->B implies AC->B.
+  std::vector<schema::FunctionalDependency> fds = {{0, {0}, 1}};
+  EXPECT_TRUE(FdsImply(fds, {0, {0, 2}, 1}));
+}
+
+TEST(ChaseTest, AgreesWithArmstrongOnFdsOnly) {
+  schema::Schema s = BinarySchema();
+  std::vector<schema::FunctionalDependency> fds = {{0, {0}, 1}, {0, {1}, 2}};
+  Result<bool> implied = ChaseImplies(s, fds, {}, {0, {0}, 2});
+  ASSERT_TRUE(implied.ok());
+  EXPECT_TRUE(implied.value());
+  Result<bool> not_implied = ChaseImplies(s, fds, {}, {0, {2}, 1});
+  ASSERT_TRUE(not_implied.ok());
+  EXPECT_FALSE(not_implied.value());
+}
+
+TEST(ChaseTest, InclusionDependencyPropagatesFd) {
+  // T[0,1] ⊆ R[0,1] and R: 0->1. Then T: 0->1 is NOT implied in
+  // general (two T tuples with equal key map to R tuples whose FD
+  // merges their second components... it IS implied!). Classic: ID +
+  // FD interaction.
+  schema::Schema s = BinarySchema();
+  std::vector<schema::FunctionalDependency> fds = {{0, {0}, 1}};  // on R
+  std::vector<schema::InclusionDependency> ids = {{1, {0, 1}, 0, {0, 1}}};
+  Result<bool> implied = ChaseImplies(s, fds, ids, {1, {0}, 1});
+  ASSERT_TRUE(implied.ok());
+  EXPECT_TRUE(implied.value());
+  // Without the ID, not implied.
+  Result<bool> no_id = ChaseImplies(s, fds, {}, {1, {0}, 1});
+  ASSERT_TRUE(no_id.ok());
+  EXPECT_FALSE(no_id.value());
+}
+
+ImplicationInstance SmallInstance() {
+  ImplicationInstance inst;
+  inst.base = BinarySchema();
+  inst.fds = {{0, {0}, 1}, {0, {1}, 2}};
+  inst.sigma = {0, {0}, 2};
+  return inst;
+}
+
+TEST(UndecidabilityTest, CtlReductionBuildsAndClassifies) {
+  Result<CtlReduction> red = BuildCtlReduction(SmallInstance());
+  ASSERT_TRUE(red.ok()) << red.status().ToString();
+  // Extended schema gained Fill methods and check relations per base
+  // relation.
+  EXPECT_EQ(red.value().extended.num_relations(), 2 + 2 * 2);
+  EXPECT_GE(red.value().extended.num_access_methods(), 2 * 3);
+  // The formula nests EX below the Fill prefix: depth >= #relations.
+  EXPECT_GE(red.value().formula->ExDepth(), 2);
+}
+
+TEST(UndecidabilityTest, AccLtlReductionOutsideAccLtlPlus) {
+  Result<AccReduction> red = BuildAccLtlReduction(SmallInstance());
+  ASSERT_TRUE(red.ok()) << red.status().ToString();
+  acc::FragmentInfo info = acc::Analyze(red.value().formula);
+  // Thm 3.1's construction needs negated binding atoms: the formula
+  // must fall OUTSIDE the decidable binding-positive fragment.
+  EXPECT_FALSE(info.binding_positive);
+  EXPECT_EQ(info.Classify(), acc::Fragment::kFull);
+  EXPECT_FALSE(info.Decidable());
+  EXPECT_FALSE(info.uses_inequality);
+}
+
+TEST(UndecidabilityTest, NeqReductionIsBindingPositive) {
+  ImplicationInstance inst = SmallInstance();
+  inst.ids = {{1, {0, 1}, 0, {0, 1}}};
+  Result<AccReduction> red = BuildBindingPositiveNeqReduction(inst);
+  ASSERT_TRUE(red.ok()) << red.status().ToString();
+  acc::FragmentInfo info = acc::Analyze(red.value().formula);
+  // Thm 5.2: binding-positive + inequalities = undecidable.
+  EXPECT_TRUE(info.binding_positive);
+  EXPECT_TRUE(info.uses_inequality);
+  EXPECT_EQ(info.Classify(), acc::Fragment::kBindingPositive);
+  EXPECT_FALSE(info.Decidable());
+}
+
+TEST(UndecidabilityTest, ReductionsPreserveBaseSchema) {
+  Result<AccReduction> red = BuildAccLtlReduction(SmallInstance());
+  ASSERT_TRUE(red.ok());
+  // Base relations keep their ids in the extension.
+  EXPECT_EQ(red.value().extended.relation(0).name, "R");
+  EXPECT_EQ(red.value().extended.relation(1).name, "T");
+  EXPECT_TRUE(red.value().extended.FindMethod("FillR").ok());
+  EXPECT_TRUE(red.value().extended.FindMethod("ChkFD_R_b").ok());
+}
+
+}  // namespace
+}  // namespace reductions
+}  // namespace accltl

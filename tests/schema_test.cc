@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "src/schema/access.h"
+#include "src/schema/dependencies.h"
+#include "src/schema/lts.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace schema {
+namespace {
+
+Value S(const std::string& s) { return Value::Str(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+class PhoneTest : public ::testing::Test {
+ protected:
+  PhoneTest() : pd_(workload::MakePhoneDirectory()) {}
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(PhoneTest, SchemaShape) {
+  EXPECT_EQ(pd_.schema.num_relations(), 2);
+  EXPECT_EQ(pd_.schema.num_access_methods(), 2);
+  EXPECT_EQ(pd_.schema.method(pd_.acm1).input_positions,
+            std::vector<Position>{0});
+  EXPECT_EQ(pd_.schema.method(pd_.acm2).input_positions,
+            (std::vector<Position>{0, 1}));
+  EXPECT_EQ(pd_.schema.FindRelation("Mobile").value(), pd_.mobile);
+  EXPECT_FALSE(pd_.schema.FindRelation("Nope").ok());
+}
+
+TEST_F(PhoneTest, TupleValidation) {
+  EXPECT_TRUE(pd_.schema
+                  .ValidateTuple(pd_.mobile, {S("Smith"), S("OX13QD"),
+                                              S("Parks Rd"), I(5551212)})
+                  .ok());
+  // Wrong arity.
+  EXPECT_FALSE(pd_.schema.ValidateTuple(pd_.mobile, {S("Smith")}).ok());
+  // Wrong type at last position.
+  EXPECT_FALSE(pd_.schema
+                   .ValidateTuple(pd_.mobile, {S("Smith"), S("OX13QD"),
+                                               S("Parks Rd"), S("x")})
+                   .ok());
+}
+
+TEST_F(PhoneTest, BindingValidation) {
+  EXPECT_TRUE(pd_.schema.ValidateBinding(pd_.acm1, {S("Smith")}).ok());
+  EXPECT_FALSE(pd_.schema.ValidateBinding(pd_.acm1, {I(1)}).ok());
+  EXPECT_FALSE(pd_.schema.ValidateBinding(pd_.acm2, {S("x")}).ok());
+}
+
+TEST_F(PhoneTest, InstanceBasics) {
+  Instance inst(pd_.schema);
+  Tuple t = {S("Smith"), S("OX13QD"), S("Parks Rd"), I(5551212)};
+  EXPECT_TRUE(inst.AddFact(pd_.mobile, t));
+  EXPECT_FALSE(inst.AddFact(pd_.mobile, t));  // duplicate
+  EXPECT_TRUE(inst.Contains(pd_.mobile, t));
+  EXPECT_EQ(inst.TotalFacts(), 1u);
+  EXPECT_EQ(inst.ActiveDomain().size(), 4u);
+}
+
+TEST_F(PhoneTest, InstanceMatching) {
+  Instance inst(pd_.schema);
+  inst.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)});
+  inst.AddFact(pd_.mobile, {S("Smith"), S("W1"), S("Baker St"), I(2)});
+  inst.AddFact(pd_.mobile, {S("Jones"), S("W1"), S("Baker St"), I(3)});
+  EXPECT_EQ(inst.Matching(pd_.mobile, {0}, {S("Smith")}).size(), 2u);
+  EXPECT_EQ(inst.Matching(pd_.mobile, {0}, {S("Jones")}).size(), 1u);
+  EXPECT_EQ(inst.Matching(pd_.mobile, {0}, {S("Nobody")}).size(), 0u);
+}
+
+TEST_F(PhoneTest, SubinstanceAndUnion) {
+  Instance a(pd_.schema), b(pd_.schema);
+  Tuple t1 = {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)};
+  Tuple t2 = {S("Jones"), S("OX13QD"), S("Parks Rd"), I(2)};
+  a.AddFact(pd_.mobile, t1);
+  b.AddFact(pd_.mobile, t1);
+  b.AddFact(pd_.mobile, t2);
+  EXPECT_TRUE(a.SubinstanceOf(b));
+  EXPECT_FALSE(b.SubinstanceOf(a));
+  a.UnionWith(b);
+  EXPECT_TRUE(b.SubinstanceOf(a));
+}
+
+AccessPath SmithThenAddress(const workload::PhoneDirectory& pd) {
+  AccessStep s1;
+  s1.access = {pd.acm1, {S("Smith")}};
+  s1.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(5551212)}};
+  AccessStep s2;
+  s2.access = {pd.acm2, {S("Parks Rd"), S("OX13QD")}};
+  s2.response = {{S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)},
+                 {S("Parks Rd"), S("OX13QD"), S("Jones"), I(16)}};
+  return AccessPath({s1, s2});
+}
+
+TEST_F(PhoneTest, PathValidation) {
+  AccessPath p = SmithThenAddress(pd_);
+  EXPECT_TRUE(p.Validate(pd_.schema).ok());
+  // Corrupt: response tuple disagreeing with the binding.
+  AccessStep bad;
+  bad.access = {pd_.acm1, {S("Smith")}};
+  bad.response = {{S("Jones"), S("OX13QD"), S("Parks Rd"), I(1)}};
+  AccessPath q({bad});
+  EXPECT_FALSE(q.Validate(pd_.schema).ok());
+}
+
+TEST_F(PhoneTest, ConfigurationAccumulates) {
+  AccessPath p = SmithThenAddress(pd_);
+  Instance conf = p.Configuration(pd_.schema, Instance(pd_.schema));
+  EXPECT_EQ(conf.tuples(pd_.mobile).size(), 1u);
+  EXPECT_EQ(conf.tuples(pd_.address).size(), 2u);
+  std::vector<Instance> seq =
+      p.ConfigurationSequence(pd_.schema, Instance(pd_.schema));
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].TotalFacts(), 0u);
+  EXPECT_EQ(seq[1].TotalFacts(), 1u);
+  EXPECT_EQ(seq[2].TotalFacts(), 3u);
+  // Monotone growth.
+  EXPECT_TRUE(seq[0].SubinstanceOf(seq[1]));
+  EXPECT_TRUE(seq[1].SubinstanceOf(seq[2]));
+}
+
+TEST_F(PhoneTest, Groundedness) {
+  AccessPath p = SmithThenAddress(pd_);
+  Instance empty(pd_.schema);
+  // "Smith" is guessed: not grounded from the empty instance.
+  EXPECT_FALSE(p.IsGrounded(pd_.schema, empty));
+  // Grounded once Smith is initially known.
+  Instance seeded(pd_.schema);
+  seeded.AddFact(pd_.mobile, {S("Smith"), S("x"), S("y"), I(0)});
+  EXPECT_TRUE(p.IsGrounded(pd_.schema, seeded));
+}
+
+TEST_F(PhoneTest, Idempotence) {
+  AccessStep s1;
+  s1.access = {pd_.acm1, {S("Smith")}};
+  s1.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)}};
+  AccessStep s2 = s1;
+  AccessPath ok({s1, s2});
+  EXPECT_TRUE(ok.IsIdempotent());
+  s2.response = {};
+  AccessPath bad({s1, s2});
+  EXPECT_FALSE(bad.IsIdempotent());
+  // Restricted to a method set not containing acm1, the check passes.
+  EXPECT_TRUE(bad.IsIdempotent({pd_.acm2}));
+}
+
+TEST_F(PhoneTest, Exactness) {
+  // One access returning one of two Smith tuples: not exact once the
+  // second tuple is revealed by a later access.
+  AccessStep s1;
+  s1.access = {pd_.acm1, {S("Smith")}};
+  s1.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)}};
+  AccessStep s2;
+  s2.access = {pd_.acm1, {S("Smith")}};
+  s2.response = {{S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)},
+                 {S("Smith"), S("W1"), S("Baker St"), I(2)}};
+  AccessPath not_exact({s1, s2});
+  EXPECT_FALSE(not_exact.IsExact(pd_.schema, Instance(pd_.schema)));
+  AccessPath exact({s2});
+  EXPECT_TRUE(exact.IsExact(pd_.schema, Instance(pd_.schema)));
+}
+
+TEST_F(PhoneTest, DependenciesSatisfaction) {
+  Instance inst(pd_.schema);
+  inst.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)});
+  inst.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(2)});
+  FunctionalDependency name_to_phone{pd_.mobile, {0}, 3};
+  EXPECT_FALSE(name_to_phone.SatisfiedBy(inst));
+  FunctionalDependency name_to_postcode{pd_.mobile, {0}, 1};
+  EXPECT_TRUE(name_to_postcode.SatisfiedBy(inst));
+
+  InclusionDependency street_in_address{
+      pd_.mobile, {2}, pd_.address, {0}};
+  EXPECT_FALSE(street_in_address.SatisfiedBy(inst));
+  inst.AddFact(pd_.address, {S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)});
+  EXPECT_TRUE(street_in_address.SatisfiedBy(inst));
+
+  DisjointnessConstraint names_streets{pd_.mobile, 0, pd_.address, 0};
+  EXPECT_TRUE(names_streets.SatisfiedBy(inst));
+  inst.AddFact(pd_.address, {S("Smith"), S("X"), S("Y"), I(1)});
+  EXPECT_FALSE(names_streets.SatisfiedBy(inst));
+}
+
+TEST_F(PhoneTest, LtsSuccessorsGroundedVsFree) {
+  Rng rng(1);
+  Instance universe = workload::MakePhoneUniverse(pd_, &rng, 0);
+  LtsOptions opts;
+  opts.universe = universe;
+  opts.grounded = true;
+  opts.seed_values = {S("Smith")};
+  Instance empty(pd_.schema);
+  std::vector<Transition> grounded = Successors(pd_.schema, empty, opts);
+  // Grounded from {Smith}: every binding value must be "Smith" (the
+  // only known value — note AcM2("Smith","Smith") is a legal, if
+  // useless, grounded access). Only AcM1("Smith") returns tuples.
+  for (const Transition& t : grounded) {
+    for (const Value& v : t.access.binding) {
+      EXPECT_EQ(v, S("Smith"));
+    }
+    if (t.access.method == pd_.acm2) {
+      EXPECT_TRUE(t.response.empty());
+    }
+  }
+  EXPECT_GE(grounded.size(), 2u);
+  opts.grounded = false;
+  std::vector<Transition> free = Successors(pd_.schema, empty, opts);
+  EXPECT_GT(free.size(), grounded.size());
+}
+
+TEST_F(PhoneTest, LtsBreadthFirstGrowth) {
+  Rng rng(1);
+  Instance universe = workload::MakePhoneUniverse(pd_, &rng, 0);
+  LtsOptions opts;
+  opts.universe = universe;
+  opts.grounded = true;
+  opts.seed_values = {S("Smith")};
+  std::vector<LtsLevelStats> stats = ExploreBreadthFirst(
+      pd_.schema, Instance(pd_.schema), opts, 3, 10000);
+  ASSERT_GE(stats.size(), 2u);
+  EXPECT_EQ(stats[0].distinct_configurations, 1u);
+  EXPECT_GT(stats[1].distinct_configurations, 0u);
+  // The Figure 1 tree grows as accesses reveal more values.
+  EXPECT_GT(stats[1].transitions, 0u);
+}
+
+TEST_F(PhoneTest, ExactMethodsReturnFullMatch) {
+  Rng rng(1);
+  Instance universe = workload::MakePhoneUniverse(pd_, &rng, 0);
+  LtsOptions opts;
+  opts.universe = universe;
+  opts.grounded = true;
+  opts.seed_values = {S("Smith")};
+  opts.exact_methods = {pd_.acm1};
+  Instance empty(pd_.schema);
+  std::vector<Transition> succ = Successors(pd_.schema, empty, opts);
+  ASSERT_FALSE(succ.empty());
+  bool saw_acm1 = false;
+  for (const Transition& t : succ) {
+    if (t.access.method != pd_.acm1) continue;  // AcM2 is not exact
+    saw_acm1 = true;
+    EXPECT_EQ(t.response.size(), 1u);  // exactly the matching tuple
+  }
+  EXPECT_TRUE(saw_acm1);
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace accltl

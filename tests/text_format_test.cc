@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "src/schema/text_format.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace schema {
+namespace {
+
+constexpr char kPhoneSchema[] = R"(
+# the paper's phone directory (Section 1)
+relation Mobile(name: string, postcode: string,
+                street: string, phone: int)
+relation Address(street: string, postcode: string,
+                 name: string, houseno: int)
+access AcM1 on Mobile(name)
+access AcM2 on Address(street, postcode) exact
+)";
+
+TEST(TextFormatTest, ParsesThePhoneDirectory) {
+  Result<Schema> s = ParseSchema(kPhoneSchema);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().num_relations(), 2);
+  EXPECT_EQ(s.value().num_access_methods(), 2);
+  Result<RelationId> mob = s.value().FindRelation("Mobile");
+  ASSERT_TRUE(mob.ok());
+  EXPECT_EQ(s.value().relation(mob.value()).arity(), 4);
+  EXPECT_EQ(s.value().relation(mob.value()).position_types[3],
+            ValueType::kInt);
+  Result<AccessMethodId> acm2 = s.value().FindMethod("AcM2");
+  ASSERT_TRUE(acm2.ok());
+  EXPECT_EQ(s.value().method(acm2.value()).input_positions,
+            (std::vector<Position>{0, 1}));
+  EXPECT_TRUE(s.value().method(acm2.value()).exact);
+  EXPECT_FALSE(s.value().method(acm2.value()).idempotent);
+}
+
+TEST(TextFormatTest, QualifierCombinations) {
+  Result<Schema> s = ParseSchema(
+      "relation R(a: int)\n"
+      "access M1 on R(a) exact idempotent\n"
+      "access M2 on R(a) idempotent\n"
+      "relation S(b: bool)\n"
+      "access M3 on S()\n");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s.value().method(0).exact);
+  EXPECT_TRUE(s.value().method(0).idempotent);
+  EXPECT_FALSE(s.value().method(1).exact);
+  EXPECT_TRUE(s.value().method(1).idempotent);
+  // M3 is an input-free "dump" access.
+  EXPECT_TRUE(s.value().method(2).input_positions.empty());
+}
+
+TEST(TextFormatTest, SchemaRoundTrip) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  std::string text = SerializeSchema(pd.schema);
+  Result<Schema> back = ParseSchema(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  ASSERT_EQ(back.value().num_relations(), pd.schema.num_relations());
+  ASSERT_EQ(back.value().num_access_methods(),
+            pd.schema.num_access_methods());
+  for (RelationId r = 0; r < pd.schema.num_relations(); ++r) {
+    EXPECT_EQ(back.value().relation(r).name, pd.schema.relation(r).name);
+    EXPECT_EQ(back.value().relation(r).position_types,
+              pd.schema.relation(r).position_types);
+  }
+  for (AccessMethodId m = 0; m < pd.schema.num_access_methods(); ++m) {
+    EXPECT_EQ(back.value().method(m).name, pd.schema.method(m).name);
+    EXPECT_EQ(back.value().method(m).input_positions,
+              pd.schema.method(m).input_positions);
+    EXPECT_EQ(back.value().method(m).exact, pd.schema.method(m).exact);
+  }
+}
+
+TEST(TextFormatTest, SchemaErrors) {
+  EXPECT_FALSE(ParseSchema("relation R(a: float)").ok());     // bad type
+  EXPECT_FALSE(ParseSchema("relation R(a int)").ok());        // missing ':'
+  EXPECT_FALSE(ParseSchema("table R(a: int)").ok());          // bad keyword
+  EXPECT_FALSE(ParseSchema("access M on R(a)").ok());         // unknown rel
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\naccess M on R(b)").ok());  // bad pos
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\nrelation R(b: int)").ok());  // dup
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\naccess M on R(a) fuzzy").ok());
+  // Errors carry the line number.
+  Status s = ParseSchema("relation R(a: int)\naccess M on Q(a)").status();
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.ToString();
+}
+
+TEST(TextFormatTest, ParsesInstanceFacts) {
+  Result<Schema> s = ParseSchema(kPhoneSchema);
+  ASSERT_TRUE(s.ok());
+  Result<Instance> inst = ParseInstance(
+      "Mobile(\"Smith\", \"OX13QD\", \"Parks Rd\", 5551212)\n"
+      "# a comment\n"
+      "Address(\"Parks Rd\", \"OX13QD\", \"Smith\", 13)\n"
+      "Address(\"Parks Rd\", \"OX13QD\", \"Jones\", -2)\n",
+      s.value());
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst.value().TotalFacts(), 3u);
+  RelationId addr = s.value().FindRelation("Address").value();
+  EXPECT_TRUE(inst.value().Contains(
+      addr, {Value::Str("Parks Rd"), Value::Str("OX13QD"),
+             Value::Str("Jones"), Value::Int(-2)}));
+}
+
+TEST(TextFormatTest, InstanceStringEscapes) {
+  Result<Schema> s = ParseSchema("relation R(a: string)");
+  ASSERT_TRUE(s.ok());
+  Result<Instance> inst =
+      ParseInstance("R(\"say \\\"hi\\\" \\\\ done\")", s.value());
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  const Tuple& t = *inst.value().tuples(0).begin();
+  EXPECT_EQ(t[0].AsString(), "say \"hi\" \\ done");
+}
+
+TEST(TextFormatTest, InstanceTypeAndArityErrors) {
+  Result<Schema> s = ParseSchema("relation R(a: int, b: string)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(ParseInstance("R(1)", s.value()).ok());           // arity
+  EXPECT_FALSE(ParseInstance("R(\"x\", \"y\")", s.value()).ok());  // type
+  EXPECT_FALSE(ParseInstance("Q(1, \"x\")", s.value()).ok());    // unknown
+  EXPECT_FALSE(ParseInstance("R(1, \"x\"", s.value()).ok());     // missing )
+  EXPECT_FALSE(ParseInstance("R(1, \"x)", s.value()).ok());      // bad string
+  EXPECT_TRUE(ParseInstance("R(1, \"x\")", s.value()).ok());
+}
+
+TEST(TextFormatTest, ZeroArityRelationRoundTrips) {
+  Schema s;
+  s.AddRelation("Ping", {});
+  s.AddRelation("R", {ValueType::kInt});
+  s.AddAccessMethod("MR", 1, {0});
+  Result<Schema> back = ParseSchema(SerializeSchema(s));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().relation(0).arity(), 0);
+  // Zero-arity facts parse too.
+  Result<Instance> inst = ParseInstance("Ping()", back.value());
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_TRUE(inst.value().Contains(0, {}));
+}
+
+TEST(TextFormatTest, BooleanLiterals) {
+  Result<Schema> s = ParseSchema("relation Flag(on: bool)");
+  ASSERT_TRUE(s.ok());
+  Result<Instance> inst =
+      ParseInstance("Flag(true)\nFlag(false)", s.value());
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst.value().tuples(0).size(), 2u);
+}
+
+TEST(TextFormatTest, InstanceRoundTrip) {
+  Rng rng(7);
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Instance universe = workload::MakePhoneUniverse(pd, &rng, 5);
+  std::string text = SerializeInstance(universe, pd.schema);
+  Result<Instance> back = ParseInstance(text, pd.schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  EXPECT_EQ(back.value(), universe);
+}
+
+/// Round-trip sweep over random schemas and instances.
+class TextFormatRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextFormatRoundTripTest, RandomSchemaAndInstanceRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 23);
+  Schema s = workload::RandomSchema(&rng, 3, 4);
+  Result<Schema> s2 = ParseSchema(SerializeSchema(s));
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  ASSERT_EQ(s2.value().num_relations(), s.num_relations());
+  ASSERT_EQ(s2.value().num_access_methods(), s.num_access_methods());
+  for (AccessMethodId m = 0; m < s.num_access_methods(); ++m) {
+    EXPECT_EQ(s2.value().method(m).input_positions,
+              s.method(m).input_positions);
+    EXPECT_EQ(s2.value().method(m).relation, s.method(m).relation);
+  }
+  Instance inst = workload::RandomInstance(&rng, s, 15, 6);
+  Result<Instance> inst2 =
+      ParseInstance(SerializeInstance(inst, s), s2.value());
+  ASSERT_TRUE(inst2.ok()) << inst2.status().ToString();
+  EXPECT_EQ(inst2.value(), inst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextFormatRoundTripTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace schema
+}  // namespace accltl

@@ -1,0 +1,205 @@
+// Command-line front end for the library: load a schema (and
+// optionally an instance) from the text format, then decide AccLTL
+// satisfiability, plan a conjunctive query, or answer it against a
+// hidden instance with grounded accesses.
+//
+// Usage:
+//   accltl_cli check  <schema-file> <accltl-formula> [--grounded] [--shrink]
+//   accltl_cli plan   <schema-file> <query> [head-var...]
+//   accltl_cli answer <schema-file> <instance-file> <query>
+//                     [--seed value]... [--no-prune] [head-var...]
+//
+// Queries and formulas use the library's text syntax, e.g.
+//   accltl_cli check phone.schema 'F [IsBind_AcM1()]'
+//   accltl_cli plan phone.schema 'EXISTS p,s,ph . Mobile("Smith",p,s,ph)'
+//   accltl_cli answer phone.schema site.facts ... --seed Smith
+//       (query text as in the plan example)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/accltl/parser.h"
+#include "src/analysis/decide.h"
+#include "src/logic/parser.h"
+#include "src/planner/dynamic.h"
+#include "src/planner/static_plan.h"
+#include "src/schema/text_format.h"
+
+namespace accltl {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  accltl_cli check  <schema-file> <formula> [--grounded] [--shrink]\n"
+      "  accltl_cli plan   <schema-file> <query> [head-var...]\n"
+      "  accltl_cli answer <schema-file> <instance-file> <query>\n"
+      "                    [--seed value]... [--no-prune] [head-var...]\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Result<schema::Schema> LoadSchema(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return schema::ParseSchema(text.value());
+}
+
+/// Parses a query and normalizes it to a single CQ with the given head.
+Result<logic::Cq> LoadCq(const std::string& text,
+                         const std::vector<std::string>& head,
+                         const schema::Schema& s) {
+  Result<logic::PosFormulaPtr> f = logic::ParseFormula(text, s);
+  if (!f.ok()) return f.status();
+  Result<logic::Ucq> u = logic::NormalizeToUcq(f.value(), head, s);
+  if (!u.ok()) return u.status();
+  if (u.value().disjuncts.size() != 1) {
+    return Status::InvalidArgument(
+        "plan/answer need a conjunctive query (no OR); got " +
+        std::to_string(u.value().disjuncts.size()) + " disjuncts");
+  }
+  return u.value().disjuncts[0];
+}
+
+int RunCheck(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<schema::Schema> s = LoadSchema(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  Result<acc::AccPtr> f = acc::ParseAccFormula(argv[3], s.value());
+  if (!f.ok()) {
+    std::fprintf(stderr, "formula: %s\n", f.status().ToString().c_str());
+    return 1;
+  }
+  analysis::DecideOptions options;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--grounded") == 0) options.grounded = true;
+    if (std::strcmp(argv[i], "--shrink") == 0) options.shrink_witness = true;
+  }
+  Result<analysis::Decision> d =
+      analysis::DecideSatisfiability(f.value(), s.value(), options);
+  if (!d.ok()) {
+    std::fprintf(stderr, "decide: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fragment   : %s\n",
+              acc::FragmentName(d.value().fragment,
+                                d.value().uses_inequality).c_str());
+  std::printf("engine     : %s\n", d.value().engine.c_str());
+  std::printf("satisfiable: %s\n",
+              analysis::AnswerName(d.value().satisfiable));
+  if (d.value().has_witness) {
+    std::printf("witness:\n%s\n",
+                d.value().witness.ToString(s.value()).c_str());
+  }
+  return 0;
+}
+
+int RunPlan(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<schema::Schema> s = LoadSchema(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> head;
+  for (int i = 4; i < argc; ++i) head.push_back(argv[i]);
+  Result<logic::Cq> q = LoadCq(argv[3], head, s.value());
+  if (!q.ok()) {
+    std::fprintf(stderr, "query: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  Result<planner::ExecutablePlan> plan =
+      planner::PlanConjunctiveQuery(q.value(), s.value());
+  if (!plan.ok()) {
+    std::printf("not executable: %s\n", plan.status().ToString().c_str());
+    return 3;
+  }
+  std::printf("%s\n", plan.value().ToString(q.value(), s.value()).c_str());
+  return 0;
+}
+
+int RunAnswer(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Result<schema::Schema> s = LoadSchema(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> facts = ReadFile(argv[3]);
+  if (!facts.ok()) {
+    std::fprintf(stderr, "instance: %s\n", facts.status().ToString().c_str());
+    return 1;
+  }
+  Result<schema::Instance> universe =
+      schema::ParseInstance(facts.value(), s.value());
+  if (!universe.ok()) {
+    std::fprintf(stderr, "instance: %s\n",
+                 universe.status().ToString().c_str());
+    return 1;
+  }
+  planner::DynamicOptions options;
+  std::vector<std::string> head;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed_values.push_back(Value::Str(argv[++i]));
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      options.prune_by_provenance = false;
+      options.prune_by_reachability = false;
+    } else {
+      head.push_back(argv[i]);
+    }
+  }
+  Result<logic::Cq> q = LoadCq(argv[4], head, s.value());
+  if (!q.ok()) {
+    std::fprintf(stderr, "query: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  Result<planner::DynamicResult> r = planner::AnswerWithDynamicAccesses(
+      q.value(), s.value(), universe.value(),
+      schema::Instance(s.value()), options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "answer: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("accesses   : %zu made, %zu pruned, fixpoint=%s\n",
+              r.value().stats.accesses_made, r.value().stats.accesses_pruned,
+              r.value().stats.reached_fixpoint ? "yes" : "no");
+  if (head.empty()) {
+    std::printf("answer     : %s\n",
+                r.value().answers.empty() ? "false" : "true");
+  } else {
+    std::printf("answers    : %zu\n", r.value().answers.size());
+    for (const Tuple& t : r.value().answers) {
+      std::printf("  %s\n", TupleToString(t).c_str());
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "check") == 0) return RunCheck(argc, argv);
+  if (std::strcmp(argv[1], "plan") == 0) return RunPlan(argc, argv);
+  if (std::strcmp(argv[1], "answer") == 0) return RunAnswer(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace accltl
+
+int main(int argc, char** argv) { return accltl::Main(argc, argv); }
