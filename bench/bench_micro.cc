@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "src/accltl/parser.h"
 #include "src/analysis/accessible.h"
 #include "src/analysis/decide.h"
@@ -133,6 +137,125 @@ void BM_BoundedWitnessSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BoundedWitnessSearch)->DenseRange(2, 5, 1);
+
+// Witness search starting from a *seeded* configuration: every search
+// node carries a configuration of ~2*(3+N) facts, so per-node instance
+// copying and guard re-matching dominate. This is the workload the
+// interned COW fact store targets.
+void BM_BoundedWitnessSearchSeeded(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Rng rng(11);
+  schema::Instance seeded = workload::MakePhoneUniverse(
+      pd, &rng, static_cast<size_t>(state.range(0)));
+  acc::AccPtr f =
+      acc::ParseAccFormula(
+          "F [EXISTS n . IsBind_AcM1(n) AND "
+          "(EXISTS s,p,h . Address_pre(s,p,n,h))] AND "
+          "F [EXISTS s,p . IsBind_AcM2(s,p) AND "
+          "(EXISTS n,ph . Mobile_pre(n,p,s,ph))]",
+          pd.schema)
+          .value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd.schema).value();
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = 4;
+  for (auto _ : state) {
+    automata::WitnessSearchResult r =
+        automata::BoundedWitnessSearch(a, pd.schema, seeded, opts);
+    benchmark::DoNotOptimize(r.found);
+    state.counters["nodes"] = static_cast<double>(r.nodes_explored);
+  }
+}
+BENCHMARK(BM_BoundedWitnessSearchSeeded)->RangeMultiplier(4)->Range(4, 256);
+
+// Conjunction of n independent eventualities: the compiled automaton is
+// a 2^n-obligation diamond, so many interleavings reach the same
+// (state, configuration) pair. Visited-configuration dedup collapses
+// the diamond; configuration hashing makes the dedup cheap.
+void BM_WitnessSearchDiamond(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Rng rng(13);
+  schema::Instance seeded = workload::MakePhoneUniverse(pd, &rng, 32);
+  int n = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += " AND ";
+    text += (i % 2 == 0)
+                ? "F [EXISTS n . IsBind_AcM1(n) AND "
+                  "(EXISTS s,p,h . Address_pre(s,p,n,h))]"
+                : "F [EXISTS s,p . IsBind_AcM2(s,p) AND "
+                  "(EXISTS n,ph . Mobile_pre(n,p,s,ph))]";
+  }
+  acc::AccPtr f = acc::ParseAccFormula(text, pd.schema).value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd.schema).value();
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = static_cast<size_t>(n + 2);
+  for (auto _ : state) {
+    automata::WitnessSearchResult r =
+        automata::BoundedWitnessSearch(a, pd.schema, seeded, opts);
+    benchmark::DoNotOptimize(r.found);
+    state.counters["nodes"] = static_cast<double>(r.nodes_explored);
+  }
+}
+BENCHMARK(BM_WitnessSearchDiamond)->DenseRange(2, 4, 1);
+
+// Dedup ablation on the diamond workload: identical search with the
+// (state, configuration-hash) visited table on vs off. The `nodes`
+// counter demonstrates the reduction; time shows its cost/benefit.
+void BM_WitnessSearchDedupAblation(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  acc::AccPtr f =
+      acc::ParseAccFormula(
+          "F [EXISTS n . IsBind_AcM1(n) AND "
+          "(EXISTS p,s,ph . Mobile_post(n,p,s,ph))] AND "
+          "F [EXISTS s,p . IsBind_AcM2(s,p) AND "
+          "(EXISTS n,h . Address_post(s,p,n,h))] AND "
+          "F [EXISTS n . IsBind_AcM1(n) AND n != n]",
+          pd.schema)
+          .value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd.schema).value();
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = 3;
+  opts.use_visited_dedup = state.range(0) != 0;
+  for (auto _ : state) {
+    automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+        a, pd.schema, schema::Instance(pd.schema), opts);
+    benchmark::DoNotOptimize(r.found);
+    state.counters["nodes"] = static_cast<double>(r.nodes_explored);
+  }
+}
+BENCHMARK(BM_WitnessSearchDedupAblation)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"dedup"});
+
+// Breadth-first LTS exploration with configuration dedup: transitions
+// per level vastly outnumber distinct configurations, so the dedup
+// structure (deep set<Instance> compare vs hash lookup) dominates.
+void BM_LtsExploreDedup(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Rng rng(17);
+  schema::LtsOptions lopts;
+  lopts.universe = workload::MakePhoneUniverse(
+      pd, &rng, static_cast<size_t>(state.range(0)));
+  lopts.grounded = false;
+  lopts.seed_values = {Value::Str("Smith")};
+  for (auto _ : state) {
+    std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
+        pd.schema, schema::Instance(pd.schema), lopts, 2, 4000);
+    size_t transitions = 0, distinct = 0;
+    for (const schema::LtsLevelStats& s : stats) {
+      transitions += s.transitions;
+      distinct += s.distinct_configurations;
+    }
+    benchmark::DoNotOptimize(distinct);
+    state.counters["transitions"] = static_cast<double>(transitions);
+    state.counters["distinct"] = static_cast<double>(distinct);
+  }
+}
+BENCHMARK(BM_LtsExploreDedup)->RangeMultiplier(2)->Range(2, 8);
 
 void BM_DatalogPipelineEmptiness(benchmark::State& state) {
   workload::PhoneDirectory pd = workload::MakePhoneDirectory();
@@ -281,4 +404,29 @@ BENCHMARK(BM_LongTermRelevance);
 }  // namespace
 }  // namespace accltl
 
-BENCHMARK_MAIN();
+// Emits machine-readable results to BENCH_micro.json by default (later
+// PRs diff these files to track the perf trajectory); explicit
+// --benchmark_out flags win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  bool has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) {
+      has_fmt = true;
+    }
+  }
+  if (!has_out) args.push_back(out_flag);
+  if (!has_out && !has_fmt) args.push_back(fmt_flag);
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

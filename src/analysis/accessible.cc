@@ -1,6 +1,9 @@
 #include "src/analysis/accessible.h"
 
 #include <set>
+#include <unordered_set>
+
+#include "src/store/fact_store.h"
 
 namespace accltl {
 namespace analysis {
@@ -9,33 +12,38 @@ schema::Instance AccessiblePart(const schema::Schema& schema,
                                 const schema::Instance& universe,
                                 const schema::Instance& initial,
                                 const std::vector<Value>& seed_values) {
+  const store::Store& store = store::Store::Get();
   schema::Instance known = initial;
-  std::set<Value> values = initial.ActiveDomain();
-  values.insert(seed_values.begin(), seed_values.end());
+  // The fixpoint runs entirely on interned ids: grounded-ness checks
+  // are integer set probes, and revealed facts transfer by id.
+  std::unordered_set<store::ValueId> values;
+  for (store::ValueId v : initial.ActiveDomainIds()) values.insert(v);
+  for (const Value& v : seed_values) {
+    values.insert(store::Store::Get().InternValue(v));
+  }
 
   bool changed = true;
   while (changed) {
     changed = false;
     for (schema::AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
       const schema::AccessMethod& am = schema.method(m);
-      const schema::Relation& rel = schema.relation(am.relation);
       // Try every grounded binding: tuples over known values with the
       // right types. Rather than enumerating the full product, scan the
       // universe's tuples and check their input projections are known —
       // equivalent and linear in the universe.
-      for (const Tuple& t : universe.tuples(am.relation)) {
+      for (store::FactId fact : universe.facts(am.relation)->ids()) {
+        const std::vector<store::ValueId>& vals = store.fact_values(fact);
         bool grounded = true;
         for (schema::Position p : am.input_positions) {
-          if (values.count(t[static_cast<size_t>(p)]) == 0) {
+          if (values.count(vals[static_cast<size_t>(p)]) == 0) {
             grounded = false;
             break;
           }
         }
-        (void)rel;
         if (!grounded) continue;
-        if (known.AddFact(am.relation, t)) {
+        if (known.AddFactId(am.relation, fact)) {
           changed = true;
-          for (const Value& v : t) values.insert(v);
+          for (store::ValueId v : vals) values.insert(v);
         }
       }
     }

@@ -5,12 +5,14 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "src/accltl/abstraction.h"
 #include "src/accltl/semantics.h"
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
 #include "src/ltl/tableau.h"
+#include "src/store/fact_store.h"
 
 namespace accltl {
 namespace analysis {
@@ -38,9 +40,18 @@ struct SearchState {
   /// Active tableau states (NFA subset).
   std::set<int> tableau;
 
-  friend bool operator<(const SearchState& a, const SearchState& b) {
-    if (a.facts != b.facts) return a.facts < b.facts;
-    return a.tableau < b.tableau;
+  friend bool operator==(const SearchState& a, const SearchState& b) {
+    return a.facts == b.facts && a.tableau == b.tableau;
+  }
+};
+
+struct SearchStateHash {
+  size_t operator()(const SearchState& s) const {
+    uint64_t h = store::Mix64(s.facts);
+    for (int t : s.tableau) {
+      h = store::Mix64(h ^ static_cast<uint64_t>(static_cast<unsigned>(t)));
+    }
+    return static_cast<size_t>(h);
   }
 };
 
@@ -194,6 +205,15 @@ class ZeroSolver {
       visited_[state] = depth;
     }
 
+    // The active domain is stable across this node's enumeration;
+    // compute it once, on first need (it is only consulted for
+    // synthesized bindings and grounded checks).
+    std::optional<std::set<Value>> dom;
+    auto domain = [&]() -> const std::set<Value>& {
+      if (!dom.has_value()) dom = current.ActiveDomain();
+      return *dom;
+    };
+
     // Enumerate one access: a method plus a subset of not-yet-injected
     // pool facts of its relation (possibly empty), agreeing on input
     // positions (they share the binding).
@@ -241,12 +261,11 @@ class ZeroSolver {
           // from the revealed domain).
           Tuple b;
           bool bind_ok = true;
-          std::set<Value> dom = current.ActiveDomain();
           const schema::Relation& rel = schema_.relation(am.relation);
           for (schema::Position p : am.input_positions) {
             ValueType type = rel.position_types[static_cast<size_t>(p)];
             std::optional<Value> v;
-            for (const Value& cand : dom) {
+            for (const Value& cand : domain()) {
               if (cand.type() == type) {
                 v = cand;
                 break;
@@ -269,9 +288,8 @@ class ZeroSolver {
           if (!bind_ok) continue;
           binding = std::move(b);
         } else if (options_.grounded) {
-          std::set<Value> dom = current.ActiveDomain();
           for (const Value& v : *binding) {
-            if (dom.count(v) == 0) {
+            if (domain().count(v) == 0) {
               ok = false;
               break;
             }
@@ -346,7 +364,7 @@ class ZeroSolver {
   std::vector<PoolFact> pool_;
   ltl::TableauAutomaton tableau_;
   std::vector<std::vector<int>> edges_by_state_;
-  std::map<SearchState, size_t> visited_;
+  std::unordered_map<SearchState, size_t, SearchStateHash> visited_;
 };
 
 }  // namespace

@@ -18,6 +18,15 @@ bool Guard::Eval(const schema::Transition& t) const {
   return true;
 }
 
+bool Guard::EvalNegated(const schema::Transition& t) const {
+  if (negated.empty()) return true;
+  logic::TransitionView view(t);
+  for (const logic::PosFormulaPtr& gamma : negated) {
+    if (logic::EvalSentence(gamma, view)) return false;
+  }
+  return true;
+}
+
 std::string Guard::ToString(const schema::Schema& schema) const {
   std::vector<std::string> parts;
   if (positive != nullptr) parts.push_back(positive->ToString(schema));

@@ -25,6 +25,11 @@ struct Guard {
   /// Evaluates the guard on the transition structure M(t).
   bool Eval(const schema::Transition& t) const;
 
+  /// Evaluates only the ψ− part (every ¬γ conjunct). For callers that
+  /// constructed `t` to satisfy ψ+ (e.g. realization enumeration),
+  /// re-evaluating the positive join is pure waste.
+  bool EvalNegated(const schema::Transition& t) const;
+
   std::string ToString(const schema::Schema& schema) const;
 };
 

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
+#include "src/store/fact_store.h"
+#include "src/store/match_index.h"
 
 namespace accltl {
 namespace automata {
@@ -26,6 +32,9 @@ struct Realization {
   AccessMethodId method = 0;
   Tuple binding;
   std::vector<Tuple> new_facts;
+  /// Interned ids of new_facts (same order): lets the searcher build
+  /// the post configuration without re-interning tuple data.
+  std::vector<store::FactId> new_fact_ids;
 };
 
 /// Enumerates concrete realizations of a guard disjunct from the
@@ -34,11 +43,17 @@ class RealizationEnumerator {
  public:
   RealizationEnumerator(const schema::Schema& schema, const Instance& current,
                         const WitnessSearchOptions& options,
-                        logic::FreshValueFactory* factory)
+                        logic::FreshValueFactory* factory,
+                        store::MatchIndexCache* index)
       : schema_(schema),
         current_(current),
         options_(options),
-        factory_(factory) {}
+        factory_(factory),
+        index_(index) {}
+
+  /// True when max_realizations_per_step cut the enumeration short:
+  /// a non-exhaustive step means the overall search may be incomplete.
+  bool truncated() const { return truncated_; }
 
   bool ForEach(const Cq& disjunct,
                const std::function<bool(const Realization&)>& fn) {
@@ -96,7 +111,10 @@ class RealizationEnumerator {
         }
         if (!ok) continue;
         if (Match(disjunct, m, pre, as_old, as_new, bind, fn)) return true;
-        if (emitted_ >= options_.max_realizations_per_step) return false;
+        // truncated_ is set exactly when the cap suppressed a completed
+        // match; enumeration past the cap without suppression proves
+        // exhaustiveness and must not flag the result as unknown.
+        if (truncated_) return false;
       }
     }
     return false;
@@ -115,12 +133,19 @@ class RealizationEnumerator {
     to_match.insert(to_match.end(), as_old.begin(), as_old.end());
     Env env;
     std::function<bool(size_t)> rec = [&](size_t idx) -> bool {
-      if (emitted_ >= options_.max_realizations_per_step) return false;
+      if (truncated_) return false;
       if (idx == to_match.size()) {
+        if (emitted_ >= options_.max_realizations_per_step) {
+          // The cap is suppressing a fully-matched candidate: the step
+          // is non-exhaustive from here on.
+          truncated_ = true;
+          return false;
+        }
         return Finish(disjunct, m, as_new, bind, &env, fn);
       }
       const CqAtom& atom = *to_match[idx];
-      for (const Tuple& tuple : current_.tuples(atom.pred.id)) {
+      auto try_tuple = [&](const Tuple& tuple) -> bool {
+        if (tuple.size() != atom.terms.size()) return false;
         std::vector<std::string> newly;
         bool ok = true;
         for (size_t i = 0; i < tuple.size(); ++i) {
@@ -145,6 +170,43 @@ class RealizationEnumerator {
         }
         if (ok && rec(idx + 1)) return true;
         for (const std::string& v : newly) env.erase(v);
+        return false;
+      };
+      // Candidate selection: when some atom position carries a bound
+      // value (constant or env-bound variable), scan only the facts
+      // matching it via the memoized per-relation index; COW sharing
+      // makes the index valid across all nodes sharing the relation.
+      const store::Store& store = store::Store::Get();
+      int bound_pos = -1;
+      store::ValueId bound_val = store::kNoValueId;
+      bool dead = false;
+      for (size_t i = 0; i < atom.terms.size(); ++i) {
+        const logic::Term& t = atom.terms[i];
+        const Value* v = nullptr;
+        if (t.is_const()) {
+          v = &t.value();
+        } else {
+          auto it = env.find(t.var_name());
+          if (it != env.end()) v = &it->second;
+        }
+        if (v == nullptr) continue;
+        bound_pos = static_cast<int>(i);
+        bound_val = store.TryFindValue(*v);
+        // A never-interned value occurs in no instance fact: no match.
+        dead = bound_val == store::kNoValueId;
+        break;
+      }
+      if (dead) return false;
+      if (bound_pos >= 0) {
+        const std::vector<store::FactId>& candidates = index_->Lookup(
+            current_.facts(atom.pred.id), bound_pos, bound_val);
+        for (store::FactId fact : candidates) {
+          if (try_tuple(store.tuple(fact))) return true;
+        }
+        return false;
+      }
+      for (const Tuple& tuple : current_.tuples(atom.pred.id)) {
+        if (try_tuple(tuple)) return true;
       }
       return false;
     };
@@ -311,6 +373,11 @@ class RealizationEnumerator {
         return false;
       }
     }
+    // Intern only on emit: rejected candidates (binding disagreement,
+    // inequalities) must not grow the append-only global store.
+    for (const Tuple& t : r.new_facts) {
+      r.new_fact_ids.push_back(store::Store::Get().InternTuple(t));
+    }
     ++emitted_;
     bool stop = fn(r);
     restore();
@@ -321,57 +388,184 @@ class RealizationEnumerator {
   const Instance& current_;
   const WitnessSearchOptions& options_;
   logic::FreshValueFactory* factory_;
+  store::MatchIndexCache* index_;
   size_t emitted_ = 0;
+  bool truncated_ = false;
 };
+
+/// The search-independent compilation of an automaton: normalized UCQ
+/// guards plus the speculative fact pool. Building it costs UCQ
+/// normalization and freezing per guard, so plans are cached across
+/// searches (memoized by a structural fingerprint of the automaton and
+/// schema — self-contained, no pointers into the inputs).
+struct SearchPlan {
+  /// Pins of the automaton's guard formulas: while a plan is cached,
+  /// these shared_ptrs keep the formula addresses alive, which is what
+  /// makes pointer-identity plan keys sound (an address can only be
+  /// reused after the plan — and its key — is gone).
+  std::vector<logic::PosFormulaPtr> pinned_formulas;
+  std::vector<logic::Ucq> guards;
+  /// Per transition: the positive guard has a trivially-true disjunct
+  /// (no atoms, no inequalities), so ψ+ holds on *every* transition and
+  /// pool injection only needs to check ψ−.
+  std::vector<bool> trivially_positive;
+  std::vector<std::pair<RelationId, store::FactId>> pool;
+  /// Factory state after pool freezing: searches must continue the
+  /// fresh-value sequence to avoid colliding with pool values.
+  logic::FreshValueFactory factory_after_pool;
+};
+
+std::shared_ptr<const SearchPlan> BuildPlan(const AAutomaton& automaton,
+                                            const schema::Schema& schema) {
+  auto plan = std::make_shared<SearchPlan>();
+  // Pre-normalize guards to UCQs.
+  for (const ATransition& t : automaton.transitions()) {
+    logic::PosFormulaPtr pos =
+        t.guard.positive ? t.guard.positive : logic::PosFormula::True();
+    Result<logic::Ucq> ucq = logic::NormalizeToUcq(pos, {}, schema);
+    plan->guards.push_back(ucq.ok() ? ucq.value() : logic::Ucq{});
+    // Degenerate case: TRUE normalizes to one empty disjunct.
+    if (pos->kind() == logic::NodeKind::kTrue) {
+      logic::Ucq truth;
+      truth.disjuncts.push_back(logic::Cq{});
+      plan->guards.back() = truth;
+    }
+    bool trivial = false;
+    for (const logic::Cq& d : plan->guards.back().disjuncts) {
+      if (d.atoms.empty() && d.neqs.empty()) {
+        trivial = true;
+        break;
+      }
+    }
+    plan->trivially_positive.push_back(trivial);
+  }
+  // Speculative fact pool: canonical (frozen) facts of every guard
+  // disjunct. Guards often require facts in their *pre* structure
+  // that only an earlier, unconstrained access can reveal; injecting
+  // pool facts through permissive transitions realizes such paths.
+  logic::FreshValueFactory factory;
+  for (const logic::Ucq& g : plan->guards) {
+    for (const logic::Cq& d : g.disjuncts) {
+      logic::Cq data_only;
+      for (const logic::CqAtom& a : d.atoms) {
+        if (a.pred.space == PredSpace::kPre ||
+            a.pred.space == PredSpace::kPost) {
+          data_only.atoms.push_back(a);
+        }
+      }
+      if (data_only.atoms.empty()) continue;
+      Result<logic::FrozenCq> frozen =
+          logic::FreezeCq(data_only, schema, &factory);
+      if (!frozen.ok()) continue;
+      for (const auto& [pred, tuples] : frozen.value().db.relations()) {
+        for (const Tuple& t : tuples) {
+          if (plan->pool.size() >= 64) break;
+          // Interned once here; every Contains check during the
+          // search is then a binary search over fact ids.
+          plan->pool.emplace_back(pred.id,
+                                  store::Store::Get().InternTuple(t));
+        }
+      }
+    }
+  }
+  plan->factory_after_pool = factory;
+  for (const ATransition& t : automaton.transitions()) {
+    if (t.guard.positive) plan->pinned_formulas.push_back(t.guard.positive);
+    for (const logic::PosFormulaPtr& g : t.guard.negated) {
+      plan->pinned_formulas.push_back(g);
+    }
+  }
+  return plan;
+}
+
+/// Structural key for the plan cache. Guard formulas are identified by
+/// address (sound: cached plans pin them — see pinned_formulas); the
+/// schema contributes its shape and names (schemas are append-only, so
+/// any change shows up in the counts/names).
+std::vector<uint64_t> PlanKey(const AAutomaton& automaton,
+                              const schema::Schema& schema) {
+  std::vector<uint64_t> key;
+  std::hash<std::string> str_hash;
+  key.push_back(reinterpret_cast<uintptr_t>(&schema));
+  key.push_back(static_cast<uint64_t>(schema.num_relations()));
+  key.push_back(static_cast<uint64_t>(schema.num_access_methods()));
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const schema::Relation& rel = schema.relation(r);
+    key.push_back(str_hash(rel.name));
+    uint64_t types = rel.position_types.size();
+    for (ValueType t : rel.position_types) {
+      types = store::Mix64(types ^ static_cast<uint64_t>(t));
+    }
+    key.push_back(types);
+  }
+  for (AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+    const schema::AccessMethod& am = schema.method(m);
+    uint64_t h = str_hash(am.name) ^ static_cast<uint64_t>(am.relation);
+    for (schema::Position p : am.input_positions) {
+      h = store::Mix64(h ^ static_cast<uint64_t>(p));
+    }
+    key.push_back(h);
+  }
+  key.push_back(static_cast<uint64_t>(automaton.num_states()));
+  key.push_back(static_cast<uint64_t>(automaton.initial()));
+  for (int s : automaton.accepting()) {
+    key.push_back(static_cast<uint64_t>(static_cast<unsigned>(s)));
+  }
+  for (const ATransition& t : automaton.transitions()) {
+    key.push_back(static_cast<uint64_t>(static_cast<unsigned>(t.from)));
+    key.push_back(static_cast<uint64_t>(static_cast<unsigned>(t.to)));
+    key.push_back(reinterpret_cast<uintptr_t>(t.guard.positive.get()));
+    for (const logic::PosFormulaPtr& g : t.guard.negated) {
+      key.push_back(reinterpret_cast<uintptr_t>(g.get()));
+    }
+    key.push_back(0x2d);  // transition separator
+  }
+  return key;
+}
+
+struct PlanKeyHash {
+  size_t operator()(const std::vector<uint64_t>& key) const {
+    uint64_t h = store::Mix64(key.size());
+    for (uint64_t v : key) h = store::Mix64(h ^ v);
+    return static_cast<size_t>(h);
+  }
+};
+
+std::shared_ptr<const SearchPlan> GetPlan(const AAutomaton& automaton,
+                                          const schema::Schema& schema) {
+  std::vector<uint64_t> key = PlanKey(automaton, schema);
+  static std::mutex mu;
+  static auto* cache =
+      new std::unordered_map<std::vector<uint64_t>,
+                             std::shared_ptr<const SearchPlan>, PlanKeyHash>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  std::shared_ptr<const SearchPlan> plan = BuildPlan(automaton, schema);
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache->size() >= 128) cache->clear();
+  return cache->emplace(std::move(key), std::move(plan)).first->second;
+}
 
 class Searcher {
  public:
   Searcher(const AAutomaton& automaton, const schema::Schema& schema,
            const WitnessSearchOptions& options)
-      : automaton_(automaton), schema_(schema), options_(options) {
-    // Pre-normalize guards to UCQs.
-    for (const ATransition& t : automaton_.transitions()) {
-      logic::PosFormulaPtr pos =
-          t.guard.positive ? t.guard.positive : logic::PosFormula::True();
-      Result<logic::Ucq> ucq = logic::NormalizeToUcq(pos, {}, schema_);
-      guards_.push_back(ucq.ok() ? ucq.value() : logic::Ucq{});
-      // Degenerate case: TRUE normalizes to one empty disjunct.
-      if (pos->kind() == logic::NodeKind::kTrue) {
-        logic::Ucq truth;
-        truth.disjuncts.push_back(logic::Cq{});
-        guards_.back() = truth;
-      }
-    }
-    // Speculative fact pool: canonical (frozen) facts of every guard
-    // disjunct. Guards often require facts in their *pre* structure
-    // that only an earlier, unconstrained access can reveal; injecting
-    // pool facts through permissive transitions realizes such paths.
-    for (const logic::Ucq& g : guards_) {
-      for (const logic::Cq& d : g.disjuncts) {
-        logic::Cq data_only;
-        for (const logic::CqAtom& a : d.atoms) {
-          if (a.pred.space == PredSpace::kPre ||
-              a.pred.space == PredSpace::kPost) {
-            data_only.atoms.push_back(a);
-          }
-        }
-        if (data_only.atoms.empty()) continue;
-        Result<logic::FrozenCq> frozen =
-            logic::FreezeCq(data_only, schema_, &factory_);
-        if (!frozen.ok()) continue;
-        for (const auto& [pred, tuples] : frozen.value().db.relations()) {
-          for (const Tuple& t : tuples) {
-            if (pool_.size() >= 64) break;
-            pool_.emplace_back(pred.id, t);
-          }
-        }
-      }
-    }
-  }
+      : automaton_(automaton),
+        schema_(schema),
+        options_(options),
+        plan_(GetPlan(automaton, schema)),
+        guards_(plan_->guards),
+        pool_(plan_->pool),
+        factory_(plan_->factory_after_pool) {}
 
   WitnessSearchResult Run(const Instance& initial) {
     result_ = WitnessSearchResult{};
     path_.clear();
+    visited_.clear();
+    abort_ = false;
     Dfs(automaton_.initial(), initial, 0);
     return result_;
   }
@@ -390,9 +584,30 @@ class Searcher {
     return true;
   }
 
+  /// Prunes re-expansion of a (state, configuration) pair already seen
+  /// at the same or a smaller depth. Keyed by the 64-bit configuration
+  /// hash; the bucket keeps the (cheap, COW) instances to confirm
+  /// equality exactly, so a hash collision can never prune wrongly.
+  bool VisitedBefore(int state, const Instance& current, size_t depth) {
+    uint64_t key =
+        store::Mix64(current.hash() ^ store::Mix64(
+            static_cast<uint64_t>(static_cast<unsigned>(state))));
+    std::vector<std::pair<Instance, size_t>>& bucket = visited_[key];
+    for (auto& [config, seen_depth] : bucket) {
+      if (config == current) {
+        if (seen_depth <= depth) return true;
+        seen_depth = depth;
+        return false;
+      }
+    }
+    bucket.emplace_back(current, depth);
+    return false;
+  }
+
   bool Dfs(int state, const Instance& current, size_t depth) {
     if (++result_.nodes_explored > options_.max_nodes) {
       result_.exhausted_budget = true;
+      abort_ = true;
       return false;
     }
     if (AcceptHere(state, initial_for_checks_ ? *initial_for_checks_
@@ -400,29 +615,33 @@ class Searcher {
       return true;
     }
     if (depth >= options_.max_path_length) return false;
-    auto key = std::make_pair(state, current);
-    auto it = visited_.find(key);
-    if (it != visited_.end() && it->second <= depth) return false;
-    visited_[key] = depth;
+    if (options_.use_visited_dedup && VisitedBefore(state, current, depth)) {
+      return false;
+    }
 
     for (size_t ti = 0; ti < automaton_.transitions().size(); ++ti) {
       const ATransition& at = automaton_.transitions()[ti];
       if (at.from != state) continue;
-      RealizationEnumerator en(schema_, current, options_, &factory_);
+      RealizationEnumerator en(schema_, current, options_, &factory_,
+                               &index_cache_);
       for (const logic::Cq& disjunct : guards_[ti].disjuncts) {
         bool stop = en.ForEach(disjunct, [&](const Realization& r) -> bool {
-          schema::Response response(r.new_facts.begin(), r.new_facts.end());
+          // The enumerator constructed this access to satisfy the
+          // disjunct (hence ψ+); only ψ− needs checking.
           return TryTransition(at, schema::Access{r.method, r.binding},
-                               std::move(response), current, depth);
+                               r.new_fact_ids, current, depth,
+                               /*positive_known=*/true);
         });
+        if (en.truncated()) result_.exhausted_budget = true;
         if (stop) return true;
-        if (result_.exhausted_budget) return false;
+        if (abort_) return false;
       }
       // Speculative pool injection: reveal one canonical fact through
       // this transition (useful when the guard is permissive and a
       // later guard needs the fact in its pre-structure).
-      for (const auto& [rel, tuple] : pool_) {
-        if (current.Contains(rel, tuple)) continue;
+      for (const auto& [rel, fact] : pool_) {
+        if (current.facts(rel)->Contains(fact)) continue;
+        const Tuple& tuple = store::Store::Get().tuple(fact);
         for (schema::AccessMethodId m : schema_.methods_on(rel)) {
           const schema::AccessMethod& am = schema_.method(m);
           Tuple binding;
@@ -440,25 +659,32 @@ class Searcher {
             }
             if (!ok) continue;
           }
-          if (TryTransition(at, schema::Access{m, binding},
-                            schema::Response{tuple}, current, depth)) {
+          if (TryTransition(at, schema::Access{m, binding}, {fact}, current,
+                            depth,
+                            /*positive_known=*/plan_->trivially_positive[ti])) {
             return true;
           }
-          if (result_.exhausted_budget) return false;
+          if (abort_) return false;
         }
       }
     }
     return false;
   }
 
-  /// Takes the automaton transition with a concrete access if the full
-  /// guard holds on it; recurses. Returns true when a witness was found.
+  /// Takes the automaton transition with a concrete access (response
+  /// given as interned fact ids) if the full guard holds on it;
+  /// recurses. Returns true when a witness was found. `positive_known`
+  /// skips the ψ+ re-evaluation for transitions built from a
+  /// realization of a positive-guard disjunct.
   bool TryTransition(const ATransition& at, schema::Access access,
-                     schema::Response response,
-                     const schema::Instance& current, size_t depth) {
-    schema::Transition t = schema::MakeTransition(
-        schema_, current, std::move(access), std::move(response));
-    if (!at.guard.Eval(t)) return false;
+                     const std::vector<store::FactId>& response_ids,
+                     const schema::Instance& current, size_t depth,
+                     bool positive_known = false) {
+    schema::Transition t = schema::MakeTransitionFromIds(
+        schema_, current, std::move(access), response_ids);
+    if (positive_known ? !at.guard.EvalNegated(t) : !at.guard.Eval(t)) {
+      return false;
+    }
     path_.push_back(schema::AccessStep{t.access, t.response});
     bool found = Dfs(at.to, t.post, depth + 1);
     if (!found) path_.pop_back();
@@ -468,12 +694,16 @@ class Searcher {
   const AAutomaton& automaton_;
   const schema::Schema& schema_;
   const WitnessSearchOptions& options_;
-  std::vector<logic::Ucq> guards_;
-  std::vector<std::pair<RelationId, Tuple>> pool_;
+  std::shared_ptr<const SearchPlan> plan_;
+  const std::vector<logic::Ucq>& guards_;
+  const std::vector<std::pair<RelationId, store::FactId>>& pool_;
   logic::FreshValueFactory factory_;
-  std::map<std::pair<int, Instance>, size_t> visited_;
+  std::unordered_map<uint64_t, std::vector<std::pair<Instance, size_t>>>
+      visited_;
+  store::MatchIndexCache index_cache_;
   std::vector<schema::AccessStep> path_;
   WitnessSearchResult result_;
+  bool abort_ = false;
   const Instance* initial_for_checks_ = nullptr;
 
  public:

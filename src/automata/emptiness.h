@@ -23,13 +23,18 @@ struct WitnessSearchOptions {
   size_t max_nodes = 200000;
   /// Cap on realizations enumerated per (transition, disjunct) step.
   size_t max_realizations_per_step = 512;
+  /// Prune revisits of a (state, configuration) pair at the same or a
+  /// greater depth, keyed by the 64-bit configuration hash. Exposed so
+  /// tests/benchmarks can measure the nodes_explored reduction.
+  bool use_visited_dedup = true;
 };
 
 struct WitnessSearchResult {
   /// True when an accepting access path was found (L(A) non-empty).
   bool found = false;
   schema::AccessPath witness;
-  /// True when a budget was hit before the bounded space was exhausted;
+  /// True when a budget was hit before the bounded space was exhausted
+  /// — the `max_nodes` budget or the `max_realizations_per_step` cap;
   /// `found == false` then means "unknown", not "empty".
   bool exhausted_budget = false;
   size_t nodes_explored = 0;

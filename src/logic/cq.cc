@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <vector>
 
 #include "src/common/strings.h"
 
@@ -369,8 +371,19 @@ Value FreshValueFactory::Fresh(ValueType type) {
   switch (type) {
     case ValueType::kInt:
       return Value::Int(kFreshIntBase - n);
-    case ValueType::kString:
-      return Value::Str("~n" + std::to_string(n));
+    case ValueType::kString: {
+      // The sequence is deterministic in n, and search loops re-request
+      // the same prefix over and over — memoize to skip the string
+      // build (and keep the interner from re-hashing fresh payloads).
+      static std::mutex mu;
+      static std::vector<Value>* memo = new std::vector<Value>();
+      std::lock_guard<std::mutex> lock(mu);
+      while (static_cast<size_t>(n) >= memo->size()) {
+        memo->push_back(
+            Value::Str("~n" + std::to_string(memo->size())));
+      }
+      return (*memo)[static_cast<size_t>(n)];
+    }
     case ValueType::kBool:
       bool_domain_touched_ = true;
       return Value::Bool(n % 2 == 0);

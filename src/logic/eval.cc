@@ -82,14 +82,12 @@ class Evaluator {
     // 0-ary IsBind proposition (Sch0−Acc, §4.2): an IsBind atom written
     // with no terms for a method that has input positions.
     if (pred.space == PredSpace::kBind && f->terms().empty()) {
-      const std::set<Tuple>* tuples = view_.GetTuples(pred);
       bool holds = view_.MethodUsed(pred.id) ||
-                   (tuples != nullptr && tuples->count(Tuple{}) > 0);
+                   view_.GetTuples(pred).Contains(Tuple{});
       return holds ? k() : false;
     }
-    const std::set<Tuple>* tuples = view_.GetTuples(pred);
-    if (tuples == nullptr) return false;
-    for (const Tuple& tuple : *tuples) {
+    store::TupleRange tuples = view_.GetTuples(pred);
+    for (const Tuple& tuple : tuples) {
       if (tuple.size() != f->terms().size()) continue;
       std::vector<std::string> newly_bound;
       bool match = true;

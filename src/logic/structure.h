@@ -8,6 +8,7 @@
 #include "src/common/value.h"
 #include "src/logic/predicate.h"
 #include "src/schema/lts.h"
+#include "src/store/tuple_range.h"
 
 namespace accltl {
 namespace logic {
@@ -20,8 +21,10 @@ class StructureView {
  public:
   virtual ~StructureView() = default;
 
-  /// Tuples interpreting `pred`; nullptr means the empty interpretation.
-  virtual const std::set<Tuple>* GetTuples(const PredicateRef& pred) const = 0;
+  /// Tuples interpreting `pred`; an empty range is the empty
+  /// interpretation (instances serve interned fact spans, databases
+  /// serve plain tuple sets — see store::TupleRange).
+  virtual store::TupleRange GetTuples(const PredicateRef& pred) const = 0;
 
   /// The 0-ary IsBind_AcM proposition of the Sch0−Acc vocabulary
   /// (§4.2): did this position's transition use method `m`?
@@ -37,9 +40,9 @@ class InstanceView : public StructureView {
   explicit InstanceView(const schema::Instance& instance)
       : instance_(instance) {}
 
-  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const override {
-    if (pred.space != PredSpace::kPlain) return nullptr;
-    return &instance_.tuples(pred.id);
+  store::TupleRange GetTuples(const PredicateRef& pred) const override {
+    if (pred.space != PredSpace::kPlain) return store::TupleRange();
+    return instance_.tuples(pred.id);
   }
 
  private:
@@ -55,18 +58,20 @@ class TransitionView : public StructureView {
     binding_singleton_.insert(t.access.binding);
   }
 
-  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const override {
+  store::TupleRange GetTuples(const PredicateRef& pred) const override {
     switch (pred.space) {
       case PredSpace::kPre:
-        return &t_.pre.tuples(pred.id);
+        return t_.pre.tuples(pred.id);
       case PredSpace::kPost:
-        return &t_.post.tuples(pred.id);
+        return t_.post.tuples(pred.id);
       case PredSpace::kBind:
-        return pred.id == t_.access.method ? &binding_singleton_ : nullptr;
+        return pred.id == t_.access.method
+                   ? store::TupleRange(&binding_singleton_)
+                   : store::TupleRange();
       case PredSpace::kPlain:
-        return nullptr;
+        return store::TupleRange();
     }
-    return nullptr;
+    return store::TupleRange();
   }
 
   bool MethodUsed(schema::AccessMethodId m) const override {
@@ -140,8 +145,8 @@ class DatabaseView : public StructureView {
  public:
   explicit DatabaseView(const Database& db) : db_(db) {}
 
-  const std::set<Tuple>* GetTuples(const PredicateRef& pred) const override {
-    return db_.GetTuples(pred);
+  store::TupleRange GetTuples(const PredicateRef& pred) const override {
+    return store::TupleRange(db_.GetTuples(pred));
   }
 
   bool MethodUsed(schema::AccessMethodId m) const override {

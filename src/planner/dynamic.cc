@@ -210,17 +210,20 @@ Result<DynamicResult> AnswerWithDynamicAccesses(
               out_of_budget = true;
               return;
             }
-            std::vector<Tuple> matching = universe.Matching(
+            const store::Store& store = store::Store::Get();
+            std::vector<store::FactId> matching = universe.MatchingIds(
                 method.relation, method.input_positions, binding);
-            schema::Response response(matching.begin(), matching.end());
+            schema::Response response;
+            for (store::FactId f : matching) response.insert(store.tuple(f));
             performed.insert(access);
             ++result.stats.accesses_made;
             schema::AccessStep step;
             step.access = access;
             step.response = response;
             result.trace.Append(std::move(step));
-            for (const Tuple& t : matching) {
-              if (result.configuration.AddFact(method.relation, Tuple(t))) {
+            for (store::FactId f : matching) {
+              const Tuple& t = store.tuple(f);
+              if (result.configuration.AddFactId(method.relation, f)) {
                 changed = true;
               }
               for (size_t i = 0; i < t.size(); ++i) {

@@ -59,12 +59,12 @@ Status AccessPath::Validate(const Schema& schema) const {
 
 Instance AccessPath::Configuration(const Schema& schema,
                                    const Instance& initial) const {
-  Instance conf = initial;
+  Instance::Builder conf(initial);
   for (const AccessStep& st : steps_) {
     RelationId rel = schema.method(st.access.method).relation;
-    for (const Tuple& t : st.response) conf.AddFact(rel, t);
+    for (const Tuple& t : st.response) conf.Add(rel, t);
   }
-  return conf;
+  return std::move(conf).Build();
 }
 
 std::vector<Instance> AccessPath::ConfigurationSequence(
@@ -73,10 +73,13 @@ std::vector<Instance> AccessPath::ConfigurationSequence(
   confs.reserve(steps_.size() + 1);
   confs.push_back(initial);
   for (const AccessStep& st : steps_) {
-    Instance next = confs.back();
+    // Each configuration shares every untouched relation with its
+    // predecessor: the whole sequence is O(total response size) new
+    // fact-set data, not O(steps × configuration size).
+    Instance::Builder next(confs.back());
     RelationId rel = schema.method(st.access.method).relation;
-    for (const Tuple& t : st.response) next.AddFact(rel, t);
-    confs.push_back(std::move(next));
+    for (const Tuple& t : st.response) next.Add(rel, t);
+    confs.push_back(std::move(next).Build());
   }
   return confs;
 }

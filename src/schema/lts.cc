@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <unordered_map>
+
+#include "src/store/match_index.h"
 
 namespace accltl {
 namespace schema {
@@ -14,13 +17,31 @@ std::string Transition::ToString(const Schema& schema) const {
 
 Transition MakeTransition(const Schema& schema, Instance pre, Access access,
                           Response response) {
+  std::vector<store::FactId> ids;
+  ids.reserve(response.size());
+  for (const Tuple& tuple : response) {
+    ids.push_back(store::Store::Get().InternTuple(tuple));
+  }
+  return MakeTransitionFromIds(schema, std::move(pre), std::move(access),
+                               ids);
+}
+
+Transition MakeTransitionFromIds(const Schema& schema, Instance pre,
+                                 Access access,
+                                 const std::vector<store::FactId>& response) {
+  const store::Store& store = store::Store::Get();
   Transition t;
-  t.post = pre;
-  t.pre = std::move(pre);
+  // post shares every relation of pre (COW); only the accessed
+  // relation's fact set is derived, once, via the batch builder.
+  Instance::Builder post(pre);
   RelationId rel = schema.method(access.method).relation;
-  for (const Tuple& tuple : response) t.post.AddFact(rel, tuple);
+  for (store::FactId fact : response) {
+    post.Add(rel, fact);
+    t.response.insert(store.tuple(fact));
+  }
+  t.post = std::move(post).Build();
+  t.pre = std::move(pre);
   t.access = std::move(access);
-  t.response = std::move(response);
   return t;
 }
 
@@ -58,53 +79,109 @@ void EnumerateBindings(const Schema& schema, AccessMethodId method,
 
 }  // namespace
 
-std::vector<Transition> Successors(const Schema& schema,
-                                   const Instance& current,
-                                   const LtsOptions& options) {
+namespace {
+
+/// Matching over the universe through the shared match index: facts
+/// are selected by the first input position's index entry, then
+/// filtered on the rest — no per-binding relation scans.
+std::vector<store::FactId> IndexedMatching(const Instance& universe,
+                                           RelationId rel,
+                                           const std::vector<Position>& pos,
+                                           const Tuple& binding,
+                                           store::MatchIndexCache* index) {
+  const store::Store& store = store::Store::Get();
+  std::vector<store::FactId> out;
+  if (pos.empty()) {
+    out = universe.facts(rel)->ids();
+    return out;
+  }
+  std::vector<store::ValueId> bound;
+  bound.reserve(binding.size());
+  for (const Value& v : binding) {
+    store::ValueId vid = store.TryFindValue(v);
+    if (vid == store::kNoValueId) return out;
+    bound.push_back(vid);
+  }
+  const std::vector<store::FactId>& candidates =
+      index->Lookup(universe.facts(rel), pos[0], bound[0]);
+  for (store::FactId fact : candidates) {
+    const std::vector<store::ValueId>& vals = store.fact_values(fact);
+    bool match = true;
+    for (size_t i = 1; i < pos.size(); ++i) {
+      if (vals[static_cast<size_t>(pos[i])] != bound[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(fact);
+  }
+  return out;
+}
+
+std::vector<Transition> SuccessorsImpl(const Schema& schema,
+                                       const Instance& current,
+                                       const LtsOptions& options,
+                                       store::MatchIndexCache* index) {
   std::vector<Transition> out;
+  const store::Store& store = store::Store::Get();
   // Candidate binding values: grounded mode restricts to the active
   // domain of the current configuration plus seeds; otherwise we also
   // allow any value of the hidden universe (finitely many candidates
-  // standing in for "any value").
-  std::set<Value> pool_set(options.seed_values.begin(),
-                           options.seed_values.end());
-  {
-    std::set<Value> dom = current.ActiveDomain();
-    pool_set.insert(dom.begin(), dom.end());
+  // standing in for "any value"). Assembled as interned ids — no
+  // Value-set churn per node.
+  std::vector<store::ValueId> pool_ids = current.ActiveDomainIds();
+  for (const Value& v : options.seed_values) {
+    pool_ids.push_back(store::Store::Get().InternValue(v));
   }
   if (!options.grounded) {
-    std::set<Value> udom = options.universe.ActiveDomain();
-    pool_set.insert(udom.begin(), udom.end());
+    std::vector<store::ValueId> udom = options.universe.ActiveDomainIds();
+    pool_ids.insert(pool_ids.end(), udom.begin(), udom.end());
   }
-  std::vector<Value> pool(pool_set.begin(), pool_set.end());
+  std::sort(pool_ids.begin(), pool_ids.end());
+  pool_ids.erase(std::unique(pool_ids.begin(), pool_ids.end()),
+                 pool_ids.end());
+  std::vector<Value> pool;
+  pool.reserve(pool_ids.size());
+  for (store::ValueId v : pool_ids) pool.push_back(store.value(v));
 
   for (AccessMethodId am = 0; am < schema.num_access_methods(); ++am) {
     const AccessMethod& m = schema.method(am);
     std::vector<Tuple> bindings;
     EnumerateBindings(schema, am, pool, &bindings);
     for (const Tuple& b : bindings) {
-      std::vector<Tuple> matching =
-          options.universe.Matching(m.relation, m.input_positions, b);
+      // Responses are enumerated as interned fact-id vectors: the
+      // universe's facts are already interned, so building each
+      // successor's post instance never re-hashes tuple data.
+      std::vector<store::FactId> matching = IndexedMatching(
+          options.universe, m.relation, m.input_positions, b, index);
       bool exact = m.exact || options.exact_methods.count(am) > 0;
-      std::vector<Response> responses;
-      Response full(matching.begin(), matching.end());
+      std::vector<std::vector<store::FactId>> responses;
       if (exact) {
-        responses.push_back(std::move(full));
+        responses.push_back(matching);
       } else {
-        responses.push_back(Response{});  // empty response
+        responses.push_back({});  // empty response
         if (options.enumerate_singleton_responses) {
-          for (const Tuple& t : matching) responses.push_back(Response{t});
+          for (store::FactId f : matching) responses.push_back({f});
         }
-        if (matching.size() > 1) responses.push_back(std::move(full));
+        if (matching.size() > 1) responses.push_back(matching);
       }
-      for (Response& r : responses) {
-        out.push_back(MakeTransition(schema, current, Access{am, b},
-                                     std::move(r)));
+      for (const std::vector<store::FactId>& r : responses) {
+        out.push_back(
+            MakeTransitionFromIds(schema, current, Access{am, b}, r));
         if (out.size() >= options.max_successors_per_node) return out;
       }
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<Transition> Successors(const Schema& schema,
+                                   const Instance& current,
+                                   const LtsOptions& options) {
+  store::MatchIndexCache index;
+  return SuccessorsImpl(schema, current, options, &index);
 }
 
 std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
@@ -113,8 +190,21 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
                                                size_t max_depth,
                                                size_t max_nodes) {
   std::vector<LtsLevelStats> stats;
-  std::set<Instance> seen;
-  seen.insert(initial);
+  // Visited-configuration dedup keyed by the 64-bit configuration
+  // hash; buckets hold the instances for exact confirmation (instances
+  // are COW handles, so storing them is cheap).
+  std::unordered_map<uint64_t, std::vector<Instance>> seen;
+  size_t seen_count = 0;
+  auto try_insert = [&](const Instance& inst) {
+    std::vector<Instance>& bucket = seen[inst.hash()];
+    for (const Instance& existing : bucket) {
+      if (existing == inst) return false;
+    }
+    bucket.push_back(inst);
+    ++seen_count;
+    return true;
+  };
+  try_insert(initial);
   std::vector<Instance> frontier = {initial};
   {
     LtsLevelStats s;
@@ -123,22 +213,26 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
     s.max_configuration_facts = initial.TotalFacts();
     stats.push_back(s);
   }
+  // One match index for the whole exploration: the universe's fact
+  // sets are stable, so every level reuses the same per-relation index.
+  store::MatchIndexCache index;
   for (size_t depth = 1; depth <= max_depth; ++depth) {
     LtsLevelStats s;
     s.depth = depth;
     std::vector<Instance> next;
     for (const Instance& node : frontier) {
-      std::vector<Transition> succ = Successors(schema, node, options);
+      std::vector<Transition> succ = SuccessorsImpl(schema, node, options,
+                                                    &index);
       s.transitions += succ.size();
       for (Transition& t : succ) {
-        if (seen.size() >= max_nodes) break;
-        if (seen.insert(t.post).second) {
+        if (seen_count >= max_nodes) break;
+        if (try_insert(t.post)) {
           s.max_configuration_facts =
               std::max(s.max_configuration_facts, t.post.TotalFacts());
           next.push_back(std::move(t.post));
         }
       }
-      if (seen.size() >= max_nodes) break;
+      if (seen_count >= max_nodes) break;
     }
     s.distinct_configurations = next.size();
     stats.push_back(s);

@@ -27,9 +27,18 @@ struct Transition {
 };
 
 /// Builds the transition that performs `access` with `response` from
-/// instance `pre`.
+/// instance `pre`. `post` shares every untouched relation with `pre`
+/// (copy-on-write).
 Transition MakeTransition(const Schema& schema, Instance pre, Access access,
                           Response response);
+
+/// Interned-id variant: the response is given as fact ids (the tuple
+/// set is decoded from them), so building `post` never re-hashes tuple
+/// data. The single owner of the post = pre + response invariant —
+/// the tuple-based overload and all search engines delegate here.
+Transition MakeTransitionFromIds(const Schema& schema, Instance pre,
+                                 Access access,
+                                 const std::vector<store::FactId>& response);
 
 /// Options controlling how the (infinite) LTS is enumerated.
 struct LtsOptions {

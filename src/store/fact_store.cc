@@ -1,0 +1,71 @@
+#include "src/store/fact_store.h"
+
+namespace accltl {
+namespace store {
+
+Store& Store::Get() {
+  static Store* instance = new Store();  // never destroyed: ids outlive main
+  return *instance;
+}
+
+ValueId Store::InternValue(const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = value_ids_.find(v);
+  if (it != value_ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  value_ids_.emplace(v, id);
+  return id;
+}
+
+ValueId Store::TryFindValue(const Value& v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = value_ids_.find(v);
+  return it == value_ids_.end() ? kNoValueId : it->second;
+}
+
+FactId Store::InternTuple(const Tuple& t) {
+  std::vector<ValueId> ids;
+  ids.reserve(t.size());
+  for (const Value& v : t) ids.push_back(InternValue(v));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fact_ids_.find(ids);
+  if (it != fact_ids_.end()) return it->second;
+  FactId id = static_cast<FactId>(facts_.size());
+  FactRep rep;
+  rep.hash = Mix64(ids.size());
+  for (ValueId v : ids) rep.hash = Mix64(rep.hash ^ v);
+  rep.values = ids;
+  rep.decoded = t;
+  facts_.push_back(std::move(rep));
+  fact_ids_.emplace(std::move(ids), id);
+  return id;
+}
+
+FactId Store::TryFindTuple(const Tuple& t) const {
+  std::vector<ValueId> ids;
+  ids.reserve(t.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Value& v : t) {
+      auto it = value_ids_.find(v);
+      if (it == value_ids_.end()) return kNoFactId;
+      ids.push_back(it->second);
+    }
+    auto it = fact_ids_.find(ids);
+    return it == fact_ids_.end() ? kNoFactId : it->second;
+  }
+}
+
+size_t Store::num_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+size_t Store::num_facts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return facts_.size();
+}
+
+}  // namespace store
+}  // namespace accltl

@@ -1,0 +1,29 @@
+#include "src/store/match_index.h"
+
+namespace accltl {
+namespace store {
+
+const std::vector<FactId> MatchIndexCache::kEmpty;
+
+const std::vector<FactId>& MatchIndexCache::Lookup(const FactSet::Ptr& set,
+                                                   int position, ValueId v) {
+  if (set->empty()) return kEmpty;
+  PerSet& entry = cache_[set.get()];
+  if (entry.keep_alive == nullptr) entry.keep_alive = set;
+  auto [pos_it, built] = entry.by_position.try_emplace(position);
+  if (built) {
+    const Store& store = Store::Get();
+    for (FactId id : set->ids()) {
+      const std::vector<ValueId>& vals = store.fact_values(id);
+      if (static_cast<size_t>(position) >= vals.size()) continue;
+      (*pos_it).second[vals[static_cast<size_t>(position)]].push_back(id);
+    }
+  }
+  auto it = pos_it->second.find(v);
+  return it == pos_it->second.end() ? kEmpty : it->second;
+}
+
+void MatchIndexCache::Clear() { cache_.clear(); }
+
+}  // namespace store
+}  // namespace accltl

@@ -1,0 +1,54 @@
+#ifndef ACCLTL_STORE_MATCH_INDEX_H_
+#define ACCLTL_STORE_MATCH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/store/fact_set.h"
+
+namespace accltl {
+namespace store {
+
+/// Memoized per-relation match indexes for homomorphism search.
+///
+/// Keyed by the physical FactSet (not by instance): copy-on-write
+/// instances share unchanged relations, so an index built while
+/// matching at one search node is reused verbatim at every descendant
+/// node whose relation was untouched — exactly the common case in
+/// witness search, where each transition touches one relation.
+///
+/// The cache holds a shared_ptr to every indexed set, both to keep the
+/// index valid and to prevent a freed set's address from aliasing a new
+/// set. It grows until Clear() — size it by owner lifetime (per search
+/// / per exploration); there is deliberately no automatic eviction,
+/// because callers hold returned references across nested Lookups.
+class MatchIndexCache {
+ public:
+  MatchIndexCache() = default;
+
+  /// Fact ids of `set` whose value at `position` equals `v`, ascending.
+  /// The reference is valid until Clear() (Lookup never evicts).
+  const std::vector<FactId>& Lookup(const FactSet::Ptr& set, int position,
+                                    ValueId v);
+
+  void Clear();
+  size_t num_indexed_sets() const { return cache_.size(); }
+
+ private:
+  struct PerSet {
+    FactSet::Ptr keep_alive;
+    /// position -> (value id -> ascending fact ids). Built lazily per
+    /// position on first lookup.
+    std::unordered_map<int, std::unordered_map<ValueId, std::vector<FactId>>>
+        by_position;
+  };
+
+  std::unordered_map<const FactSet*, PerSet> cache_;
+  static const std::vector<FactId> kEmpty;
+};
+
+}  // namespace store
+}  // namespace accltl
+
+#endif  // ACCLTL_STORE_MATCH_INDEX_H_

@@ -1,0 +1,95 @@
+#ifndef ACCLTL_STORE_TUPLE_RANGE_H_
+#define ACCLTL_STORE_TUPLE_RANGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+
+#include "src/common/value.h"
+#include "src/store/fact_set.h"
+
+namespace accltl {
+namespace store {
+
+/// A lightweight read-only range of tuples, unifying the two physical
+/// representations the library uses: interned fact-id spans (instances)
+/// and plain std::set<Tuple> (canonical databases, bindings). Iteration
+/// yields `const Tuple&` either way; fact-id mode decodes through the
+/// global store at O(1) per step with no allocation.
+///
+/// A default-constructed range is empty — "no interpretation" and "the
+/// empty interpretation" are deliberately the same thing here.
+class TupleRange {
+ public:
+  TupleRange() = default;
+  /// Fact-id mode. `set` may be null (empty range). The range does not
+  /// keep the set alive; the caller's set must outlive the range.
+  explicit TupleRange(const FactSet* set)
+      : ids_(set == nullptr || set->empty() ? nullptr : set->ids().data()),
+        size_(set == nullptr ? 0 : set->size()) {}
+  /// Set mode. `tuples` may be null (empty range).
+  explicit TupleRange(const std::set<Tuple>* tuples)
+      : set_(tuples), size_(tuples == nullptr ? 0 : tuples->size()) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Contains(const Tuple& t) const {
+    if (set_ != nullptr) return set_->count(t) > 0;
+    if (ids_ == nullptr) return false;
+    FactId id = Store::Get().TryFindTuple(t);
+    if (id == kNoFactId) return false;
+    return std::binary_search(ids_, ids_ + size_, id);  // ids ascending
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const FactId* p, std::set<Tuple>::const_iterator it,
+                   bool use_set)
+        : p_(p), it_(it), use_set_(use_set) {}
+
+    const Tuple& operator*() const {
+      return use_set_ ? *it_ : Store::Get().tuple(*p_);
+    }
+    const Tuple* operator->() const { return &**this; }
+    const_iterator& operator++() {
+      if (use_set_) {
+        ++it_;
+      } else {
+        ++p_;
+      }
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.use_set_ ? a.it_ == b.it_ : a.p_ == b.p_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    const FactId* p_;
+    std::set<Tuple>::const_iterator it_;
+    bool use_set_;
+  };
+
+  const_iterator begin() const {
+    if (set_ != nullptr) return const_iterator(nullptr, set_->begin(), true);
+    return const_iterator(ids_, {}, false);
+  }
+  const_iterator end() const {
+    if (set_ != nullptr) return const_iterator(nullptr, set_->end(), true);
+    return const_iterator(ids_ == nullptr ? nullptr : ids_ + size_, {},
+                          false);
+  }
+
+ private:
+  const FactId* ids_ = nullptr;
+  const std::set<Tuple>* set_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace store
+}  // namespace accltl
+
+#endif  // ACCLTL_STORE_TUPLE_RANGE_H_

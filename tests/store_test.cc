@@ -1,0 +1,281 @@
+// Tests for the interned fact-store core: value/tuple interning,
+// immutable fact sets, copy-on-write instance aliasing, configuration
+// hashing, and the visited-configuration dedup built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/accltl/parser.h"
+#include "src/automata/compile.h"
+#include "src/automata/emptiness.h"
+#include "src/common/rng.h"
+#include "src/schema/instance.h"
+#include "src/schema/lts.h"
+#include "src/store/fact_set.h"
+#include "src/store/fact_store.h"
+#include "src/store/match_index.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+Value S(const std::string& s) { return Value::Str(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+// --- Interning ---------------------------------------------------------------
+
+TEST(StoreTest, ValueInterningRoundTrips) {
+  store::Store& store = store::Store::Get();
+  std::vector<Value> values = {S("store-test-a"), S("store-test-b"), I(421),
+                               Value::Bool(true)};
+  for (const Value& v : values) {
+    store::ValueId id = store.InternValue(v);
+    EXPECT_EQ(store.value(id), v);
+    // Re-interning is idempotent.
+    EXPECT_EQ(store.InternValue(v), id);
+    EXPECT_EQ(store.TryFindValue(v), id);
+  }
+}
+
+TEST(StoreTest, TupleInterningRoundTrips) {
+  store::Store& store = store::Store::Get();
+  Tuple t = {S("store-test-x"), I(7), S("store-test-y")};
+  store::FactId id = store.InternTuple(t);
+  EXPECT_EQ(store.tuple(id), t);
+  EXPECT_EQ(store.InternTuple(t), id);
+  EXPECT_EQ(store.TryFindTuple(t), id);
+  EXPECT_EQ(store.fact_values(id).size(), 3u);
+
+  // A distinct tuple gets a distinct id; a never-interned one is absent.
+  Tuple other = {S("store-test-x"), I(8), S("store-test-y")};
+  EXPECT_NE(store.InternTuple(other), id);
+  EXPECT_EQ(store.TryFindTuple({S("store-test-never-interned")}),
+            store::kNoFactId);
+}
+
+// --- FactSet -----------------------------------------------------------------
+
+TEST(StoreTest, FactSetDerivationAndHash) {
+  store::Store& store = store::Store::Get();
+  store::FactId a = store.InternTuple({S("fs-a")});
+  store::FactId b = store.InternTuple({S("fs-b")});
+  store::FactId c = store.InternTuple({S("fs-c")});
+
+  bool added = false;
+  store::FactSet::Ptr s1 =
+      store::FactSet::WithFact(store::FactSet::Empty(), a, &added);
+  EXPECT_TRUE(added);
+  store::FactSet::Ptr s2 = store::FactSet::WithFact(s1, b, &added);
+  EXPECT_TRUE(added);
+  // Adding a present fact returns the same set, no copy.
+  store::FactSet::Ptr s2b = store::FactSet::WithFact(s2, a, &added);
+  EXPECT_FALSE(added);
+  EXPECT_EQ(s2b.get(), s2.get());
+
+  // Hash is order-independent and incremental == batch.
+  store::FactSet::Ptr forward = store::FactSet::FromUnsorted({a, b, c});
+  store::FactSet::Ptr backward = store::FactSet::FromUnsorted({c, b, a});
+  EXPECT_EQ(forward->hash(), backward->hash());
+  EXPECT_TRUE(*forward == *backward);
+  store::FactSet::Ptr grown = store::FactSet::WithFact(s2, c);
+  EXPECT_EQ(grown->hash(), forward->hash());
+  EXPECT_TRUE(*grown == *forward);
+
+  EXPECT_TRUE(s2->SubsetOf(*forward));
+  EXPECT_FALSE(forward->SubsetOf(*s2));
+  EXPECT_EQ(store::FactSet::Union(s1, s2)->ids(), s2->ids());
+}
+
+TEST(StoreTest, MatchIndexFindsByPositionValue) {
+  store::Store& store = store::Store::Get();
+  store::FactId f1 = store.InternTuple({S("mi-k1"), S("mi-v1")});
+  store::FactId f2 = store.InternTuple({S("mi-k1"), S("mi-v2")});
+  store::FactId f3 = store.InternTuple({S("mi-k2"), S("mi-v1")});
+  store::FactSet::Ptr set = store::FactSet::FromUnsorted({f1, f2, f3});
+
+  store::MatchIndexCache cache;
+  store::ValueId k1 = store.InternValue(S("mi-k1"));
+  store::ValueId v1 = store.InternValue(S("mi-v1"));
+  EXPECT_EQ(cache.Lookup(set, 0, k1).size(), 2u);
+  EXPECT_EQ(cache.Lookup(set, 1, v1).size(), 2u);
+  EXPECT_EQ(cache.Lookup(set, 0, v1).size(), 0u);
+  EXPECT_EQ(cache.num_indexed_sets(), 1u);
+}
+
+// --- Copy-on-write instances -------------------------------------------------
+
+class StoreInstanceTest : public ::testing::Test {
+ protected:
+  StoreInstanceTest() : pd_(workload::MakePhoneDirectory()) {}
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(StoreInstanceTest, CowChildMutationNeverChangesParent) {
+  schema::Instance parent(pd_.schema);
+  parent.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)});
+  schema::Instance snapshot = parent;
+
+  schema::Instance child = parent;  // shares both relations
+  EXPECT_EQ(child.facts(pd_.mobile).get(), parent.facts(pd_.mobile).get());
+  child.AddFact(pd_.mobile, {S("Jones"), S("W1"), S("Baker St"), I(2)});
+  child.AddFact(pd_.address, {S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)});
+
+  // Parent is bit-for-bit what it was; untouched relation still shared.
+  EXPECT_TRUE(parent == snapshot);
+  EXPECT_EQ(parent.tuples(pd_.mobile).size(), 1u);
+  EXPECT_EQ(parent.tuples(pd_.address).size(), 0u);
+  EXPECT_EQ(child.tuples(pd_.mobile).size(), 2u);
+  EXPECT_NE(child.facts(pd_.mobile).get(), parent.facts(pd_.mobile).get());
+
+  // Builder-derived instances behave the same.
+  schema::Instance::Builder builder(parent);
+  builder.Add(pd_.mobile, {S("Ada"), S("N1"), S("Ring Rd"), I(3)});
+  schema::Instance built = std::move(builder).Build();
+  EXPECT_TRUE(parent == snapshot);
+  EXPECT_EQ(built.tuples(pd_.mobile).size(), 2u);
+  EXPECT_EQ(built.facts(pd_.address).get(), parent.facts(pd_.address).get());
+}
+
+TEST_F(StoreInstanceTest, HashEqualityMatchesInstanceEquality) {
+  Rng rng(23);
+  // Spot checks: same facts in different insertion orders hash and
+  // compare equal; any single-fact difference changes both.
+  for (int round = 0; round < 20; ++round) {
+    schema::Instance universe =
+        workload::MakePhoneUniverse(pd_, &rng, 1 + round % 5);
+    std::vector<std::pair<schema::RelationId, Tuple>> facts;
+    for (schema::RelationId r = 0; r < universe.num_relations(); ++r) {
+      for (const Tuple& t : universe.tuples(r)) facts.emplace_back(r, t);
+    }
+    schema::Instance forward(pd_.schema);
+    for (const auto& [r, t] : facts) forward.AddFact(r, t);
+    schema::Instance backward(pd_.schema);
+    for (auto it = facts.rbegin(); it != facts.rend(); ++it) {
+      backward.AddFact(it->first, it->second);
+    }
+    EXPECT_EQ(forward.hash(), backward.hash());
+    EXPECT_TRUE(forward == backward);
+    EXPECT_TRUE(forward == universe);
+
+    schema::Instance missing_one(pd_.schema);
+    for (size_t i = 1; i < facts.size(); ++i) {
+      missing_one.AddFact(facts[i].first, facts[i].second);
+    }
+    EXPECT_NE(missing_one.hash(), forward.hash());
+    EXPECT_FALSE(missing_one == forward);
+  }
+}
+
+TEST_F(StoreInstanceTest, InstanceOpsSurviveInterning) {
+  schema::Instance a(pd_.schema);
+  a.AddFact(pd_.mobile, {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)});
+  schema::Instance b = a;
+  b.AddFact(pd_.address, {S("Parks Rd"), S("OX13QD"), S("Smith"), I(13)});
+
+  EXPECT_TRUE(a.SubinstanceOf(b));
+  EXPECT_FALSE(b.SubinstanceOf(a));
+  EXPECT_TRUE(a.Contains(pd_.mobile,
+                         {S("Smith"), S("OX13QD"), S("Parks Rd"), I(1)}));
+  EXPECT_FALSE(a.Contains(pd_.mobile, {S("Nobody"), S("x"), S("y"), I(0)}));
+  EXPECT_EQ(b.TotalFacts(), 2u);
+  EXPECT_EQ(b.ActiveDomain().size(), 5u);  // shared values counted once
+
+  schema::Instance c(pd_.schema);
+  c.UnionWith(b);
+  EXPECT_TRUE(c == b);
+  EXPECT_EQ(
+      c.Matching(pd_.mobile, pd_.schema.method(pd_.acm1).input_positions,
+                 {S("Smith")})
+          .size(),
+      1u);
+  EXPECT_EQ(c.MatchingIds(pd_.mobile,
+                          pd_.schema.method(pd_.acm1).input_positions,
+                          {S("Nobody")})
+                .size(),
+            0u);
+}
+
+// --- Visited-configuration dedup ---------------------------------------------
+
+TEST_F(StoreInstanceTest, BfsDedupCollapsesDiamond) {
+  // Two independent singleton reveals commute: the depth-2 level of the
+  // LTS has far fewer distinct configurations than transitions.
+  Rng rng(7);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 2);
+  opts.seed_values = {S("Smith")};
+  std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
+      pd_.schema, schema::Instance(pd_.schema), opts, 2, 4000);
+  ASSERT_GE(stats.size(), 3u);
+  EXPECT_GT(stats[2].transitions, stats[2].distinct_configurations);
+}
+
+TEST_F(StoreInstanceTest, WitnessSearchDedupReducesNodesExplored) {
+  // ψ = F[reveal-Mobile-fact] ∧ F[reveal-Address-fact] ∧ F[unsat]: the
+  // third obligation never fires, so the search exhausts the bounded
+  // space. The first two obligations commute — a diamond — and the
+  // (state, configuration-hash) dedup collapses the interleavings.
+  acc::AccPtr f =
+      acc::ParseAccFormula(
+          "F [EXISTS n . IsBind_AcM1(n) AND "
+          "(EXISTS p,s,ph . Mobile_post(n,p,s,ph))] AND "
+          "F [EXISTS s,p . IsBind_AcM2(s,p) AND "
+          "(EXISTS n,h . Address_post(s,p,n,h))] AND "
+          "F [EXISTS n . IsBind_AcM1(n) AND n != n]",
+          pd_.schema)
+          .value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd_.schema).value();
+
+  automata::WitnessSearchOptions with_dedup;
+  with_dedup.max_path_length = 3;
+  automata::WitnessSearchOptions no_dedup = with_dedup;
+  no_dedup.use_visited_dedup = false;
+
+  automata::WitnessSearchResult r1 = automata::BoundedWitnessSearch(
+      a, pd_.schema, schema::Instance(pd_.schema), with_dedup);
+  automata::WitnessSearchResult r2 = automata::BoundedWitnessSearch(
+      a, pd_.schema, schema::Instance(pd_.schema), no_dedup);
+  EXPECT_EQ(r1.found, r2.found);
+  EXPECT_FALSE(r1.found);
+  EXPECT_LT(r1.nodes_explored, r2.nodes_explored)
+      << "dedup must strictly reduce nodes explored on the diamond";
+}
+
+TEST_F(StoreInstanceTest, RealizationCapSetsExhaustedBudget) {
+  // Many realizations exist for the first obligation, but the witness
+  // does not (second conjunct is unsatisfiable). With a tiny
+  // per-step realization cap the search is non-exhaustive and must say
+  // so via exhausted_budget, not report a confident "no".
+  Rng rng(29);
+  schema::Instance seeded = workload::MakePhoneUniverse(pd_, &rng, 6);
+  acc::AccPtr f =
+      acc::ParseAccFormula(
+          "F [EXISTS n . IsBind_AcM1(n) AND "
+          "(EXISTS p,s,ph . Mobile_pre(n,p,s,ph))] AND "
+          "F [EXISTS n . IsBind_AcM1(n) AND n != n]",
+          pd_.schema)
+          .value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd_.schema).value();
+
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = 2;
+  opts.max_realizations_per_step = 1;
+  automata::WitnessSearchResult r =
+      automata::BoundedWitnessSearch(a, pd_.schema, seeded, opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.exhausted_budget)
+      << "hitting max_realizations_per_step must mark the result unknown";
+
+  // With a generous cap the same search is exhaustive again.
+  opts.max_realizations_per_step = 4096;
+  automata::WitnessSearchResult full =
+      automata::BoundedWitnessSearch(a, pd_.schema, seeded, opts);
+  EXPECT_FALSE(full.found);
+  EXPECT_FALSE(full.exhausted_budget);
+}
+
+}  // namespace
+}  // namespace accltl
