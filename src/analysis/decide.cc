@@ -32,6 +32,7 @@ Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
   {
     ZeroSolverOptions zopts = options.zero;
     zopts.grounded = options.grounded;
+    if (options.num_threads > 1) zopts.num_threads = options.num_threads;
     Result<ZeroSolverResult> r =
         CheckZeroArySatisfiable(formula, schema, zopts);
     if (r.ok()) {
@@ -61,6 +62,7 @@ Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
   if (compiled.ok()) {
     automata::WitnessSearchOptions wopts = options.bounded;
     wopts.grounded = options.grounded;
+    if (options.num_threads > 1) wopts.num_threads = options.num_threads;
     automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
         compiled.value(), schema, schema::Instance(schema), wopts);
     d.engine = "automata-bounded";
@@ -137,6 +139,7 @@ Result<Decision> ContainedUnderAccessPatterns(
       NonContainmentAutomaton(schema, q1, q2, disjointness);
   automata::WitnessSearchOptions wopts = options.bounded;
   wopts.grounded = options.grounded;
+  if (options.num_threads > 1) wopts.num_threads = options.num_threads;
   automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
       a, schema, schema::Instance(schema), wopts);
   Decision d;
@@ -175,6 +178,7 @@ Result<Decision> IsLongTermRelevant(
       RelevanceAutomaton(schema, method, binding, q, disjointness);
   automata::WitnessSearchOptions wopts = options.bounded;
   wopts.grounded = options.grounded;
+  if (options.num_threads > 1) wopts.num_threads = options.num_threads;
   automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
       a, schema, schema::Instance(schema), wopts);
   Decision d;

@@ -27,6 +27,13 @@ struct ZeroSolverOptions {
   size_t max_facts_per_step = 6;
   /// Hard cap on path length (0 = derived from the state space).
   size_t max_path_length = 64;
+  /// Worker count, threaded through from analysis::DecideOptions so
+  /// one knob drives every engine. The zero-ary solver's own search is
+  /// memoized over (injected-facts × tableau-state) — a state space
+  /// orders of magnitude below the automata search's — and currently
+  /// runs serially whatever the value; the field exists so callers can
+  /// set parallelism once without caring which engine answers.
+  size_t num_threads = 1;
 };
 
 struct ZeroSolverResult {

@@ -1,7 +1,12 @@
 #include "src/automata/emptiness.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -9,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/engine/explorer.h"
+#include "src/engine/visited_table.h"
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
 #include "src/store/fact_store.h"
@@ -43,12 +50,12 @@ class RealizationEnumerator {
  public:
   RealizationEnumerator(const schema::Schema& schema, const Instance& current,
                         const WitnessSearchOptions& options,
-                        logic::FreshValueFactory* factory,
-                        store::MatchIndexCache* index)
+                        int64_t fresh_base,
+                        store::MatchIndexCache::LocalView* index)
       : schema_(schema),
         current_(current),
         options_(options),
-        factory_(factory),
+        base_factory_(logic::FreshValueFactory::StartingAt(fresh_base)),
         index_(index) {}
 
   /// True when max_realizations_per_step cut the enumeration short:
@@ -215,12 +222,13 @@ class RealizationEnumerator {
 
   /// Term to value: bound / constant / fresh (registering in env).
   std::optional<Value> Resolve(const logic::Term& t, ValueType type, Env* env,
+                               logic::FreshValueFactory* factory,
                                bool allow_fresh) {
     if (t.is_const()) return t.value();
     auto it = env->find(t.var_name());
     if (it != env->end()) return it->second;
     if (!allow_fresh) return std::nullopt;
-    Value v = factory_->Fresh(type);
+    Value v = factory->Fresh(type);
     (*env)[t.var_name()] = v;
     return v;
   }
@@ -233,6 +241,16 @@ class RealizationEnumerator {
     const schema::Relation& rel = schema_.relation(method.relation);
     Env saved = *env;
     auto restore = [&] { *env = saved; };
+    // Every candidate draws fresh values from the node's base (which
+    // is a function of the node's configuration), so a realization's
+    // fresh values depend only on the node and the candidate itself —
+    // never on how many sibling candidates were enumerated before it.
+    // That makes the child *set* independent of enumeration order,
+    // hence of the global fact-interning order, hence of the worker
+    // schedule; and it makes equal configurations expand to
+    // content-identical subtrees, which is what lets the visited
+    // table transfer subtrees between path-equivalent nodes.
+    logic::FreshValueFactory factory = base_factory_;
 
     Realization r;
     r.method = m;
@@ -255,7 +273,7 @@ class RealizationEnumerator {
         ValueType type = rel.position_types[static_cast<size_t>(
             method.input_positions[i])];
         std::optional<Value> v =
-            Resolve(batom.terms[i], type, env, /*allow_fresh=*/
+            Resolve(batom.terms[i], type, env, &factory, /*allow_fresh=*/
                     !options_.grounded);
         if (!v.has_value()) {
           restore();
@@ -268,8 +286,8 @@ class RealizationEnumerator {
         for (size_t i = 0; i < bind_full[b]->terms.size(); ++i) {
           ValueType type = rel.position_types[static_cast<size_t>(
               method.input_positions[i])];
-          std::optional<Value> v =
-              Resolve(bind_full[b]->terms[i], type, env, !options_.grounded);
+          std::optional<Value> v = Resolve(bind_full[b]->terms[i], type, env,
+                                           &factory, !options_.grounded);
           if (!v.has_value() || *v != r.binding[i]) {
             restore();
             return false;
@@ -297,7 +315,7 @@ class RealizationEnumerator {
       bool ok = true;
       for (size_t i = 0; i < a->terms.size(); ++i) {
         std::optional<Value> v =
-            Resolve(a->terms[i], rel.position_types[i], env, true);
+            Resolve(a->terms[i], rel.position_types[i], env, &factory, true);
         if (!v.has_value()) {
           ok = false;
           break;
@@ -330,7 +348,7 @@ class RealizationEnumerator {
               }
             }
           } else {
-            v = factory_->Fresh(type);
+            v = factory.Fresh(type);
           }
           if (!v.has_value()) {
             restore();
@@ -387,8 +405,8 @@ class RealizationEnumerator {
   const schema::Schema& schema_;
   const Instance& current_;
   const WitnessSearchOptions& options_;
-  logic::FreshValueFactory* factory_;
-  store::MatchIndexCache* index_;
+  logic::FreshValueFactory base_factory_;
+  store::MatchIndexCache::LocalView* index_;
   size_t emitted_ = 0;
   bool truncated_ = false;
 };
@@ -549,98 +567,538 @@ std::shared_ptr<const SearchPlan> GetPlan(const AAutomaton& automaton,
   return cache->emplace(std::move(key), std::move(plan)).first->second;
 }
 
-class Searcher {
+// --- Deterministic reduction order ------------------------------------------
+//
+// Witnesses (and partial paths) are totally ordered by *content*:
+// prefix-first lexicographic over access steps, each step compared by
+// (method, binding, response). The order mentions no ids, no pointers
+// and no interning artifacts, so it is identical across runs and
+// worker counts; the engine returns the minimum accepting path under
+// it — which is exactly the path a serial depth-first search visits
+// first when every node's children are expanded in sorted order.
+//
+// Steps are compared through a precomputed *order-preserving byte
+// key* (built once per materialized child, outside every lock):
+// comparisons sit inside visited-table shard sections and the
+// best-witness reduction, where rebuilding value-by-value comparisons
+// was the engine's contention point.
+//
+// Key layout (memcmp order == content order):
+//   BE64(method) ++ tuple(binding) ++ { 0x01 ++ tuple(t) : t ∈ response }
+//   tuple(t) = value(v0) ++ ... ++ 0x00          (prefix-first: 0x00 ends)
+//   value(v) = tag ++ payload, tag ∈ {0x01 int, 0x02 bool, 0x03 string}
+//     int: BE64(bits ^ sign bit)   — monotone in the signed value
+//     bool: 0x00 / 0x01
+//     string: bytes ++ 0x00        — assumes no embedded NUL (names,
+//                                    postcodes, fresh "~n…" values)
+// Tags and the 0x01 response separator are nonzero, so the 0x00
+// terminators sort every proper prefix first, matching CmpTuples /
+// CmpSteps semantics exactly.
+
+void AppendValueKey(const Value& v, std::string* out) {
+  auto be64 = [out](uint64_t bits) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out->push_back(static_cast<char>((bits >> shift) & 0xff));
+    }
+  };
+  switch (v.type()) {
+    case ValueType::kInt:
+      out->push_back('\x01');
+      be64(static_cast<uint64_t>(v.AsInt()) ^ 0x8000000000000000ULL);
+      break;
+    case ValueType::kBool:
+      out->push_back('\x02');
+      out->push_back(v.AsBool() ? '\x01' : '\x00');
+      break;
+    case ValueType::kString:
+      out->push_back('\x03');
+      out->append(v.AsString());
+      out->push_back('\x00');
+      break;
+  }
+}
+
+void AppendTupleKey(const Tuple& t, std::string* out) {
+  for (const Value& v : t) AppendValueKey(v, out);
+  out->push_back('\x00');
+}
+
+std::string StepKey(const schema::AccessStep& step) {
+  std::string key;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key.push_back(static_cast<char>(
+        (static_cast<uint64_t>(step.access.method) >> shift) & 0xff));
+  }
+  AppendTupleKey(step.access.binding, &key);
+  for (const Tuple& t : step.response) {  // std::set: already value-sorted
+    key.push_back('\x01');
+    AppendTupleKey(t, &key);
+  }
+  return key;
+}
+
+/// Immutable parent chain of access steps; nodes share prefixes. The
+/// key carries the step's position in the reduction order.
+struct PathLink {
+  std::shared_ptr<const PathLink> parent;
+  schema::AccessStep step;
+  std::string key;
+};
+
+/// Prefix-first lexicographic over step keys.
+int CmpPathKeys(const std::vector<const PathLink*>& a,
+                const std::vector<const PathLink*>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i]->key.compare(b[i]->key);
+    if (c != 0) return c < 0 ? -1 : 1;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+/// One frontier node of the witness search.
+struct SearchNode {
+  int state = 0;
+  Instance config;
+  uint32_t depth = 0;
+  /// Fresh-value base for expanding this node: a pure function of the
+  /// configuration (max embedded fresh index + 1, floored at the
+  /// plan's post-pool counter), never of the exploration order.
+  int64_t fresh_base = 0;
+  std::shared_ptr<const PathLink> path;
+  /// Root-to-node materialization of `path` (pointers into the chain,
+  /// kept alive by it). Built once at node creation — on a worker —
+  /// so the barrier reduction and every dominance check compare paths
+  /// without walking or allocating.
+  std::vector<const PathLink*> links;
+};
+
+/// Shared state of one BoundedWitnessSearch run.
+class Search {
  public:
-  Searcher(const AAutomaton& automaton, const schema::Schema& schema,
-           const WitnessSearchOptions& options)
+  Search(const AAutomaton& automaton, const schema::Schema& schema,
+         const WitnessSearchOptions& options, const Instance& initial)
       : automaton_(automaton),
         schema_(schema),
         options_(options),
+        initial_(initial),
         plan_(GetPlan(automaton, schema)),
-        guards_(plan_->guards),
-        pool_(plan_->pool),
-        factory_(plan_->factory_after_pool) {}
+        workers_(std::max<size_t>(1, options.num_threads)) {
+    local_views_.reserve(workers_);
+    for (size_t i = 0; i < workers_; ++i) {
+      local_views_.emplace_back(&index_cache_);
+    }
+  }
 
-  WitnessSearchResult Run(const Instance& initial) {
-    result_ = WitnessSearchResult{};
-    path_.clear();
-    visited_.clear();
-    abort_ = false;
-    Dfs(automaton_.initial(), initial, 0);
-    return result_;
+  WitnessSearchResult Run() {
+    engine::Explorer<SearchNode> explorer;
+    engine::Explorer<SearchNode>::Options eopts;
+    eopts.num_threads = 1;
+    eopts.max_nodes = options_.max_nodes;
+    auto dfs_visit = [this](std::unique_ptr<SearchNode> node,
+                            engine::Explorer<SearchNode>::Context& ctx) {
+      VisitDfs(std::move(node), ctx);
+    };
+
+    if (workers_ == 1) {
+      // Serial: depth-first in exactly the reduction (pf) order, with
+      // push-time dedup — stops at the first accepting node, which in
+      // this order *is* the reduced answer.
+      engine::Explorer<SearchNode>::Stats stats =
+          explorer.Run(MakeRoots(), eopts, dfs_visit);
+      return Finalize(stats.nodes_explored, stats.budget_exhausted);
+    }
+
+    // Parallel. Phase 1 — serial pf-DFS pilot with a small node cap:
+    // satisfiable queries typically accept within a handful of nodes,
+    // and the pilot's first accept is, by the pf pop order, the
+    // reduced answer itself (identical to what any worker count must
+    // return). A pilot that sweeps the whole bounded space under the
+    // cap likewise ends the search with a confident "no".
+    constexpr size_t kPilotBudget = 256;
+    eopts.max_nodes = std::min(kPilotBudget, options_.max_nodes);
+    engine::Explorer<SearchNode>::Stats pilot =
+        explorer.Run(MakeRoots(), eopts, dfs_visit);
+    if (BestSnapshot() != nullptr || !pilot.budget_exhausted ||
+        eopts.max_nodes == options_.max_nodes) {
+      // Found, swept, or the global budget itself is spent.
+      return Finalize(pilot.nodes_explored, pilot.budget_exhausted);
+    }
+
+    // Phase 2 — level-synchronous sweep. Workers expand a whole depth
+    // level in any order through the work-stealing deques; the barrier
+    // reduction (shard-parallel itself) sorts the merged child batch
+    // by content, applies the dominance dedup and the best-witness
+    // bound, and hands back the surviving frontier — all of it
+    // schedule-independent, so the result (and even nodes_explored)
+    // is identical at every worker count. The pilot's partial state is
+    // discarded: the sweep must see a deterministic table.
+    visited_.Clear();
+    realization_truncated_.store(false, std::memory_order_relaxed);
+    engine::Explorer<SearchNode>::Options bopts;
+    bopts.num_threads = workers_;
+    // The pilot's pops count against the caller's budget: the total
+    // across both phases never exceeds max_nodes.
+    bopts.max_nodes = options_.max_nodes - pilot.nodes_explored;
+    engine::Explorer<SearchNode>::Stats stats = explorer.RunLevels(
+        MakeRoots(), bopts,
+        [this](std::unique_ptr<SearchNode> node,
+               engine::Explorer<SearchNode>::Context& ctx) {
+          VisitLevel(std::move(node), ctx);
+        },
+        [this](std::vector<std::vector<SearchNode*>> batches) {
+          auto start = std::chrono::steady_clock::now();
+          auto frontier = ReduceLevel(std::move(batches));
+          reduce_micros_ +=
+              static_cast<uint64_t>(std::chrono::duration_cast<
+                                        std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() -
+                                        start)
+                                        .count());
+          return frontier;
+        });
+    if (std::getenv("ACCLTL_SEARCH_DEBUG") != nullptr) {
+      std::fprintf(stderr,
+                   "search: pilot=%zu sweep=%zu reduce_ms=%llu\n",
+                   pilot.nodes_explored, stats.nodes_explored,
+                   static_cast<unsigned long long>(reduce_micros_ / 1000));
+    }
+    return Finalize(pilot.nodes_explored + stats.nodes_explored,
+                    stats.budget_exhausted);
   }
 
  private:
-  bool AcceptHere(int state, const Instance& initial_instance) {
-    if (!automaton_.IsAccepting(state)) return false;
-    schema::AccessPath path(path_);
-    if (options_.require_idempotent && !path.IsIdempotent()) return false;
-    if (options_.require_exact &&
-        !path.IsExact(schema_, initial_instance)) {
-      return false;
+  std::vector<std::unique_ptr<SearchNode>> MakeRoots() {
+    auto root = std::make_unique<SearchNode>();
+    root->state = automaton_.initial();
+    root->config = initial_;
+    root->depth = 0;
+    // Root fresh base: above the plan's pool values and above any
+    // fresh-shaped value the caller's initial instance embeds.
+    root->fresh_base = plan_->factory_after_pool.counter();
+    for (const Value& v : initial_.ActiveDomain()) {
+      root->fresh_base =
+          std::max(root->fresh_base, logic::FreshValueIndex(v) + 1);
     }
-    result_.found = true;
-    result_.witness = path;
-    return true;
+    if (options_.use_visited_dedup) {
+      // Seeding the table with the root (depth 0, empty path) makes it
+      // dominate every do-nothing loop back to the initial
+      // configuration outright.
+      RegisterNode(*root);
+    }
+    std::vector<std::unique_ptr<SearchNode>> roots;
+    roots.push_back(std::move(root));
+    return roots;
   }
 
-  /// Prunes re-expansion of a (state, configuration) pair already seen
-  /// at the same or a smaller depth. Keyed by the 64-bit configuration
-  /// hash; the bucket keeps the (cheap, COW) instances to confirm
-  /// equality exactly, so a hash collision can never prune wrongly.
-  bool VisitedBefore(int state, const Instance& current, size_t depth) {
-    uint64_t key =
-        store::Mix64(current.hash() ^ store::Mix64(
-            static_cast<uint64_t>(static_cast<unsigned>(state))));
-    std::vector<std::pair<Instance, size_t>>& bucket = visited_[key];
-    for (auto& [config, seen_depth] : bucket) {
-      if (config == current) {
-        if (seen_depth <= depth) return true;
-        seen_depth = depth;
+  WitnessSearchResult Finalize(size_t nodes_explored,
+                               bool budget_exhausted) {
+    WitnessSearchResult result;
+    result.nodes_explored = nodes_explored;
+    result.exhausted_budget =
+        budget_exhausted ||
+        realization_truncated_.load(std::memory_order_relaxed);
+    std::shared_ptr<const BestWitness> best = BestSnapshot();
+    result.found = best != nullptr;
+    if (best != nullptr) result.witness = schema::AccessPath(best->steps);
+    return result;
+  }
+
+  /// Dedup entry: exact data for confirmation plus the dominance
+  /// tie-breakers (depth, path content). `path` pins the chain the
+  /// `links` pointers reference.
+  struct VisitedEntry {
+    int state;
+    Instance config;
+    uint32_t depth;
+    std::shared_ptr<const PathLink> path;
+    std::vector<const PathLink*> links;
+  };
+
+  /// Candidate child during expansion, before sorting.
+  struct Child {
+    int to_state;
+    Instance post;
+    schema::AccessStep step;
+    std::string key;
+    int64_t fresh_base;
+  };
+
+  static uint64_t NodeHash(int state, const Instance& config) {
+    return store::Mix64(
+        config.hash() ^
+        store::Mix64(static_cast<uint64_t>(static_cast<unsigned>(state))));
+  }
+
+  /// The content-minimal accepting path found so far. Immutable
+  /// snapshots swapped under a short lock; readers compare outside it.
+  struct BestWitness {
+    std::vector<std::string> keys;
+    std::vector<schema::AccessStep> steps;
+  };
+
+  std::shared_ptr<const BestWitness> BestSnapshot() {
+    if (!best_known_.load(std::memory_order_acquire)) return nullptr;
+    std::lock_guard<std::mutex> lock(best_mu_);
+    return best_;
+  }
+
+  /// "existing makes candidate redundant": same exact (state, config),
+  /// no deeper, and no later in path-content order. Equal
+  /// configurations expand identically (configuration-derived fresh
+  /// bases), so the pf-smaller, depth-no-worse twin's subtree contains
+  /// the same suffixes under a smaller prefix — exploring the
+  /// candidate could only rediscover pf-larger witnesses.
+  static bool Dominates(const VisitedEntry& existing,
+                        const VisitedEntry& candidate) {
+    if (existing.state != candidate.state) return false;
+    if (existing.depth > candidate.depth) return false;
+    if (!(existing.config == candidate.config)) return false;
+    return CmpPathKeys(existing.links, candidate.links) <= 0;
+  }
+
+  /// True when no extension of `node` can precede the current best
+  /// witness (prefix-compare against it), so the subtree is redundant.
+  bool PrunedByBest(const SearchNode& node) {
+    std::shared_ptr<const BestWitness> best = BestSnapshot();
+    if (best == nullptr) return false;
+    size_t n = std::min(node.links.size(), best->keys.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = node.links[i]->key.compare(best->keys[i]);
+      if (c < 0) return false;  // strictly earlier: may still improve
+      if (c > 0) return true;   // strictly later: every extension is too
+    }
+    // Equal on the common prefix: improving requires being a proper
+    // prefix of the best path.
+    return node.links.size() >= best->keys.size();
+  }
+
+  /// Records an accepting path; keeps the content-minimal one.
+  void OfferWitness(const std::vector<const PathLink*>& path) {
+    auto candidate = std::make_shared<BestWitness>();
+    candidate->keys.reserve(path.size());
+    candidate->steps.reserve(path.size());
+    for (const PathLink* link : path) {
+      candidate->keys.push_back(link->key);
+      candidate->steps.push_back(link->step);
+    }
+    std::lock_guard<std::mutex> lock(best_mu_);
+    if (best_ != nullptr) {
+      // Prefix-first compare on the precomputed keys.
+      size_t n = std::min(candidate->keys.size(), best_->keys.size());
+      int c = 0;
+      for (size_t i = 0; i < n && c == 0; ++i) {
+        c = candidate->keys[i].compare(best_->keys[i]);
+      }
+      if (c == 0 && candidate->keys.size() >= best_->keys.size()) return;
+      if (c > 0) return;
+    }
+    best_ = std::move(candidate);
+    best_known_.store(true, std::memory_order_release);
+  }
+
+  bool AcceptHere(const SearchNode& node) {
+    if (!automaton_.IsAccepting(node.state)) return false;
+    if (options_.require_idempotent || options_.require_exact) {
+      std::vector<schema::AccessStep> copy;
+      copy.reserve(node.links.size());
+      for (const PathLink* link : node.links) copy.push_back(link->step);
+      schema::AccessPath path(std::move(copy));
+      if (options_.require_idempotent && !path.IsIdempotent()) return false;
+      if (options_.require_exact && !path.IsExact(schema_, initial_)) {
         return false;
       }
     }
-    bucket.emplace_back(current, depth);
-    return false;
+    OfferWitness(node.links);
+    return true;
   }
 
-  bool Dfs(int state, const Instance& current, size_t depth) {
-    if (++result_.nodes_explored > options_.max_nodes) {
-      result_.exhausted_budget = true;
-      abort_ = true;
-      return false;
+  /// Serial visitor: pf-ordered depth-first with push-time dedup.
+  void VisitDfs(std::unique_ptr<SearchNode> node,
+                engine::Explorer<SearchNode>::Context& ctx) {
+    if (PrunedByBest(*node)) return;
+    if (AcceptHere(*node)) {
+      // A single worker pops in exactly the reduction order, so the
+      // first accepting node is the final answer — stop the drain.
+      ctx.Abort();
+      return;
     }
-    if (AcceptHere(state, initial_for_checks_ ? *initial_for_checks_
-                                              : current)) {
-      return true;
+    if (node->depth >= options_.max_path_length) return;
+    std::vector<Child> children = Expand(*node, ctx);
+    // pf order: smallest child pops first. Content ties (the same
+    // access step can drive a nondeterministic automaton into several
+    // states) resolve accepting states first, so the first accept a
+    // serial run sees is the content-minimal accepting *path*, not an
+    // artifact of state numbering — the same witness the
+    // level-synchronous reduction selects.
+    std::sort(children.begin(), children.end(),
+              [this](const Child& a, const Child& b) {
+                int c = a.key.compare(b.key);
+                if (c != 0) return c < 0;
+                bool aa = automaton_.IsAccepting(a.to_state);
+                bool ba = automaton_.IsAccepting(b.to_state);
+                if (aa != ba) return aa;
+                return a.to_state < b.to_state;
+              });
+    // Register in ascending key order (a same-batch twin with the
+    // larger path is then dominated outright, never registered-then-
+    // evicted while already queued — there is no pop-time re-check),
+    // but push in descending order so the owner's LIFO pops the
+    // smallest survivor first.
+    std::vector<std::unique_ptr<SearchNode>> survivors;
+    survivors.reserve(children.size());
+    for (Child& child : children) {
+      std::unique_ptr<SearchNode> next = MakeNode(*node, child);
+      if (PrunedByBest(*next)) continue;  // see ReduceLevel: prune first
+      if (options_.use_visited_dedup && !RegisterNode(*next)) continue;
+      survivors.push_back(std::move(next));
     }
-    if (depth >= options_.max_path_length) return false;
-    if (options_.use_visited_dedup && VisitedBefore(state, current, depth)) {
-      return false;
+    for (size_t i = survivors.size(); i-- > 0;) {
+      ctx.Push(std::move(survivors[i]));
     }
+  }
 
+  /// Level-mode visitor: emit every child; the barrier reduction does
+  /// the deduplication and pruning over the complete batch.
+  void VisitLevel(std::unique_ptr<SearchNode> node,
+                  engine::Explorer<SearchNode>::Context& ctx) {
+    if (PrunedByBest(*node)) return;  // work-saver; results unaffected
+    if (AcceptHere(*node)) return;
+    if (node->depth >= options_.max_path_length) return;
+    std::vector<Child> children = Expand(*node, ctx);
+    for (Child& child : children) {
+      ctx.Emit(MakeNode(*node, child));
+    }
+  }
+
+  /// Barrier reduction: stripe the merged child batch by class hash
+  /// (dominance only relates nodes of equal (state, config), which
+  /// share a stripe), then reduce stripes in parallel — per stripe:
+  /// content-sort, run the dominance dedup in that order (so a kept
+  /// node is never evicted by a later same-depth sibling), and drop
+  /// children that cannot beat the best witness known at the end of
+  /// the level. Every input is a complete, schedule-independent set
+  /// and every stripe reduces deterministically, so the surviving
+  /// frontier is identical at every worker count (only its
+  /// concatenation order varies, which the level barrier erases).
+  std::vector<std::unique_ptr<SearchNode>> ReduceLevel(
+      std::vector<std::vector<SearchNode*>> batches) {
+    constexpr size_t kStripes = 64;
+    size_t producers = batches.size();
+    // Phase A (parallel): each worker buckets the children *it*
+    // emitted — allocation affinity, no shared writes.
+    std::vector<std::vector<std::vector<SearchNode*>>> bucketed(
+        producers, std::vector<std::vector<SearchNode*>>(kStripes));
+    engine::ThreadPool::Global().Run(producers, [&](size_t w) {
+      for (SearchNode* child : batches[w]) {
+        uint64_t hash = NodeHash(child->state, child->config);
+        bucketed[w][static_cast<size_t>(hash) & (kStripes - 1)].push_back(
+            child);
+      }
+    });
+    // Phase B (parallel): each worker owns a set of stripes; dominance
+    // only relates nodes of equal (state, config), which always share
+    // a stripe, so stripes reduce independently and deterministically.
+    std::vector<std::vector<std::unique_ptr<SearchNode>>> outs(producers);
+    engine::ThreadPool::Global().Run(producers, [&](size_t w) {
+      std::vector<std::unique_ptr<SearchNode>> stripe;
+      for (size_t s = w; s < kStripes; s += producers) {
+        stripe.clear();
+        for (size_t p = 0; p < producers; ++p) {
+          for (SearchNode* child : bucketed[p][s]) stripe.emplace_back(child);
+        }
+        std::sort(stripe.begin(), stripe.end(),
+                  [this](const std::unique_ptr<SearchNode>& a,
+                         const std::unique_ptr<SearchNode>& b) {
+                    int c = CmpPathKeys(a->links, b->links);
+                    if (c != 0) return c < 0;
+                    bool aa = automaton_.IsAccepting(a->state);
+                    bool ba = automaton_.IsAccepting(b->state);
+                    if (aa != ba) return aa;
+                    return a->state < b->state;
+                  });
+        for (std::unique_ptr<SearchNode>& node : stripe) {
+          // Best-prune *before* registering: a best-pruned node needs
+          // no visited entry (anything it would dominate is itself
+          // best-pruned — the bound is upward-closed in the path
+          // order), and registering it would leave schedule-dependent
+          // entries behind when a mid-level prune raced the accept.
+          if (PrunedByBest(*node)) continue;
+          if (options_.use_visited_dedup && !RegisterNode(*node)) continue;
+          outs[w].push_back(std::move(node));
+        }
+      }
+    });
+    std::vector<std::unique_ptr<SearchNode>> frontier;
+    size_t total = 0;
+    for (auto& out : outs) total += out.size();
+    frontier.reserve(total);
+    for (auto& out : outs) {
+      for (auto& node : out) frontier.push_back(std::move(node));
+    }
+    return frontier;
+  }
+
+  /// Enters a node into the visited table. Returns false when it is
+  /// dominated (redundant — do not explore).
+  bool RegisterNode(const SearchNode& node) {
+    VisitedEntry entry;
+    entry.state = node.state;
+    entry.config = node.config;
+    entry.depth = node.depth;
+    entry.path = node.path;
+    entry.links = node.links;
+    return !visited_.CheckAndInsert(NodeHash(node.state, node.config),
+                                    std::move(entry), Dominates);
+  }
+
+  std::unique_ptr<SearchNode> MakeNode(const SearchNode& parent,
+                                       Child& child) {
+    auto next = std::make_unique<SearchNode>();
+    next->state = child.to_state;
+    next->config = std::move(child.post);
+    next->depth = parent.depth + 1;
+    next->fresh_base = child.fresh_base;
+    auto link = std::make_shared<PathLink>();
+    link->parent = parent.path;
+    link->step = std::move(child.step);
+    link->key = std::move(child.key);
+    next->links.reserve(parent.links.size() + 1);
+    next->links = parent.links;
+    next->links.push_back(link.get());
+    next->path = std::move(link);
+    return next;
+  }
+
+  std::vector<Child> Expand(const SearchNode& node,
+                            engine::Explorer<SearchNode>::Context& ctx) {
+    store::MatchIndexCache::LocalView& view = local_views_[ctx.worker_id()];
+    std::vector<Child> children;
     for (size_t ti = 0; ti < automaton_.transitions().size(); ++ti) {
       const ATransition& at = automaton_.transitions()[ti];
-      if (at.from != state) continue;
-      RealizationEnumerator en(schema_, current, options_, &factory_,
-                               &index_cache_);
-      for (const logic::Cq& disjunct : guards_[ti].disjuncts) {
-        bool stop = en.ForEach(disjunct, [&](const Realization& r) -> bool {
+      if (at.from != node.state) continue;
+      RealizationEnumerator en(schema_, node.config, options_,
+                               node.fresh_base, &view);
+      for (const logic::Cq& disjunct : plan_->guards[ti].disjuncts) {
+        en.ForEach(disjunct, [&](const Realization& r) -> bool {
           // The enumerator constructed this access to satisfy the
           // disjunct (hence ψ+); only ψ− needs checking.
-          return TryTransition(at, schema::Access{r.method, r.binding},
-                               r.new_fact_ids, current, depth,
-                               /*positive_known=*/true);
+          TryChild(at, schema::Access{r.method, r.binding}, r.new_fact_ids,
+                   node,
+                   /*positive_known=*/true, &children);
+          return ctx.aborted();
         });
-        if (en.truncated()) result_.exhausted_budget = true;
-        if (stop) return true;
-        if (abort_) return false;
+        if (en.truncated()) {
+          realization_truncated_.store(true, std::memory_order_relaxed);
+        }
+        if (ctx.aborted()) return children;
       }
       // Speculative pool injection: reveal one canonical fact through
       // this transition (useful when the guard is permissive and a
       // later guard needs the fact in its pre-structure).
-      for (const auto& [rel, fact] : pool_) {
-        if (current.facts(rel)->Contains(fact)) continue;
+      for (const auto& [rel, fact] : plan_->pool) {
+        if (node.config.facts(rel)->Contains(fact)) continue;
         const Tuple& tuple = store::Store::Get().tuple(fact);
         for (schema::AccessMethodId m : schema_.methods_on(rel)) {
           const schema::AccessMethod& am = schema_.method(m);
@@ -649,7 +1107,7 @@ class Searcher {
             binding.push_back(tuple[static_cast<size_t>(p)]);
           }
           if (options_.grounded) {
-            std::set<Value> dom = current.ActiveDomain();
+            std::set<Value> dom = node.config.ActiveDomain();
             bool ok = true;
             for (const Value& v : binding) {
               if (dom.count(v) == 0) {
@@ -659,57 +1117,64 @@ class Searcher {
             }
             if (!ok) continue;
           }
-          if (TryTransition(at, schema::Access{m, binding}, {fact}, current,
-                            depth,
-                            /*positive_known=*/plan_->trivially_positive[ti])) {
-            return true;
-          }
-          if (abort_) return false;
+          TryChild(at, schema::Access{m, binding}, {fact}, node,
+                   /*positive_known=*/plan_->trivially_positive[ti],
+                   &children);
+          if (ctx.aborted()) return children;
         }
       }
     }
-    return false;
+    return children;
   }
 
-  /// Takes the automaton transition with a concrete access (response
-  /// given as interned fact ids) if the full guard holds on it;
-  /// recurses. Returns true when a witness was found. `positive_known`
-  /// skips the ψ+ re-evaluation for transitions built from a
-  /// realization of a positive-guard disjunct.
-  bool TryTransition(const ATransition& at, schema::Access access,
-                     const std::vector<store::FactId>& response_ids,
-                     const schema::Instance& current, size_t depth,
-                     bool positive_known = false) {
+  /// Evaluates the full guard on the concrete transition; collects a
+  /// child when it holds. `positive_known` skips the ψ+ re-evaluation
+  /// for accesses built from a realization of a positive-guard
+  /// disjunct.
+  void TryChild(const ATransition& at, schema::Access access,
+                const std::vector<store::FactId>& response_ids,
+                const SearchNode& node, bool positive_known,
+                std::vector<Child>* children) {
     schema::Transition t = schema::MakeTransitionFromIds(
-        schema_, current, std::move(access), response_ids);
+        schema_, node.config, std::move(access), response_ids);
     if (positive_known ? !at.guard.EvalNegated(t) : !at.guard.Eval(t)) {
-      return false;
+      return;
     }
-    path_.push_back(schema::AccessStep{t.access, t.response});
-    bool found = Dfs(at.to, t.post, depth + 1);
-    if (!found) path_.pop_back();
-    return found;
+    Child child;
+    child.to_state = at.to;
+    child.post = std::move(t.post);
+    child.step = schema::AccessStep{std::move(t.access),
+                                    std::move(t.response)};
+    child.key = StepKey(child.step);
+    // Incremental configuration-derived fresh base: the parent's base
+    // already covers its configuration; only the response's values can
+    // raise it.
+    child.fresh_base = node.fresh_base;
+    for (const Tuple& tuple : child.step.response) {
+      for (const Value& v : tuple) {
+        child.fresh_base =
+            std::max(child.fresh_base, logic::FreshValueIndex(v) + 1);
+      }
+    }
+    children->push_back(std::move(child));
   }
 
   const AAutomaton& automaton_;
   const schema::Schema& schema_;
   const WitnessSearchOptions& options_;
+  const Instance& initial_;
   std::shared_ptr<const SearchPlan> plan_;
-  const std::vector<logic::Ucq>& guards_;
-  const std::vector<std::pair<RelationId, store::FactId>>& pool_;
-  logic::FreshValueFactory factory_;
-  std::unordered_map<uint64_t, std::vector<std::pair<Instance, size_t>>>
-      visited_;
-  store::MatchIndexCache index_cache_;
-  std::vector<schema::AccessStep> path_;
-  WitnessSearchResult result_;
-  bool abort_ = false;
-  const Instance* initial_for_checks_ = nullptr;
+  size_t workers_;
 
- public:
-  void SetInitialForChecks(const Instance* initial) {
-    initial_for_checks_ = initial;
-  }
+  store::MatchIndexCache index_cache_;
+  std::vector<store::MatchIndexCache::LocalView> local_views_;
+  engine::ShardedVisitedTable<VisitedEntry> visited_{256};
+  std::atomic<bool> realization_truncated_{false};
+
+  std::atomic<bool> best_known_{false};
+  std::mutex best_mu_;
+  std::shared_ptr<const BestWitness> best_;
+  uint64_t reduce_micros_ = 0;  // caller-thread only (barrier phase)
 };
 
 }  // namespace
@@ -718,9 +1183,8 @@ WitnessSearchResult BoundedWitnessSearch(const AAutomaton& automaton,
                                          const schema::Schema& schema,
                                          const schema::Instance& initial,
                                          const WitnessSearchOptions& options) {
-  Searcher searcher(automaton, schema, options);
-  searcher.SetInitialForChecks(&initial);
-  return searcher.Run(initial);
+  Search search(automaton, schema, options, initial);
+  return search.Run();
 }
 
 }  // namespace automata

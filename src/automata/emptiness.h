@@ -27,6 +27,18 @@ struct WitnessSearchOptions {
   /// greater depth, keyed by the 64-bit configuration hash. Exposed so
   /// tests/benchmarks can measure the nodes_explored reduction.
   bool use_visited_dedup = true;
+  /// Number of search workers (engine::Explorer). 1 (the default) runs
+  /// serially on the calling thread with no thread creation. Results
+  /// reduce deterministically by the content order on access paths
+  /// (see DESIGN.md, "Parallel engine"), independent of scheduling:
+  /// the same witness and the same exhausted_budget verdict at every
+  /// worker count, provided `max_nodes` is not the binding constraint
+  /// (the serial and parallel disciplines spend the budget on
+  /// different node orders, so searches cut off mid-space may diverge
+  /// — clearly-under or clearly-over budgets are deterministic either
+  /// way). The total node count across phases never exceeds
+  /// `max_nodes` at any setting.
+  size_t num_threads = 1;
 };
 
 struct WitnessSearchResult {

@@ -1,0 +1,87 @@
+#include "src/engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace accltl {
+namespace engine {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Sized to the hardware, but never below 7 pool threads (8-way
+  // regions): scaling knobs like --threads 8 must stay meaningful —
+  // oversubscribed but correct — on small boxes and CI runners.
+  static ThreadPool* pool = new ThreadPool(std::max<size_t>(
+      7, std::thread::hardware_concurrency() == 0
+             ? 1
+             : std::thread::hardware_concurrency() - 1));
+  return *pool;
+}
+
+void ThreadPool::Run(size_t parallelism,
+                     const std::function<void(size_t)>& fn) {
+  parallelism = std::max<size_t>(1, std::min(parallelism, size() + 1));
+  if (parallelism == 1) {
+    fn(0);
+    return;
+  }
+  std::lock_guard<std::mutex> region(region_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region_fn_ = &fn;
+    region_parallelism_ = parallelism;
+    active_ = parallelism - 1;  // pool-side workers
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  region_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t pool_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t worker_index = 0;
+    bool participate = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      worker_index = pool_index + 1;
+      participate = worker_index < region_parallelism_;
+      fn = region_fn_;
+      // active_ counts participants only (parallelism - 1), so a
+      // non-participating thread just goes back to sleep.
+      if (!participate) continue;
+    }
+    (*fn)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace engine
+}  // namespace accltl

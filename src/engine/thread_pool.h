@@ -1,0 +1,70 @@
+#ifndef ACCLTL_ENGINE_THREAD_POOL_H_
+#define ACCLTL_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace accltl {
+namespace engine {
+
+/// Fixed-size pool of worker threads executing parallel regions.
+///
+/// A region is a function fn(worker_index) executed once per worker
+/// index in [0, parallelism): the calling thread participates as
+/// worker 0 and the pool threads take 1..parallelism-1, so a
+/// parallelism-1 region never touches a pool thread (the serial path
+/// stays genuinely serial). Threads are created once and parked on a
+/// condition variable between regions — search calls pay no
+/// thread-spawn latency.
+///
+/// One region runs at a time; concurrent Run() callers serialize on an
+/// internal mutex (searches from multiple front-end threads queue up
+/// rather than oversubscribing the cores).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` parked workers (callers then get
+  /// parallelism up to num_threads + 1 including themselves).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-global pool, created on first use with
+  /// max(hardware_concurrency() - 1, 7) threads — sized to the
+  /// hardware, but never below 7 so 8-way scaling knobs stay
+  /// meaningful (oversubscribed but correct) on small boxes.
+  static ThreadPool& Global();
+
+  /// Number of pool threads (max parallelism is size() + 1).
+  size_t size() const { return threads_.size(); }
+
+  /// Runs fn(0) .. fn(parallelism - 1) across the caller (index 0) and
+  /// the pool; blocks until every index returned. parallelism is
+  /// clamped to size() + 1. fn must be safe to call concurrently.
+  void Run(size_t parallelism, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t pool_index);
+
+  std::mutex region_mu_;  // one region at a time
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  size_t region_parallelism_ = 0;
+  const std::function<void(size_t)>* region_fn_ = nullptr;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace engine
+}  // namespace accltl
+
+#endif  // ACCLTL_ENGINE_THREAD_POOL_H_

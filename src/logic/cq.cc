@@ -1,8 +1,9 @@
 #include "src/logic/cq.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cassert>
-#include <mutex>
 #include <vector>
 
 #include "src/common/strings.h"
@@ -375,20 +376,58 @@ Value FreshValueFactory::Fresh(ValueType type) {
       // The sequence is deterministic in n, and search loops re-request
       // the same prefix over and over — memoize to skip the string
       // build (and keep the interner from re-hashing fresh payloads).
-      static std::mutex mu;
-      static std::vector<Value>* memo = new std::vector<Value>();
-      std::lock_guard<std::mutex> lock(mu);
-      while (static_cast<size_t>(n) >= memo->size()) {
-        memo->push_back(
-            Value::Str("~n" + std::to_string(memo->size())));
+      // The memo's fast path is a lock-free slot array: parallel
+      // search workers hammer the low indexes from every thread, and a
+      // shared mutex here was a measurable serialization point.
+      constexpr size_t kSlots = 4096;
+      static std::array<std::atomic<const Value*>, kSlots>* slots = [] {
+        auto* a = new std::array<std::atomic<const Value*>, kSlots>();
+        for (auto& s : *a) s.store(nullptr, std::memory_order_relaxed);
+        return a;
+      }();
+      if (static_cast<size_t>(n) < kSlots) {
+        std::atomic<const Value*>& slot = (*slots)[static_cast<size_t>(n)];
+        const Value* v = slot.load(std::memory_order_acquire);
+        if (v == nullptr) {
+          const Value* fresh =
+              new Value(Value::Str("~n" + std::to_string(n)));
+          if (slot.compare_exchange_strong(v, fresh,
+                                           std::memory_order_acq_rel)) {
+            v = fresh;
+          } else {
+            delete fresh;  // another thread published the same value
+          }
+        }
+        return *v;
       }
-      return (*memo)[static_cast<size_t>(n)];
+      return Value::Str("~n" + std::to_string(n));
     }
     case ValueType::kBool:
       bool_domain_touched_ = true;
       return Value::Bool(n % 2 == 0);
   }
   return Value::Int(kFreshIntBase - n);
+}
+
+int64_t FreshValueIndex(const Value& v) {
+  if (v.is_int()) {
+    int64_t raw = v.AsInt();
+    if (raw <= FreshValueFactory::kFreshIntBase) {
+      return FreshValueFactory::kFreshIntBase - raw;
+    }
+    return -1;
+  }
+  if (v.is_string()) {
+    const std::string& s = v.AsString();
+    if (s.size() < 3 || s[0] != '~' || s[1] != 'n') return -1;
+    int64_t index = 0;
+    for (size_t i = 2; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9') return -1;
+      index = index * 10 + (s[i] - '0');
+    }
+    return index;
+  }
+  return -1;
 }
 
 Result<FrozenCq> FreezeCq(const Cq& q, const schema::Schema& schema,

@@ -102,10 +102,30 @@ class FreshValueFactory {
   /// unbounded-domain assumption was violated).
   bool bool_domain_touched() const { return bool_domain_touched_; }
 
+  /// Number of fresh values handed out so far.
+  int64_t counter() const { return counter_; }
+
+  /// A factory whose next fresh value has index `counter`. The witness
+  /// search derives each node's factory from its *configuration* (the
+  /// maximum fresh index occurring in it, via FreshValueIndex), so
+  /// equal configurations expand to content-identical subtrees
+  /// whatever path produced them.
+  static FreshValueFactory StartingAt(int64_t counter) {
+    FreshValueFactory f;
+    f.counter_ = counter;
+    return f;
+  }
+
  private:
   int64_t counter_ = 0;
   bool bool_domain_touched_ = false;
 };
+
+/// The index k when `v` has the canonical fresh-value shape this
+/// factory emits (Int(kFreshIntBase - k) or Str("~nk")); -1 for every
+/// other value. Inverse of Fresh() for bookkeeping: lets a search
+/// recover "how many fresh values does this configuration embed".
+int64_t FreshValueIndex(const Value& v);
 
 /// A frozen (canonical) database of a CQ: each variable mapped to a
 /// fresh value, constants kept.

@@ -3,68 +3,129 @@
 namespace accltl {
 namespace store {
 
+namespace {
+
+// Per-thread hit caches in front of the sharded interner. Search
+// workers re-intern the same few payloads (fresh-value tuples, guard
+// constants) millions of times; the ids are stable for the process
+// lifetime, so a positive answer can be replayed without touching the
+// shard mutexes — which otherwise become the contention point of the
+// parallel engine. Negative answers are never cached (the payload may
+// be interned by another thread at any time). Bounded: reset when
+// oversized, correctness unaffected (pure cache of immutable facts).
+constexpr size_t kLocalCacheCap = 1u << 16;
+
+std::unordered_map<Value, ValueId, ValueHash>& LocalValueCache() {
+  thread_local std::unordered_map<Value, ValueId, ValueHash> cache;
+  if (cache.size() >= kLocalCacheCap) cache.clear();
+  return cache;
+}
+
+std::unordered_map<Tuple, FactId, TupleHash>& LocalFactCache() {
+  thread_local std::unordered_map<Tuple, FactId, TupleHash> cache;
+  if (cache.size() >= kLocalCacheCap) cache.clear();
+  return cache;
+}
+
+}  // namespace
+
 Store& Store::Get() {
   static Store* instance = new Store();  // never destroyed: ids outlive main
   return *instance;
 }
 
 ValueId Store::InternValue(const Value& v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = value_ids_.find(v);
-  if (it != value_ids_.end()) return it->second;
-  ValueId id = static_cast<ValueId>(values_.size());
-  values_.push_back(v);
-  value_ids_.emplace(v, id);
+  std::unordered_map<Value, ValueId, ValueHash>& local = LocalValueCache();
+  auto hit = local.find(v);
+  if (hit != local.end()) return hit->second;
+  ValueId id = InternValueSlow(v);
+  local.emplace(v, id);
+  return id;
+}
+
+ValueId Store::InternValueSlow(const Value& v) {
+  ValueShard& shard = value_shard(v);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(v);
+  if (it != shard.ids.end()) return it->second;
+  // Ids are dense across shards; the payload is written before the id
+  // escapes (map insert under the shard mutex), so readers that obtain
+  // the id — through this shard or any later happens-before edge — see
+  // constructed data.
+  ValueId id =
+      static_cast<ValueId>(next_value_id_.fetch_add(1, std::memory_order_acq_rel));
+  values_.Emplace(static_cast<size_t>(id), v);
+  shard.ids.emplace(v, id);
   return id;
 }
 
 ValueId Store::TryFindValue(const Value& v) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = value_ids_.find(v);
-  return it == value_ids_.end() ? kNoValueId : it->second;
+  // Positive answers are stable and replayed from the thread-local
+  // cache; negatives must always re-check (another thread may intern
+  // the value at any moment).
+  std::unordered_map<Value, ValueId, ValueHash>& local = LocalValueCache();
+  auto hit = local.find(v);
+  if (hit != local.end()) return hit->second;
+  ValueShard& shard = value_shard(v);
+  ValueId id = kNoValueId;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.ids.find(v);
+    if (it != shard.ids.end()) id = it->second;
+  }
+  if (id != kNoValueId) local.emplace(v, id);
+  return id;
 }
 
 FactId Store::InternTuple(const Tuple& t) {
+  std::unordered_map<Tuple, FactId, TupleHash>& local = LocalFactCache();
+  auto hit = local.find(t);
+  if (hit != local.end()) return hit->second;
+  FactId id = InternTupleSlow(t);
+  local.emplace(t, id);
+  return id;
+}
+
+FactId Store::InternTupleSlow(const Tuple& t) {
   std::vector<ValueId> ids;
   ids.reserve(t.size());
   for (const Value& v : t) ids.push_back(InternValue(v));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = fact_ids_.find(ids);
-  if (it != fact_ids_.end()) return it->second;
-  FactId id = static_cast<FactId>(facts_.size());
+  FactShard& shard = fact_shard(ids);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.ids.find(ids);
+  if (it != shard.ids.end()) return it->second;
+  FactId id =
+      static_cast<FactId>(next_fact_id_.fetch_add(1, std::memory_order_acq_rel));
   FactRep rep;
   rep.hash = Mix64(ids.size());
   for (ValueId v : ids) rep.hash = Mix64(rep.hash ^ v);
   rep.values = ids;
   rep.decoded = t;
-  facts_.push_back(std::move(rep));
-  fact_ids_.emplace(std::move(ids), id);
+  facts_.Emplace(static_cast<size_t>(id), std::move(rep));
+  shard.ids.emplace(std::move(ids), id);
   return id;
 }
 
 FactId Store::TryFindTuple(const Tuple& t) const {
+  std::unordered_map<Tuple, FactId, TupleHash>& local = LocalFactCache();
+  auto hit = local.find(t);
+  if (hit != local.end()) return hit->second;
   std::vector<ValueId> ids;
   ids.reserve(t.size());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const Value& v : t) {
-      auto it = value_ids_.find(v);
-      if (it == value_ids_.end()) return kNoFactId;
-      ids.push_back(it->second);
-    }
-    auto it = fact_ids_.find(ids);
-    return it == fact_ids_.end() ? kNoFactId : it->second;
+  for (const Value& v : t) {
+    ValueId id = TryFindValue(v);
+    if (id == kNoValueId) return kNoFactId;
+    ids.push_back(id);
   }
-}
-
-size_t Store::num_values() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return values_.size();
-}
-
-size_t Store::num_facts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return facts_.size();
+  FactShard& shard = fact_shard(ids);
+  FactId id = kNoFactId;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.ids.find(ids);
+    if (it != shard.ids.end()) id = it->second;
+  }
+  if (id != kNoFactId) local.emplace(t, id);
+  return id;
 }
 
 }  // namespace store

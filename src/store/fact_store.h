@@ -1,13 +1,14 @@
 #ifndef ACCLTL_STORE_FACT_STORE_H_
 #define ACCLTL_STORE_FACT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/value.h"
+#include "src/store/stable_vector.h"
 
 namespace accltl {
 namespace store {
@@ -35,22 +36,28 @@ inline uint64_t Mix64(uint64_t x) {
 /// Process-global interner for values and canonical facts.
 ///
 /// The store is append-only: interning assigns the next dense id, and
-/// decoded payloads live at stable addresses (std::deque) so `value()`
-/// and `tuple()` references never move. Every fact carries a
+/// decoded payloads live at stable addresses (store::StableVector) so
+/// `value()` and `tuple()` references never move.  Every fact carries a
 /// precomputed 64-bit mixed hash over its value ids; configuration
 /// hashes (schema::Instance, store::FactSet) are XOR-folds of these, so
 /// adding a fact updates a configuration hash in O(1).
 ///
-/// Thread-safety: interning is serialized by a mutex. Lookups by id
-/// (`value`, `tuple`, `fact_hash`, `fact_values`) take no lock and are
-/// safe for ids that were published to the reading thread; concurrent
-/// intern + lookup from different threads is not yet supported (the
-/// planned sharded store lifts this — see DESIGN.md).
+/// Thread-safety: fully concurrent. Interning is striped — the
+/// value-id and fact-id maps are split into kShards shards, each under
+/// its own mutex, so parallel search workers interning mostly-distinct
+/// payloads rarely contend. Id-indexed lookups (`value`, `tuple`,
+/// `fact_hash`, `fact_values`) take no lock: payloads are written into
+/// block-stable storage *before* the id escapes the shard mutex, so any
+/// id a thread legitimately holds (received over a happens-before edge:
+/// the interning call itself, a shard-map hit, a work-stealing deque, a
+/// join) denotes fully-constructed, immutable data.
 class Store {
  public:
   /// The process-global store.
   static Store& Get();
 
+  /// Interns through a per-thread hit cache (ids are stable, so
+  /// replaying a previous answer needs no lock).
   ValueId InternValue(const Value& v);
   /// kNoValueId when `v` was never interned (then no interned fact and
   /// no instance can contain it).
@@ -68,10 +75,16 @@ class Store {
   /// Precomputed mixed hash; already safe to XOR-fold.
   uint64_t fact_hash(FactId id) const { return facts_[id].hash; }
 
-  size_t num_values() const;
-  size_t num_facts() const;
+  size_t num_values() const {
+    return next_value_id_.load(std::memory_order_acquire);
+  }
+  size_t num_facts() const {
+    return next_fact_id_.load(std::memory_order_acquire);
+  }
 
  private:
+  static constexpr size_t kShards = 32;  // power of two
+
   Store() = default;
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
@@ -90,11 +103,31 @@ class Store {
     }
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<Value, ValueId, ValueHash> value_ids_;
-  std::deque<Value> values_;
-  std::unordered_map<std::vector<ValueId>, FactId, IdVectorHash> fact_ids_;
-  std::deque<FactRep> facts_;
+  struct ValueShard {
+    mutable std::mutex mu;
+    std::unordered_map<Value, ValueId, ValueHash> ids;
+  };
+  struct FactShard {
+    mutable std::mutex mu;
+    std::unordered_map<std::vector<ValueId>, FactId, IdVectorHash> ids;
+  };
+
+  ValueId InternValueSlow(const Value& v);
+  FactId InternTupleSlow(const Tuple& t);
+
+  ValueShard& value_shard(const Value& v) const {
+    return value_shards_[ValueHash{}(v)&(kShards - 1)];
+  }
+  FactShard& fact_shard(const std::vector<ValueId>& ids) const {
+    return fact_shards_[IdVectorHash{}(ids) & (kShards - 1)];
+  }
+
+  mutable ValueShard value_shards_[kShards];
+  mutable FactShard fact_shards_[kShards];
+  std::atomic<size_t> next_value_id_{0};
+  std::atomic<size_t> next_fact_id_{0};
+  StableVector<Value> values_;
+  StableVector<FactRep> facts_;
 };
 
 }  // namespace store

@@ -4,26 +4,63 @@ namespace accltl {
 namespace store {
 
 const std::vector<FactId> MatchIndexCache::kEmpty;
+const MatchIndexCache::PositionIndex MatchIndexCache::kEmptyIndex;
 
-const std::vector<FactId>& MatchIndexCache::Lookup(const FactSet::Ptr& set,
-                                                   int position, ValueId v) {
-  if (set->empty()) return kEmpty;
-  PerSet& entry = cache_[set.get()];
-  if (entry.keep_alive == nullptr) entry.keep_alive = set;
-  auto [pos_it, built] = entry.by_position.try_emplace(position);
-  if (built) {
-    const Store& store = Store::Get();
-    for (FactId id : set->ids()) {
-      const std::vector<ValueId>& vals = store.fact_values(id);
-      if (static_cast<size_t>(position) >= vals.size()) continue;
-      (*pos_it).second[vals[static_cast<size_t>(position)]].push_back(id);
-    }
+const MatchIndexCache::PositionIndex* MatchIndexCache::Find(
+    const FactSet::Ptr& set, int position) {
+  if (set->empty()) return &kEmptyIndex;
+  Key key(set.get(), position);
+  Shard& shard = shards_[KeyHash{}(key)&(kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) return it->second.index.get();
+  // Build under the shard mutex: each (set, position) index is built
+  // exactly once and is immutable afterwards, so references handed out
+  // by Get() can never be invalidated by later lookups.
+  auto index = std::make_shared<PositionIndex>();
+  const Store& store = Store::Get();
+  for (FactId id : set->ids()) {
+    const std::vector<ValueId>& vals = store.fact_values(id);
+    if (static_cast<size_t>(position) >= vals.size()) continue;
+    index->by_value[vals[static_cast<size_t>(position)]].push_back(id);
   }
-  auto it = pos_it->second.find(v);
-  return it == pos_it->second.end() ? kEmpty : it->second;
+  Entry entry;
+  entry.keep_alive = set;
+  entry.index = std::move(index);
+  return shard.entries.emplace(key, std::move(entry))
+      .first->second.index.get();
 }
 
-void MatchIndexCache::Clear() { cache_.clear(); }
+void MatchIndexCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+}
+
+size_t MatchIndexCache::num_indexed_sets() const {
+  // Counts distinct sets (not (set, position) entries), matching the
+  // pre-sharded cache's notion.
+  size_t count = 0;
+  std::vector<const FactSet*> seen;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      bool is_new = true;
+      for (const FactSet* s : seen) {
+        if (s == key.first) {
+          is_new = false;
+          break;
+        }
+      }
+      if (is_new) {
+        seen.push_back(key.first);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
 
 }  // namespace store
 }  // namespace accltl

@@ -2,7 +2,10 @@
 #define ACCLTL_STORE_MATCH_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/store/fact_set.h"
@@ -14,38 +17,122 @@ namespace store {
 ///
 /// Keyed by the physical FactSet (not by instance): copy-on-write
 /// instances share unchanged relations, so an index built while
-/// matching at one search node is reused verbatim at every descendant
-/// node whose relation was untouched — exactly the common case in
-/// witness search, where each transition touches one relation.
+/// matching at one search node is reused verbatim at every other node
+/// sharing the relation — including nodes being expanded *concurrently
+/// by other workers*, which is exactly the sharing pattern of the
+/// parallel engine.
 ///
-/// The cache holds a shared_ptr to every indexed set, both to keep the
-/// index valid and to prevent a freed set's address from aliasing a new
-/// set. It grows until Clear() — size it by owner lifetime (per search
-/// / per exploration); there is deliberately no automatic eviction,
-/// because callers hold returned references across nested Lookups.
+/// Concurrency design (and the fix for the old cache's latent aliasing
+/// bug): an index is built exactly once, into an immutable PositionIndex
+/// owned by shared_ptr, and only then published. Lookups never mutate
+/// published state, so a reference returned to one caller can never be
+/// invalidated by another caller's lookup — the old cache grew per-set
+/// maps in place on every read, which aliased across the COW-sharing
+/// search nodes holding references into it and was unsafe the moment a
+/// second reader appeared. The cache pins every indexed set
+/// (shared_ptr), both to keep indexes valid and to prevent a freed
+/// set's address from keying a different set.
+///
+/// Sharded: (set, position) keys are striped over kShards mutexes, so
+/// concurrent readers of different relations do not contend. Clear()
+/// requires external quiescence (no concurrent lookups) — callers size
+/// the cache by owner lifetime (per search / per exploration).
 class MatchIndexCache {
+ private:
+  struct PositionIndex;  // defined below; LocalView holds pointers to it
+
  public:
   MatchIndexCache() = default;
 
   /// Fact ids of `set` whose value at `position` equals `v`, ascending.
-  /// The reference is valid until Clear() (Lookup never evicts).
+  /// Thread-safe. The reference is valid until Clear().
   const std::vector<FactId>& Lookup(const FactSet::Ptr& set, int position,
-                                    ValueId v);
+                                    ValueId v) {
+    return Find(set, position)->Get(v);
+  }
 
-  void Clear();
-  size_t num_indexed_sets() const { return cache_.size(); }
+  /// Per-worker memo of resolved (set, position) indexes: skips the
+  /// shard mutex on repeat lookups, which is the common case inside one
+  /// worker's backtracking join. Views hold raw pointers into the
+  /// shared cache and must not outlive it or span a Clear().
+  class LocalView {
+   public:
+    explicit LocalView(MatchIndexCache* cache) : cache_(cache) {}
 
- private:
-  struct PerSet {
-    FactSet::Ptr keep_alive;
-    /// position -> (value id -> ascending fact ids). Built lazily per
-    /// position on first lookup.
-    std::unordered_map<int, std::unordered_map<ValueId, std::vector<FactId>>>
-        by_position;
+    const std::vector<FactId>& Lookup(const FactSet::Ptr& set, int position,
+                                      ValueId v) {
+      Key key(set.get(), position);
+      auto it = memo_.find(key);
+      const PositionIndex* index;
+      if (it != memo_.end()) {
+        index = it->second;
+      } else {
+        index = cache_->Find(set, position);
+        memo_.emplace(key, index);
+      }
+      return index->Get(v);
+    }
+
+   private:
+    using Key = std::pair<const FactSet*, int>;
+    struct KeyHash {
+      size_t operator()(const Key& k) const {
+        return static_cast<size_t>(
+            Mix64(reinterpret_cast<uintptr_t>(k.first) ^
+                  (static_cast<uint64_t>(k.second) << 48)));
+      }
+    };
+    MatchIndexCache* cache_;
+    std::unordered_map<Key, const PositionIndex*, KeyHash> memo_;
   };
 
-  std::unordered_map<const FactSet*, PerSet> cache_;
+  /// Drops all indexes. Requires quiescence: no concurrent Lookup and
+  /// no live LocalView or returned reference.
+  void Clear();
+  size_t num_indexed_sets() const;
+
+ private:
+  friend class LocalView;
+
+  /// Immutable once published: value id -> ascending fact ids.
+  struct PositionIndex {
+    PositionIndex() = default;
+    std::unordered_map<ValueId, std::vector<FactId>> by_value;
+
+    const std::vector<FactId>& Get(ValueId v) const {
+      auto it = by_value.find(v);
+      return it == by_value.end() ? kEmpty : it->second;
+    }
+  };
+
+  struct Entry {
+    FactSet::Ptr keep_alive;
+    std::shared_ptr<const PositionIndex> index;
+  };
+
+  using Key = std::pair<const FactSet*, int>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          Mix64(reinterpret_cast<uintptr_t>(k.first) ^
+                (static_cast<uint64_t>(k.second) << 48)));
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> entries;
+  };
+
+  /// Finds or builds (once, under the shard mutex) the index for
+  /// (set, position). The returned pointer stays valid until Clear().
+  const PositionIndex* Find(const FactSet::Ptr& set, int position);
+
+  static constexpr size_t kShards = 16;  // power of two
   static const std::vector<FactId> kEmpty;
+  static const PositionIndex kEmptyIndex;
+
+  Shard shards_[kShards];
 };
 
 }  // namespace store

@@ -1,0 +1,78 @@
+#ifndef ACCLTL_STORE_STABLE_VECTOR_H_
+#define ACCLTL_STORE_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace accltl {
+namespace store {
+
+/// Append-only, index-stable storage for interned payloads, safe for
+/// concurrent readers while writers append.
+///
+/// Payloads live in fixed-size blocks; a block, once allocated, is
+/// never moved or freed until destruction, so `operator[]` references
+/// stay valid for the container's lifetime (the property std::deque
+/// gave the single-threaded store — without std::deque's internal
+/// block map, whose growth races with lock-free readers).
+///
+/// Memory model:
+///  - Writers call `Emplace(i, ...)` for each index `i` exactly once
+///    (indices come from an external atomic counter). Writers to
+///    different indices may run concurrently; block allocation races
+///    resolve by compare-exchange.
+///  - A reader may call `operator[](i)` only with a *published* id: one
+///    it received over a happens-before edge from the writer of slot i
+///    (an interner-shard mutex, a work-stealing deque, a join). The
+///    release CAS/store on the block pointer plus that edge make both
+///    the block pointer and the slot contents visible.
+template <typename T, size_t kBlockBits = 12, size_t kMaxBlockCount = 1u << 15>
+class StableVector {
+ public:
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kBlockMask = kBlockSize - 1;
+
+  StableVector() {
+    for (auto& b : blocks_) b.store(nullptr, std::memory_order_relaxed);
+  }
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+  ~StableVector() {
+    for (auto& b : blocks_) delete[] b.load(std::memory_order_relaxed);
+  }
+
+  /// Constructs the element at index `i` (each index exactly once).
+  template <typename... Args>
+  void Emplace(size_t i, Args&&... args) {
+    T* block = EnsureBlock(i >> kBlockBits);
+    block[i & kBlockMask] = T(std::forward<Args>(args)...);
+  }
+
+  /// The element at published index `i` (see class comment).
+  const T& operator[](size_t i) const {
+    const T* block =
+        blocks_[i >> kBlockBits].load(std::memory_order_acquire);
+    return block[i & kBlockMask];
+  }
+
+ private:
+  T* EnsureBlock(size_t b) {
+    T* block = blocks_[b].load(std::memory_order_acquire);
+    if (block != nullptr) return block;
+    T* fresh = new T[kBlockSize]();
+    if (blocks_[b].compare_exchange_strong(block, fresh,
+                                           std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    delete[] fresh;  // another writer won the race
+    return block;
+  }
+
+  std::atomic<T*> blocks_[kMaxBlockCount];
+};
+
+}  // namespace store
+}  // namespace accltl
+
+#endif  // ACCLTL_STORE_STABLE_VECTOR_H_

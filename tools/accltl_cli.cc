@@ -16,6 +16,7 @@
 //       (query text as in the plan example)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -37,6 +38,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  accltl_cli check  <schema-file> <formula> [--grounded] [--shrink]\n"
+      "                    [--threads N]\n"
       "  accltl_cli plan   <schema-file> <query> [head-var...]\n"
       "  accltl_cli answer <schema-file> <instance-file> <query>\n"
       "                    [--seed value]... [--no-prune] [head-var...]\n");
@@ -89,6 +91,17 @@ int RunCheck(int argc, char** argv) {
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) options.grounded = true;
     if (std::strcmp(argv[i], "--shrink") == 0) options.shrink_witness = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      int threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive count, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      // Deterministic: any count returns the same verdict and witness
+      // (see src/automata/emptiness.h).
+      options.num_threads = static_cast<size_t>(threads);
+    }
   }
   Result<analysis::Decision> d =
       analysis::DecideSatisfiability(f.value(), s.value(), options);
