@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "src/accltl/parser.h"
+#include "src/analysis/zero_solver.h"
 #include "src/automata/compile.h"
 #include "src/automata/emptiness.h"
 #include "src/common/rng.h"
 #include "src/engine/thread_pool.h"
+#include "src/schema/lts.h"
 #include "src/workload/workload.h"
 
 namespace accltl {
@@ -152,6 +154,73 @@ void BM_ParallelWitnessDiamondSeeded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParallelWitnessDiamondSeeded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Zero-ary solver sweep: many single-fact obligations over a 20-fact
+// pool plus one unsatisfiable conjunct, so the bounded space (subsets
+// of pool facts × tableau states) is swept to exhaustion — the
+// engine-ported solver's fixed parallel workload. Verdict and
+// exhausted_budget are identical at every thread count.
+void BM_ParallelZeroSolverSweep(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  std::string text = "F [";
+  for (int i = 0; i < 20; ++i) {
+    if (i > 0) text += " OR ";
+    text += "Mobile_post(\"n" + std::to_string(i) + "\",\"p\",\"s\",1)";
+  }
+  text += "] AND F ([IsBind_AcM1()] AND [IsBind_AcM2()])";  // unsat conjunct
+  acc::AccPtr f = acc::ParseAccFormula(text, pd.schema).value();
+  analysis::ZeroSolverOptions opts;
+  opts.max_path_length = 3;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Result<analysis::ZeroSolverResult> r =
+        analysis::CheckZeroArySatisfiable(f, pd.schema, opts);
+    benchmark::DoNotOptimize(r.ok());
+    state.counters["nodes"] =
+        static_cast<double>(r.value().nodes_explored);
+    state.counters["found"] = r.value().satisfiable ? 1 : 0;
+  }
+}
+BENCHMARK(BM_ParallelZeroSolverSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// LTS breadth-first exploration over a seeded phone universe: whole
+// levels expand through the work-stealing deques and reduce at the
+// barrier; the per-level stats are identical at every thread count.
+void BM_ParallelLtsExplore(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Rng rng(7);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd, &rng, 24);
+  opts.grounded = false;
+  opts.seed_values = {Value::Str("Smith")};
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
+        pd.schema, schema::Instance(pd.schema), opts, /*max_depth=*/2,
+        /*max_nodes=*/200000);
+    benchmark::DoNotOptimize(stats.size());
+    size_t configs = 0;
+    for (const schema::LtsLevelStats& s : stats) {
+      configs += s.distinct_configurations;
+    }
+    state.counters["configs"] = static_cast<double>(configs);
+  }
+}
+BENCHMARK(BM_ParallelLtsExplore)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -40,8 +40,10 @@ struct DecideOptions {
   /// Restrict to grounded access paths.
   bool grounded = false;
   /// Search workers for the witness engines (engine::Explorer). Copied
-  /// into both `zero.num_threads` and `bounded.num_threads`; results
-  /// are deterministic in the worker count (see emptiness.h).
+  /// into both `zero.num_threads` and `bounded.num_threads`; both
+  /// engines run on the shared parallel substrate and their results
+  /// are deterministic in the worker count (see emptiness.h and
+  /// zero_solver.h).
   size_t num_threads = 1;
   /// Run the Lemma 4.9/4.10 Datalog pipeline to certify emptiness when
   /// the bounded search finds no witness (AccLTL+ only).

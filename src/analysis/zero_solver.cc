@@ -1,14 +1,20 @@
 #include "src/analysis/zero_solver.h"
 
 #include <algorithm>
-#include <functional>
+#include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/accltl/abstraction.h"
 #include "src/accltl/semantics.h"
+#include "src/engine/explorer.h"
+#include "src/engine/path_link.h"
+#include "src/engine/two_phase.h"
+#include "src/engine/visited_table.h"
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
 #include "src/ltl/tableau.h"
@@ -23,6 +29,9 @@ using logic::PredSpace;
 using schema::AccessMethodId;
 using schema::RelationId;
 
+using PathLink = engine::PathLink<schema::AccessStep>;
+using engine::CmpPathKeys;
+
 /// One pool fact: a concrete tuple for a relation, plus (when the
 /// witness disjunct constrains the access) the method/binding that must
 /// reveal it.
@@ -34,32 +43,33 @@ struct PoolFact {
   int forced_method = -1;
 };
 
-struct SearchState {
+/// One frontier node of the engine-based search. The node's
+/// configuration is a pure function of `facts` (the empty initial
+/// instance plus the injected pool facts), so the (facts, tableau)
+/// pair is the full search state of the original recursive solver.
+struct ZeroNode {
   /// Bitmask over pool facts injected so far.
   uint64_t facts = 0;
-  /// Active tableau states (NFA subset).
-  std::set<int> tableau;
-
-  friend bool operator==(const SearchState& a, const SearchState& b) {
-    return a.facts == b.facts && a.tableau == b.tableau;
-  }
-};
-
-struct SearchStateHash {
-  size_t operator()(const SearchState& s) const {
-    uint64_t h = store::Mix64(s.facts);
-    for (int t : s.tableau) {
-      h = store::Mix64(h ^ static_cast<uint64_t>(static_cast<unsigned>(t)));
-    }
-    return static_cast<size_t>(h);
-  }
+  /// Active tableau states (sorted, duplicate-free NFA subset).
+  std::vector<int> tableau;
+  schema::Instance config;
+  uint32_t depth = 0;
+  /// True when the incoming edge had `may_end`: the path ending here
+  /// is accepting (finite-word tableau acceptance is edge-local).
+  bool accepting = false;
+  std::shared_ptr<const PathLink> path;
+  /// Root-to-node materialization of `path` (pointers into the chain,
+  /// kept alive by it).
+  std::vector<const PathLink*> links;
 };
 
 class ZeroSolver {
  public:
   ZeroSolver(const acc::AccPtr& formula, const schema::Schema& schema,
              const ZeroSolverOptions& options)
-      : schema_(schema), options_(options) {
+      : schema_(schema),
+        options_(options),
+        workers_(std::max<size_t>(1, options.num_threads)) {
     abstraction_ = acc::Abstract(formula);
   }
 
@@ -85,18 +95,10 @@ class ZeroSolver {
       edges_by_state_[static_cast<size_t>(tableau_.edges[i].from)].push_back(
           static_cast<int>(i));
     }
-    // 4. Search.
-    ZeroSolverResult result;
-    SearchState init;
-    init.facts = 0;
-    init.tableau = {tableau_.initial};
-    std::vector<schema::AccessStep> path;
-    result.satisfiable = Dfs(init, schema::Instance(schema_), 0, &path,
-                             &result);
-    if (result.satisfiable) {
-      result.witness = schema::AccessPath(path);
-    }
-    return result;
+    // 4. Search on the shared engine: serial pf-DFS at one worker,
+    // pilot + level-synchronous sweep otherwise — the same
+    // schedule-independent reduction as BoundedWitnessSearch.
+    return Search();
   }
 
  private:
@@ -178,7 +180,7 @@ class ZeroSolver {
 
   /// Evaluates all atoms on a transition; returns the set of true
   /// proposition ids.
-  std::set<int> TrueAtoms(const schema::Transition& t) {
+  std::set<int> TrueAtoms(const schema::Transition& t) const {
     std::set<int> out;
     logic::TransitionView view(t);
     for (size_t i = 0; i < abstraction_.atoms.size(); ++i) {
@@ -189,39 +191,251 @@ class ZeroSolver {
     return out;
   }
 
-  bool Dfs(const SearchState& state, const schema::Instance& current,
-           size_t depth, std::vector<schema::AccessStep>* path,
-           ZeroSolverResult* result) {
-    if (++result->nodes_explored > options_.max_nodes) {
-      result->exhausted_budget = true;
-      return false;
-    }
-    if (depth >= options_.max_path_length) return false;
-    if (!options_.require_idempotent) {
-      // Memo on the first (shallowest) visit: a failure at depth d only
-      // transfers to depths >= d because of the path-length cap.
-      auto it = visited_.find(state);
-      if (it != visited_.end() && it->second <= depth) return false;
-      visited_[state] = depth;
-    }
+  // --- Engine plumbing (mirrors automata::BoundedWitnessSearch) -------------
 
+  static uint64_t NodeHash(const ZeroNode& node) {
+    uint64_t h = store::Mix64(node.facts);
+    for (int t : node.tableau) {
+      h = store::Mix64(h ^ static_cast<uint64_t>(static_cast<unsigned>(t)));
+    }
+    return h;
+  }
+
+  /// Dedup entry: exact data for confirmation plus the dominance
+  /// tie-breakers (depth, path content).
+  struct VisitedEntry {
+    uint64_t facts;
+    std::vector<int> tableau;
+    uint32_t depth;
+    std::shared_ptr<const PathLink> path;
+    std::vector<const PathLink*> links;
+  };
+
+  /// "existing makes candidate redundant": same exact (facts, tableau)
+  /// state, no deeper, and no later in path-content order — the
+  /// original solver's (state, shallowest-depth) memo, refined by the
+  /// content order so same-depth twins keep the pf-smaller path. Equal
+  /// states reach the same configurations and letters (the
+  /// configuration is a function of `facts`; synthesized placeholder
+  /// bindings never affect atom truth), so the dominated subtree can
+  /// only rediscover paths the retained one also reaches.
+  static bool Dominates(const VisitedEntry& existing,
+                        const VisitedEntry& candidate) {
+    if (existing.facts != candidate.facts) return false;
+    if (existing.depth > candidate.depth) return false;
+    if (existing.tableau != candidate.tableau) return false;
+    return CmpPathKeys(existing.links, candidate.links) <= 0;
+  }
+
+  /// Candidate child during expansion, before sorting.
+  struct Child {
+    uint64_t facts;
+    std::vector<int> tableau;
+    schema::Instance post;
+    schema::AccessStep step;
+    std::string key;
+    bool accepting;
+  };
+
+  std::vector<std::unique_ptr<ZeroNode>> MakeRoots() {
+    auto root = std::make_unique<ZeroNode>();
+    root->facts = 0;
+    root->tableau = {tableau_.initial};
+    root->config = schema::Instance(schema_);
+    root->depth = 0;
+    if (!options_.require_idempotent) {
+      // Seeding the table with the root (depth 0, empty path) makes it
+      // dominate every do-nothing loop back to the initial state.
+      RegisterNode(*root);
+    }
+    std::vector<std::unique_ptr<ZeroNode>> roots;
+    roots.push_back(std::move(root));
+    return roots;
+  }
+
+  Result<ZeroSolverResult> Search() {
+    // One worker: serial pf-DFS whose first accept is the reduced
+    // answer. More: pf-DFS pilot, then a level-synchronous sweep with
+    // the deterministic barrier reduction (see engine/two_phase.h).
+    engine::Explorer<ZeroNode>::Stats stats =
+        engine::TwoPhaseExplore<ZeroNode>(
+            workers_, options_.max_nodes, [this] { return MakeRoots(); },
+            [this](std::unique_ptr<ZeroNode> node,
+                   engine::Explorer<ZeroNode>::Context& ctx) {
+              VisitDfs(std::move(node), ctx);
+            },
+            [this](std::unique_ptr<ZeroNode> node,
+                   engine::Explorer<ZeroNode>::Context& ctx) {
+              VisitLevel(std::move(node), ctx);
+            },
+            [this](std::vector<std::vector<ZeroNode*>> batches) {
+              return ReduceLevel(std::move(batches));
+            },
+            [this] { return best_.Snapshot() != nullptr; },
+            [this] {
+              // The sweep must see a deterministic table and
+              // truncation state: the pilot's partial state is
+              // discarded.
+              visited_.Clear();
+              truncated_.store(false, std::memory_order_relaxed);
+            });
+    return Finalize(stats.nodes_explored, stats.budget_exhausted);
+  }
+
+  Result<ZeroSolverResult> Finalize(size_t nodes_explored,
+                                    bool budget_exhausted) {
+    ZeroSolverResult result;
+    result.nodes_explored = nodes_explored;
+    result.exhausted_budget =
+        budget_exhausted || truncated_.load(std::memory_order_relaxed);
+    std::shared_ptr<const engine::BestPathTracker<schema::AccessStep>::Path>
+        best = best_.Snapshot();
+    result.satisfiable = best != nullptr;
+    if (best != nullptr) result.witness = schema::AccessPath(best->steps);
+    return result;
+  }
+
+  /// Enters a node into the visited table. Returns false when it is
+  /// dominated (redundant — do not explore).
+  bool RegisterNode(const ZeroNode& node) {
+    VisitedEntry entry;
+    entry.facts = node.facts;
+    entry.tableau = node.tableau;
+    entry.depth = node.depth;
+    entry.path = node.path;
+    entry.links = node.links;
+    return !visited_.CheckAndInsert(NodeHash(node), std::move(entry),
+                                    Dominates);
+  }
+
+  std::unique_ptr<ZeroNode> MakeNode(const ZeroNode& parent, Child& child) {
+    auto next = std::make_unique<ZeroNode>();
+    next->facts = child.facts;
+    next->tableau = std::move(child.tableau);
+    next->config = std::move(child.post);
+    next->depth = parent.depth + 1;
+    next->accepting = child.accepting;
+    next->links.reserve(parent.links.size() + 1);
+    next->links = parent.links;
+    next->path = engine::ExtendPath(parent.path, std::move(child.step),
+                                    std::move(child.key), &next->links);
+    return next;
+  }
+
+  /// Serial visitor: pf-ordered depth-first with push-time dedup.
+  void VisitDfs(std::unique_ptr<ZeroNode> node,
+                engine::Explorer<ZeroNode>::Context& ctx) {
+    if (best_.Prunes(node->links)) return;
+    if (node->accepting) {
+      // A single worker pops in exactly the reduction order, so the
+      // first accepting node is the final answer — stop the drain.
+      best_.Offer(node->links);
+      ctx.Abort();
+      return;
+    }
+    if (node->depth >= options_.max_path_length) return;
+    std::vector<Child> children = Expand(*node);
+    // pf order: smallest child pops first. Equal keys cannot occur
+    // within one node (each enumerated subset yields a distinct step).
+    std::sort(children.begin(), children.end(),
+              [](const Child& a, const Child& b) {
+                return a.key.compare(b.key) < 0;
+              });
+    // Register in ascending key order, push in descending order so the
+    // owner's LIFO pops the smallest survivor first.
+    std::vector<std::unique_ptr<ZeroNode>> survivors;
+    survivors.reserve(children.size());
+    for (Child& child : children) {
+      std::unique_ptr<ZeroNode> next = MakeNode(*node, child);
+      if (best_.Prunes(next->links)) continue;
+      // Accepting nodes have no subtree and are never registered:
+      // acceptance is edge-local, so a non-accepting twin must not
+      // shadow them (nor vice versa).
+      if (!next->accepting && !options_.require_idempotent &&
+          !RegisterNode(*next)) {
+        continue;
+      }
+      survivors.push_back(std::move(next));
+    }
+    for (size_t i = survivors.size(); i-- > 0;) {
+      ctx.Push(std::move(survivors[i]));
+    }
+  }
+
+  /// Level-mode visitor: emit every child; the barrier reduction does
+  /// the deduplication and pruning over the complete batch. No
+  /// best-path work-saver prune here: whether a node expands decides
+  /// whether its subset-cap truncation is recorded, and a mid-level
+  /// prune races the accept that published the bound — the barrier
+  /// reduction prunes the same nodes deterministically one level
+  /// later, keeping `exhausted_budget` schedule-independent.
+  void VisitLevel(std::unique_ptr<ZeroNode> node,
+                  engine::Explorer<ZeroNode>::Context& ctx) {
+    if (node->accepting) {
+      best_.Offer(node->links);
+      return;
+    }
+    if (node->depth >= options_.max_path_length) return;
+    std::vector<Child> children = Expand(*node);
+    for (Child& child : children) {
+      ctx.Emit(MakeNode(*node, child));
+    }
+  }
+
+  /// Barrier reduction via the shared striped reducer: dominance only
+  /// relates nodes of equal (facts, tableau), which always share a
+  /// stripe; each stripe is content-sorted and reduced
+  /// deterministically, and children that cannot beat the best witness
+  /// known at the end of the level are dropped.
+  std::vector<std::unique_ptr<ZeroNode>> ReduceLevel(
+      std::vector<std::vector<ZeroNode*>> batches) {
+    return engine::ReduceLevelByContent<ZeroNode>(
+        std::move(batches),
+        [](const ZeroNode& node) { return NodeHash(node); },
+        [](const ZeroNode& a, const ZeroNode& b) {
+          int c = CmpPathKeys(a.links, b.links);
+          if (c != 0) return c < 0;
+          // Equal full paths imply identical nodes (the path
+          // determines facts, letters, hence the tableau subset);
+          // accepting-first keeps the order total.
+          return a.accepting && !b.accepting;
+        },
+        [this](const ZeroNode& node) {
+          if (best_.Prunes(node.links)) return false;
+          if (!node.accepting && !options_.require_idempotent &&
+              !RegisterNode(node)) {
+            return false;
+          }
+          return true;
+        });
+  }
+
+  // --- Child enumeration (the original solver's access step rule) -----------
+
+  /// Enumerates one access per child: a method plus a subset of
+  /// not-yet-injected pool facts of its relation (possibly empty),
+  /// agreeing on input positions (they share the binding). Subsets of
+  /// up to max_facts_per_step facts are enumerated over *all*
+  /// candidates, grouped by their shared binding; the per-(node,
+  /// method) cap max_subsets_per_access marks the search truncated
+  /// instead of silently dropping witnesses (the pre-engine solver
+  /// silently capped at the first 12 candidates).
+  std::vector<Child> Expand(const ZeroNode& node) {
+    std::vector<Child> children;
     // The active domain is stable across this node's enumeration;
     // compute it once, on first need (it is only consulted for
     // synthesized bindings and grounded checks).
     std::optional<std::set<Value>> dom;
     auto domain = [&]() -> const std::set<Value>& {
-      if (!dom.has_value()) dom = current.ActiveDomain();
+      if (!dom.has_value()) dom = node.config.ActiveDomain();
       return *dom;
     };
 
-    // Enumerate one access: a method plus a subset of not-yet-injected
-    // pool facts of its relation (possibly empty), agreeing on input
-    // positions (they share the binding).
     for (AccessMethodId m = 0; m < schema_.num_access_methods(); ++m) {
       const schema::AccessMethod& am = schema_.method(m);
       std::vector<size_t> candidates;
       for (size_t i = 0; i < pool_.size(); ++i) {
-        if (state.facts & (uint64_t{1} << i)) continue;
+        if (node.facts & (uint64_t{1} << i)) continue;
         if (pool_[i].relation != am.relation) continue;
         if (pool_[i].forced_method >= 0 &&
             pool_[i].forced_method != static_cast<int>(m)) {
@@ -229,66 +443,62 @@ class ZeroSolver {
         }
         candidates.push_back(i);
       }
-      size_t limit = std::min(candidates.size(), size_t{12});
-      size_t subsets = size_t{1} << limit;
-      for (size_t mask = 0; mask < subsets; ++mask) {
-        if (static_cast<size_t>(__builtin_popcountll(mask)) >
-            options_.max_facts_per_step) {
-          continue;
+      // Group candidates by their binding (the input-position
+      // projection): only facts sharing a binding can form one
+      // response. std::map keys give a deterministic, value-sorted
+      // group order.
+      std::map<Tuple, std::vector<size_t>> groups;
+      for (size_t i : candidates) {
+        Tuple b;
+        for (schema::Position p : am.input_positions) {
+          b.push_back(pool_[i].tuple[static_cast<size_t>(p)]);
         }
-        std::vector<const PoolFact*> chosen;
-        for (size_t b = 0; b < limit; ++b) {
-          if (mask & (size_t{1} << b)) chosen.push_back(&pool_[candidates[b]]);
-        }
-        // All chosen facts must agree on input positions (one binding).
-        std::optional<Tuple> binding;
-        bool ok = true;
-        for (const PoolFact* f : chosen) {
-          Tuple b;
-          for (schema::Position p : am.input_positions) {
-            b.push_back(f->tuple[static_cast<size_t>(p)]);
-          }
-          if (!binding.has_value()) {
-            binding = std::move(b);
-          } else if (*binding != b) {
-            ok = false;
-            break;
-          }
-        }
-        if (!ok) continue;
-        if (!binding.has_value()) {
-          // Empty response: synthesize a binding (grounded mode draws
-          // from the revealed domain).
-          Tuple b;
-          bool bind_ok = true;
-          const schema::Relation& rel = schema_.relation(am.relation);
-          for (schema::Position p : am.input_positions) {
-            ValueType type = rel.position_types[static_cast<size_t>(p)];
-            std::optional<Value> v;
-            for (const Value& cand : domain()) {
-              if (cand.type() == type) {
-                v = cand;
-                break;
-              }
+        groups[std::move(b)].push_back(i);
+      }
+
+      size_t enumerated = 0;
+      bool capped = false;
+      // The empty response first: synthesize a binding (grounded mode
+      // draws from the revealed domain).
+      ++enumerated;
+      {
+        Tuple b;
+        bool bind_ok = true;
+        const schema::Relation& rel = schema_.relation(am.relation);
+        for (schema::Position p : am.input_positions) {
+          ValueType type = rel.position_types[static_cast<size_t>(p)];
+          std::optional<Value> v;
+          for (const Value& cand : domain()) {
+            if (cand.type() == type) {
+              v = cand;
+              break;
             }
-            if (!v.has_value()) {
-              if (options_.grounded) {
-                bind_ok = false;
-                break;
-              }
-              v = Value::Int(-3000000 - static_cast<int64_t>(depth));
-              if (type == ValueType::kString) {
-                v = Value::Str("~b" + std::to_string(depth));
-              } else if (type == ValueType::kBool) {
-                v = Value::Bool(false);
-              }
-            }
-            b.push_back(*v);
           }
-          if (!bind_ok) continue;
-          binding = std::move(b);
-        } else if (options_.grounded) {
-          for (const Value& v : *binding) {
+          if (!v.has_value()) {
+            if (options_.grounded) {
+              bind_ok = false;
+              break;
+            }
+            v = Value::Int(-3000000 - static_cast<int64_t>(node.depth));
+            if (type == ValueType::kString) {
+              v = Value::Str("~b" + std::to_string(node.depth));
+            } else if (type == ValueType::kBool) {
+              v = Value::Bool(false);
+            }
+          }
+          b.push_back(*v);
+        }
+        if (bind_ok) TryChild(node, m, std::move(b), {}, &children);
+      }
+      // Non-empty responses: combinations of 1..max_facts_per_step
+      // facts within each binding group, counted against the cap (the
+      // subset that exceeds the cap is counted, not enumerated).
+      size_t max_k = options_.max_facts_per_step;
+      for (const auto& [binding, members] : groups) {
+        if (capped) break;
+        if (options_.grounded) {
+          bool ok = true;
+          for (const Value& v : binding) {
             if (domain().count(v) == 0) {
               ok = false;
               break;
@@ -296,75 +506,109 @@ class ZeroSolver {
           }
           if (!ok) continue;
         }
-
-        schema::Response response;
-        uint64_t new_facts = state.facts;
-        for (const PoolFact* f : chosen) {
-          response.insert(f->tuple);
-          new_facts |= uint64_t{1}
-                       << static_cast<size_t>(f - pool_.data());
+        size_t n = members.size();
+        for (size_t k = 1; k <= std::min(max_k, n) && !capped; ++k) {
+          // Lexicographic index combinations of size k.
+          std::vector<size_t> idx(k);
+          for (size_t i = 0; i < k; ++i) idx[i] = i;
+          for (;;) {
+            if (++enumerated > options_.max_subsets_per_access) {
+              capped = true;
+              break;
+            }
+            std::vector<size_t> chosen;
+            chosen.reserve(k);
+            for (size_t i : idx) chosen.push_back(members[i]);
+            TryChild(node, m, binding, chosen, &children);
+            // Advance the combination.
+            size_t pos = k;
+            while (pos > 0 && idx[pos - 1] == n - (k - pos) - 1) --pos;
+            if (pos == 0) break;
+            ++idx[pos - 1];
+            for (size_t i = pos; i < k; ++i) idx[i] = idx[i - 1] + 1;
+          }
         }
-        schema::Transition t = schema::MakeTransition(
-            schema_, current, schema::Access{m, *binding}, response);
+      }
+      if (capped) truncated_.store(true, std::memory_order_relaxed);
+    }
+    return children;
+  }
 
-        if (options_.require_idempotent) {
-          bool violates = false;
-          for (const schema::AccessStep& prev : *path) {
-            if (prev.access == t.access && prev.response != t.response) {
-              violates = true;
+  /// Builds the transition for one (method, binding, pool-fact subset)
+  /// candidate, applies the idempotence filter, advances the tableau,
+  /// and collects a child when some run survives.
+  void TryChild(const ZeroNode& node, AccessMethodId m, Tuple binding,
+                const std::vector<size_t>& chosen,
+                std::vector<Child>* children) {
+    schema::Response response;
+    uint64_t new_facts = node.facts;
+    for (size_t i : chosen) {
+      response.insert(pool_[i].tuple);
+      new_facts |= uint64_t{1} << i;
+    }
+    if (options_.require_idempotent) {
+      schema::Access access{m, binding};
+      for (const PathLink* link : node.links) {
+        if (link->step.access == access &&
+            link->step.response != response) {
+          return;
+        }
+      }
+    }
+    schema::Transition t = schema::MakeTransition(
+        schema_, node.config, schema::Access{m, std::move(binding)},
+        response);
+
+    // Advance the tableau over this letter.
+    std::set<int> letter = TrueAtoms(t);
+    std::set<int> next_states;
+    bool may_end = false;
+    for (int s : node.tableau) {
+      for (int ei : edges_by_state_[static_cast<size_t>(s)]) {
+        const ltl::TableauEdge& e =
+            tableau_.edges[static_cast<size_t>(ei)];
+        bool match = true;
+        for (int p : e.pos_lits) {
+          if (letter.count(p) == 0) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          for (int p : e.neg_lits) {
+            if (letter.count(p) > 0) {
+              match = false;
               break;
             }
           }
-          if (violates) continue;
         }
-
-        // Advance the tableau over this letter.
-        std::set<int> letter = TrueAtoms(t);
-        std::set<int> next_states;
-        bool may_end = false;
-        for (int s : state.tableau) {
-          for (int ei : edges_by_state_[static_cast<size_t>(s)]) {
-            const ltl::TableauEdge& e = tableau_.edges[static_cast<size_t>(
-                ei)];
-            bool match = true;
-            for (int p : e.pos_lits) {
-              if (letter.count(p) == 0) {
-                match = false;
-                break;
-              }
-            }
-            if (match) {
-              for (int p : e.neg_lits) {
-                if (letter.count(p) > 0) {
-                  match = false;
-                  break;
-                }
-              }
-            }
-            if (!match) continue;
-            next_states.insert(e.to);
-            may_end = may_end || e.may_end;
-          }
-        }
-        if (next_states.empty() && !may_end) continue;
-        path->push_back(schema::AccessStep{t.access, t.response});
-        if (may_end) return true;  // the path may stop here: satisfied
-        SearchState next{new_facts, next_states};
-        if (Dfs(next, t.post, depth + 1, path, result)) return true;
-        path->pop_back();
-        if (result->exhausted_budget) return false;
+        if (!match) continue;
+        next_states.insert(e.to);
+        may_end = may_end || e.may_end;
       }
     }
-    return false;
+    if (next_states.empty() && !may_end) return;
+    Child child;
+    child.facts = new_facts;
+    child.tableau.assign(next_states.begin(), next_states.end());
+    child.post = std::move(t.post);
+    child.step = schema::AccessStep{std::move(t.access),
+                                    std::move(t.response)};
+    child.key = schema::StepOrderKey(child.step);
+    child.accepting = may_end;
+    children->push_back(std::move(child));
   }
 
   const schema::Schema& schema_;
   const ZeroSolverOptions& options_;
+  size_t workers_;
   acc::Abstraction abstraction_;
   std::vector<PoolFact> pool_;
   ltl::TableauAutomaton tableau_;
   std::vector<std::vector<int>> edges_by_state_;
-  std::unordered_map<SearchState, size_t, SearchStateHash> visited_;
+  engine::ShardedVisitedTable<VisitedEntry> visited_{64};
+  engine::BestPathTracker<schema::AccessStep> best_;
+  std::atomic<bool> truncated_{false};
 };
 
 }  // namespace

@@ -27,12 +27,20 @@ struct ZeroSolverOptions {
   size_t max_facts_per_step = 6;
   /// Hard cap on path length (0 = derived from the state space).
   size_t max_path_length = 64;
+  /// Cap on the number of response subsets enumerated per (node,
+  /// method). Subsets of up to `max_facts_per_step` facts are
+  /// enumerated over *all* candidate pool facts (grouped by shared
+  /// binding); when this cap truncates the enumeration the result is
+  /// flagged `exhausted_budget` — never a silent "unsatisfiable".
+  size_t max_subsets_per_access = 4096;
   /// Worker count, threaded through from analysis::DecideOptions so
-  /// one knob drives every engine. The zero-ary solver's own search is
-  /// memoized over (injected-facts × tableau-state) — a state space
-  /// orders of magnitude below the automata search's — and currently
-  /// runs serially whatever the value; the field exists so callers can
-  /// set parallelism once without caring which engine answers.
+  /// one knob drives every engine. The solver runs on the shared
+  /// parallel exploration engine (src/engine/) with the same
+  /// schedule-independence guarantee as the automata search: verdict,
+  /// witness and exhausted_budget are identical at every worker
+  /// count, provided `max_nodes` is not the binding constraint (the
+  /// serial DFS and the parallel level sweep spend the same budget in
+  /// different orders; see DESIGN.md §3).
   size_t num_threads = 1;
 };
 

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/engine/explorer.h"
+#include "src/engine/path_link.h"
+#include "src/engine/two_phase.h"
 #include "src/engine/visited_table.h"
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
@@ -571,91 +573,21 @@ std::shared_ptr<const SearchPlan> GetPlan(const AAutomaton& automaton,
 //
 // Witnesses (and partial paths) are totally ordered by *content*:
 // prefix-first lexicographic over access steps, each step compared by
-// (method, binding, response). The order mentions no ids, no pointers
-// and no interning artifacts, so it is identical across runs and
-// worker counts; the engine returns the minimum accepting path under
-// it — which is exactly the path a serial depth-first search visits
-// first when every node's children are expanded in sorted order.
-//
-// Steps are compared through a precomputed *order-preserving byte
-// key* (built once per materialized child, outside every lock):
-// comparisons sit inside visited-table shard sections and the
-// best-witness reduction, where rebuilding value-by-value comparisons
-// was the engine's contention point.
-//
-// Key layout (memcmp order == content order):
-//   BE64(method) ++ tuple(binding) ++ { 0x01 ++ tuple(t) : t ∈ response }
-//   tuple(t) = value(v0) ++ ... ++ 0x00          (prefix-first: 0x00 ends)
-//   value(v) = tag ++ payload, tag ∈ {0x01 int, 0x02 bool, 0x03 string}
-//     int: BE64(bits ^ sign bit)   — monotone in the signed value
-//     bool: 0x00 / 0x01
-//     string: bytes ++ 0x00        — assumes no embedded NUL (names,
-//                                    postcodes, fresh "~n…" values)
-// Tags and the 0x01 response separator are nonzero, so the 0x00
-// terminators sort every proper prefix first, matching CmpTuples /
-// CmpSteps semantics exactly.
+// (method, binding, response) through the precomputed order-preserving
+// byte key `schema::StepOrderKey` (built once per materialized child,
+// outside every lock): comparisons sit inside visited-table shard
+// sections and the best-witness reduction, where rebuilding
+// value-by-value comparisons was the engine's contention point. The
+// order mentions no ids, no pointers and no interning artifacts, so it
+// is identical across runs and worker counts; the engine returns the
+// minimum accepting path under it — which is exactly the path a serial
+// depth-first search visits first when every node's children are
+// expanded in sorted order. The chain/compare/best-tracking machinery
+// is the generic `engine::PathLink` layer shared with the zero-ary
+// solver's engine port.
 
-void AppendValueKey(const Value& v, std::string* out) {
-  auto be64 = [out](uint64_t bits) {
-    for (int shift = 56; shift >= 0; shift -= 8) {
-      out->push_back(static_cast<char>((bits >> shift) & 0xff));
-    }
-  };
-  switch (v.type()) {
-    case ValueType::kInt:
-      out->push_back('\x01');
-      be64(static_cast<uint64_t>(v.AsInt()) ^ 0x8000000000000000ULL);
-      break;
-    case ValueType::kBool:
-      out->push_back('\x02');
-      out->push_back(v.AsBool() ? '\x01' : '\x00');
-      break;
-    case ValueType::kString:
-      out->push_back('\x03');
-      out->append(v.AsString());
-      out->push_back('\x00');
-      break;
-  }
-}
-
-void AppendTupleKey(const Tuple& t, std::string* out) {
-  for (const Value& v : t) AppendValueKey(v, out);
-  out->push_back('\x00');
-}
-
-std::string StepKey(const schema::AccessStep& step) {
-  std::string key;
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    key.push_back(static_cast<char>(
-        (static_cast<uint64_t>(step.access.method) >> shift) & 0xff));
-  }
-  AppendTupleKey(step.access.binding, &key);
-  for (const Tuple& t : step.response) {  // std::set: already value-sorted
-    key.push_back('\x01');
-    AppendTupleKey(t, &key);
-  }
-  return key;
-}
-
-/// Immutable parent chain of access steps; nodes share prefixes. The
-/// key carries the step's position in the reduction order.
-struct PathLink {
-  std::shared_ptr<const PathLink> parent;
-  schema::AccessStep step;
-  std::string key;
-};
-
-/// Prefix-first lexicographic over step keys.
-int CmpPathKeys(const std::vector<const PathLink*>& a,
-                const std::vector<const PathLink*>& b) {
-  size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    int c = a[i]->key.compare(b[i]->key);
-    if (c != 0) return c < 0 ? -1 : 1;
-  }
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  return 0;
-}
+using PathLink = engine::PathLink<schema::AccessStep>;
+using engine::CmpPathKeys;
 
 /// One frontier node of the witness search.
 struct SearchNode {
@@ -692,80 +624,45 @@ class Search {
   }
 
   WitnessSearchResult Run() {
-    engine::Explorer<SearchNode> explorer;
-    engine::Explorer<SearchNode>::Options eopts;
-    eopts.num_threads = 1;
-    eopts.max_nodes = options_.max_nodes;
-    auto dfs_visit = [this](std::unique_ptr<SearchNode> node,
-                            engine::Explorer<SearchNode>::Context& ctx) {
-      VisitDfs(std::move(node), ctx);
-    };
-
-    if (workers_ == 1) {
-      // Serial: depth-first in exactly the reduction (pf) order, with
-      // push-time dedup — stops at the first accepting node, which in
-      // this order *is* the reduced answer.
-      engine::Explorer<SearchNode>::Stats stats =
-          explorer.Run(MakeRoots(), eopts, dfs_visit);
-      return Finalize(stats.nodes_explored, stats.budget_exhausted);
-    }
-
-    // Parallel. Phase 1 — serial pf-DFS pilot with a small node cap:
-    // satisfiable queries typically accept within a handful of nodes,
-    // and the pilot's first accept is, by the pf pop order, the
-    // reduced answer itself (identical to what any worker count must
-    // return). A pilot that sweeps the whole bounded space under the
-    // cap likewise ends the search with a confident "no".
-    constexpr size_t kPilotBudget = 256;
-    eopts.max_nodes = std::min(kPilotBudget, options_.max_nodes);
-    engine::Explorer<SearchNode>::Stats pilot =
-        explorer.Run(MakeRoots(), eopts, dfs_visit);
-    if (BestSnapshot() != nullptr || !pilot.budget_exhausted ||
-        eopts.max_nodes == options_.max_nodes) {
-      // Found, swept, or the global budget itself is spent.
-      return Finalize(pilot.nodes_explored, pilot.budget_exhausted);
-    }
-
-    // Phase 2 — level-synchronous sweep. Workers expand a whole depth
-    // level in any order through the work-stealing deques; the barrier
-    // reduction (shard-parallel itself) sorts the merged child batch
-    // by content, applies the dominance dedup and the best-witness
-    // bound, and hands back the surviving frontier — all of it
-    // schedule-independent, so the result (and even nodes_explored)
-    // is identical at every worker count. The pilot's partial state is
-    // discarded: the sweep must see a deterministic table.
-    visited_.Clear();
-    realization_truncated_.store(false, std::memory_order_relaxed);
-    engine::Explorer<SearchNode>::Options bopts;
-    bopts.num_threads = workers_;
-    // The pilot's pops count against the caller's budget: the total
-    // across both phases never exceeds max_nodes.
-    bopts.max_nodes = options_.max_nodes - pilot.nodes_explored;
-    engine::Explorer<SearchNode>::Stats stats = explorer.RunLevels(
-        MakeRoots(), bopts,
-        [this](std::unique_ptr<SearchNode> node,
-               engine::Explorer<SearchNode>::Context& ctx) {
-          VisitLevel(std::move(node), ctx);
-        },
-        [this](std::vector<std::vector<SearchNode*>> batches) {
-          auto start = std::chrono::steady_clock::now();
-          auto frontier = ReduceLevel(std::move(batches));
-          reduce_micros_ +=
-              static_cast<uint64_t>(std::chrono::duration_cast<
-                                        std::chrono::microseconds>(
-                                        std::chrono::steady_clock::now() -
-                                        start)
-                                        .count());
-          return frontier;
-        });
+    // One worker: serial pf-DFS whose first accept is the reduced
+    // answer. More: pf-DFS pilot, then a level-synchronous sweep with
+    // the deterministic barrier reduction (see engine/two_phase.h).
+    engine::Explorer<SearchNode>::Stats stats =
+        engine::TwoPhaseExplore<SearchNode>(
+            workers_, options_.max_nodes, [this] { return MakeRoots(); },
+            [this](std::unique_ptr<SearchNode> node,
+                   engine::Explorer<SearchNode>::Context& ctx) {
+              VisitDfs(std::move(node), ctx);
+            },
+            [this](std::unique_ptr<SearchNode> node,
+                   engine::Explorer<SearchNode>::Context& ctx) {
+              VisitLevel(std::move(node), ctx);
+            },
+            [this](std::vector<std::vector<SearchNode*>> batches) {
+              auto start = std::chrono::steady_clock::now();
+              auto frontier = ReduceLevel(std::move(batches));
+              reduce_micros_ +=
+                  static_cast<uint64_t>(std::chrono::duration_cast<
+                                            std::chrono::microseconds>(
+                                            std::chrono::steady_clock::now() -
+                                            start)
+                                            .count());
+              return frontier;
+            },
+            [this] { return BestSnapshot() != nullptr; },
+            [this] {
+              // The sweep must see a deterministic table and
+              // truncation state: the pilot's partial state is
+              // discarded.
+              visited_.Clear();
+              realization_truncated_.store(false, std::memory_order_relaxed);
+            });
     if (std::getenv("ACCLTL_SEARCH_DEBUG") != nullptr) {
-      std::fprintf(stderr,
-                   "search: pilot=%zu sweep=%zu reduce_ms=%llu\n",
-                   pilot.nodes_explored, stats.nodes_explored,
+      std::fprintf(stderr, "search: nodes=%zu reduce_ms=%llu\n",
+                   stats.nodes_explored,
                    static_cast<unsigned long long>(reduce_micros_ / 1000));
     }
-    return Finalize(pilot.nodes_explored + stats.nodes_explored,
-                    stats.budget_exhausted);
+    return Finalize(stats.nodes_explored, stats.budget_exhausted);
   }
 
  private:
@@ -831,17 +728,10 @@ class Search {
         store::Mix64(static_cast<uint64_t>(static_cast<unsigned>(state))));
   }
 
-  /// The content-minimal accepting path found so far. Immutable
-  /// snapshots swapped under a short lock; readers compare outside it.
-  struct BestWitness {
-    std::vector<std::string> keys;
-    std::vector<schema::AccessStep> steps;
-  };
+  using BestWitness = engine::BestPathTracker<schema::AccessStep>::Path;
 
   std::shared_ptr<const BestWitness> BestSnapshot() {
-    if (!best_known_.load(std::memory_order_acquire)) return nullptr;
-    std::lock_guard<std::mutex> lock(best_mu_);
-    return best_;
+    return best_.Snapshot();
   }
 
   /// "existing makes candidate redundant": same exact (state, config),
@@ -861,41 +751,12 @@ class Search {
   /// True when no extension of `node` can precede the current best
   /// witness (prefix-compare against it), so the subtree is redundant.
   bool PrunedByBest(const SearchNode& node) {
-    std::shared_ptr<const BestWitness> best = BestSnapshot();
-    if (best == nullptr) return false;
-    size_t n = std::min(node.links.size(), best->keys.size());
-    for (size_t i = 0; i < n; ++i) {
-      int c = node.links[i]->key.compare(best->keys[i]);
-      if (c < 0) return false;  // strictly earlier: may still improve
-      if (c > 0) return true;   // strictly later: every extension is too
-    }
-    // Equal on the common prefix: improving requires being a proper
-    // prefix of the best path.
-    return node.links.size() >= best->keys.size();
+    return best_.Prunes(node.links);
   }
 
   /// Records an accepting path; keeps the content-minimal one.
   void OfferWitness(const std::vector<const PathLink*>& path) {
-    auto candidate = std::make_shared<BestWitness>();
-    candidate->keys.reserve(path.size());
-    candidate->steps.reserve(path.size());
-    for (const PathLink* link : path) {
-      candidate->keys.push_back(link->key);
-      candidate->steps.push_back(link->step);
-    }
-    std::lock_guard<std::mutex> lock(best_mu_);
-    if (best_ != nullptr) {
-      // Prefix-first compare on the precomputed keys.
-      size_t n = std::min(candidate->keys.size(), best_->keys.size());
-      int c = 0;
-      for (size_t i = 0; i < n && c == 0; ++i) {
-        c = candidate->keys[i].compare(best_->keys[i]);
-      }
-      if (c == 0 && candidate->keys.size() >= best_->keys.size()) return;
-      if (c > 0) return;
-    }
-    best_ = std::move(candidate);
-    best_known_.store(true, std::memory_order_release);
+    best_.Offer(path);
   }
 
   bool AcceptHere(const SearchNode& node) {
@@ -960,10 +821,14 @@ class Search {
   }
 
   /// Level-mode visitor: emit every child; the barrier reduction does
-  /// the deduplication and pruning over the complete batch.
+  /// the deduplication and pruning over the complete batch. No
+  /// best-path work-saver prune here: whether a node expands decides
+  /// whether its realization-cap truncation is recorded, and a
+  /// mid-level prune races the accept that published the bound — the
+  /// barrier reduction prunes the same nodes deterministically one
+  /// level later, keeping `exhausted_budget` schedule-independent.
   void VisitLevel(std::unique_ptr<SearchNode> node,
                   engine::Explorer<SearchNode>::Context& ctx) {
-    if (PrunedByBest(*node)) return;  // work-saver; results unaffected
     if (AcceptHere(*node)) return;
     if (node->depth >= options_.max_path_length) return;
     std::vector<Child> children = Expand(*node, ctx);
@@ -972,72 +837,38 @@ class Search {
     }
   }
 
-  /// Barrier reduction: stripe the merged child batch by class hash
-  /// (dominance only relates nodes of equal (state, config), which
-  /// share a stripe), then reduce stripes in parallel — per stripe:
-  /// content-sort, run the dominance dedup in that order (so a kept
+  /// Barrier reduction via the shared striped reducer: dominance only
+  /// relates nodes of equal (state, config), which always share a
+  /// stripe, so stripes reduce independently and deterministically —
+  /// per stripe: content-sort, dominance dedup in that order (a kept
   /// node is never evicted by a later same-depth sibling), and drop
   /// children that cannot beat the best witness known at the end of
-  /// the level. Every input is a complete, schedule-independent set
-  /// and every stripe reduces deterministically, so the surviving
-  /// frontier is identical at every worker count (only its
-  /// concatenation order varies, which the level barrier erases).
+  /// the level.
   std::vector<std::unique_ptr<SearchNode>> ReduceLevel(
       std::vector<std::vector<SearchNode*>> batches) {
-    constexpr size_t kStripes = 64;
-    size_t producers = batches.size();
-    // Phase A (parallel): each worker buckets the children *it*
-    // emitted — allocation affinity, no shared writes.
-    std::vector<std::vector<std::vector<SearchNode*>>> bucketed(
-        producers, std::vector<std::vector<SearchNode*>>(kStripes));
-    engine::ThreadPool::Global().Run(producers, [&](size_t w) {
-      for (SearchNode* child : batches[w]) {
-        uint64_t hash = NodeHash(child->state, child->config);
-        bucketed[w][static_cast<size_t>(hash) & (kStripes - 1)].push_back(
-            child);
-      }
-    });
-    // Phase B (parallel): each worker owns a set of stripes; dominance
-    // only relates nodes of equal (state, config), which always share
-    // a stripe, so stripes reduce independently and deterministically.
-    std::vector<std::vector<std::unique_ptr<SearchNode>>> outs(producers);
-    engine::ThreadPool::Global().Run(producers, [&](size_t w) {
-      std::vector<std::unique_ptr<SearchNode>> stripe;
-      for (size_t s = w; s < kStripes; s += producers) {
-        stripe.clear();
-        for (size_t p = 0; p < producers; ++p) {
-          for (SearchNode* child : bucketed[p][s]) stripe.emplace_back(child);
-        }
-        std::sort(stripe.begin(), stripe.end(),
-                  [this](const std::unique_ptr<SearchNode>& a,
-                         const std::unique_ptr<SearchNode>& b) {
-                    int c = CmpPathKeys(a->links, b->links);
-                    if (c != 0) return c < 0;
-                    bool aa = automaton_.IsAccepting(a->state);
-                    bool ba = automaton_.IsAccepting(b->state);
-                    if (aa != ba) return aa;
-                    return a->state < b->state;
-                  });
-        for (std::unique_ptr<SearchNode>& node : stripe) {
+    return engine::ReduceLevelByContent<SearchNode>(
+        std::move(batches),
+        [](const SearchNode& node) {
+          return NodeHash(node.state, node.config);
+        },
+        [this](const SearchNode& a, const SearchNode& b) {
+          int c = CmpPathKeys(a.links, b.links);
+          if (c != 0) return c < 0;
+          bool aa = automaton_.IsAccepting(a.state);
+          bool ba = automaton_.IsAccepting(b.state);
+          if (aa != ba) return aa;
+          return a.state < b.state;
+        },
+        [this](const SearchNode& node) {
           // Best-prune *before* registering: a best-pruned node needs
           // no visited entry (anything it would dominate is itself
           // best-pruned — the bound is upward-closed in the path
           // order), and registering it would leave schedule-dependent
           // entries behind when a mid-level prune raced the accept.
-          if (PrunedByBest(*node)) continue;
-          if (options_.use_visited_dedup && !RegisterNode(*node)) continue;
-          outs[w].push_back(std::move(node));
-        }
-      }
-    });
-    std::vector<std::unique_ptr<SearchNode>> frontier;
-    size_t total = 0;
-    for (auto& out : outs) total += out.size();
-    frontier.reserve(total);
-    for (auto& out : outs) {
-      for (auto& node : out) frontier.push_back(std::move(node));
-    }
-    return frontier;
+          if (PrunedByBest(node)) return false;
+          if (options_.use_visited_dedup && !RegisterNode(node)) return false;
+          return true;
+        });
   }
 
   /// Enters a node into the visited table. Returns false when it is
@@ -1060,14 +891,10 @@ class Search {
     next->config = std::move(child.post);
     next->depth = parent.depth + 1;
     next->fresh_base = child.fresh_base;
-    auto link = std::make_shared<PathLink>();
-    link->parent = parent.path;
-    link->step = std::move(child.step);
-    link->key = std::move(child.key);
     next->links.reserve(parent.links.size() + 1);
     next->links = parent.links;
-    next->links.push_back(link.get());
-    next->path = std::move(link);
+    next->path = engine::ExtendPath(parent.path, std::move(child.step),
+                                    std::move(child.key), &next->links);
     return next;
   }
 
@@ -1145,7 +972,7 @@ class Search {
     child.post = std::move(t.post);
     child.step = schema::AccessStep{std::move(t.access),
                                     std::move(t.response)};
-    child.key = StepKey(child.step);
+    child.key = schema::StepOrderKey(child.step);
     // Incremental configuration-derived fresh base: the parent's base
     // already covers its configuration; only the response's values can
     // raise it.
@@ -1171,9 +998,7 @@ class Search {
   engine::ShardedVisitedTable<VisitedEntry> visited_{256};
   std::atomic<bool> realization_truncated_{false};
 
-  std::atomic<bool> best_known_{false};
-  std::mutex best_mu_;
-  std::shared_ptr<const BestWitness> best_;
+  engine::BestPathTracker<schema::AccessStep> best_;
   uint64_t reduce_micros_ = 0;  // caller-thread only (barrier phase)
 };
 

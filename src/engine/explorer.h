@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "src/engine/thread_pool.h"
@@ -60,6 +61,9 @@ class Explorer {
     /// True when the exploration stopped on abort (budget or visitor)
     /// rather than by draining the frontier.
     bool aborted = false;
+    /// Level mode only: number of completed level barriers (the depth
+    /// of the deepest fully-reduced frontier).
+    size_t levels_completed = 0;
   };
 
   class Context;
@@ -73,6 +77,12 @@ class Explorer {
   /// next frontier — dedup, pruning, reordering are the caller's
   /// policy. `reduce` runs on the calling thread between levels and
   /// may itself use the thread pool.
+  ///
+  /// Per-level aggregation hook: a reducer may instead take
+  /// `(size_t level, batches)` — `level` is the depth of the children
+  /// being reduced (1 for the roots' children), so callers that keep
+  /// per-level statistics record them at the barrier without
+  /// maintaining their own counter across calls.
   template <typename Visit, typename Reduce>
   Stats RunLevels(std::vector<std::unique_ptr<Node>> roots,
                   const Options& options, const Visit& visit,
@@ -85,6 +95,7 @@ class Explorer {
     }
     Shared shared(workers, options.max_nodes);
     std::vector<std::unique_ptr<Node>> frontier = std::move(roots);
+    size_t level = 0;
     while (!frontier.empty() &&
            !shared.abort.load(std::memory_order_acquire)) {
       shared.level_size = frontier.size();
@@ -109,7 +120,13 @@ class Explorer {
         }
         break;
       }
-      frontier = reduce(std::move(batches));
+      ++level;
+      if constexpr (std::is_invocable_v<Reduce, size_t,
+                                        std::vector<std::vector<Node*>>>) {
+        frontier = reduce(level, std::move(batches));
+      } else {
+        frontier = reduce(std::move(batches));
+      }
     }
     // An abort can leave seeded nodes in the deques — free them
     // (single-threaded again after the pool region).
@@ -122,6 +139,7 @@ class Explorer {
     stats.budget_exhausted =
         shared.budget_exhausted.load(std::memory_order_relaxed);
     stats.aborted = shared.abort.load(std::memory_order_relaxed);
+    stats.levels_completed = level;
     return stats;
   }
 

@@ -23,6 +23,52 @@ std::string Access::ToString(const Schema& schema) const {
   return out;
 }
 
+namespace {
+
+void AppendValueKey(const Value& v, std::string* out) {
+  auto be64 = [out](uint64_t bits) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out->push_back(static_cast<char>((bits >> shift) & 0xff));
+    }
+  };
+  switch (v.type()) {
+    case ValueType::kInt:
+      out->push_back('\x01');
+      be64(static_cast<uint64_t>(v.AsInt()) ^ 0x8000000000000000ULL);
+      break;
+    case ValueType::kBool:
+      out->push_back('\x02');
+      out->push_back(v.AsBool() ? '\x01' : '\x00');
+      break;
+    case ValueType::kString:
+      out->push_back('\x03');
+      out->append(v.AsString());
+      out->push_back('\x00');
+      break;
+  }
+}
+
+void AppendTupleKey(const Tuple& t, std::string* out) {
+  for (const Value& v : t) AppendValueKey(v, out);
+  out->push_back('\x00');
+}
+
+}  // namespace
+
+std::string StepOrderKey(const AccessStep& step) {
+  std::string key;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key.push_back(static_cast<char>(
+        (static_cast<uint64_t>(step.access.method) >> shift) & 0xff));
+  }
+  AppendTupleKey(step.access.binding, &key);
+  for (const Tuple& t : step.response) {  // std::set: already value-sorted
+    key.push_back('\x01');
+    AppendTupleKey(t, &key);
+  }
+  return key;
+}
+
 std::string AccessStep::ToString(const Schema& schema) const {
   std::string out = access.ToString(schema) + " -> {";
   bool first = true;

@@ -42,6 +42,25 @@ struct AccessStep {
   std::string ToString(const Schema& schema) const;
 };
 
+/// Order-preserving byte key of a step: memcmp order over keys equals
+/// the content order over steps — (method, binding, response), values
+/// compared semantically. The key mentions no interned ids, pointers
+/// or interning artifacts, so it is identical across runs and worker
+/// counts; it is the per-step unit of the search engines' prefix-first
+/// deterministic reduction order (see DESIGN.md §3).
+///
+/// Key layout:
+///   BE64(method) ++ tuple(binding) ++ { 0x01 ++ tuple(t) : t ∈ response }
+///   tuple(t) = value(v0) ++ ... ++ 0x00          (prefix-first: 0x00 ends)
+///   value(v) = tag ++ payload, tag ∈ {0x01 int, 0x02 bool, 0x03 string}
+///     int: BE64(bits ^ sign bit)   — monotone in the signed value
+///     bool: 0x00 / 0x01
+///     string: bytes ++ 0x00        — assumes no embedded NUL (names,
+///                                    postcodes, fresh "~n…" values)
+/// Tags and the 0x01 response separator are nonzero, so the 0x00
+/// terminators sort every proper prefix first.
+std::string StepOrderKey(const AccessStep& step);
+
 /// An access path (§2): a sequence of accesses and responses. Every
 /// such sequence is an access path *for some instance* (the instance of
 /// all returned tuples); the checks below test the extra sanity

@@ -1,10 +1,11 @@
 #include "src/schema/lts.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <unordered_map>
+#include <atomic>
+#include <memory>
 
+#include "src/engine/explorer.h"
+#include "src/engine/visited_table.h"
 #include "src/store/match_index.h"
 
 namespace accltl {
@@ -83,12 +84,15 @@ namespace {
 
 /// Matching over the universe through the shared match index: facts
 /// are selected by the first input position's index entry, then
-/// filtered on the rest — no per-binding relation scans.
+/// filtered on the rest — no per-binding relation scans. `Index` is
+/// either the shared store::MatchIndexCache or a per-worker LocalView
+/// (both expose the same Lookup).
+template <typename Index>
 std::vector<store::FactId> IndexedMatching(const Instance& universe,
                                            RelationId rel,
                                            const std::vector<Position>& pos,
                                            const Tuple& binding,
-                                           store::MatchIndexCache* index) {
+                                           Index* index) {
   const store::Store& store = store::Store::Get();
   std::vector<store::FactId> out;
   if (pos.empty()) {
@@ -118,10 +122,11 @@ std::vector<store::FactId> IndexedMatching(const Instance& universe,
   return out;
 }
 
+template <typename Index>
 std::vector<Transition> SuccessorsImpl(const Schema& schema,
                                        const Instance& current,
                                        const LtsOptions& options,
-                                       store::MatchIndexCache* index) {
+                                       Index* index) {
   std::vector<Transition> out;
   const store::Store& store = store::Store::Get();
   // Candidate binding values: grounded mode restricts to the active
@@ -162,8 +167,14 @@ std::vector<Transition> SuccessorsImpl(const Schema& schema,
         responses.push_back({});  // empty response
         if (options.enumerate_singleton_responses) {
           for (store::FactId f : matching) responses.push_back({f});
+          if (matching.size() > 1) responses.push_back(matching);
+        } else if (!matching.empty()) {
+          // The full matching set is always a well-formed response —
+          // including when it is a single fact. (A singleton full
+          // response used to be dropped whenever singleton enumeration
+          // was off, silently losing reachable configurations.)
+          responses.push_back(matching);
         }
-        if (matching.size() > 1) responses.push_back(matching);
       }
       for (const std::vector<store::FactId>& r : responses) {
         out.push_back(
@@ -190,22 +201,6 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
                                                size_t max_depth,
                                                size_t max_nodes) {
   std::vector<LtsLevelStats> stats;
-  // Visited-configuration dedup keyed by the 64-bit configuration
-  // hash; buckets hold the instances for exact confirmation (instances
-  // are COW handles, so storing them is cheap).
-  std::unordered_map<uint64_t, std::vector<Instance>> seen;
-  size_t seen_count = 0;
-  auto try_insert = [&](const Instance& inst) {
-    std::vector<Instance>& bucket = seen[inst.hash()];
-    for (const Instance& existing : bucket) {
-      if (existing == inst) return false;
-    }
-    bucket.push_back(inst);
-    ++seen_count;
-    return true;
-  };
-  try_insert(initial);
-  std::vector<Instance> frontier = {initial};
   {
     LtsLevelStats s;
     s.depth = 0;
@@ -213,32 +208,96 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
     s.max_configuration_facts = initial.TotalFacts();
     stats.push_back(s);
   }
+  if (max_depth == 0) return stats;
+
+  size_t workers = std::max<size_t>(1, options.num_threads);
+  // Visited-configuration dedup keyed by the 64-bit configuration
+  // hash; buckets hold the instances for exact confirmation (instances
+  // are COW handles, so storing them is cheap). Only consulted in the
+  // serial barrier reduction, but shared-table-shaped so the engine's
+  // check-and-insert discipline applies unchanged.
+  engine::ShardedVisitedTable<Instance> seen(64);
+  auto equal = [](const Instance& a, const Instance& b) { return a == b; };
+  size_t seen_count = 1;
+  seen.CheckAndInsert(initial.hash(), initial, equal);
+
   // One match index for the whole exploration: the universe's fact
-  // sets are stable, so every level reuses the same per-relation index.
+  // sets are stable, so every level reuses the same per-relation
+  // index; each worker replays resolved indexes through a lock-free
+  // LocalView.
   store::MatchIndexCache index;
-  for (size_t depth = 1; depth <= max_depth; ++depth) {
-    LtsLevelStats s;
-    s.depth = depth;
-    std::vector<Instance> next;
-    for (const Instance& node : frontier) {
-      std::vector<Transition> succ = SuccessorsImpl(schema, node, options,
-                                                    &index);
-      s.transitions += succ.size();
-      for (Transition& t : succ) {
-        if (seen_count >= max_nodes) break;
-        if (try_insert(t.post)) {
-          s.max_configuration_facts =
-              std::max(s.max_configuration_facts, t.post.TotalFacts());
-          next.push_back(std::move(t.post));
+  std::vector<store::MatchIndexCache::LocalView> views;
+  views.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) views.emplace_back(&index);
+
+  std::atomic<size_t> level_transitions{0};
+  bool stop = false;
+
+  engine::Explorer<Instance> explorer;
+  engine::Explorer<Instance>::Options eopts;
+  eopts.num_threads = workers;
+
+  std::vector<std::unique_ptr<Instance>> roots;
+  roots.push_back(std::make_unique<Instance>(initial));
+  explorer.RunLevels(
+      std::move(roots), eopts,
+      [&](std::unique_ptr<Instance> node,
+          engine::Explorer<Instance>::Context& ctx) {
+        std::vector<Transition> succ = SuccessorsImpl(
+            schema, *node, options, &views[ctx.worker_id()]);
+        level_transitions.fetch_add(succ.size(), std::memory_order_relaxed);
+        for (Transition& t : succ) {
+          ctx.Emit(std::make_unique<Instance>(std::move(t.post)));
         }
-      }
-      if (seen_count >= max_nodes) break;
-    }
-    s.distinct_configurations = next.size();
-    stats.push_back(s);
-    if (next.empty()) break;
-    frontier = std::move(next);
-  }
+      },
+      [&](size_t level, std::vector<std::vector<Instance*>> batches)
+          -> std::vector<std::unique_ptr<Instance>> {
+        // Barrier reduction (runs serially between levels). Every
+        // batch set is complete — workers expanded the whole frontier
+        // — so after the content sort the surviving configurations,
+        // the statistics, and the budget cut are all
+        // schedule-independent.
+        LtsLevelStats s;
+        s.depth = level;
+        s.transitions =
+            level_transitions.exchange(0, std::memory_order_relaxed);
+        std::vector<std::unique_ptr<Instance>> children;
+        for (auto& batch : batches) {
+          for (Instance* child : batch) children.emplace_back(child);
+        }
+        // Deterministic content order: configuration hash first, exact
+        // fact-id order on the (almost impossible) hash tie. Fact ids
+        // are stable here — exploration reveals only universe facts,
+        // which were interned before any worker started.
+        std::sort(children.begin(), children.end(),
+                  [](const std::unique_ptr<Instance>& a,
+                     const std::unique_ptr<Instance>& b) {
+                    if (a->hash() != b->hash()) return a->hash() < b->hash();
+                    return *a < *b;
+                  });
+        std::vector<std::unique_ptr<Instance>> next;
+        for (std::unique_ptr<Instance>& child : children) {
+          if (seen.CheckAndInsert(child->hash(), *child, equal)) {
+            continue;  // already reached (this level or earlier)
+          }
+          ++seen_count;
+          if (seen_count > max_nodes) {
+            // Count-then-cut, the engine's budget discipline: the
+            // overflowing configuration is counted, not kept; the cut
+            // is flagged instead of silently dropping the remainder.
+            s.truncated = true;
+            stop = true;
+            break;
+          }
+          s.max_configuration_facts =
+              std::max(s.max_configuration_facts, child->TotalFacts());
+          next.push_back(std::move(child));
+        }
+        s.distinct_configurations = next.size();
+        stats.push_back(s);
+        if (stop || level >= max_depth) next.clear();
+        return next;
+      });
   return stats;
 }
 

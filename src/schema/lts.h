@@ -62,6 +62,10 @@ struct LtsOptions {
   bool enumerate_singleton_responses = true;
   /// Cap on the number of successor transitions generated per node.
   size_t max_successors_per_node = 1u << 20;
+  /// Worker count for ExploreBreadthFirst (node expansion runs on the
+  /// shared parallel engine, src/engine/). The per-level statistics
+  /// are schedule-independent: identical at every worker count.
+  size_t num_threads = 1;
 };
 
 /// Enumerates successor transitions of configuration `current` under the
@@ -79,10 +83,24 @@ struct LtsLevelStats {
   size_t transitions = 0;
   /// Largest configuration (fact count) seen at this depth.
   size_t max_configuration_facts = 0;
+  /// True when the `max_nodes` budget cut this level: configurations
+  /// first reached here were dropped (and the exploration stopped), so
+  /// the recorded tree is a prefix — never silently complete-looking.
+  bool truncated = false;
 };
 
 /// Breadth-first exploration of the LTS up to `max_depth`, deduplicating
 /// configurations. Reproduces the shape of Figure 1's tree.
+///
+/// Runs on the parallel exploration engine when
+/// `LtsOptions::num_threads > 1`: whole levels are expanded through
+/// the work-stealing deques and reduced deterministically at the
+/// barrier, so every statistic (including the budget cut) is
+/// byte-identical at any worker count. The budget follows the
+/// engine's count-then-cut discipline at level granularity: the level
+/// that exceeds `max_nodes` is fully expanded and counted, the
+/// overflowing configurations are dropped in deterministic content
+/// order, the level is flagged `truncated`, and the exploration stops.
 std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
                                                const Instance& initial,
                                                const LtsOptions& options,

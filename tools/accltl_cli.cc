@@ -1,13 +1,18 @@
 // Command-line front end for the library: load a schema (and
 // optionally an instance) from the text format, then decide AccLTL
-// satisfiability, plan a conjunctive query, or answer it against a
-// hidden instance with grounded accesses.
+// satisfiability, plan a conjunctive query, answer it against a
+// hidden instance with grounded accesses, or explore the induced LTS
+// breadth-first (Figure 1's tree of paths).
 //
 // Usage:
-//   accltl_cli check  <schema-file> <accltl-formula> [--grounded] [--shrink]
-//   accltl_cli plan   <schema-file> <query> [head-var...]
-//   accltl_cli answer <schema-file> <instance-file> <query>
-//                     [--seed value]... [--no-prune] [head-var...]
+//   accltl_cli check   <schema-file> <accltl-formula> [--grounded] [--shrink]
+//                      [--threads N]
+//   accltl_cli plan    <schema-file> <query> [head-var...]
+//   accltl_cli answer  <schema-file> <instance-file> <query>
+//                      [--seed value]... [--no-prune] [head-var...]
+//   accltl_cli explore <schema-file> <instance-file> [--depth D]
+//                      [--max-nodes N] [--grounded] [--seed value]...
+//                      [--threads N]
 //
 // Queries and formulas use the library's text syntax, e.g.
 //   accltl_cli check phone.schema 'F [IsBind_AcM1()]'
@@ -28,6 +33,7 @@
 #include "src/logic/parser.h"
 #include "src/planner/dynamic.h"
 #include "src/planner/static_plan.h"
+#include "src/schema/lts.h"
 #include "src/schema/text_format.h"
 
 namespace accltl {
@@ -37,12 +43,27 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  accltl_cli check  <schema-file> <formula> [--grounded] [--shrink]\n"
-      "                    [--threads N]\n"
-      "  accltl_cli plan   <schema-file> <query> [head-var...]\n"
-      "  accltl_cli answer <schema-file> <instance-file> <query>\n"
-      "                    [--seed value]... [--no-prune] [head-var...]\n");
+      "  accltl_cli check   <schema-file> <formula> [--grounded] [--shrink]\n"
+      "                     [--threads N]\n"
+      "  accltl_cli plan    <schema-file> <query> [head-var...]\n"
+      "  accltl_cli answer  <schema-file> <instance-file> <query>\n"
+      "                     [--seed value]... [--no-prune] [head-var...]\n"
+      "  accltl_cli explore <schema-file> <instance-file> [--depth D]\n"
+      "                     [--max-nodes N] [--grounded] [--seed value]...\n"
+      "                     [--threads N]\n");
   return 2;
+}
+
+/// Parses a positive integer flag value (`--threads`, `--depth`,
+/// `--max-nodes`): rejects non-numeric and non-positive input instead
+/// of silently casting it to 0 or SIZE_MAX.
+Result<size_t> ParsePositiveCount(const char* flag, const char* arg) {
+  long long value = std::atoll(arg);
+  if (value < 1) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   " wants a positive count, got " + arg);
+  }
+  return static_cast<size_t>(value);
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -92,15 +113,14 @@ int RunCheck(int argc, char** argv) {
     if (std::strcmp(argv[i], "--grounded") == 0) options.grounded = true;
     if (std::strcmp(argv[i], "--shrink") == 0) options.shrink_witness = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      int threads = std::atoi(argv[++i]);
-      if (threads < 1) {
-        std::fprintf(stderr, "--threads wants a positive count, got %s\n",
-                     argv[i]);
+      Result<size_t> threads = ParsePositiveCount("--threads", argv[++i]);
+      if (!threads.ok()) {
+        std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
         return 2;
       }
       // Deterministic: any count returns the same verdict and witness
-      // (see src/automata/emptiness.h).
-      options.num_threads = static_cast<size_t>(threads);
+      // (see src/automata/emptiness.h and src/analysis/zero_solver.h).
+      options.num_threads = threads.value();
     }
   }
   Result<analysis::Decision> d =
@@ -204,11 +224,79 @@ int RunAnswer(int argc, char** argv) {
   return 0;
 }
 
+int RunExplore(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<schema::Schema> s = LoadSchema(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> facts = ReadFile(argv[3]);
+  if (!facts.ok()) {
+    std::fprintf(stderr, "instance: %s\n", facts.status().ToString().c_str());
+    return 1;
+  }
+  Result<schema::Instance> universe =
+      schema::ParseInstance(facts.value(), s.value());
+  if (!universe.ok()) {
+    std::fprintf(stderr, "instance: %s\n",
+                 universe.status().ToString().c_str());
+    return 1;
+  }
+  schema::LtsOptions options;
+  options.universe = universe.value();
+  size_t depth = 3;
+  size_t max_nodes = 100000;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--grounded") == 0) {
+      options.grounded = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed_values.push_back(Value::Str(argv[++i]));
+    } else if ((std::strcmp(argv[i], "--depth") == 0 ||
+                std::strcmp(argv[i], "--max-nodes") == 0 ||
+                std::strcmp(argv[i], "--threads") == 0) &&
+               i + 1 < argc) {
+      const char* flag = argv[i];
+      Result<size_t> value = ParsePositiveCount(flag, argv[++i]);
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        return 2;
+      }
+      if (std::strcmp(flag, "--depth") == 0) {
+        depth = value.value();
+      } else if (std::strcmp(flag, "--max-nodes") == 0) {
+        max_nodes = value.value();
+      } else {
+        // Deterministic: stats are identical at any count
+        // (src/schema/lts.h).
+        options.num_threads = value.value();
+      }
+    }
+  }
+  std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
+      s.value(), schema::Instance(s.value()), options, depth, max_nodes);
+  std::printf("depth  configs  transitions  max-facts  truncated\n");
+  bool truncated = false;
+  for (const schema::LtsLevelStats& level : stats) {
+    truncated = truncated || level.truncated;
+    std::printf("%5zu  %7zu  %11zu  %9zu  %s\n", level.depth,
+                level.distinct_configurations, level.transitions,
+                level.max_configuration_facts,
+                level.truncated ? "yes" : "no");
+  }
+  if (truncated) {
+    std::printf("note: max-nodes budget cut the exploration; the tree "
+                "above is a prefix\n");
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "check") == 0) return RunCheck(argc, argv);
   if (std::strcmp(argv[1], "plan") == 0) return RunPlan(argc, argv);
   if (std::strcmp(argv[1], "answer") == 0) return RunAnswer(argc, argv);
+  if (std::strcmp(argv[1], "explore") == 0) return RunExplore(argc, argv);
   return Usage();
 }
 
