@@ -16,6 +16,7 @@
 #include "src/automata/compile.h"
 #include "src/automata/emptiness.h"
 #include "src/common/rng.h"
+#include "src/engine/cancel.h"
 #include "src/engine/thread_pool.h"
 #include "src/schema/lts.h"
 #include "src/workload/workload.h"
@@ -75,10 +76,11 @@ void BM_ParallelWitnessDiamond(benchmark::State& state) {
       automata::CompileToAutomaton(f, pd.schema).value();
   automata::WitnessSearchOptions opts;
   opts.max_path_length = 3;
-  opts.num_threads = static_cast<size_t>(state.range(0));
+  engine::ExecOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
-        a, pd.schema, schema::Instance(pd.schema), opts);
+        a, pd.schema, schema::Instance(pd.schema), opts, exec);
     benchmark::DoNotOptimize(r.found);
     state.counters["nodes"] = static_cast<double>(r.nodes_explored);
     state.counters["found"] = r.found ? 1 : 0;
@@ -106,10 +108,11 @@ void BM_ParallelWitnessSeeded(benchmark::State& state) {
       automata::CompileToAutomaton(f, pd.schema).value();
   automata::WitnessSearchOptions opts;
   opts.max_path_length = 4;
-  opts.num_threads = static_cast<size_t>(state.range(0));
+  engine::ExecOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     automata::WitnessSearchResult r =
-        automata::BoundedWitnessSearch(a, pd.schema, seeded, opts);
+        automata::BoundedWitnessSearch(a, pd.schema, seeded, opts, exec);
     benchmark::DoNotOptimize(r.found);
     state.counters["nodes"] = static_cast<double>(r.nodes_explored);
     state.counters["found"] = r.found ? 1 : 0;
@@ -144,10 +147,11 @@ void BM_ParallelWitnessDiamondSeeded(benchmark::State& state) {
       automata::CompileToAutomaton(f, pd.schema).value();
   automata::WitnessSearchOptions opts;
   opts.max_path_length = 5;
-  opts.num_threads = static_cast<size_t>(state.range(0));
+  engine::ExecOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     automata::WitnessSearchResult r =
-        automata::BoundedWitnessSearch(a, pd.schema, seeded, opts);
+        automata::BoundedWitnessSearch(a, pd.schema, seeded, opts, exec);
     benchmark::DoNotOptimize(r.found);
     state.counters["nodes"] = static_cast<double>(r.nodes_explored);
     state.counters["found"] = r.found ? 1 : 0;
@@ -178,10 +182,11 @@ void BM_ParallelZeroSolverSweep(benchmark::State& state) {
   acc::AccPtr f = acc::ParseAccFormula(text, pd.schema).value();
   analysis::ZeroSolverOptions opts;
   opts.max_path_length = 3;
-  opts.num_threads = static_cast<size_t>(state.range(0));
+  engine::ExecOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     Result<analysis::ZeroSolverResult> r =
-        analysis::CheckZeroArySatisfiable(f, pd.schema, opts);
+        analysis::CheckZeroArySatisfiable(f, pd.schema, opts, exec);
     benchmark::DoNotOptimize(r.ok());
     state.counters["nodes"] =
         static_cast<double>(r.value().nodes_explored);
@@ -207,11 +212,12 @@ void BM_ParallelLtsExplore(benchmark::State& state) {
   opts.universe = workload::MakePhoneUniverse(pd, &rng, 24);
   opts.grounded = false;
   opts.seed_values = {Value::Str("Smith")};
-  opts.num_threads = static_cast<size_t>(state.range(0));
+  engine::ExecOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
         pd.schema, schema::Instance(pd.schema), opts, /*max_depth=*/2,
-        /*max_nodes=*/200000);
+        /*max_nodes=*/200000, exec);
     benchmark::DoNotOptimize(stats.size());
     size_t configs = 0;
     for (const schema::LtsLevelStats& s : stats) {

@@ -1,5 +1,7 @@
 #include "src/analysis/decide.h"
 
+#include <utility>
+
 #include "src/analysis/minimize.h"
 #include "src/analysis/properties.h"
 #include "src/automata/compile.h"
@@ -19,66 +21,112 @@ const char* AnswerName(Answer a) {
   return "?";
 }
 
-Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
-                                      const schema::Schema& schema,
-                                      const DecideOptions& options) {
-  Decision d;
+Result<PreparedFormula> PrepareSatisfiability(const acc::AccPtr& formula,
+                                              const schema::Schema& schema) {
+  PreparedFormula prepared;
+  prepared.formula = formula;
   acc::FragmentInfo info = acc::Analyze(formula);
-  d.fragment = info.Classify();
-  d.uses_inequality = info.uses_inequality;
+  prepared.fragment = info.Classify();
+  prepared.uses_inequality = info.uses_inequality;
 
-  // Engine 1: the zero-ary solver (complete when it applies — it
-  // rejects variable-term IsBind atoms itself).
-  {
-    ZeroSolverOptions zopts = options.zero;
-    zopts.grounded = options.grounded;
-    if (options.num_threads > 1) zopts.num_threads = options.num_threads;
-    Result<ZeroSolverResult> r =
-        CheckZeroArySatisfiable(formula, schema, zopts);
-    if (r.ok()) {
-      d.engine = "zero-ary";
-      if (r.value().satisfiable) {
-        d.satisfiable = Answer::kYes;
-        d.has_witness = true;
-        d.witness = r.value().witness;
-        if (options.shrink_witness) {
-          d.witness = ShrinkWitness(formula, schema,
-                                    schema::Instance(schema), d.witness,
-                                    options.grounded);
-        }
-      } else {
-        d.satisfiable =
-            r.value().exhausted_budget ? Answer::kUnknown : Answer::kNo;
-      }
-      return d;
-    }
-    if (r.status().code() != StatusCode::kUnsupported) return r.status();
+  // Table 1 routing, resolved once. The zero solver rejects formulas
+  // outside its fragment itself; only a kUnsupported rejection falls
+  // through to the automata compilation (any other setup error is
+  // latched and surfaced by DecidePrepared, exactly as the one-shot
+  // path surfaced it).
+  Result<std::shared_ptr<const ZeroPlan>> zero =
+      PrepareZeroAry(formula, schema);
+  if (zero.ok()) {
+    prepared.zero_plan = zero.value();
+    return prepared;
   }
+  prepared.zero_status = zero.status();
+  if (zero.status().code() != StatusCode::kUnsupported) return prepared;
 
-  // Engine 2: AccLTL+ — compile to an A-automaton, bounded witness
-  // search, optional Datalog certification of emptiness.
   Result<automata::AAutomaton> compiled =
       automata::CompileToAutomaton(formula, schema);
   if (compiled.ok()) {
+    prepared.automaton = std::make_shared<const automata::AAutomaton>(
+        std::move(compiled.value()));
+  } else {
+    prepared.compile_status = compiled.status();
+  }
+  return prepared;
+}
+
+Result<Decision> DecidePrepared(const PreparedFormula& prepared,
+                                const schema::Schema& schema,
+                                const DecideOptions& options) {
+  Decision d;
+  d.fragment = prepared.fragment;
+  d.uses_inequality = prepared.uses_inequality;
+
+  // Engine 1: the zero-ary solver (complete when it applies).
+  if (prepared.zero_plan != nullptr) {
+    ZeroSolverOptions zopts = options.zero;
+    zopts.grounded = options.grounded;
+    Result<ZeroSolverResult> r = CheckZeroAryPrepared(
+        *prepared.zero_plan, schema, zopts, options.exec);
+    if (!r.ok()) return r.status();
+    d.engine = "zero-ary";
+    d.nodes_explored = r.value().nodes_explored;
+    d.exhausted_budget = r.value().exhausted_budget;
+    d.cancelled = r.value().cancelled;
+    if (r.value().satisfiable) {
+      d.satisfiable = Answer::kYes;
+      d.has_witness = true;
+      d.witness = r.value().witness;
+      if (options.shrink_witness) {
+        d.witness = ShrinkWitness(prepared.formula, schema,
+                                  schema::Instance(schema), d.witness,
+                                  options.grounded);
+      }
+    } else {
+      // A cancelled or budget-cut sweep is "unknown", never a
+      // definitive "no".
+      d.satisfiable =
+          r.value().exhausted_budget || r.value().cancelled
+              ? Answer::kUnknown
+              : Answer::kNo;
+    }
+    return d;
+  }
+  if (prepared.zero_status.code() != StatusCode::kUnsupported) {
+    return prepared.zero_status;
+  }
+
+  // Engine 2: AccLTL+ — the precompiled A-automaton, bounded witness
+  // search, optional Datalog certification of emptiness.
+  if (prepared.automaton != nullptr) {
     automata::WitnessSearchOptions wopts = options.bounded;
     wopts.grounded = options.grounded;
-    if (options.num_threads > 1) wopts.num_threads = options.num_threads;
     automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
-        compiled.value(), schema, schema::Instance(schema), wopts);
+        *prepared.automaton, schema, schema::Instance(schema), wopts,
+        options.exec);
     d.engine = "automata-bounded";
+    d.nodes_explored = r.nodes_explored;
+    d.exhausted_budget = r.exhausted_budget;
+    d.cancelled = r.cancelled;
     if (r.found) {
       d.satisfiable = Answer::kYes;
       d.has_witness = true;
       d.witness = r.witness;
       if (options.shrink_witness) {
-        d.witness = ShrinkWitness(formula, schema, schema::Instance(schema),
-                                  d.witness, options.grounded);
+        d.witness = ShrinkWitness(prepared.formula, schema,
+                                  schema::Instance(schema), d.witness,
+                                  options.grounded);
       }
       return d;
     }
-    if (options.use_datalog_pipeline && !options.grounded) {
+    // The Datalog pipeline is not cancellable: once started it runs to
+    // completion, so a deadline can only be honored at this boundary.
+    // Poll the token here (not just the search's verdict) so a token
+    // that fired after the search returned still skips the pipeline.
+    if (options.use_datalog_pipeline && !options.grounded && !r.cancelled &&
+        (options.exec.cancel == nullptr ||
+         !options.exec.cancel->ShouldStop())) {
       Result<bool> empty = automata::EmptinessViaDatalog(
-          compiled.value(), schema, options.decompose);
+          *prepared.automaton, schema, options.decompose);
       if (empty.ok()) {
         d.engine = "automata-datalog";
         d.satisfiable = empty.value() ? Answer::kNo : Answer::kYes;
@@ -93,8 +141,8 @@ Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
     d.satisfiable = Answer::kUnknown;
     return d;
   }
-  if (compiled.status().code() != StatusCode::kUnsupported) {
-    return compiled.status();
+  if (prepared.compile_status.code() != StatusCode::kUnsupported) {
+    return prepared.compile_status;
   }
 
   // Engine 3: undecidable fragments (Thm 3.1 / Thm 5.2): bounded
@@ -103,6 +151,14 @@ Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
   d.engine = "none";
   d.satisfiable = Answer::kUnknown;
   return d;
+}
+
+Result<Decision> DecideSatisfiability(const acc::AccPtr& formula,
+                                      const schema::Schema& schema,
+                                      const DecideOptions& options) {
+  Result<PreparedFormula> prepared = PrepareSatisfiability(formula, schema);
+  if (!prepared.ok()) return prepared.status();
+  return DecidePrepared(prepared.value(), schema, options);
 }
 
 Result<Decision> DecideValidity(const acc::AccPtr& formula,
@@ -139,12 +195,14 @@ Result<Decision> ContainedUnderAccessPatterns(
       NonContainmentAutomaton(schema, q1, q2, disjointness);
   automata::WitnessSearchOptions wopts = options.bounded;
   wopts.grounded = options.grounded;
-  if (options.num_threads > 1) wopts.num_threads = options.num_threads;
   automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
-      a, schema, schema::Instance(schema), wopts);
+      a, schema, schema::Instance(schema), wopts, options.exec);
   Decision d;
   d.engine = "automata-bounded";
   d.fragment = acc::Fragment::kBindingPositive;
+  d.nodes_explored = r.nodes_explored;
+  d.exhausted_budget = r.exhausted_budget;
+  d.cancelled = r.cancelled;
   if (r.found) {
     d.satisfiable = Answer::kNo;  // counterexample path: NOT contained
     d.has_witness = true;
@@ -155,7 +213,9 @@ Result<Decision> ContainedUnderAccessPatterns(
     }
     return d;
   }
-  if (options.use_datalog_pipeline && !options.grounded) {
+  if (options.use_datalog_pipeline && !options.grounded && !r.cancelled &&
+      (options.exec.cancel == nullptr ||
+       !options.exec.cancel->ShouldStop())) {
     Result<bool> empty =
         automata::EmptinessViaDatalog(a, schema, options.decompose);
     if (empty.ok()) {
@@ -164,7 +224,8 @@ Result<Decision> ContainedUnderAccessPatterns(
       return d;
     }
   }
-  d.satisfiable = r.exhausted_budget ? Answer::kUnknown : Answer::kYes;
+  d.satisfiable =
+      r.exhausted_budget || r.cancelled ? Answer::kUnknown : Answer::kYes;
   return d;
 }
 
@@ -178,12 +239,14 @@ Result<Decision> IsLongTermRelevant(
       RelevanceAutomaton(schema, method, binding, q, disjointness);
   automata::WitnessSearchOptions wopts = options.bounded;
   wopts.grounded = options.grounded;
-  if (options.num_threads > 1) wopts.num_threads = options.num_threads;
   automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
-      a, schema, schema::Instance(schema), wopts);
+      a, schema, schema::Instance(schema), wopts, options.exec);
   Decision d;
   d.engine = "automata-bounded";
   d.fragment = acc::Fragment::kBindingPositive;
+  d.nodes_explored = r.nodes_explored;
+  d.exhausted_budget = r.exhausted_budget;
+  d.cancelled = r.cancelled;
   if (r.found) {
     d.satisfiable = Answer::kYes;
     d.has_witness = true;
@@ -194,7 +257,8 @@ Result<Decision> IsLongTermRelevant(
     }
     return d;
   }
-  d.satisfiable = r.exhausted_budget ? Answer::kUnknown : Answer::kNo;
+  d.satisfiable =
+      r.exhausted_budget || r.cancelled ? Answer::kUnknown : Answer::kNo;
   return d;
 }
 

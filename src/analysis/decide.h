@@ -1,14 +1,17 @@
 #ifndef ACCLTL_ANALYSIS_DECIDE_H_
 #define ACCLTL_ANALYSIS_DECIDE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/accltl/formula.h"
 #include "src/accltl/fragments.h"
 #include "src/analysis/zero_solver.h"
+#include "src/automata/a_automaton.h"
 #include "src/automata/emptiness.h"
 #include "src/automata/progressive.h"
+#include "src/engine/cancel.h"
 #include "src/schema/dependencies.h"
 
 namespace accltl {
@@ -34,17 +37,30 @@ struct Decision {
   /// Witness path when satisfiable.
   bool has_witness = false;
   schema::AccessPath witness;
+  /// Search nodes expanded by the answering engine (0 for the pure
+  /// Datalog pipeline).
+  size_t nodes_explored = 0;
+  /// True when a node/realization budget cut the answering engine's
+  /// search (the reason a kUnknown is not a kNo).
+  bool exhausted_budget = false;
+  /// True when `DecideOptions::exec.cancel` fired and cut the search:
+  /// `satisfiable` is then kUnknown unless a sound witness was already
+  /// in hand.
+  bool cancelled = false;
 };
 
 struct DecideOptions {
   /// Restrict to grounded access paths.
   bool grounded = false;
-  /// Search workers for the witness engines (engine::Explorer). Copied
-  /// into both `zero.num_threads` and `bounded.num_threads`; both
+  /// The single execution-context source (worker count, cancellation)
+  /// for *every* engine a decision touches — the zero-ary solver and
+  /// the bounded automata search always observe this exact value, so
+  /// their worker counts can never disagree (the engines' option
+  /// structs deliberately carry no thread knob of their own). Both
   /// engines run on the shared parallel substrate and their results
   /// are deterministic in the worker count (see emptiness.h and
   /// zero_solver.h).
-  size_t num_threads = 1;
+  engine::ExecOptions exec;
   /// Run the Lemma 4.9/4.10 Datalog pipeline to certify emptiness when
   /// the bounded search finds no witness (AccLTL+ only).
   bool use_datalog_pipeline = false;
@@ -54,6 +70,45 @@ struct DecideOptions {
   automata::WitnessSearchOptions bounded;
   automata::DecomposeOptions decompose;
 };
+
+/// The per-formula state DecideSatisfiability rebuilds on every call —
+/// fragment classification (Figure 2), the zero-ary engine's plan
+/// (pool + tableau), the compiled Lemma 4.5 A-automaton — computed
+/// once and immutable thereafter. Share one instance across any
+/// number of concurrent DecidePrepared calls; the service layer
+/// (src/service/) wraps this in its PreparedQuery.
+struct PreparedFormula {
+  acc::AccPtr formula;
+  acc::Fragment fragment = acc::Fragment::kFull;
+  bool uses_inequality = false;
+  /// Zero-ary engine plan; null when the formula is outside the 0-ary
+  /// fragment (`zero_status` says why — kUnsupported routes to the
+  /// automata engines, any other code is a hard error surfaced by
+  /// DecidePrepared, matching the one-shot routing).
+  std::shared_ptr<const ZeroPlan> zero_plan;
+  Status zero_status;
+  /// Compiled A-automaton; null when the formula is not compilable
+  /// (`compile_status` says why, same convention). Only built when the
+  /// zero-ary engine does not apply — the zero solver is complete for
+  /// its fragment, so the automaton would never be consulted.
+  std::shared_ptr<const automata::AAutomaton> automaton;
+  Status compile_status;
+};
+
+/// Builds the prepared state (parse-free: the formula is already an
+/// AST). Fails only on hard setup errors the one-shot path would also
+/// fail on; fragment-routing misses are recorded in the embedded
+/// statuses instead.
+Result<PreparedFormula> PrepareSatisfiability(const acc::AccPtr& formula,
+                                              const schema::Schema& schema);
+
+/// DecideSatisfiability against a prepared formula: identical routing,
+/// identical Decision (byte for byte — same engine choice, verdict and
+/// witness), no per-call re-classification or re-compilation. The
+/// schema must be the one the formula was prepared against.
+Result<Decision> DecidePrepared(const PreparedFormula& prepared,
+                                const schema::Schema& schema,
+                                const DecideOptions& options = {});
 
 /// Routes a satisfiability question to the right engine per Table 1:
 ///  - no variable-term IsBind atoms → the ZeroSolver (complete;

@@ -23,6 +23,29 @@
 namespace accltl {
 namespace analysis {
 
+/// One pool fact: a concrete tuple for a relation, plus (when the
+/// witness disjunct constrains the access) the method/binding that must
+/// reveal it. External linkage (it is a member of ZeroPlan, which the
+/// header exposes by forward declaration), defined only in this TU.
+struct ZeroPoolFact {
+  schema::RelationId relation = 0;
+  Tuple tuple;
+  /// Method forced by a constant-only IsBind atom of the disjunct
+  /// (-1: any method on the relation).
+  int forced_method = -1;
+};
+
+/// The prepared, options-independent state (see zero_solver.h). The
+/// header only forward-declares the class; callers hold it through
+/// shared_ptr<const ZeroPlan> and never see the members.
+class ZeroPlan {
+ public:
+  acc::Abstraction abstraction;
+  std::vector<ZeroPoolFact> pool;
+  ltl::TableauAutomaton tableau;
+  std::vector<std::vector<int>> edges_by_state;
+};
+
 namespace {
 
 using logic::PredSpace;
@@ -32,16 +55,7 @@ using schema::RelationId;
 using PathLink = engine::PathLink<schema::AccessStep>;
 using engine::CmpPathKeys;
 
-/// One pool fact: a concrete tuple for a relation, plus (when the
-/// witness disjunct constrains the access) the method/binding that must
-/// reveal it.
-struct PoolFact {
-  RelationId relation = 0;
-  Tuple tuple;
-  /// Method forced by a constant-only IsBind atom of the disjunct
-  /// (-1: any method on the relation).
-  int forced_method = -1;
-};
+using PoolFact = ZeroPoolFact;
 
 /// One frontier node of the engine-based search. The node's
 /// configuration is a pure function of `facts` (the empty initial
@@ -63,128 +77,112 @@ struct ZeroNode {
   std::vector<const PathLink*> links;
 };
 
+/// Rejects formulas outside the (constant-extended) 0-ary fragment.
+Status CheckZeroAry(const logic::PosFormulaPtr& f) {
+  switch (f->kind()) {
+    case logic::NodeKind::kAtom:
+      if (f->pred().space == PredSpace::kBind) {
+        for (const logic::Term& t : f->terms()) {
+          if (t.is_var()) {
+            return Status::Unsupported(
+                "IsBind atom with variable terms: formula is outside "
+                "AccLTL(FO^E+_0-Acc); use the AccLTL+ automata engine");
+          }
+        }
+      }
+      if (f->pred().space == PredSpace::kPlain) {
+        return Status::InvalidArgument(
+            "plain-schema atom in a transition formula (use _pre/_post)");
+      }
+      return Status::OK();
+    case logic::NodeKind::kAnd:
+    case logic::NodeKind::kOr: {
+      for (const logic::PosFormulaPtr& c : f->children()) {
+        ACCLTL_RETURN_IF_ERROR(CheckZeroAry(c));
+      }
+      return Status::OK();
+    }
+    case logic::NodeKind::kExists:
+      return CheckZeroAry(f->body());
+    default:
+      return Status::OK();
+  }
+}
+
+/// Freezes every UCQ disjunct of every atom into pool facts.
+Status BuildPool(const acc::Abstraction& abstraction,
+                 const schema::Schema& schema,
+                 std::vector<PoolFact>* pool) {
+  logic::FreshValueFactory factory;
+  for (const logic::PosFormulaPtr& atom : abstraction.atoms) {
+    Result<logic::Ucq> ucq = logic::NormalizeToUcq(atom, {}, schema);
+    if (!ucq.ok()) return ucq.status();
+    for (const logic::Cq& d : ucq.value().disjuncts) {
+      // Method forced by constant-only bind atoms (at most one per
+      // disjunct is satisfiable on a transition, but facts of the
+      // disjunct may span several transitions; the forced method
+      // applies to facts of that method's relation).
+      std::map<RelationId, int> forced;
+      for (const logic::CqAtom& a : d.atoms) {
+        if (a.pred.space == PredSpace::kBind) {
+          forced[schema.method(a.pred.id).relation] = a.pred.id;
+        }
+      }
+      Result<logic::FrozenCq> frozen = logic::FreezeCq(d, schema, &factory);
+      if (!frozen.ok()) return frozen.status();
+      for (const auto& [pred, tuples] : frozen.value().db.relations()) {
+        if (pred.space == PredSpace::kBind) continue;
+        for (const Tuple& t : tuples) {
+          PoolFact f;
+          f.relation = pred.id;
+          f.tuple = t;
+          auto it = forced.find(pred.id);
+          f.forced_method = it == forced.end() ? -1 : it->second;
+          // Dedupe identical facts.
+          bool dup = false;
+          for (const PoolFact& existing : *pool) {
+            if (existing.relation == f.relation &&
+                existing.tuple == f.tuple) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) pool->push_back(std::move(f));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// The per-run search state over a shared, immutable plan.
 class ZeroSolver {
  public:
-  ZeroSolver(const acc::AccPtr& formula, const schema::Schema& schema,
-             const ZeroSolverOptions& options)
-      : schema_(schema),
+  ZeroSolver(const ZeroPlan& plan, const schema::Schema& schema,
+             const ZeroSolverOptions& options,
+             const engine::ExecOptions& exec)
+      : plan_(plan),
+        schema_(schema),
         options_(options),
-        workers_(std::max<size_t>(1, options.num_threads)) {
-    abstraction_ = acc::Abstract(formula);
-  }
+        exec_(exec),
+        workers_(std::max<size_t>(1, exec.num_threads)) {}
 
   Result<ZeroSolverResult> Run() {
-    // 1. Reject formulas outside the (constant-extended) 0-ary fragment.
-    for (const logic::PosFormulaPtr& atom : abstraction_.atoms) {
-      Status s = CheckZeroAry(atom);
-      if (!s.ok()) return s;
-    }
-    // 2. Build the canonical-witness pool.
-    ACCLTL_RETURN_IF_ERROR(BuildPool());
-    if (pool_.size() > 63) {
-      return Status::ResourceExhausted(
-          "witness pool exceeds 63 facts; split the formula");
-    }
-    // 3. Build the LTL tableau for the skeleton.
-    Result<ltl::TableauAutomaton> tableau =
-        ltl::BuildTableau(abstraction_.skeleton, 1u << 18);
-    if (!tableau.ok()) return tableau.status();
-    tableau_ = std::move(tableau.value());
-    edges_by_state_.assign(static_cast<size_t>(tableau_.num_states), {});
-    for (size_t i = 0; i < tableau_.edges.size(); ++i) {
-      edges_by_state_[static_cast<size_t>(tableau_.edges[i].from)].push_back(
-          static_cast<int>(i));
-    }
-    // 4. Search on the shared engine: serial pf-DFS at one worker,
+    // Search on the shared engine: serial pf-DFS at one worker,
     // pilot + level-synchronous sweep otherwise — the same
-    // schedule-independent reduction as BoundedWitnessSearch.
+    // schedule-independent reduction as BoundedWitnessSearch. All
+    // formula-dependent setup lives in the plan (PrepareZeroAry).
     return Search();
   }
 
  private:
-  Status CheckZeroAry(const logic::PosFormulaPtr& f) {
-    switch (f->kind()) {
-      case logic::NodeKind::kAtom:
-        if (f->pred().space == PredSpace::kBind) {
-          for (const logic::Term& t : f->terms()) {
-            if (t.is_var()) {
-              return Status::Unsupported(
-                  "IsBind atom with variable terms: formula is outside "
-                  "AccLTL(FO^E+_0-Acc); use the AccLTL+ automata engine");
-            }
-          }
-        }
-        if (f->pred().space == PredSpace::kPlain) {
-          return Status::InvalidArgument(
-              "plain-schema atom in a transition formula (use _pre/_post)");
-        }
-        return Status::OK();
-      case logic::NodeKind::kAnd:
-      case logic::NodeKind::kOr: {
-        for (const logic::PosFormulaPtr& c : f->children()) {
-          ACCLTL_RETURN_IF_ERROR(CheckZeroAry(c));
-        }
-        return Status::OK();
-      }
-      case logic::NodeKind::kExists:
-        return CheckZeroAry(f->body());
-      default:
-        return Status::OK();
-    }
-  }
-
-  /// Freezes every UCQ disjunct of every atom into pool facts.
-  Status BuildPool() {
-    logic::FreshValueFactory factory;
-    for (const logic::PosFormulaPtr& atom : abstraction_.atoms) {
-      Result<logic::Ucq> ucq = logic::NormalizeToUcq(atom, {}, schema_);
-      if (!ucq.ok()) return ucq.status();
-      for (const logic::Cq& d : ucq.value().disjuncts) {
-        // Method forced by constant-only bind atoms (at most one per
-        // disjunct is satisfiable on a transition, but facts of the
-        // disjunct may span several transitions; the forced method
-        // applies to facts of that method's relation).
-        std::map<RelationId, int> forced;
-        for (const logic::CqAtom& a : d.atoms) {
-          if (a.pred.space == PredSpace::kBind) {
-            forced[schema_.method(a.pred.id).relation] = a.pred.id;
-          }
-        }
-        Result<logic::FrozenCq> frozen =
-            logic::FreezeCq(d, schema_, &factory);
-        if (!frozen.ok()) return frozen.status();
-        for (const auto& [pred, tuples] : frozen.value().db.relations()) {
-          if (pred.space == PredSpace::kBind) continue;
-          for (const Tuple& t : tuples) {
-            PoolFact f;
-            f.relation = pred.id;
-            f.tuple = t;
-            auto it = forced.find(pred.id);
-            f.forced_method = it == forced.end() ? -1 : it->second;
-            // Dedupe identical facts.
-            bool dup = false;
-            for (const PoolFact& existing : pool_) {
-              if (existing.relation == f.relation &&
-                  existing.tuple == f.tuple) {
-                dup = true;
-                break;
-              }
-            }
-            if (!dup) pool_.push_back(std::move(f));
-          }
-        }
-      }
-    }
-    return Status::OK();
-  }
-
   /// Evaluates all atoms on a transition; returns the set of true
   /// proposition ids.
   std::set<int> TrueAtoms(const schema::Transition& t) const {
     std::set<int> out;
     logic::TransitionView view(t);
-    for (size_t i = 0; i < abstraction_.atoms.size(); ++i) {
-      if (logic::EvalSentence(abstraction_.atoms[i], view)) {
+    for (size_t i = 0; i < plan_.abstraction.atoms.size(); ++i) {
+      if (logic::EvalSentence(plan_.abstraction.atoms[i], view)) {
         out.insert(static_cast<int>(i));
       }
     }
@@ -240,7 +238,7 @@ class ZeroSolver {
   std::vector<std::unique_ptr<ZeroNode>> MakeRoots() {
     auto root = std::make_unique<ZeroNode>();
     root->facts = 0;
-    root->tableau = {tableau_.initial};
+    root->tableau = {plan_.tableau.initial};
     root->config = schema::Instance(schema_);
     root->depth = 0;
     if (!options_.require_idempotent) {
@@ -257,9 +255,11 @@ class ZeroSolver {
     // One worker: serial pf-DFS whose first accept is the reduced
     // answer. More: pf-DFS pilot, then a level-synchronous sweep with
     // the deterministic barrier reduction (see engine/two_phase.h).
+    engine::ExecOptions run_exec = exec_;
+    run_exec.num_threads = workers_;
     engine::Explorer<ZeroNode>::Stats stats =
         engine::TwoPhaseExplore<ZeroNode>(
-            workers_, options_.max_nodes, [this] { return MakeRoots(); },
+            run_exec, options_.max_nodes, [this] { return MakeRoots(); },
             [this](std::unique_ptr<ZeroNode> node,
                    engine::Explorer<ZeroNode>::Context& ctx) {
               VisitDfs(std::move(node), ctx);
@@ -279,15 +279,16 @@ class ZeroSolver {
               visited_.Clear();
               truncated_.store(false, std::memory_order_relaxed);
             });
-    return Finalize(stats.nodes_explored, stats.budget_exhausted);
+    return Finalize(stats);
   }
 
-  Result<ZeroSolverResult> Finalize(size_t nodes_explored,
-                                    bool budget_exhausted) {
+  Result<ZeroSolverResult> Finalize(
+      const engine::Explorer<ZeroNode>::Stats& stats) {
     ZeroSolverResult result;
-    result.nodes_explored = nodes_explored;
+    result.nodes_explored = stats.nodes_explored;
     result.exhausted_budget =
-        budget_exhausted || truncated_.load(std::memory_order_relaxed);
+        stats.budget_exhausted || truncated_.load(std::memory_order_relaxed);
+    result.cancelled = stats.cancelled;
     std::shared_ptr<const engine::BestPathTracker<schema::AccessStep>::Path>
         best = best_.Snapshot();
     result.satisfiable = best != nullptr;
@@ -434,11 +435,11 @@ class ZeroSolver {
     for (AccessMethodId m = 0; m < schema_.num_access_methods(); ++m) {
       const schema::AccessMethod& am = schema_.method(m);
       std::vector<size_t> candidates;
-      for (size_t i = 0; i < pool_.size(); ++i) {
+      for (size_t i = 0; i < plan_.pool.size(); ++i) {
         if (node.facts & (uint64_t{1} << i)) continue;
-        if (pool_[i].relation != am.relation) continue;
-        if (pool_[i].forced_method >= 0 &&
-            pool_[i].forced_method != static_cast<int>(m)) {
+        if (plan_.pool[i].relation != am.relation) continue;
+        if (plan_.pool[i].forced_method >= 0 &&
+            plan_.pool[i].forced_method != static_cast<int>(m)) {
           continue;
         }
         candidates.push_back(i);
@@ -451,7 +452,7 @@ class ZeroSolver {
       for (size_t i : candidates) {
         Tuple b;
         for (schema::Position p : am.input_positions) {
-          b.push_back(pool_[i].tuple[static_cast<size_t>(p)]);
+          b.push_back(plan_.pool[i].tuple[static_cast<size_t>(p)]);
         }
         groups[std::move(b)].push_back(i);
       }
@@ -543,7 +544,7 @@ class ZeroSolver {
     schema::Response response;
     uint64_t new_facts = node.facts;
     for (size_t i : chosen) {
-      response.insert(pool_[i].tuple);
+      response.insert(plan_.pool[i].tuple);
       new_facts |= uint64_t{1} << i;
     }
     if (options_.require_idempotent) {
@@ -564,9 +565,9 @@ class ZeroSolver {
     std::set<int> next_states;
     bool may_end = false;
     for (int s : node.tableau) {
-      for (int ei : edges_by_state_[static_cast<size_t>(s)]) {
+      for (int ei : plan_.edges_by_state[static_cast<size_t>(s)]) {
         const ltl::TableauEdge& e =
-            tableau_.edges[static_cast<size_t>(ei)];
+            plan_.tableau.edges[static_cast<size_t>(ei)];
         bool match = true;
         for (int p : e.pos_lits) {
           if (letter.count(p) == 0) {
@@ -599,13 +600,11 @@ class ZeroSolver {
     children->push_back(std::move(child));
   }
 
+  const ZeroPlan& plan_;
   const schema::Schema& schema_;
   const ZeroSolverOptions& options_;
+  engine::ExecOptions exec_;
   size_t workers_;
-  acc::Abstraction abstraction_;
-  std::vector<PoolFact> pool_;
-  ltl::TableauAutomaton tableau_;
-  std::vector<std::vector<int>> edges_by_state_;
   engine::ShardedVisitedTable<VisitedEntry> visited_{64};
   engine::BestPathTracker<schema::AccessStep> best_;
   std::atomic<bool> truncated_{false};
@@ -613,11 +612,50 @@ class ZeroSolver {
 
 }  // namespace
 
+Result<std::shared_ptr<const ZeroPlan>> PrepareZeroAry(
+    const acc::AccPtr& formula, const schema::Schema& schema) {
+  auto plan = std::make_shared<ZeroPlan>();
+  plan->abstraction = acc::Abstract(formula);
+  // 1. Reject formulas outside the (constant-extended) 0-ary fragment.
+  for (const logic::PosFormulaPtr& atom : plan->abstraction.atoms) {
+    Status s = CheckZeroAry(atom);
+    if (!s.ok()) return s;
+  }
+  // 2. Build the canonical-witness pool.
+  ACCLTL_RETURN_IF_ERROR(
+      BuildPool(plan->abstraction, schema, &plan->pool));
+  if (plan->pool.size() > 63) {
+    return Status::ResourceExhausted(
+        "witness pool exceeds 63 facts; split the formula");
+  }
+  // 3. Build the LTL tableau for the skeleton.
+  Result<ltl::TableauAutomaton> tableau =
+      ltl::BuildTableau(plan->abstraction.skeleton, 1u << 18);
+  if (!tableau.ok()) return tableau.status();
+  plan->tableau = std::move(tableau.value());
+  plan->edges_by_state.assign(
+      static_cast<size_t>(plan->tableau.num_states), {});
+  for (size_t i = 0; i < plan->tableau.edges.size(); ++i) {
+    plan->edges_by_state[static_cast<size_t>(plan->tableau.edges[i].from)]
+        .push_back(static_cast<int>(i));
+  }
+  return std::shared_ptr<const ZeroPlan>(std::move(plan));
+}
+
+Result<ZeroSolverResult> CheckZeroAryPrepared(
+    const ZeroPlan& plan, const schema::Schema& schema,
+    const ZeroSolverOptions& options, const engine::ExecOptions& exec) {
+  ZeroSolver solver(plan, schema, options, exec);
+  return solver.Run();
+}
+
 Result<ZeroSolverResult> CheckZeroArySatisfiable(
     const acc::AccPtr& formula, const schema::Schema& schema,
-    const ZeroSolverOptions& options) {
-  ZeroSolver solver(formula, schema, options);
-  return solver.Run();
+    const ZeroSolverOptions& options, const engine::ExecOptions& exec) {
+  Result<std::shared_ptr<const ZeroPlan>> plan =
+      PrepareZeroAry(formula, schema);
+  if (!plan.ok()) return plan.status();
+  return CheckZeroAryPrepared(*plan.value(), schema, options, exec);
 }
 
 }  // namespace analysis

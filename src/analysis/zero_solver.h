@@ -2,9 +2,11 @@
 #define ACCLTL_ANALYSIS_ZERO_SOLVER_H_
 
 #include <cstddef>
+#include <memory>
 
 #include "src/accltl/formula.h"
 #include "src/common/status.h"
+#include "src/engine/cancel.h"
 #include "src/schema/access.h"
 
 namespace accltl {
@@ -33,15 +35,6 @@ struct ZeroSolverOptions {
   /// binding); when this cap truncates the enumeration the result is
   /// flagged `exhausted_budget` — never a silent "unsatisfiable".
   size_t max_subsets_per_access = 4096;
-  /// Worker count, threaded through from analysis::DecideOptions so
-  /// one knob drives every engine. The solver runs on the shared
-  /// parallel exploration engine (src/engine/) with the same
-  /// schedule-independence guarantee as the automata search: verdict,
-  /// witness and exhausted_budget are identical at every worker
-  /// count, provided `max_nodes` is not the binding constraint (the
-  /// serial DFS and the parallel level sweep spend the same budget in
-  /// different orders; see DESIGN.md §3).
-  size_t num_threads = 1;
 };
 
 struct ZeroSolverResult {
@@ -49,7 +42,41 @@ struct ZeroSolverResult {
   schema::AccessPath witness;
   size_t nodes_explored = 0;
   bool exhausted_budget = false;
+  /// True when `exec.cancel` fired and stopped the search;
+  /// `satisfiable == false` then means "unknown", not "no". A witness
+  /// found before the cut is still returned (it is sound).
+  bool cancelled = false;
 };
+
+/// The prepared, options-independent state of the zero-ary engine:
+/// the Sch0−Acc abstraction, the Lemma 4.13 canonical-witness pool,
+/// and the finite-word LTL tableau of the propositional skeleton —
+/// everything that used to be rebuilt per call. Immutable once built;
+/// share one instance across any number of concurrent checks (with
+/// any grounded/idempotent/budget variation — those are search-time
+/// options). Opaque: defined in zero_solver.cc.
+class ZeroPlan;
+
+/// Builds the prepared state. Rejects formulas outside the
+/// (constant-extended) 0-ary fragment with kUnsupported, oversized
+/// witness pools and tableaux with kResourceExhausted — the same
+/// errors the one-shot entry point reported from its setup phase.
+Result<std::shared_ptr<const ZeroPlan>> PrepareZeroAry(
+    const acc::AccPtr& formula, const schema::Schema& schema);
+
+/// Runs the search against a prepared plan. `exec` is the single
+/// execution-context source (engine/cancel.h): worker count and
+/// cancellation. The solver runs on the shared parallel exploration
+/// engine (src/engine/) with the same schedule-independence guarantee
+/// as the automata search: verdict, witness and exhausted_budget are
+/// identical at every worker count, provided `max_nodes` is not the
+/// binding constraint (the serial DFS and the parallel level sweep
+/// spend the same budget in different orders; see DESIGN.md §3), and
+/// a cancel token that never fires never changes any result.
+Result<ZeroSolverResult> CheckZeroAryPrepared(
+    const ZeroPlan& plan, const schema::Schema& schema,
+    const ZeroSolverOptions& options = {},
+    const engine::ExecOptions& exec = {});
 
 /// Decision procedure for AccLTL(FO∃+(,≠)0−Acc) satisfiability
 /// (Thms 4.12 / 4.14 / 5.1) from the empty initial instance.
@@ -72,9 +99,14 @@ struct ZeroSolverResult {
 /// Atoms may use 0-ary IsBind propositions and IsBind atoms whose terms
 /// are all constants; variable binding terms require the AccLTL+
 /// engines (automata/) and are rejected with kUnsupported.
+///
+/// One-shot adapter over PrepareZeroAry + CheckZeroAryPrepared: the
+/// plan is built, used once and discarded. Long-lived callers (the
+/// service layer) prepare once and submit many.
 Result<ZeroSolverResult> CheckZeroArySatisfiable(
     const acc::AccPtr& formula, const schema::Schema& schema,
-    const ZeroSolverOptions& options = {});
+    const ZeroSolverOptions& options = {},
+    const engine::ExecOptions& exec = {});
 
 }  // namespace analysis
 }  // namespace accltl

@@ -610,13 +610,15 @@ struct SearchNode {
 class Search {
  public:
   Search(const AAutomaton& automaton, const schema::Schema& schema,
-         const WitnessSearchOptions& options, const Instance& initial)
+         const WitnessSearchOptions& options,
+         const engine::ExecOptions& exec, const Instance& initial)
       : automaton_(automaton),
         schema_(schema),
         options_(options),
+        exec_(exec),
         initial_(initial),
         plan_(GetPlan(automaton, schema)),
-        workers_(std::max<size_t>(1, options.num_threads)) {
+        workers_(std::max<size_t>(1, exec.num_threads)) {
     local_views_.reserve(workers_);
     for (size_t i = 0; i < workers_; ++i) {
       local_views_.emplace_back(&index_cache_);
@@ -627,9 +629,11 @@ class Search {
     // One worker: serial pf-DFS whose first accept is the reduced
     // answer. More: pf-DFS pilot, then a level-synchronous sweep with
     // the deterministic barrier reduction (see engine/two_phase.h).
+    engine::ExecOptions run_exec = exec_;
+    run_exec.num_threads = workers_;
     engine::Explorer<SearchNode>::Stats stats =
         engine::TwoPhaseExplore<SearchNode>(
-            workers_, options_.max_nodes, [this] { return MakeRoots(); },
+            run_exec, options_.max_nodes, [this] { return MakeRoots(); },
             [this](std::unique_ptr<SearchNode> node,
                    engine::Explorer<SearchNode>::Context& ctx) {
               VisitDfs(std::move(node), ctx);
@@ -662,7 +666,7 @@ class Search {
                    stats.nodes_explored,
                    static_cast<unsigned long long>(reduce_micros_ / 1000));
     }
-    return Finalize(stats.nodes_explored, stats.budget_exhausted);
+    return Finalize(stats);
   }
 
  private:
@@ -689,13 +693,14 @@ class Search {
     return roots;
   }
 
-  WitnessSearchResult Finalize(size_t nodes_explored,
-                               bool budget_exhausted) {
+  WitnessSearchResult Finalize(
+      const engine::Explorer<SearchNode>::Stats& stats) {
     WitnessSearchResult result;
-    result.nodes_explored = nodes_explored;
+    result.nodes_explored = stats.nodes_explored;
     result.exhausted_budget =
-        budget_exhausted ||
+        stats.budget_exhausted ||
         realization_truncated_.load(std::memory_order_relaxed);
+    result.cancelled = stats.cancelled;
     std::shared_ptr<const BestWitness> best = BestSnapshot();
     result.found = best != nullptr;
     if (best != nullptr) result.witness = schema::AccessPath(best->steps);
@@ -989,6 +994,7 @@ class Search {
   const AAutomaton& automaton_;
   const schema::Schema& schema_;
   const WitnessSearchOptions& options_;
+  engine::ExecOptions exec_;
   const Instance& initial_;
   std::shared_ptr<const SearchPlan> plan_;
   size_t workers_;
@@ -1007,8 +1013,9 @@ class Search {
 WitnessSearchResult BoundedWitnessSearch(const AAutomaton& automaton,
                                          const schema::Schema& schema,
                                          const schema::Instance& initial,
-                                         const WitnessSearchOptions& options) {
-  Search search(automaton, schema, options, initial);
+                                         const WitnessSearchOptions& options,
+                                         const engine::ExecOptions& exec) {
+  Search search(automaton, schema, options, exec, initial);
   return search.Run();
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "src/automata/a_automaton.h"
+#include "src/engine/cancel.h"
 #include "src/schema/access.h"
 
 namespace accltl {
@@ -27,18 +28,6 @@ struct WitnessSearchOptions {
   /// greater depth, keyed by the 64-bit configuration hash. Exposed so
   /// tests/benchmarks can measure the nodes_explored reduction.
   bool use_visited_dedup = true;
-  /// Number of search workers (engine::Explorer). 1 (the default) runs
-  /// serially on the calling thread with no thread creation. Results
-  /// reduce deterministically by the content order on access paths
-  /// (see DESIGN.md, "Parallel engine"), independent of scheduling:
-  /// the same witness and the same exhausted_budget verdict at every
-  /// worker count, provided `max_nodes` is not the binding constraint
-  /// (the serial and parallel disciplines spend the budget on
-  /// different node orders, so searches cut off mid-space may diverge
-  /// — clearly-under or clearly-over budgets are deterministic either
-  /// way). The total node count across phases never exceeds
-  /// `max_nodes` at any setting.
-  size_t num_threads = 1;
 };
 
 struct WitnessSearchResult {
@@ -49,6 +38,10 @@ struct WitnessSearchResult {
   /// — the `max_nodes` budget or the `max_realizations_per_step` cap;
   /// `found == false` then means "unknown", not "empty".
   bool exhausted_budget = false;
+  /// True when `exec.cancel` fired (deadline or explicit cancel) and
+  /// stopped the search; `found == false` then means "unknown". A
+  /// witness found before the cut is still returned (it is sound).
+  bool cancelled = false;
   size_t nodes_explored = 0;
 };
 
@@ -59,10 +52,22 @@ struct WitnessSearchResult {
 /// concrete transition. Sound: a returned witness is a real accepting
 /// access path. Complete up to the path-length bound for guards whose
 /// negative parts do not force value fusion (see DESIGN.md).
-WitnessSearchResult BoundedWitnessSearch(const AAutomaton& automaton,
-                                         const schema::Schema& schema,
-                                         const schema::Instance& initial,
-                                         const WitnessSearchOptions& options);
+///
+/// `exec` is the single execution-context source (engine/cancel.h):
+/// worker count and cancellation. Results reduce deterministically by
+/// the content order on access paths (see DESIGN.md, "Parallel
+/// engine"), independent of scheduling: the same witness and the same
+/// exhausted_budget verdict at every `exec.num_threads`, provided
+/// `max_nodes` is not the binding constraint (the serial and parallel
+/// disciplines spend the budget on different node orders, so searches
+/// cut off mid-space may diverge — clearly-under or clearly-over
+/// budgets are deterministic either way). The total node count across
+/// phases never exceeds `max_nodes` at any setting, and a cancel
+/// token that never fires never changes any result.
+WitnessSearchResult BoundedWitnessSearch(
+    const AAutomaton& automaton, const schema::Schema& schema,
+    const schema::Instance& initial, const WitnessSearchOptions& options,
+    const engine::ExecOptions& exec = {});
 
 }  // namespace automata
 }  // namespace accltl

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/engine/cancel.h"
 #include "src/engine/thread_pool.h"
 #include "src/engine/work_deque.h"
 
@@ -53,14 +54,21 @@ class Explorer {
     /// Budget over popped nodes; exceeding it aborts with
     /// budget_exhausted set.
     size_t max_nodes = static_cast<size_t>(-1);
+    /// Cooperative stop, polled at the same count-then-cut points as
+    /// the budget (before each pop). A token that never fires never
+    /// perturbs the exploration (the poll is read-only); a fired token
+    /// aborts all workers and sets Stats::cancelled.
+    const CancelToken* cancel = nullptr;
   };
 
   struct Stats {
     size_t nodes_explored = 0;
     bool budget_exhausted = false;
-    /// True when the exploration stopped on abort (budget or visitor)
-    /// rather than by draining the frontier.
+    /// True when the exploration stopped on abort (budget, visitor, or
+    /// cancellation) rather than by draining the frontier.
     bool aborted = false;
+    /// True when Options::cancel fired and stopped the exploration.
+    bool cancelled = false;
     /// Level mode only: number of completed level barriers (the depth
     /// of the deepest fully-reduced frontier).
     size_t levels_completed = 0;
@@ -93,7 +101,7 @@ class Explorer {
     if (workers > 1) {
       workers = std::min(workers, ThreadPool::Global().size() + 1);
     }
-    Shared shared(workers, options.max_nodes);
+    Shared shared(workers, options.max_nodes, options.cancel);
     std::vector<std::unique_ptr<Node>> frontier = std::move(roots);
     size_t level = 0;
     while (!frontier.empty() &&
@@ -114,6 +122,10 @@ class Explorer {
       for (size_t w = 0; w < workers; ++w) {
         batches[w].swap(shared.emitted[w]);
       }
+      // The barrier poll: the reduce of a large level runs for
+      // milliseconds with no pops, so check the token here too rather
+      // than paying a whole reduce after the deadline fired.
+      shared.Cancelled();
       if (shared.abort.load(std::memory_order_acquire)) {
         for (auto& batch : batches) {
           for (Node* child : batch) delete child;
@@ -139,6 +151,7 @@ class Explorer {
     stats.budget_exhausted =
         shared.budget_exhausted.load(std::memory_order_relaxed);
     stats.aborted = shared.abort.load(std::memory_order_relaxed);
+    stats.cancelled = shared.cancelled.load(std::memory_order_relaxed);
     stats.levels_completed = level;
     return stats;
   }
@@ -155,7 +168,7 @@ class Explorer {
     if (workers > 1) {
       workers = std::min(workers, ThreadPool::Global().size() + 1);
     }
-    Shared shared(workers, options.max_nodes);
+    Shared shared(workers, options.max_nodes, options.cancel);
     // Seed round-robin. Owner-only push is fine here: the workers have
     // not started, and starting them synchronizes-with these writes.
     for (size_t i = 0; i < roots.size(); ++i) {
@@ -180,27 +193,40 @@ class Explorer {
     stats.budget_exhausted =
         shared.budget_exhausted.load(std::memory_order_relaxed);
     stats.aborted = shared.abort.load(std::memory_order_relaxed);
+    stats.cancelled = shared.cancelled.load(std::memory_order_relaxed);
     return stats;
   }
 
  private:
   struct Shared {
-    Shared(size_t workers, size_t max_nodes_in)
-        : emitted(workers), max_nodes(max_nodes_in) {
+    Shared(size_t workers, size_t max_nodes_in, const CancelToken* cancel_in)
+        : emitted(workers), max_nodes(max_nodes_in), cancel(cancel_in) {
       deques.reserve(workers);
       for (size_t i = 0; i < workers; ++i) {
         deques.push_back(std::make_unique<WorkStealingDeque<Node*>>());
       }
     }
+
+    /// The per-pop cancellation poll: raises the shared abort (and the
+    /// cancelled stat) once the token fires. Read-only until then.
+    bool Cancelled() {
+      if (cancel == nullptr || !cancel->ShouldStop()) return false;
+      cancelled.store(true, std::memory_order_relaxed);
+      abort.store(true, std::memory_order_release);
+      return true;
+    }
+
     std::vector<std::unique_ptr<WorkStealingDeque<Node*>>> deques;
     std::atomic<size_t> pending{0};
     std::atomic<size_t> popped{0};
     std::atomic<size_t> processed{0};
     std::atomic<bool> abort{false};
     std::atomic<bool> budget_exhausted{false};
+    std::atomic<bool> cancelled{false};
     std::vector<std::vector<Node*>> emitted;  // per worker, level mode
     size_t level_size = 0;
     size_t max_nodes;
+    const CancelToken* cancel;
   };
 
  public:
@@ -222,8 +248,13 @@ class Explorer {
     /// Raises the global cooperative stop.
     void Abort() { shared_->abort.store(true, std::memory_order_release); }
 
+    /// True once the exploration is stopping. Also polls the cancel
+    /// token, so visitors that check mid-expansion (long realization
+    /// enumerations) observe a deadline without waiting for the next
+    /// pop — an unfired token still costs only a read.
     bool aborted() const {
-      return shared_->abort.load(std::memory_order_acquire);
+      if (shared_->abort.load(std::memory_order_acquire)) return true;
+      return shared_->Cancelled();
     }
 
    private:
@@ -243,6 +274,7 @@ class Explorer {
     int idle_sweeps = 0;
     for (;;) {
       if (shared->abort.load(std::memory_order_acquire)) return;
+      if (shared->Cancelled()) return;
       bool got = shared->deques[w]->Pop(&raw);
       for (size_t k = 1; !got && k < workers; ++k) {
         got = shared->deques[(w + k) % workers]->Steal(&raw);
@@ -293,6 +325,7 @@ class Explorer {
     int idle_sweeps = 0;
     for (;;) {
       if (shared->abort.load(std::memory_order_acquire)) return;
+      if (shared->Cancelled()) return;
       bool got = shared->deques[w]->Pop(&raw);
       for (size_t k = 1; !got && k < workers; ++k) {
         got = shared->deques[(w + k) % workers]->Steal(&raw);

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/engine/cancel.h"
 #include "src/engine/explorer.h"
 #include "src/engine/thread_pool.h"
 
@@ -30,18 +31,23 @@ namespace engine {
 /// `found()` reports whether the pilot already produced an accepting
 /// answer. The returned stats aggregate both phases; `budget_exhausted`
 /// is the final phase's verdict (the pilot's cut is an internal
-/// staging step, not a caller-visible budget).
+/// staging step, not a caller-visible budget). `exec.cancel` is polled
+/// by both phases at node granularity: a cancelled pilot is returned
+/// as-is (its `cancelled` stat set) rather than escalating to the
+/// sweep.
 template <typename Node, typename MakeRoots, typename DfsVisit,
           typename LevelVisit, typename Reduce, typename FoundFn,
           typename ResetFn>
 typename Explorer<Node>::Stats TwoPhaseExplore(
-    size_t workers, size_t max_nodes, const MakeRoots& make_roots,
+    const ExecOptions& exec, size_t max_nodes, const MakeRoots& make_roots,
     const DfsVisit& dfs_visit, const LevelVisit& level_visit,
     const Reduce& reduce, const FoundFn& found, const ResetFn& reset) {
+  size_t workers = exec.num_threads < 1 ? 1 : exec.num_threads;
   Explorer<Node> explorer;
   typename Explorer<Node>::Options eopts;
   eopts.num_threads = 1;
   eopts.max_nodes = max_nodes;
+  eopts.cancel = exec.cancel;
   if (workers == 1) {
     return explorer.Run(make_roots(), eopts, dfs_visit);
   }
@@ -49,13 +55,15 @@ typename Explorer<Node>::Stats TwoPhaseExplore(
   eopts.max_nodes = std::min(kPilotBudget, max_nodes);
   typename Explorer<Node>::Stats pilot =
       explorer.Run(make_roots(), eopts, dfs_visit);
-  if (found() || !pilot.budget_exhausted || eopts.max_nodes == max_nodes) {
-    // Found, swept, or the global budget itself is spent.
+  if (found() || pilot.cancelled || !pilot.budget_exhausted ||
+      eopts.max_nodes == max_nodes) {
+    // Found, cancelled, swept, or the global budget itself is spent.
     return pilot;
   }
   reset();
   typename Explorer<Node>::Options bopts;
   bopts.num_threads = workers;
+  bopts.cancel = exec.cancel;
   // The pilot's pops count against the caller's budget: the total
   // across both phases never exceeds max_nodes.
   bopts.max_nodes = max_nodes - pilot.nodes_explored;

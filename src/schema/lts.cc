@@ -199,7 +199,8 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
                                                const Instance& initial,
                                                const LtsOptions& options,
                                                size_t max_depth,
-                                               size_t max_nodes) {
+                                               size_t max_nodes,
+                                               const engine::ExecOptions& exec) {
   std::vector<LtsLevelStats> stats;
   {
     LtsLevelStats s;
@@ -210,7 +211,7 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
   }
   if (max_depth == 0) return stats;
 
-  size_t workers = std::max<size_t>(1, options.num_threads);
+  size_t workers = std::max<size_t>(1, exec.num_threads);
   // Visited-configuration dedup keyed by the 64-bit configuration
   // hash; buckets hold the instances for exact confirmation (instances
   // are COW handles, so storing them is cheap). Only consulted in the
@@ -236,10 +237,11 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
   engine::Explorer<Instance> explorer;
   engine::Explorer<Instance>::Options eopts;
   eopts.num_threads = workers;
+  eopts.cancel = exec.cancel;
 
   std::vector<std::unique_ptr<Instance>> roots;
   roots.push_back(std::make_unique<Instance>(initial));
-  explorer.RunLevels(
+  engine::Explorer<Instance>::Stats run_stats = explorer.RunLevels(
       std::move(roots), eopts,
       [&](std::unique_ptr<Instance> node,
           engine::Explorer<Instance>::Context& ctx) {
@@ -298,6 +300,12 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
         if (stop || level >= max_depth) next.clear();
         return next;
       });
+  if (run_stats.cancelled && !stats.empty()) {
+    // The cut level's reduce never ran, so its statistics are absent;
+    // mark the deepest recorded level so the prefix is never mistaken
+    // for a completed exploration.
+    stats.back().cancelled = true;
+  }
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/cancel.h"
 #include "src/schema/access.h"
 #include "src/schema/instance.h"
 #include "src/schema/schema.h"
@@ -62,10 +63,6 @@ struct LtsOptions {
   bool enumerate_singleton_responses = true;
   /// Cap on the number of successor transitions generated per node.
   size_t max_successors_per_node = 1u << 20;
-  /// Worker count for ExploreBreadthFirst (node expansion runs on the
-  /// shared parallel engine, src/engine/). The per-level statistics
-  /// are schedule-independent: identical at every worker count.
-  size_t num_threads = 1;
 };
 
 /// Enumerates successor transitions of configuration `current` under the
@@ -87,25 +84,32 @@ struct LtsLevelStats {
   /// first reached here were dropped (and the exploration stopped), so
   /// the recorded tree is a prefix — never silently complete-looking.
   bool truncated = false;
+  /// True on the last recorded level when `exec.cancel` fired and cut
+  /// the exploration there: every level at or past the cut is missing
+  /// or partial, so the recorded tree is a prefix.
+  bool cancelled = false;
 };
 
 /// Breadth-first exploration of the LTS up to `max_depth`, deduplicating
 /// configurations. Reproduces the shape of Figure 1's tree.
 ///
 /// Runs on the parallel exploration engine when
-/// `LtsOptions::num_threads > 1`: whole levels are expanded through
+/// `exec.num_threads > 1` (engine/cancel.h is the single source of
+/// worker count and cancellation): whole levels are expanded through
 /// the work-stealing deques and reduced deterministically at the
 /// barrier, so every statistic (including the budget cut) is
-/// byte-identical at any worker count. The budget follows the
+/// byte-identical at any worker count; a cancel token that never
+/// fires never changes any statistic. The budget follows the
 /// engine's count-then-cut discipline at level granularity: the level
 /// that exceeds `max_nodes` is fully expanded and counted, the
 /// overflowing configurations are dropped in deterministic content
 /// order, the level is flagged `truncated`, and the exploration stops.
-std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
-                                               const Instance& initial,
-                                               const LtsOptions& options,
-                                               size_t max_depth,
-                                               size_t max_nodes = 100000);
+/// A fired cancel token stops the exploration at node granularity and
+/// flags the last recorded level `cancelled`.
+std::vector<LtsLevelStats> ExploreBreadthFirst(
+    const Schema& schema, const Instance& initial, const LtsOptions& options,
+    size_t max_depth, size_t max_nodes = 100000,
+    const engine::ExecOptions& exec = {});
 
 }  // namespace schema
 }  // namespace accltl

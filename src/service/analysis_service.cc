@@ -1,0 +1,309 @@
+#include "src/service/analysis_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/accltl/parser.h"
+#include "src/schema/text_format.h"
+
+namespace accltl {
+namespace service {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kCompleted:
+      return "completed";
+    case Verdict::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case Verdict::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+// --- PendingResult ----------------------------------------------------------
+
+struct PendingResult::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  CheckResponse response;
+  /// The request's cooperative stop: owned here so Cancel works on a
+  /// queued request (before any engine sees the token) and the token
+  /// outlives the search that polls it.
+  engine::CancelToken token;
+
+  void Fulfill(CheckResponse resp) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(resp);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+PendingResult::PendingResult() = default;
+PendingResult::~PendingResult() = default;
+PendingResult::PendingResult(const PendingResult&) = default;
+PendingResult& PendingResult::operator=(const PendingResult&) = default;
+PendingResult::PendingResult(PendingResult&&) noexcept = default;
+PendingResult& PendingResult::operator=(PendingResult&&) noexcept = default;
+PendingResult::PendingResult(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+bool PendingResult::valid() const { return state_ != nullptr; }
+
+bool PendingResult::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+const CheckResponse& PendingResult::Get() const {
+  if (state_ == nullptr) {
+    // A default-constructed (invalid) handle has nothing to wait on;
+    // answer with a latched error instead of dereferencing null.
+    static const CheckResponse* kInvalid = [] {
+      auto* resp = new CheckResponse();
+      resp->status = Status::Internal("Get() on an invalid PendingResult");
+      return resp;
+    }();
+    return *kInvalid;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->response;
+}
+
+bool PendingResult::WaitFor(std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) return false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout,
+                             [this] { return state_->done; });
+}
+
+void PendingResult::Cancel() const {
+  if (state_ != nullptr) state_->token.Cancel();
+}
+
+// --- AnalysisService --------------------------------------------------------
+
+namespace {
+
+/// Appends one options field to the canonical key. Field order is
+/// fixed; every semantic knob must appear here (a missed knob would
+/// alias two requests with different answers onto one cache line).
+void KeyField(std::string* key, const char* name, uint64_t value) {
+  key->append(name);
+  key->push_back('=');
+  key->append(std::to_string(value));
+  key->push_back(';');
+}
+
+std::string CanonicalOptionsKey(const PrepareOptions& o) {
+  std::string key;
+  KeyField(&key, "grounded", o.grounded ? 1 : 0);
+  KeyField(&key, "datalog", o.use_datalog_pipeline ? 1 : 0);
+  KeyField(&key, "shrink", o.shrink_witness ? 1 : 0);
+  KeyField(&key, "z.grounded", o.zero.grounded ? 1 : 0);
+  KeyField(&key, "z.idem", o.zero.require_idempotent ? 1 : 0);
+  KeyField(&key, "z.max_nodes", o.zero.max_nodes);
+  KeyField(&key, "z.max_facts", o.zero.max_facts_per_step);
+  KeyField(&key, "z.max_len", o.zero.max_path_length);
+  KeyField(&key, "z.max_subsets", o.zero.max_subsets_per_access);
+  KeyField(&key, "b.max_len", o.bounded.max_path_length);
+  KeyField(&key, "b.grounded", o.bounded.grounded ? 1 : 0);
+  KeyField(&key, "b.idem", o.bounded.require_idempotent ? 1 : 0);
+  KeyField(&key, "b.exact", o.bounded.require_exact ? 1 : 0);
+  KeyField(&key, "b.max_nodes", o.bounded.max_nodes);
+  KeyField(&key, "b.max_real", o.bounded.max_realizations_per_step);
+  KeyField(&key, "b.dedup", o.bounded.use_visited_dedup ? 1 : 0);
+  KeyField(&key, "d.max_variants", o.decompose.max_variants);
+  KeyField(&key, "d.max_phi", o.decompose.max_phi);
+  KeyField(&key, "d.max_stages", o.decompose.max_stages);
+  return key;
+}
+
+analysis::DecideOptions ToDecideOptions(const PrepareOptions& o) {
+  analysis::DecideOptions d;
+  d.grounded = o.grounded;
+  d.use_datalog_pipeline = o.use_datalog_pipeline;
+  d.shrink_witness = o.shrink_witness;
+  d.zero = o.zero;
+  d.bounded = o.bounded;
+  d.decompose = o.decompose;
+  return d;
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(options), cache_(options.cache_capacity) {
+  size_t dispatchers = std::max<size_t>(1, options_.num_dispatchers);
+  dispatchers_.reserve(dispatchers);
+  for (size_t i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+}
+
+AnalysisService::~AnalysisService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    // Queued requests resolve promptly as kCancelled without
+    // searching; in-flight ones abort at their next node expansion and
+    // resolve as kCancelled too — the join below is bounded by one
+    // cancellation latency, not by the remaining search time.
+    for (Job& job : queue_) job.state->token.Cancel();
+    for (const auto& state : in_flight_) state->token.Cancel();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+Result<std::shared_ptr<const PreparedQuery>> AnalysisService::Prepare(
+    const schema::Schema& schema, const acc::AccPtr& formula,
+    const PrepareOptions& options) {
+  std::shared_ptr<PreparedQuery> prepared(new PreparedQuery());
+  // Copy first, then prepare against the copy: the compiled automaton
+  // and the engine's plan cache reference the schema by address, which
+  // must stay stable for the PreparedQuery's lifetime.
+  prepared->schema_ = std::make_unique<const schema::Schema>(schema);
+  Result<analysis::PreparedFormula> pf =
+      analysis::PrepareSatisfiability(formula, *prepared->schema_);
+  if (!pf.ok()) return pf.status();
+  prepared->prepared_ = std::move(pf.value());
+  prepared->options_ = options;
+  prepared->decide_options_ = ToDecideOptions(options);
+  prepared->cache_key_ = schema::SerializeSchema(*prepared->schema_);
+  prepared->cache_key_.push_back('\n');
+  prepared->cache_key_ += formula->ToString(*prepared->schema_);
+  prepared->cache_key_.push_back('\n');
+  prepared->cache_key_ += CanonicalOptionsKey(options);
+  return std::shared_ptr<const PreparedQuery>(std::move(prepared));
+}
+
+Result<std::shared_ptr<const PreparedQuery>> AnalysisService::Prepare(
+    const schema::Schema& schema, const std::string& formula_text,
+    const PrepareOptions& options) {
+  Result<acc::AccPtr> formula = acc::ParseAccFormula(formula_text, schema);
+  if (!formula.ok()) return formula.status();
+  return Prepare(schema, formula.value(), options);
+}
+
+CheckResponse AnalysisService::Check(const PreparedQuery& prepared,
+                                     const CheckRequest& request) {
+  engine::CancelToken token;
+  return Execute(prepared, request, &token);
+}
+
+PendingResult AnalysisService::Submit(
+    std::shared_ptr<const PreparedQuery> prepared, CheckRequest request) {
+  auto state = std::make_shared<PendingResult::State>();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      // Post-shutdown submissions resolve immediately as cancelled
+      // rather than hanging a Get() forever.
+      state->token.Cancel();
+      CheckResponse resp;
+      resp.verdict = Verdict::kCancelled;
+      state->Fulfill(std::move(resp));
+      return PendingResult(state);
+    }
+    queue_.push_back(Job{std::move(prepared), request, state});
+  }
+  queue_cv_.notify_one();
+  return PendingResult(std::move(state));
+}
+
+void AnalysisService::DispatcherLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_.push_back(job.state);
+    }
+    if (job.state->token.fired()) {
+      // Cancelled while queued: answer without searching.
+      CheckResponse resp;
+      resp.verdict = Verdict::kCancelled;
+      job.state->Fulfill(std::move(resp));
+    } else {
+      job.state->Fulfill(
+          Execute(*job.prepared, job.request, &job.state->token));
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (size_t i = 0; i < in_flight_.size(); ++i) {
+        if (in_flight_[i] == job.state) {
+          in_flight_[i] = in_flight_.back();
+          in_flight_.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
+                                       const CheckRequest& request,
+                                       engine::CancelToken* token) {
+  auto start = std::chrono::steady_clock::now();
+  auto stamp = [&start](CheckResponse* resp) {
+    resp->elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+  };
+
+  CheckResponse resp;
+  if (request.use_cache && cache_.Lookup(prepared.cache_key(), &resp)) {
+    resp.cache_hit = true;
+    stamp(&resp);
+    return resp;
+  }
+
+  if (request.deadline.count() > 0 && token != nullptr) {
+    token->ArmDeadlineAfter(request.deadline);
+  }
+
+  analysis::DecideOptions opts = prepared.decide_options_;
+  opts.exec.num_threads =
+      request.num_threads > 0 ? request.num_threads : options_.num_threads;
+  opts.exec.cancel = token;
+
+  Result<analysis::Decision> d =
+      analysis::DecidePrepared(prepared.prepared_, prepared.schema(), opts);
+  if (!d.ok()) {
+    resp.status = d.status();
+    stamp(&resp);
+    return resp;
+  }
+  resp.decision = d.value();
+  if (resp.decision.cancelled && token != nullptr) {
+    resp.verdict = token->cause() == engine::CancelToken::Cause::kDeadline
+                       ? Verdict::kDeadlineExceeded
+                       : Verdict::kCancelled;
+  }
+  stamp(&resp);
+  // Only completed, budget-clean responses are cacheable: a
+  // deadline/cancel cut is a property of this request's execution, and
+  // a budget-exhausted answer is the one case the engines' determinism
+  // guarantee scopes out (a binding max_nodes is spent on different
+  // node orders per traversal discipline, so another worker count
+  // might legitimately answer differently).
+  if (request.use_cache && resp.verdict == Verdict::kCompleted &&
+      !resp.decision.exhausted_budget) {
+    CheckResponse cached = resp;
+    cached.cache_hit = false;
+    cache_.Insert(prepared.cache_key(), std::move(cached));
+  }
+  return resp;
+}
+
+}  // namespace service
+}  // namespace accltl

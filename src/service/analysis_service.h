@@ -1,0 +1,251 @@
+#ifndef ACCLTL_SERVICE_ANALYSIS_SERVICE_H_
+#define ACCLTL_SERVICE_ANALYSIS_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/decide.h"
+#include "src/common/status.h"
+#include "src/engine/cancel.h"
+#include "src/engine/thread_pool.h"
+#include "src/schema/schema.h"
+#include "src/service/result_cache.h"
+
+namespace accltl {
+namespace service {
+
+/// Session-level knobs of one AnalysisService instance.
+struct ServiceOptions {
+  /// Default search workers per request (engine::Explorer); a request
+  /// may override with CheckRequest::num_threads. Results are
+  /// deterministic in this count (the engines' schedule-independence
+  /// guarantee), which is why it is not part of the cache key; the one
+  /// case the guarantee scopes out — a binding max_nodes budget — is
+  /// excluded from the cache instead (exhausted responses are never
+  /// inserted).
+  size_t num_threads = 1;
+  /// Threads draining the async Submit queue. Each dispatched request
+  /// runs its search through the shared engine pool; dispatchers
+  /// pipeline request setup/teardown, the pool serializes the actual
+  /// parallel regions.
+  size_t num_dispatchers = 1;
+  /// Result-cache capacity in entries (0 disables caching entirely).
+  size_t cache_capacity = 256;
+};
+
+/// Semantic options fixed at Prepare time. Everything here is part of
+/// the cache key (it changes answers); execution context (worker
+/// count, deadlines) deliberately is not — it never changes answers.
+struct PrepareOptions {
+  /// Restrict to grounded access paths.
+  bool grounded = false;
+  /// Run the Lemma 4.9/4.10 Datalog pipeline to certify emptiness when
+  /// the bounded search finds no witness (AccLTL+ only).
+  bool use_datalog_pipeline = false;
+  /// Shrink returned witnesses to 1-minimal paths.
+  bool shrink_witness = false;
+  analysis::ZeroSolverOptions zero;
+  automata::WitnessSearchOptions bounded;
+  automata::DecomposeOptions decompose;
+};
+
+/// A prepared query: parsed AST, Figure 2 fragment classification,
+/// zero-ary plan (pool + tableau) or compiled Lemma 4.5 A-automaton,
+/// and an owned copy of the schema — computed once by
+/// AnalysisService::Prepare, immutable thereafter, shared freely
+/// across threads and submissions. Holding the compiled automaton
+/// alive also pins the emptiness engine's cached search plan (keyed by
+/// guard identity), so repeated submissions skip UCQ normalization and
+/// pool freezing too.
+class PreparedQuery {
+ public:
+  const schema::Schema& schema() const { return *schema_; }
+  const acc::AccPtr& formula() const { return prepared_.formula; }
+  acc::Fragment fragment() const { return prepared_.fragment; }
+  bool uses_inequality() const { return prepared_.uses_inequality; }
+  const PrepareOptions& options() const { return options_; }
+  /// Canonical identity: serialized schema + formula text + semantic
+  /// options. Two PreparedQuery instances with equal keys answer every
+  /// request identically (the basis of the result cache).
+  const std::string& cache_key() const { return cache_key_; }
+
+ private:
+  friend class AnalysisService;
+  PreparedQuery() = default;
+  /// unique_ptr, not a member: PreparedFormula's compiled automaton
+  /// and the engine's plan cache key the schema by address, so the
+  /// schema must never move once prepared against.
+  std::unique_ptr<const schema::Schema> schema_;
+  analysis::PreparedFormula prepared_;
+  PrepareOptions options_;
+  analysis::DecideOptions decide_options_;  // options_, rebased
+  std::string cache_key_;
+};
+
+/// Why a submission finished.
+enum class Verdict {
+  /// The engines ran to their natural end (including budget cuts —
+  /// those are reported through Decision::exhausted_budget).
+  kCompleted,
+  /// The request's deadline fired mid-search. The Decision is kUnknown
+  /// unless a sound witness was already in hand — never a wrong
+  /// definitive answer.
+  kDeadlineExceeded,
+  /// PendingResult::Cancel (or service shutdown) stopped the request.
+  kCancelled,
+};
+
+const char* VerdictName(Verdict v);
+
+/// Per-submission knobs. Semantic options live in the PreparedQuery;
+/// a request only chooses execution context.
+struct CheckRequest {
+  /// Wall-clock budget; <= 0 means none. Enforced cooperatively at
+  /// node-expansion granularity by the three search engines. The two
+  /// non-search stages — the Datalog certification pipeline and
+  /// witness shrinking — are not cancellable: the token is polled at
+  /// their boundaries (a fired token skips the pipeline), but once
+  /// started they run to completion, so with
+  /// `use_datalog_pipeline`/`shrink_witness` a response can outlast
+  /// the deadline by one pipeline run.
+  std::chrono::milliseconds deadline{0};
+  /// Serve/populate the service's result cache for this request.
+  bool use_cache = true;
+  /// Search workers; 0 uses ServiceOptions::num_threads. Never part of
+  /// the cache key: results are deterministic in the worker count.
+  size_t num_threads = 0;
+};
+
+struct CheckResponse {
+  /// Non-OK when the underlying decision procedure failed (unsupported
+  /// fragment setup errors etc.); `decision` is then default-initialized.
+  Status status;
+  analysis::Decision decision;
+  Verdict verdict = Verdict::kCompleted;
+  /// True when this response was served from the result cache (the
+  /// decision is byte-identical to the response cached at insert).
+  bool cache_hit = false;
+  /// Wall-clock from submission pickup to completion (cache hits
+  /// report their lookup time).
+  std::chrono::microseconds elapsed{0};
+};
+
+/// Future-like handle to an async submission. Copyable (shared state);
+/// all methods are safe from any thread.
+class PendingResult {
+ public:
+  PendingResult();
+  ~PendingResult();
+  PendingResult(const PendingResult&);
+  PendingResult& operator=(const PendingResult&);
+  PendingResult(PendingResult&&) noexcept;
+  PendingResult& operator=(PendingResult&&) noexcept;
+
+  bool valid() const;
+  bool ready() const;
+  /// Blocks until the response is available.
+  const CheckResponse& Get() const;
+  /// Waits up to `timeout`; true when the response became available.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+  /// Fires the request's cancel token: a queued request resolves to
+  /// kCancelled without searching, an in-flight one aborts at its next
+  /// node expansion. Idempotent; racing a natural completion is
+  /// harmless (the completed response wins).
+  void Cancel() const;
+
+ private:
+  friend class AnalysisService;
+  struct State;
+  explicit PendingResult(std::shared_ptr<State> state);
+  std::shared_ptr<State> state_;
+};
+
+/// The long-lived facade over the analysis engines: owns the prepared
+/// state, the result cache and the async submission queue, and drives
+/// every search through the shared engine::ThreadPool. One service
+/// instance serves any number of schemas and formulas; Prepare once,
+/// Submit/Check many.
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions options = {});
+  /// Fires every outstanding request's cancel token — queued
+  /// submissions resolve to kCancelled without searching, in-flight
+  /// ones abort at their next node expansion — then joins the
+  /// dispatchers. Every PendingResult ever returned resolves.
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Builds the shared, immutable prepared state: schema copy, parsed
+  /// AST (for the text overload), fragment classification, zero-ary
+  /// plan or compiled automaton. Fails on parse errors and hard setup
+  /// errors; fragment-routing misses surface per-request instead.
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(
+      const schema::Schema& schema, const acc::AccPtr& formula,
+      const PrepareOptions& options = {});
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(
+      const schema::Schema& schema, const std::string& formula_text,
+      const PrepareOptions& options = {});
+
+  /// Synchronous check on the calling thread (still deadline-capable
+  /// through `request.deadline`).
+  CheckResponse Check(const PreparedQuery& prepared,
+                      const CheckRequest& request = {});
+
+  /// Batched async submission: enqueues the request for the dispatcher
+  /// threads and returns immediately. Submissions against one
+  /// PreparedQuery share all its compiled state; identical requests
+  /// are served from the result cache when enabled.
+  PendingResult Submit(std::shared_ptr<const PreparedQuery> prepared,
+                       CheckRequest request = {});
+
+  /// The engine pool every search of this service runs on.
+  engine::ThreadPool& pool() const { return engine::ThreadPool::Global(); }
+
+  const ServiceOptions& options() const { return options_; }
+  size_t cache_entries() const { return cache_.size(); }
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+
+ private:
+  /// One queued submission. `state` is created complete inside
+  /// Submit (type-erased deleter), so holding it through the
+  /// forward-declared State is fine.
+  struct Job {
+    std::shared_ptr<const PreparedQuery> prepared;
+    CheckRequest request;
+    std::shared_ptr<PendingResult::State> state;
+  };
+
+  void DispatcherLoop();
+  CheckResponse Execute(const PreparedQuery& prepared,
+                        const CheckRequest& request,
+                        engine::CancelToken* token);
+
+  ServiceOptions options_;
+  LruCache<CheckResponse> cache_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  /// States of requests a dispatcher has popped but not yet fulfilled,
+  /// so shutdown can fire their tokens too (a destructor that only
+  /// cancelled the queue would block on a running unbounded sweep).
+  std::vector<std::shared_ptr<PendingResult::State>> in_flight_;
+  bool stopping_ = false;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace service
+}  // namespace accltl
+
+#endif  // ACCLTL_SERVICE_ANALYSIS_SERVICE_H_

@@ -1,0 +1,93 @@
+#ifndef ACCLTL_SERVICE_RESULT_CACHE_H_
+#define ACCLTL_SERVICE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace accltl {
+namespace service {
+
+/// Bounded, thread-safe LRU map from canonical request keys to cached
+/// values. Strict LRU: a hit refreshes the entry; an insert past
+/// capacity evicts the least-recently-used entry. Keys are full
+/// canonical strings (schema text + formula text + options), not
+/// hashes — a cache hit is an exact match, never a collision.
+///
+/// Capacity 0 disables the cache (lookups miss, inserts drop), so
+/// callers need no separate "cache on?" branching.
+template <typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Copies the cached value into `*out` and refreshes its recency.
+  bool Lookup(const std::string& key, Value* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    *out = it->second->second;
+    return true;
+  }
+
+  void Insert(const std::string& key, Value value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->second = std::move(value);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, Value>> lru_;
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, Value>>::
+                         iterator>
+      index_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace service
+}  // namespace accltl
+
+#endif  // ACCLTL_SERVICE_RESULT_CACHE_H_

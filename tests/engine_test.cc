@@ -292,9 +292,10 @@ class EngineSearchTest : public ::testing::Test {
       const automata::AAutomaton& a, const schema::Instance& initial,
       automata::WitnessSearchOptions opts, bool expect_found,
       bool expect_exhausted) {
-    opts.num_threads = 1;
+    engine::ExecOptions exec;
+    exec.num_threads = 1;
     automata::WitnessSearchResult serial =
-        automata::BoundedWitnessSearch(a, pd_.schema, initial, opts);
+        automata::BoundedWitnessSearch(a, pd_.schema, initial, opts, exec);
     EXPECT_EQ(serial.found, expect_found);
     EXPECT_EQ(serial.exhausted_budget, expect_exhausted);
     if (serial.found && formula_ != nullptr) {
@@ -302,12 +303,13 @@ class EngineSearchTest : public ::testing::Test {
                                   initial));
     }
     for (size_t threads : {size_t{2}, size_t{8}}) {
-      opts.num_threads = threads;
+      exec.num_threads = threads;
       // Repeat each parallel configuration a few times: a determinism
       // bug is a race, and races need shots to show.
       for (int round = 0; round < 3; ++round) {
         automata::WitnessSearchResult parallel =
-            automata::BoundedWitnessSearch(a, pd_.schema, initial, opts);
+            automata::BoundedWitnessSearch(a, pd_.schema, initial, opts,
+                                           exec);
         EXPECT_EQ(parallel.found, serial.found)
             << threads << " workers, round " << round;
         EXPECT_EQ(parallel.exhausted_budget, serial.exhausted_budget)
@@ -399,13 +401,14 @@ TEST_F(EngineSearchTest, DedupStillReducesNodesExploredWhenParallel) {
       "F [EXISTS n . IsBind_AcM1(n) AND n != n]");
   automata::WitnessSearchOptions with_dedup;
   with_dedup.max_path_length = 3;
-  with_dedup.num_threads = 4;
+  engine::ExecOptions exec;
+  exec.num_threads = 4;
   automata::WitnessSearchOptions no_dedup = with_dedup;
   no_dedup.use_visited_dedup = false;
   automata::WitnessSearchResult r1 = automata::BoundedWitnessSearch(
-      a, pd_.schema, schema::Instance(pd_.schema), with_dedup);
+      a, pd_.schema, schema::Instance(pd_.schema), with_dedup, exec);
   automata::WitnessSearchResult r2 = automata::BoundedWitnessSearch(
-      a, pd_.schema, schema::Instance(pd_.schema), no_dedup);
+      a, pd_.schema, schema::Instance(pd_.schema), no_dedup, exec);
   EXPECT_FALSE(r1.found);
   EXPECT_FALSE(r2.found);
   EXPECT_LT(r1.nodes_explored, r2.nodes_explored);

@@ -14,6 +14,7 @@
 #include "src/accltl/semantics.h"
 #include "src/analysis/zero_solver.h"
 #include "src/common/rng.h"
+#include "src/engine/cancel.h"
 #include "src/schema/lts.h"
 #include "src/workload/workload.h"
 
@@ -51,9 +52,10 @@ class ZeroParallelTest : public ::testing::Test {
       const acc::AccPtr& f, const schema::Schema& schema,
       analysis::ZeroSolverOptions opts, bool expect_satisfiable,
       bool expect_exhausted) {
-    opts.num_threads = 1;
+    engine::ExecOptions exec;
+    exec.num_threads = 1;
     Result<analysis::ZeroSolverResult> serial =
-        analysis::CheckZeroArySatisfiable(f, schema, opts);
+        analysis::CheckZeroArySatisfiable(f, schema, opts, exec);
     ASSERT_TRUE(serial.ok()) << serial.status().ToString();
     EXPECT_EQ(serial.value().satisfiable, expect_satisfiable);
     EXPECT_EQ(serial.value().exhausted_budget, expect_exhausted);
@@ -62,12 +64,12 @@ class ZeroParallelTest : public ::testing::Test {
                                   schema::Instance(schema)));
     }
     for (size_t threads : {size_t{2}, size_t{8}}) {
-      opts.num_threads = threads;
+      exec.num_threads = threads;
       // Repeat each parallel configuration a few times: a determinism
       // bug is a race, and races need shots to show.
       for (int round = 0; round < 3; ++round) {
         Result<analysis::ZeroSolverResult> parallel =
-            analysis::CheckZeroArySatisfiable(f, schema, opts);
+            analysis::CheckZeroArySatisfiable(f, schema, opts, exec);
         ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
         EXPECT_EQ(parallel.value().satisfiable, serial.value().satisfiable)
             << threads << " workers, round " << round;
@@ -165,7 +167,6 @@ TEST_F(ZeroParallelTest, GroundedDeterministicAcrossThreads) {
                                         /*expect_satisfiable=*/true,
                                         /*expect_exhausted=*/false);
   // And the witness is actually grounded.
-  opts.num_threads = 1;
   Result<analysis::ZeroSolverResult> r =
       analysis::CheckZeroArySatisfiable(f.value(), s, opts);
   ASSERT_TRUE(r.ok());
@@ -241,16 +242,18 @@ class LtsParallelTest : public ::testing::Test {
 
   void ExpectDeterministicStats(schema::LtsOptions opts, size_t depth,
                                 size_t max_nodes) {
-    opts.num_threads = 1;
+    engine::ExecOptions exec;
+    exec.num_threads = 1;
     std::vector<schema::LtsLevelStats> serial = schema::ExploreBreadthFirst(
-        pd_.schema, schema::Instance(pd_.schema), opts, depth, max_nodes);
+        pd_.schema, schema::Instance(pd_.schema), opts, depth, max_nodes,
+        exec);
     for (size_t threads : {size_t{2}, size_t{8}}) {
-      opts.num_threads = threads;
+      exec.num_threads = threads;
       for (int round = 0; round < 3; ++round) {
         std::vector<schema::LtsLevelStats> parallel =
             schema::ExploreBreadthFirst(pd_.schema,
                                         schema::Instance(pd_.schema), opts,
-                                        depth, max_nodes);
+                                        depth, max_nodes, exec);
         ExpectSameStats(serial, parallel,
                         std::to_string(threads) + " workers, round " +
                             std::to_string(round));
@@ -287,7 +290,6 @@ TEST_F(LtsParallelTest, BudgetEdgeTruncationIsDeterministicAndFlagged) {
   opts.seed_values = {S("Smith")};
   // A budget well inside the reachable space: the cut level must be
   // flagged and every statistic identical at every worker count.
-  opts.num_threads = 1;
   std::vector<schema::LtsLevelStats> serial = schema::ExploreBreadthFirst(
       pd_.schema, schema::Instance(pd_.schema), opts, 3, 10);
   bool truncated = false;

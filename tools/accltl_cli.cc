@@ -1,8 +1,9 @@
 // Command-line front end for the library: load a schema (and
 // optionally an instance) from the text format, then decide AccLTL
 // satisfiability, plan a conjunctive query, answer it against a
-// hidden instance with grounded accesses, or explore the induced LTS
-// breadth-first (Figure 1's tree of paths).
+// hidden instance with grounded accesses, explore the induced LTS
+// breadth-first (Figure 1's tree of paths), or answer a batch of
+// checks against one schema through the service layer.
 //
 // Usage:
 //   accltl_cli check   <schema-file> <accltl-formula> [--grounded] [--shrink]
@@ -13,19 +14,34 @@
 //   accltl_cli explore <schema-file> <instance-file> [--depth D]
 //                      [--max-nodes N] [--grounded] [--seed value]...
 //                      [--threads N]
+//   accltl_cli batch   <schema-file> <requests-file|-> [--grounded]
+//                      [--shrink] [--threads N] [--deadline-ms N] [--cache]
 //
 // Queries and formulas use the library's text syntax, e.g.
 //   accltl_cli check phone.schema 'F [IsBind_AcM1()]'
 //   accltl_cli plan phone.schema 'EXISTS p,s,ph . Mobile("Smith",p,s,ph)'
 //   accltl_cli answer phone.schema site.facts ... --seed Smith
 //       (query text as in the plan example)
+//
+// `batch` reads newline-delimited AccLTL formulas (blank lines and
+// '#' comments skipped) and answers them through one AnalysisService:
+// every distinct formula is prepared once (parse, classify, compile)
+// and shared across its occurrences, requests are submitted
+// asynchronously, and responses print in input order.
+//
+// Unknown flags, missing flag values and malformed counts are errors
+// (exit code 2) — a typo like `--ground` must never silently change
+// results.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/accltl/parser.h"
@@ -35,6 +51,7 @@
 #include "src/planner/static_plan.h"
 #include "src/schema/lts.h"
 #include "src/schema/text_format.h"
+#include "src/service/analysis_service.h"
 
 namespace accltl {
 namespace {
@@ -50,18 +67,37 @@ int Usage() {
       "                     [--seed value]... [--no-prune] [head-var...]\n"
       "  accltl_cli explore <schema-file> <instance-file> [--depth D]\n"
       "                     [--max-nodes N] [--grounded] [--seed value]...\n"
-      "                     [--threads N]\n");
+      "                     [--threads N]\n"
+      "  accltl_cli batch   <schema-file> <requests-file|-> [--grounded]\n"
+      "                     [--shrink] [--threads N] [--deadline-ms N]\n"
+      "                     [--cache]\n");
+  return 2;
+}
+
+int UnknownFlag(const char* sub, const char* arg) {
+  std::fprintf(stderr, "%s: unknown flag '%s' (flags are never ignored)\n",
+               sub, arg);
+  return 2;
+}
+
+int MissingValue(const char* sub, const char* flag) {
+  std::fprintf(stderr, "%s: flag '%s' wants a value\n", sub, flag);
   return 2;
 }
 
 /// Parses a positive integer flag value (`--threads`, `--depth`,
-/// `--max-nodes`): rejects non-numeric and non-positive input instead
-/// of silently casting it to 0 or SIZE_MAX.
+/// `--max-nodes`, `--deadline-ms`): the whole argument must be a
+/// positive decimal count — non-numeric input, trailing garbage
+/// (`4x`), overflow and non-positive values are all rejected instead
+/// of being silently truncated (atoll accepted `4x` as 4).
 Result<size_t> ParsePositiveCount(const char* flag, const char* arg) {
-  long long value = std::atoll(arg);
-  if (value < 1) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || value < 1) {
     return Status::InvalidArgument(std::string(flag) +
-                                   " wants a positive count, got " + arg);
+                                   " wants a positive count, got '" + arg +
+                                   "'");
   }
   return static_cast<size_t>(value);
 }
@@ -110,9 +146,12 @@ int RunCheck(int argc, char** argv) {
   }
   analysis::DecideOptions options;
   for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--grounded") == 0) options.grounded = true;
-    if (std::strcmp(argv[i], "--shrink") == 0) options.shrink_witness = true;
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--grounded") == 0) {
+      options.grounded = true;
+    } else if (std::strcmp(argv[i], "--shrink") == 0) {
+      options.shrink_witness = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) return MissingValue("check", argv[i]);
       Result<size_t> threads = ParsePositiveCount("--threads", argv[++i]);
       if (!threads.ok()) {
         std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
@@ -120,7 +159,9 @@ int RunCheck(int argc, char** argv) {
       }
       // Deterministic: any count returns the same verdict and witness
       // (see src/automata/emptiness.h and src/analysis/zero_solver.h).
-      options.num_threads = threads.value();
+      options.exec.num_threads = threads.value();
+    } else {
+      return UnknownFlag("check", argv[i]);
     }
   }
   Result<analysis::Decision> d =
@@ -150,7 +191,12 @@ int RunPlan(int argc, char** argv) {
     return 1;
   }
   std::vector<std::string> head;
-  for (int i = 4; i < argc; ++i) head.push_back(argv[i]);
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      return UnknownFlag("plan", argv[i]);
+    }
+    head.push_back(argv[i]);
+  }
   Result<logic::Cq> q = LoadCq(argv[3], head, s.value());
   if (!q.ok()) {
     std::fprintf(stderr, "query: %s\n", q.status().ToString().c_str());
@@ -188,11 +234,16 @@ int RunAnswer(int argc, char** argv) {
   planner::DynamicOptions options;
   std::vector<std::string> head;
   for (int i = 5; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) return MissingValue("answer", argv[i]);
       options.seed_values.push_back(Value::Str(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       options.prune_by_provenance = false;
       options.prune_by_reachability = false;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      // Head variables never start with "--": reject instead of
+      // treating a typo'd flag as a head variable.
+      return UnknownFlag("answer", argv[i]);
     } else {
       head.push_back(argv[i]);
     }
@@ -245,18 +296,20 @@ int RunExplore(int argc, char** argv) {
   }
   schema::LtsOptions options;
   options.universe = universe.value();
+  engine::ExecOptions exec;
   size_t depth = 3;
   size_t max_nodes = 100000;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) {
       options.grounded = true;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) return MissingValue("explore", argv[i]);
       options.seed_values.push_back(Value::Str(argv[++i]));
-    } else if ((std::strcmp(argv[i], "--depth") == 0 ||
-                std::strcmp(argv[i], "--max-nodes") == 0 ||
-                std::strcmp(argv[i], "--threads") == 0) &&
-               i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--depth") == 0 ||
+               std::strcmp(argv[i], "--max-nodes") == 0 ||
+               std::strcmp(argv[i], "--threads") == 0) {
       const char* flag = argv[i];
+      if (i + 1 >= argc) return MissingValue("explore", flag);
       Result<size_t> value = ParsePositiveCount(flag, argv[++i]);
       if (!value.ok()) {
         std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
@@ -269,12 +322,15 @@ int RunExplore(int argc, char** argv) {
       } else {
         // Deterministic: stats are identical at any count
         // (src/schema/lts.h).
-        options.num_threads = value.value();
+        exec.num_threads = value.value();
       }
+    } else {
+      return UnknownFlag("explore", argv[i]);
     }
   }
   std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
-      s.value(), schema::Instance(s.value()), options, depth, max_nodes);
+      s.value(), schema::Instance(s.value()), options, depth, max_nodes,
+      exec);
   std::printf("depth  configs  transitions  max-facts  truncated\n");
   bool truncated = false;
   for (const schema::LtsLevelStats& level : stats) {
@@ -291,12 +347,146 @@ int RunExplore(int argc, char** argv) {
   return 0;
 }
 
+int RunBatch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<schema::Schema> s = LoadSchema(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  service::PrepareOptions prepare;
+  service::ServiceOptions sopts;
+  sopts.cache_capacity = 0;  // off unless --cache
+  std::chrono::milliseconds deadline{0};
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--grounded") == 0) {
+      prepare.grounded = true;
+    } else if (std::strcmp(argv[i], "--shrink") == 0) {
+      prepare.shrink_witness = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      sopts.cache_capacity = 1024;
+    } else if (std::strcmp(argv[i], "--threads") == 0 ||
+               std::strcmp(argv[i], "--deadline-ms") == 0) {
+      const char* flag = argv[i];
+      if (i + 1 >= argc) return MissingValue("batch", flag);
+      Result<size_t> value = ParsePositiveCount(flag, argv[++i]);
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        return 2;
+      }
+      if (std::strcmp(flag, "--threads") == 0) {
+        sopts.num_threads = value.value();
+      } else {
+        deadline = std::chrono::milliseconds(value.value());
+      }
+    } else {
+      return UnknownFlag("batch", argv[i]);
+    }
+  }
+
+  // Read newline-delimited requests ('-' = stdin).
+  std::string requests_text;
+  if (std::strcmp(argv[3], "-") == 0) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    requests_text = buf.str();
+  } else {
+    Result<std::string> text = ReadFile(argv[3]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "requests: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    requests_text = std::move(text.value());
+  }
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(requests_text);
+    std::string line;
+    while (std::getline(in, line)) {
+      size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      size_t last = line.find_last_not_of(" \t\r");
+      lines.push_back(line.substr(first, last - first + 1));
+    }
+  }
+
+  service::AnalysisService svc(sopts);
+  service::CheckRequest request;
+  request.deadline = deadline;
+  // One prepared query per distinct formula text, shared across its
+  // occurrences — repeated requests never re-parse or re-compile.
+  std::vector<std::shared_ptr<const service::PreparedQuery>> prepared(
+      lines.size());
+  std::vector<std::string> prepare_errors(lines.size());
+  std::unordered_map<std::string, size_t> first_occurrence;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto [it, inserted] = first_occurrence.emplace(lines[i], i);
+    if (!inserted) {
+      prepared[i] = prepared[it->second];
+      prepare_errors[i] = prepare_errors[it->second];
+      continue;
+    }
+    Result<std::shared_ptr<const service::PreparedQuery>> p =
+        svc.Prepare(s.value(), lines[i], prepare);
+    if (p.ok()) {
+      prepared[i] = p.value();
+    } else {
+      prepare_errors[i] = p.status().ToString();
+    }
+  }
+
+  // Submit everything, then drain in input order.
+  std::vector<service::PendingResult> pending(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (prepared[i] != nullptr) {
+      pending[i] = svc.Submit(prepared[i], request);
+    }
+  }
+  size_t failures = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (prepared[i] == nullptr) {
+      std::fprintf(stderr, "[%zu] error: %s\n", i,
+                   prepare_errors[i].c_str());
+      ++failures;
+      continue;
+    }
+    const service::CheckResponse& resp = pending[i].Get();
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "[%zu] error: %s\n", i,
+                   resp.status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("[%zu] satisfiable=%s engine=%s verdict=%s ms=%.3f "
+                "nodes=%zu%s%s\n",
+                i, analysis::AnswerName(resp.decision.satisfiable),
+                resp.decision.engine.c_str(), VerdictName(resp.verdict),
+                static_cast<double>(resp.elapsed.count()) / 1000.0,
+                resp.decision.nodes_explored,
+                resp.decision.exhausted_budget ? " budget=exhausted" : "",
+                resp.cache_hit ? " cache=hit" : "");
+  }
+  if (sopts.cache_capacity > 0) {
+    std::fprintf(stderr, "cache: %llu hits, %llu misses\n",
+                 static_cast<unsigned long long>(svc.cache_hits()),
+                 static_cast<unsigned long long>(svc.cache_misses()));
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "batch: %zu of %zu requests failed\n", failures,
+                 lines.size());
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "check") == 0) return RunCheck(argc, argv);
   if (std::strcmp(argv[1], "plan") == 0) return RunPlan(argc, argv);
   if (std::strcmp(argv[1], "answer") == 0) return RunAnswer(argc, argv);
   if (std::strcmp(argv[1], "explore") == 0) return RunExplore(argc, argv);
+  if (std::strcmp(argv[1], "batch") == 0) return RunBatch(argc, argv);
   return Usage();
 }
 
