@@ -141,14 +141,32 @@ std::vector<logic::PosFormulaPtr> AccFormula::AtomSentences() const {
   return out;
 }
 
+namespace {
+
+/// Unary operands need parentheses around AND/OR children: NOT binds
+/// tighter than AND, so "NOT (a) AND (b)" re-parses as "(NOT a) AND b"
+/// — a semantically different formula. (Atoms are bracketed, Until
+/// self-parenthesizes, and unary chains are unambiguous.) Found by the
+/// print∘parse∘print property test; the ambiguity also poisoned the
+/// service cache key, which embeds the formula text.
+std::string UnaryOperand(const AccFormula* f, const schema::Schema& schema) {
+  std::string text = f->ToString(schema);
+  if (f->kind() == AccKind::kAnd || f->kind() == AccKind::kOr) {
+    return "(" + text + ")";
+  }
+  return text;
+}
+
+}  // namespace
+
 std::string AccFormula::ToString(const schema::Schema& schema) const {
   switch (kind_) {
     case AccKind::kAtom:
       return "[" + sentence_->ToString(schema) + "]";
     case AccKind::kNot:
-      return "NOT " + lhs_->ToString(schema);
+      return "NOT " + UnaryOperand(lhs_.get(), schema);
     case AccKind::kNext:
-      return "X " + lhs_->ToString(schema);
+      return "X " + UnaryOperand(lhs_.get(), schema);
     case AccKind::kUntil:
       return "(" + lhs_->ToString(schema) + " U " + rhs_->ToString(schema) +
              ")";

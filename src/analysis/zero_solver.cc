@@ -44,6 +44,11 @@ class ZeroPlan {
   std::vector<ZeroPoolFact> pool;
   ltl::TableauAutomaton tableau;
   std::vector<std::vector<int>> edges_by_state;
+  /// True when the fusion-quotient enumeration (see BuildPool) was cut
+  /// by a cap: the pool may be missing fused witnesses, so an
+  /// unsatisfiable sweep must report exhausted_budget (kUnknown), never
+  /// a definitive "no".
+  bool pool_fusion_truncated = false;
 };
 
 namespace {
@@ -109,46 +114,184 @@ Status CheckZeroAry(const logic::PosFormulaPtr& f) {
   }
 }
 
-/// Freezes every UCQ disjunct of every atom into pool facts.
+/// Freezes one (possibly quotiented) disjunct into the pool.
+Status FreezeDisjunctIntoPool(const logic::Cq& d,
+                              const schema::Schema& schema,
+                              logic::FreshValueFactory* factory,
+                              std::vector<PoolFact>* pool) {
+  // Method forced by constant-only bind atoms (at most one per
+  // disjunct is satisfiable on a transition, but facts of the
+  // disjunct may span several transitions; the forced method
+  // applies to facts of that method's relation).
+  std::map<RelationId, int> forced;
+  for (const logic::CqAtom& a : d.atoms) {
+    if (a.pred.space == PredSpace::kBind) {
+      forced[schema.method(a.pred.id).relation] = a.pred.id;
+    }
+  }
+  Result<logic::FrozenCq> frozen = logic::FreezeCq(d, schema, factory);
+  if (!frozen.ok()) return frozen.status();
+  for (const auto& [pred, tuples] : frozen.value().db.relations()) {
+    if (pred.space == PredSpace::kBind) continue;
+    for (const Tuple& t : tuples) {
+      PoolFact f;
+      f.relation = pred.id;
+      f.tuple = t;
+      auto it = forced.find(pred.id);
+      f.forced_method = it == forced.end() ? -1 : it->second;
+      // Dedupe identical facts.
+      bool dup = false;
+      for (const PoolFact& existing : *pool) {
+        if (existing.relation == f.relation && existing.tuple == f.tuple) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) pool->push_back(std::move(f));
+    }
+  }
+  return Status::OK();
+}
+
+/// Fusion quotients of a disjunct: every substitution mapping each
+/// variable to an earlier same-type representative variable, a
+/// same-type constant of the disjunct, or itself (restricted-growth
+/// enumeration of typed set partitions, extended by constants). The
+/// identity substitution is enumerated first.
+///
+/// Why quotients at all: the canonical database freezes every variable
+/// to a DISTINCT fresh value, but a real witness may be a homomorphic
+/// image that fuses values — and the fused variant can be realizable
+/// where the all-fresh one is not. Concretely, an all-input access
+/// method returns at most the binding tuple itself, so a first-step
+/// sentence with two same-relation post atoms is satisfiable only via
+/// the quotient that unifies them; the all-fresh pool made the solver
+/// report a *definitive* "no" for that satisfiable formula (found by
+/// differential fuzzing against the oracle and the Datalog certifier;
+/// see tests/corpus/zero_fusion_single_response.repro).
+///
+/// `max_variants` caps the enumeration; `*truncated` is set when the
+/// cap cuts it (the caller then degrades unsatisfiable sweeps to
+/// kUnknown — incompleteness must never be silent).
+std::vector<logic::Cq> FusionQuotients(
+    const logic::Cq& d, const std::map<std::string, ValueType>& var_types,
+    size_t max_variants, bool* truncated) {
+  // Deterministic variable order: sorted names.
+  std::vector<std::string> vars;
+  for (const auto& [v, t] : var_types) {
+    (void)t;
+    vars.push_back(v);
+  }
+  std::sort(vars.begin(), vars.end());
+  // Same-type constants of the disjunct (targets for variable fusion).
+  std::vector<Value> consts;
+  for (const logic::CqAtom& a : d.atoms) {
+    for (const logic::Term& t : a.terms) {
+      if (!t.is_const()) continue;
+      if (std::find(consts.begin(), consts.end(), t.value()) == consts.end()) {
+        consts.push_back(t.value());
+      }
+    }
+  }
+
+  std::vector<logic::Cq> out;
+  // subst[i]: -1 self (class representative), j >= 0 fuse onto
+  // vars[j], or -(k + 2) fuse onto consts[k] (NOT ~k: ~0 == -1 would
+  // collide with the self sentinel and silently skip the first
+  // constant).
+  std::vector<int> subst(vars.size(), -1);
+  std::function<void(size_t)> rec = [&](size_t i) {
+    if (*truncated) return;
+    if (i == vars.size()) {
+      if (out.size() >= max_variants) {
+        *truncated = true;
+        return;
+      }
+      logic::Cq q = d;
+      auto apply = [&](logic::Term& term) {
+        if (!term.is_var()) return;
+        auto it = std::lower_bound(vars.begin(), vars.end(),
+                                   term.var_name());
+        if (it == vars.end() || *it != term.var_name()) return;
+        int choice = subst[static_cast<size_t>(it - vars.begin())];
+        if (choice == -1) return;
+        term = choice >= 0
+                   ? logic::Term::Var(vars[static_cast<size_t>(choice)])
+                   : logic::Term::Const(
+                         consts[static_cast<size_t>(-choice - 2)]);
+      };
+      for (logic::CqAtom& a : q.atoms) {
+        for (logic::Term& term : a.terms) apply(term);
+      }
+      for (auto& [l, r] : q.neqs) {
+        apply(l);
+        apply(r);
+      }
+      out.push_back(std::move(q));
+      return;
+    }
+    ValueType my_type = var_types.at(vars[i]);
+    // Self first: the identity substitution leads the enumeration, so
+    // the historical all-fresh pool facts always survive a cap.
+    subst[i] = -1;
+    rec(i + 1);
+    for (size_t j = 0; j < i && !*truncated; ++j) {
+      if (subst[j] != -1) continue;  // fuse onto representatives only
+      if (var_types.at(vars[j]) != my_type) continue;
+      subst[i] = static_cast<int>(j);
+      rec(i + 1);
+    }
+    for (size_t k = 0; k < consts.size() && !*truncated; ++k) {
+      if (consts[k].type() != my_type) continue;
+      subst[i] = -static_cast<int>(k) - 2;
+      rec(i + 1);
+    }
+    subst[i] = -1;
+  };
+  rec(0);
+  return out;
+}
+
+/// Freezes every UCQ disjunct of every atom into pool facts: first the
+/// all-fresh canonical databases (the historical pool), then their
+/// fusion quotients until the caps bite. Pool facts beyond 63 cannot
+/// be represented in the search's fact bitmask, so quotients stop
+/// there (flagged), while a base pool beyond 63 is still a hard error.
 Status BuildPool(const acc::Abstraction& abstraction,
                  const schema::Schema& schema,
-                 std::vector<PoolFact>* pool) {
+                 std::vector<PoolFact>* pool, bool* fusion_truncated) {
+  constexpr size_t kMaxQuotientsPerDisjunct = 64;
+  constexpr size_t kMaxPoolFacts = 63;
   logic::FreshValueFactory factory;
+  std::vector<std::pair<logic::Cq, std::map<std::string, ValueType>>>
+      disjuncts;
   for (const logic::PosFormulaPtr& atom : abstraction.atoms) {
     Result<logic::Ucq> ucq = logic::NormalizeToUcq(atom, {}, schema);
     if (!ucq.ok()) return ucq.status();
     for (const logic::Cq& d : ucq.value().disjuncts) {
-      // Method forced by constant-only bind atoms (at most one per
-      // disjunct is satisfiable on a transition, but facts of the
-      // disjunct may span several transitions; the forced method
-      // applies to facts of that method's relation).
-      std::map<RelationId, int> forced;
-      for (const logic::CqAtom& a : d.atoms) {
-        if (a.pred.space == PredSpace::kBind) {
-          forced[schema.method(a.pred.id).relation] = a.pred.id;
-        }
-      }
-      Result<logic::FrozenCq> frozen = logic::FreezeCq(d, schema, &factory);
-      if (!frozen.ok()) return frozen.status();
-      for (const auto& [pred, tuples] : frozen.value().db.relations()) {
-        if (pred.space == PredSpace::kBind) continue;
-        for (const Tuple& t : tuples) {
-          PoolFact f;
-          f.relation = pred.id;
-          f.tuple = t;
-          auto it = forced.find(pred.id);
-          f.forced_method = it == forced.end() ? -1 : it->second;
-          // Dedupe identical facts.
-          bool dup = false;
-          for (const PoolFact& existing : *pool) {
-            if (existing.relation == f.relation &&
-                existing.tuple == f.tuple) {
-              dup = true;
-              break;
-            }
-          }
-          if (!dup) pool->push_back(std::move(f));
-        }
+      Result<std::map<std::string, ValueType>> types =
+          logic::InferVarTypes(d, schema);
+      if (!types.ok()) return types.status();
+      disjuncts.emplace_back(d, types.value());
+      ACCLTL_RETURN_IF_ERROR(
+          FreezeDisjunctIntoPool(d, schema, &factory, pool));
+    }
+  }
+  for (const auto& [d, types] : disjuncts) {
+    bool variant_cap = false;
+    std::vector<logic::Cq> quotients =
+        FusionQuotients(d, types, kMaxQuotientsPerDisjunct, &variant_cap);
+    if (variant_cap) *fusion_truncated = true;
+    for (size_t qi = 1; qi < quotients.size(); ++qi) {  // 0 = identity
+      size_t before = pool->size();
+      ACCLTL_RETURN_IF_ERROR(
+          FreezeDisjunctIntoPool(quotients[qi], schema, &factory, pool));
+      if (pool->size() > kMaxPoolFacts) {
+        // A variant that does not fit whole is rolled back — the fact
+        // bitmask is 64 bits wide and partial variants are useless.
+        pool->resize(before);
+        *fusion_truncated = true;
+        return Status::OK();
       }
     }
   }
@@ -293,6 +436,13 @@ class ZeroSolver {
         best = best_.Snapshot();
     result.satisfiable = best != nullptr;
     if (best != nullptr) result.witness = schema::AccessPath(best->steps);
+    // A capped fusion-quotient pool may be missing the only realizable
+    // witnesses: an unsatisfiable sweep over it is "unknown", never a
+    // definitive "no". (Plan-level and deterministic, so the
+    // schedule-independence guarantee is untouched.)
+    if (!result.satisfiable && plan_.pool_fusion_truncated) {
+      result.exhausted_budget = true;
+    }
     return result;
   }
 
@@ -621,9 +771,10 @@ Result<std::shared_ptr<const ZeroPlan>> PrepareZeroAry(
     Status s = CheckZeroAry(atom);
     if (!s.ok()) return s;
   }
-  // 2. Build the canonical-witness pool.
-  ACCLTL_RETURN_IF_ERROR(
-      BuildPool(plan->abstraction, schema, &plan->pool));
+  // 2. Build the canonical-witness pool (all-fresh canonical databases
+  // plus capped fusion quotients).
+  ACCLTL_RETURN_IF_ERROR(BuildPool(plan->abstraction, schema, &plan->pool,
+                                   &plan->pool_fusion_truncated));
   if (plan->pool.size() > 63) {
     return Status::ResourceExhausted(
         "witness pool exceeds 63 facts; split the formula");

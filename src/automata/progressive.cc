@@ -278,9 +278,19 @@ class Decomposer {
   }
 
   /// Instantiates the bind variables of a crossing disjunct with fresh
-  /// constants (Def. 4.8 condition 5) and records the method.
-  Result<std::pair<Cq, schema::AccessMethodId>> InstantiateCrossing(
-      const Cq& disjunct) {
+  /// constants (Def. 4.8 condition 5) and enumerates the candidate
+  /// crossing methods. A bind atom forces the method; otherwise the
+  /// crossing access may be on ANY relation (its response routes
+  /// through XBG into the next stage's views), so one candidate per
+  /// relation-with-methods is enumerated. A single heuristic pick here
+  /// loses accepting paths whose crossing step reveals tuples the
+  /// guard itself does not mention — e.g. X [R1_pre(x,y)] crosses on a
+  /// TRUE guard whose access must be on R1, while the old "method 0"
+  /// pick routed the reveal into the wrong relation and certified a
+  /// satisfiable language EMPTY (found by differential fuzzing; see
+  /// tests/corpus/).
+  Result<std::vector<std::pair<Cq, schema::AccessMethodId>>>
+  InstantiateCrossing(const Cq& disjunct) {
     std::optional<schema::AccessMethodId> method;
     for (const CqAtom& a : disjunct.atoms) {
       if (a.pred.space == PredSpace::kBind) {
@@ -293,20 +303,15 @@ class Decomposer {
     }
     Cq out = disjunct;
     if (!method.has_value()) {
-      // No binding constraint: any method works for the crossing; pick
-      // one whose relation matches a post atom if possible.
-      schema::AccessMethodId m = 0;
-      for (const CqAtom& a : disjunct.atoms) {
-        if (a.pred.space == PredSpace::kPost) {
-          const std::vector<schema::AccessMethodId>& ms =
-              schema_.methods_on(a.pred.id);
-          if (!ms.empty()) {
-            m = ms[0];
-            break;
-          }
-        }
+      std::vector<std::pair<Cq, schema::AccessMethodId>> candidates;
+      for (schema::RelationId r = 0; r < schema_.num_relations(); ++r) {
+        const std::vector<schema::AccessMethodId>& ms = schema_.methods_on(r);
+        // The reduction only keys the crossing by its relation (XBG
+        // routing and input-constant patterns from bind atoms, absent
+        // here), so one method per relation covers all of them.
+        if (!ms.empty()) candidates.emplace_back(out, ms[0]);
       }
-      return std::make_pair(out, m);
+      return candidates;
     }
     // Substitute bind-atom variables by fresh constants everywhere.
     std::map<std::string, Value> subst;
@@ -336,7 +341,8 @@ class Decomposer {
       apply(l);
       apply(r);
     }
-    return std::make_pair(out, *method);
+    return std::vector<std::pair<Cq, schema::AccessMethodId>>{
+        {out, *method}};
   }
 
   /// Enumerates monotone supersets of `type` (including equality when
@@ -402,28 +408,30 @@ class Decomposer {
                       scc_[static_cast<size_t>(t.from)] == my_scc;
       const GuardInfo& g = guards_[ti];
       for (size_t di = 0; di < g.positive.disjuncts.size(); ++di) {
-        Result<std::pair<Cq, schema::AccessMethodId>> inst =
+        Result<std::vector<std::pair<Cq, schema::AccessMethodId>>> inst =
             InstantiateCrossing(g.positive.disjuncts[di]);
         if (!inst.ok()) continue;
-        Status status = Status::OK();
-        ForEachSuperset(type, /*strict=*/same_scc, [&](const std::vector<
-                                                       bool>& next_type) {
-          // Crossing requirements: the realized disjunct's ϕ̃ true and
-          // all γ̃ false in the next type.
-          if (!next_type[static_cast<size_t>(g.disjunct_phi[di])]) return;
-          for (int np : g.negated_phi) {
-            if (next_type[static_cast<size_t>(np)]) return;
-          }
-          std::vector<Stage> extended = *stages;
-          Stage crossing_stage = stage;
-          crossing_stage.crossing_transition = static_cast<int>(ti);
-          crossing_stage.crossing_disjunct = inst.value().first;
-          crossing_stage.crossing_method = inst.value().second;
-          extended.push_back(std::move(crossing_stage));
-          Status s = Dfs(t.to, next_type, &extended);
-          if (!s.ok()) status = s;
-        });
-        if (!status.ok() && overflow_) return status;
+        for (const auto& [crossing_cq, crossing_method] : inst.value()) {
+          Status status = Status::OK();
+          ForEachSuperset(type, /*strict=*/same_scc, [&](const std::vector<
+                                                         bool>& next_type) {
+            // Crossing requirements: the realized disjunct's ϕ̃ true and
+            // all γ̃ false in the next type.
+            if (!next_type[static_cast<size_t>(g.disjunct_phi[di])]) return;
+            for (int np : g.negated_phi) {
+              if (next_type[static_cast<size_t>(np)]) return;
+            }
+            std::vector<Stage> extended = *stages;
+            Stage crossing_stage = stage;
+            crossing_stage.crossing_transition = static_cast<int>(ti);
+            crossing_stage.crossing_disjunct = crossing_cq;
+            crossing_stage.crossing_method = crossing_method;
+            extended.push_back(std::move(crossing_stage));
+            Status s = Dfs(t.to, next_type, &extended);
+            if (!s.ok()) status = s;
+          });
+          if (!status.ok() && overflow_) return status;
+        }
       }
     }
     return Status::OK();

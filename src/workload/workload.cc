@@ -92,6 +92,24 @@ logic::PosFormulaPtr RandomCq(Rng* rng, const schema::Schema& schema,
 
 namespace {
 
+/// Variable name for a position of the given type. Variables are
+/// typed by name ("z0" string, "zi0" int, "zb0" bool) so one variable
+/// never spans differently-typed positions — the logic layer rejects
+/// such formulas as InvalidArgument. All-string schemas keep the
+/// historical "z0".."z2" names.
+std::string TypedVar(Rng* rng, ValueType type) {
+  std::string k = std::to_string(rng->Uniform(3));
+  switch (type) {
+    case ValueType::kString:
+      return "z" + k;
+    case ValueType::kInt:
+      return "zi" + k;
+    case ValueType::kBool:
+      return "zb" + k;
+  }
+  return "z" + k;
+}
+
 PosFormulaPtr RandomTransitionSentence(Rng* rng,
                                        const schema::Schema& schema,
                                        bool allow_nary_bind,
@@ -108,7 +126,8 @@ PosFormulaPtr RandomTransitionSentence(Rng* rng,
         rng->Chance(1, 2) ? logic::PredSpace::kPre : logic::PredSpace::kPost;
     std::vector<Term> terms;
     for (int p = 0; p < schema.relation(r).arity(); ++p) {
-      std::string v = "z" + std::to_string(rng->Uniform(3));
+      std::string v = TypedVar(
+          rng, schema.relation(r).position_types[static_cast<size_t>(p)]);
       terms.push_back(Term::Var(v));
       vars.push_back(v);
     }
@@ -120,9 +139,13 @@ PosFormulaPtr RandomTransitionSentence(Rng* rng,
         rng->Uniform(static_cast<uint64_t>(schema.num_access_methods())));
     if (allow_nary_bind && schema.method(m).num_inputs() > 0 &&
         rng->Chance(1, 2)) {
+      const schema::AccessMethod& am = schema.method(m);
+      const schema::Relation& rel = schema.relation(am.relation);
       std::vector<Term> terms;
-      for (int i = 0; i < schema.method(m).num_inputs(); ++i) {
-        std::string v = "z" + std::to_string(rng->Uniform(3));
+      for (int i = 0; i < am.num_inputs(); ++i) {
+        std::string v = TypedVar(
+            rng, rel.position_types[static_cast<size_t>(
+                     am.input_positions[static_cast<size_t>(i)])]);
         terms.push_back(Term::Var(v));
         vars.push_back(v);
       }
@@ -202,20 +225,127 @@ acc::AccPtr RandomBindingPositiveFormula(Rng* rng,
                         /*binding_positive_context=*/true);
 }
 
-schema::Instance RandomInstance(Rng* rng, const schema::Schema& schema,
-                                size_t facts, int domain) {
+namespace {
+
+/// One random value of the declared type; strings/ints draw from a
+/// `domain`-sized pool (with an optional prefix partitioning the pool
+/// into disjoint blocks), booleans from {false, true}.
+Value RandomTypedValue(Rng* rng, ValueType type, int domain,
+                       const std::string& prefix) {
+  uint64_t k = rng->Uniform(static_cast<uint64_t>(domain));
+  switch (type) {
+    case ValueType::kString:
+      return Value::Str(prefix + "d" + std::to_string(k));
+    case ValueType::kInt:
+      // Distinct blocks use distinct int ranges so components stay
+      // disconnected through int positions too.
+      return Value::Int(static_cast<int64_t>(k) +
+                        (prefix.empty() ? 0
+                                        : 1000 * static_cast<int64_t>(
+                                                     prefix.size())));
+    case ValueType::kBool:
+      return Value::Bool(k % 2 == 1);
+  }
+  return Value::Str(prefix + "d" + std::to_string(k));
+}
+
+schema::Instance RandomInstanceImpl(Rng* rng, const schema::Schema& schema,
+                                    size_t facts, int domain,
+                                    int components) {
   schema::Instance out(schema);
   for (size_t i = 0; i < facts; ++i) {
     schema::RelationId r = static_cast<schema::RelationId>(
         rng->Uniform(static_cast<uint64_t>(schema.num_relations())));
+    std::string prefix;
+    if (components > 1) {
+      uint64_t c = rng->Uniform(static_cast<uint64_t>(components));
+      // Length-encoded prefix: blocks "c", "cc", … never share string
+      // values and map to distinct int ranges above.
+      prefix = std::string(static_cast<size_t>(c) + 1, 'c');
+    }
     Tuple t;
     for (int p = 0; p < schema.relation(r).arity(); ++p) {
-      t.push_back(Value::Str(
-          "d" + std::to_string(rng->Uniform(static_cast<uint64_t>(domain)))));
+      t.push_back(RandomTypedValue(
+          rng, schema.relation(r).position_types[static_cast<size_t>(p)],
+          domain, prefix));
     }
     out.AddFact(r, std::move(t));
   }
   return out;
+}
+
+}  // namespace
+
+schema::Instance RandomInstance(Rng* rng, const schema::Schema& schema,
+                                size_t facts, int domain) {
+  return RandomInstanceImpl(rng, schema, facts, domain, /*components=*/1);
+}
+
+schema::Instance RandomDisconnectedInstance(Rng* rng,
+                                            const schema::Schema& schema,
+                                            size_t facts, int domain,
+                                            int components) {
+  return RandomInstanceImpl(rng, schema, facts, domain, components);
+}
+
+schema::Schema RandomHighArityMixedSchema(Rng* rng, int relations) {
+  schema::Schema s;
+  for (int r = 0; r < relations; ++r) {
+    int arity = 4 + static_cast<int>(rng->Uniform(3));
+    std::vector<ValueType> types;
+    for (int p = 0; p < arity; ++p) {
+      switch (rng->Uniform(4)) {
+        case 0:
+          types.push_back(ValueType::kInt);
+          break;
+        case 1:
+          types.push_back(ValueType::kBool);
+          break;
+        default:
+          types.push_back(ValueType::kString);
+          break;
+      }
+    }
+    schema::RelationId id =
+        s.AddRelation("H" + std::to_string(r), std::move(types));
+    // Methods span the input/output spectrum: a dump (no inputs), a
+    // membership test (all inputs), and a random lookup in between.
+    s.AddAccessMethod("H" + std::to_string(r) + "_dump", id, {});
+    std::vector<schema::Position> all;
+    for (int p = 0; p < arity; ++p) all.push_back(p);
+    s.AddAccessMethod("H" + std::to_string(r) + "_member", id, all);
+    std::vector<schema::Position> some;
+    for (int p = 0; p < arity; ++p) {
+      if (rng->Chance(1, 2)) some.push_back(p);
+    }
+    s.AddAccessMethod("H" + std::to_string(r) + "_lookup", id,
+                      std::move(some));
+  }
+  return s;
+}
+
+acc::AccPtr RandomGuardedUntilFormula(Rng* rng, const schema::Schema& schema,
+                                      int depth, bool allow_nary_bind) {
+  using acc::AccFormula;
+  if (depth <= 0) {
+    return AccFormula::Atom(
+        RandomTransitionSentence(rng, schema, allow_nary_bind,
+                                 /*allow_bind=*/true));
+  }
+  acc::AccPtr guard = AccFormula::Atom(RandomTransitionSentence(
+      rng, schema, allow_nary_bind, /*allow_bind=*/rng->Chance(1, 2)));
+  acc::AccPtr hold = AccFormula::And(
+      {guard, RandomGuardedUntilFormula(rng, schema, depth - 1,
+                                        allow_nary_bind)});
+  acc::AccPtr release =
+      RandomGuardedUntilFormula(rng, schema, depth / 2, allow_nary_bind);
+  if (rng->Chance(1, 2)) {
+    release = AccFormula::And(
+        {AccFormula::Atom(RandomTransitionSentence(
+             rng, schema, allow_nary_bind, /*allow_bind=*/true)),
+         release});
+  }
+  return AccFormula::Until(hold, release);
 }
 
 }  // namespace workload

@@ -54,9 +54,40 @@ acc::AccPtr RandomBindingPositiveFormula(Rng* rng,
                                          int depth);
 
 /// Random instance over `schema`: about `facts` facts with values from
-/// a pool of `domain` strings.
+/// a pool of `domain` values per position type (strings "d0…", small
+/// ints, booleans — typed positions get typed values).
 schema::Instance RandomInstance(Rng* rng, const schema::Schema& schema,
                                 size_t facts, int domain);
+
+/// Scenario family: high-arity relations (arity 4-6) with *mixed*
+/// position types (string/int/bool) and methods spanning the
+/// input/output spectrum — input-free dumps, half-input lookups, and
+/// all-input membership tests. The base RandomSchema never produces
+/// any of these shapes (it is all-string, arity-capped, coin-flip
+/// inputs).
+schema::Schema RandomHighArityMixedSchema(Rng* rng, int relations);
+
+/// Scenario family: guarded Until nests — negation-free skeletons of
+/// the shape  ([guard] AND φ1) U ([release] AND φ2)  with Untils
+/// nested through both operands. Always binding-positive;
+/// `allow_nary_bind` = false keeps every IsBind atom 0-ary (the
+/// Sch0−Acc vocabulary), so the same family feeds both the zero-ary
+/// and the AccLTL+ engines.
+acc::AccPtr RandomGuardedUntilFormula(Rng* rng, const schema::Schema& schema,
+                                      int depth, bool allow_nary_bind);
+
+/// Scenario family: instance whose active domain splits into
+/// `components` disjoint value blocks (every fact draws all its
+/// string/int values from one block), producing disconnected active
+/// domains — the shape that exercises reachability pruning and
+/// grounded-binding pools. Boolean positions are the documented
+/// exception: a two-element domain cannot be partitioned, so blocks
+/// share {false, true} and full disconnection holds only for schemas
+/// without bool positions (e.g. RandomSchema's).
+schema::Instance RandomDisconnectedInstance(Rng* rng,
+                                            const schema::Schema& schema,
+                                            size_t facts, int domain,
+                                            int components);
 
 }  // namespace workload
 }  // namespace accltl

@@ -1,0 +1,152 @@
+// engine::CancelToken pre-fired and deadline-already-past paths, at
+// node granularity: every engine must report kCancelled/kDeadline
+// through its `cancelled` flag without expanding a single node, and
+// never convert the cut into a definitive answer. Service-level
+// fired-before-dispatch resolves queued requests without searching.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "src/accltl/parser.h"
+#include "src/analysis/zero_solver.h"
+#include "src/automata/compile.h"
+#include "src/automata/emptiness.h"
+#include "src/engine/cancel.h"
+#include "src/schema/lts.h"
+#include "src/service/analysis_service.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+class CancelTest : public ::testing::Test {
+ protected:
+  CancelTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& text) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : acc::AccFormula::False();
+  }
+
+  /// A satisfiable query: a definitive answer after a pre-cut token
+  /// would prove the token was ignored.
+  acc::AccPtr SatisfiableFormula() {
+    return Parse("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]");
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(CancelTest, PreFiredTokenStopsZeroSolverBeforeAnyNode) {
+  engine::CancelToken token;
+  token.Cancel();
+  engine::ExecOptions exec;
+  exec.cancel = &token;
+  Result<analysis::ZeroSolverResult> r = analysis::CheckZeroArySatisfiable(
+      SatisfiableFormula(), pd_.schema, {}, exec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().cancelled);
+  EXPECT_FALSE(r.value().satisfiable) << "a cut search must answer unknown";
+  EXPECT_EQ(r.value().nodes_explored, 0u)
+      << "the pre-fired token must be observed before the first expansion";
+  EXPECT_EQ(token.cause(), engine::CancelToken::Cause::kCancel);
+}
+
+TEST_F(CancelTest, PastDeadlineStopsZeroSolverBeforeAnyNode) {
+  engine::CancelToken token;
+  token.ArmDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(10));
+  engine::ExecOptions exec;
+  exec.cancel = &token;
+  Result<analysis::ZeroSolverResult> r = analysis::CheckZeroArySatisfiable(
+      SatisfiableFormula(), pd_.schema, {}, exec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().cancelled);
+  EXPECT_FALSE(r.value().satisfiable);
+  EXPECT_EQ(r.value().nodes_explored, 0u);
+  EXPECT_EQ(token.cause(), engine::CancelToken::Cause::kDeadline);
+}
+
+TEST_F(CancelTest, PreFiredTokenStopsBoundedWitnessSearch) {
+  Result<acc::AccPtr> f = acc::ParseAccFormula(
+      "F [EXISTS n . IsBind_AcM1(n)]", pd_.schema);
+  ASSERT_TRUE(f.ok());
+  Result<automata::AAutomaton> a =
+      automata::CompileToAutomaton(f.value(), pd_.schema);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  for (bool deadline : {false, true}) {
+    engine::CancelToken token;
+    if (deadline) {
+      token.ArmDeadline(std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1));
+      // Fire the deadline through the poll path, as a worker would.
+      ASSERT_TRUE(token.ShouldStop());
+    } else {
+      token.Cancel();
+    }
+    engine::ExecOptions exec;
+    exec.cancel = &token;
+    automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+        a.value(), pd_.schema, schema::Instance(pd_.schema), {}, exec);
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_FALSE(r.found) << "a cut search must answer unknown";
+    EXPECT_EQ(r.nodes_explored, 0u);
+  }
+}
+
+TEST_F(CancelTest, PreFiredTokenStopsLtsExploration) {
+  Rng rng(3);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 2);
+  engine::CancelToken token;
+  token.Cancel();
+  engine::ExecOptions exec;
+  exec.cancel = &token;
+  std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
+      pd_.schema, schema::Instance(pd_.schema), opts, /*max_depth=*/3,
+      /*max_nodes=*/100000, exec);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_TRUE(stats.back().cancelled)
+      << "the recorded prefix must be flagged, never complete-looking";
+  // Only the depth-0 level can be recorded: no expansion ran.
+  EXPECT_EQ(stats.size(), 1u);
+}
+
+TEST_F(CancelTest, CancelledBeforeDispatchResolvesWithoutSearching) {
+  // One dispatcher, blocked by a wide search; the queued second
+  // request is cancelled before any dispatcher picks it up.
+  service::ServiceOptions sopts;
+  sopts.num_dispatchers = 1;
+  service::AnalysisService svc(sopts);
+
+  service::PrepareOptions wide;
+  wide.zero.max_path_length = 10;
+  wide.zero.require_idempotent = true;  // disables the memo: huge space
+  Result<std::shared_ptr<const service::PreparedQuery>> blocker =
+      svc.Prepare(pd_.schema,
+                  "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+                  "(X X X F [IsBind_AcM1()]) AND "
+                  "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])",
+                  wide);
+  ASSERT_TRUE(blocker.ok());
+  Result<std::shared_ptr<const service::PreparedQuery>> target =
+      svc.Prepare(pd_.schema, "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]",
+                  {});
+  ASSERT_TRUE(target.ok());
+
+  service::PendingResult slow = svc.Submit(blocker.value());
+  service::PendingResult queued = svc.Submit(target.value());
+  queued.Cancel();
+  const service::CheckResponse& resp = queued.Get();
+  EXPECT_EQ(resp.verdict, service::Verdict::kCancelled);
+  EXPECT_EQ(resp.decision.satisfiable, analysis::Answer::kUnknown);
+  EXPECT_EQ(resp.decision.nodes_explored, 0u) << "no search may have run";
+  slow.Cancel();
+  slow.Get();
+}
+
+}  // namespace
+}  // namespace accltl

@@ -1,0 +1,72 @@
+// Corpus replay: every minimized repro under tests/corpus/ (shrunk
+// from a real divergence, then fixed) re-runs its differential check
+// and must agree forever after. Adding a regression = dropping the
+// repro file the fuzzer wrote into tests/corpus/ — no code changes.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/testing/differential.h"
+
+namespace accltl {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  std::filesystem::path dir(ACCLTL_CORPUS_DIR);
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".repro") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusTest, CorpusIsNonEmpty) {
+  // A vanished corpus (moved directory, bad ACCLTL_CORPUS_DIR) must
+  // fail loudly, not pass vacuously.
+  EXPECT_FALSE(CorpusFiles().empty())
+      << "no .repro files under " << ACCLTL_CORPUS_DIR;
+}
+
+TEST(CorpusTest, EveryReproReplaysClean) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    Result<testing::FuzzCase> c = testing::ParseRepro(buf.str());
+    ASSERT_TRUE(c.ok()) << path << ": " << c.status().ToString();
+    testing::DiffOutcome outcome = testing::RunCase(c.value());
+    EXPECT_TRUE(outcome.ok) << path << " diverges again:\n"
+                            << outcome.diagnosis;
+  }
+}
+
+TEST(CorpusTest, ReproFilesRoundTripThroughTheParser) {
+  // parse ∘ format must be the identity on every checked-in repro
+  // (modulo the leading comment block), so a repro a future session
+  // re-minimizes and re-writes stays byte-stable.
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<testing::FuzzCase> c = testing::ParseRepro(buf.str());
+    ASSERT_TRUE(c.ok()) << path;
+    std::string formatted = testing::FormatRepro(c.value(), "");
+    Result<testing::FuzzCase> again = testing::ParseRepro(formatted);
+    ASSERT_TRUE(again.ok()) << path << ": " << again.status().ToString();
+    EXPECT_EQ(formatted, testing::FormatRepro(again.value(), "")) << path;
+  }
+}
+
+}  // namespace
+}  // namespace accltl

@@ -1,0 +1,98 @@
+// The PR-gating differential fuzz slice: 50 seeds per engine pair
+// through the src/testing/ driver must agree (src/oracle/ is the
+// reference side; metamorphic pairs check invariances). This is the
+// fast slice of the nightly ≥500-seed job — the seeds here are the
+// nightly job's first 50, so a PR regression shows up in both.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/testing/differential.h"
+
+namespace accltl {
+namespace {
+
+constexpr uint64_t kSeedStart = 1;
+constexpr uint64_t kNumSeeds = 50;
+
+class FuzzSliceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzSliceTest, FiftySeedsAgree) {
+  const std::string& pair = GetParam();
+  size_t skipped = 0;
+  for (uint64_t seed = kSeedStart; seed < kSeedStart + kNumSeeds; ++seed) {
+    Result<testing::FuzzCase> c = testing::GenerateCase(pair, seed);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    testing::DiffOutcome outcome = testing::RunCase(c.value());
+    EXPECT_TRUE(outcome.ok)
+        << "seed=" << seed << " pair=" << pair << "\n"
+        << outcome.diagnosis << "\nrepro:\n"
+        << testing::FormatRepro(c.value(), outcome.diagnosis);
+    if (outcome.skipped) ++skipped;
+  }
+  // The slice must not silently degenerate into all-skips (e.g. a
+  // generator change making every formula unsupported).
+  EXPECT_LT(skipped, kNumSeeds) << "every seed of " << pair << " was skipped";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, FuzzSliceTest,
+    ::testing::ValuesIn(testing::EnginePairs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ShrinkerTest, AgreeingCaseShrinksToItself) {
+  Result<testing::FuzzCase> c = testing::GenerateCase("oracle-zero", 1);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(testing::RunCase(c.value()).ok);
+  // No candidate fails, so the shrinker must return the case unchanged.
+  testing::FuzzCase shrunk = testing::ShrinkCase(c.value(), /*max_attempts=*/50);
+  EXPECT_EQ(testing::FormatRepro(shrunk, ""),
+            testing::FormatRepro(c.value(), ""));
+}
+
+TEST(GeneratorTest, FamiliesActuallyAppear) {
+  // The three new scenario families must be reachable from the seed
+  // stream: at least one high-arity mixed schema, one Until-bearing
+  // formula, and one multi-component instance across the slice.
+  bool high_arity = false, has_until = false, disconnected = false;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Result<testing::FuzzCase> svc = testing::GenerateCase("service", seed);
+    ASSERT_TRUE(svc.ok());
+    for (schema::RelationId r = 0; r < svc.value().schema.num_relations();
+         ++r) {
+      if (svc.value().schema.relation(r).arity() >= 4) high_arity = true;
+    }
+    if (svc.value().formula != nullptr &&
+        svc.value().formula->ToString(svc.value().schema).find(" U ") !=
+            std::string::npos) {
+      has_until = true;
+    }
+    Result<testing::FuzzCase> lts = testing::GenerateCase("lts", seed);
+    ASSERT_TRUE(lts.ok());
+    // Disconnected instances use the length-encoded "c", "cc", ...
+    // string prefixes.
+    for (schema::RelationId r = 0; r < lts.value().universe.num_relations();
+         ++r) {
+      for (const Tuple& t : lts.value().universe.tuples(r)) {
+        for (const Value& v : t) {
+          if (v.is_string() && v.AsString().rfind("ccd", 0) == 0) {
+            disconnected = true;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(high_arity);
+  EXPECT_TRUE(has_until);
+  EXPECT_TRUE(disconnected);
+}
+
+}  // namespace
+}  // namespace accltl

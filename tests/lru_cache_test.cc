@@ -1,0 +1,110 @@
+// service::LruCache edge cases: capacity 0 (disabled) and 1, strict
+// eviction order under interleaved hits, and the service-level
+// invariant that exhausted_budget responses are never inserted (the
+// one case the determinism guarantee scopes out).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/service/analysis_service.h"
+#include "src/service/result_cache.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+TEST(LruCacheTest, CapacityZeroDisablesEverything) {
+  service::LruCache<int> cache(0);
+  cache.Insert("a", 1);
+  EXPECT_EQ(cache.size(), 0u);
+  int out = 0;
+  EXPECT_FALSE(cache.Lookup("a", &out));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, CapacityOneKeepsOnlyTheNewest) {
+  service::LruCache<int> cache(1);
+  cache.Insert("a", 1);
+  int out = 0;
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  EXPECT_EQ(out, 1);
+  cache.Insert("b", 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Lookup("a", &out)) << "evicted by b";
+  ASSERT_TRUE(cache.Lookup("b", &out));
+  EXPECT_EQ(out, 2);
+  // Re-inserting an existing key updates in place, no eviction churn.
+  cache.Insert("b", 3);
+  ASSERT_TRUE(cache.Lookup("b", &out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, InterleavedHitsRefreshRecency) {
+  service::LruCache<int> cache(2);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  int out = 0;
+  // Touch a: order is now [a, b]; inserting c must evict b, not a.
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  cache.Insert("c", 3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  // Touch a again; inserting d evicts c.
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  cache.Insert("d", 4);
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("c", &out));
+  EXPECT_TRUE(cache.Lookup("d", &out));
+}
+
+TEST(LruCacheTest, ExhaustedBudgetResponsesAreNeverCached) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  service::ServiceOptions sopts;
+  sopts.cache_capacity = 8;
+  service::AnalysisService svc(sopts);
+
+  // A search the budget cuts: wide idempotent space, 300-node cap
+  // (zero_parallel_test's budget scenario).
+  service::PrepareOptions budget_opts;
+  budget_opts.zero.max_path_length = 8;
+  budget_opts.zero.require_idempotent = true;
+  budget_opts.zero.max_nodes = 300;
+  Result<std::shared_ptr<const service::PreparedQuery>> cut = svc.Prepare(
+      pd.schema,
+      "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+      "(X X X F [IsBind_AcM1()]) AND "
+      "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])",
+      budget_opts);
+  ASSERT_TRUE(cut.ok()) << cut.status().ToString();
+
+  service::CheckRequest req;
+  req.use_cache = true;
+  service::CheckResponse r1 = svc.Check(*cut.value(), req);
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r1.decision.exhausted_budget)
+      << "test setup: the budget must be the binding constraint";
+  EXPECT_EQ(svc.cache_entries(), 0u)
+      << "exhausted_budget responses must never be inserted";
+  service::CheckResponse r2 = svc.Check(*cut.value(), req);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(svc.cache_entries(), 0u);
+
+  // A budget-clean response on the same service IS cached.
+  Result<std::shared_ptr<const service::PreparedQuery>> clean = svc.Prepare(
+      pd.schema, "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]", {});
+  ASSERT_TRUE(clean.ok());
+  service::CheckResponse c1 = svc.Check(*clean.value(), req);
+  ASSERT_TRUE(c1.status.ok());
+  ASSERT_FALSE(c1.decision.exhausted_budget);
+  EXPECT_EQ(svc.cache_entries(), 1u);
+  service::CheckResponse c2 = svc.Check(*clean.value(), req);
+  EXPECT_TRUE(c2.cache_hit);
+}
+
+}  // namespace
+}  // namespace accltl

@@ -1,0 +1,264 @@
+// The reference oracle (src/oracle/) against the optimized engines on
+// the handwritten scenarios of accltl_test/zero_parallel_test: same
+// verdicts under the oracle's bounds, witnesses accepted by BOTH
+// evaluator implementations, and naive LTS statistics identical to the
+// engine explorer's.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/accltl/parser.h"
+#include "src/accltl/semantics.h"
+#include "src/analysis/zero_solver.h"
+#include "src/common/rng.h"
+#include "src/oracle/oracle.h"
+#include "src/schema/lts.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& text) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : acc::AccFormula::False();
+  }
+
+  /// Oracle bounds that fully sweep the phone-directory space at path
+  /// length 2 (the handwritten scenarios' witnesses all fit).
+  static oracle::OracleOptions Bounds() {
+    oracle::OracleOptions o;
+    o.max_path_length = 2;
+    o.max_response_facts = 2;
+    o.num_fresh_values = 2;
+    o.max_nodes = 60000;
+    return o;
+  }
+
+  /// Both sides must agree; every witness must pass both evaluators.
+  void ExpectAgreement(const acc::AccPtr& f, const schema::Schema& schema,
+                       const analysis::ZeroSolverOptions& zopts,
+                       oracle::OracleOptions oopts,
+                       bool expect_satisfiable) {
+    Result<analysis::ZeroSolverResult> zero =
+        analysis::CheckZeroArySatisfiable(f, schema, zopts);
+    ASSERT_TRUE(zero.ok()) << zero.status().ToString();
+    EXPECT_EQ(zero.value().satisfiable, expect_satisfiable);
+    EXPECT_FALSE(zero.value().exhausted_budget);
+
+    oracle::OracleResult o = oracle::OracleDecide(f, schema, oopts);
+    schema::Instance empty(schema);
+    if (expect_satisfiable) {
+      ASSERT_EQ(o.answer, oracle::OracleAnswer::kSat)
+          << "oracle: " << oracle::OracleAnswerName(o.answer) << " after "
+          << o.paths_explored << " paths";
+      // The oracle's witness must convince the engine-side evaluator,
+      // and the engine's witness the naive one.
+      EXPECT_TRUE(acc::EvalOnPath(f, schema, o.witness, empty));
+      EXPECT_TRUE(oracle::NaiveEvalOnPath(f, schema, zero.value().witness,
+                                          empty));
+    } else {
+      EXPECT_EQ(o.answer, oracle::OracleAnswer::kNoWithinBounds)
+          << "oracle: " << oracle::OracleAnswerName(o.answer) << " after "
+          << o.paths_explored << " paths";
+    }
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(OracleTest, SatisfiableScenarioAgrees) {
+  // zero_parallel_test's satisfiable scenario; the 2-step witness
+  // (AcM1 reveals a Mobile fact, AcM2 an Address fact) fits the
+  // oracle's bounds.
+  acc::AccPtr f = Parse(
+      "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)] AND "
+      "F [EXISTS s,p,n,h . Address_post(s,p,n,h)] AND "
+      "F [IsBind_AcM2()]");
+  analysis::ZeroSolverOptions zopts;
+  zopts.max_path_length = 6;
+  ExpectAgreement(f, pd_.schema, zopts, Bounds(), /*expect_satisfiable=*/true);
+}
+
+TEST_F(OracleTest, UnsatisfiableScenarioAgrees) {
+  // Eventually nonempty but globally empty: definitive NO from the
+  // solver, full bounded sweep without a witness from the oracle.
+  acc::AccPtr f = Parse(
+      "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+      "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])");
+  analysis::ZeroSolverOptions zopts;
+  zopts.max_path_length = 8;
+  ExpectAgreement(f, pd_.schema, zopts, Bounds(),
+                  /*expect_satisfiable=*/false);
+}
+
+TEST_F(OracleTest, IdempotentScenarioAgrees) {
+  acc::AccPtr f = Parse(
+      "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)] AND "
+      "F [IsBind_AcM2()]");
+  analysis::ZeroSolverOptions zopts;
+  zopts.require_idempotent = true;
+  zopts.max_path_length = 4;
+  oracle::OracleOptions oopts = Bounds();
+  oopts.require_idempotent = true;
+  ExpectAgreement(f, pd_.schema, zopts, oopts, /*expect_satisfiable=*/true);
+}
+
+TEST_F(OracleTest, GroundedScenarioAgrees) {
+  // zero_parallel_test's grounded scenario: the input-free access
+  // reveals R("a"), grounding the MT("a") access.
+  schema::Schema s;
+  schema::RelationId r = s.AddRelation("R", {ValueType::kString});
+  schema::RelationId t =
+      s.AddRelation("T", {ValueType::kString, ValueType::kString});
+  s.AddAccessMethod("MFree", r, {});
+  s.AddAccessMethod("MT", t, {0});
+  Result<acc::AccPtr> f = acc::ParseAccFormula(
+      "F [R_post(\"a\")] AND F [T_post(\"a\",\"b\")]", s);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+
+  analysis::ZeroSolverOptions zopts;
+  zopts.grounded = true;
+  zopts.max_path_length = 6;
+  oracle::OracleOptions oopts = Bounds();
+  oopts.grounded = true;
+  ExpectAgreement(f.value(), s, zopts, oopts, /*expect_satisfiable=*/true);
+
+  // And the oracle's grounded witness really is grounded.
+  oracle::OracleResult o = oracle::OracleDecide(f.value(), s, oopts);
+  ASSERT_EQ(o.answer, oracle::OracleAnswer::kSat);
+  EXPECT_TRUE(o.witness.IsGrounded(s, schema::Instance(s)));
+}
+
+TEST_F(OracleTest, BudgetCutReportsUnknownNeverNo) {
+  acc::AccPtr f = Parse(
+      "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+      "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])");
+  oracle::OracleOptions oopts = Bounds();
+  oopts.max_nodes = 50;  // far below the ~14k-path sweep
+  oracle::OracleResult o = oracle::OracleDecide(f, pd_.schema, oopts);
+  EXPECT_EQ(o.answer, oracle::OracleAnswer::kUnknown);
+  EXPECT_TRUE(o.exhausted_budget);
+}
+
+// --- The two evaluator implementations must agree on arbitrary paths ---------
+
+class EvaluatorAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorAgreementTest, NaiveEvalMatchesEngineEvalOnSampledPaths) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77741u + 13u);
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  schema::LtsOptions lopts;
+  lopts.universe = workload::MakePhoneUniverse(pd, &rng, 2);
+  lopts.seed_values = {Value::Str("Smith")};
+
+  // Sample a path by chaining Successors picks from the empty instance.
+  schema::Instance current(pd.schema);
+  schema::AccessPath path;
+  for (int step = 0; step < 3; ++step) {
+    std::vector<schema::Transition> succ =
+        schema::Successors(pd.schema, current, lopts);
+    ASSERT_FALSE(succ.empty());
+    const schema::Transition& t = succ[rng.Uniform(succ.size())];
+    path.Append(schema::AccessStep{t.access, t.response});
+    current = t.post;
+  }
+
+  schema::Instance empty(pd.schema);
+  for (int i = 0; i < 8; ++i) {
+    acc::AccPtr f =
+        i % 2 == 0
+            ? workload::RandomZeroAryFormula(&rng, pd.schema, 2,
+                                             /*allow_until=*/true)
+            : workload::RandomBindingPositiveFormula(&rng, pd.schema, 2);
+    EXPECT_EQ(acc::EvalOnPath(f, pd.schema, path, empty),
+              oracle::NaiveEvalOnPath(f, pd.schema, path, empty))
+        << f->ToString(pd.schema) << "\non\n" << path.ToString(pd.schema);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorAgreementTest,
+                         ::testing::Range(0, 25));
+
+// --- Naive LTS enumeration must reproduce the engine's statistics -----------
+
+class OracleLtsTest : public ::testing::Test {
+ protected:
+  OracleLtsTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  void ExpectSameStats(const schema::LtsOptions& opts, size_t depth,
+                       size_t max_nodes) {
+    std::vector<oracle::OracleLevelStats> naive = oracle::OracleExploreLts(
+        pd_.schema, schema::Instance(pd_.schema), opts, depth, max_nodes);
+    std::vector<schema::LtsLevelStats> engine = schema::ExploreBreadthFirst(
+        pd_.schema, schema::Instance(pd_.schema), opts, depth, max_nodes);
+    ASSERT_EQ(naive.size(), engine.size());
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(naive[i].depth, engine[i].depth) << "level " << i;
+      EXPECT_EQ(naive[i].distinct_configurations,
+                engine[i].distinct_configurations)
+          << "level " << i;
+      EXPECT_EQ(naive[i].transitions, engine[i].transitions) << "level " << i;
+      EXPECT_EQ(naive[i].truncated, engine[i].truncated) << "level " << i;
+      if (!naive[i].truncated) {
+        // Which configurations are dropped at the cut is an ordering
+        // artifact; everywhere else the maxima must match too.
+        EXPECT_EQ(naive[i].max_configuration_facts,
+                  engine[i].max_configuration_facts)
+            << "level " << i;
+      }
+    }
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(OracleLtsTest, GroundedExplorationMatches) {
+  Rng rng(7);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 4);
+  opts.grounded = true;
+  opts.seed_values = {Value::Str("Smith")};
+  ExpectSameStats(opts, /*depth=*/3, /*max_nodes=*/100000);
+}
+
+TEST_F(OracleLtsTest, FreeExplorationMatches) {
+  Rng rng(8);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 2);
+  ExpectSameStats(opts, /*depth=*/2, /*max_nodes=*/100000);
+}
+
+TEST_F(OracleLtsTest, SingletonsOffMatches) {
+  Rng rng(9);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 3);
+  opts.enumerate_singleton_responses = false;
+  ExpectSameStats(opts, /*depth=*/3, /*max_nodes=*/100000);
+}
+
+TEST_F(OracleLtsTest, ExactMethodMatches) {
+  Rng rng(10);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 3);
+  opts.exact_methods = {pd_.acm2};
+  ExpectSameStats(opts, /*depth=*/2, /*max_nodes=*/100000);
+}
+
+TEST_F(OracleLtsTest, BudgetCutMatches) {
+  Rng rng(11);
+  schema::LtsOptions opts;
+  opts.universe = workload::MakePhoneUniverse(pd_, &rng, 4);
+  opts.grounded = true;
+  opts.seed_values = {Value::Str("Smith")};
+  ExpectSameStats(opts, /*depth=*/3, /*max_nodes=*/40);
+}
+
+}  // namespace
+}  // namespace accltl

@@ -1,0 +1,107 @@
+// Property test: the text formats round-trip over the workload
+// generators — any oracle repro must survive serialization, so
+// print ∘ parse ∘ print must equal print for schemas, instances and
+// formulas (200 random triples), and the fuzz repro container must be
+// a fixed point of parse ∘ format.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/accltl/parser.h"
+#include "src/common/rng.h"
+#include "src/schema/text_format.h"
+#include "src/testing/differential.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, SchemaInstanceFormulaSurviveSerialization) {
+  // 25 gtest shards × 8 triples = 200 random cases.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9176213u + 5u);
+  for (int round = 0; round < 8; ++round) {
+    schema::Schema s =
+        rng.Chance(1, 3)
+            ? workload::RandomHighArityMixedSchema(
+                  &rng, 1 + static_cast<int>(rng.Uniform(3)))
+            : workload::RandomSchema(&rng,
+                                     1 + static_cast<int>(rng.Uniform(3)), 3);
+
+    // Schema: parse(print(s)) prints identically and matches shape.
+    std::string schema_text = schema::SerializeSchema(s);
+    Result<schema::Schema> parsed = schema::ParseSchema(schema_text);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\n" << schema_text;
+    EXPECT_EQ(schema::SerializeSchema(parsed.value()), schema_text);
+    ASSERT_EQ(parsed.value().num_relations(), s.num_relations());
+    ASSERT_EQ(parsed.value().num_access_methods(), s.num_access_methods());
+    for (schema::RelationId r = 0; r < s.num_relations(); ++r) {
+      EXPECT_EQ(parsed.value().relation(r).name, s.relation(r).name);
+      EXPECT_EQ(parsed.value().relation(r).position_types,
+                s.relation(r).position_types);
+    }
+    for (schema::AccessMethodId m = 0; m < s.num_access_methods(); ++m) {
+      EXPECT_EQ(parsed.value().method(m).name, s.method(m).name);
+      EXPECT_EQ(parsed.value().method(m).relation, s.method(m).relation);
+      EXPECT_EQ(parsed.value().method(m).input_positions,
+                s.method(m).input_positions);
+    }
+
+    // Instance: same facts after the round trip (serialization sorts,
+    // so compare through a second print).
+    schema::Instance inst = workload::RandomInstance(
+        &rng, s, 2 + rng.Uniform(10), 4);
+    std::string inst_text = schema::SerializeInstance(inst, s);
+    Result<schema::Instance> inst_parsed =
+        schema::ParseInstance(inst_text, parsed.value());
+    ASSERT_TRUE(inst_parsed.ok())
+        << inst_parsed.status().ToString() << "\n" << inst_text;
+    EXPECT_EQ(schema::SerializeInstance(inst_parsed.value(), parsed.value()),
+              inst_text);
+    EXPECT_EQ(inst_parsed.value().TotalFacts(), inst.TotalFacts());
+
+    // Formula: print is a fixed point of parse ∘ print.
+    acc::AccPtr f =
+        rng.Chance(1, 2)
+            ? workload::RandomZeroAryFormula(&rng, s, 2, rng.Chance(1, 2))
+            : workload::RandomBindingPositiveFormula(&rng, s, 2);
+    std::string formula_text = f->ToString(s);
+    Result<acc::AccPtr> f_parsed = acc::ParseAccFormula(formula_text, s);
+    ASSERT_TRUE(f_parsed.ok())
+        << f_parsed.status().ToString() << "\n" << formula_text;
+    EXPECT_EQ(f_parsed.value()->ToString(s), formula_text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range(0, 25));
+
+class ReproRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReproRoundTripTest, FuzzReprosAreParseFixedPoints) {
+  uint64_t seed = static_cast<uint64_t>(GetParam()) + 1;
+  for (const std::string& pair : testing::EnginePairs()) {
+    Result<testing::FuzzCase> c = testing::GenerateCase(pair, seed);
+    ASSERT_TRUE(c.ok()) << pair;
+    std::string repro = testing::FormatRepro(c.value(), "diag line\nsecond");
+    Result<testing::FuzzCase> parsed = testing::ParseRepro(repro);
+    ASSERT_TRUE(parsed.ok())
+        << pair << ": " << parsed.status().ToString() << "\n" << repro;
+    EXPECT_EQ(parsed.value().pair, c.value().pair);
+    EXPECT_EQ(parsed.value().seed, c.value().seed);
+    EXPECT_EQ(parsed.value().grounded, c.value().grounded);
+    EXPECT_EQ(parsed.value().singletons, c.value().singletons);
+    EXPECT_EQ(parsed.value().depth, c.value().depth);
+    // The diagnosis rides along as comments and is dropped by parsing;
+    // everything else must survive bit-for-bit.
+    EXPECT_EQ(testing::FormatRepro(parsed.value(), ""),
+              testing::FormatRepro(c.value(), ""));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReproRoundTripTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace accltl

@@ -16,6 +16,8 @@
 //                      [--threads N]
 //   accltl_cli batch   <schema-file> <requests-file|-> [--grounded]
 //                      [--shrink] [--threads N] [--deadline-ms N] [--cache]
+//   accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...
+//                      [--shrink] [--out DIR]
 //
 // Queries and formulas use the library's text syntax, e.g.
 //   accltl_cli check phone.schema 'F [IsBind_AcM1()]'
@@ -27,7 +29,15 @@
 // '#' comments skipped) and answers them through one AnalysisService:
 // every distinct formula is prepared once (parse, classify, compile)
 // and shared across its occurrences, requests are submitted
-// asynchronously, and responses print in input order.
+// asynchronously, and responses print in input order. Failed requests
+// report their request index AND source line number on stderr.
+//
+// `fuzz` runs the differential-testing driver (src/testing/): each
+// seed × engine pair generates a random schema/formula/instance case
+// and checks oracle-vs-engine agreement plus metamorphic properties.
+// Failing seeds are reported on stderr; with --shrink each failure is
+// greedily minimized, and with --out DIR a replayable repro file is
+// written per failure (the format tests/corpus/ replays).
 //
 // Unknown flags, missing flag values and malformed counts are errors
 // (exit code 2) — a typo like `--ground` must never silently change
@@ -52,6 +62,7 @@
 #include "src/schema/lts.h"
 #include "src/schema/text_format.h"
 #include "src/service/analysis_service.h"
+#include "src/testing/differential.h"
 
 namespace accltl {
 namespace {
@@ -70,7 +81,9 @@ int Usage() {
       "                     [--threads N]\n"
       "  accltl_cli batch   <schema-file> <requests-file|-> [--grounded]\n"
       "                     [--shrink] [--threads N] [--deadline-ms N]\n"
-      "                     [--cache]\n");
+      "                     [--cache]\n"
+      "  accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...\n"
+      "                     [--shrink] [--out DIR]\n");
   return 2;
 }
 
@@ -399,15 +412,20 @@ int RunBatch(int argc, char** argv) {
     }
     requests_text = std::move(text.value());
   }
+  // Each request keeps its 1-based source line number: error reports
+  // must point back into the (comment- and blank-line-ridden) input
+  // file, not into the filtered request list.
   std::vector<std::string> lines;
+  std::vector<size_t> line_numbers;
   {
     std::istringstream in(requests_text);
     std::string line;
-    while (std::getline(in, line)) {
+    for (size_t line_no = 1; std::getline(in, line); ++line_no) {
       size_t first = line.find_first_not_of(" \t\r");
       if (first == std::string::npos || line[first] == '#') continue;
       size_t last = line.find_last_not_of(" \t\r");
       lines.push_back(line.substr(first, last - first + 1));
+      line_numbers.push_back(line_no);
     }
   }
 
@@ -446,15 +464,17 @@ int RunBatch(int argc, char** argv) {
   size_t failures = 0;
   for (size_t i = 0; i < lines.size(); ++i) {
     if (prepared[i] == nullptr) {
-      std::fprintf(stderr, "[%zu] error: %s\n", i,
-                   prepare_errors[i].c_str());
+      std::fprintf(stderr, "[%zu] line %zu: error: %s\n  request: %s\n", i,
+                   line_numbers[i], prepare_errors[i].c_str(),
+                   lines[i].c_str());
       ++failures;
       continue;
     }
     const service::CheckResponse& resp = pending[i].Get();
     if (!resp.status.ok()) {
-      std::fprintf(stderr, "[%zu] error: %s\n", i,
-                   resp.status.ToString().c_str());
+      std::fprintf(stderr, "[%zu] line %zu: error: %s\n  request: %s\n", i,
+                   line_numbers[i], resp.status.ToString().c_str(),
+                   lines[i].c_str());
       ++failures;
       continue;
     }
@@ -480,6 +500,68 @@ int RunBatch(int argc, char** argv) {
   return 0;
 }
 
+int RunFuzz(int argc, char** argv) {
+  testing::FuzzOptions options;
+  options.num_seeds = 50;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shrink") == 0) {
+      options.shrink = true;
+    } else if (std::strcmp(argv[i], "--engine-pair") == 0) {
+      if (i + 1 >= argc) return MissingValue("fuzz", argv[i]);
+      std::string pair = argv[++i];
+      if (pair == "all") {
+        options.pairs.clear();
+      } else {
+        bool known = false;
+        for (const std::string& p : testing::EnginePairs()) {
+          known = known || p == pair;
+        }
+        if (!known) {
+          std::fprintf(stderr, "fuzz: unknown engine pair '%s' (have:",
+                       pair.c_str());
+          for (const std::string& p : testing::EnginePairs()) {
+            std::fprintf(stderr, " %s", p.c_str());
+          }
+          std::fprintf(stderr, ")\n");
+          return 2;
+        }
+        options.pairs.push_back(pair);
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) return MissingValue("fuzz", argv[i]);
+      options.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--seeds") == 0 ||
+               std::strcmp(argv[i], "--seed-start") == 0) {
+      const char* flag = argv[i];
+      if (i + 1 >= argc) return MissingValue("fuzz", flag);
+      Result<size_t> value = ParsePositiveCount(flag, argv[++i]);
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        return 2;
+      }
+      if (std::strcmp(flag, "--seeds") == 0) {
+        options.num_seeds = value.value();
+      } else {
+        options.seed_start = value.value();
+      }
+    } else {
+      return UnknownFlag("fuzz", argv[i]);
+    }
+  }
+  testing::FuzzSummary summary = testing::RunFuzz(options, stderr);
+  std::printf("fuzz: %zu cases, %zu failures, %zu skipped\n", summary.cases,
+              summary.failures, summary.skipped);
+  if (summary.failures > 0) {
+    // The per-seed detail is already on stderr (RunFuzz reports each
+    // failing seed and repro path as it happens); summarize before the
+    // failing exit so scripted callers have both.
+    std::fprintf(stderr, "fuzz: %zu of %zu cases diverged\n",
+                 summary.failures, summary.cases);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "check") == 0) return RunCheck(argc, argv);
@@ -487,6 +569,7 @@ int Main(int argc, char** argv) {
   if (std::strcmp(argv[1], "answer") == 0) return RunAnswer(argc, argv);
   if (std::strcmp(argv[1], "explore") == 0) return RunExplore(argc, argv);
   if (std::strcmp(argv[1], "batch") == 0) return RunBatch(argc, argv);
+  if (std::strcmp(argv[1], "fuzz") == 0) return RunFuzz(argc, argv);
   return Usage();
 }
 
