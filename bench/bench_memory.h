@@ -1,0 +1,48 @@
+// Process-level memory probes for the benchmark binaries: peak RSS
+// (getrusage) and the allocator's current arena footprint (mallinfo2,
+// glibc only). Both are whole-process numbers — benchmarks report them
+// as end-of-run counters, so successive benchmarks in one binary see a
+// monotone peak (RSS high-water never resets). They complement the
+// engines' logical `visited_bytes` stat: logical bytes are
+// deterministic and mode-comparable, RSS is what the OS actually
+// charged.
+
+#ifndef ACCLTL_BENCH_BENCH_MEMORY_H_
+#define ACCLTL_BENCH_BENCH_MEMORY_H_
+
+#include <cstddef>
+
+#include <sys/resource.h>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace accltl {
+namespace bench {
+
+/// Peak resident set size of this process in bytes (0 when the probe
+/// is unavailable). Linux reports ru_maxrss in KiB.
+inline size_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<size_t>(ru.ru_maxrss) * 1024;
+}
+
+/// Bytes currently held by the allocator for this process (in-use
+/// blocks + free lists still mapped), i.e. the heap high-water the
+/// allocator has not returned to the OS. 0 on non-glibc libcs — the
+/// probe is informational, never load-bearing.
+inline size_t AllocatorFootprintBytes() {
+#if defined(__GLIBC__)
+  struct mallinfo2 mi = mallinfo2();
+  return static_cast<size_t>(mi.uordblks) + static_cast<size_t>(mi.fordblks);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace bench
+}  // namespace accltl
+
+#endif  // ACCLTL_BENCH_BENCH_MEMORY_H_

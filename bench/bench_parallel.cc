@@ -7,10 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_memory.h"
 #include "src/accltl/parser.h"
 #include "src/analysis/zero_solver.h"
 #include "src/automata/compile.h"
@@ -84,7 +86,10 @@ void BM_ParallelWitnessDiamond(benchmark::State& state) {
     benchmark::DoNotOptimize(r.found);
     state.counters["nodes"] = static_cast<double>(r.nodes_explored);
     state.counters["found"] = r.found ? 1 : 0;
+    state.counters["visited_bytes"] = static_cast<double>(r.visited_bytes);
   }
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(bench::PeakRssBytes()) / (1024.0 * 1024.0);
 }
 BENCHMARK(BM_ParallelWitnessDiamond)
     ->Arg(1)
@@ -163,6 +168,91 @@ BENCHMARK(BM_ParallelWitnessDiamondSeeded)
     ->Arg(4)
     ->Arg(8)
     ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Visited-storage mode comparison on the exhaustive diamond over a
+// 64-fact seeded configuration: the identical ~6.5k-node dedup'd
+// sweep under VisitedMode::kExact
+// (materialized configurations in the sharded table) vs kCompact
+// (tree-compressed refs + Cleary-style compact table). Verdict and
+// node count are byte-identical by contract (the compact fuzz pair
+// gates this); `visited_bytes` is the point — compact holds the same
+// frontier in a fraction of the logical bytes.
+void BM_VisitedModeDiamond(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Rng rng(17);
+  schema::Instance seeded = workload::MakePhoneUniverse(pd, &rng, 64);
+  acc::AccPtr f =
+      acc::ParseAccFormula(kDiamondExhaustive, pd.schema).value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd.schema).value();
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = 3;
+  engine::ExecOptions exec;
+  exec.num_threads = 4;
+  exec.visited_mode = state.range(0) == 0 ? engine::VisitedMode::kExact
+                                          : engine::VisitedMode::kCompact;
+  for (auto _ : state) {
+    automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+        a, pd.schema, seeded, opts, exec);
+    benchmark::DoNotOptimize(r.found);
+    state.counters["nodes"] = static_cast<double>(r.nodes_explored);
+    state.counters["visited_bytes"] = static_cast<double>(r.visited_bytes);
+    state.counters["treedb_nodes"] = static_cast<double>(r.treedb_nodes);
+  }
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(bench::PeakRssBytes()) / (1024.0 * 1024.0);
+  state.counters["heap_mb"] =
+      static_cast<double>(bench::AllocatorFootprintBytes()) /
+      (1024.0 * 1024.0);
+}
+BENCHMARK(BM_VisitedModeDiamond)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"compact"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The capped sweep: the same diamond under a fixed
+// ExecOptions::max_visited_bytes byte budget, sized between the two
+// modes' footprints. kExact hits the cap and truncates
+// (exhausted_budget = 1, a partial sweep); kCompact finishes the whole
+// space under the identical budget — the headline "same search, same
+// memory cap, only compact completes" record, mirrored by the
+// ulimit-based stress job in CI.
+void BM_MemoryCappedDiamond(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  Rng rng(17);
+  schema::Instance seeded = workload::MakePhoneUniverse(pd, &rng, 64);
+  acc::AccPtr f =
+      acc::ParseAccFormula(kDiamondExhaustive, pd.schema).value();
+  automata::AAutomaton a =
+      automata::CompileToAutomaton(f, pd.schema).value();
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = 3;
+  engine::ExecOptions exec;
+  exec.num_threads = 4;
+  exec.visited_mode = state.range(0) == 0 ? engine::VisitedMode::kExact
+                                          : engine::VisitedMode::kCompact;
+  // 1 MiB: well below the exact sweep's ~4.6 MB footprint, ~3x above
+  // the compact sweep's ~0.3 MB.
+  exec.max_visited_bytes = 1u << 20;
+  for (auto _ : state) {
+    automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+        a, pd.schema, seeded, opts, exec);
+    benchmark::DoNotOptimize(r.found);
+    state.counters["nodes"] = static_cast<double>(r.nodes_explored);
+    state.counters["truncated"] = r.exhausted_budget ? 1 : 0;
+    state.counters["visited_bytes"] = static_cast<double>(r.visited_bytes);
+  }
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(bench::PeakRssBytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_MemoryCappedDiamond)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"compact"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -261,6 +351,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  std::fprintf(stderr,
+               "process memory: peak_rss_bytes=%zu allocator_bytes=%zu\n",
+               accltl::bench::PeakRssBytes(),
+               accltl::bench::AllocatorFootprintBytes());
   benchmark::Shutdown();
   return 0;
 }

@@ -12,10 +12,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_memory.h"
 #include "src/accltl/parser.h"
 #include "src/analysis/decide.h"
 #include "src/service/analysis_service.h"
@@ -148,6 +150,11 @@ void BM_ServiceBatchThroughput(benchmark::State& state) {
     requests += kBatch;
   }
   state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(bench::PeakRssBytes()) / (1024.0 * 1024.0);
+  state.counters["heap_mb"] =
+      static_cast<double>(bench::AllocatorFootprintBytes()) /
+      (1024.0 * 1024.0);
 }
 BENCHMARK(BM_ServiceBatchThroughput)
     ->Arg(0)
@@ -230,6 +237,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  std::fprintf(stderr,
+               "process memory: peak_rss_bytes=%zu allocator_bytes=%zu\n",
+               accltl::bench::PeakRssBytes(),
+               accltl::bench::AllocatorFootprintBytes());
   benchmark::Shutdown();
   return 0;
 }

@@ -72,6 +72,8 @@ Result<Decision> DecidePrepared(const PreparedFormula& prepared,
     d.nodes_explored = r.value().nodes_explored;
     d.exhausted_budget = r.value().exhausted_budget;
     d.cancelled = r.value().cancelled;
+    d.visited_bytes = r.value().visited_bytes;
+    d.treedb_nodes = r.value().treedb_nodes;
     if (r.value().satisfiable) {
       d.satisfiable = Answer::kYes;
       d.has_witness = true;
@@ -107,6 +109,8 @@ Result<Decision> DecidePrepared(const PreparedFormula& prepared,
     d.nodes_explored = r.nodes_explored;
     d.exhausted_budget = r.exhausted_budget;
     d.cancelled = r.cancelled;
+    d.visited_bytes = r.visited_bytes;
+    d.treedb_nodes = r.treedb_nodes;
     if (r.found) {
       d.satisfiable = Answer::kYes;
       d.has_witness = true;
@@ -203,6 +207,8 @@ Result<Decision> ContainedUnderAccessPatterns(
   d.nodes_explored = r.nodes_explored;
   d.exhausted_budget = r.exhausted_budget;
   d.cancelled = r.cancelled;
+  d.visited_bytes = r.visited_bytes;
+  d.treedb_nodes = r.treedb_nodes;
   if (r.found) {
     d.satisfiable = Answer::kNo;  // counterexample path: NOT contained
     d.has_witness = true;
@@ -247,6 +253,8 @@ Result<Decision> IsLongTermRelevant(
   d.nodes_explored = r.nodes_explored;
   d.exhausted_budget = r.exhausted_budget;
   d.cancelled = r.cancelled;
+  d.visited_bytes = r.visited_bytes;
+  d.treedb_nodes = r.treedb_nodes;
   if (r.found) {
     d.satisfiable = Answer::kYes;
     d.has_witness = true;

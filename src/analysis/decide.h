@@ -47,6 +47,12 @@ struct Decision {
   /// `satisfiable` is then kUnknown unless a sound witness was already
   /// in hand.
   bool cancelled = false;
+  /// Logical bytes held live by the answering engine's visited set at
+  /// the end of its search (plus the treedb arena under
+  /// VisitedMode::kCompact; 0 for the pure Datalog pipeline).
+  size_t visited_bytes = 0;
+  /// Interned tree nodes (kCompact only; 0 under kExact).
+  size_t treedb_nodes = 0;
 };
 
 struct DecideOptions {

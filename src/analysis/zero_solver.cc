@@ -11,6 +11,7 @@
 
 #include "src/accltl/abstraction.h"
 #include "src/accltl/semantics.h"
+#include "src/engine/compact_table.h"
 #include "src/engine/explorer.h"
 #include "src/engine/path_link.h"
 #include "src/engine/two_phase.h"
@@ -80,7 +81,28 @@ struct ZeroNode {
   /// Root-to-node materialization of `path` (pointers into the chain,
   /// kept alive by it).
   std::vector<const PathLink*> links;
+  /// Compact mode only: tree-compressed identity
+  /// pair(pair(facts_lo, facts_hi), set(tableau)).
+  store::TreeRef ref = store::kNilTreeRef;
 };
+
+/// Root-to-node materialization of a bare chain (compact visited
+/// entries keep only the chain head).
+void MaterializeChain(const PathLink* head,
+                      std::vector<const PathLink*>* out) {
+  for (const PathLink* link = head; link != nullptr;
+       link = link->parent.get()) {
+    out->push_back(link);
+  }
+  std::reverse(out->begin(), out->end());
+}
+
+int CmpChains(const PathLink* a, const PathLink* b) {
+  std::vector<const PathLink*> va, vb;
+  MaterializeChain(a, &va);
+  MaterializeChain(b, &vb);
+  return CmpPathKeys(va, vb);
+}
 
 /// Rejects formulas outside the (constant-extended) 0-ary fragment.
 Status CheckZeroAry(const logic::PosFormulaPtr& f) {
@@ -308,7 +330,8 @@ class ZeroSolver {
         schema_(schema),
         options_(options),
         exec_(exec),
-        workers_(std::max<size_t>(1, exec.num_threads)) {}
+        workers_(std::max<size_t>(1, exec.num_threads)),
+        compact_(exec.visited_mode == engine::VisitedMode::kCompact) {}
 
   Result<ZeroSolverResult> Run() {
     // Search on the shared engine: serial pf-DFS at one worker,
@@ -378,12 +401,27 @@ class ZeroSolver {
     bool accepting;
   };
 
+  /// Tree-compressed identity of a (facts, tableau) state: the 64-bit
+  /// fact mask folds into a pair of leaves, the tableau subset into a
+  /// canonical set trie — ref equality ⇔ equal state (treedb.h).
+  store::TreeRef NodeRef(uint64_t facts, const std::vector<int>& tableau) {
+    store::TreeRef tab = store::kNilTreeRef;
+    for (int t : tableau) {
+      tab = treedb_.InsertSet(tab, static_cast<uint32_t>(t));
+    }
+    store::TreeRef facts_ref = treedb_.InternPair(
+        treedb_.InternLeaf(static_cast<uint32_t>(facts & 0xffffffffu)),
+        treedb_.InternLeaf(static_cast<uint32_t>(facts >> 32)));
+    return treedb_.InternPair(facts_ref, tab);
+  }
+
   std::vector<std::unique_ptr<ZeroNode>> MakeRoots() {
     auto root = std::make_unique<ZeroNode>();
     root->facts = 0;
     root->tableau = {plan_.tableau.initial};
     root->config = schema::Instance(schema_);
     root->depth = 0;
+    if (compact_) root->ref = NodeRef(root->facts, root->tableau);
     if (!options_.require_idempotent) {
       // Seeding the table with the root (depth 0, empty path) makes it
       // dominate every do-nothing loop back to the initial state.
@@ -412,16 +450,33 @@ class ZeroSolver {
               VisitLevel(std::move(node), ctx);
             },
             [this](std::vector<std::vector<ZeroNode*>> batches) {
-              return ReduceLevel(std::move(batches));
+              auto frontier = ReduceLevel(std::move(batches));
+              // The byte budget's level-mode cut point: decided at the
+              // barrier over the complete reduced frontier, so the cut
+              // level is schedule-independent.
+              if (OverMemoryBudget()) {
+                memory_truncated_.store(true, std::memory_order_relaxed);
+                frontier.clear();
+              }
+              return frontier;
             },
             [this] { return best_.Snapshot() != nullptr; },
             [this] {
               // The sweep must see a deterministic table and
               // truncation state: the pilot's partial state is
-              // discarded.
+              // discarded. In compact mode the treedb resets with it —
+              // the sweep re-interns from its roots, so the final node
+              // count never depends on what the pilot touched.
               visited_.Clear();
+              compact_visited_.Clear();
+              treedb_.Clear();
+              visited_bytes_.store(0, std::memory_order_relaxed);
               truncated_.store(false, std::memory_order_relaxed);
+              memory_truncated_.store(false, std::memory_order_relaxed);
             });
+    stats.visited_bytes = visited_bytes_.load(std::memory_order_relaxed) +
+                          (compact_ ? treedb_.bytes() : 0);
+    stats.treedb_nodes = compact_ ? treedb_.num_nodes() : 0;
     return Finalize(stats);
   }
 
@@ -430,8 +485,12 @@ class ZeroSolver {
     ZeroSolverResult result;
     result.nodes_explored = stats.nodes_explored;
     result.exhausted_budget =
-        stats.budget_exhausted || truncated_.load(std::memory_order_relaxed);
+        stats.budget_exhausted ||
+        truncated_.load(std::memory_order_relaxed) ||
+        memory_truncated_.load(std::memory_order_relaxed);
     result.cancelled = stats.cancelled;
+    result.visited_bytes = stats.visited_bytes;
+    result.treedb_nodes = stats.treedb_nodes;
     std::shared_ptr<const engine::BestPathTracker<schema::AccessStep>::Path>
         best = best_.Snapshot();
     result.satisfiable = best != nullptr;
@@ -446,17 +505,72 @@ class ZeroSolver {
     return result;
   }
 
+  /// Logical footprint of an exact entry: struct plus the owned
+  /// vectors' live elements (sizes, never capacities — visited_bytes
+  /// must be deterministic whenever the search is).
+  static size_t EntryBytes(const VisitedEntry& entry) {
+    return sizeof(VisitedEntry) + entry.tableau.size() * sizeof(int) +
+           entry.links.size() * sizeof(const PathLink*);
+  }
+
   /// Enters a node into the visited table. Returns false when it is
-  /// dominated (redundant — do not explore).
+  /// dominated (redundant — do not explore). Both modes maintain
+  /// visited_bytes_ as the live entries' logical footprint.
   bool RegisterNode(const ZeroNode& node) {
+    if (compact_) {
+      engine::CompactEntry entry;
+      entry.ref = node.ref;
+      entry.depth = node.depth;
+      entry.path = std::shared_ptr<const void>(node.path, node.path.get());
+      bool dominated = compact_visited_.CheckAndInsert(
+          std::move(entry),
+          [](const engine::CompactEntry& existing,
+             const engine::CompactEntry& candidate) {
+            // Ref equality (checked by the table) *is* the exact
+            // (facts, tableau) identity; only the tie-breakers remain.
+            if (existing.depth > candidate.depth) return false;
+            return CmpChains(
+                       static_cast<const PathLink*>(existing.path.get()),
+                       static_cast<const PathLink*>(candidate.path.get())) <=
+                   0;
+          },
+          [this](const engine::CompactEntry&) {
+            visited_bytes_.fetch_sub(sizeof(engine::CompactEntry),
+                                     std::memory_order_relaxed);
+          });
+      if (!dominated) {
+        visited_bytes_.fetch_add(sizeof(engine::CompactEntry),
+                                 std::memory_order_relaxed);
+      }
+      return !dominated;
+    }
     VisitedEntry entry;
     entry.facts = node.facts;
     entry.tableau = node.tableau;
     entry.depth = node.depth;
     entry.path = node.path;
     entry.links = node.links;
-    return !visited_.CheckAndInsert(NodeHash(node), std::move(entry),
-                                    Dominates);
+    size_t entry_bytes = EntryBytes(entry);
+    bool dominated = visited_.CheckAndInsert(
+        NodeHash(node), std::move(entry), Dominates,
+        [this](const VisitedEntry& evicted) {
+          visited_bytes_.fetch_sub(EntryBytes(evicted),
+                                   std::memory_order_relaxed);
+        });
+    if (!dominated) {
+      visited_bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+    }
+    return !dominated;
+  }
+
+  /// True once the accounted footprint (table entries plus the treedb
+  /// arena in compact mode) exceeds a nonzero max_visited_bytes.
+  bool OverMemoryBudget() const {
+    size_t cap = exec_.max_visited_bytes;
+    if (cap == 0) return false;
+    size_t used = visited_bytes_.load(std::memory_order_relaxed) +
+                  (compact_ ? treedb_.bytes() : 0);
+    return used > cap;
   }
 
   std::unique_ptr<ZeroNode> MakeNode(const ZeroNode& parent, Child& child) {
@@ -470,12 +584,20 @@ class ZeroSolver {
     next->links = parent.links;
     next->path = engine::ExtendPath(parent.path, std::move(child.step),
                                     std::move(child.key), &next->links);
+    if (compact_) next->ref = NodeRef(next->facts, next->tableau);
     return next;
   }
 
   /// Serial visitor: pf-ordered depth-first with push-time dedup.
   void VisitDfs(std::unique_ptr<ZeroNode> node,
                 engine::Explorer<ZeroNode>::Context& ctx) {
+    // The byte budget's serial cut point: checked per pop on the one
+    // worker, so the cut node is deterministic.
+    if (OverMemoryBudget()) {
+      memory_truncated_.store(true, std::memory_order_relaxed);
+      ctx.Abort();
+      return;
+    }
     if (best_.Prunes(node->links)) return;
     if (node->accepting) {
       // A single worker pops in exactly the reduction order, so the
@@ -758,6 +880,14 @@ class ZeroSolver {
   engine::ShardedVisitedTable<VisitedEntry> visited_{64};
   engine::BestPathTracker<schema::AccessStep> best_;
   std::atomic<bool> truncated_{false};
+
+  /// Compact-mode storage (see engine/cancel.h VisitedMode) and the
+  /// byte accounting shared by both modes.
+  bool compact_;
+  store::TreeDb treedb_;
+  engine::CompactVisitedTable compact_visited_{64};
+  std::atomic<size_t> visited_bytes_{0};
+  std::atomic<bool> memory_truncated_{false};
 };
 
 }  // namespace

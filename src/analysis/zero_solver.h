@@ -46,6 +46,12 @@ struct ZeroSolverResult {
   /// `satisfiable == false` then means "unknown", not "no". A witness
   /// found before the cut is still returned (it is sound).
   bool cancelled = false;
+  /// Logical bytes held live by the visited set at the end of the
+  /// search (plus the treedb arena under VisitedMode::kCompact).
+  /// Deterministic whenever the search result is.
+  size_t visited_bytes = 0;
+  /// Interned tree nodes (kCompact only; 0 under kExact).
+  size_t treedb_nodes = 0;
 };
 
 /// The prepared, options-independent state of the zero-ary engine:

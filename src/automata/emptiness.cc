@@ -14,10 +14,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/engine/compact_table.h"
 #include "src/engine/explorer.h"
 #include "src/engine/path_link.h"
 #include "src/engine/two_phase.h"
 #include "src/engine/visited_table.h"
+#include "src/store/treedb.h"
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
 #include "src/store/fact_store.h"
@@ -604,7 +606,35 @@ struct SearchNode {
   /// so the barrier reduction and every dominance check compare paths
   /// without walking or allocating.
   std::vector<const PathLink*> links;
+  /// Compact mode only: the tree-compressed identity
+  /// pair(state, tuple(per-relation set refs)) and its ingredients.
+  /// Children derive these as *deltas* — the one accessed relation's
+  /// set ref is extended by the response fact ids and the O(log R)
+  /// tuple spine re-interned — instead of re-encoding the whole
+  /// configuration.
+  store::TreeRef ref = store::kNilTreeRef;
+  store::TreeRef config_ref = store::kNilTreeRef;
+  std::vector<store::TreeRef> rel_refs;
 };
+
+/// Root-to-node materialization of a bare chain (compact visited
+/// entries keep only the chain head; comparisons walk it on the rare
+/// ref-equal collision instead of paying a per-entry pointer vector).
+void MaterializeChain(const PathLink* head,
+                      std::vector<const PathLink*>* out) {
+  for (const PathLink* link = head; link != nullptr;
+       link = link->parent.get()) {
+    out->push_back(link);
+  }
+  std::reverse(out->begin(), out->end());
+}
+
+int CmpChains(const PathLink* a, const PathLink* b) {
+  std::vector<const PathLink*> va, vb;
+  MaterializeChain(a, &va);
+  MaterializeChain(b, &vb);
+  return CmpPathKeys(va, vb);
+}
 
 /// Shared state of one BoundedWitnessSearch run.
 class Search {
@@ -618,7 +648,8 @@ class Search {
         exec_(exec),
         initial_(initial),
         plan_(GetPlan(automaton, schema)),
-        workers_(std::max<size_t>(1, exec.num_threads)) {
+        workers_(std::max<size_t>(1, exec.num_threads)),
+        compact_(exec.visited_mode == engine::VisitedMode::kCompact) {
     local_views_.reserve(workers_);
     for (size_t i = 0; i < workers_; ++i) {
       local_views_.emplace_back(&index_cache_);
@@ -651,20 +682,38 @@ class Search {
                                             std::chrono::steady_clock::now() -
                                             start)
                                             .count());
+              // The byte budget's level-mode cut point: decided at the
+              // barrier over the complete reduced frontier, so the cut
+              // level is schedule-independent.
+              if (OverMemoryBudget()) {
+                memory_truncated_.store(true, std::memory_order_relaxed);
+                frontier.clear();
+              }
               return frontier;
             },
             [this] { return BestSnapshot() != nullptr; },
             [this] {
               // The sweep must see a deterministic table and
               // truncation state: the pilot's partial state is
-              // discarded.
+              // discarded. In compact mode the treedb resets with it —
+              // the sweep re-interns from its roots, so the final node
+              // count never depends on what the pilot touched.
               visited_.Clear();
+              compact_visited_.Clear();
+              treedb_.Clear();
+              visited_bytes_.store(0, std::memory_order_relaxed);
               realization_truncated_.store(false, std::memory_order_relaxed);
+              memory_truncated_.store(false, std::memory_order_relaxed);
             });
+    stats.visited_bytes =
+        visited_bytes_.load(std::memory_order_relaxed) +
+        (compact_ ? treedb_.bytes() : 0);
+    stats.treedb_nodes = compact_ ? treedb_.num_nodes() : 0;
     if (std::getenv("ACCLTL_SEARCH_DEBUG") != nullptr) {
-      std::fprintf(stderr, "search: nodes=%zu reduce_ms=%llu\n",
+      std::fprintf(stderr, "search: nodes=%zu reduce_ms=%llu visited_b=%zu\n",
                    stats.nodes_explored,
-                   static_cast<unsigned long long>(reduce_micros_ / 1000));
+                   static_cast<unsigned long long>(reduce_micros_ / 1000),
+                   stats.visited_bytes);
     }
     return Finalize(stats);
   }
@@ -681,6 +730,18 @@ class Search {
     for (const Value& v : initial_.ActiveDomain()) {
       root->fresh_base =
           std::max(root->fresh_base, logic::FreshValueIndex(v) + 1);
+    }
+    if (compact_) {
+      root->rel_refs.resize(schema_.num_relations());
+      for (RelationId r = 0; r < schema_.num_relations(); ++r) {
+        const std::vector<store::FactId>& ids = initial_.facts(r)->ids();
+        root->rel_refs[r] = treedb_.SetFromKeys(ids.data(), ids.size());
+      }
+      root->config_ref =
+          treedb_.InternTuple(root->rel_refs.data(), root->rel_refs.size());
+      root->ref = treedb_.InternPair(
+          treedb_.InternLeaf(static_cast<uint32_t>(root->state)),
+          root->config_ref);
     }
     if (options_.use_visited_dedup) {
       // Seeding the table with the root (depth 0, empty path) makes it
@@ -699,8 +760,11 @@ class Search {
     result.nodes_explored = stats.nodes_explored;
     result.exhausted_budget =
         stats.budget_exhausted ||
-        realization_truncated_.load(std::memory_order_relaxed);
+        realization_truncated_.load(std::memory_order_relaxed) ||
+        memory_truncated_.load(std::memory_order_relaxed);
     result.cancelled = stats.cancelled;
+    result.visited_bytes = stats.visited_bytes;
+    result.treedb_nodes = stats.treedb_nodes;
     std::shared_ptr<const BestWitness> best = BestSnapshot();
     result.found = best != nullptr;
     if (best != nullptr) result.witness = schema::AccessPath(best->steps);
@@ -725,6 +789,11 @@ class Search {
     schema::AccessStep step;
     std::string key;
     int64_t fresh_base;
+    /// Compact mode: the delta against the parent — the accessed
+    /// relation and the interned response fact ids the treedb extends
+    /// the parent's set ref by.
+    RelationId rel = 0;
+    std::vector<store::FactId> response_ids;
   };
 
   static uint64_t NodeHash(int state, const Instance& config) {
@@ -783,6 +852,13 @@ class Search {
   /// Serial visitor: pf-ordered depth-first with push-time dedup.
   void VisitDfs(std::unique_ptr<SearchNode> node,
                 engine::Explorer<SearchNode>::Context& ctx) {
+    // The byte budget's serial cut point: checked per pop on the one
+    // worker, so the cut node is deterministic.
+    if (OverMemoryBudget()) {
+      memory_truncated_.store(true, std::memory_order_relaxed);
+      ctx.Abort();
+      return;
+    }
     if (PrunedByBest(*node)) return;
     if (AcceptHere(*node)) {
       // A single worker pops in exactly the reduction order, so the
@@ -876,17 +952,86 @@ class Search {
         });
   }
 
+  /// Logical footprint of an exact entry: struct plus the owned
+  /// vectors' live elements (sizes, never capacities — capacities are
+  /// allocator/schedule artifacts and visited_bytes must be
+  /// deterministic whenever the search is).
+  /// Logical footprint of one exact entry: the struct, the path-link
+  /// index, and the full materialized configuration — set headers plus
+  /// every fact id (sizes, never capacities). COW sharing between
+  /// entries is an allocator courtesy, not a representation guarantee,
+  /// so each entry is charged its own state vector; that is precisely
+  /// the representation the tree database replaces.
+  static size_t EntryBytes(const VisitedEntry& entry) {
+    size_t bytes = sizeof(VisitedEntry) +
+                   entry.links.size() * sizeof(const PathLink*);
+    for (schema::RelationId r = 0; r < entry.config.num_relations(); ++r) {
+      bytes += sizeof(store::FactSet::Ptr) + sizeof(store::FactSet) +
+               entry.config.facts(r)->size() * sizeof(store::FactId);
+    }
+    return bytes;
+  }
+
   /// Enters a node into the visited table. Returns false when it is
-  /// dominated (redundant — do not explore).
+  /// dominated (redundant — do not explore). Both modes maintain
+  /// visited_bytes_ as the live entries' logical footprint (add on
+  /// insert, subtract on evict), so the byte budget sees the table as
+  /// it stands.
   bool RegisterNode(const SearchNode& node) {
+    if (compact_) {
+      engine::CompactEntry entry;
+      entry.ref = node.ref;
+      entry.depth = node.depth;
+      entry.path = std::shared_ptr<const void>(node.path, node.path.get());
+      bool dominated = compact_visited_.CheckAndInsert(
+          std::move(entry),
+          [](const engine::CompactEntry& existing,
+             const engine::CompactEntry& candidate) {
+            // Ref equality (checked by the table) *is* the exact
+            // (state, config) identity; only the tie-breakers remain.
+            if (existing.depth > candidate.depth) return false;
+            return CmpChains(
+                       static_cast<const PathLink*>(existing.path.get()),
+                       static_cast<const PathLink*>(candidate.path.get())) <=
+                   0;
+          },
+          [this](const engine::CompactEntry&) {
+            visited_bytes_.fetch_sub(sizeof(engine::CompactEntry),
+                                     std::memory_order_relaxed);
+          });
+      if (!dominated) {
+        visited_bytes_.fetch_add(sizeof(engine::CompactEntry),
+                                 std::memory_order_relaxed);
+      }
+      return !dominated;
+    }
     VisitedEntry entry;
     entry.state = node.state;
     entry.config = node.config;
     entry.depth = node.depth;
     entry.path = node.path;
     entry.links = node.links;
-    return !visited_.CheckAndInsert(NodeHash(node.state, node.config),
-                                    std::move(entry), Dominates);
+    size_t entry_bytes = EntryBytes(entry);
+    bool dominated = visited_.CheckAndInsert(
+        NodeHash(node.state, node.config), std::move(entry), Dominates,
+        [this](const VisitedEntry& evicted) {
+          visited_bytes_.fetch_sub(EntryBytes(evicted),
+                                   std::memory_order_relaxed);
+        });
+    if (!dominated) {
+      visited_bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+    }
+    return !dominated;
+  }
+
+  /// True once the accounted footprint (table entries plus the treedb
+  /// arena in compact mode) exceeds a nonzero max_visited_bytes.
+  bool OverMemoryBudget() const {
+    size_t cap = exec_.max_visited_bytes;
+    if (cap == 0) return false;
+    size_t used = visited_bytes_.load(std::memory_order_relaxed) +
+                  (compact_ ? treedb_.bytes() : 0);
+    return used > cap;
   }
 
   std::unique_ptr<SearchNode> MakeNode(const SearchNode& parent,
@@ -900,6 +1045,27 @@ class Search {
     next->links = parent.links;
     next->path = engine::ExtendPath(parent.path, std::move(child.step),
                                     std::move(child.key), &next->links);
+    if (compact_) {
+      // Delta extension: only the accessed relation's set ref moves,
+      // then the O(log R) tuple spine and the (state, config) pair
+      // re-intern — the unchanged relations' subtrees are shared with
+      // the parent by construction.
+      next->rel_refs = parent.rel_refs;
+      store::TreeRef set = next->rel_refs[child.rel];
+      for (store::FactId f : child.response_ids) {
+        set = treedb_.InsertSet(set, f);
+      }
+      if (set != parent.rel_refs[child.rel]) {
+        next->rel_refs[child.rel] = set;
+        next->config_ref = treedb_.UpdateTuple(
+            parent.config_ref, next->rel_refs.size(), child.rel, set);
+      } else {
+        next->config_ref = parent.config_ref;
+      }
+      next->ref = treedb_.InternPair(
+          treedb_.InternLeaf(static_cast<uint32_t>(next->state)),
+          next->config_ref);
+    }
     return next;
   }
 
@@ -988,6 +1154,10 @@ class Search {
             std::max(child.fresh_base, logic::FreshValueIndex(v) + 1);
       }
     }
+    if (compact_) {
+      child.rel = schema_.method(child.step.access.method).relation;
+      child.response_ids = response_ids;
+    }
     children->push_back(std::move(child));
   }
 
@@ -1003,6 +1173,17 @@ class Search {
   std::vector<store::MatchIndexCache::LocalView> local_views_;
   engine::ShardedVisitedTable<VisitedEntry> visited_{256};
   std::atomic<bool> realization_truncated_{false};
+
+  /// Compact-mode storage (see engine/cancel.h VisitedMode): the
+  /// tree-compressed configuration database plus the fixed-slot
+  /// visited table. visited_bytes_ tracks the live entries' logical
+  /// footprint in *either* mode; memory_truncated_ latches a byte-
+  /// budget cut (reported as exhausted_budget).
+  bool compact_;
+  store::TreeDb treedb_;
+  engine::CompactVisitedTable compact_visited_{256};
+  std::atomic<size_t> visited_bytes_{0};
+  std::atomic<bool> memory_truncated_{false};
 
   engine::BestPathTracker<schema::AccessStep> best_;
   uint64_t reduce_micros_ = 0;  // caller-thread only (barrier phase)

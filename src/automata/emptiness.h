@@ -43,6 +43,12 @@ struct WitnessSearchResult {
   /// witness found before the cut is still returned (it is sound).
   bool cancelled = false;
   size_t nodes_explored = 0;
+  /// Logical bytes held live by the visited set at the end of the
+  /// search (plus the treedb arena under VisitedMode::kCompact).
+  /// Deterministic whenever the search result is.
+  size_t visited_bytes = 0;
+  /// Interned tree nodes (kCompact only; 0 under kExact).
+  size_t treedb_nodes = 0;
 };
 
 /// Bounded explicit-state emptiness: searches for an accepting access

@@ -96,14 +96,30 @@ class CancelToken {
   std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns; 0 = none
 };
 
+/// How the search engines store their visited set.
+enum class VisitedMode {
+  /// Full entries in the sharded visited table: each record keeps the
+  /// exact (state, configuration) data, depth, and a materialized path
+  /// for dominance checks.
+  kExact,
+  /// Tree-compressed entries: configurations fold into a store::TreeDb
+  /// (shared subtrees stored once) and the visited table stores
+  /// fixed-size tree-index slots (engine/compact_table.h). Verdicts,
+  /// witnesses and node counts are byte-identical to kExact — ref
+  /// equality is an exact identity check, never a lossy hash — the
+  /// mode only changes the memory footprint (and is gated on that
+  /// equivalence by the differential fuzzer's "compact" pair).
+  kCompact,
+};
+
 /// The single source for execution-context knobs shared by every
-/// search engine (worker count, cancellation). One ExecOptions flows
-/// from the caller — analysis::DecideOptions::exec, or the service's
-/// per-request resolution — into every engine a request touches, so
-/// two engines of one request can never disagree on their worker
-/// count (the pre-service API hand-copied `num_threads` into each
-/// engine's options struct, and a missed copy silently changed
-/// results' timing).
+/// search engine (worker count, cancellation, visited-set storage).
+/// One ExecOptions flows from the caller — analysis::DecideOptions::
+/// exec, or the service's per-request resolution — into every engine a
+/// request touches, so two engines of one request can never disagree
+/// on their worker count (the pre-service API hand-copied
+/// `num_threads` into each engine's options struct, and a missed copy
+/// silently changed results' timing).
 struct ExecOptions {
   /// Search workers (engine::Explorer). 1 runs serially on the calling
   /// thread. Results are deterministic in this count — see the
@@ -111,6 +127,18 @@ struct ExecOptions {
   size_t num_threads = 1;
   /// Optional cooperative stop; null = not cancellable.
   const CancelToken* cancel = nullptr;
+  /// Visited-set storage (exact records vs. tree-compressed indices).
+  /// Never changes any verdict, witness, or node count — only bytes.
+  VisitedMode visited_mode = VisitedMode::kExact;
+  /// Budget over the visited set's accounted bytes
+  /// (Stats::visited_bytes + the treedb arena in compact mode); 0 =
+  /// unlimited. Exceeding it stops the search with exhausted_budget
+  /// set, at the same count-then-cut points as the node budget — the
+  /// knob that lets a fixed-RAM sweep truncate cleanly instead of
+  /// OOMing, and the benchmarks show completing under kCompact where
+  /// kExact is cut. Like a binding max_nodes, a binding byte budget is
+  /// scoped out of the cross-thread-count determinism guarantee.
+  size_t max_visited_bytes = 0;
 };
 
 }  // namespace engine

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <memory>
 
+#include "src/engine/compact_table.h"
 #include "src/engine/explorer.h"
 #include "src/engine/visited_table.h"
 #include "src/store/match_index.h"
+#include "src/store/treedb.h"
 
 namespace accltl {
 namespace schema {
@@ -43,6 +45,7 @@ Transition MakeTransitionFromIds(const Schema& schema, Instance pre,
   t.post = std::move(post).Build();
   t.pre = std::move(pre);
   t.access = std::move(access);
+  t.response_ids = response;
   return t;
 }
 
@@ -195,12 +198,27 @@ std::vector<Transition> Successors(const Schema& schema,
   return SuccessorsImpl(schema, current, options, &index);
 }
 
+namespace {
+
+/// Frontier node of the breadth-first exploration: the configuration
+/// plus (compact mode only) its tree-compressed identity — the
+/// per-relation set refs children delta-extend, and the folded tuple
+/// ref the seen-set stores.
+struct LtsNode {
+  Instance config;
+  std::vector<store::TreeRef> rel_refs;
+  store::TreeRef config_ref = store::kNilTreeRef;
+};
+
+}  // namespace
+
 std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
                                                const Instance& initial,
                                                const LtsOptions& options,
                                                size_t max_depth,
                                                size_t max_nodes,
-                                               const engine::ExecOptions& exec) {
+                                               const engine::ExecOptions& exec,
+                                               LtsMemoryStats* memory) {
   std::vector<LtsLevelStats> stats;
   {
     LtsLevelStats s;
@@ -209,18 +227,64 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
     s.max_configuration_facts = initial.TotalFacts();
     stats.push_back(s);
   }
-  if (max_depth == 0) return stats;
+  bool compact = exec.visited_mode == engine::VisitedMode::kCompact;
+  store::TreeDb treedb;
+  engine::CompactRefSet ref_seen;
+  // Logical footprint of one exact seen-entry: the full materialized
+  // configuration — handle, per-relation set headers, and every fact
+  // id (sizes, never capacities). COW sharing between entries is an
+  // allocator courtesy, not a representation guarantee, so exact
+  // accounting charges each entry its own state vector; that is
+  // precisely the representation the tree database replaces, and the
+  // sum over deduplicated configurations is schedule-independent.
+  auto config_bytes = [](const Instance& c) {
+    size_t b = sizeof(Instance) +
+               static_cast<size_t>(c.num_relations()) *
+                   (sizeof(store::FactSet::Ptr) + sizeof(store::FactSet));
+    for (RelationId r = 0; r < c.num_relations(); ++r) {
+      b += c.facts(r)->size() * sizeof(store::FactId);
+    }
+    return b;
+  };
+  size_t exact_bytes = config_bytes(initial);
+  auto report_memory = [&]() {
+    if (memory == nullptr) return;
+    memory->visited_bytes =
+        compact ? ref_seen.bytes() + treedb.bytes() : exact_bytes;
+    memory->treedb_nodes = compact ? treedb.num_nodes() : 0;
+  };
+  auto root = std::make_unique<LtsNode>();
+  root->config = initial;
+  if (compact) {
+    root->rel_refs.resize(schema.num_relations());
+    for (RelationId r = 0; r < schema.num_relations(); ++r) {
+      const std::vector<store::FactId>& ids = initial.facts(r)->ids();
+      root->rel_refs[r] = treedb.SetFromKeys(ids.data(), ids.size());
+    }
+    root->config_ref =
+        treedb.InternTuple(root->rel_refs.data(), root->rel_refs.size());
+  }
+  if (max_depth == 0) {
+    report_memory();
+    return stats;
+  }
 
   size_t workers = std::max<size_t>(1, exec.num_threads);
-  // Visited-configuration dedup keyed by the 64-bit configuration
-  // hash; buckets hold the instances for exact confirmation (instances
-  // are COW handles, so storing them is cheap). Only consulted in the
-  // serial barrier reduction, but shared-table-shaped so the engine's
-  // check-and-insert discipline applies unchanged.
+  // Visited-configuration dedup. Exact mode keys the 64-bit
+  // configuration hash; buckets hold the instances for exact
+  // confirmation (instances are COW handles, so storing them is
+  // cheap). Compact mode stores only the 4-byte tree ref — ref
+  // equality is exact configuration equality (store/treedb.h), so the
+  // two modes dedup identically. Either set is consulted only in the
+  // serial barrier reduction.
   engine::ShardedVisitedTable<Instance> seen(64);
   auto equal = [](const Instance& a, const Instance& b) { return a == b; };
   size_t seen_count = 1;
-  seen.CheckAndInsert(initial.hash(), initial, equal);
+  if (compact) {
+    ref_seen.Insert(root->config_ref);
+  } else {
+    seen.CheckAndInsert(initial.hash(), initial, equal);
+  }
 
   // One match index for the whole exploration: the universe's fact
   // sets are stable, so every level reuses the same per-relation
@@ -234,26 +298,46 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
   std::atomic<size_t> level_transitions{0};
   bool stop = false;
 
-  engine::Explorer<Instance> explorer;
-  engine::Explorer<Instance>::Options eopts;
+  engine::Explorer<LtsNode> explorer;
+  engine::Explorer<LtsNode>::Options eopts;
   eopts.num_threads = workers;
   eopts.cancel = exec.cancel;
 
-  std::vector<std::unique_ptr<Instance>> roots;
-  roots.push_back(std::make_unique<Instance>(initial));
-  engine::Explorer<Instance>::Stats run_stats = explorer.RunLevels(
+  std::vector<std::unique_ptr<LtsNode>> roots;
+  roots.push_back(std::move(root));
+  engine::Explorer<LtsNode>::Stats run_stats = explorer.RunLevels(
       std::move(roots), eopts,
-      [&](std::unique_ptr<Instance> node,
-          engine::Explorer<Instance>::Context& ctx) {
+      [&](std::unique_ptr<LtsNode> node,
+          engine::Explorer<LtsNode>::Context& ctx) {
         std::vector<Transition> succ = SuccessorsImpl(
-            schema, *node, options, &views[ctx.worker_id()]);
+            schema, node->config, options, &views[ctx.worker_id()]);
         level_transitions.fetch_add(succ.size(), std::memory_order_relaxed);
         for (Transition& t : succ) {
-          ctx.Emit(std::make_unique<Instance>(std::move(t.post)));
+          auto child = std::make_unique<LtsNode>();
+          if (compact) {
+            // Delta extension: only the accessed relation's set ref
+            // moves, then the O(log R) tuple spine re-interns — the
+            // unchanged relations' subtrees are shared with the parent.
+            RelationId rel = schema.method(t.access.method).relation;
+            child->rel_refs = node->rel_refs;
+            store::TreeRef set = child->rel_refs[rel];
+            for (store::FactId f : t.response_ids) {
+              set = treedb.InsertSet(set, f);
+            }
+            if (set != node->rel_refs[rel]) {
+              child->rel_refs[rel] = set;
+              child->config_ref = treedb.UpdateTuple(
+                  node->config_ref, child->rel_refs.size(), rel, set);
+            } else {
+              child->config_ref = node->config_ref;
+            }
+          }
+          child->config = std::move(t.post);
+          ctx.Emit(std::move(child));
         }
       },
-      [&](size_t level, std::vector<std::vector<Instance*>> batches)
-          -> std::vector<std::unique_ptr<Instance>> {
+      [&](size_t level, std::vector<std::vector<LtsNode*>> batches)
+          -> std::vector<std::unique_ptr<LtsNode>> {
         // Barrier reduction (runs serially between levels). Every
         // batch set is complete — workers expanded the whole frontier
         // — so after the content sort the surviving configurations,
@@ -263,26 +347,36 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
         s.depth = level;
         s.transitions =
             level_transitions.exchange(0, std::memory_order_relaxed);
-        std::vector<std::unique_ptr<Instance>> children;
+        std::vector<std::unique_ptr<LtsNode>> children;
         for (auto& batch : batches) {
-          for (Instance* child : batch) children.emplace_back(child);
+          for (LtsNode* child : batch) children.emplace_back(child);
         }
         // Deterministic content order: configuration hash first, exact
         // fact-id order on the (almost impossible) hash tie. Fact ids
         // are stable here — exploration reveals only universe facts,
-        // which were interned before any worker started.
+        // which were interned before any worker started. The same
+        // order in both storage modes (tree refs are schedule-
+        // dependent, so they never participate), so the statistics are
+        // mode-independent too.
         std::sort(children.begin(), children.end(),
-                  [](const std::unique_ptr<Instance>& a,
-                     const std::unique_ptr<Instance>& b) {
-                    if (a->hash() != b->hash()) return a->hash() < b->hash();
-                    return *a < *b;
+                  [](const std::unique_ptr<LtsNode>& a,
+                     const std::unique_ptr<LtsNode>& b) {
+                    if (a->config.hash() != b->config.hash()) {
+                      return a->config.hash() < b->config.hash();
+                    }
+                    return a->config < b->config;
                   });
-        std::vector<std::unique_ptr<Instance>> next;
-        for (std::unique_ptr<Instance>& child : children) {
-          if (seen.CheckAndInsert(child->hash(), *child, equal)) {
+        std::vector<std::unique_ptr<LtsNode>> next;
+        for (std::unique_ptr<LtsNode>& child : children) {
+          bool already =
+              compact ? !ref_seen.Insert(child->config_ref)
+                      : seen.CheckAndInsert(child->config.hash(),
+                                            child->config, equal);
+          if (already) {
             continue;  // already reached (this level or earlier)
           }
           ++seen_count;
+          if (!compact) exact_bytes += config_bytes(child->config);
           if (seen_count > max_nodes) {
             // Count-then-cut, the engine's budget discipline: the
             // overflowing configuration is counted, not kept; the cut
@@ -292,14 +386,27 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
             break;
           }
           s.max_configuration_facts =
-              std::max(s.max_configuration_facts, child->TotalFacts());
+              std::max(s.max_configuration_facts, child->config.TotalFacts());
           next.push_back(std::move(child));
         }
         s.distinct_configurations = next.size();
+        // The byte budget's cut point: decided at the barrier over the
+        // complete reduced level, so the cut level is schedule-
+        // independent. Flagged like the node budget — the recorded
+        // tree is a prefix, never silently complete-looking.
+        if (exec.max_visited_bytes != 0 && !stop) {
+          size_t used =
+              compact ? ref_seen.bytes() + treedb.bytes() : exact_bytes;
+          if (used > exec.max_visited_bytes) {
+            s.truncated = true;
+            stop = true;
+          }
+        }
         stats.push_back(s);
         if (stop || level >= max_depth) next.clear();
         return next;
       });
+  report_memory();
   if (run_stats.cancelled && !stats.empty()) {
     // The cut level's reduce never ran, so its statistics are absent;
     // mark the deepest recorded level so the prefix is never mistaken

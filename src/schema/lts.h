@@ -23,6 +23,11 @@ struct Transition {
   Access access;
   Response response;
   Instance post;
+  /// The response as interned fact ids (same set as `response`), kept
+  /// from construction: delta-encoded successor generation extends a
+  /// parent's tree-compressed relation set by exactly these ids
+  /// instead of re-encoding `post` (see store/treedb.h).
+  std::vector<store::FactId> response_ids;
 
   std::string ToString(const Schema& schema) const;
 };
@@ -90,6 +95,19 @@ struct LtsLevelStats {
   bool cancelled = false;
 };
 
+/// Memory footprint of one ExploreBreadthFirst run, reported through
+/// the optional out-parameter (kept out of LtsLevelStats: the level
+/// statistics are compared across engines/modes by the differential
+/// fuzzer, and bytes are a storage property, not a tree property).
+struct LtsMemoryStats {
+  /// Logical bytes held live by the seen-set at the end of the
+  /// exploration (plus the treedb arena under VisitedMode::kCompact).
+  /// Deterministic whenever the statistics are.
+  size_t visited_bytes = 0;
+  /// Interned tree nodes (kCompact only; 0 under kExact).
+  size_t treedb_nodes = 0;
+};
+
 /// Breadth-first exploration of the LTS up to `max_depth`, deduplicating
 /// configurations. Reproduces the shape of Figure 1's tree.
 ///
@@ -106,10 +124,19 @@ struct LtsLevelStats {
 /// order, the level is flagged `truncated`, and the exploration stops.
 /// A fired cancel token stops the exploration at node granularity and
 /// flags the last recorded level `cancelled`.
+/// `exec.visited_mode` selects the seen-set storage: kExact keeps one
+/// Instance handle per distinct configuration; kCompact folds each
+/// configuration into a store::TreeDb and keeps a 4-byte ref
+/// (successors are delta-extended from the parent's per-relation set
+/// refs). The statistics are identical in both modes — ref equality is
+/// exact configuration equality. `exec.max_visited_bytes` cuts the
+/// exploration at the level barrier (flagged `truncated`), letting a
+/// fixed-RAM sweep stop cleanly. `memory`, when non-null, receives the
+/// run's footprint.
 std::vector<LtsLevelStats> ExploreBreadthFirst(
     const Schema& schema, const Instance& initial, const LtsOptions& options,
     size_t max_depth, size_t max_nodes = 100000,
-    const engine::ExecOptions& exec = {});
+    const engine::ExecOptions& exec = {}, LtsMemoryStats* memory = nullptr);
 
 }  // namespace schema
 }  // namespace accltl

@@ -275,6 +275,8 @@ CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
   opts.exec.num_threads =
       request.num_threads > 0 ? request.num_threads : options_.num_threads;
   opts.exec.cancel = token;
+  opts.exec.visited_mode = request.visited_mode;
+  opts.exec.max_visited_bytes = request.max_visited_bytes;
 
   Result<analysis::Decision> d =
       analysis::DecidePrepared(prepared.prepared_, prepared.schema(), opts);

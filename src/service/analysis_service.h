@@ -122,6 +122,18 @@ struct CheckRequest {
   /// Search workers; 0 uses ServiceOptions::num_threads. Never part of
   /// the cache key: results are deterministic in the worker count.
   size_t num_threads = 0;
+  /// Visited-set storage for this request's searches (exact records
+  /// vs. tree-compressed indices, engine/cancel.h). Never part of the
+  /// cache key: the mode changes no verdict, witness, or node count —
+  /// only memory footprint. A cache hit's Decision memory statistics
+  /// therefore describe the execution that populated the cache, which
+  /// may have used the other mode.
+  engine::VisitedMode visited_mode = engine::VisitedMode::kExact;
+  /// Byte budget over the visited set (0 = unlimited; see
+  /// ExecOptions::max_visited_bytes). A binding budget reports
+  /// exhausted_budget, and such responses are never cached — the same
+  /// exclusion as a binding max_nodes.
+  size_t max_visited_bytes = 0;
 };
 
 struct CheckResponse {

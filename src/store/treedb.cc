@@ -1,0 +1,134 @@
+#include "src/store/treedb.h"
+
+namespace accltl {
+namespace store {
+
+namespace {
+
+/// Big-endian Patricia helpers (Okasaki–Gill). `mask` is a single bit;
+/// a branch's prefix keeps the bits strictly above its mask bit.
+inline bool ZeroBit(uint32_t key, uint32_t mask) { return (key & mask) == 0; }
+
+inline uint32_t MaskPrefix(uint32_t key, uint32_t mask) {
+  return key & (~(mask - 1) ^ mask);
+}
+
+inline bool MatchPrefix(uint32_t key, uint32_t prefix, uint32_t mask) {
+  return MaskPrefix(key, mask) == prefix;
+}
+
+inline uint32_t HighestBit(uint32_t x) {
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  return x - (x >> 1);
+}
+
+inline uint32_t BitPos(uint32_t mask) {
+  uint32_t pos = 0;
+  while ((mask >> pos) != 1u) ++pos;
+  return pos;
+}
+
+}  // namespace
+
+TreeRef TreeDb::Intern(uint32_t tag, uint32_t a, uint32_t b, uint32_t c) {
+  NodeKey key{tag, a, b, c};
+  Shard& shard = shards_[NodeKeyHash{}(key)&(kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.refs.find(key);
+  if (it != shard.refs.end()) return it->second;
+  TreeRef ref = next_ref_.fetch_add(1, std::memory_order_acq_rel);
+  // Publish the payload before the ref escapes the shard mutex (the
+  // StableVector release-store plus any happens-before edge the caller
+  // passes the ref over makes it readable lock-free).
+  nodes_.Emplace(ref, Node{tag, a, b, c});
+  shard.refs.emplace(key, ref);
+  return ref;
+}
+
+TreeRef TreeDb::Join(uint32_t p1, TreeRef t1, uint32_t p2, TreeRef t2) {
+  uint32_t mask = HighestBit(p1 ^ p2);
+  uint32_t prefix = MaskPrefix(p1, mask);
+  return ZeroBit(p1, mask) ? InternBranch(prefix, BitPos(mask), t1, t2)
+                           : InternBranch(prefix, BitPos(mask), t2, t1);
+}
+
+TreeRef TreeDb::InsertSet(TreeRef set, uint32_t key) {
+  if (set == kNilTreeRef) return InternLeafNode(key);
+  const Node n = node(set);
+  if (n.tag == kTagLeaf) {
+    if (n.a == key) return set;
+    return Join(key, InternLeafNode(key), n.a, set);
+  }
+  // Branch node. (Pair nodes never appear inside a set trie: the two
+  // fold disciplines share the arena but never each other's roots.)
+  uint32_t mask = 1u << (n.tag - kTagBranch);
+  if (!MatchPrefix(key, n.a, mask)) {
+    return Join(key, InternLeafNode(key), n.a, set);
+  }
+  if (ZeroBit(key, mask)) {
+    TreeRef left = InsertSet(n.b, key);
+    return left == n.b ? set : InternBranch(n.a, n.tag - kTagBranch, left, n.c);
+  }
+  TreeRef right = InsertSet(n.c, key);
+  return right == n.c ? set : InternBranch(n.a, n.tag - kTagBranch, n.b, right);
+}
+
+bool TreeDb::SetContains(TreeRef set, uint32_t key) const {
+  while (set != kNilTreeRef) {
+    const Node& n = node(set);
+    if (n.tag == kTagLeaf) return n.a == key;
+    uint32_t mask = 1u << (n.tag - kTagBranch);
+    if (!MatchPrefix(key, n.a, mask)) return false;
+    set = ZeroBit(key, mask) ? n.b : n.c;
+  }
+  return false;
+}
+
+TreeRef TreeDb::SetFromKeys(const uint32_t* keys, size_t n) {
+  TreeRef set = kNilTreeRef;
+  for (size_t i = 0; i < n; ++i) set = InsertSet(set, keys[i]);
+  return set;
+}
+
+TreeRef TreeDb::InternLeaf(uint32_t value) { return InternLeafNode(value); }
+
+TreeRef TreeDb::InternPair(TreeRef left, TreeRef right) {
+  return Intern(kTagPair, left, right, 0);
+}
+
+TreeRef TreeDb::InternTuple(const TreeRef* slots, size_t n) {
+  if (n == 0) return kNilTreeRef;
+  if (n == 1) return slots[0];
+  size_t half = (n + 1) / 2;
+  return InternPair(InternTuple(slots, half),
+                    InternTuple(slots + half, n - half));
+}
+
+TreeRef TreeDb::UpdateTuple(TreeRef root, size_t n, size_t index,
+                            TreeRef value) {
+  if (n == 1) return value;
+  const Node& pair = node(root);
+  size_t half = (n + 1) / 2;
+  if (index < half) {
+    return InternPair(UpdateTuple(pair.a, half, index, value), pair.b);
+  }
+  return InternPair(pair.a,
+                    UpdateTuple(pair.b, n - half, index - half, value));
+}
+
+void TreeDb::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.refs.clear();
+  }
+  // Stale arena slots are overwritten as refs are reassigned; blocks
+  // stay allocated for reuse (Clear is a reset, not a shrink).
+  next_ref_.store(1, std::memory_order_release);
+}
+
+}  // namespace store
+}  // namespace accltl

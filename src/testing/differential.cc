@@ -590,6 +590,74 @@ DiffOutcome RunServicePair(const FuzzCase& c) {
   return Agree();
 }
 
+DiffOutcome RunCompactPair(const FuzzCase& c) {
+  // Reference: kExact, one worker. Its DecisionKey (verdict, engine,
+  // node count, witness) is the contract VisitedMode::kCompact
+  // promises to reproduce byte for byte — tree-compressed storage is
+  // a representation change, never a pruning change (ref equality is
+  // an exact identity check, emptiness.cc "Compact mode").
+  analysis::DecideOptions exact_opts = OneShotOptions(c);
+  engine::CancelToken exact_deadline;
+  exact_opts.exec = GuardedExec(&exact_deadline);
+  Result<analysis::Decision> exact =
+      analysis::DecideSatisfiability(c.formula, c.schema, exact_opts);
+  if (!exact.ok()) {
+    if (exact.status().code() == StatusCode::kUnsupported) return Skip();
+    return Diverge("exact-mode decide failed: " + exact.status().ToString());
+  }
+  if (exact.value().cancelled) return Skip();
+  std::string expected = DecisionKey(exact.value(), c.schema);
+
+  // kCompact at 1/2/8 workers. Same budget_edge carve-out as the
+  // service pair (a binding max_nodes is spent on different node
+  // orders per traversal discipline). On top of the DecisionKey,
+  // visited_bytes must agree ACROSS the compact runs: logical live
+  // bytes are a function of the deduplicated node set, which the
+  // engines promise is schedule-independent.
+  bool budget_edge = exact.value().exhausted_budget;
+  size_t compact_bytes = 0;
+  size_t compact_nodes = 0;
+  bool have_bytes = false;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    analysis::DecideOptions copts = OneShotOptions(c);
+    engine::CancelToken deadline;
+    copts.exec = GuardedExec(&deadline);
+    copts.exec.num_threads = threads;
+    copts.exec.visited_mode = engine::VisitedMode::kCompact;
+    Result<analysis::Decision> compact =
+        analysis::DecideSatisfiability(c.formula, c.schema, copts);
+    if (!compact.ok()) {
+      return Diverge("compact-mode decide failed at " +
+                     std::to_string(threads) +
+                     " threads: " + compact.status().ToString());
+    }
+    if (compact.value().cancelled) return Skip();
+    if (budget_edge || compact.value().exhausted_budget) continue;
+    std::string got = DecisionKey(compact.value(), c.schema);
+    if (got != expected) {
+      return Diverge("compact decision differs from exact at " +
+                     std::to_string(threads) + " threads:\n  exact  : " +
+                     expected + "\n  compact: " + got);
+    }
+    if (!have_bytes) {
+      compact_bytes = compact.value().visited_bytes;
+      compact_nodes = compact.value().treedb_nodes;
+      have_bytes = true;
+    } else if (compact.value().visited_bytes != compact_bytes ||
+               compact.value().treedb_nodes != compact_nodes) {
+      return Diverge(
+          "compact memory stats differ across worker counts: " +
+          std::to_string(compact_bytes) + "B/" +
+          std::to_string(compact_nodes) + " tree nodes vs " +
+          std::to_string(compact.value().visited_bytes) + "B/" +
+          std::to_string(compact.value().treedb_nodes) + " at " +
+          std::to_string(threads) + " threads");
+    }
+  }
+  if (budget_edge) return Skip();
+  return Agree();
+}
+
 DiffOutcome RunRenamePair(const FuzzCase& c) {
   analysis::DecideOptions opts = OneShotOptions(c);
   engine::CancelToken base_deadline;
@@ -790,8 +858,8 @@ DiffOutcome RunLtsPair(const FuzzCase& c) {
 const std::vector<std::string>& EnginePairs() {
   static const std::vector<std::string> kPairs = {
       "oracle-zero", "oracle-automata", "zero-automata",
-      "service",     "rename",          "budget",
-      "lts"};
+      "service",     "compact",         "rename",
+      "budget",      "lts"};
   return kPairs;
 }
 
@@ -855,7 +923,8 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
 
   // Formula family: the base zero-ary / binding-positive generators,
   // or the guarded-Until-nest family.
-  bool nary = pair == "oracle-automata" || (pair == "service" && rng.Chance(1, 3));
+  bool nary = pair == "oracle-automata" ||
+              ((pair == "service" || pair == "compact") && rng.Chance(1, 3));
   int depth = 1 + static_cast<int>(rng.Uniform(2));
   if (rng.Chance(1, 3)) {
     c.formula = workload::RandomGuardedUntilFormula(&rng, c.schema, depth + 1,
@@ -870,7 +939,8 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
   // unconditional (metamorphic / engine-vs-engine pairs; the zero
   // solver's grounded sweep is documented pool-relative, which would
   // make oracle-side "found a witness" reports spurious).
-  if (pair == "service" || pair == "rename" || pair == "budget") {
+  if (pair == "service" || pair == "compact" || pair == "rename" ||
+      pair == "budget") {
     c.grounded = rng.Chance(1, 4);
   }
   return c;
@@ -881,6 +951,7 @@ DiffOutcome RunCase(const FuzzCase& c) {
   if (c.pair == "oracle-automata") return RunOracleVsAutomata(c);
   if (c.pair == "zero-automata") return RunZeroVsAutomata(c);
   if (c.pair == "service") return RunServicePair(c);
+  if (c.pair == "compact") return RunCompactPair(c);
   if (c.pair == "rename") return RunRenamePair(c);
   if (c.pair == "budget") return RunBudgetPair(c);
   if (c.pair == "lts") return RunLtsPair(c);

@@ -34,6 +34,10 @@ namespace testing {
 ///   service          AnalysisService (prepared, async, cached, 1/2/8
 ///                    threads) vs one-shot DecideSatisfiability:
 ///                    byte-identical decisions.
+///   compact          VisitedMode::kCompact (tree-compressed visited
+///                    storage, 1/2/8 threads) vs kExact: byte-identical
+///                    verdicts, witnesses and node counts, plus
+///                    worker-count-invariant compact memory statistics.
 ///   rename           Relation/method renaming and injective constant
 ///                    renaming never change the verdict.
 ///   budget           A search that finishes under a small node budget

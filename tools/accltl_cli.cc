@@ -7,15 +7,17 @@
 //
 // Usage:
 //   accltl_cli check   <schema-file> <accltl-formula> [--grounded] [--shrink]
-//                      [--threads N]
+//                      [--max-path-length N] [--max-nodes N]
+//                      [--threads N] [--visited=exact|compact]
 //   accltl_cli plan    <schema-file> <query> [head-var...]
 //   accltl_cli answer  <schema-file> <instance-file> <query>
 //                      [--seed value]... [--no-prune] [head-var...]
 //   accltl_cli explore <schema-file> <instance-file> [--depth D]
 //                      [--max-nodes N] [--grounded] [--seed value]...
-//                      [--threads N]
+//                      [--threads N] [--visited=exact|compact] [--strict]
 //   accltl_cli batch   <schema-file> <requests-file|-> [--grounded]
 //                      [--shrink] [--threads N] [--deadline-ms N] [--cache]
+//                      [--visited=exact|compact]
 //   accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...
 //                      [--shrink] [--out DIR]
 //
@@ -56,6 +58,7 @@
 
 #include "src/accltl/parser.h"
 #include "src/analysis/decide.h"
+#include "src/engine/cancel.h"
 #include "src/logic/parser.h"
 #include "src/planner/dynamic.h"
 #include "src/planner/static_plan.h"
@@ -72,16 +75,18 @@ int Usage() {
       stderr,
       "usage:\n"
       "  accltl_cli check   <schema-file> <formula> [--grounded] [--shrink]\n"
-      "                     [--threads N]\n"
+      "                     [--max-path-length N] [--max-nodes N]\n"
+      "                     [--threads N] [--visited=exact|compact]\n"
       "  accltl_cli plan    <schema-file> <query> [head-var...]\n"
       "  accltl_cli answer  <schema-file> <instance-file> <query>\n"
       "                     [--seed value]... [--no-prune] [head-var...]\n"
       "  accltl_cli explore <schema-file> <instance-file> [--depth D]\n"
       "                     [--max-nodes N] [--grounded] [--seed value]...\n"
-      "                     [--threads N]\n"
+      "                     [--threads N] [--visited=exact|compact]\n"
+      "                     [--strict]\n"
       "  accltl_cli batch   <schema-file> <requests-file|-> [--grounded]\n"
       "                     [--shrink] [--threads N] [--deadline-ms N]\n"
-      "                     [--cache]\n"
+      "                     [--cache] [--visited=exact|compact]\n"
       "  accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...\n"
       "                     [--shrink] [--out DIR]\n");
   return 2;
@@ -113,6 +118,39 @@ Result<size_t> ParsePositiveCount(const char* flag, const char* arg) {
                                    "'");
   }
   return static_cast<size_t>(value);
+}
+
+/// Parses the shared `--visited exact|compact` / `--visited=...` flag.
+/// Returns 1 when consumed (advancing *i past a space-separated
+/// value), 0 when `argv[*i]` is not this flag, and 2 on a bad value
+/// (error already printed; caller exits 2).
+int ConsumeVisitedFlag(const char* sub, int argc, char** argv, int* i,
+                       engine::VisitedMode* out) {
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, "--visited", 9) != 0) return 0;
+  const char* value = nullptr;
+  if (arg[9] == '=') {
+    value = arg + 10;
+  } else if (arg[9] == '\0') {
+    if (*i + 1 >= argc) {
+      MissingValue(sub, arg);
+      return 2;
+    }
+    value = argv[++*i];
+  } else {
+    return 0;  // some other --visited-xyz flag; let the caller reject it
+  }
+  if (std::strcmp(value, "exact") == 0) {
+    *out = engine::VisitedMode::kExact;
+    return 1;
+  }
+  if (std::strcmp(value, "compact") == 0) {
+    *out = engine::VisitedMode::kCompact;
+    return 1;
+  }
+  std::fprintf(stderr, "%s: --visited wants 'exact' or 'compact', got '%s'\n",
+               sub, value);
+  return 2;
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -173,6 +211,23 @@ int RunCheck(int argc, char** argv) {
       // Deterministic: any count returns the same verdict and witness
       // (see src/automata/emptiness.h and src/analysis/zero_solver.h).
       options.exec.num_threads = threads.value();
+    } else if (int c = ConsumeVisitedFlag("check", argc, argv, &i,
+                                          &options.exec.visited_mode)) {
+      if (c == 2) return 2;
+    } else if (std::strcmp(argv[i], "--max-path-length") == 0 ||
+               std::strcmp(argv[i], "--max-nodes") == 0) {
+      const char* flag = argv[i];
+      if (i + 1 >= argc) return MissingValue("check", flag);
+      Result<size_t> value = ParsePositiveCount(flag, argv[++i]);
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        return 2;
+      }
+      if (std::strcmp(flag, "--max-path-length") == 0) {
+        options.bounded.max_path_length = value.value();
+      } else {
+        options.bounded.max_nodes = value.value();
+      }
     } else {
       return UnknownFlag("check", argv[i]);
     }
@@ -189,6 +244,13 @@ int RunCheck(int argc, char** argv) {
   std::printf("engine     : %s\n", d.value().engine.c_str());
   std::printf("satisfiable: %s\n",
               analysis::AnswerName(d.value().satisfiable));
+  std::printf("nodes      : %zu\n", d.value().nodes_explored);
+  if (d.value().treedb_nodes > 0) {
+    std::printf("visited    : %zu bytes (%zu tree nodes)\n",
+                d.value().visited_bytes, d.value().treedb_nodes);
+  } else {
+    std::printf("visited    : %zu bytes\n", d.value().visited_bytes);
+  }
   if (d.value().has_witness) {
     std::printf("witness:\n%s\n",
                 d.value().witness.ToString(s.value()).c_str());
@@ -312,9 +374,15 @@ int RunExplore(int argc, char** argv) {
   engine::ExecOptions exec;
   size_t depth = 3;
   size_t max_nodes = 100000;
+  bool strict = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) {
       options.grounded = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (int c = ConsumeVisitedFlag("explore", argc, argv, &i,
+                                          &exec.visited_mode)) {
+      if (c == 2) return 2;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       if (i + 1 >= argc) return MissingValue("explore", argv[i]);
       options.seed_values.push_back(Value::Str(argv[++i]));
@@ -341,21 +409,43 @@ int RunExplore(int argc, char** argv) {
       return UnknownFlag("explore", argv[i]);
     }
   }
+  schema::LtsMemoryStats memory;
   std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
       s.value(), schema::Instance(s.value()), options, depth, max_nodes,
-      exec);
-  std::printf("depth  configs  transitions  max-facts  truncated\n");
+      exec, &memory);
+  // Every LtsLevelStats field prints — truncated AND cancelled. The
+  // cancelled column used to be dropped entirely, so a deadline-cut
+  // prefix read exactly like a completed exploration.
+  std::printf("depth  configs  transitions  max-facts  truncated  cancelled\n");
   bool truncated = false;
+  bool cancelled = false;
   for (const schema::LtsLevelStats& level : stats) {
     truncated = truncated || level.truncated;
-    std::printf("%5zu  %7zu  %11zu  %9zu  %s\n", level.depth,
+    cancelled = cancelled || level.cancelled;
+    std::printf("%5zu  %7zu  %11zu  %9zu  %9s  %9s\n", level.depth,
                 level.distinct_configurations, level.transitions,
                 level.max_configuration_facts,
-                level.truncated ? "yes" : "no");
+                level.truncated ? "yes" : "no",
+                level.cancelled ? "yes" : "no");
+  }
+  if (memory.treedb_nodes > 0) {
+    std::printf("visited: %zu bytes (%zu tree nodes)\n",
+                memory.visited_bytes, memory.treedb_nodes);
+  } else {
+    std::printf("visited: %zu bytes\n", memory.visited_bytes);
   }
   if (truncated) {
-    std::printf("note: max-nodes budget cut the exploration; the tree "
-                "above is a prefix\n");
+    std::printf("note: a budget cut the exploration; the tree above is a "
+                "prefix\n");
+  }
+  if (cancelled) {
+    std::printf("note: cancelled mid-exploration; the tree above is a "
+                "prefix\n");
+  }
+  if (strict && (truncated || cancelled)) {
+    // Scripted callers asked for a complete tree; a prefix is a
+    // failure, not a success with a note.
+    return 4;
   }
   return 0;
 }
@@ -371,9 +461,13 @@ int RunBatch(int argc, char** argv) {
   service::ServiceOptions sopts;
   sopts.cache_capacity = 0;  // off unless --cache
   std::chrono::milliseconds deadline{0};
+  engine::VisitedMode visited_mode = engine::VisitedMode::kExact;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) {
       prepare.grounded = true;
+    } else if (int c = ConsumeVisitedFlag("batch", argc, argv, &i,
+                                          &visited_mode)) {
+      if (c == 2) return 2;
     } else if (std::strcmp(argv[i], "--shrink") == 0) {
       prepare.shrink_witness = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -432,6 +526,7 @@ int RunBatch(int argc, char** argv) {
   service::AnalysisService svc(sopts);
   service::CheckRequest request;
   request.deadline = deadline;
+  request.visited_mode = visited_mode;
   // One prepared query per distinct formula text, shared across its
   // occurrences — repeated requests never re-parse or re-compile.
   std::vector<std::shared_ptr<const service::PreparedQuery>> prepared(
