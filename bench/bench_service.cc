@@ -85,12 +85,18 @@ void BM_PreparedSubmit(benchmark::State& state) {
   CheckRequest request;
   request.use_cache = false;
   size_t checks = 0;
+  size_t nodes = 0;
   for (auto _ : state) {
     CheckResponse resp = svc.Check(*prepared, request);
     benchmark::DoNotOptimize(resp.verdict);
+    nodes = resp.decision.nodes_explored;
     ++checks;
   }
   state.SetItemsProcessed(static_cast<int64_t>(checks));
+  // Deterministic counter (bench_compare.py gates on it): the engines'
+  // schedule-independence makes the node count a fixed function of the
+  // formula, so any drift is a semantic regression, not noise.
+  state.counters["nodes"] = static_cast<double>(nodes);
 }
 BENCHMARK(BM_PreparedSubmit)
     ->Arg(0)
@@ -109,13 +115,22 @@ void BM_PreparedCachedSubmit(benchmark::State& state) {
           .value();
   CheckRequest request;
   size_t checks = 0;
+  bool last_was_hit = false;
+  size_t nodes = 0;
   for (auto _ : state) {
     CheckResponse resp = svc.Check(*prepared, request);
     benchmark::DoNotOptimize(resp.cache_hit);
+    last_was_hit = resp.cache_hit;
+    nodes = resp.decision.nodes_explored;
     ++checks;
   }
   state.SetItemsProcessed(static_cast<int64_t>(checks));
   state.counters["cache_hits"] = static_cast<double>(svc.cache_hits());
+  // Deterministic counters: after the first iteration every identical
+  // request must be served from the cache (cache_hit = 1), and a hit
+  // reproduces the cached Decision byte-for-byte, node count included.
+  state.counters["cache_hit"] = last_was_hit ? 1.0 : 0.0;
+  state.counters["nodes"] = static_cast<double>(nodes);
 }
 BENCHMARK(BM_PreparedCachedSubmit)
     ->Arg(0)

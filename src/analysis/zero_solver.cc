@@ -19,10 +19,29 @@
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
 #include "src/ltl/tableau.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/fact_store.h"
 
 namespace accltl {
 namespace analysis {
+
+namespace {
+/// Zero-solver instruments (write-only; DESIGN.md §8).
+struct ZeroMetrics {
+  obs::Counter* expansions;
+  obs::Counter* children;
+  obs::Counter* plan_builds;
+  static const ZeroMetrics& Get() {
+    static const ZeroMetrics m{
+        obs::Registry::Get().counter("analysis.zero.expansions"),
+        obs::Registry::Get().counter("analysis.zero.children"),
+        obs::Registry::Get().counter("analysis.zero.plan_builds"),
+    };
+    return m;
+  }
+};
+}  // namespace
 
 /// One pool fact: a concrete tuple for a relation, plus (when the
 /// witness disjunct constrains the access) the method/binding that must
@@ -608,6 +627,8 @@ class ZeroSolver {
     }
     if (node->depth >= options_.max_path_length) return;
     std::vector<Child> children = Expand(*node);
+    ZeroMetrics::Get().expansions->Inc();
+    ZeroMetrics::Get().children->Inc(children.size());
     // pf order: smallest child pops first. Equal keys cannot occur
     // within one node (each enumerated subset yields a distinct step).
     std::sort(children.begin(), children.end(),
@@ -650,6 +671,8 @@ class ZeroSolver {
     }
     if (node->depth >= options_.max_path_length) return;
     std::vector<Child> children = Expand(*node);
+    ZeroMetrics::Get().expansions->Inc();
+    ZeroMetrics::Get().children->Inc(children.size());
     for (Child& child : children) {
       ctx.Emit(MakeNode(*node, child));
     }
@@ -894,6 +917,8 @@ class ZeroSolver {
 
 Result<std::shared_ptr<const ZeroPlan>> PrepareZeroAry(
     const acc::AccPtr& formula, const schema::Schema& schema) {
+  obs::Span span("prepare-zero");
+  ZeroMetrics::Get().plan_builds->Inc();
   auto plan = std::make_shared<ZeroPlan>();
   plan->abstraction = acc::Abstract(formula);
   // 1. Reject formulas outside the (constant-extended) 0-ary fragment.

@@ -19,6 +19,8 @@
 #include "src/engine/path_link.h"
 #include "src/engine/two_phase.h"
 #include "src/engine/visited_table.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/store/treedb.h"
 #include "src/logic/cq.h"
 #include "src/logic/eval.h"
@@ -29,6 +31,21 @@ namespace accltl {
 namespace automata {
 
 namespace {
+
+/// Witness-engine instruments (write-only; DESIGN.md §8).
+struct WitnessMetrics {
+  obs::Counter* expansions;
+  obs::Counter* children;
+  obs::Counter* plan_builds;
+  static const WitnessMetrics& Get() {
+    static const WitnessMetrics m{
+        obs::Registry::Get().counter("automata.expansions"),
+        obs::Registry::Get().counter("automata.children"),
+        obs::Registry::Get().counter("automata.plan_builds"),
+    };
+    return m;
+  }
+};
 
 using logic::Cq;
 using logic::CqAtom;
@@ -565,7 +582,12 @@ std::shared_ptr<const SearchPlan> GetPlan(const AAutomaton& automaton,
     auto it = cache->find(key);
     if (it != cache->end()) return it->second;
   }
-  std::shared_ptr<const SearchPlan> plan = BuildPlan(automaton, schema);
+  std::shared_ptr<const SearchPlan> plan;
+  {
+    obs::Span span("prepare-plan");
+    plan = BuildPlan(automaton, schema);
+    WitnessMetrics::Get().plan_builds->Inc();
+  }
   std::lock_guard<std::mutex> lock(mu);
   if (cache->size() >= 128) cache->clear();
   return cache->emplace(std::move(key), std::move(plan)).first->second;
@@ -868,6 +890,8 @@ class Search {
     }
     if (node->depth >= options_.max_path_length) return;
     std::vector<Child> children = Expand(*node, ctx);
+    WitnessMetrics::Get().expansions->Inc();
+    WitnessMetrics::Get().children->Inc(children.size());
     // pf order: smallest child pops first. Content ties (the same
     // access step can drive a nondeterministic automaton into several
     // states) resolve accepting states first, so the first accept a
@@ -913,6 +937,8 @@ class Search {
     if (AcceptHere(*node)) return;
     if (node->depth >= options_.max_path_length) return;
     std::vector<Child> children = Expand(*node, ctx);
+    WitnessMetrics::Get().expansions->Inc();
+    WitnessMetrics::Get().children->Inc(children.size());
     for (Child& child : children) {
       ctx.Emit(MakeNode(*node, child));
     }

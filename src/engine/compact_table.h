@@ -8,10 +8,29 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/store/treedb.h"
 
 namespace accltl {
 namespace engine {
+
+namespace internal {
+/// Compact-table instruments; written relaxed after the shard lock is
+/// released (no-perturbation contract, DESIGN.md §8).
+struct CompactVisitedMetrics {
+  obs::Counter* inserts;
+  obs::Counter* dominated;
+  obs::Histogram* probe_len;
+  static const CompactVisitedMetrics& Get() {
+    static const CompactVisitedMetrics m{
+        obs::Registry::Get().counter("engine.cvisited.inserts"),
+        obs::Registry::Get().counter("engine.cvisited.dominated"),
+        obs::Registry::Get().histogram("engine.cvisited.probe_len"),
+    };
+    return m;
+  }
+};
+}  // namespace internal
 
 /// Entry of the compact visited table: the tree-compressed identity of
 /// a search node plus the dominance tie-breakers. Where the exact
@@ -70,43 +89,57 @@ class CompactVisitedTable {
   bool CheckAndInsert(CompactEntry entry, const Dominates& dominates,
                       const Evict& evict) {
     assert(entry.ref != store::kNilTreeRef && entry.ref != kTombstoneRef);
-    Shard& shard = shards_[ShardIndex(entry.ref)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    MaybeGrow(&shard);
-    size_t mask = shard.slots.size() - 1;
-    size_t i = static_cast<size_t>(store::Mix64(entry.ref)) & mask;
-    size_t insert_at = shard.slots.size();  // first reusable slot seen
-    // Pass 1: suppression. Any dominating twin wins before we mutate.
-    for (size_t probe = i;; probe = (probe + 1) & mask) {
-      CompactEntry& slot = shard.slots[probe];
-      if (slot.ref == store::kNilTreeRef) break;
-      if (slot.ref == kTombstoneRef) {
-        if (insert_at == shard.slots.size()) insert_at = probe;
-        continue;
+    const internal::CompactVisitedMetrics& metrics =
+        internal::CompactVisitedMetrics::Get();
+    uint64_t probes = 0;
+    bool hit = false;
+    {
+      Shard& shard = shards_[ShardIndex(entry.ref)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      MaybeGrow(&shard);
+      size_t mask = shard.slots.size() - 1;
+      size_t i = static_cast<size_t>(store::Mix64(entry.ref)) & mask;
+      size_t insert_at = shard.slots.size();  // first reusable slot seen
+      // Pass 1: suppression. Any dominating twin wins before we mutate.
+      for (size_t probe = i;; probe = (probe + 1) & mask) {
+        CompactEntry& slot = shard.slots[probe];
+        ++probes;
+        if (slot.ref == store::kNilTreeRef) break;
+        if (slot.ref == kTombstoneRef) {
+          if (insert_at == shard.slots.size()) insert_at = probe;
+          continue;
+        }
+        if (slot.ref == entry.ref && dominates(slot, entry)) {
+          hit = true;
+          break;
+        }
       }
-      if (slot.ref == entry.ref && dominates(slot, entry)) return true;
+      if (!hit) {
+        // Pass 2: evict dominated twins, then insert.
+        for (size_t probe = i;; probe = (probe + 1) & mask) {
+          CompactEntry& slot = shard.slots[probe];
+          if (slot.ref == store::kNilTreeRef) {
+            if (insert_at == shard.slots.size()) insert_at = probe;
+            break;
+          }
+          if (slot.ref == entry.ref && dominates(entry, slot)) {
+            evict(slot);
+            slot.ref = kTombstoneRef;
+            slot.path.reset();
+            ++shard.tombstones;
+            --shard.live;
+            if (insert_at == shard.slots.size()) insert_at = probe;
+          }
+        }
+        CompactEntry& dest = shard.slots[insert_at];
+        if (dest.ref == kTombstoneRef) --shard.tombstones;
+        dest = std::move(entry);
+        ++shard.live;
+      }
     }
-    // Pass 2: evict dominated twins, then insert.
-    for (size_t probe = i;; probe = (probe + 1) & mask) {
-      CompactEntry& slot = shard.slots[probe];
-      if (slot.ref == store::kNilTreeRef) {
-        if (insert_at == shard.slots.size()) insert_at = probe;
-        break;
-      }
-      if (slot.ref == entry.ref && dominates(entry, slot)) {
-        evict(slot);
-        slot.ref = kTombstoneRef;
-        slot.path.reset();
-        ++shard.tombstones;
-        --shard.live;
-        if (insert_at == shard.slots.size()) insert_at = probe;
-      }
-    }
-    CompactEntry& dest = shard.slots[insert_at];
-    if (dest.ref == kTombstoneRef) --shard.tombstones;
-    dest = std::move(entry);
-    ++shard.live;
-    return false;
+    metrics.probe_len->Record(probes);
+    (hit ? metrics.dominated : metrics.inserts)->Inc();
+    return hit;
   }
 
   template <typename Dominates>

@@ -14,9 +14,35 @@
 #include "src/engine/cancel.h"
 #include "src/engine/thread_pool.h"
 #include "src/engine/work_deque.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace accltl {
 namespace engine {
+
+namespace internal {
+/// Process-wide explorer instruments, resolved once per process (the
+/// registry lookup takes a lock; hot loops use these cached pointers).
+/// All are write-only from the workers — see the no-perturbation
+/// contract in DESIGN.md §8.
+struct ExplorerMetrics {
+  obs::Counter* pops;
+  obs::Counter* steals;
+  obs::Counter* levels;
+  obs::Counter* idle_wait_us;
+  obs::Histogram* deque_depth;
+  static const ExplorerMetrics& Get() {
+    static const ExplorerMetrics m{
+        obs::Registry::Get().counter("engine.pops"),
+        obs::Registry::Get().counter("engine.steals"),
+        obs::Registry::Get().counter("engine.levels"),
+        obs::Registry::Get().counter("engine.idle_wait_us"),
+        obs::Registry::Get().histogram("engine.deque_depth"),
+    };
+    return m;
+  }
+};
+}  // namespace internal
 
 /// Generic parallel state-space exploration driver with two traversal
 /// disciplines over the same worker/deque substrate.
@@ -121,13 +147,16 @@ class Explorer {
       shared.level_size = frontier.size();
       shared.processed.store(0, std::memory_order_relaxed);
       for (auto& buffer : shared.emitted) buffer.clear();
-      if (workers == 1) {
-        // Inline — a serial exploration never touches the pool.
-        LevelWorker(0, 1, &shared, &frontier, visit);
-      } else {
-        ThreadPool::Global().Run(workers, [&](size_t w) {
-          LevelWorker(w, workers, &shared, &frontier, visit);
-        });
+      {
+        obs::Span level_span("level", static_cast<int64_t>(level));
+        if (workers == 1) {
+          // Inline — a serial exploration never touches the pool.
+          LevelWorker(0, 1, &shared, &frontier, visit);
+        } else {
+          ThreadPool::Global().Run(workers, [&](size_t w) {
+            LevelWorker(w, workers, &shared, &frontier, visit);
+          });
+        }
       }
       frontier.clear();
       std::vector<std::vector<Node*>> batches(workers);
@@ -145,12 +174,16 @@ class Explorer {
         break;
       }
       ++level;
-      if constexpr (std::is_invocable_v<Reduce, size_t,
-                                        std::vector<std::vector<Node*>>>) {
-        frontier = reduce(level, std::move(batches));
-      } else {
-        frontier = reduce(std::move(batches));
+      {
+        obs::Span reduce_span("barrier-reduce", static_cast<int64_t>(level));
+        if constexpr (std::is_invocable_v<Reduce, size_t,
+                                          std::vector<std::vector<Node*>>>) {
+          frontier = reduce(level, std::move(batches));
+        } else {
+          frontier = reduce(std::move(batches));
+        }
       }
+      internal::ExplorerMetrics::Get().levels->Inc();
     }
     // An abort can leave seeded nodes in the deques — free them
     // (single-threaded again after the pool region).
@@ -158,12 +191,7 @@ class Explorer {
     for (auto& deque : shared.deques) {
       while (deque->Pop(&leftover)) delete leftover;
     }
-    Stats stats;
-    stats.nodes_explored = shared.popped.load(std::memory_order_relaxed);
-    stats.budget_exhausted =
-        shared.budget_exhausted.load(std::memory_order_relaxed);
-    stats.aborted = shared.abort.load(std::memory_order_relaxed);
-    stats.cancelled = shared.cancelled.load(std::memory_order_relaxed);
+    Stats stats = shared.SnapshotStats();
     stats.levels_completed = level;
     return stats;
   }
@@ -200,13 +228,7 @@ class Explorer {
     for (auto& deque : shared.deques) {
       while (deque->Pop(&leftover)) delete leftover;
     }
-    Stats stats;
-    stats.nodes_explored = shared.popped.load(std::memory_order_relaxed);
-    stats.budget_exhausted =
-        shared.budget_exhausted.load(std::memory_order_relaxed);
-    stats.aborted = shared.abort.load(std::memory_order_relaxed);
-    stats.cancelled = shared.cancelled.load(std::memory_order_relaxed);
-    return stats;
+    return shared.SnapshotStats();
   }
 
  private:
@@ -226,6 +248,19 @@ class Explorer {
       cancelled.store(true, std::memory_order_relaxed);
       abort.store(true, std::memory_order_release);
       return true;
+    }
+
+    /// The Stats fields both traversal modes read back identically
+    /// (RunLevels adds levels_completed; the owning search fills the
+    /// visited/treedb accounting).
+    Stats SnapshotStats() const {
+      Stats stats;
+      stats.nodes_explored = popped.load(std::memory_order_relaxed);
+      stats.budget_exhausted =
+          budget_exhausted.load(std::memory_order_relaxed);
+      stats.aborted = abort.load(std::memory_order_relaxed);
+      stats.cancelled = cancelled.load(std::memory_order_relaxed);
+      return stats;
     }
 
     std::vector<std::unique_ptr<WorkStealingDeque<Node*>>> deques;
@@ -281,6 +316,9 @@ class Explorer {
   template <typename Visit>
   static void WorkerLoop(size_t w, size_t workers, Shared* shared,
                          const Visit& visit) {
+    const internal::ExplorerMetrics& metrics = internal::ExplorerMetrics::Get();
+    obs::SetThreadLane("worker", static_cast<int>(w));
+    obs::Span drain_span("drain", static_cast<int64_t>(w));
     Context ctx(shared, w);
     Node* raw = nullptr;
     int idle_sweeps = 0;
@@ -288,17 +326,26 @@ class Explorer {
       if (shared->abort.load(std::memory_order_acquire)) return;
       if (shared->Cancelled()) return;
       bool got = shared->deques[w]->Pop(&raw);
-      for (size_t k = 1; !got && k < workers; ++k) {
-        got = shared->deques[(w + k) % workers]->Steal(&raw);
+      if (!got) {
+        for (size_t k = 1; !got && k < workers; ++k) {
+          got = shared->deques[(w + k) % workers]->Steal(&raw);
+        }
+        if (got) {
+          metrics.steals->Inc();
+          obs::TraceInstant("steal");
+        }
       }
       if (!got) {
         if (shared->pending.load(std::memory_order_acquire) == 0) return;
-        Backoff(&idle_sweeps);
+        TimedBackoff(&idle_sweeps, metrics);
         continue;
       }
       idle_sweeps = 0;
       std::unique_ptr<Node> node(raw);
       size_t n = shared->popped.fetch_add(1, std::memory_order_relaxed) + 1;
+      metrics.pops->Inc();
+      metrics.deque_depth->Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, shared->deques[w]->size())));
       if (n > shared->max_nodes) {
         // Counted but not visited — "count, then cut".
         shared->budget_exhausted.store(true, std::memory_order_relaxed);
@@ -324,10 +371,30 @@ class Explorer {
     }
   }
 
+  /// Backoff plus idle-time accounting (level mode: this is the
+  /// barrier-wait time). The clock reads exist only to feed the
+  /// counter, so they are skipped entirely when metrics are off.
+  static void TimedBackoff(int* idle_sweeps,
+                           const internal::ExplorerMetrics& metrics) {
+    if (!obs::MetricsEnabled()) {
+      Backoff(idle_sweeps);
+      return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    Backoff(idle_sweeps);
+    metrics.idle_wait_us->Inc(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+
   template <typename Visit>
   static void LevelWorker(size_t w, size_t workers, Shared* shared,
                           std::vector<std::unique_ptr<Node>>* frontier,
                           const Visit& visit) {
+    const internal::ExplorerMetrics& metrics = internal::ExplorerMetrics::Get();
+    obs::SetThreadLane("worker", static_cast<int>(w));
+    obs::Span drain_span("level-drain", static_cast<int64_t>(w));
     // Seed this worker's slice (owner-only pushes).
     for (size_t i = w; i < frontier->size(); i += workers) {
       shared->deques[w]->Push((*frontier)[i].release());
@@ -339,8 +406,14 @@ class Explorer {
       if (shared->abort.load(std::memory_order_acquire)) return;
       if (shared->Cancelled()) return;
       bool got = shared->deques[w]->Pop(&raw);
-      for (size_t k = 1; !got && k < workers; ++k) {
-        got = shared->deques[(w + k) % workers]->Steal(&raw);
+      if (!got) {
+        for (size_t k = 1; !got && k < workers; ++k) {
+          got = shared->deques[(w + k) % workers]->Steal(&raw);
+        }
+        if (got) {
+          metrics.steals->Inc();
+          obs::TraceInstant("steal");
+        }
       }
       if (!got) {
         if (shared->processed.load(std::memory_order_acquire) >=
@@ -348,12 +421,15 @@ class Explorer {
           return;  // level drained (a seed race cannot under-count:
                    // every seeded node is processed exactly once)
         }
-        Backoff(&idle_sweeps);
+        TimedBackoff(&idle_sweeps, metrics);
         continue;
       }
       idle_sweeps = 0;
       std::unique_ptr<Node> node(raw);
       size_t n = shared->popped.fetch_add(1, std::memory_order_relaxed) + 1;
+      metrics.pops->Inc();
+      metrics.deque_depth->Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, shared->deques[w]->size())));
       if (n > shared->max_nodes) {
         shared->budget_exhausted.store(true, std::memory_order_relaxed);
         shared->abort.store(true, std::memory_order_release);

@@ -10,6 +10,7 @@
 #include "src/engine/cancel.h"
 #include "src/engine/explorer.h"
 #include "src/engine/thread_pool.h"
+#include "src/obs/trace.h"
 
 namespace accltl {
 namespace engine {
@@ -49,12 +50,16 @@ typename Explorer<Node>::Stats TwoPhaseExplore(
   eopts.max_nodes = max_nodes;
   eopts.cancel = exec.cancel;
   if (workers == 1) {
+    obs::Span span("serial-dfs");
     return explorer.Run(make_roots(), eopts, dfs_visit);
   }
   constexpr size_t kPilotBudget = 256;
   eopts.max_nodes = std::min(kPilotBudget, max_nodes);
-  typename Explorer<Node>::Stats pilot =
-      explorer.Run(make_roots(), eopts, dfs_visit);
+  typename Explorer<Node>::Stats pilot;
+  {
+    obs::Span span("pilot");
+    pilot = explorer.Run(make_roots(), eopts, dfs_visit);
+  }
   if (found() || pilot.cancelled || !pilot.budget_exhausted ||
       eopts.max_nodes == max_nodes) {
     // Found, cancelled, swept, or the global budget itself is spent.
@@ -67,6 +72,7 @@ typename Explorer<Node>::Stats TwoPhaseExplore(
   // The pilot's pops count against the caller's budget: the total
   // across both phases never exceeds max_nodes.
   bopts.max_nodes = max_nodes - pilot.nodes_explored;
+  obs::Span span("sweep");
   typename Explorer<Node>::Stats stats =
       explorer.RunLevels(make_roots(), bopts, level_visit, reduce);
   stats.nodes_explored += pilot.nodes_explored;

@@ -8,8 +8,29 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace accltl {
 namespace engine {
+
+namespace internal {
+/// Visited-table instruments (shared by every ShardedVisitedTable
+/// instantiation); resolved once, written relaxed off the hot path —
+/// after the shard lock is released, never under it.
+struct VisitedMetrics {
+  obs::Counter* inserts;
+  obs::Counter* dominated;
+  obs::Histogram* probe_len;
+  static const VisitedMetrics& Get() {
+    static const VisitedMetrics m{
+        obs::Registry::Get().counter("engine.visited.inserts"),
+        obs::Registry::Get().counter("engine.visited.dominated"),
+        obs::Registry::Get().histogram("engine.visited.probe_len"),
+    };
+    return m;
+  }
+};
+}  // namespace internal
 
 /// Sharded concurrent visited table for state-space exploration.
 ///
@@ -45,25 +66,39 @@ class ShardedVisitedTable {
   template <typename Dominates, typename Evict>
   bool CheckAndInsert(uint64_t hash, Entry entry, const Dominates& dominates,
                       const Evict& evict) {
-    Shard& shard = shards_[static_cast<size_t>(hash) & mask_];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    std::vector<Entry>& bucket = shard.buckets[hash];
-    for (const Entry& existing : bucket) {
-      if (dominates(existing, entry)) return true;
-    }
-    // Keep the bucket minimal: remove entries the newcomer dominates.
-    size_t kept = 0;
-    for (size_t i = 0; i < bucket.size(); ++i) {
-      if (dominates(entry, bucket[i])) {
-        evict(bucket[i]);
-      } else {
-        if (kept != i) bucket[kept] = std::move(bucket[i]);
-        ++kept;
+    const internal::VisitedMetrics& metrics = internal::VisitedMetrics::Get();
+    size_t probes = 0;
+    bool hit = false;
+    {
+      Shard& shard = shards_[static_cast<size_t>(hash) & mask_];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::vector<Entry>& bucket = shard.buckets[hash];
+      probes = bucket.size();
+      for (const Entry& existing : bucket) {
+        if (dominates(existing, entry)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        // Keep the bucket minimal: remove entries the newcomer
+        // dominates.
+        size_t kept = 0;
+        for (size_t i = 0; i < bucket.size(); ++i) {
+          if (dominates(entry, bucket[i])) {
+            evict(bucket[i]);
+          } else {
+            if (kept != i) bucket[kept] = std::move(bucket[i]);
+            ++kept;
+          }
+        }
+        bucket.resize(kept);
+        bucket.push_back(std::move(entry));
       }
     }
-    bucket.resize(kept);
-    bucket.push_back(std::move(entry));
-    return false;
+    metrics.probe_len->Record(probes);
+    (hit ? metrics.dominated : metrics.inserts)->Inc();
+    return hit;
   }
 
   template <typename Dominates>

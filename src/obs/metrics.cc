@@ -1,0 +1,246 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace accltl {
+namespace obs {
+
+namespace {
+
+std::atomic<int>& EnabledFlag() {
+  // -1 = uninitialized, 0 = off, 1 = on. Env is consulted once, on the
+  // first record/query; SetMetricsEnabled overrides at any time.
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  int v = EnabledFlag().load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  const char* env = std::getenv("ACCLTL_METRICS");
+  int resolved = (env != nullptr && std::strcmp(env, "0") == 0) ? 0 : 1;
+  int expected = -1;
+  // A racing SetMetricsEnabled wins over the env default.
+  EnabledFlag().compare_exchange_strong(expected, resolved,
+                                        std::memory_order_relaxed);
+  return EnabledFlag().load(std::memory_order_relaxed) != 0;
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+}  // namespace internal
+
+size_t HistogramSnapshot::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  size_t width = 0;  // position of highest set bit, 0-based
+  while (v >>= 1) ++width;
+  return width + 1;
+}
+
+uint64_t HistogramSnapshot::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << i) - 1;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum += other.sum;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (total == 0) return 0;
+  p = std::max(0.0, std::min(1.0, p));
+  // Rank of the p-quantile element, 1-based; ceil(p * total).
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank * 1.0 < p * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      uint64_t c = s.counts[i].load(std::memory_order_relaxed);
+      snap.counts[i] += c;
+      snap.total += c;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+const uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& kv : counters) {
+    if (kv.first == name) return &kv.second;
+  }
+  return nullptr;
+}
+
+const int64_t* MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& kv : gauges) {
+    if (kv.first == name) return &kv.second;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& kv : histograms) {
+    if (kv.first == name) return &kv.second;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& kv : counters) {
+    out << kv.first << " = " << kv.second << "\n";
+  }
+  for (const auto& kv : gauges) {
+    out << kv.first << " = " << kv.second << "\n";
+  }
+  for (const auto& kv : histograms) {
+    const HistogramSnapshot& h = kv.second;
+    out << kv.first << " count=" << h.total << " sum=" << h.sum
+        << " p50=" << h.Percentile(0.50) << " p90=" << h.Percentile(0.90)
+        << " p99=" << h.Percentile(0.99) << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "accltl_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream out;
+  for (const auto& kv : counters) {
+    std::string n = PrometheusName(kv.first);
+    out << "# TYPE " << n << " counter\n" << n << " " << kv.second << "\n";
+  }
+  for (const auto& kv : gauges) {
+    std::string n = PrometheusName(kv.first);
+    out << "# TYPE " << n << " gauge\n" << n << " " << kv.second << "\n";
+  }
+  for (const auto& kv : histograms) {
+    std::string n = PrometheusName(kv.first);
+    const HistogramSnapshot& h = kv.second;
+    out << "# TYPE " << n << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      cumulative += h.counts[i];
+      // Emit only occupied boundaries plus +Inf to keep the exposition
+      // compact; cumulative counts stay correct because skipped empty
+      // buckets contribute nothing.
+      if (h.counts[i] == 0) continue;
+      out << n << "_bucket{le=\"" << HistogramSnapshot::BucketUpperBound(i)
+          << "\"} " << cumulative << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.total << "\n";
+    out << n << "_sum " << h.sum << "\n";
+    out << n << "_count " << h.total << "\n";
+  }
+  return out.str();
+}
+
+Registry& Registry::Get() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram());
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& kv : counters_) {
+    snap.counters.emplace_back(kv.first, kv.second->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& kv : gauges_) {
+    snap.gauges.emplace_back(kv.first, kv.second->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& kv : histograms_) {
+    snap.histograms.emplace_back(kv.first, kv.second->Snapshot());
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+}  // namespace obs
+}  // namespace accltl

@@ -1,0 +1,207 @@
+#ifndef ACCLTL_OBS_METRICS_H_
+#define ACCLTL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace accltl {
+namespace obs {
+
+/// Lock-free metrics registry.
+///
+/// Instruments are write-only from the engine's point of view: hot
+/// paths increment relaxed per-worker-sharded atomics and never read
+/// them back, so instrumentation cannot feed into search decisions
+/// (the no-perturbation contract, DESIGN.md §8). Readers assemble a
+/// `MetricsSnapshot` by summing the shards; a snapshot taken during
+/// concurrent updates is a consistent-enough point-in-time view (each
+/// instrument's value is monotone between two quiescent points, never
+/// torn below a previously observed value).
+///
+/// Metrics default to enabled and can be disabled process-wide by the
+/// environment variable ACCLTL_METRICS=0 (read once at first use) or
+/// programmatically via SetMetricsEnabled(false). When disabled, every
+/// record path is a single relaxed load plus a predicted branch.
+
+/// Whether record paths update the registry. Relaxed load; callers may
+/// use it to skip clock reads that exist only to feed a metric.
+bool MetricsEnabled();
+
+/// Overrides the ACCLTL_METRICS environment default for this process.
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+// Shard count for counters and histograms. Threads are assigned a
+// shard round-robin at first use; with <= 8 active workers per region
+// contention is rare, and false sharing is prevented by padding each
+// shard to its own cache line.
+constexpr size_t kShards = 8;
+size_t ShardIndex();
+}  // namespace internal
+
+/// Monotone event count, sharded per worker thread.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[internal::ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Monotone across calls that race with Inc.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[internal::kShards];
+};
+
+/// Last-write-wins signed level (queue depth, occupancy). Unsharded:
+/// gauges are set/adjusted at coarse points, not in per-node loops.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (!MetricsEnabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Mergeable point-in-time histogram state; also the accumulator used
+/// by HistogramSnapshot consumers (percentiles, renderers).
+struct HistogramSnapshot {
+  // Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  static constexpr size_t kBuckets = 65;
+
+  std::array<uint64_t, kBuckets> counts{};
+  uint64_t total = 0;
+  uint64_t sum = 0;
+
+  /// Bucket index for a recorded value (log2 bucketing).
+  static size_t BucketIndex(uint64_t v);
+  /// Smallest value that lands in bucket i.
+  static uint64_t BucketLowerBound(size_t i);
+  /// Largest value that lands in bucket i (saturates at UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Pointwise sum; associative and commutative, so shard/partial
+  /// snapshots can be merged in any order.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket containing the p-quantile (p in
+  /// [0, 1]). Returns 0 for an empty histogram. Log2 buckets bound the
+  /// relative error by 2x, which is the advertised precision.
+  uint64_t Percentile(double p) const;
+};
+
+/// Log2-bucketed distribution, sharded like Counter.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t v) {
+    if (!MetricsEnabled()) return;
+    Shard& s = shards_[internal::ShardIndex()];
+    s.counts[HistogramSnapshot::BucketIndex(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, HistogramSnapshot::kBuckets> counts{};
+    std::atomic<uint64_t> sum{0};
+  };
+  Shard shards_[internal::kShards];
+};
+
+/// Point-in-time view of every registered instrument, with renderers.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  const uint64_t* counter(const std::string& name) const;
+  const int64_t* gauge(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Human-readable dump, one instrument per line (histograms include
+  /// count/sum/p50/p90/p99).
+  std::string ToText() const;
+
+  /// Prometheus exposition format (text version 0.0.4). Metric names
+  /// are prefixed with "accltl_" and non-identifier characters become
+  /// '_'; histograms render cumulative le-labelled buckets.
+  std::string ToPrometheus() const;
+};
+
+/// Name-keyed instrument registry. Lookup takes a mutex; call sites
+/// resolve their instruments once (static locals) and then use the
+/// returned pointer lock-free. Pointers are stable for the process
+/// lifetime — instruments are never unregistered.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument (tests, CLI runs). Registered names and
+  /// handed-out pointers stay valid.
+  void Reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace accltl
+
+#endif  // ACCLTL_OBS_METRICS_H_

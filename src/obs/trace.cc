@@ -1,0 +1,207 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace accltl {
+namespace obs {
+
+namespace {
+
+struct Event {
+  const char* name;  // static storage (string literals at call sites)
+  char phase;        // 'X' complete, 'i' instant
+  int64_t ts_us;
+  int64_t dur_us;
+  int64_t arg;
+  bool has_arg;
+};
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::string lane_name;
+  uint32_t tid;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> epoch_ns{0};  // steady_clock origin of this trace
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<uint32_t> next_tid{0};
+};
+
+TraceState& State() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = State();
+    b->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t NowUs() {
+  return (SteadyNowNs() - State().epoch_ns.load(std::memory_order_relaxed)) /
+         1000;
+}
+
+void Append(const Event& e) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(e);
+}
+
+void AppendJsonEscaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  TraceState& s = State();
+  {
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    for (auto& b : s.buffers) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      b->events.clear();
+    }
+  }
+  s.epoch_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_relaxed);
+  // The thread that starts the trace owns the "main" lane. Explicit
+  // (not "first buffer wins"): a dispatcher or pool thread may create
+  // its buffer before the main thread records anything.
+  {
+    ThreadBuffer& buf = LocalBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.lane_name = "main";
+  }
+}
+
+void StopTracing() {
+  State().enabled.store(false, std::memory_order_relaxed);
+}
+
+void SetThreadLane(const char* prefix, int index) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  // First name wins: lanes identify threads, and a thread's first role
+  // is its identity. Without this, a dispatcher (or the main thread)
+  // that participates in a parallel region as worker 0 would have its
+  // lane renamed "worker-0" mid-trace.
+  if (!buf.lane_name.empty()) return;
+  buf.lane_name = prefix;
+  if (index >= 0) {
+    buf.lane_name.push_back('-');
+    buf.lane_name += std::to_string(index);
+  }
+}
+
+void TraceInstant(const char* name) {
+  if (!TracingEnabled()) return;
+  Append(Event{name, 'i', NowUs(), 0, 0, false});
+}
+
+void TraceSpanAt(const char* name, int64_t start_us, int64_t dur_us) {
+  if (!TracingEnabled()) return;
+  if (dur_us < 0) dur_us = 0;
+  Append(Event{name, 'X', start_us, dur_us, 0, false});
+}
+
+int64_t TraceNowUs() {
+  if (!TracingEnabled()) return 0;
+  return NowUs();
+}
+
+std::string TraceJson() {
+  TraceState& s = State();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  for (auto& b : s.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    if (b->events.empty() && b->lane_name.empty()) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << b->tid << ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(out, b->lane_name.empty()
+                               ? "thread-" + std::to_string(b->tid)
+                               : b->lane_name);
+    out << "\"}}";
+    for (const Event& e : b->events) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << e.name << "\",\"cat\":\"accltl\",\"ph\":\""
+          << e.phase << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":"
+          << b->tid;
+      if (e.phase == 'X') out << ",\"dur\":" << e.dur_us;
+      if (e.phase == 'i') out << ",\"s\":\"t\"";
+      if (e.has_arg) out << ",\"args\":{\"v\":" << e.arg << "}";
+      out << "}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool WriteTrace(const std::string& path) {
+  std::string json = TraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+Span::Span(const char* name)
+    : name_(name), start_us_(0), arg_(0), has_arg_(false),
+      active_(TracingEnabled()) {
+  if (active_) start_us_ = NowUs();
+}
+
+Span::Span(const char* name, int64_t arg)
+    : name_(name), start_us_(0), arg_(arg), has_arg_(true),
+      active_(TracingEnabled()) {
+  if (active_) start_us_ = NowUs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  int64_t end_us = NowUs();
+  Append(Event{name_, 'X', start_us_,
+               end_us > start_us_ ? end_us - start_us_ : 0, arg_, has_arg_});
+}
+
+}  // namespace obs
+}  // namespace accltl

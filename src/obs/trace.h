@@ -1,0 +1,80 @@
+#ifndef ACCLTL_OBS_TRACE_H_
+#define ACCLTL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace accltl {
+namespace obs {
+
+/// Span-based structured tracer emitting Chrome trace-event JSON
+/// (loadable in Perfetto or chrome://tracing).
+///
+/// Tracing is off by default and costs one relaxed load per
+/// instrumented site when off. When on, each thread appends events to
+/// its own buffer (a per-buffer mutex is taken only on append and at
+/// dump time, so threads never contend with each other); the dump
+/// renders one lane per thread, named via SetThreadLane. Like metrics,
+/// trace recording is write-only — event data never flows back into
+/// engine decisions (DESIGN.md §8).
+
+bool TracingEnabled();
+
+/// Clears all buffered events and starts recording. Timestamps are
+/// relative to this call; the calling thread's lane is named "main".
+void StartTracing();
+
+/// Stops recording; buffered events stay available to WriteTrace.
+void StopTracing();
+
+/// Names the calling thread's lane in the trace viewer ("worker-3",
+/// "dispatcher"). index < 0 uses the prefix alone. First name wins:
+/// a thread keeps the lane of its first role (a dispatcher that later
+/// joins a parallel region as worker 0 stays "dispatcher"). No-op
+/// while tracing is off. Threads that record events without ever
+/// naming a lane render as "thread-<tid>".
+void SetThreadLane(const char* prefix, int index = -1);
+
+/// Records an instant event (rendered as a tick in the lane). name
+/// must have static storage duration (string literals).
+void TraceInstant(const char* name);
+
+/// Records a completed span with explicit bounds, for durations whose
+/// start crossed a thread boundary (e.g. dispatcher queue wait).
+void TraceSpanAt(const char* name, int64_t start_us, int64_t dur_us);
+
+/// Microseconds since StartTracing (0 when tracing is off); pairs with
+/// TraceSpanAt.
+int64_t TraceNowUs();
+
+/// Serializes everything recorded since StartTracing as Chrome
+/// trace-event JSON.
+std::string TraceJson();
+
+/// TraceJson written to a file; returns false on I/O failure.
+bool WriteTrace(const std::string& path);
+
+/// RAII duration span on the calling thread's lane. The name must
+/// have static storage duration; an optional integer argument (level
+/// depth, node count) is attached as args.v.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const char* name, int64_t arg);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_;
+  int64_t arg_;
+  bool has_arg_;
+  bool active_;
+};
+
+}  // namespace obs
+}  // namespace accltl
+
+#endif  // ACCLTL_OBS_TRACE_H_

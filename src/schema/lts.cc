@@ -7,6 +7,7 @@
 #include "src/engine/compact_table.h"
 #include "src/engine/explorer.h"
 #include "src/engine/visited_table.h"
+#include "src/obs/metrics.h"
 #include "src/store/match_index.h"
 #include "src/store/treedb.h"
 
@@ -390,6 +391,9 @@ std::vector<LtsLevelStats> ExploreBreadthFirst(const Schema& schema,
           next.push_back(std::move(child));
         }
         s.distinct_configurations = next.size();
+        obs::Registry::Get().counter("schema.lts.transitions")
+            ->Inc(s.transitions);
+        obs::Registry::Get().counter("schema.lts.configs")->Inc(next.size());
         // The byte budget's cut point: decided at the barrier over the
         // complete reduced level, so the cut level is schedule-
         // independent. Flagged like the node budget — the recorded

@@ -4,10 +4,54 @@
 #include <utility>
 
 #include "src/accltl/parser.h"
+#include "src/obs/trace.h"
 #include "src/schema/text_format.h"
 
 namespace accltl {
 namespace service {
+
+namespace {
+
+/// Service-layer instruments (write-only; DESIGN.md §8). Latency and
+/// queue-wait clocks reuse timestamps the service already takes for
+/// CheckResponse::elapsed, so metrics-off skips no code path but the
+/// relaxed increments themselves.
+struct ServiceMetrics {
+  obs::Counter* requests;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* cancelled;
+  obs::Counter* errors;
+  obs::Gauge* queue_depth;
+  obs::Histogram* latency_us;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* deadline_overshoot_us;
+  static const ServiceMetrics& Get() {
+    obs::Registry& r = obs::Registry::Get();
+    static const ServiceMetrics m{
+        r.counter("service.requests"),
+        r.counter("service.cache.hits"),
+        r.counter("service.cache.misses"),
+        r.counter("service.cache.evictions"),
+        r.counter("service.deadline_exceeded"),
+        r.counter("service.cancelled"),
+        r.counter("service.errors"),
+        r.gauge("service.queue_depth"),
+        r.histogram("service.latency_us"),
+        r.histogram("service.queue_wait_us"),
+        r.histogram("service.deadline_overshoot_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+obs::MetricsSnapshot MetricsSnapshot() {
+  return obs::Registry::Get().Snapshot();
+}
 
 const char* VerdictName(Verdict v) {
   switch (v) {
@@ -165,6 +209,7 @@ AnalysisService::~AnalysisService() {
 Result<std::shared_ptr<const PreparedQuery>> AnalysisService::Prepare(
     const schema::Schema& schema, const acc::AccPtr& formula,
     const PrepareOptions& options) {
+  obs::Span span("prepare");
   std::shared_ptr<PreparedQuery> prepared(new PreparedQuery());
   // Copy first, then prepare against the copy: the compiled automaton
   // and the engine's plan cache reference the schema by address, which
@@ -212,13 +257,17 @@ PendingResult AnalysisService::Submit(
       state->Fulfill(std::move(resp));
       return PendingResult(state);
     }
-    queue_.push_back(Job{std::move(prepared), request, state});
+    queue_.push_back(Job{std::move(prepared), request, state,
+                         std::chrono::steady_clock::now()});
+    ServiceMetrics::Get().queue_depth->Add(1);
   }
   queue_cv_.notify_one();
   return PendingResult(std::move(state));
 }
 
 void AnalysisService::DispatcherLoop() {
+  obs::SetThreadLane("dispatcher");
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
   for (;;) {
     Job job;
     {
@@ -227,7 +276,15 @@ void AnalysisService::DispatcherLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth->Add(-1);
       in_flight_.push_back(job.state);
+    }
+    if (obs::MetricsEnabled()) {
+      metrics.queue_wait_us->Record(static_cast<uint64_t>(
+          std::max<int64_t>(
+              0, std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - job.enqueued)
+                     .count())));
     }
     if (job.state->token.fired()) {
       // Cancelled while queued: answer without searching.
@@ -254,18 +311,43 @@ void AnalysisService::DispatcherLoop() {
 CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
                                        const CheckRequest& request,
                                        engine::CancelToken* token) {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  obs::Span request_span("request");
   auto start = std::chrono::steady_clock::now();
-  auto stamp = [&start](CheckResponse* resp) {
+  auto stamp = [&](CheckResponse* resp) {
     resp->elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - start);
+    // Telemetry derived from timestamps the response carries anyway;
+    // all increments are relaxed write-only atomics.
+    metrics.requests->Inc();
+    metrics.latency_us->Record(static_cast<uint64_t>(resp->elapsed.count()));
+    if (!resp->status.ok()) metrics.errors->Inc();
+    switch (resp->verdict) {
+      case Verdict::kDeadlineExceeded:
+        metrics.deadline_exceeded->Inc();
+        metrics.deadline_overshoot_us->Record(static_cast<uint64_t>(
+            std::max<int64_t>(0, resp->elapsed.count() -
+                                     std::chrono::duration_cast<
+                                         std::chrono::microseconds>(
+                                         request.deadline)
+                                         .count())));
+        break;
+      case Verdict::kCancelled:
+        metrics.cancelled->Inc();
+        break;
+      case Verdict::kCompleted:
+        break;
+    }
   };
 
   CheckResponse resp;
   if (request.use_cache && cache_.Lookup(prepared.cache_key(), &resp)) {
     resp.cache_hit = true;
+    metrics.cache_hits->Inc();
     stamp(&resp);
     return resp;
   }
+  if (request.use_cache) metrics.cache_misses->Inc();
 
   if (request.deadline.count() > 0 && token != nullptr) {
     token->ArmDeadlineAfter(request.deadline);
@@ -302,7 +384,8 @@ CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
       !resp.decision.exhausted_budget) {
     CheckResponse cached = resp;
     cached.cache_hit = false;
-    cache_.Insert(prepared.cache_key(), std::move(cached));
+    size_t evicted = cache_.Insert(prepared.cache_key(), std::move(cached));
+    if (evicted > 0) metrics.cache_evictions->Inc(evicted);
   }
   return resp;
 }

@@ -16,11 +16,21 @@
 #include "src/common/status.h"
 #include "src/engine/cancel.h"
 #include "src/engine/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/schema/schema.h"
 #include "src/service/result_cache.h"
 
 namespace accltl {
 namespace service {
+
+/// Point-in-time view of the process-wide observability registry
+/// (src/obs): service telemetry — request latency, dispatcher queue
+/// wait, cache hit/miss/eviction counters, the deadline-overshoot
+/// histogram — alongside the engine/solver instruments, renderable via
+/// MetricsSnapshot::ToText() and ::ToPrometheus(). The registry is
+/// global (instruments are process-wide, like the engine pool), so
+/// this is a free function, not a service method.
+obs::MetricsSnapshot MetricsSnapshot();
 
 /// Session-level knobs of one AnalysisService instance.
 struct ServiceOptions {
@@ -227,6 +237,7 @@ class AnalysisService {
   size_t cache_entries() const { return cache_.size(); }
   uint64_t cache_hits() const { return cache_.hits(); }
   uint64_t cache_misses() const { return cache_.misses(); }
+  uint64_t cache_evictions() const { return cache_.evictions(); }
 
  private:
   /// One queued submission. `state` is created complete inside
@@ -236,6 +247,8 @@ class AnalysisService {
     std::shared_ptr<const PreparedQuery> prepared;
     CheckRequest request;
     std::shared_ptr<PendingResult::State> state;
+    /// Submit time, for the dispatcher queue-wait histogram.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void DispatcherLoop();

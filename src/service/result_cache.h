@@ -42,21 +42,27 @@ class LruCache {
     return true;
   }
 
-  void Insert(const std::string& key, Value value) {
-    if (capacity_ == 0) return;
+  /// Returns the number of entries evicted by this insert (0 or 1), so
+  /// callers can account evictions without re-reading the counter (a
+  /// read-back would race concurrent inserters).
+  size_t Insert(const std::string& key, Value value) {
+    if (capacity_ == 0) return 0;
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       it->second->second = std::move(value);
-      return;
+      return 0;
     }
     lru_.emplace_front(key, std::move(value));
     index_.emplace(key, lru_.begin());
     if (lru_.size() > capacity_) {
       index_.erase(lru_.back().first);
       lru_.pop_back();
+      ++evictions_;
+      return 1;
     }
+    return 0;
   }
 
   size_t size() const {
@@ -74,6 +80,11 @@ class LruCache {
     return misses_;
   }
 
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
  private:
   mutable std::mutex mu_;
   /// Front = most recently used.
@@ -85,6 +96,7 @@ class LruCache {
   size_t capacity_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace service

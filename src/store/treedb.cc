@@ -1,9 +1,25 @@
 #include "src/store/treedb.h"
 
+#include "src/obs/metrics.h"
+
 namespace accltl {
 namespace store {
 
 namespace {
+
+/// Intern traffic: total lookups and distinct-node misses (the arena
+/// growth rate). Written relaxed outside the shard lock.
+struct TreeDbMetrics {
+  obs::Counter* interns;
+  obs::Counter* intern_misses;
+  static const TreeDbMetrics& Get() {
+    static const TreeDbMetrics m{
+        obs::Registry::Get().counter("store.treedb.interns"),
+        obs::Registry::Get().counter("store.treedb.intern_misses"),
+    };
+    return m;
+  }
+};
 
 /// Big-endian Patricia helpers (Okasaki–Gill). `mask` is a single bit;
 /// a branch's prefix keeps the bits strictly above its mask bit.
@@ -35,11 +51,14 @@ inline uint32_t BitPos(uint32_t mask) {
 }  // namespace
 
 TreeRef TreeDb::Intern(uint32_t tag, uint32_t a, uint32_t b, uint32_t c) {
+  const TreeDbMetrics& metrics = TreeDbMetrics::Get();
+  metrics.interns->Inc();
   NodeKey key{tag, a, b, c};
   Shard& shard = shards_[NodeKeyHash{}(key)&(kShards - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.refs.find(key);
   if (it != shard.refs.end()) return it->second;
+  metrics.intern_misses->Inc();
   TreeRef ref = next_ref_.fetch_add(1, std::memory_order_acq_rel);
   // Publish the payload before the ref escapes the shard mutex (the
   // StableVector release-store plus any happens-before edge the caller

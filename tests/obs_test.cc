@@ -1,0 +1,355 @@
+// Tests for the observability subsystem (src/obs): histogram bucket
+// boundaries and merge algebra, counter sharding exactness, snapshots
+// taken under concurrent update, the text/Prometheus renderers, the
+// trace-event JSON shape, and the no-perturbation contract — verdicts,
+// witnesses and deterministic counters are identical whether metrics
+// and tracing are on or off, at every worker count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/accltl/parser.h"
+#include "src/analysis/decide.h"
+#include "src/analysis/zero_solver.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+/// Restores the metrics-enabled flag on scope exit: these tests flip a
+/// process-wide switch, and the rest of the suite expects the default.
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() { obs::SetMetricsEnabled(true); }
+  ~MetricsEnabledGuard() { obs::SetMetricsEnabled(true); }
+};
+
+// --- Histogram bucket algebra ------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  using S = obs::HistogramSnapshot;
+  // Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(S::BucketIndex(0), 0u);
+  EXPECT_EQ(S::BucketIndex(1), 1u);
+  EXPECT_EQ(S::BucketIndex(2), 2u);
+  EXPECT_EQ(S::BucketIndex(3), 2u);
+  EXPECT_EQ(S::BucketIndex(4), 3u);
+  EXPECT_EQ(S::BucketIndex(7), 3u);
+  EXPECT_EQ(S::BucketIndex(8), 4u);
+  EXPECT_EQ(S::BucketIndex(1023), 10u);
+  EXPECT_EQ(S::BucketIndex(1024), 11u);
+  EXPECT_EQ(S::BucketIndex(UINT64_MAX), 64u);
+  // Lower/upper bounds are the exact bucket edges: both map back to
+  // their own bucket, and they tile the value axis with no gaps.
+  for (size_t i = 0; i < S::kBuckets; ++i) {
+    EXPECT_EQ(S::BucketIndex(S::BucketLowerBound(i)), i) << "bucket " << i;
+    EXPECT_EQ(S::BucketIndex(S::BucketUpperBound(i)), i) << "bucket " << i;
+    if (i + 1 < S::kBuckets) {
+      EXPECT_EQ(S::BucketUpperBound(i) + 1, S::BucketLowerBound(i + 1))
+          << "gap after bucket " << i;
+    }
+  }
+  EXPECT_EQ(S::BucketUpperBound(S::kBuckets - 1), UINT64_MAX);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  MetricsEnabledGuard guard;
+  obs::Histogram ha, hb, hc;
+  for (uint64_t v : {0u, 1u, 5u, 5u, 100u}) ha.Record(v);
+  for (uint64_t v : {2u, 1024u, 1024u}) hb.Record(v);
+  for (uint64_t v : {7u}) hc.Record(v);
+  obs::HistogramSnapshot a = ha.Snapshot(), b = hb.Snapshot(),
+                         c = hc.Snapshot();
+
+  obs::HistogramSnapshot ab_c = a;  // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  obs::HistogramSnapshot a_bc = b;  // (b + c) + a
+  a_bc.Merge(c);
+  a_bc.Merge(a);
+  EXPECT_EQ(ab_c.counts, a_bc.counts);
+  EXPECT_EQ(ab_c.total, a_bc.total);
+  EXPECT_EQ(ab_c.sum, a_bc.sum);
+  EXPECT_EQ(ab_c.total, 9u);
+  EXPECT_EQ(ab_c.sum, 0u + 1 + 5 + 5 + 100 + 2 + 1024 + 1024 + 7);
+}
+
+TEST(HistogramTest, PercentileReturnsBucketUpperBound) {
+  MetricsEnabledGuard guard;
+  obs::Histogram h;
+  EXPECT_EQ(h.Snapshot().Percentile(0.5), 0u);  // empty
+  for (int i = 0; i < 98; ++i) h.Record(3);     // bucket 2, upper bound 3
+  h.Record(1000);                               // bucket 10, upper bound 1023
+  h.Record(1000);
+  obs::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Percentile(0.0), 3u);  // rank clamps to the first sample
+  EXPECT_EQ(s.Percentile(0.5), 3u);
+  EXPECT_EQ(s.Percentile(0.98), 3u);
+  EXPECT_EQ(s.Percentile(0.99), 1023u);
+  EXPECT_EQ(s.Percentile(1.0), 1023u);
+}
+
+// --- Counter sharding --------------------------------------------------------
+
+TEST(CounterTest, ShardedIncrementsSumExactly) {
+  MetricsEnabledGuard guard;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    obs::Counter counter;
+    constexpr uint64_t kPerThread = 20000;
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter] {
+        for (uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(counter.Value(), threads * kPerThread) << threads << " threads";
+    counter.Reset();
+    EXPECT_EQ(counter.Value(), 0u);
+  }
+}
+
+TEST(CounterTest, DisabledMetricsRecordNothing) {
+  MetricsEnabledGuard guard;
+  obs::Counter counter;
+  obs::Histogram histogram;
+  obs::SetMetricsEnabled(false);
+  counter.Inc(42);
+  histogram.Record(42);
+  obs::SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Snapshot().total, 0u);
+  counter.Inc(1);
+  EXPECT_EQ(counter.Value(), 1u);  // re-enabled: records again
+}
+
+// --- Snapshots under concurrent update ---------------------------------------
+
+TEST(SnapshotTest, ConcurrentUpdatesNeverTearBelowObserved) {
+  MetricsEnabledGuard guard;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    obs::Counter counter;
+    obs::Histogram histogram;
+    std::atomic<bool> stop{false};
+    constexpr uint64_t kPerThread = 30000;
+    std::vector<std::thread> writers;
+    for (size_t t = 0; t < threads; ++t) {
+      writers.emplace_back([&] {
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          counter.Inc();
+          histogram.Record(i & 1023);
+        }
+      });
+    }
+    // Reader: values are monotone between quiescent points — a snapshot
+    // racing the writers never reads below a previously observed value.
+    uint64_t last_count = 0;
+    uint64_t last_total = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t count = counter.Value();
+      obs::HistogramSnapshot s = histogram.Snapshot();
+      EXPECT_GE(count, last_count);
+      EXPECT_GE(s.total, last_total);
+      last_count = count;
+      last_total = s.total;
+      if (count >= threads * kPerThread) stop.store(true);
+    }
+    for (std::thread& w : writers) w.join();
+    EXPECT_EQ(counter.Value(), threads * kPerThread) << threads << " threads";
+    obs::HistogramSnapshot final_snapshot = histogram.Snapshot();
+    EXPECT_EQ(final_snapshot.total, threads * kPerThread);
+    uint64_t bucket_sum = 0;
+    for (uint64_t c : final_snapshot.counts) bucket_sum += c;
+    EXPECT_EQ(bucket_sum, final_snapshot.total);
+  }
+}
+
+// --- Registry and renderers --------------------------------------------------
+
+TEST(RegistryTest, StablePointersAndReset) {
+  MetricsEnabledGuard guard;
+  obs::Registry& registry = obs::Registry::Get();
+  obs::Counter* c1 = registry.counter("obs_test.reset_counter");
+  obs::Counter* c2 = registry.counter("obs_test.reset_counter");
+  EXPECT_EQ(c1, c2);  // one instrument per name, pointer-stable
+  c1->Inc(7);
+  registry.gauge("obs_test.reset_gauge")->Set(-3);
+  registry.histogram("obs_test.reset_histogram")->Record(9);
+  obs::MetricsSnapshot before = registry.Snapshot();
+  ASSERT_NE(before.counter("obs_test.reset_counter"), nullptr);
+  EXPECT_EQ(*before.counter("obs_test.reset_counter"), 7u);
+  ASSERT_NE(before.gauge("obs_test.reset_gauge"), nullptr);
+  EXPECT_EQ(*before.gauge("obs_test.reset_gauge"), -3);
+  ASSERT_NE(before.histogram("obs_test.reset_histogram"), nullptr);
+  EXPECT_EQ(before.histogram("obs_test.reset_histogram")->total, 1u);
+
+  registry.Reset();
+  EXPECT_EQ(c1->Value(), 0u);  // same pointer, zeroed
+  obs::MetricsSnapshot after = registry.Snapshot();
+  ASSERT_NE(after.counter("obs_test.reset_counter"), nullptr);
+  EXPECT_EQ(*after.counter("obs_test.reset_counter"), 0u);
+}
+
+TEST(RegistryTest, TextAndPrometheusRenderers) {
+  MetricsEnabledGuard guard;
+  obs::Registry& registry = obs::Registry::Get();
+  registry.counter("obs_test.render_count")->Inc(5);
+  registry.histogram("obs_test.render_lat")->Record(100);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("obs_test.render_count = 5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test.render_lat"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+
+  std::string prom = snapshot.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE accltl_obs_test_render_count counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("accltl_obs_test_render_count 5"), std::string::npos);
+  EXPECT_NE(prom.find("accltl_obs_test_render_lat_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("accltl_obs_test_render_lat_count 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("accltl_obs_test_render_lat_sum 100"),
+            std::string::npos);
+}
+
+// --- Trace-event JSON --------------------------------------------------------
+
+TEST(TraceTest, JsonShapeAndLaneNaming) {
+  obs::StartTracing();
+  obs::SetThreadLane("obs-test-lane");
+  {
+    obs::Span span("obs-test-span");
+  }
+  obs::TraceInstant("obs-test-instant");
+  std::thread worker([] {
+    obs::SetThreadLane("obs-test-worker", 3);
+    obs::Span span("obs-test-worker-span", /*arg=*/42);
+  });
+  worker.join();
+  obs::StopTracing();
+  std::string json = obs::TraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_EQ(json.back(), '}');
+  // First-wins naming: StartTracing named this thread "main" before
+  // SetThreadLane ran, so the later rename is a no-op.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs-test-worker-3\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs-test-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);   // instant
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);       // complete span
+  EXPECT_NE(json.find("{\"v\":42}"), std::string::npos);     // span arg
+}
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  // Not started (or stopped): spans and instants are no-ops.
+  obs::StopTracing();
+  EXPECT_FALSE(obs::TracingEnabled());
+  {
+    obs::Span span("obs-test-should-not-appear");
+  }
+  obs::TraceInstant("obs-test-should-not-appear");
+  EXPECT_EQ(obs::TraceJson().find("obs-test-should-not-appear"),
+            std::string::npos);
+}
+
+// --- No-perturbation contract ------------------------------------------------
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  ObsDeterminismTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& text) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : acc::AccFormula::False();
+  }
+
+  /// Decision fingerprint: everything the engines promise to keep
+  /// schedule-independent.
+  std::string Fingerprint(const analysis::Decision& d) {
+    std::string out = analysis::AnswerName(d.satisfiable);
+    out += "|" + d.engine;
+    out += "|" + std::to_string(d.nodes_explored);
+    out += "|" + std::string(d.exhausted_budget ? "exhausted" : "complete");
+    if (d.has_witness) out += "|" + d.witness.ToString(pd_.schema);
+    return out;
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(ObsDeterminismTest, MetricsAndTracingNeverChangeDecisions) {
+  MetricsEnabledGuard guard;
+  acc::AccPtr f = Parse(
+      "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)] AND "
+      "F [IsBind_AcM2()]");
+  analysis::DecideOptions options;
+  // Baseline: metrics on (the default), tracing off, one worker.
+  options.exec.num_threads = 1;
+  Result<analysis::Decision> baseline =
+      analysis::DecideSatisfiability(f, pd_.schema, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  std::string expected = Fingerprint(baseline.value());
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    options.exec.num_threads = threads;
+    for (bool metrics_on : {true, false}) {
+      obs::SetMetricsEnabled(metrics_on);
+      if (metrics_on) obs::StartTracing();  // max instrumentation load
+      Result<analysis::Decision> d =
+          analysis::DecideSatisfiability(f, pd_.schema, options);
+      if (metrics_on) obs::StopTracing();
+      ASSERT_TRUE(d.ok()) << d.status().ToString();
+      EXPECT_EQ(Fingerprint(d.value()), expected)
+          << threads << " workers, metrics " << (metrics_on ? "on" : "off");
+    }
+  }
+}
+
+TEST_F(ObsDeterminismTest, DeterministicCountersAgreeAcrossThreadCounts) {
+  MetricsEnabledGuard guard;
+  // Unsatisfiable: the sweep runs to exhaustion, so the expansion count
+  // is a deterministic function of the search space, not the schedule.
+  acc::AccPtr f = Parse(
+      "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+      "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])");
+  analysis::ZeroSolverOptions opts;
+  opts.max_path_length = 6;
+  obs::Counter* expansions =
+      obs::Registry::Get().counter("analysis.zero.expansions");
+  uint64_t expected_delta = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    engine::ExecOptions exec;
+    exec.num_threads = threads;
+    for (int round = 0; round < 2; ++round) {
+      uint64_t before = expansions->Value();
+      Result<analysis::ZeroSolverResult> r =
+          analysis::CheckZeroArySatisfiable(f, pd_.schema, opts, exec);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_FALSE(r.value().satisfiable);
+      uint64_t delta = expansions->Value() - before;
+      EXPECT_GT(delta, 0u);
+      if (expected_delta == 0) {
+        expected_delta = delta;
+      } else {
+        EXPECT_EQ(delta, expected_delta)
+            << threads << " workers, round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace accltl

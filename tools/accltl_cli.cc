@@ -60,6 +60,8 @@
 #include "src/analysis/decide.h"
 #include "src/engine/cancel.h"
 #include "src/logic/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/planner/dynamic.h"
 #include "src/planner/static_plan.h"
 #include "src/schema/lts.h"
@@ -77,18 +79,20 @@ int Usage() {
       "  accltl_cli check   <schema-file> <formula> [--grounded] [--shrink]\n"
       "                     [--max-path-length N] [--max-nodes N]\n"
       "                     [--threads N] [--visited=exact|compact]\n"
+      "                     [--trace-out FILE]\n"
       "  accltl_cli plan    <schema-file> <query> [head-var...]\n"
       "  accltl_cli answer  <schema-file> <instance-file> <query>\n"
       "                     [--seed value]... [--no-prune] [head-var...]\n"
       "  accltl_cli explore <schema-file> <instance-file> [--depth D]\n"
       "                     [--max-nodes N] [--grounded] [--seed value]...\n"
       "                     [--threads N] [--visited=exact|compact]\n"
-      "                     [--strict]\n"
+      "                     [--strict] [--trace-out FILE]\n"
       "  accltl_cli batch   <schema-file> <requests-file|-> [--grounded]\n"
       "                     [--shrink] [--threads N] [--deadline-ms N]\n"
       "                     [--cache] [--visited=exact|compact]\n"
+      "                     [--trace-out FILE] [--stats]\n"
       "  accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...\n"
-      "                     [--shrink] [--out DIR]\n");
+      "                     [--shrink] [--out DIR] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -153,6 +157,43 @@ int ConsumeVisitedFlag(const char* sub, int argc, char** argv, int* i,
   return 2;
 }
 
+/// Parses the shared `--trace-out FILE` / `--trace-out=FILE` flag.
+/// Same protocol as ConsumeVisitedFlag: 1 = consumed, 0 = not this
+/// flag, 2 = missing value (error already printed).
+int ConsumeTraceFlag(const char* sub, int argc, char** argv, int* i,
+                     std::string* out) {
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, "--trace-out", 11) != 0) return 0;
+  if (arg[11] == '=') {
+    *out = arg + 12;
+    return 1;
+  }
+  if (arg[11] == '\0') {
+    if (*i + 1 >= argc) {
+      MissingValue(sub, arg);
+      return 2;
+    }
+    *out = argv[++*i];
+    return 1;
+  }
+  return 0;  // some other --trace-out-xyz flag; let the caller reject it
+}
+
+/// Stops tracing and writes the recorded events as Chrome trace-event
+/// JSON (loadable in Perfetto / chrome://tracing). Never changes the
+/// subcommand's exit status: the verdict already printed, so a failed
+/// trace write is a stderr warning, not a failure.
+void FinishTrace(const char* sub, const std::string& path) {
+  if (path.empty()) return;
+  obs::StopTracing();
+  if (obs::WriteTrace(path)) {
+    std::fprintf(stderr, "%s: trace written to %s (open in Perfetto)\n", sub,
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "%s: cannot write trace to %s\n", sub, path.c_str());
+  }
+}
+
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
@@ -196,11 +237,15 @@ int RunCheck(int argc, char** argv) {
     return 1;
   }
   analysis::DecideOptions options;
+  std::string trace_out;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) {
       options.grounded = true;
     } else if (std::strcmp(argv[i], "--shrink") == 0) {
       options.shrink_witness = true;
+    } else if (int c = ConsumeTraceFlag("check", argc, argv, &i,
+                                        &trace_out)) {
+      if (c == 2) return 2;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) return MissingValue("check", argv[i]);
       Result<size_t> threads = ParsePositiveCount("--threads", argv[++i]);
@@ -232,8 +277,10 @@ int RunCheck(int argc, char** argv) {
       return UnknownFlag("check", argv[i]);
     }
   }
+  if (!trace_out.empty()) obs::StartTracing();
   Result<analysis::Decision> d =
       analysis::DecideSatisfiability(f.value(), s.value(), options);
+  FinishTrace("check", trace_out);
   if (!d.ok()) {
     std::fprintf(stderr, "decide: %s\n", d.status().ToString().c_str());
     return 1;
@@ -375,6 +422,7 @@ int RunExplore(int argc, char** argv) {
   size_t depth = 3;
   size_t max_nodes = 100000;
   bool strict = false;
+  std::string trace_out;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) {
       options.grounded = true;
@@ -382,6 +430,9 @@ int RunExplore(int argc, char** argv) {
       strict = true;
     } else if (int c = ConsumeVisitedFlag("explore", argc, argv, &i,
                                           &exec.visited_mode)) {
+      if (c == 2) return 2;
+    } else if (int c = ConsumeTraceFlag("explore", argc, argv, &i,
+                                        &trace_out)) {
       if (c == 2) return 2;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       if (i + 1 >= argc) return MissingValue("explore", argv[i]);
@@ -410,9 +461,11 @@ int RunExplore(int argc, char** argv) {
     }
   }
   schema::LtsMemoryStats memory;
+  if (!trace_out.empty()) obs::StartTracing();
   std::vector<schema::LtsLevelStats> stats = schema::ExploreBreadthFirst(
       s.value(), schema::Instance(s.value()), options, depth, max_nodes,
       exec, &memory);
+  FinishTrace("explore", trace_out);
   // Every LtsLevelStats field prints — truncated AND cancelled. The
   // cancelled column used to be dropped entirely, so a deadline-cut
   // prefix read exactly like a completed exploration.
@@ -462,12 +515,19 @@ int RunBatch(int argc, char** argv) {
   sopts.cache_capacity = 0;  // off unless --cache
   std::chrono::milliseconds deadline{0};
   engine::VisitedMode visited_mode = engine::VisitedMode::kExact;
+  std::string trace_out;
+  bool show_stats = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grounded") == 0) {
       prepare.grounded = true;
     } else if (int c = ConsumeVisitedFlag("batch", argc, argv, &i,
                                           &visited_mode)) {
       if (c == 2) return 2;
+    } else if (int c = ConsumeTraceFlag("batch", argc, argv, &i,
+                                        &trace_out)) {
+      if (c == 2) return 2;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
     } else if (std::strcmp(argv[i], "--shrink") == 0) {
       prepare.shrink_witness = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -523,6 +583,10 @@ int RunBatch(int argc, char** argv) {
     }
   }
 
+  // Tracing must be live before the service spawns its dispatchers:
+  // SetThreadLane is a no-op while tracing is off, so a later start
+  // would leave the dispatcher lanes unnamed in the trace.
+  if (!trace_out.empty()) obs::StartTracing();
   service::AnalysisService svc(sopts);
   service::CheckRequest request;
   request.deadline = deadline;
@@ -587,6 +651,26 @@ int RunBatch(int argc, char** argv) {
                  static_cast<unsigned long long>(svc.cache_hits()),
                  static_cast<unsigned long long>(svc.cache_misses()));
   }
+  // End-of-run latency summary from the service's request-latency
+  // histogram (log2 buckets: percentiles are bucket upper bounds,
+  // within 2x). Per-request latency already printed on each line.
+  if (obs::MetricsEnabled()) {
+    obs::MetricsSnapshot snapshot = service::MetricsSnapshot();
+    const obs::HistogramSnapshot* latency =
+        snapshot.histogram("service.latency_us");
+    if (latency != nullptr && latency->total > 0) {
+      std::fprintf(
+          stderr, "latency: %llu requests, p50<=%lluus p90<=%lluus p99<=%lluus\n",
+          static_cast<unsigned long long>(latency->total),
+          static_cast<unsigned long long>(latency->Percentile(0.50)),
+          static_cast<unsigned long long>(latency->Percentile(0.90)),
+          static_cast<unsigned long long>(latency->Percentile(0.99)));
+    }
+    if (show_stats) std::fputs(snapshot.ToText().c_str(), stderr);
+  } else if (show_stats) {
+    std::fprintf(stderr, "stats: metrics disabled (ACCLTL_METRICS=0)\n");
+  }
+  FinishTrace("batch", trace_out);
   if (failures > 0) {
     std::fprintf(stderr, "batch: %zu of %zu requests failed\n", failures,
                  lines.size());
@@ -598,9 +682,13 @@ int RunBatch(int argc, char** argv) {
 int RunFuzz(int argc, char** argv) {
   testing::FuzzOptions options;
   options.num_seeds = 50;
+  std::string trace_out;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shrink") == 0) {
       options.shrink = true;
+    } else if (int c = ConsumeTraceFlag("fuzz", argc, argv, &i,
+                                        &trace_out)) {
+      if (c == 2) return 2;
     } else if (std::strcmp(argv[i], "--engine-pair") == 0) {
       if (i + 1 >= argc) return MissingValue("fuzz", argv[i]);
       std::string pair = argv[++i];
@@ -643,7 +731,9 @@ int RunFuzz(int argc, char** argv) {
       return UnknownFlag("fuzz", argv[i]);
     }
   }
+  if (!trace_out.empty()) obs::StartTracing();
   testing::FuzzSummary summary = testing::RunFuzz(options, stderr);
+  FinishTrace("fuzz", trace_out);
   std::printf("fuzz: %zu cases, %zu failures, %zu skipped\n", summary.cases,
               summary.failures, summary.skipped);
   if (summary.failures > 0) {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate the wall-clock overhead of metrics-on vs metrics-off runs.
+
+The observability contract (DESIGN.md §8) has a perf half: with
+``ACCLTL_METRICS=0`` the instrumentation must cost ~nothing (one
+relaxed load per site), and with metrics on the end-to-end slowdown
+must stay within a single-digit-percent budget. This script compares
+two google-benchmark JSON files from the *same binary* run with
+metrics off (baseline) and on (current) and fails when any overlapping
+benchmark slowed down by more than the budget.
+
+Wall-clock on shared CI boxes is noisy, so the comparison prefers the
+``median`` aggregate row (run the benchmarks with
+``--benchmark_repetitions=N``); it falls back to the plain iteration
+row when no aggregates are present. The gate is one-sided: metrics-on
+being *faster* never fails.
+
+Usage:
+  overhead_gate.py METRICS_OFF.json METRICS_ON.json \
+      [--budget 0.09] [--filter BM_Sweep]
+
+Exit status: 0 when every benchmark is within budget, 1 on an
+overhead regression, 2 on malformed input or zero overlap.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark base name: real_time}, preferring medians."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"overhead_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    plain = {}
+    median = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        time = b.get("real_time")
+        if time is None:
+            continue
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                median[b.get("run_name", name)] = float(time)
+        else:
+            # Repetition rows repeat the run_name; keeping the last is
+            # fine — medians win whenever repetitions were requested.
+            plain[b.get("run_name", name)] = float(time)
+    return {**plain, **median}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_off", help="baseline JSON (ACCLTL_METRICS=0)")
+    parser.add_argument("metrics_on", help="current JSON (ACCLTL_METRICS=1)")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.09,
+        help="maximum tolerated slowdown (0.09 = 9%%)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="regex; only benchmarks matching it are gated",
+    )
+    args = parser.parse_args()
+
+    off = load_times(args.metrics_off)
+    on = load_times(args.metrics_on)
+    pattern = re.compile(args.filter) if args.filter else None
+
+    compared = 0
+    failures = []
+    for name, off_time in sorted(off.items()):
+        if pattern and not pattern.search(name):
+            continue
+        on_time = on.get(name)
+        if on_time is None or off_time <= 0.0:
+            continue
+        compared += 1
+        slowdown = on_time / off_time - 1.0
+        marker = "FAIL" if slowdown > args.budget else "ok"
+        print(
+            f"  {marker:4s} {name}: off={off_time:g} on={on_time:g} "
+            f"({slowdown * 100.0:+.1f}%, budget "
+            f"+{args.budget * 100.0:.0f}%)"
+        )
+        if slowdown > args.budget:
+            failures.append(name)
+
+    if compared == 0:
+        print(
+            "overhead_gate: no overlapping benchmarks between "
+            f"{args.metrics_off} and {args.metrics_on}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if failures:
+        print(
+            f"overhead_gate: {len(failures)} of {compared} benchmarks "
+            f"over the metrics-on budget"
+        )
+        sys.exit(1)
+    print(f"overhead_gate: {compared} benchmarks within budget")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
