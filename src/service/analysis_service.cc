@@ -1,11 +1,11 @@
 #include "src/service/analysis_service.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/accltl/parser.h"
 #include "src/obs/trace.h"
-#include "src/schema/text_format.h"
 
 namespace accltl {
 namespace service {
@@ -51,18 +51,6 @@ struct ServiceMetrics {
 
 obs::MetricsSnapshot MetricsSnapshot() {
   return obs::Registry::Get().Snapshot();
-}
-
-const char* VerdictName(Verdict v) {
-  switch (v) {
-    case Verdict::kCompleted:
-      return "completed";
-    case Verdict::kDeadlineExceeded:
-      return "deadline-exceeded";
-    case Verdict::kCancelled:
-      return "cancelled";
-  }
-  return "?";
 }
 
 // --- PendingResult ----------------------------------------------------------
@@ -135,40 +123,6 @@ void PendingResult::Cancel() const {
 
 namespace {
 
-/// Appends one options field to the canonical key. Field order is
-/// fixed; every semantic knob must appear here (a missed knob would
-/// alias two requests with different answers onto one cache line).
-void KeyField(std::string* key, const char* name, uint64_t value) {
-  key->append(name);
-  key->push_back('=');
-  key->append(std::to_string(value));
-  key->push_back(';');
-}
-
-std::string CanonicalOptionsKey(const PrepareOptions& o) {
-  std::string key;
-  KeyField(&key, "grounded", o.grounded ? 1 : 0);
-  KeyField(&key, "datalog", o.use_datalog_pipeline ? 1 : 0);
-  KeyField(&key, "shrink", o.shrink_witness ? 1 : 0);
-  KeyField(&key, "z.grounded", o.zero.grounded ? 1 : 0);
-  KeyField(&key, "z.idem", o.zero.require_idempotent ? 1 : 0);
-  KeyField(&key, "z.max_nodes", o.zero.max_nodes);
-  KeyField(&key, "z.max_facts", o.zero.max_facts_per_step);
-  KeyField(&key, "z.max_len", o.zero.max_path_length);
-  KeyField(&key, "z.max_subsets", o.zero.max_subsets_per_access);
-  KeyField(&key, "b.max_len", o.bounded.max_path_length);
-  KeyField(&key, "b.grounded", o.bounded.grounded ? 1 : 0);
-  KeyField(&key, "b.idem", o.bounded.require_idempotent ? 1 : 0);
-  KeyField(&key, "b.exact", o.bounded.require_exact ? 1 : 0);
-  KeyField(&key, "b.max_nodes", o.bounded.max_nodes);
-  KeyField(&key, "b.max_real", o.bounded.max_realizations_per_step);
-  KeyField(&key, "b.dedup", o.bounded.use_visited_dedup ? 1 : 0);
-  KeyField(&key, "d.max_variants", o.decompose.max_variants);
-  KeyField(&key, "d.max_phi", o.decompose.max_phi);
-  KeyField(&key, "d.max_stages", o.decompose.max_stages);
-  return key;
-}
-
 analysis::DecideOptions ToDecideOptions(const PrepareOptions& o) {
   analysis::DecideOptions d;
   d.grounded = o.grounded;
@@ -180,10 +134,85 @@ analysis::DecideOptions ToDecideOptions(const PrepareOptions& o) {
   return d;
 }
 
+/// Tier 0: byte-identical replay from the LRU result cache. Serves
+/// only exact canonical-key matches; admits every transferable
+/// response resolved below it — including semantic transfers, so a
+/// repeat of a semantically served request becomes a plain replay.
+class SyntacticCacheResolver : public AnswerResolver {
+ public:
+  explicit SyntacticCacheResolver(LruCache<CheckResponse>* cache)
+      : cache_(cache) {}
+
+  const char* name() const override { return "syntactic-cache"; }
+
+  bool Resolve(const PreparedQuery& query, const ResolveContext& ctx,
+               CheckResponse* out) override {
+    if (!ctx.request->use_cache) return false;
+    const ServiceMetrics& metrics = ServiceMetrics::Get();
+    if (cache_->Lookup(query.cache_key(), out)) {
+      out->cache_hit = true;
+      out->source = AnswerSource::kSyntacticCache;
+      out->provenance = "syntactic-cache";
+      metrics.cache_hits->Inc();
+      return true;
+    }
+    metrics.cache_misses->Inc();
+    return false;
+  }
+
+  void Admit(const PreparedQuery& query, const ResolveContext& ctx,
+             const CheckResponse& response) override {
+    // Only completed, budget-clean responses are cacheable: a
+    // deadline/cancel cut is a property of one request's execution, and
+    // a budget-exhausted answer is the one case the engines'
+    // determinism guarantee scopes out (a binding max_nodes is spent on
+    // different node orders per traversal discipline, so another worker
+    // count might legitimately answer differently).
+    if (!ctx.request->use_cache || !TransferableResponse(response)) return;
+    CheckResponse cached = response;
+    cached.cache_hit = false;
+    size_t evicted = cache_->Insert(query.cache_key(), std::move(cached));
+    if (evicted > 0) ServiceMetrics::Get().cache_evictions->Inc(evicted);
+  }
+
+ private:
+  LruCache<CheckResponse>* cache_;
+};
+
 }  // namespace
+
+/// The terminal tier: a full engine search. At namespace scope (not
+/// anonymous) so the friend declaration in AnalysisService matches;
+/// the body defers to AnalysisService::RunEngine, which reaches the
+/// prepared state through the existing PreparedQuery friendship.
+class EngineResolver : public AnswerResolver {
+ public:
+  explicit EngineResolver(AnalysisService* service) : service_(service) {}
+
+  const char* name() const override { return "engine"; }
+
+  bool Resolve(const PreparedQuery& query, const ResolveContext& ctx,
+               CheckResponse* out) override {
+    *out = service_->RunEngine(query, *ctx.request, ctx.token);
+    return true;
+  }
+
+ private:
+  AnalysisService* service_;
+};
 
 AnalysisService::AnalysisService(ServiceOptions options)
     : options_(options), cache_(options.cache_capacity) {
+  if (options_.semantic_cache_capacity > 0) {
+    semantic_cache_ =
+        std::make_unique<SemanticCache>(options_.semantic_cache_capacity);
+  }
+  pipeline_.AddTier(std::make_unique<SyntacticCacheResolver>(&cache_));
+  if (semantic_cache_ != nullptr) {
+    pipeline_.AddTier(
+        std::make_unique<SemanticCacheResolver>(semantic_cache_.get()));
+  }
+  pipeline_.AddTier(std::make_unique<EngineResolver>(this));
   size_t dispatchers = std::max<size_t>(1, options_.num_dispatchers);
   dispatchers_.reserve(dispatchers);
   for (size_t i = 0; i < dispatchers; ++i) {
@@ -221,11 +250,11 @@ Result<std::shared_ptr<const PreparedQuery>> AnalysisService::Prepare(
   prepared->prepared_ = std::move(pf.value());
   prepared->options_ = options;
   prepared->decide_options_ = ToDecideOptions(options);
-  prepared->cache_key_ = schema::SerializeSchema(*prepared->schema_);
-  prepared->cache_key_.push_back('\n');
-  prepared->cache_key_ += formula->ToString(*prepared->schema_);
-  prepared->cache_key_.push_back('\n');
-  prepared->cache_key_ += CanonicalOptionsKey(options);
+  prepared->canonical_key_ =
+      MakeCanonicalRequestKey(*prepared->schema_, formula, options);
+  prepared->cache_key_ = prepared->canonical_key_.Joined();
+  prepared->semantic_key_ =
+      MakeSemanticKey(*prepared->schema_, formula, options);
   return std::shared_ptr<const PreparedQuery>(std::move(prepared));
 }
 
@@ -340,14 +369,20 @@ CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
     }
   };
 
+  ResolveContext ctx;
+  ctx.request = &request;
+  ctx.token = token;
+  CheckResponse resp = pipeline_.Answer(prepared, ctx);
+  stamp(&resp);
+  return resp;
+}
+
+CheckResponse AnalysisService::RunEngine(const PreparedQuery& prepared,
+                                         const CheckRequest& request,
+                                         engine::CancelToken* token) {
   CheckResponse resp;
-  if (request.use_cache && cache_.Lookup(prepared.cache_key(), &resp)) {
-    resp.cache_hit = true;
-    metrics.cache_hits->Inc();
-    stamp(&resp);
-    return resp;
-  }
-  if (request.use_cache) metrics.cache_misses->Inc();
+  resp.source = AnswerSource::kEngine;
+  resp.provenance = "engine";
 
   if (request.deadline.count() > 0 && token != nullptr) {
     token->ArmDeadlineAfter(request.deadline);
@@ -364,7 +399,6 @@ CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
       analysis::DecidePrepared(prepared.prepared_, prepared.schema(), opts);
   if (!d.ok()) {
     resp.status = d.status();
-    stamp(&resp);
     return resp;
   }
   resp.decision = d.value();
@@ -372,20 +406,6 @@ CheckResponse AnalysisService::Execute(const PreparedQuery& prepared,
     resp.verdict = token->cause() == engine::CancelToken::Cause::kDeadline
                        ? Verdict::kDeadlineExceeded
                        : Verdict::kCancelled;
-  }
-  stamp(&resp);
-  // Only completed, budget-clean responses are cacheable: a
-  // deadline/cancel cut is a property of this request's execution, and
-  // a budget-exhausted answer is the one case the engines' determinism
-  // guarantee scopes out (a binding max_nodes is spent on different
-  // node orders per traversal discipline, so another worker count
-  // might legitimately answer differently).
-  if (request.use_cache && resp.verdict == Verdict::kCompleted &&
-      !resp.decision.exhausted_budget) {
-    CheckResponse cached = resp;
-    cached.cache_hit = false;
-    size_t evicted = cache_.Insert(prepared.cache_key(), std::move(cached));
-    if (evicted > 0) metrics.cache_evictions->Inc(evicted);
   }
   return resp;
 }

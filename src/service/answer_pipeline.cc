@@ -1,0 +1,67 @@
+#include "src/service/answer_pipeline.h"
+
+#include <utility>
+
+namespace accltl {
+namespace service {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kCompleted:
+      return "completed";
+    case Verdict::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case Verdict::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+const char* AnswerSourceName(AnswerSource s) {
+  switch (s) {
+    case AnswerSource::kEngine:
+      return "engine";
+    case AnswerSource::kSyntacticCache:
+      return "syntactic-cache";
+    case AnswerSource::kSemanticCache:
+      return "semantic-cache";
+  }
+  return "?";
+}
+
+bool TransferableResponse(const CheckResponse& response) {
+  return response.status.ok() && response.verdict == Verdict::kCompleted &&
+         !response.decision.exhausted_budget && !response.decision.cancelled;
+}
+
+void AnswerResolver::Admit(const PreparedQuery& query,
+                           const ResolveContext& ctx,
+                           const CheckResponse& response) {
+  (void)query;
+  (void)ctx;
+  (void)response;
+}
+
+void AnswerPipeline::AddTier(std::unique_ptr<AnswerResolver> tier) {
+  tiers_.push_back(std::move(tier));
+}
+
+CheckResponse AnswerPipeline::Answer(const PreparedQuery& query,
+                                     const ResolveContext& ctx) {
+  CheckResponse resp;
+  for (size_t i = 0; i < tiers_.size(); ++i) {
+    if (!tiers_[i]->Resolve(query, ctx, &resp)) continue;
+    // Populate the tiers the request fell through, cheapest last so
+    // the syntactic tier sees exactly what the resolving tier
+    // answered.
+    for (size_t j = 0; j < i; ++j) tiers_[j]->Admit(query, ctx, resp);
+    return resp;
+  }
+  resp.status = Status::Internal(
+      "answer pipeline: no tier resolved the request (the engine tier "
+      "must always resolve)");
+  return resp;
+}
+
+}  // namespace service
+}  // namespace accltl

@@ -1,0 +1,157 @@
+#ifndef ACCLTL_SERVICE_ANSWER_PIPELINE_H_
+#define ACCLTL_SERVICE_ANSWER_PIPELINE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/decide.h"
+#include "src/common/status.h"
+#include "src/engine/cancel.h"
+
+namespace accltl {
+namespace service {
+
+class PreparedQuery;
+
+/// Why a submission finished.
+enum class Verdict {
+  /// The engines ran to their natural end (including budget cuts —
+  /// those are reported through Decision::exhausted_budget).
+  kCompleted,
+  /// The request's deadline fired mid-search. The Decision is kUnknown
+  /// unless a sound witness was already in hand — never a wrong
+  /// definitive answer.
+  kDeadlineExceeded,
+  /// PendingResult::Cancel (or service shutdown) stopped the request.
+  kCancelled,
+};
+
+const char* VerdictName(Verdict v);
+
+/// Which tier of the answer pipeline produced a response's verdict.
+enum class AnswerSource {
+  /// A full engine search ran for this request.
+  kEngine = 0,
+  /// Byte-identical replay from the syntactic result cache.
+  kSyntacticCache,
+  /// Verdict transferred from a semantically related cached entry
+  /// (renaming / equivalence / containment; see semantic_cache.h).
+  kSemanticCache,
+};
+
+const char* AnswerSourceName(AnswerSource s);
+
+/// Per-submission knobs. Semantic options live in the PreparedQuery;
+/// a request only chooses execution context.
+struct CheckRequest {
+  /// Wall-clock budget; <= 0 means none. Enforced cooperatively at
+  /// node-expansion granularity by the three search engines. The two
+  /// non-search stages — the Datalog certification pipeline and
+  /// witness shrinking — are not cancellable: the token is polled at
+  /// their boundaries (a fired token skips the pipeline), but once
+  /// started they run to completion, so with
+  /// `use_datalog_pipeline`/`shrink_witness` a response can outlast
+  /// the deadline by one pipeline run.
+  std::chrono::milliseconds deadline{0};
+  /// Serve/populate the service's caches (both tiers) for this
+  /// request.
+  bool use_cache = true;
+  /// Search workers; 0 uses ServiceOptions::num_threads. Never part of
+  /// the cache key: results are deterministic in the worker count.
+  size_t num_threads = 0;
+  /// Visited-set storage for this request's searches (exact records
+  /// vs. tree-compressed indices, engine/cancel.h). Never part of the
+  /// cache key: the mode changes no verdict, witness, or node count —
+  /// only memory footprint. A cache hit's Decision memory statistics
+  /// therefore describe the execution that populated the cache, which
+  /// may have used the other mode.
+  engine::VisitedMode visited_mode = engine::VisitedMode::kExact;
+  /// Byte budget over the visited set (0 = unlimited; see
+  /// ExecOptions::max_visited_bytes). A binding budget reports
+  /// exhausted_budget, and such responses are never cached — the same
+  /// exclusion as a binding max_nodes.
+  size_t max_visited_bytes = 0;
+};
+
+struct CheckResponse {
+  /// Non-OK when the underlying decision procedure failed (unsupported
+  /// fragment setup errors etc.); `decision` is then default-initialized.
+  Status status;
+  analysis::Decision decision;
+  Verdict verdict = Verdict::kCompleted;
+  /// True when this response was served from the syntactic result
+  /// cache (the decision is byte-identical to the response cached at
+  /// insert). Equivalent to source == kSyntacticCache; kept for
+  /// callers of the pre-pipeline API.
+  bool cache_hit = false;
+  /// Which tier answered. Semantic-tier responses carry the donor
+  /// execution's Decision statistics (nodes, visited bytes), not a
+  /// fresh search's.
+  AnswerSource source = AnswerSource::kEngine;
+  /// Human-readable provenance of the verdict: "engine",
+  /// "syntactic-cache", or "semantic-cache rule=<renamed|equivalent|
+  /// containment>".
+  std::string provenance;
+  /// Wall-clock from submission pickup to completion (cache hits
+  /// report their lookup time).
+  std::chrono::microseconds elapsed{0};
+};
+
+/// True when a response is safe to replay for an identical request and
+/// safe to use as a semantic-transfer donor: completed (not
+/// deadline-cut, not cancelled) and budget-clean. A budget-exhausted
+/// answer is the one case the engines' determinism guarantee scopes
+/// out, and a deadline/cancel cut is a property of one execution —
+/// neither is ever cached or transferred.
+bool TransferableResponse(const CheckResponse& response);
+
+/// What a resolver gets to see besides the query: the request's
+/// execution knobs and its cooperative cancel token.
+struct ResolveContext {
+  const CheckRequest* request = nullptr;
+  engine::CancelToken* token = nullptr;
+};
+
+/// One tier of the answer pipeline. Tiers are consulted cheapest
+/// first; a tier either resolves the request (fills `*out`, returns
+/// true) or falls through. After a lower tier resolves, every tier
+/// above it is offered the response via Admit so caches populate on
+/// the way back up.
+class AnswerResolver {
+ public:
+  virtual ~AnswerResolver() = default;
+  /// Stable tier name for provenance and diagnostics.
+  virtual const char* name() const = 0;
+  /// Attempts to answer. Must fill `*out` completely when returning
+  /// true; must leave caches consistent when returning false.
+  virtual bool Resolve(const PreparedQuery& query, const ResolveContext& ctx,
+                       CheckResponse* out) = 0;
+  /// Offers a response resolved by a lower tier (cache population).
+  /// Default: ignore.
+  virtual void Admit(const PreparedQuery& query, const ResolveContext& ctx,
+                     const CheckResponse& response);
+};
+
+/// The staged request path: an ordered chain of resolvers (syntactic
+/// cache → semantic containment cache → full engine search). The last
+/// tier must always resolve; Answer returns an internal-error response
+/// if none does (a wiring bug, not a runtime condition).
+class AnswerPipeline {
+ public:
+  void AddTier(std::unique_ptr<AnswerResolver> tier);
+  size_t num_tiers() const { return tiers_.size(); }
+  const AnswerResolver& tier(size_t i) const { return *tiers_[i]; }
+
+  CheckResponse Answer(const PreparedQuery& query, const ResolveContext& ctx);
+
+ private:
+  std::vector<std::unique_ptr<AnswerResolver>> tiers_;
+};
+
+}  // namespace service
+}  // namespace accltl
+
+#endif  // ACCLTL_SERVICE_ANSWER_PIPELINE_H_

@@ -65,6 +65,24 @@ class LruCache {
     return 0;
   }
 
+  /// One-lock snapshot of all counters. The individual accessors below
+  /// each take the lock separately, so a sequence of them can observe
+  /// different points in time under concurrent traffic (e.g. hits+misses
+  /// drifting past the request count); anything reporting several
+  /// counters together — MetricsSnapshot, CLI summaries — must read
+  /// this instead.
+  struct Stats {
+    size_t size = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Stats{lru_.size(), hits_, misses_, evictions_};
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return lru_.size();

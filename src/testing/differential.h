@@ -46,6 +46,14 @@ namespace testing {
 ///   lts              OracleExploreLts vs schema::ExploreBreadthFirst
 ///                    (1 and 2 workers): identical level statistics,
 ///                    plus universe value-renaming invariance.
+///   semantic         The tiered service's containment-based cache vs a
+///                    fresh full search: a donor request seeds the
+///                    cache, then a schema-renamed twin MUST transfer
+///                    byte-identically, and variable-renamed /
+///                    variable-identified variants that hit the cache
+///                    must match the fresh verdict (with sound
+///                    witnesses) — any transfer rule applied in an
+///                    unsound direction diverges here.
 ///
 /// Every engine kYes is additionally validated with BOTH evaluators
 /// (logic::EvalSentence via acc::EvalOnPath, and the oracle's naive

@@ -1,0 +1,197 @@
+// Pins the canonical request key (src/service/canonical.h): the exact
+// options-key field order, the Joined() layout the syntactic cache
+// keys on, the name-canonicalization used by the semantic tier, and
+// the shape-fingerprint invariances (schema renaming, variable
+// renaming, conjunct permutation) the semantic index relies on.
+//
+// The options-key literal below is deliberately brittle: the syntactic
+// and semantic tiers both embed this string in their identities, so a
+// silent reorder (or a dropped field) would alias requests with
+// different answers onto one cache line. Adding a NEW field is fine —
+// extend the literal here in the same change.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/accltl/parser.h"
+#include "src/schema/text_format.h"
+#include "src/service/canonical.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+using service::CanonicalOptionsKey;
+using service::CanonicalRequestKey;
+using service::MakeCanonicalRequestKey;
+using service::MakeSemanticKey;
+using service::PrepareOptions;
+using service::SemanticKey;
+
+class CanonicalKeyTest : public ::testing::Test {
+ protected:
+  CanonicalKeyTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& text, const schema::Schema& s) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, s);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : acc::AccFormula::False();
+  }
+
+  /// The phone-directory schema with every relation/method name
+  /// prefixed; ids, arities and input positions unchanged.
+  schema::Schema RenamedSchema() const {
+    schema::Schema renamed;
+    for (schema::RelationId r = 0; r < pd_.schema.num_relations(); ++r) {
+      renamed.AddRelation("X" + pd_.schema.relation(r).name,
+                          pd_.schema.relation(r).position_types);
+    }
+    for (schema::AccessMethodId m = 0; m < pd_.schema.num_access_methods();
+         ++m) {
+      const schema::AccessMethod& am = pd_.schema.method(m);
+      renamed.AddAccessMethod("X" + am.name, am.relation, am.input_positions,
+                              am.exact, am.idempotent);
+    }
+    return renamed;
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(CanonicalKeyTest, OptionsKeyFieldOrderIsPinned) {
+  PrepareOptions o;
+  o.grounded = true;
+  o.use_datalog_pipeline = false;
+  o.shrink_witness = true;
+  o.zero.grounded = false;
+  o.zero.require_idempotent = true;
+  o.zero.max_nodes = 11;
+  o.zero.max_facts_per_step = 12;
+  o.zero.max_path_length = 13;
+  o.zero.max_subsets_per_access = 14;
+  o.bounded.max_path_length = 21;
+  o.bounded.grounded = true;
+  o.bounded.require_idempotent = false;
+  o.bounded.require_exact = true;
+  o.bounded.max_nodes = 22;
+  o.bounded.max_realizations_per_step = 23;
+  o.bounded.use_visited_dedup = false;
+  o.decompose.max_variants = 31;
+  o.decompose.max_phi = 32;
+  o.decompose.max_stages = 33;
+  EXPECT_EQ(CanonicalOptionsKey(o),
+            "grounded=1;datalog=0;shrink=1;"
+            "z.grounded=0;z.idem=1;z.max_nodes=11;z.max_facts=12;"
+            "z.max_len=13;z.max_subsets=14;"
+            "b.max_len=21;b.grounded=1;b.idem=0;b.exact=1;b.max_nodes=22;"
+            "b.max_real=23;b.dedup=0;"
+            "d.max_variants=31;d.max_phi=32;d.max_stages=33;");
+}
+
+TEST_F(CanonicalKeyTest, JoinedIsSchemaNewlineFormulaNewlineOptions) {
+  acc::AccPtr f =
+      Parse("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]", pd_.schema);
+  PrepareOptions o;
+  CanonicalRequestKey key = MakeCanonicalRequestKey(pd_.schema, f, o);
+  EXPECT_EQ(key.schema_text, schema::SerializeSchema(pd_.schema));
+  EXPECT_EQ(key.formula_text, f->ToString(pd_.schema));
+  EXPECT_EQ(key.options_text, CanonicalOptionsKey(o));
+  EXPECT_EQ(key.Joined(), key.schema_text + "\n" + key.formula_text + "\n" +
+                              key.options_text);
+}
+
+TEST_F(CanonicalKeyTest, CanonicalizeSchemaNamesIsPositionalAndIdStable) {
+  schema::Schema canon = service::CanonicalizeSchemaNames(pd_.schema);
+  ASSERT_EQ(canon.num_relations(), pd_.schema.num_relations());
+  ASSERT_EQ(canon.num_access_methods(), pd_.schema.num_access_methods());
+  for (schema::RelationId r = 0; r < canon.num_relations(); ++r) {
+    EXPECT_EQ(canon.relation(r).name, "R" + std::to_string(r));
+    EXPECT_EQ(canon.relation(r).position_types,
+              pd_.schema.relation(r).position_types);
+  }
+  for (schema::AccessMethodId m = 0; m < canon.num_access_methods(); ++m) {
+    EXPECT_EQ(canon.method(m).name, "M" + std::to_string(m));
+    EXPECT_EQ(canon.method(m).relation, pd_.schema.method(m).relation);
+    EXPECT_EQ(canon.method(m).input_positions,
+              pd_.schema.method(m).input_positions);
+    EXPECT_EQ(canon.method(m).exact, pd_.schema.method(m).exact);
+    EXPECT_EQ(canon.method(m).idempotent, pd_.schema.method(m).idempotent);
+  }
+  // Renaming a schema changes nothing the canonicalization keeps:
+  // byte-equal serializations.
+  schema::Schema canon_renamed =
+      service::CanonicalizeSchemaNames(RenamedSchema());
+  EXPECT_EQ(schema::SerializeSchema(canon),
+            schema::SerializeSchema(canon_renamed));
+}
+
+TEST_F(CanonicalKeyTest, FingerprintInvariantUnderSchemaRenaming) {
+  const char kFormula[] = "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]";
+  PrepareOptions o;
+  SemanticKey base = MakeSemanticKey(pd_.schema, Parse(kFormula, pd_.schema), o);
+  schema::Schema renamed = RenamedSchema();
+  SemanticKey ren = MakeSemanticKey(
+      renamed, Parse("F [EXISTS n,p,s,ph . XMobile_post(n,p,s,ph)]", renamed),
+      o);
+  EXPECT_EQ(base.fingerprint, ren.fingerprint);
+  EXPECT_EQ(base.schema_text, ren.schema_text);
+  EXPECT_EQ(base.formula_text, ren.formula_text);
+}
+
+TEST_F(CanonicalKeyTest, FingerprintInvariantUnderVariableRenaming) {
+  PrepareOptions o;
+  SemanticKey a = MakeSemanticKey(
+      pd_.schema, Parse("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]",
+                        pd_.schema),
+      o);
+  SemanticKey b = MakeSemanticKey(
+      pd_.schema, Parse("F [EXISTS a,b,c,d . Mobile_post(a,b,c,d)]",
+                        pd_.schema),
+      o);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  // The canonical texts differ (variable names render), which is
+  // exactly why the semantic tier needs a shape fingerprint rather
+  // than the syntactic key.
+  EXPECT_NE(a.formula_text, b.formula_text);
+}
+
+TEST_F(CanonicalKeyTest, FingerprintInvariantUnderConjunctPermutation) {
+  PrepareOptions o;
+  SemanticKey a = MakeSemanticKey(
+      pd_.schema,
+      Parse("F [(EXISTS n . IsBind_AcM1(n)) AND "
+            "(EXISTS n,p,s,ph . Mobile_post(n,p,s,ph))]",
+            pd_.schema),
+      o);
+  SemanticKey b = MakeSemanticKey(
+      pd_.schema,
+      Parse("F [(EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)) AND "
+            "(EXISTS n . IsBind_AcM1(n))]",
+            pd_.schema),
+      o);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST_F(CanonicalKeyTest, FingerprintSensitiveToOptionsAndShape) {
+  acc::AccPtr f =
+      Parse("F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]", pd_.schema);
+  PrepareOptions o;
+  SemanticKey base = MakeSemanticKey(pd_.schema, f, o);
+  PrepareOptions tweaked = o;
+  tweaked.zero.max_nodes = o.zero.max_nodes + 1;
+  EXPECT_NE(base.fingerprint,
+            MakeSemanticKey(pd_.schema, f, tweaked).fingerprint);
+  // Different predicate multiset -> different shape.
+  SemanticKey other = MakeSemanticKey(
+      pd_.schema, Parse("F [IsBind_AcM2()]", pd_.schema), o);
+  EXPECT_NE(base.fingerprint, other.fingerprint);
+  // Different temporal skeleton over the same atom.
+  SemanticKey next = MakeSemanticKey(
+      pd_.schema,
+      Parse("X F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]", pd_.schema), o);
+  EXPECT_NE(base.fingerprint, next.fingerprint);
+}
+
+}  // namespace
+}  // namespace accltl

@@ -1,0 +1,180 @@
+// Standalone coverage for src/datalog/containment.cc's UCQ-level
+// forms: DlUcqContained, the renaming-witness equivalences, and their
+// agreement with ContainedInPositive / UnfoldToUcq on non-recursive
+// programs. Mirrors tests/logic_containment_test.cc on the Datalog
+// side — the semantic cache tier leans on both.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/datalog/containment.h"
+#include "src/datalog/program.h"
+#include "src/logic/term.h"
+
+namespace accltl {
+namespace datalog {
+namespace {
+
+logic::Term V(const std::string& v) { return logic::Term::Var(v); }
+logic::Term C(const std::string& c) {
+  return logic::Term::Const(Value::Str(c));
+}
+
+/// Applies a witness renaming to every atom of `a` and compares to
+/// `b`'s atoms as multisets — the definition of witness validity.
+void ExpectWitnessMapsAtoms(const DlCq& a, const DlCq& b,
+                            const std::map<std::string, std::string>& w) {
+  std::vector<DlAtom> renamed;
+  for (const DlAtom& atom : a.atoms) {
+    DlAtom out = atom;
+    for (logic::Term& t : out.terms) {
+      if (t.is_var()) {
+        auto it = w.find(t.var_name());
+        ASSERT_TRUE(it != w.end()) << "unmapped variable " << t.var_name();
+        t = V(it->second);
+      }
+    }
+    renamed.push_back(out);
+  }
+  std::vector<DlAtom> expected = b.atoms;
+  std::sort(renamed.begin(), renamed.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(renamed, expected);
+}
+
+TEST(DlUcqContainedTest, HomomorphismDirectionality) {
+  // A 2-step e-path folds onto a single edge; not conversely.
+  DlUcq path2 = {DlCq{{{"e", {V("x"), V("y")}}, {"e", {V("y"), V("z")}}}}};
+  DlUcq edge = {DlCq{{{"e", {V("u"), V("v")}}}}};
+  EXPECT_TRUE(DlUcqContained(path2, edge));
+  EXPECT_FALSE(DlUcqContained(edge, path2));
+}
+
+TEST(DlUcqContainedTest, UnionAndConstants) {
+  DlUcq just_a = {DlCq{{{"p", {C("a")}}}}};
+  DlUcq a_or_b = {DlCq{{{"p", {C("a")}}}}, DlCq{{{"p", {C("b")}}}}};
+  DlUcq any = {DlCq{{{"p", {V("x")}}}}};
+  EXPECT_TRUE(DlUcqContained(just_a, a_or_b));
+  EXPECT_FALSE(DlUcqContained(a_or_b, just_a));
+  EXPECT_TRUE(DlUcqContained(a_or_b, any));
+  EXPECT_FALSE(DlUcqContained(any, just_a));
+}
+
+TEST(DlCqEquivalentUpToRenamingTest, WitnessIgnoresAtomOrder) {
+  DlCq a{{{"e", {V("x"), V("y")}}, {"s", {V("x")}}}};
+  DlCq b{{{"s", {V("u")}}, {"e", {V("u"), V("w")}}}};
+  std::optional<std::map<std::string, std::string>> w =
+      DlCqEquivalentUpToRenaming(a, b);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+  EXPECT_EQ(w->at("x"), "u");
+  EXPECT_EQ(w->at("y"), "w");
+  ExpectWitnessMapsAtoms(a, b, *w);
+  // Symmetric, and consistent with semantic equivalence.
+  EXPECT_TRUE(DlCqEquivalentUpToRenaming(b, a).has_value());
+  EXPECT_TRUE(DlUcqContained({a}, {b}));
+  EXPECT_TRUE(DlUcqContained({b}, {a}));
+}
+
+TEST(DlCqEquivalentUpToRenamingTest, SameShapeButInequivalent) {
+  // Equal predicate multisets, different join structure. No renaming,
+  // and no containment either way — the pair a fingerprint index
+  // cannot distinguish but the verifier must.
+  DlCq src{{{"e", {V("x"), V("y")}}, {"s", {V("x")}}}};
+  DlCq dst{{{"e", {V("x"), V("y")}}, {"s", {V("y")}}}};
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(src, dst), std::nullopt);
+  EXPECT_FALSE(DlUcqContained({src}, {dst}));
+  EXPECT_FALSE(DlUcqContained({dst}, {src}));
+  // A 2-chain and a fork also admit no renaming, but the chain IS
+  // contained in the fork (the fork folds onto one edge) — renaming
+  // is strictly finer than containment, in exactly this way.
+  DlCq chain{{{"e", {V("x"), V("y")}}, {"e", {V("y"), V("z")}}}};
+  DlCq fork{{{"e", {V("x"), V("y")}}, {"e", {V("x"), V("z")}}}};
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(chain, fork), std::nullopt);
+  EXPECT_TRUE(DlUcqContained({chain}, {fork}));
+  EXPECT_FALSE(DlUcqContained({fork}, {chain}));
+}
+
+TEST(DlCqEquivalentUpToRenamingTest, ConstantsMustMatchExactly) {
+  DlCq pa{{{"e", {V("x"), C("a")}}}};
+  DlCq pa2{{{"e", {V("z"), C("a")}}}};
+  DlCq pb{{{"e", {V("z"), C("b")}}}};
+  std::optional<std::map<std::string, std::string>> w =
+      DlCqEquivalentUpToRenaming(pa, pa2);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->at("x"), "z");
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(pa, pb), std::nullopt);
+  // A constant is not a variable: e(x, a) vs e(x, y) is no renaming
+  // even though the shapes agree.
+  DlCq vv{{{"e", {V("x"), V("y")}}}};
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(pa, vv), std::nullopt);
+}
+
+TEST(DlCqEquivalentUpToRenamingTest, RenamingMustBeBijective) {
+  // {e(x,y)} vs {e(u,u)}: mapping x and y both to u is a fold, not a
+  // renaming — the queries are not even equivalent.
+  DlCq two{{{"e", {V("x"), V("y")}}}};
+  DlCq diag{{{"e", {V("u"), V("u")}}}};
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(two, diag), std::nullopt);
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(diag, two), std::nullopt);
+}
+
+TEST(DlCqEquivalentUpToRenamingTest, AtomCapAnswersDontKnow) {
+  DlCq a{{{"e", {V("x"), V("y")}}, {"s", {V("x")}}}};
+  EXPECT_TRUE(DlCqEquivalentUpToRenaming(a, a).has_value());
+  EXPECT_EQ(DlCqEquivalentUpToRenaming(a, a, /*max_atoms=*/1), std::nullopt);
+}
+
+TEST(DlUcqEquivalentUpToRenamingTest, MatchesDisjunctsOneToOne) {
+  DlCq d1{{{"s", {V("x")}}}};
+  DlCq d2{{{"e", {V("x"), V("y")}}}};
+  DlCq d1r{{{"s", {V("q")}}}};
+  DlCq d2r{{{"e", {V("m"), V("n")}}}};
+  std::vector<std::map<std::string, std::string>> witness;
+  // Disjunct order flipped on the right.
+  EXPECT_TRUE(DlUcqEquivalentUpToRenaming({d1, d2}, {d2r, d1r}, &witness));
+  ASSERT_EQ(witness.size(), 2u);
+  // Witnesses come back in lhs order: first for d1, then for d2.
+  EXPECT_EQ(witness[0].at("x"), "q");
+  EXPECT_EQ(witness[1].at("x"), "m");
+  EXPECT_EQ(witness[1].at("y"), "n");
+  // Mismatched disjunct counts never match.
+  EXPECT_FALSE(DlUcqEquivalentUpToRenaming({d1, d2}, {d1r}));
+  // Same count, one disjunct unmatched.
+  DlCq fork{{{"e", {V("x"), V("y")}}, {"e", {V("x"), V("z")}}}};
+  EXPECT_FALSE(DlUcqEquivalentUpToRenaming({d1, d2}, {d1r, fork}));
+}
+
+TEST(ContainedInPositiveTest, AgreesWithUnfoldingOnNonRecursive) {
+  // goal :- e(x, y), e(y, z)  — "there is a 2-path".
+  Program p;
+  p.AddRule({{"goal", {}}, {{"e", {V("x"), V("y")}}, {"e", {V("y"), V("z")}}}});
+  p.SetGoal("goal");
+  ASSERT_TRUE(p.Validate().ok());
+
+  DlUcq edge = {DlCq{{{"e", {V("u"), V("v")}}}}};
+  DlUcq path3 = {DlCq{{{"e", {V("a"), V("b")}},
+                       {"e", {V("b"), V("c")}},
+                       {"e", {V("c"), V("d")}}}}};
+  Result<bool> in_edge = ContainedInPositive(p, edge);
+  ASSERT_TRUE(in_edge.ok()) << in_edge.status().ToString();
+  EXPECT_TRUE(in_edge.value());
+  Result<bool> in_path3 = ContainedInPositive(p, path3);
+  ASSERT_TRUE(in_path3.ok()) << in_path3.status().ToString();
+  EXPECT_FALSE(in_path3.value());
+
+  // The unfolding cross-check gives the same answers via DlUcqContained.
+  Result<DlUcq> unfolded = UnfoldToUcq(p);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  EXPECT_TRUE(DlUcqContained(unfolded.value(), edge));
+  EXPECT_FALSE(DlUcqContained(unfolded.value(), path3));
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace accltl

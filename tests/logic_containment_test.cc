@@ -1,0 +1,197 @@
+// Standalone coverage for src/logic/containment.cc: Chandra–Merlin
+// containment, Klug's inequality method, sentence-level containment
+// over unions, and the renaming-witness equivalence forms the
+// service's semantic cache tier uses for verdict transfer. The
+// same-shape-but-inequivalent cases are the important ones: they are
+// exactly the near-misses a fingerprint index surfaces as candidates,
+// and an over-eager "equivalent" here would transfer wrong verdicts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/logic/containment.h"
+#include "src/logic/cq.h"
+#include "src/logic/parser.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace logic {
+namespace {
+
+class LogicContainmentTest : public ::testing::Test {
+ protected:
+  LogicContainmentTest() {
+    s_.AddRelation("R", {ValueType::kString, ValueType::kString});
+    s_.AddRelation("S", {ValueType::kString});
+  }
+
+  PosFormulaPtr Parse(const std::string& text) {
+    Result<PosFormulaPtr> f = ParseFormula(text, s_);
+    EXPECT_TRUE(f.ok()) << text << ": " << f.status().ToString();
+    return f.ok() ? f.value() : PosFormula::False();
+  }
+
+  /// Parses a boolean sentence that normalizes to a single CQ.
+  Cq ParseCq(const std::string& text) {
+    Result<Ucq> u = NormalizeToUcq(Parse(text), {}, s_);
+    EXPECT_TRUE(u.ok()) << text << ": " << u.status().ToString();
+    EXPECT_EQ(u.value().disjuncts.size(), 1u) << text;
+    return u.value().disjuncts.at(0);
+  }
+
+  bool Contained(const Cq& q1, const Cq& q2) {
+    Result<bool> r = CqContained(q1, q2, s_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  bool Contained(const std::string& f1, const std::string& f2) {
+    Result<bool> r = SentenceContained(Parse(f1), Parse(f2), s_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  schema::Schema s_;
+};
+
+/// Applies a renaming to every atom of q1 and compares the result to
+/// q2's atoms as multisets — the definition of a valid witness.
+void ExpectWitnessMapsAtoms(const Cq& q1, const Cq& q2,
+                            const VarRenaming& w) {
+  std::vector<CqAtom> renamed;
+  for (const CqAtom& a : q1.atoms) {
+    CqAtom out = a;
+    for (Term& t : out.terms) {
+      if (t.is_var()) {
+        auto it = w.find(t.var_name());
+        ASSERT_TRUE(it != w.end()) << "unmapped variable " << t.var_name();
+        t = Term::Var(it->second);
+      }
+    }
+    renamed.push_back(out);
+  }
+  std::vector<CqAtom> expected = q2.atoms;
+  std::sort(renamed.begin(), renamed.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(renamed, expected);
+}
+
+TEST_F(LogicContainmentTest, HomomorphismContainmentPositiveAndNegative) {
+  // A length-2 r-path maps onto a single r-edge (fold), not conversely.
+  Cq path2 = ParseCq("EXISTS x, y, z . R(x, y) AND R(y, z)");
+  Cq edge = ParseCq("EXISTS u, v . R(u, v)");
+  EXPECT_TRUE(Contained(path2, edge));
+  EXPECT_FALSE(Contained(edge, path2));
+  // Self-containment both ways.
+  EXPECT_TRUE(Contained(edge, edge));
+}
+
+TEST_F(LogicContainmentTest, SameShapeButInequivalent) {
+  // Identical atom/arity multisets, different join structure: the
+  // fingerprint cannot tell these apart, containment must.
+  Cq left = ParseCq("EXISTS x, y . R(x, y) AND S(x)");
+  Cq right = ParseCq("EXISTS x, y . R(x, y) AND S(y)");
+  EXPECT_FALSE(Contained(left, right));
+  EXPECT_FALSE(Contained(right, left));
+  EXPECT_EQ(CqEquivalentUpToRenaming(left, right), std::nullopt);
+}
+
+TEST_F(LogicContainmentTest, ConstantsBlockHomomorphisms) {
+  Cq jones = ParseCq("EXISTS x . R(x, \"Jones\")");
+  Cq any = ParseCq("EXISTS x, y . R(x, y)");
+  EXPECT_TRUE(Contained(jones, any));
+  EXPECT_FALSE(Contained(any, jones));
+  Cq smith = ParseCq("EXISTS x . R(x, \"Smith\")");
+  EXPECT_FALSE(Contained(jones, smith));
+  EXPECT_FALSE(Contained(smith, jones));
+}
+
+TEST_F(LogicContainmentTest, InequalityUsesKlugsMethod) {
+  Cq strict = ParseCq("EXISTS x, y . R(x, y) AND x != y");
+  Cq loose = ParseCq("EXISTS x, y . R(x, y)");
+  // Dropping a ≠ weakens; the plain homomorphism test alone would
+  // wrongly accept loose ⊆ strict (the canonical database of loose
+  // has distinct nulls), so this pins the identification sweep: the
+  // collapsed database {R(a,a)} satisfies loose but not strict.
+  EXPECT_TRUE(Contained(strict, loose));
+  EXPECT_FALSE(Contained(loose, strict));
+}
+
+TEST_F(LogicContainmentTest, RenamingWitnessIgnoresAtomOrderAndNames) {
+  // Same query, bound-variable order and conjunct order both flipped.
+  Cq q1 = ParseCq("EXISTS x, y . R(x, y) AND S(x)");
+  Cq q2 = ParseCq("EXISTS b, a . S(a) AND R(a, b)");
+  std::optional<VarRenaming> w = CqEquivalentUpToRenaming(q1, q2);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+  ExpectWitnessMapsAtoms(q1, q2, *w);
+  // Renaming-equivalence is symmetric and implies two-way containment.
+  EXPECT_TRUE(CqEquivalentUpToRenaming(q2, q1).has_value());
+  EXPECT_TRUE(Contained(q1, q2));
+  EXPECT_TRUE(Contained(q2, q1));
+}
+
+TEST_F(LogicContainmentTest, RenamingMatchesNeqsAsUnorderedPairs) {
+  Cq q1 = ParseCq("EXISTS x, y . R(x, y) AND x != y");
+  Cq q2 = ParseCq("EXISTS a, b . R(a, b) AND b != a");
+  std::optional<VarRenaming> w = CqEquivalentUpToRenaming(q1, q2);
+  ASSERT_TRUE(w.has_value());
+  ExpectWitnessMapsAtoms(q1, q2, *w);
+  // A ≠ on one side only is not a renaming (and not equivalent).
+  Cq q3 = ParseCq("EXISTS a, b . R(a, b)");
+  EXPECT_EQ(CqEquivalentUpToRenaming(q1, q3), std::nullopt);
+}
+
+TEST_F(LogicContainmentTest, AtomCapAnswersDontKnow) {
+  Cq q = ParseCq("EXISTS x, y . R(x, y) AND S(x)");
+  // Identical queries, but past the cap the answer is "don't know",
+  // never a guess.
+  EXPECT_TRUE(CqEquivalentUpToRenaming(q, q).has_value());
+  EXPECT_EQ(CqEquivalentUpToRenaming(q, q, /*max_atoms=*/1), std::nullopt);
+}
+
+TEST_F(LogicContainmentTest, SentenceContainmentOverUnions) {
+  const std::string some_s = "EXISTS x . S(x)";
+  const std::string s_or_edge = "(EXISTS x . S(x)) OR (EXISTS x, y . R(x, y))";
+  EXPECT_TRUE(Contained(some_s, s_or_edge));
+  EXPECT_FALSE(Contained(s_or_edge, some_s));
+  // Distribution: S(x) AND (S(x) OR R(x,y)) ≡ S(x) needs per-disjunct
+  // reasoning on the normalized union.
+  EXPECT_TRUE(Contained("EXISTS x, y . S(x) AND (S(x) OR R(x, y))", some_s));
+  EXPECT_TRUE(Contained(some_s, "EXISTS x, y . S(x) AND (S(x) OR R(x, y))"));
+}
+
+TEST_F(LogicContainmentTest, SentenceEquivalentUpToRenamingWithWitness) {
+  PosFormulaPtr f1 =
+      Parse("(EXISTS x . S(x)) OR (EXISTS x, y . R(x, y) AND S(x))");
+  // Disjunct order flipped, variables renamed.
+  PosFormulaPtr f2 =
+      Parse("(EXISTS b, a . R(a, b) AND S(a)) OR (EXISTS z . S(z))");
+  std::vector<VarRenaming> witness;
+  Result<bool> eq = SentenceEquivalentUpToRenaming(f1, f2, s_, &witness);
+  ASSERT_TRUE(eq.ok()) << eq.status().ToString();
+  EXPECT_TRUE(eq.value());
+  EXPECT_EQ(witness.size(), 2u);
+}
+
+TEST_F(LogicContainmentTest, SentenceEquivalenceRejectsShapeSiblings) {
+  PosFormulaPtr f1 = Parse("EXISTS x, y . R(x, y) AND S(x)");
+  PosFormulaPtr f2 = Parse("EXISTS x, y . R(x, y) AND S(y)");
+  Result<bool> eq = SentenceEquivalentUpToRenaming(f1, f2, s_);
+  ASSERT_TRUE(eq.ok()) << eq.status().ToString();
+  EXPECT_FALSE(eq.value());
+  // Different disjunct counts can never match one-to-one.
+  PosFormulaPtr f3 = Parse("(EXISTS x . S(x)) OR (EXISTS x, y . R(x, y))");
+  Result<bool> eq2 = SentenceEquivalentUpToRenaming(f1, f3, s_);
+  ASSERT_TRUE(eq2.ok());
+  EXPECT_FALSE(eq2.value());
+}
+
+}  // namespace
+}  // namespace logic
+}  // namespace accltl

@@ -62,6 +62,37 @@ TEST(LruCacheTest, InterleavedHitsRefreshRecency) {
   EXPECT_TRUE(cache.Lookup("d", &out));
 }
 
+TEST(LruCacheTest, StatsIsACoherentOneLockSnapshot) {
+  service::LruCache<int> cache(2);
+  service::LruCache<int>::Stats s = cache.stats();
+  EXPECT_EQ(s.size, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  // Scripted sequence: 2 inserts, 1 hit, 2 misses, then an eviction.
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  int out = 0;
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("x", &out));
+  EXPECT_FALSE(cache.Lookup("y", &out));
+  cache.Insert("c", 3);
+
+  s = cache.stats();
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  // The snapshot agrees with the individual accessors (which each
+  // take the lock separately and may tear as a set — stats() is the
+  // multi-counter reporting path).
+  EXPECT_EQ(s.size, cache.size());
+  EXPECT_EQ(s.hits, cache.hits());
+  EXPECT_EQ(s.misses, cache.misses());
+  EXPECT_EQ(s.evictions, cache.evictions());
+}
+
 TEST(LruCacheTest, ExhaustedBudgetResponsesAreNeverCached) {
   workload::PhoneDirectory pd = workload::MakePhoneDirectory();
   service::ServiceOptions sopts;

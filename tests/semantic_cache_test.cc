@@ -1,0 +1,337 @@
+// Semantic-tier tests: the containment-based middle tier of the
+// answer pipeline (src/service/semantic_cache.{h,cc}). Each transfer
+// rule is exercised end-to-end through AnalysisService::Check —
+// renamed schemas replay byte-identically, variable-renamed twins
+// transfer with re-validated witnesses, containment moves kNo between
+// zero-routed queries — and the soundness gates are pinned:
+// same-shape-but-inequivalent candidates fall through to the engine,
+// non-transferable (deadline-cut, budget-exhausted) responses are
+// never admitted as donors, and the tier is off unless configured.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "src/accltl/parser.h"
+#include "src/analysis/decide.h"
+#include "src/schema/schema.h"
+#include "src/service/analysis_service.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace {
+
+using service::AnalysisService;
+using service::AnswerSource;
+using service::CheckRequest;
+using service::CheckResponse;
+using service::PreparedQuery;
+using service::PrepareOptions;
+using service::ServiceOptions;
+using service::Verdict;
+
+// One formula per engine route (same as tests/service_test.cc).
+const char kZeroFormula[] =
+    "F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)] AND F [IsBind_AcM2()]";
+const char kBoundedFormula[] =
+    "F [EXISTS n . IsBind_AcM1(n) AND "
+    "(EXISTS s,p,h . Address_pre(s,p,n,h))]";
+// Wide zero-ary space; globally unsatisfiable, far slower than any
+// test deadline (deadline-cut donor material).
+const char kZeroWideUnsat[] =
+    "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+    "(X X X F [IsBind_AcM1()]) AND "
+    "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])";
+
+class SemanticCacheTest : public ::testing::Test {
+ protected:
+  SemanticCacheTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  static ServiceOptions WithSemanticTier() {
+    ServiceOptions o;
+    o.cache_capacity = 64;
+    o.semantic_cache_capacity = 64;
+    return o;
+  }
+
+  acc::AccPtr Parse(const std::string& text, const schema::Schema& s) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(text, s);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : acc::AccFormula::False();
+  }
+
+  std::shared_ptr<const PreparedQuery> MustPrepare(
+      AnalysisService& svc, const schema::Schema& s, const std::string& text,
+      const PrepareOptions& popts = {}) {
+    Result<std::shared_ptr<const PreparedQuery>> p =
+        svc.Prepare(s, Parse(text, s), popts);
+    EXPECT_TRUE(p.ok()) << text << ": " << p.status().ToString();
+    return p.ok() ? p.value() : nullptr;
+  }
+
+  /// The phone-directory schema with every relation/method name
+  /// prefixed ("X…"); ids, types, inputs and promises unchanged.
+  schema::Schema RenamedSchema() const {
+    schema::Schema renamed;
+    for (schema::RelationId r = 0; r < pd_.schema.num_relations(); ++r) {
+      renamed.AddRelation("X" + pd_.schema.relation(r).name,
+                          pd_.schema.relation(r).position_types);
+    }
+    for (schema::AccessMethodId m = 0; m < pd_.schema.num_access_methods();
+         ++m) {
+      const schema::AccessMethod& am = pd_.schema.method(m);
+      renamed.AddAccessMethod("X" + am.name, am.relation, am.input_positions,
+                              am.exact, am.idempotent);
+    }
+    return renamed;
+  }
+
+  static std::string DecisionKey(const analysis::Decision& d,
+                                 const schema::Schema& schema) {
+    std::string key;
+    key += analysis::AnswerName(d.satisfiable);
+    key += '|';
+    key += d.engine;
+    key += d.has_witness ? "|w:" : "|-";
+    if (d.has_witness) key += d.witness.ToString(schema);
+    key += '|';
+    key += std::to_string(d.nodes_explored);
+    key += d.exhausted_budget ? "|exhausted" : "|swept";
+    return key;
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+TEST_F(SemanticCacheTest, RenamedSchemaReplaysByteIdentically) {
+  AnalysisService svc(WithSemanticTier());
+  ASSERT_EQ(svc.pipeline().num_tiers(), 3u);
+
+  auto donor = MustPrepare(svc, pd_.schema, kZeroFormula);
+  ASSERT_NE(donor, nullptr);
+  CheckResponse seed = svc.Check(*donor);
+  ASSERT_TRUE(seed.status.ok()) << seed.status.ToString();
+  EXPECT_EQ(seed.source, AnswerSource::kEngine);
+  EXPECT_EQ(seed.provenance, "engine");
+  ASSERT_EQ(svc.semantic_stats().inserts, 1u);
+
+  // Same request against the renamed schema: different syntactic key,
+  // same canonical texts — rule 1 must fire with the donor's bytes.
+  schema::Schema renamed = RenamedSchema();
+  auto twin = MustPrepare(
+      svc, renamed,
+      "F [EXISTS n,p,s,ph . XMobile_post(n,p,s,ph)] AND F [IsBind_XAcM2()]");
+  ASSERT_NE(twin, nullptr);
+  EXPECT_NE(twin->cache_key(), donor->cache_key());
+  EXPECT_EQ(twin->semantic_key().fingerprint,
+            donor->semantic_key().fingerprint);
+
+  CheckResponse hit = svc.Check(*twin);
+  ASSERT_TRUE(hit.status.ok()) << hit.status.ToString();
+  EXPECT_EQ(hit.source, AnswerSource::kSemanticCache);
+  EXPECT_EQ(hit.provenance, "semantic-cache rule=renamed");
+  EXPECT_FALSE(hit.cache_hit);
+  // Predicates are ids, so rendering both against the base schema is a
+  // byte-exact comparison of the full decision (witness included).
+  EXPECT_EQ(DecisionKey(hit.decision, pd_.schema),
+            DecisionKey(seed.decision, pd_.schema));
+
+  service::SemanticCache::Stats stats = svc.semantic_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // The resolved answer was admitted upward: the identical request now
+  // hits the cheaper syntactic tier, not the semantic one.
+  CheckResponse again = svc.Check(*twin);
+  EXPECT_EQ(again.source, AnswerSource::kSyntacticCache);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(svc.semantic_stats().hits, 1u);
+}
+
+TEST_F(SemanticCacheTest, VariableRenamedTwinTransfersAsEquivalent) {
+  AnalysisService svc(WithSemanticTier());
+  auto donor = MustPrepare(svc, pd_.schema, kBoundedFormula);
+  ASSERT_NE(donor, nullptr);
+  CheckResponse seed = svc.Check(*donor);
+  ASSERT_TRUE(seed.status.ok()) << seed.status.ToString();
+  ASSERT_EQ(seed.decision.engine, "automata-bounded");
+  ASSERT_EQ(seed.decision.satisfiable, analysis::Answer::kYes);
+  ASSERT_TRUE(seed.decision.has_witness);
+
+  // Bound variables renamed throughout: same shape fingerprint,
+  // different canonical formula text, equivalent up to renaming.
+  auto twin = MustPrepare(svc, pd_.schema,
+                          "F [EXISTS m . IsBind_AcM1(m) AND "
+                          "(EXISTS t,q,g . Address_pre(t,q,m,g))]");
+  ASSERT_NE(twin, nullptr);
+  EXPECT_EQ(twin->semantic_key().fingerprint,
+            donor->semantic_key().fingerprint);
+  EXPECT_NE(twin->semantic_key().formula_text,
+            donor->semantic_key().formula_text);
+
+  CheckResponse hit = svc.Check(*twin);
+  ASSERT_TRUE(hit.status.ok()) << hit.status.ToString();
+  EXPECT_EQ(hit.source, AnswerSource::kSemanticCache);
+  EXPECT_EQ(hit.provenance, "semantic-cache rule=equivalent");
+  // The donor's witness transferred (after re-validation against the
+  // twin) along with its execution statistics.
+  EXPECT_EQ(DecisionKey(hit.decision, pd_.schema),
+            DecisionKey(seed.decision, pd_.schema));
+}
+
+TEST_F(SemanticCacheTest, ContainmentTransfersNoBetweenZeroRoutedQueries) {
+  AnalysisService svc(WithSemanticTier());
+  // Keep the unsatisfiable sweeps tiny so both sides complete
+  // budget-clean; the bounds are part of the canonical options key, so
+  // donor and query must share popts.
+  PrepareOptions popts;
+  popts.zero.max_path_length = 2;
+
+  auto donor = MustPrepare(
+      svc, pd_.schema,
+      "(F [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)]) AND "
+      "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])",
+      popts);
+  ASSERT_NE(donor, nullptr);
+  ASSERT_TRUE(donor->zero_routed());
+  CheckResponse seed = svc.Check(*donor);
+  ASSERT_TRUE(seed.status.ok()) << seed.status.ToString();
+  ASSERT_EQ(seed.verdict, Verdict::kCompleted);
+  ASSERT_FALSE(seed.decision.exhausted_budget);
+  ASSERT_EQ(seed.decision.satisfiable, analysis::Answer::kNo);
+
+  // Identifying p and s strengthens the positive conjunct (query ⊆
+  // donor pointwise; the negated conjunct is unchanged, and polarity
+  // flips its required direction to donor ⊆ query — also true). The
+  // donor's exhaustive "no" therefore covers the query.
+  auto query = MustPrepare(
+      svc, pd_.schema,
+      "(F [EXISTS n,p,ph . Mobile_post(n,p,p,ph)]) AND "
+      "(G NOT [EXISTS n,p,s,ph . Mobile_post(n,p,s,ph)])",
+      popts);
+  ASSERT_NE(query, nullptr);
+  ASSERT_TRUE(query->zero_routed());
+  EXPECT_EQ(query->semantic_key().fingerprint,
+            donor->semantic_key().fingerprint);
+
+  CheckResponse hit = svc.Check(*query);
+  ASSERT_TRUE(hit.status.ok()) << hit.status.ToString();
+  EXPECT_EQ(hit.source, AnswerSource::kSemanticCache);
+  EXPECT_EQ(hit.provenance, "semantic-cache rule=containment");
+  EXPECT_EQ(hit.decision.satisfiable, analysis::Answer::kNo);
+  EXPECT_FALSE(hit.decision.has_witness);
+}
+
+TEST_F(SemanticCacheTest, SameShapeInequivalentJoinFallsThroughToEngine) {
+  AnalysisService svc(WithSemanticTier());
+  auto donor = MustPrepare(svc, pd_.schema, kBoundedFormula);
+  ASSERT_NE(donor, nullptr);
+  CheckResponse seed = svc.Check(*donor);
+  ASSERT_TRUE(seed.status.ok());
+  ASSERT_EQ(svc.semantic_stats().inserts, 1u);
+
+  // Same predicate multiset and temporal skeleton — the fingerprint
+  // cannot distinguish this from the donor — but the bound name joins
+  // Address at a different position, so no transfer rule may fire.
+  auto sibling = MustPrepare(svc, pd_.schema,
+                             "F [EXISTS n . IsBind_AcM1(n) AND "
+                             "(EXISTS s,p,h . Address_pre(n,p,s,h))]");
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(sibling->semantic_key().fingerprint,
+            donor->semantic_key().fingerprint);
+
+  CheckResponse resp = svc.Check(*sibling);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.source, AnswerSource::kEngine);
+  EXPECT_EQ(resp.provenance, "engine");
+  service::SemanticCache::Stats stats = svc.semantic_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GE(stats.misses, 1u);
+  // The engine answer itself became a (distinct) donor.
+  EXPECT_EQ(stats.inserts, 2u);
+}
+
+TEST_F(SemanticCacheTest, NonTransferableResponsesAreNeverAdmitted) {
+  AnalysisService svc(WithSemanticTier());
+
+  // Deadline-cut: the wide idempotent sweep with an unbinding node
+  // budget cannot finish in 10ms (the deadline-test workload of
+  // tests/service_test.cc).
+  PrepareOptions wide;
+  wide.zero.require_idempotent = true;
+  wide.zero.max_nodes = 100000000;
+  auto slow = MustPrepare(svc, pd_.schema, kZeroWideUnsat, wide);
+  ASSERT_NE(slow, nullptr);
+  CheckRequest deadline;
+  deadline.deadline = std::chrono::milliseconds(10);
+  CheckResponse cut = svc.Check(*slow, deadline);
+  ASSERT_TRUE(cut.status.ok()) << cut.status.ToString();
+  ASSERT_NE(cut.verdict, Verdict::kCompleted);
+  EXPECT_EQ(svc.semantic_stats().inserts, 0u);
+
+  // Budget-exhausted: a one-node budget cannot complete the search.
+  PrepareOptions tiny;
+  tiny.zero.max_nodes = 1;
+  auto starved = MustPrepare(svc, pd_.schema, kZeroFormula, tiny);
+  ASSERT_NE(starved, nullptr);
+  CheckResponse exhausted = svc.Check(*starved);
+  ASSERT_TRUE(exhausted.status.ok()) << exhausted.status.ToString();
+  ASSERT_TRUE(exhausted.decision.exhausted_budget);
+  EXPECT_EQ(svc.semantic_stats().inserts, 0u);
+  EXPECT_EQ(svc.semantic_stats().entries, 0u);
+}
+
+TEST_F(SemanticCacheTest, SemanticTierIsOffByDefault) {
+  AnalysisService svc;  // default ServiceOptions: capacity 0
+  EXPECT_EQ(svc.pipeline().num_tiers(), 2u);
+
+  auto donor = MustPrepare(svc, pd_.schema, kZeroFormula);
+  ASSERT_NE(donor, nullptr);
+  CheckResponse seed = svc.Check(*donor);
+  ASSERT_TRUE(seed.status.ok());
+
+  schema::Schema renamed = RenamedSchema();
+  auto twin = MustPrepare(
+      svc, renamed,
+      "F [EXISTS n,p,s,ph . XMobile_post(n,p,s,ph)] AND F [IsBind_XAcM2()]");
+  ASSERT_NE(twin, nullptr);
+  CheckResponse resp = svc.Check(*twin);
+  EXPECT_EQ(resp.source, AnswerSource::kEngine);
+
+  service::SemanticCache::Stats stats = svc.semantic_stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.inserts, 0u);
+}
+
+TEST_F(SemanticCacheTest, UseCacheFalseBypassesTheSemanticTier) {
+  AnalysisService svc(WithSemanticTier());
+  auto donor = MustPrepare(svc, pd_.schema, kZeroFormula);
+  ASSERT_NE(donor, nullptr);
+  CheckResponse seed = svc.Check(*donor);
+  ASSERT_TRUE(seed.status.ok());
+  ASSERT_EQ(svc.semantic_stats().inserts, 1u);
+
+  schema::Schema renamed = RenamedSchema();
+  auto twin = MustPrepare(
+      svc, renamed,
+      "F [EXISTS n,p,s,ph . XMobile_post(n,p,s,ph)] AND F [IsBind_XAcM2()]");
+  ASSERT_NE(twin, nullptr);
+
+  CheckRequest no_cache;
+  no_cache.use_cache = false;
+  CheckResponse fresh = svc.Check(*twin, no_cache);
+  EXPECT_EQ(fresh.source, AnswerSource::kEngine);
+  EXPECT_EQ(svc.semantic_stats().hits, 0u);
+  // And nothing was admitted for the opted-out request.
+  EXPECT_EQ(svc.semantic_stats().inserts, 1u);
+
+  CheckResponse hit = svc.Check(*twin);
+  EXPECT_EQ(hit.source, AnswerSource::kSemanticCache);
+}
+
+}  // namespace
+}  // namespace accltl
