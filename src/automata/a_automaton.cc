@@ -9,6 +9,10 @@ namespace automata {
 
 bool Guard::Eval(const schema::Transition& t) const {
   logic::TransitionView view(t);
+  return Eval(view);
+}
+
+bool Guard::Eval(const logic::StructureView& view) const {
   if (positive != nullptr && !logic::EvalSentence(positive, view)) {
     return false;
   }

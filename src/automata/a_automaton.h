@@ -7,6 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/logic/formula.h"
+#include "src/logic/structure.h"
 #include "src/schema/access.h"
 #include "src/schema/lts.h"
 
@@ -24,6 +25,12 @@ struct Guard {
 
   /// Evaluates the guard on the transition structure M(t).
   bool Eval(const schema::Transition& t) const;
+
+  /// Evaluates the guard against an arbitrary structure view — e.g. a
+  /// logic::IndexedTransitionView, which answers bound-position atom
+  /// probes through a MatchIndexCache instead of scanning (the online
+  /// monitor's per-step path).
+  bool Eval(const logic::StructureView& view) const;
 
   /// Evaluates only the ψ− part (every ¬γ conjunct). For callers that
   /// constructed `t` to satisfy ψ+ (e.g. realization enumeration),

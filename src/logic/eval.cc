@@ -3,6 +3,8 @@
 #include <cassert>
 #include <functional>
 
+#include "src/store/fact_store.h"
+
 namespace accltl {
 namespace logic {
 
@@ -86,9 +88,8 @@ class Evaluator {
                    view_.GetTuples(pred).Contains(Tuple{});
       return holds ? k() : false;
     }
-    store::TupleRange tuples = view_.GetTuples(pred);
-    for (const Tuple& tuple : tuples) {
-      if (tuple.size() != f->terms().size()) continue;
+    auto try_tuple = [&](const Tuple& tuple) -> bool {
+      if (tuple.size() != f->terms().size()) return false;
       std::vector<std::string> newly_bound;
       bool match = true;
       for (size_t i = 0; i < tuple.size(); ++i) {
@@ -106,6 +107,29 @@ class Evaluator {
       }
       if (match && k()) return true;
       for (const std::string& v : newly_bound) env->erase(v);
+      return false;
+    };
+    // Indexed path: when some term is already fixed (a constant or an
+    // env-bound variable) and the view serves a match index for this
+    // predicate, enumerate only the tuples agreeing at that position.
+    // Index order is fact-id (= GetTuples) order, and mismatching
+    // tuples in the scan have no side effects, so both paths enumerate
+    // identical matches in identical order.
+    for (size_t i = 0; i < f->terms().size(); ++i) {
+      Value bound;
+      if (!TermValue(f->terms()[i], *env, &bound)) continue;
+      const std::vector<store::FactId>* ids = view_.FactIdIndex(
+          pred, static_cast<int>(i), store::Store::Get().TryFindValue(bound));
+      if (ids == nullptr) break;  // no index for this predicate: scan
+      const store::Store& store = store::Store::Get();
+      for (store::FactId id : *ids) {
+        if (try_tuple(store.tuple(id))) return true;
+      }
+      return false;
+    }
+    store::TupleRange tuples = view_.GetTuples(pred);
+    for (const Tuple& tuple : tuples) {
+      if (try_tuple(tuple)) return true;
     }
     return false;
   }

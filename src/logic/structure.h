@@ -8,6 +8,7 @@
 #include "src/common/value.h"
 #include "src/logic/predicate.h"
 #include "src/schema/lts.h"
+#include "src/store/match_index.h"
 #include "src/store/tuple_range.h"
 
 namespace accltl {
@@ -31,6 +32,21 @@ class StructureView {
   virtual bool MethodUsed(schema::AccessMethodId m) const {
     (void)m;
     return false;
+  }
+
+  /// Optional index acceleration: the ascending fact ids of the tuples
+  /// interpreting `pred` whose value at `position` is `v`, or nullptr
+  /// when this view serves no index for the predicate (the evaluator
+  /// then falls back to scanning GetTuples). An implementation must
+  /// return exactly the subset of GetTuples with that value, in
+  /// GetTuples (fact-id) order, so the indexed path enumerates the
+  /// same matches in the same order as the scan.
+  virtual const std::vector<store::FactId>* FactIdIndex(
+      const PredicateRef& pred, int position, store::ValueId v) const {
+    (void)pred;
+    (void)position;
+    (void)v;
+    return nullptr;
   }
 };
 
@@ -81,6 +97,44 @@ class TransitionView : public StructureView {
  private:
   const schema::Transition& t_;
   std::set<Tuple> binding_singleton_;
+};
+
+/// TransitionView with store::MatchIndexCache acceleration: pre/post
+/// relation atoms answer bound-position lookups through the cache's
+/// per-(FactSet, position) value indexes, so evaluating a guard costs
+/// the matching tuples, not a scan of the whole configuration.
+/// Copy-on-write instances share unchanged FactSets, so a long-lived
+/// cache (e.g. one per monitored session) reuses every index across
+/// steps and only ever indexes the one relation a step touched.
+/// The view holds the caller's LocalView; both must outlive it.
+class IndexedTransitionView : public TransitionView {
+ public:
+  IndexedTransitionView(const schema::Transition& t,
+                        store::MatchIndexCache::LocalView* index)
+      : TransitionView(t), transition_(t), index_(index) {}
+
+  const std::vector<store::FactId>* FactIdIndex(
+      const PredicateRef& pred, int position,
+      store::ValueId v) const override {
+    const store::FactSet::Ptr* set = nullptr;
+    switch (pred.space) {
+      case PredSpace::kPre:
+        set = &transition_.pre.facts(pred.id);
+        break;
+      case PredSpace::kPost:
+        set = &transition_.post.facts(pred.id);
+        break;
+      default:
+        // IsBind is a singleton and kPlain is empty on M(t): nothing
+        // worth indexing.
+        return nullptr;
+    }
+    return &index_->Lookup(*set, position, v);
+  }
+
+ private:
+  const schema::Transition& transition_;
+  store::MatchIndexCache::LocalView* index_;
 };
 
 /// A free-form database over any mix of vocabulary spaces; used for

@@ -40,15 +40,44 @@ void AutomatonMonitor::Step(const schema::Access& access,
 }
 
 void AutomatonMonitor::StepTransition(const schema::Transition& t) {
+  TryStepTransition(t, nullptr);
+}
+
+bool AutomatonMonitor::TryStep(const schema::Access& access,
+                               const schema::Response& response,
+                               const engine::CancelToken* cancel) {
+  if (cancel != nullptr && cancel->ShouldStop()) return false;
+  schema::Transition t =
+      schema::MakeTransition(schema_, current_, access, response);
+  return TryStepTransition(t, cancel);
+}
+
+bool AutomatonMonitor::TryStepTransition(const schema::Transition& t,
+                                         const engine::CancelToken* cancel) {
+  if (cancel != nullptr && cancel->ShouldStop()) return false;
+  // The COW store shares unchanged relations across steps, but the
+  // cache pins every set it has indexed; over a long session drop it
+  // wholesale once it holds too many dead generations. The memo's raw
+  // pointers must go first.
+  if (index_cache_.num_indexed_sets() > kMaxIndexedSets) {
+    index_view_.Reset();
+    index_cache_.Clear();
+  }
+  logic::IndexedTransitionView view(t, &index_view_);
+  // Compute the successor state set off to the side and commit only
+  // once the whole step survived cancellation: a fired token must
+  // leave the monitor exactly as it was.
   std::set<int> next;
   for (const automata::ATransition& tr : automaton_.transitions()) {
+    if (cancel != nullptr && cancel->ShouldStop()) return false;
     if (states_.count(tr.from) == 0) continue;
     if (next.count(tr.to) > 0) continue;  // guard eval is the costly part
-    if (tr.guard.Eval(t)) next.insert(tr.to);
+    if (tr.guard.Eval(view)) next.insert(tr.to);
   }
   states_ = std::move(next);
   current_ = t.post;
   ++num_steps_;
+  return true;
 }
 
 bool AutomatonMonitor::CurrentlyAccepted() const {

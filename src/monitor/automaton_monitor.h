@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "src/automata/a_automaton.h"
+#include "src/engine/cancel.h"
 #include "src/monitor/progression.h"
 #include "src/schema/access.h"
 #include "src/schema/lts.h"
+#include "src/store/match_index.h"
 
 namespace accltl {
 namespace monitor {
@@ -40,6 +42,17 @@ class AutomatonMonitor {
   /// configuration).
   void StepTransition(const schema::Transition& t);
 
+  /// Cancellable variants: `cancel` is polled between guard
+  /// evaluations. A step is all-or-nothing — if the token fires the
+  /// method returns false and the monitor is untouched (state set,
+  /// configuration and step count unchanged), so the caller may retry
+  /// the same step; an unfired token never changes any result (the
+  /// PR-4 cancellation contract). nullptr means uncancellable.
+  bool TryStep(const schema::Access& access, const schema::Response& response,
+               const engine::CancelToken* cancel);
+  bool TryStepTransition(const schema::Transition& t,
+                         const engine::CancelToken* cancel);
+
   Verdict verdict() const;
 
   /// The prefix consumed so far is in L(A).
@@ -62,6 +75,15 @@ class AutomatonMonitor {
   /// the transition graph (guards ignored). Precomputed once.
   std::vector<bool> can_reach_accepting_;
   size_t num_steps_ = 0;
+  /// Per-monitor match indexes for guard evaluation: COW configurations
+  /// share unchanged FactSets across steps, so an index built at step i
+  /// serves every later step touching the same relation — per-step
+  /// guard cost follows the matching tuples, not the configuration
+  /// size. Bounded: once the cache pins more than kMaxIndexedSets
+  /// distinct sets it is dropped wholesale and rebuilt on demand.
+  static constexpr size_t kMaxIndexedSets = 1024;
+  store::MatchIndexCache index_cache_;
+  store::MatchIndexCache::LocalView index_view_{&index_cache_};
 };
 
 }  // namespace monitor

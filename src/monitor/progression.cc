@@ -232,6 +232,22 @@ void ProgressionMonitor::StepTransition(const schema::Transition& t) {
   RecomputeVerdict();
 }
 
+bool ProgressionMonitor::TryStep(const schema::Access& access,
+                                 const schema::Response& response,
+                                 const engine::CancelToken* cancel) {
+  if (cancel != nullptr && cancel->ShouldStop()) return false;
+  schema::Transition t =
+      schema::MakeTransition(schema_, current_, access, response);
+  return TryStepTransition(t, cancel);
+}
+
+bool ProgressionMonitor::TryStepTransition(const schema::Transition& t,
+                                           const engine::CancelToken* cancel) {
+  if (cancel != nullptr && cancel->ShouldStop()) return false;
+  StepTransition(t);
+  return true;
+}
+
 void ProgressionMonitor::RecomputeVerdict() {
   if (residual_->kind == Prog::Kind::kConst) {
     verdict_ =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/accltl/formula.h"
+#include "src/engine/cancel.h"
 #include "src/schema/access.h"
 #include "src/schema/lts.h"
 
@@ -66,6 +67,17 @@ class ProgressionMonitor {
   /// Consumes a pre-materialized transition. The transition's `pre`
   /// must equal the monitor's current configuration.
   void StepTransition(const schema::Transition& t);
+
+  /// Cancellable variants. A progression step is all-or-nothing —
+  /// `cancel` is polled on entry (the rewrite itself is bounded by the
+  /// residual, not the configuration); a fired token returns false and
+  /// leaves the monitor untouched so the caller may retry the same
+  /// step, and an unfired token never changes any result (the PR-4
+  /// cancellation contract). nullptr means uncancellable.
+  bool TryStep(const schema::Access& access, const schema::Response& response,
+               const engine::CancelToken* cancel);
+  bool TryStepTransition(const schema::Transition& t,
+                         const engine::CancelToken* cancel);
 
   /// Verdict for the prefix consumed so far. Before the first step the
   /// verdict is kCurrentlyFalse (the paper's paths are non-empty).

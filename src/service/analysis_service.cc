@@ -119,6 +119,68 @@ void PendingResult::Cancel() const {
   if (state_ != nullptr) state_->token.Cancel();
 }
 
+// --- PendingStep ------------------------------------------------------------
+
+struct PendingStep::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  session::StepResult result;
+  /// The step's cooperative stop: owned here so Cancel works on a
+  /// queued step and the token outlives the monitor advance polling it.
+  engine::CancelToken token;
+
+  void Fulfill(session::StepResult r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+PendingStep::PendingStep() = default;
+PendingStep::~PendingStep() = default;
+PendingStep::PendingStep(const PendingStep&) = default;
+PendingStep& PendingStep::operator=(const PendingStep&) = default;
+PendingStep::PendingStep(PendingStep&&) noexcept = default;
+PendingStep& PendingStep::operator=(PendingStep&&) noexcept = default;
+PendingStep::PendingStep(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+bool PendingStep::valid() const { return state_ != nullptr; }
+
+bool PendingStep::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+const session::StepResult& PendingStep::Get() const {
+  if (state_ == nullptr) {
+    static const session::StepResult* kInvalid = [] {
+      auto* r = new session::StepResult();
+      r->status = Status::Internal("Get() on an invalid PendingStep");
+      return r;
+    }();
+    return *kInvalid;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+bool PendingStep::WaitFor(std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) return false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout, [this] { return state_->done; });
+}
+
+void PendingStep::Cancel() const {
+  if (state_ != nullptr) state_->token.Cancel();
+}
+
 // --- AnalysisService --------------------------------------------------------
 
 namespace {
@@ -202,7 +264,9 @@ class EngineResolver : public AnswerResolver {
 };
 
 AnalysisService::AnalysisService(ServiceOptions options)
-    : options_(options), cache_(options.cache_capacity) {
+    : options_(options),
+      cache_(options.cache_capacity),
+      sessions_(options.session) {
   if (options_.semantic_cache_capacity > 0) {
     semantic_cache_ =
         std::make_unique<SemanticCache>(options_.semantic_cache_capacity);
@@ -228,8 +292,8 @@ AnalysisService::~AnalysisService() {
     // searching; in-flight ones abort at their next node expansion and
     // resolve as kCancelled too — the join below is bounded by one
     // cancellation latency, not by the remaining search time.
-    for (Job& job : queue_) job.state->token.Cancel();
-    for (const auto& state : in_flight_) state->token.Cancel();
+    for (Job& job : queue_) JobToken(job)->Cancel();
+    for (const InFlight& inf : in_flight_) inf.token->Cancel();
   }
   queue_cv_.notify_all();
   for (std::thread& t : dispatchers_) t.join();
@@ -286,12 +350,21 @@ PendingResult AnalysisService::Submit(
       state->Fulfill(std::move(resp));
       return PendingResult(state);
     }
-    queue_.push_back(Job{std::move(prepared), request, state,
-                         std::chrono::steady_clock::now()});
+    Job job;
+    job.prepared = std::move(prepared);
+    job.request = request;
+    job.state = state;
+    job.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(job));
     ServiceMetrics::Get().queue_depth->Add(1);
   }
   queue_cv_.notify_one();
   return PendingResult(std::move(state));
+}
+
+engine::CancelToken* AnalysisService::JobToken(const Job& job) {
+  return job.step_state != nullptr ? &job.step_state->token
+                                   : &job.state->token;
 }
 
 void AnalysisService::DispatcherLoop() {
@@ -306,7 +379,11 @@ void AnalysisService::DispatcherLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
       metrics.queue_depth->Add(-1);
-      in_flight_.push_back(job.state);
+      in_flight_.push_back(InFlight{
+          job.step_state != nullptr
+              ? std::static_pointer_cast<void>(job.step_state)
+              : std::static_pointer_cast<void>(job.state),
+          JobToken(job)});
     }
     if (obs::MetricsEnabled()) {
       metrics.queue_wait_us->Record(static_cast<uint64_t>(
@@ -315,7 +392,27 @@ void AnalysisService::DispatcherLoop() {
                      std::chrono::steady_clock::now() - job.enqueued)
                      .count())));
     }
-    if (job.state->token.fired()) {
+    if (job.step_state != nullptr) {
+      if (job.step_state->token.fired()) {
+        // Cancelled while queued: the session is untouched; report its
+        // current (still-correct) verdict alongside the cancel.
+        session::StepResult r;
+        r.status = Status::ResourceExhausted("step cancelled");
+        r.deadline_exceeded = true;
+        Result<session::SessionInfo> info =
+            sessions_.Describe(job.session_id);
+        if (info.ok()) {
+          r.verdict = info.value().verdict;
+          r.is_final = monitor::IsFinal(r.verdict);
+          r.currently_holds = info.value().currently_holds;
+          r.steps = info.value().steps;
+        }
+        job.step_state->Fulfill(std::move(r));
+      } else {
+        job.step_state->Fulfill(ExecuteStep(job.session_id, job.step,
+                                            &job.step_state->token));
+      }
+    } else if (job.state->token.fired()) {
       // Cancelled while queued: answer without searching.
       CheckResponse resp;
       resp.verdict = Verdict::kCancelled;
@@ -326,8 +423,9 @@ void AnalysisService::DispatcherLoop() {
     }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
+      engine::CancelToken* token = JobToken(job);
       for (size_t i = 0; i < in_flight_.size(); ++i) {
-        if (in_flight_[i] == job.state) {
+        if (in_flight_[i].token == token) {
           in_flight_[i] = in_flight_.back();
           in_flight_.pop_back();
           break;
@@ -408,6 +506,94 @@ CheckResponse AnalysisService::RunEngine(const PreparedQuery& prepared,
                        : Verdict::kCancelled;
   }
   return resp;
+}
+
+// --- Streaming sessions -----------------------------------------------------
+
+Result<session::SessionId> AnalysisService::OpenSession(
+    std::shared_ptr<const PreparedQuery> prepared, schema::Instance initial) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("OpenSession on a null prepared query");
+  }
+  const PreparedQuery& q = *prepared;
+  // The owner handle pins the prepared query — and with it the schema
+  // the monitor references by address — for the session's lifetime.
+  return sessions_.Open(q.prepared_, q.schema(), std::move(initial),
+                        std::shared_ptr<const void>(std::move(prepared)));
+}
+
+Result<session::SessionId> AnalysisService::OpenSession(
+    std::shared_ptr<const PreparedQuery> prepared) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("OpenSession on a null prepared query");
+  }
+  schema::Instance initial(prepared->schema());
+  return OpenSession(std::move(prepared), std::move(initial));
+}
+
+session::StepResult AnalysisService::ExecuteStep(
+    session::SessionId id, const StepRequest& request,
+    engine::CancelToken* token) {
+  if (request.deadline.count() > 0 && token != nullptr) {
+    token->ArmDeadlineAfter(request.deadline);
+  }
+  Result<session::StepResult> r =
+      sessions_.Step(id, request.access, request.response, token);
+  if (!r.ok()) {
+    session::StepResult out;
+    out.status = r.status();
+    return out;
+  }
+  return r.value();
+}
+
+session::StepResult AnalysisService::StepSession(session::SessionId id,
+                                                 const StepRequest& request) {
+  engine::CancelToken token;
+  return ExecuteStep(id, request, &token);
+}
+
+PendingStep AnalysisService::SubmitStep(session::SessionId id,
+                                        StepRequest request) {
+  auto state = std::make_shared<PendingStep::State>();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      // Post-shutdown steps resolve immediately rather than hanging a
+      // Get() forever; the session was untouched.
+      state->token.Cancel();
+      session::StepResult r;
+      r.status = Status::ResourceExhausted("service shutting down");
+      r.deadline_exceeded = true;
+      state->Fulfill(std::move(r));
+      return PendingStep(state);
+    }
+    Job job;
+    job.session_id = id;
+    job.step = std::move(request);
+    job.step_state = state;
+    job.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(job));
+    ServiceMetrics::Get().queue_depth->Add(1);
+  }
+  queue_cv_.notify_one();
+  return PendingStep(std::move(state));
+}
+
+Result<session::SessionInfo> AnalysisService::CloseSession(
+    session::SessionId id) {
+  return sessions_.Close(id);
+}
+
+Result<session::SessionInfo> AnalysisService::DescribeSession(
+    session::SessionId id) const {
+  return sessions_.Describe(id);
+}
+
+size_t AnalysisService::ExpireIdleSessions() { return sessions_.ExpireIdle(); }
+
+size_t AnalysisService::live_sessions() const {
+  return sessions_.live_sessions();
 }
 
 }  // namespace service

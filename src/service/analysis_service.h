@@ -22,6 +22,7 @@
 #include "src/service/canonical.h"
 #include "src/service/result_cache.h"
 #include "src/service/semantic_cache.h"
+#include "src/session/session_manager.h"
 
 namespace accltl {
 namespace service {
@@ -57,6 +58,18 @@ struct ServiceOptions {
   /// pipeline is then syntactic cache → engine, byte-identical to the
   /// pre-tiered behavior.
   size_t semantic_cache_capacity = 0;
+  /// Streaming-session table bounds (DESIGN.md §10).
+  session::SessionManagerOptions session;
+};
+
+/// One streamed access/response step against an open session.
+struct StepRequest {
+  schema::Access access;
+  schema::Response response;
+  /// Per-step deadline; 0 means none. A fired deadline leaves the
+  /// session untouched (the step may be retried) — see
+  /// session::StepResult::deadline_exceeded.
+  std::chrono::milliseconds deadline{0};
 };
 
 /// A prepared query: parsed AST, Figure 2 fragment classification,
@@ -133,6 +146,35 @@ class PendingResult {
   std::shared_ptr<State> state_;
 };
 
+/// Future-like handle to an async streamed step (SubmitStep).
+/// Copyable (shared state); all methods are safe from any thread.
+class PendingStep {
+ public:
+  PendingStep();
+  ~PendingStep();
+  PendingStep(const PendingStep&);
+  PendingStep& operator=(const PendingStep&);
+  PendingStep(PendingStep&&) noexcept;
+  PendingStep& operator=(PendingStep&&) noexcept;
+
+  bool valid() const;
+  bool ready() const;
+  /// Blocks until the step result is available.
+  const session::StepResult& Get() const;
+  /// Waits up to `timeout`; true when the result became available.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+  /// Fires the step's cancel token: a queued step resolves without
+  /// touching the session, an in-flight one aborts before committing
+  /// (the session is untouched either way; the step may be retried).
+  void Cancel() const;
+
+ private:
+  friend class AnalysisService;
+  struct State;
+  explicit PendingStep(std::shared_ptr<State> state);
+  std::shared_ptr<State> state_;
+};
+
 /// The long-lived facade over the analysis engines: owns the prepared
 /// state, the result cache and the async submission queue, and drives
 /// every search through the shared engine::ThreadPool. One service
@@ -173,6 +215,46 @@ class AnalysisService {
   PendingResult Submit(std::shared_ptr<const PreparedQuery> prepared,
                        CheckRequest request = {});
 
+  /// --- Streaming sessions (DESIGN.md §10) ---------------------------------
+  /// Opens a monitored session over the prepared query: the client then
+  /// streams access/response steps and receives an incremental
+  /// four-valued verdict per step, never re-running a full search. The
+  /// session pins `prepared` (schema, formula, compiled automaton) for
+  /// its lifetime; the backend follows the prepared query's Figure-2
+  /// classification (session::MonitoredSession::PickBackend).
+  /// `initial` is the session's I0; the overload without it starts from
+  /// the empty instance.
+  Result<session::SessionId> OpenSession(
+      std::shared_ptr<const PreparedQuery> prepared,
+      schema::Instance initial);
+  Result<session::SessionId> OpenSession(
+      std::shared_ptr<const PreparedQuery> prepared);
+
+  /// Synchronous step on the calling thread (deadline-capable through
+  /// `request.deadline`). Lookup failures (unknown/expired session) are
+  /// flattened into StepResult::status, so callers branch on one field.
+  session::StepResult StepSession(session::SessionId id,
+                                  const StepRequest& request);
+
+  /// Async step via the dispatcher queue. Steps of one session are
+  /// serialized by the session's own lock, but *ordering* across
+  /// concurrently queued steps follows dispatcher scheduling: a client
+  /// that needs a deterministic verdict sequence (they all do) waits on
+  /// each PendingStep before submitting the next — then the sequence is
+  /// identical at any dispatcher count.
+  PendingStep SubmitStep(session::SessionId id, StepRequest request);
+
+  /// Closes the session, returning its final state.
+  Result<session::SessionInfo> CloseSession(session::SessionId id);
+
+  /// Current session state without consuming a step.
+  Result<session::SessionInfo> DescribeSession(session::SessionId id) const;
+
+  /// Sweeps idle-expired sessions now; returns how many were expired.
+  size_t ExpireIdleSessions();
+
+  size_t live_sessions() const;
+
   /// The engine pool every search of this service runs on.
   engine::ThreadPool& pool() const { return engine::ThreadPool::Global(); }
 
@@ -195,18 +277,30 @@ class AnalysisService {
 
  private:
   friend class EngineResolver;
-  /// One queued submission. `state` is created complete inside
-  /// Submit (type-erased deleter), so holding it through the
-  /// forward-declared State is fine.
+  /// One queued submission — either a full check (state) or a session
+  /// step (step_state); exactly one is non-null. States are created
+  /// complete inside Submit/SubmitStep (type-erased deleters), so
+  /// holding them through the forward-declared State types is fine.
   struct Job {
     std::shared_ptr<const PreparedQuery> prepared;
     CheckRequest request;
     std::shared_ptr<PendingResult::State> state;
+    /// Session-step jobs.
+    session::SessionId session_id = 0;
+    StepRequest step;
+    std::shared_ptr<PendingStep::State> step_state;
     /// Submit time, for the dispatcher queue-wait histogram.
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void DispatcherLoop();
+  /// Cancel token of whichever state a job carries.
+  static engine::CancelToken* JobToken(const Job& job);
+  /// Arms the deadline, runs the step through the session table and
+  /// flattens lookup errors into StepResult::status.
+  session::StepResult ExecuteStep(session::SessionId id,
+                                  const StepRequest& request,
+                                  engine::CancelToken* token);
   /// Stamps metrics/verdict around one pipeline walk.
   CheckResponse Execute(const PreparedQuery& prepared,
                         const CheckRequest& request,
@@ -226,13 +320,23 @@ class AnalysisService {
   /// thereafter (safe to walk from all dispatchers).
   AnswerPipeline pipeline_;
 
+  /// Streaming-session table; lives above the queue members so the
+  /// destructor's dispatcher join (which may be mid-step) happens
+  /// while the table is still alive.
+  session::SessionManager sessions_;
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
-  /// States of requests a dispatcher has popped but not yet fulfilled,
-  /// so shutdown can fire their tokens too (a destructor that only
-  /// cancelled the queue would block on a running unbounded sweep).
-  std::vector<std::shared_ptr<PendingResult::State>> in_flight_;
+  /// Tokens (with a keep-alive on their owning state) of requests a
+  /// dispatcher has popped but not yet fulfilled, so shutdown can fire
+  /// them too (a destructor that only cancelled the queue would block
+  /// on a running unbounded sweep).
+  struct InFlight {
+    std::shared_ptr<void> keep;
+    engine::CancelToken* token;
+  };
+  std::vector<InFlight> in_flight_;
   bool stopping_ = false;
   std::vector<std::thread> dispatchers_;
 };

@@ -1,0 +1,102 @@
+#include "src/session/monitored_session.h"
+
+#include <utility>
+
+namespace accltl {
+namespace session {
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kProgression:
+      return "progression";
+    case Backend::kAutomaton:
+      return "automaton";
+  }
+  return "unknown";
+}
+
+Backend MonitoredSession::PickBackend(
+    const analysis::PreparedFormula& prepared) {
+  return prepared.automaton != nullptr ? Backend::kAutomaton
+                                       : Backend::kProgression;
+}
+
+MonitoredSession::MonitoredSession(const analysis::PreparedFormula& prepared,
+                                   const schema::Schema& schema,
+                                   schema::Instance initial)
+    : schema_(schema), backend_(PickBackend(prepared)) {
+  if (backend_ == Backend::kAutomaton) {
+    automaton_.emplace(*prepared.automaton, schema, std::move(initial));
+  } else {
+    progression_.emplace(prepared.formula, schema, std::move(initial));
+  }
+}
+
+StepResult MonitoredSession::Step(const schema::Access& access,
+                                  const schema::Response& response,
+                                  const engine::CancelToken* cancel) {
+  StepResult result;
+  // Structural validation before the monitor sees anything: a rejected
+  // step consumes nothing.
+  if (access.method < 0 ||
+      access.method >=
+          static_cast<schema::AccessMethodId>(schema_.num_access_methods())) {
+    result.status = Status::InvalidArgument("unknown access method id");
+    DescribeVerdict(&result);
+    return result;
+  }
+  {
+    schema::AccessPath one;
+    one.Append(schema::AccessStep{access, response});
+    Status valid = one.Validate(schema_);
+    if (!valid.ok()) {
+      result.status = valid;
+      DescribeVerdict(&result);
+      return result;
+    }
+  }
+  bool committed =
+      backend_ == Backend::kAutomaton
+          ? automaton_->TryStep(access, response, cancel)
+          : progression_->TryStep(access, response, cancel);
+  if (!committed) {
+    result.deadline_exceeded = true;
+    result.status =
+        cancel != nullptr &&
+                cancel->cause() == engine::CancelToken::Cause::kDeadline
+            ? Status::ResourceExhausted("per-step deadline exceeded")
+            : Status::ResourceExhausted("step cancelled");
+  }
+  DescribeVerdict(&result);
+  return result;
+}
+
+monitor::Verdict MonitoredSession::verdict() const {
+  return backend_ == Backend::kAutomaton ? automaton_->verdict()
+                                         : progression_->verdict();
+}
+
+bool MonitoredSession::CurrentlyHolds() const {
+  return backend_ == Backend::kAutomaton ? automaton_->CurrentlyAccepted()
+                                         : progression_->CurrentlyHolds();
+}
+
+size_t MonitoredSession::num_steps() const {
+  return backend_ == Backend::kAutomaton ? automaton_->num_steps()
+                                         : progression_->num_steps();
+}
+
+const schema::Instance& MonitoredSession::configuration() const {
+  return backend_ == Backend::kAutomaton ? automaton_->configuration()
+                                         : progression_->configuration();
+}
+
+void MonitoredSession::DescribeVerdict(StepResult* out) const {
+  out->verdict = verdict();
+  out->is_final = monitor::IsFinal(out->verdict);
+  out->currently_holds = CurrentlyHolds();
+  out->steps = num_steps();
+}
+
+}  // namespace session
+}  // namespace accltl

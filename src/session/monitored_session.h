@@ -1,0 +1,101 @@
+#ifndef ACCLTL_SESSION_MONITORED_SESSION_H_
+#define ACCLTL_SESSION_MONITORED_SESSION_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "src/analysis/decide.h"
+#include "src/common/status.h"
+#include "src/engine/cancel.h"
+#include "src/monitor/automaton_monitor.h"
+#include "src/monitor/progression.h"
+#include "src/schema/access.h"
+#include "src/schema/instance.h"
+#include "src/schema/schema.h"
+
+namespace accltl {
+namespace session {
+
+/// Monitor backend driving one streaming session, picked from the
+/// prepared query's Figure-2 classification: formulas the analysis
+/// compiled to a Lemma 4.5 A-automaton stream through the NFA state
+/// set (AutomatonMonitor); everything else streams through formula
+/// progression (ProgressionMonitor), which works on any AccLTL
+/// formula.
+enum class Backend {
+  kProgression,
+  kAutomaton,
+};
+
+const char* BackendName(Backend b);
+
+/// Outcome of one streamed access/response step. `status` non-OK means
+/// the step was NOT consumed — the monitor is exactly as it was, and
+/// the verdict fields describe the *unchanged* prefix, so a reported
+/// verdict is never wrong (the PR-4 "unfired token changes nothing"
+/// contract, extended to fired tokens: they change nothing either).
+struct StepResult {
+  Status status;
+  /// The per-step deadline/cancel token fired before the step
+  /// committed. The step may be retried (e.g. with a longer deadline).
+  bool deadline_exceeded = false;
+  /// RV-LTL verdict for the consumed prefix.
+  monitor::Verdict verdict = monitor::Verdict::kCurrentlyFalse;
+  /// monitor::IsFinal(verdict): the verdict is irrevocable — no
+  /// extension of the stream can change it.
+  bool is_final = false;
+  /// The consumed prefix satisfies the query if the stream ends here.
+  bool currently_holds = false;
+  /// Steps consumed so far (unchanged when status is non-OK).
+  size_t steps = 0;
+};
+
+/// One client's streaming view of a prepared query: consumes
+/// access/response steps and maintains an incremental four-valued
+/// verdict, never re-running a full search. Each step advances the
+/// monitor's configuration on the COW instance store — cost follows
+/// the step's delta (response tuples, guard matches, residual
+/// rewrites), not the length of the consumed prefix.
+///
+/// Not internally synchronized: a session is one client's stream, so
+/// callers (SessionManager) serialize steps per session.
+class MonitoredSession {
+ public:
+  /// Picks the backend for `prepared` (see Backend).
+  static Backend PickBackend(const analysis::PreparedFormula& prepared);
+
+  /// `prepared` and `schema` must outlive the session (the service
+  /// layer pins both through the owning PreparedQuery); `initial` is
+  /// the session's I0.
+  MonitoredSession(const analysis::PreparedFormula& prepared,
+                   const schema::Schema& schema, schema::Instance initial);
+
+  /// Consumes one step. Validates the access and response against the
+  /// schema (arity, position types, response tuples agreeing with the
+  /// binding on input positions) before touching the monitor;
+  /// `cancel`, when non-null, bounds the step (see StepResult).
+  StepResult Step(const schema::Access& access,
+                  const schema::Response& response,
+                  const engine::CancelToken* cancel = nullptr);
+
+  Backend backend() const { return backend_; }
+  monitor::Verdict verdict() const;
+  bool CurrentlyHolds() const;
+  size_t num_steps() const;
+  const schema::Instance& configuration() const;
+
+  /// Fills the verdict fields of a StepResult from the current state.
+  void DescribeVerdict(StepResult* out) const;
+
+ private:
+  const schema::Schema& schema_;
+  Backend backend_;
+  /// Exactly one engaged, per backend_.
+  std::optional<monitor::ProgressionMonitor> progression_;
+  std::optional<monitor::AutomatonMonitor> automaton_;
+};
+
+}  // namespace session
+}  // namespace accltl
+
+#endif  // ACCLTL_SESSION_MONITORED_SESSION_H_

@@ -1,0 +1,190 @@
+#include "src/session/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace accltl {
+namespace session {
+
+namespace {
+
+/// Streaming-session instruments (write-only; DESIGN.md §8/§10).
+struct SessionMetrics {
+  obs::Counter* opened;
+  obs::Counter* closed;
+  obs::Counter* expired;
+  obs::Counter* rejected;
+  obs::Counter* steps;
+  obs::Counter* step_errors;
+  obs::Counter* step_deadline_exceeded;
+  obs::Counter* finalized;
+  obs::Gauge* live;
+  obs::Histogram* step_latency_us;
+  static const SessionMetrics& Get() {
+    obs::Registry& r = obs::Registry::Get();
+    static const SessionMetrics m{
+        r.counter("session.opened"),
+        r.counter("session.closed"),
+        r.counter("session.expired"),
+        r.counter("session.rejected"),
+        r.counter("session.steps"),
+        r.counter("session.step_errors"),
+        r.counter("session.step_deadline_exceeded"),
+        r.counter("session.finalized"),
+        r.gauge("session.live"),
+        r.histogram("session.step_latency_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(options) {}
+
+size_t SessionManager::SweepLocked(
+    std::chrono::steady_clock::time_point now) {
+  size_t swept = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (Expired(*it->second, now)) {
+      it = table_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  if (swept > 0) {
+    const SessionMetrics& metrics = SessionMetrics::Get();
+    metrics.expired->Inc(swept);
+    metrics.live->Add(-static_cast<int64_t>(swept));
+  }
+  return swept;
+}
+
+Result<SessionId> SessionManager::Open(
+    const analysis::PreparedFormula& prepared, const schema::Schema& schema,
+    schema::Instance initial, std::shared_ptr<const void> owner) {
+  auto entry = std::make_shared<Entry>(prepared, schema, std::move(initial),
+                                       std::move(owner));
+  const SessionMetrics& metrics = SessionMetrics::Get();
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    if (table_.size() >= options_.max_sessions) {
+      SweepLocked(std::chrono::steady_clock::now());
+    }
+    if (table_.size() >= options_.max_sessions) {
+      metrics.rejected->Inc();
+      return Status::ResourceExhausted("session table full");
+    }
+    id = next_id_++;
+    table_.emplace(id, std::move(entry));
+  }
+  metrics.opened->Inc();
+  metrics.live->Add(1);
+  return id;
+}
+
+Result<StepResult> SessionManager::Step(SessionId id,
+                                        const schema::Access& access,
+                                        const schema::Response& response,
+                                        const engine::CancelToken* cancel) {
+  const SessionMetrics& metrics = SessionMetrics::Get();
+  auto now = std::chrono::steady_clock::now();
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+      return Status::NotFound("unknown session id");
+    }
+    if (Expired(*it->second, now)) {
+      table_.erase(it);
+      metrics.expired->Inc();
+      metrics.live->Add(-1);
+      return Status::NotFound("session idle-expired");
+    }
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> step_lock(entry->mu);
+  StepResult result = entry->session.Step(access, response, cancel);
+  entry->last_used.store(std::chrono::steady_clock::now(),
+                         std::memory_order_relaxed);
+  if (result.status.ok()) {
+    metrics.steps->Inc();
+    if (result.is_final && !entry->finalized_counted) {
+      entry->finalized_counted = true;
+      metrics.finalized->Inc();
+    }
+  } else if (result.deadline_exceeded) {
+    metrics.step_deadline_exceeded->Inc();
+  } else {
+    metrics.step_errors->Inc();
+  }
+  if (obs::MetricsEnabled()) {
+    metrics.step_latency_us->Record(static_cast<uint64_t>(
+        std::max<int64_t>(
+            0, std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - now)
+                   .count())));
+  }
+  return result;
+}
+
+SessionInfo SessionManager::Describe(SessionId id, const Entry& entry) {
+  SessionInfo info;
+  info.id = id;
+  info.backend = entry.session.backend();
+  info.verdict = entry.session.verdict();
+  info.currently_holds = entry.session.CurrentlyHolds();
+  info.steps = entry.session.num_steps();
+  return info;
+}
+
+Result<SessionInfo> SessionManager::Close(SessionId id) {
+  const SessionMetrics& metrics = SessionMetrics::Get();
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+      return Status::NotFound("unknown session id");
+    }
+    entry = std::move(it->second);
+    table_.erase(it);
+  }
+  metrics.closed->Inc();
+  metrics.live->Add(-1);
+  std::lock_guard<std::mutex> step_lock(entry->mu);
+  return Describe(id, *entry);
+}
+
+Result<SessionInfo> SessionManager::Describe(SessionId id) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(table_mu_);
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+      return Status::NotFound("unknown session id");
+    }
+    entry = it->second;
+  }
+  std::lock_guard<std::mutex> step_lock(entry->mu);
+  return Describe(id, *entry);
+}
+
+size_t SessionManager::live_sessions() const {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  return table_.size();
+}
+
+size_t SessionManager::ExpireIdle() {
+  std::lock_guard<std::mutex> lock(table_mu_);
+  return SweepLocked(std::chrono::steady_clock::now());
+}
+
+}  // namespace session
+}  // namespace accltl

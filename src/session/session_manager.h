@@ -1,0 +1,118 @@
+#ifndef ACCLTL_SESSION_SESSION_MANAGER_H_
+#define ACCLTL_SESSION_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/engine/cancel.h"
+#include "src/session/monitored_session.h"
+
+namespace accltl {
+namespace session {
+
+using SessionId = uint64_t;
+
+struct SessionManagerOptions {
+  /// Hard bound on live sessions. Open past the bound first sweeps
+  /// idle-expired sessions; if the table is still full it answers
+  /// kResourceExhausted (load shedding, not queueing).
+  size_t max_sessions = 1024;
+  /// A session untouched for this long is expired: swept by Open when
+  /// the table is full, and rejected lazily by the next Step/Close
+  /// that touches it. Zero disables idle expiry.
+  std::chrono::milliseconds idle_timeout = std::chrono::minutes(10);
+};
+
+/// Point-in-time description of one session (returned by Close and
+/// Describe).
+struct SessionInfo {
+  SessionId id = 0;
+  Backend backend = Backend::kProgression;
+  monitor::Verdict verdict = monitor::Verdict::kCurrentlyFalse;
+  bool currently_holds = false;
+  size_t steps = 0;
+};
+
+/// Bounded table of live MonitoredSessions: open → step* → close (or
+/// idle-expire). Thread-safe; steps on distinct sessions run
+/// concurrently (per-entry mutexes), steps on one session serialize.
+/// Each entry pins an opaque owner handle (the service layer's
+/// PreparedQuery) so the prepared formula, compiled automaton and
+/// schema outlive the session.
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+
+  /// Opens a session over `prepared`/`schema` starting from `initial`.
+  /// Both references must stay valid while `owner` is alive.
+  Result<SessionId> Open(const analysis::PreparedFormula& prepared,
+                         const schema::Schema& schema,
+                         schema::Instance initial,
+                         std::shared_ptr<const void> owner);
+
+  /// Streams one step into the session. kNotFound for unknown, closed
+  /// or idle-expired ids; otherwise the session's StepResult (whose
+  /// own `status` reports per-step validation/deadline outcomes).
+  Result<StepResult> Step(SessionId id, const schema::Access& access,
+                          const schema::Response& response,
+                          const engine::CancelToken* cancel = nullptr);
+
+  /// Closes the session, returning its final state.
+  Result<SessionInfo> Close(SessionId id);
+
+  /// The session's current state without consuming a step.
+  Result<SessionInfo> Describe(SessionId id) const;
+
+  /// Sweeps idle-expired sessions now; returns how many were expired.
+  size_t ExpireIdle();
+
+  size_t live_sessions() const;
+  const SessionManagerOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    /// Serializes steps on this session; taken after (never inside)
+    /// table_mu_.
+    std::mutex mu;
+    MonitoredSession session;
+    std::shared_ptr<const void> owner;
+    /// Atomic: written under the entry mutex (Step), read under
+    /// table_mu_ only (expiry checks) — the two lock domains overlap
+    /// nowhere, so the timestamp itself carries the synchronization.
+    std::atomic<std::chrono::steady_clock::time_point> last_used;
+    /// The session.finalized counter fires once per session.
+    bool finalized_counted = false;
+
+    Entry(const analysis::PreparedFormula& prepared,
+          const schema::Schema& schema, schema::Instance initial,
+          std::shared_ptr<const void> own)
+        : session(prepared, schema, std::move(initial)),
+          owner(std::move(own)),
+          last_used(std::chrono::steady_clock::now()) {}
+  };
+
+  bool Expired(const Entry& entry,
+               std::chrono::steady_clock::time_point now) const {
+    return options_.idle_timeout.count() > 0 &&
+           now - entry.last_used.load(std::memory_order_relaxed) >=
+               options_.idle_timeout;
+  }
+  /// Removes expired entries under table_mu_; returns the count.
+  size_t SweepLocked(std::chrono::steady_clock::time_point now);
+  static SessionInfo Describe(SessionId id, const Entry& entry);
+
+  SessionManagerOptions options_;
+  mutable std::mutex table_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Entry>> table_;
+  SessionId next_id_ = 1;
+};
+
+}  // namespace session
+}  // namespace accltl
+
+#endif  // ACCLTL_SESSION_SESSION_MANAGER_H_

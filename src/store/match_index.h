@@ -73,6 +73,10 @@ class MatchIndexCache {
       return index->Get(v);
     }
 
+    /// Drops the memo (the raw PositionIndex pointers). Must be called
+    /// before the owning cache's Clear() when the view outlives it.
+    void Reset() { memo_.clear(); }
+
    private:
     using Key = std::pair<const FactSet*, int>;
     struct KeyHash {

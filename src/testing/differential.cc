@@ -23,6 +23,7 @@
 #include "src/schema/lts.h"
 #include "src/schema/text_format.h"
 #include "src/service/analysis_service.h"
+#include "src/session/monitored_session.h"
 #include "src/workload/workload.h"
 
 namespace accltl {
@@ -1140,13 +1141,147 @@ DiffOutcome RunLtsPair(const FuzzCase& c) {
   return Agree();
 }
 
+/// session: the streaming-session surface vs the naive per-prefix
+/// oracle. One random access stream is derived from the seed; a
+/// progression-backed reference session replays it step by step and
+/// must agree with oracle::NaiveEvalOnPath after EVERY prefix; the
+/// service-side session (whichever backend Figure-2 routing picked)
+/// must never flip an irrevocable verdict, must match the reference
+/// exactly when it is progression-backed, and — once the A-automaton
+/// backend reports kViolated — the reference must stay currently-false
+/// for the rest of the stream. The whole interaction is replayed at
+/// 1/2/8 dispatcher threads (client-sequential SubmitStep) and the
+/// verdict sequences must be byte-identical.
+DiffOutcome RunSessionPair(const FuzzCase& c) {
+  Rng stream_rng(c.seed ^ Fnv1a("session-stream"));
+  schema::AccessPath stream = workload::RandomAccessStream(
+      &stream_rng, c.schema, c.universe, 4 + stream_rng.Uniform(4));
+  if (stream.size() == 0) return Skip();
+
+  // Progression-backed reference: a PreparedFormula with no automaton
+  // forces Backend::kProgression regardless of fragment.
+  analysis::PreparedFormula ref_prepared;
+  ref_prepared.formula = c.formula;
+  session::MonitoredSession reference(ref_prepared, c.schema,
+                                      schema::Instance(c.schema));
+  std::vector<bool> reference_holds;
+  {
+    schema::AccessPath prefix;
+    for (const schema::AccessStep& step : stream.steps()) {
+      session::StepResult r = reference.Step(step.access, step.response);
+      if (!r.status.ok()) {
+        return Diverge("reference session rejected a generated step: " +
+                       r.status.ToString());
+      }
+      prefix.Append(step);
+      bool oracle_holds = oracle::NaiveEvalOnPath(
+          c.formula, c.schema, prefix, schema::Instance(c.schema));
+      if (r.currently_holds != oracle_holds) {
+        return Diverge(
+            "progression verdict disagrees with the oracle after " +
+            std::to_string(prefix.size()) + " steps: monitor=" +
+            (r.currently_holds ? "holds" : "fails") + " oracle=" +
+            (oracle_holds ? "holds" : "fails"));
+      }
+      reference_holds.push_back(r.currently_holds);
+    }
+  }
+
+  std::string expected_seq;
+  for (size_t dispatchers : {size_t{1}, size_t{2}, size_t{8}}) {
+    service::ServiceOptions sopts;
+    sopts.num_dispatchers = dispatchers;
+    service::AnalysisService svc(sopts);
+    Result<std::shared_ptr<const service::PreparedQuery>> prepared =
+        svc.Prepare(c.schema, c.formula);
+    if (!prepared.ok()) {
+      return Diverge("session Prepare failed: " +
+                     prepared.status().ToString());
+    }
+    Result<session::SessionId> id = svc.OpenSession(prepared.value());
+    if (!id.ok()) {
+      return Diverge("OpenSession failed: " + id.status().ToString());
+    }
+    Result<session::SessionInfo> info = svc.DescribeSession(id.value());
+    if (!info.ok()) {
+      return Diverge("DescribeSession failed: " + info.status().ToString());
+    }
+    bool automaton_backend =
+        info.value().backend == session::Backend::kAutomaton;
+
+    std::string seq;
+    bool was_final = false;
+    monitor::Verdict final_verdict = monitor::Verdict::kCurrentlyFalse;
+    bool automaton_violated = false;
+    size_t i = 0;
+    for (const schema::AccessStep& step : stream.steps()) {
+      service::StepRequest request;
+      request.access = step.access;
+      request.response = step.response;
+      service::PendingStep pending = svc.SubmitStep(id.value(), request);
+      const session::StepResult& r = pending.Get();
+      if (!r.status.ok()) {
+        return Diverge("streamed step failed: " + r.status.ToString());
+      }
+      seq += std::string(monitor::VerdictName(r.verdict)) + ";";
+      if (was_final && r.verdict != final_verdict) {
+        return Diverge("irrevocable verdict flipped from " +
+                       std::string(monitor::VerdictName(final_verdict)) +
+                       " to " + monitor::VerdictName(r.verdict));
+      }
+      if (r.is_final && !was_final) {
+        was_final = true;
+        final_verdict = r.verdict;
+      }
+      if (automaton_backend) {
+        if (r.verdict == monitor::Verdict::kSatisfied) {
+          return Diverge("A-automaton backend reported kSatisfied");
+        }
+        if (r.verdict == monitor::Verdict::kViolated) {
+          automaton_violated = true;
+        }
+        if (automaton_violated && reference_holds[i]) {
+          return Diverge(
+              "A-automaton reported violated but progression still holds "
+              "after " +
+              std::to_string(i + 1) + " steps");
+        }
+      } else if (r.currently_holds != reference_holds[i]) {
+        return Diverge(
+            "service progression session disagrees with local reference "
+            "after " +
+            std::to_string(i + 1) + " steps");
+      }
+      ++i;
+    }
+    Result<session::SessionInfo> closed = svc.CloseSession(id.value());
+    if (!closed.ok()) {
+      return Diverge("CloseSession failed: " + closed.status().ToString());
+    }
+    if (closed.value().steps != stream.size()) {
+      return Diverge("session step count wrong at close: " +
+                     std::to_string(closed.value().steps) + " vs " +
+                     std::to_string(stream.size()));
+    }
+    if (expected_seq.empty()) {
+      expected_seq = seq;
+    } else if (seq != expected_seq) {
+      return Diverge(
+          "verdict sequence differs across dispatcher counts:\n  first: " +
+          expected_seq + "\n  got  : " + seq);
+    }
+  }
+  return Agree();
+}
+
 }  // namespace
 
 const std::vector<std::string>& EnginePairs() {
   static const std::vector<std::string> kPairs = {
       "oracle-zero", "oracle-automata", "zero-automata",
       "service",     "compact",         "rename",
-      "budget",      "lts",             "semantic"};
+      "budget",      "lts",             "semantic",
+      "session"};
   return kPairs;
 }
 
@@ -1169,7 +1304,7 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
   // high-arity mixed family — their engine calls carry a wall-clock
   // backstop.
   uint64_t family = rng.Uniform(3);
-  if (family == 2 && !oracle_pair && pair != "lts") {
+  if (family == 2 && !oracle_pair && pair != "lts" && pair != "session") {
     c.schema = workload::RandomHighArityMixedSchema(&rng, 1 + rng.Uniform(2));
   } else {
     c.schema = workload::RandomSchema(&rng, 2 + static_cast<int>(family), 2);
@@ -1212,7 +1347,7 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
   // or the guarded-Until-nest family.
   bool nary = pair == "oracle-automata" ||
               ((pair == "service" || pair == "compact" ||
-                pair == "semantic") &&
+                pair == "semantic" || pair == "session") &&
                rng.Chance(1, 3));
   int depth = 1 + static_cast<int>(rng.Uniform(2));
   if (rng.Chance(1, 3)) {
@@ -1232,6 +1367,13 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
       pair == "budget" || pair == "semantic") {
     c.grounded = rng.Chance(1, 4);
   }
+  // The streaming pair replays a random access stream drawn against a
+  // hidden universe; keep it small — the reference re-runs the naive
+  // per-prefix oracle after every step.
+  if (pair == "session") {
+    c.universe = workload::RandomInstance(&rng, c.schema,
+                                          3 + rng.Uniform(5), 3);
+  }
   return c;
 }
 
@@ -1245,6 +1387,7 @@ DiffOutcome RunCase(const FuzzCase& c) {
   if (c.pair == "budget") return RunBudgetPair(c);
   if (c.pair == "lts") return RunLtsPair(c);
   if (c.pair == "semantic") return RunSemanticPair(c);
+  if (c.pair == "session") return RunSessionPair(c);
   return Diverge("unknown engine pair: " + c.pair);
 }
 

@@ -54,6 +54,15 @@ namespace testing {
 ///                    must match the fresh verdict (with sound
 ///                    witnesses) — any transfer rule applied in an
 ///                    unsound direction diverges here.
+///   session          The streaming-session surface vs the naive
+///                    per-prefix oracle: a progression-backed session
+///                    must agree with NaiveEvalOnPath after every
+///                    prefix of a random access stream, irrevocable
+///                    verdicts never flip, an A-automaton kViolated
+///                    pins the progression reference currently-false
+///                    thereafter, and the full interaction's verdict
+///                    sequence is byte-identical at 1/2/8 dispatcher
+///                    threads.
 ///
 /// Every engine kYes is additionally validated with BOTH evaluators
 /// (logic::EvalSentence via acc::EvalOnPath, and the oracle's naive

@@ -348,5 +348,46 @@ acc::AccPtr RandomGuardedUntilFormula(Rng* rng, const schema::Schema& schema,
   return AccFormula::Until(hold, release);
 }
 
+schema::AccessPath RandomAccessStream(Rng* rng, const schema::Schema& schema,
+                                      const schema::Instance& universe,
+                                      size_t steps) {
+  schema::AccessPath path;
+  std::vector<Value> domain;
+  for (const Value& v : universe.ActiveDomain()) domain.push_back(v);
+  // An empty universe still yields well-formed (all-miss) streams.
+  if (domain.empty()) domain.push_back(Value::Str("d0"));
+  for (size_t i = 0; i < steps; ++i) {
+    schema::AccessMethodId m = static_cast<schema::AccessMethodId>(
+        rng->Uniform(static_cast<uint64_t>(schema.num_access_methods())));
+    const schema::AccessMethod& method = schema.method(m);
+    Tuple binding;
+    for (schema::Position pos : method.input_positions) {
+      (void)pos;
+      binding.push_back(
+          domain[rng->Uniform(static_cast<uint64_t>(domain.size()))]);
+    }
+    schema::AccessStep step;
+    step.access = {m, binding};
+    std::vector<Tuple> matching =
+        universe.Matching(method.relation, method.input_positions, binding);
+    // Random well-formed subset response: full, empty, or one tuple.
+    switch (rng->Uniform(3)) {
+      case 0:
+        step.response = schema::Response(matching.begin(), matching.end());
+        break;
+      case 1:
+        break;  // empty
+      default:
+        if (!matching.empty()) {
+          step.response = {matching[rng->Uniform(
+              static_cast<uint64_t>(matching.size()))]};
+        }
+        break;
+    }
+    path.Append(std::move(step));
+  }
+  return path;
+}
+
 }  // namespace workload
 }  // namespace accltl

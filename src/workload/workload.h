@@ -5,6 +5,7 @@
 
 #include "src/accltl/formula.h"
 #include "src/common/rng.h"
+#include "src/schema/access.h"
 #include "src/schema/instance.h"
 #include "src/schema/schema.h"
 
@@ -88,6 +89,16 @@ schema::Instance RandomDisconnectedInstance(Rng* rng,
                                             const schema::Schema& schema,
                                             size_t facts, int domain,
                                             int components);
+
+/// Random schema-consistent access/response stream of `steps` steps:
+/// each step picks a method uniformly, draws its binding from the
+/// active domain of `universe`, and answers with a well-formed subset
+/// of the universe's matching tuples (full / empty / one tuple). The
+/// shared step source for the streaming-session fuzzer pair, the
+/// session tests and BM_ConcurrentSessions.
+schema::AccessPath RandomAccessStream(Rng* rng, const schema::Schema& schema,
+                                      const schema::Instance& universe,
+                                      size_t steps);
 
 }  // namespace workload
 }  // namespace accltl

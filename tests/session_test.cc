@@ -1,0 +1,441 @@
+// Streaming-session subsystem (src/session/ + the service surface):
+// lifecycle, bounded table + idle expiry, the per-step deadline
+// contract (a fired token leaves the session untouched and the
+// reported verdict is never wrong), prefix agreement of the streamed
+// verdict against the naive per-prefix oracle, irrevocable-verdict
+// consistency between the two monitor backends, and step-cost
+// independence from the prefix length.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/accltl/parser.h"
+#include "src/analysis/decide.h"
+#include "src/oracle/oracle.h"
+#include "src/service/analysis_service.h"
+#include "src/session/monitored_session.h"
+#include "src/session/session_manager.h"
+#include "src/workload/workload.h"
+
+namespace accltl {
+namespace session {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : pd_(workload::MakePhoneDirectory()) {}
+
+  acc::AccPtr Parse(const std::string& s) {
+    Result<acc::AccPtr> r = acc::ParseAccFormula(s, pd_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+
+  analysis::PreparedFormula Prepare(const std::string& s) {
+    Result<analysis::PreparedFormula> p =
+        analysis::PrepareSatisfiability(Parse(s), pd_.schema);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return p.value();
+  }
+
+  schema::AccessStep SmithLookup() {
+    schema::AccessStep s;
+    s.access = {pd_.acm1, {Value::Str("Smith")}};
+    s.response = {{Value::Str("Smith"), Value::Str("OX13QD"),
+                   Value::Str("Parks Rd"), Value::Int(5551212)}};
+    return s;
+  }
+
+  schema::AccessStep EmptyLookup() {
+    schema::AccessStep s;
+    s.access = {pd_.acm1, {Value::Str("Nobody")}};
+    s.response = {};
+    return s;
+  }
+
+  workload::PhoneDirectory pd_;
+};
+
+// --- MonitoredSession ---------------------------------------------------------
+
+TEST_F(SessionTest, PickBackendFollowsTheCompiledAutomaton) {
+  analysis::PreparedFormula with_formula_only;
+  with_formula_only.formula = Parse("F [IsBind_AcM1()]");
+  EXPECT_EQ(MonitoredSession::PickBackend(with_formula_only),
+            Backend::kProgression);
+  with_formula_only.automaton = std::make_shared<automata::AAutomaton>();
+  EXPECT_EQ(MonitoredSession::PickBackend(with_formula_only),
+            Backend::kAutomaton);
+}
+
+TEST_F(SessionTest, StepsAdvanceTheVerdict) {
+  analysis::PreparedFormula prepared;
+  prepared.formula = Parse("F [IsBind_AcM1()]");
+  MonitoredSession s(prepared, pd_.schema, schema::Instance(pd_.schema));
+  EXPECT_EQ(s.backend(), Backend::kProgression);
+  EXPECT_EQ(s.verdict(), monitor::Verdict::kCurrentlyFalse);
+  EXPECT_EQ(s.num_steps(), 0u);
+
+  schema::AccessStep step = SmithLookup();
+  StepResult r = s.Step(step.access, step.response);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.verdict, monitor::Verdict::kSatisfied);
+  EXPECT_TRUE(r.is_final);
+  EXPECT_TRUE(r.currently_holds);
+  EXPECT_EQ(r.steps, 1u);
+}
+
+TEST_F(SessionTest, InvalidStepsConsumeNothing) {
+  analysis::PreparedFormula prepared;
+  prepared.formula = Parse("F [IsBind_AcM1()]");
+  MonitoredSession s(prepared, pd_.schema, schema::Instance(pd_.schema));
+
+  schema::Access bogus_method{-1, {Value::Str("Smith")}};
+  StepResult r = s.Step(bogus_method, {});
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.steps, 0u);
+
+  // Response fact disagreeing with the binding on an input position.
+  schema::Access probe{pd_.acm1, {Value::Str("Smith")}};
+  schema::Response wrong = {{Value::Str("Jones"), Value::Str("OX1"),
+                             Value::Str("Parks Rd"), Value::Int(1)}};
+  r = s.Step(probe, wrong);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_EQ(s.verdict(), monitor::Verdict::kCurrentlyFalse);
+}
+
+// A fired cancel token means the step is NOT consumed: the reported
+// verdict describes the unchanged prefix (never a half-applied step),
+// and retrying the identical step matches an unimpeded twin session.
+TEST_F(SessionTest, FiredTokenLeavesTheSessionUntouched) {
+  for (const char* formula : {"F [IsBind_AcM1()]", "G [TRUE]"}) {
+    analysis::PreparedFormula prepared = Prepare(formula);
+    MonitoredSession impeded(prepared, pd_.schema,
+                             schema::Instance(pd_.schema));
+    MonitoredSession twin(prepared, pd_.schema, schema::Instance(pd_.schema));
+
+    engine::CancelToken fired;
+    fired.Cancel();
+    schema::AccessStep step = SmithLookup();
+    StepResult r = impeded.Step(step.access, step.response, &fired);
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_TRUE(r.deadline_exceeded);
+    EXPECT_EQ(r.steps, 0u);
+    EXPECT_EQ(r.verdict, impeded.verdict());
+
+    StepResult retried = impeded.Step(step.access, step.response);
+    StepResult unimpeded = twin.Step(step.access, step.response);
+    ASSERT_TRUE(retried.status.ok()) << retried.status.ToString();
+    EXPECT_EQ(retried.verdict, unimpeded.verdict);
+    EXPECT_EQ(retried.currently_holds, unimpeded.currently_holds);
+    EXPECT_EQ(retried.steps, unimpeded.steps);
+  }
+}
+
+// --- SessionManager -----------------------------------------------------------
+
+TEST_F(SessionTest, ManagerLifecycle) {
+  analysis::PreparedFormula prepared = Prepare("F [IsBind_AcM1()]");
+  SessionManager mgr;
+  Result<SessionId> id = mgr.Open(prepared, pd_.schema,
+                                  schema::Instance(pd_.schema), nullptr);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(mgr.live_sessions(), 1u);
+
+  Result<SessionInfo> info = mgr.Describe(id.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().steps, 0u);
+
+  schema::AccessStep step = SmithLookup();
+  Result<StepResult> r = mgr.Step(id.value(), step.access, step.response);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().status.ok());
+  EXPECT_EQ(r.value().verdict, monitor::Verdict::kSatisfied);
+
+  Result<SessionInfo> closed = mgr.Close(id.value());
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed.value().steps, 1u);
+  EXPECT_EQ(mgr.live_sessions(), 0u);
+
+  // Closed ids answer kNotFound everywhere.
+  EXPECT_EQ(mgr.Step(id.value(), step.access, step.response).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(mgr.Close(id.value()).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.Describe(id.value()).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, ManagerBoundsTheTable) {
+  analysis::PreparedFormula prepared = Prepare("G [TRUE]");
+  SessionManagerOptions options;
+  options.max_sessions = 2;
+  SessionManager mgr(options);
+  Result<SessionId> a = mgr.Open(prepared, pd_.schema,
+                                 schema::Instance(pd_.schema), nullptr);
+  Result<SessionId> b = mgr.Open(prepared, pd_.schema,
+                                 schema::Instance(pd_.schema), nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Result<SessionId> c = mgr.Open(prepared, pd_.schema,
+                                 schema::Instance(pd_.schema), nullptr);
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(mgr.Close(a.value()).ok());
+  EXPECT_TRUE(mgr.Open(prepared, pd_.schema, schema::Instance(pd_.schema),
+                       nullptr)
+                  .ok());
+}
+
+TEST_F(SessionTest, ManagerExpiresIdleSessions) {
+  analysis::PreparedFormula prepared = Prepare("G [TRUE]");
+  SessionManagerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(1);
+  SessionManager mgr(options);
+  Result<SessionId> id = mgr.Open(prepared, pd_.schema,
+                                  schema::Instance(pd_.schema), nullptr);
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(mgr.ExpireIdle(), 1u);
+  EXPECT_EQ(mgr.live_sessions(), 0u);
+
+  // Expiry is also lazy: an expired session is rejected by the next
+  // touch even without an explicit sweep.
+  id = mgr.Open(prepared, pd_.schema, schema::Instance(pd_.schema), nullptr);
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  schema::AccessStep step = SmithLookup();
+  EXPECT_EQ(mgr.Step(id.value(), step.access, step.response).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(mgr.live_sessions(), 0u);
+}
+
+// Steps on distinct sessions run concurrently; steps racing on ONE
+// session serialize on its entry lock. Both claims under load (and
+// under TSAN in CI): 8 threads × (own session + one shared session).
+TEST_F(SessionTest, ManagerStepsConcurrently) {
+  analysis::PreparedFormula prepared = Prepare("G [TRUE]");
+  SessionManager mgr;
+  Result<SessionId> shared = mgr.Open(prepared, pd_.schema,
+                                      schema::Instance(pd_.schema), nullptr);
+  ASSERT_TRUE(shared.ok());
+  constexpr size_t kThreads = 8;
+  constexpr size_t kSteps = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<SessionId> own = mgr.Open(prepared, pd_.schema,
+                                       schema::Instance(pd_.schema), nullptr);
+      ASSERT_TRUE(own.ok());
+      schema::AccessStep step = EmptyLookup();
+      for (size_t i = 0; i < kSteps; ++i) {
+        Result<StepResult> r =
+            mgr.Step(own.value(), step.access, step.response);
+        ASSERT_TRUE(r.ok());
+        EXPECT_TRUE(r.value().status.ok());
+        r = mgr.Step(shared.value(), step.access, step.response);
+        ASSERT_TRUE(r.ok());
+      }
+      Result<SessionInfo> closed = mgr.Close(own.value());
+      ASSERT_TRUE(closed.ok());
+      EXPECT_EQ(closed.value().steps, kSteps);
+      (void)t;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Result<SessionInfo> final_state = mgr.Close(shared.value());
+  ASSERT_TRUE(final_state.ok());
+  EXPECT_EQ(final_state.value().steps, kThreads * kSteps);
+  EXPECT_EQ(mgr.live_sessions(), 0u);
+}
+
+// --- Prefix agreement ---------------------------------------------------------
+
+// The streamed progression verdict must agree with the naive oracle
+// after EVERY prefix of a random access stream (the monitor contract:
+// CurrentlyHolds() iff the consumed prefix satisfies the formula).
+TEST_F(SessionTest, ProgressionAgreesWithNaiveEvalOnEveryPrefix) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+    schema::Instance universe = workload::RandomInstance(&rng, s, 6, 3);
+    acc::AccPtr formula = workload::RandomZeroAryFormula(
+        &rng, s, 2, /*allow_until=*/rng.Chance(1, 2));
+    schema::AccessPath stream =
+        workload::RandomAccessStream(&rng, s, universe, 6);
+
+    analysis::PreparedFormula prepared;
+    prepared.formula = formula;
+    MonitoredSession session(prepared, s, schema::Instance(s));
+    schema::AccessPath prefix;
+    for (const schema::AccessStep& step : stream.steps()) {
+      StepResult r = session.Step(step.access, step.response);
+      ASSERT_TRUE(r.status.ok())
+          << "seed " << seed << ": " << r.status.ToString();
+      prefix.Append(step);
+      bool oracle_holds = oracle::NaiveEvalOnPath(formula, s, prefix,
+                                                  schema::Instance(s));
+      EXPECT_EQ(r.currently_holds, oracle_holds)
+          << "seed " << seed << " after " << prefix.size() << " steps";
+    }
+  }
+}
+
+// Backend cross-check on irrevocable verdicts: the A-automaton
+// backend never reports kSatisfied, and once it reports kViolated the
+// progression backend must stay currently-false for the rest of the
+// stream (no extension of the prefix is accepted).
+TEST_F(SessionTest, BackendsAgreeOnIrrevocableVerdicts) {
+  size_t automaton_cases = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 977);
+    schema::Schema s = workload::RandomSchema(&rng, 2, 2);
+    schema::Instance universe = workload::RandomInstance(&rng, s, 6, 3);
+    acc::AccPtr formula =
+        workload::RandomBindingPositiveFormula(&rng, s, 2);
+    Result<analysis::PreparedFormula> prepared =
+        analysis::PrepareSatisfiability(formula, s);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    if (prepared.value().automaton == nullptr) continue;
+    ++automaton_cases;
+
+    analysis::PreparedFormula progression_only = prepared.value();
+    progression_only.automaton = nullptr;
+    MonitoredSession automaton(prepared.value(), s, schema::Instance(s));
+    MonitoredSession progression(progression_only, s, schema::Instance(s));
+    ASSERT_EQ(automaton.backend(), Backend::kAutomaton);
+    ASSERT_EQ(progression.backend(), Backend::kProgression);
+
+    schema::AccessPath stream =
+        workload::RandomAccessStream(&rng, s, universe, 6);
+    bool violated = false;
+    for (const schema::AccessStep& step : stream.steps()) {
+      StepResult a = automaton.Step(step.access, step.response);
+      StepResult p = progression.Step(step.access, step.response);
+      ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+      ASSERT_TRUE(p.status.ok()) << p.status.ToString();
+      EXPECT_NE(a.verdict, monitor::Verdict::kSatisfied) << "seed " << seed;
+      if (a.verdict == monitor::Verdict::kViolated) violated = true;
+      if (violated) {
+        EXPECT_FALSE(p.currently_holds)
+            << "seed " << seed << ": automaton says violated but the "
+            << "progression backend still holds after " << p.steps
+            << " steps";
+      }
+    }
+  }
+  // The fragment routing must have produced at least some compiled
+  // automatons, or this test checks nothing.
+  EXPECT_GT(automaton_cases, 0u);
+}
+
+// Steps must stay O(delta): the cost of a step may not grow with the
+// length of the already-consumed prefix. Compare the time for the
+// first 50 steps against steps 451..500 of one session; a generous
+// 25x bound rules out any linear-in-prefix replay while staying
+// robust to CI noise.
+TEST_F(SessionTest, StepCostIndependentOfPrefixLength) {
+  analysis::PreparedFormula prepared = Prepare("G [TRUE]");
+  MonitoredSession session(prepared, pd_.schema,
+                           schema::Instance(pd_.schema));
+  schema::AccessStep step = EmptyLookup();
+
+  auto run_block = [&](size_t steps) {
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < steps; ++i) {
+      StepResult r = session.Step(step.access, step.response);
+      EXPECT_TRUE(r.status.ok());
+    }
+    return std::chrono::steady_clock::now() - start;
+  };
+
+  auto early = run_block(50);
+  run_block(400);  // grow the prefix 10x
+  auto late = run_block(50);
+  EXPECT_EQ(session.num_steps(), 500u);
+  EXPECT_LT(late.count(), early.count() * 25 + 1000000)
+      << "late block took " << late.count() << "ns vs early "
+      << early.count() << "ns";
+}
+
+// --- Service surface ----------------------------------------------------------
+
+TEST_F(SessionTest, ServiceSessionEndToEnd) {
+  service::AnalysisService svc;
+  Result<std::shared_ptr<const service::PreparedQuery>> prepared =
+      svc.Prepare(pd_.schema, std::string("F [IsBind_AcM1()]"));
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  Result<SessionId> id = svc.OpenSession(prepared.value());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(svc.live_sessions(), 1u);
+
+  // Sync step.
+  schema::AccessStep step = SmithLookup();
+  service::StepRequest request;
+  request.access = step.access;
+  request.response = step.response;
+  StepResult r = svc.StepSession(id.value(), request);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.verdict, monitor::Verdict::kSatisfied);
+
+  // Async step through the dispatcher queue.
+  service::PendingStep pending = svc.SubmitStep(id.value(), request);
+  ASSERT_TRUE(pending.valid());
+  const StepResult& async_r = pending.Get();
+  ASSERT_TRUE(async_r.status.ok()) << async_r.status.ToString();
+  EXPECT_EQ(async_r.verdict, monitor::Verdict::kSatisfied);
+  EXPECT_EQ(async_r.steps, 2u);
+
+  Result<SessionInfo> closed = svc.CloseSession(id.value());
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed.value().steps, 2u);
+  EXPECT_EQ(svc.live_sessions(), 0u);
+
+  // Lookup failures are flattened into the StepResult status.
+  EXPECT_EQ(svc.StepSession(id.value(), request).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, ServiceNullPreparedIsRejected) {
+  service::AnalysisService svc;
+  EXPECT_EQ(svc.OpenSession(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Client-sequential async stepping yields the same verdict sequence
+// at any dispatcher count (the documented determinism contract).
+TEST_F(SessionTest, AsyncVerdictSequenceIsDispatcherCountInvariant) {
+  std::vector<monitor::Verdict> first_sequence;
+  for (size_t dispatchers : {size_t{1}, size_t{2}, size_t{8}}) {
+    service::ServiceOptions options;
+    options.num_dispatchers = dispatchers;
+    service::AnalysisService svc(options);
+    Result<std::shared_ptr<const service::PreparedQuery>> prepared =
+        svc.Prepare(pd_.schema, std::string("F [IsBind_AcM1()]"));
+    ASSERT_TRUE(prepared.ok());
+    Result<SessionId> id = svc.OpenSession(prepared.value());
+    ASSERT_TRUE(id.ok());
+
+    std::vector<monitor::Verdict> sequence;
+    for (int i = 0; i < 4; ++i) {
+      schema::AccessStep step = i % 2 == 0 ? EmptyLookup() : SmithLookup();
+      service::StepRequest request;
+      request.access = step.access;
+      request.response = step.response;
+      service::PendingStep pending = svc.SubmitStep(id.value(), request);
+      const StepResult& r = pending.Get();
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      sequence.push_back(r.verdict);
+    }
+    if (first_sequence.empty()) {
+      first_sequence = sequence;
+    } else {
+      EXPECT_EQ(sequence, first_sequence)
+          << "at " << dispatchers << " dispatchers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace session
+}  // namespace accltl

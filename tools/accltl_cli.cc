@@ -19,6 +19,8 @@
 //   accltl_cli batch   <schema-file> <requests-file|-> [--grounded]
 //                      [--shrink] [--threads N] [--deadline-ms N] [--cache]
 //                      [--semantic-cache=on|off] [--visited=exact|compact]
+//   accltl_cli monitor <schema-file> <formula> <steps-file|->
+//                      [--initial FILE] [--deadline-ms N]
 //   accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...
 //                      [--shrink] [--out DIR]
 //
@@ -35,6 +37,17 @@
 // asynchronously, and responses print in input order. Failed requests
 // report their request index AND source line number on stderr.
 //
+// `monitor` opens a streaming session against the formula and replays
+// a newline-delimited step script through it, printing the incremental
+// four-valued verdict after each step. Step lines look like
+//   AcM1("Jones") -> Mobile("Jones", "OX1", "Parks Rd", 5550)
+//   AcM2("Parks Rd", "OX1")
+// i.e. method(binding...) and an optional '->' response of
+// ';'-separated facts of the method's relation (no '->' part = empty
+// response). Blank lines and '#' comments are skipped; a malformed or
+// rejected step reports its source line number on stderr and the run
+// exits 1.
+//
 // `fuzz` runs the differential-testing driver (src/testing/): each
 // seed × engine pair generates a random schema/formula/instance case
 // and checks oracle-vs-engine agreement plus metamorphic properties.
@@ -46,6 +59,7 @@
 // (exit code 2) — a typo like `--ground` must never silently change
 // results.
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +107,8 @@ int Usage() {
       "                     [--cache] [--semantic-cache=on|off]\n"
       "                     [--visited=exact|compact]\n"
       "                     [--trace-out FILE] [--stats]\n"
+      "  accltl_cli monitor <schema-file> <formula> <steps-file|->\n"
+      "                     [--initial FILE] [--deadline-ms N]\n"
       "  accltl_cli fuzz    [--seeds N] [--seed-start S] [--engine-pair P]...\n"
       "                     [--shrink] [--out DIR] [--trace-out FILE]\n");
   return 2;
@@ -774,6 +790,287 @@ int RunBatch(int argc, char** argv) {
   return 0;
 }
 
+// --- monitor: step-script parsing -------------------------------------------
+
+void SkipSpace(const std::string& s, size_t* pos) {
+  while (*pos < s.size() && (s[*pos] == ' ' || s[*pos] == '\t')) ++*pos;
+}
+
+/// Parses one literal value: a double-quoted string (\" and \\ escapes),
+/// a decimal integer, or true/false — the same value shapes the
+/// instance text format uses.
+bool ParseValueToken(const std::string& s, size_t* pos, Value* out,
+                     std::string* err) {
+  SkipSpace(s, pos);
+  if (*pos >= s.size()) {
+    *err = "expected a value";
+    return false;
+  }
+  if (s[*pos] == '"') {
+    std::string text;
+    for (size_t i = *pos + 1; i < s.size(); ++i) {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        text.push_back(s[++i]);
+      } else if (s[i] == '"') {
+        *pos = i + 1;
+        *out = Value::Str(std::move(text));
+        return true;
+      } else {
+        text.push_back(s[i]);
+      }
+    }
+    *err = "unterminated string literal";
+    return false;
+  }
+  if (s.compare(*pos, 4, "true") == 0) {
+    *pos += 4;
+    *out = Value::Bool(true);
+    return true;
+  }
+  if (s.compare(*pos, 5, "false") == 0) {
+    *pos += 5;
+    *out = Value::Bool(false);
+    return true;
+  }
+  size_t start = *pos;
+  if (*pos < s.size() && (s[*pos] == '-' || s[*pos] == '+')) ++*pos;
+  while (*pos < s.size() && std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+  if (*pos == start || (*pos == start + 1 && !std::isdigit(static_cast<
+                                                 unsigned char>(s[start])))) {
+    *err = "expected a value (quoted string, integer, or true/false)";
+    return false;
+  }
+  *out = Value::Int(std::stoll(s.substr(start, *pos - start)));
+  return true;
+}
+
+/// Parses `Name(v, v, ...)`; returns the name and values.
+bool ParseCall(const std::string& s, size_t* pos, std::string* name,
+               Tuple* values, std::string* err) {
+  SkipSpace(s, pos);
+  size_t start = *pos;
+  while (*pos < s.size() &&
+         (std::isalnum(static_cast<unsigned char>(s[*pos])) ||
+          s[*pos] == '_')) {
+    ++*pos;
+  }
+  if (*pos == start) {
+    *err = "expected a name";
+    return false;
+  }
+  *name = s.substr(start, *pos - start);
+  SkipSpace(s, pos);
+  if (*pos >= s.size() || s[*pos] != '(') {
+    *err = "expected '(' after '" + *name + "'";
+    return false;
+  }
+  ++*pos;
+  values->clear();
+  SkipSpace(s, pos);
+  if (*pos < s.size() && s[*pos] == ')') {
+    ++*pos;
+    return true;
+  }
+  for (;;) {
+    Value v;
+    if (!ParseValueToken(s, pos, &v, err)) return false;
+    values->push_back(std::move(v));
+    SkipSpace(s, pos);
+    if (*pos < s.size() && s[*pos] == ',') {
+      ++*pos;
+      continue;
+    }
+    if (*pos < s.size() && s[*pos] == ')') {
+      ++*pos;
+      return true;
+    }
+    *err = "expected ',' or ')' in value list";
+    return false;
+  }
+}
+
+/// Parses one step line: `Method(binding...) [-> Rel(v...) [; ...]]`.
+bool ParseStepLine(const std::string& line, const schema::Schema& s,
+                   schema::Access* access, schema::Response* response,
+                   std::string* err) {
+  size_t pos = 0;
+  std::string method_name;
+  if (!ParseCall(line, &pos, &method_name, &access->binding, err)) {
+    return false;
+  }
+  Result<schema::AccessMethodId> method = s.FindMethod(method_name);
+  if (!method.ok()) {
+    *err = "unknown access method '" + method_name + "'";
+    return false;
+  }
+  access->method = method.value();
+  const std::string& relation_name =
+      s.relation(s.method(access->method).relation).name;
+  response->clear();
+  SkipSpace(line, &pos);
+  if (pos >= line.size()) return true;  // no '->': empty response
+  if (line.compare(pos, 2, "->") != 0) {
+    *err = "expected '->' or end of line after the access";
+    return false;
+  }
+  pos += 2;
+  for (;;) {
+    std::string rel;
+    Tuple tuple;
+    if (!ParseCall(line, &pos, &rel, &tuple, err)) return false;
+    if (rel != relation_name) {
+      *err = "response fact '" + rel + "' is not of the method's relation '" +
+             relation_name + "'";
+      return false;
+    }
+    response->insert(std::move(tuple));
+    SkipSpace(line, &pos);
+    if (pos < line.size() && line[pos] == ';') {
+      ++pos;
+      continue;
+    }
+    if (pos >= line.size()) return true;
+    *err = "expected ';' or end of line after a response fact";
+    return false;
+  }
+}
+
+int RunMonitor(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Result<schema::Schema> s = LoadSchema(argv[2]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "schema: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  std::string initial_file;
+  std::chrono::milliseconds deadline{0};
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--initial") == 0) {
+      if (i + 1 >= argc) return MissingValue("monitor", argv[i]);
+      initial_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (i + 1 >= argc) return MissingValue("monitor", argv[i]);
+      Result<size_t> value = ParsePositiveCount("--deadline-ms", argv[++i]);
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        return 2;
+      }
+      deadline = std::chrono::milliseconds(value.value());
+    } else {
+      return UnknownFlag("monitor", argv[i]);
+    }
+  }
+
+  schema::Instance initial(s.value());
+  if (!initial_file.empty()) {
+    Result<std::string> facts = ReadFile(initial_file);
+    if (!facts.ok()) {
+      std::fprintf(stderr, "initial: %s\n",
+                   facts.status().ToString().c_str());
+      return 1;
+    }
+    Result<schema::Instance> parsed =
+        schema::ParseInstance(facts.value(), s.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "initial: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    initial = std::move(parsed.value());
+  }
+
+  // Read the step script ('-' = stdin), keeping 1-based line numbers
+  // through blank/comment filtering (same contract as batch).
+  std::string steps_text;
+  if (std::strcmp(argv[4], "-") == 0) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    steps_text = buf.str();
+  } else {
+    Result<std::string> text = ReadFile(argv[4]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "steps: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    steps_text = std::move(text.value());
+  }
+  std::vector<std::string> lines;
+  std::vector<size_t> line_numbers;
+  {
+    std::istringstream in(steps_text);
+    std::string line;
+    for (size_t line_no = 1; std::getline(in, line); ++line_no) {
+      size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      size_t last = line.find_last_not_of(" \t\r");
+      lines.push_back(line.substr(first, last - first + 1));
+      line_numbers.push_back(line_no);
+    }
+  }
+
+  service::AnalysisService svc;
+  Result<std::shared_ptr<const service::PreparedQuery>> p =
+      svc.Prepare(s.value(), std::string(argv[3]));
+  if (!p.ok()) {
+    std::fprintf(stderr, "formula: %s\n", p.status().ToString().c_str());
+    return 1;
+  }
+  Result<session::SessionId> id =
+      svc.OpenSession(p.value(), std::move(initial));
+  if (!id.ok()) {
+    std::fprintf(stderr, "open: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  {
+    Result<session::SessionInfo> info = svc.DescribeSession(id.value());
+    if (info.ok()) {
+      std::printf("backend    : %s\n",
+                  session::BackendName(info.value().backend));
+    }
+  }
+
+  size_t failures = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    service::StepRequest request;
+    std::string parse_error;
+    if (!ParseStepLine(lines[i], s.value(), &request.access,
+                       &request.response, &parse_error)) {
+      std::fprintf(stderr, "[%zu] line %zu: error: %s\n  step: %s\n", i,
+                   line_numbers[i], parse_error.c_str(), lines[i].c_str());
+      ++failures;
+      continue;
+    }
+    request.deadline = deadline;
+    session::StepResult result = svc.StepSession(id.value(), request);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "[%zu] line %zu: error: %s\n  step: %s\n", i,
+                   line_numbers[i], result.status.ToString().c_str(),
+                   lines[i].c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("[%zu] verdict=%s holds=%s final=%s steps=%zu\n", i,
+                monitor::VerdictName(result.verdict),
+                result.currently_holds ? "yes" : "no",
+                result.is_final ? "yes" : "no", result.steps);
+  }
+  Result<session::SessionInfo> closed = svc.CloseSession(id.value());
+  if (closed.ok()) {
+    std::printf("final      : verdict=%s holds=%s steps=%zu\n",
+                monitor::VerdictName(closed.value().verdict),
+                closed.value().currently_holds ? "yes" : "no",
+                closed.value().steps);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "monitor: %zu of %zu steps failed\n", failures,
+                 lines.size());
+    return 1;
+  }
+  return 0;
+}
+
 int RunFuzz(int argc, char** argv) {
   testing::FuzzOptions options;
   options.num_seeds = 50;
@@ -849,6 +1146,7 @@ int Main(int argc, char** argv) {
   if (std::strcmp(argv[1], "answer") == 0) return RunAnswer(argc, argv);
   if (std::strcmp(argv[1], "explore") == 0) return RunExplore(argc, argv);
   if (std::strcmp(argv[1], "batch") == 0) return RunBatch(argc, argv);
+  if (std::strcmp(argv[1], "monitor") == 0) return RunMonitor(argc, argv);
   if (std::strcmp(argv[1], "fuzz") == 0) return RunFuzz(argc, argv);
   return Usage();
 }
