@@ -292,6 +292,59 @@ BENCHMARK(BM_ParallelZeroSolverSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Rebuilds the phone schema with every access method result-bounded
+// at k: responses become <=k-subsets of the matching tuples, so the
+// branching factor is response-subset-shaped rather than
+// matching-set-shaped.
+schema::Schema BoundPhoneSchema(const schema::Schema& s, int k) {
+  schema::Schema bounded;
+  for (schema::RelationId r = 0; r < s.num_relations(); ++r) {
+    bounded.AddRelation(s.relation(r).name, s.relation(r).position_types);
+  }
+  for (schema::AccessMethodId m = 0; m < s.num_access_methods(); ++m) {
+    const schema::AccessMethod& am = s.method(m);
+    bounded.AddAccessMethod(am.name, am.relation, am.input_positions,
+                            am.exact, am.idempotent, k);
+  }
+  return bounded;
+}
+
+// Result-bounded exhaustive sweep: the diamond workload over a seeded
+// 64-fact universe with every method bounded at k = 2, so each access
+// fans out into all <=2-subsets of its matching tuples instead of one
+// full response. The unsatisfiable conjunct forces exhaustion; the
+// verdict is byte-identical at every thread count (the `bounded` fuzz
+// pair gates this), and like the diamond above only wall-clock and
+// the nodes stat may move.
+void BM_ParallelBoundedWitnessSweep(benchmark::State& state) {
+  workload::PhoneDirectory pd = workload::MakePhoneDirectory();
+  schema::Schema bounded = BoundPhoneSchema(pd.schema, 2);
+  Rng rng(17);
+  schema::Instance seeded = workload::MakePhoneUniverse(pd, &rng, 64);
+  acc::AccPtr f = acc::ParseAccFormula(kDiamondExhaustive, bounded).value();
+  automata::AAutomaton a = automata::CompileToAutomaton(f, bounded).value();
+  automata::WitnessSearchOptions opts;
+  opts.max_path_length = 3;
+  engine::ExecOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    automata::WitnessSearchResult r = automata::BoundedWitnessSearch(
+        a, bounded, seeded, opts, exec);
+    benchmark::DoNotOptimize(r.found);
+    state.counters["nodes"] = static_cast<double>(r.nodes_explored);
+    state.counters["found"] = r.found ? 1 : 0;
+    state.counters["truncated"] = r.exhausted_budget ? 1 : 0;
+  }
+}
+BENCHMARK(BM_ParallelBoundedWitnessSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // LTS breadth-first exploration over a seeded phone universe: whole
 // levels expand through the work-stealing deques and reduce at the
 // barrier; the per-level stats are identical at every thread count.

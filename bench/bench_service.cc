@@ -262,7 +262,8 @@ void BM_SemanticCacheRenamedBatch(benchmark::State& state) {
          ++m) {
       const schema::AccessMethod& am = pd.schema.method(m);
       renamed.AddAccessMethod(prefix + am.name, am.relation,
-                              am.input_positions, am.exact, am.idempotent);
+                              am.input_positions, am.exact, am.idempotent,
+                              am.result_bound);
     }
     auto twin = svc.Prepare(renamed, donor->formula()).value();
     state.ResumeTiming();

@@ -788,8 +788,15 @@ class ZeroSolver {
       }
       // Non-empty responses: combinations of 1..max_facts_per_step
       // facts within each binding group, counted against the cap (the
-      // subset that exceeds the cap is counted, not enumerated).
+      // subset that exceeds the cap is counted, not enumerated). A
+      // result-bounded method further caps the response size at its
+      // bound (bound 0: only the empty response above) — the
+      // combination sweep is monotone in k, so enlarging a bound only
+      // ever adds children.
       size_t max_k = options_.max_facts_per_step;
+      if (am.bounded()) {
+        max_k = std::min(max_k, static_cast<size_t>(am.result_bound));
+      }
       for (const auto& [binding, members] : groups) {
         if (capped) break;
         if (options_.grounded) {

@@ -543,6 +543,10 @@ std::vector<uint64_t> PlanKey(const AAutomaton& automaton,
     for (schema::Position p : am.input_positions) {
       h = store::Mix64(h ^ static_cast<uint64_t>(p));
     }
+    // Semantics-bearing method attributes: bounded/unbounded variants
+    // of one schema must never share a plan.
+    h = store::Mix64(h ^ static_cast<uint64_t>(am.result_bound + 1));
+    h = store::Mix64(h ^ ((am.exact ? 2u : 0u) | (am.idempotent ? 1u : 0u)));
     key.push_back(h);
   }
   key.push_back(static_cast<uint64_t>(automaton.num_states()));
@@ -1159,6 +1163,15 @@ class Search {
                 const std::vector<store::FactId>& response_ids,
                 const SearchNode& node, bool positive_known,
                 std::vector<Child>* children) {
+    // Result-bounded method: a response larger than the bound is not a
+    // behaviour of the access interface, whichever path proposed it
+    // (guard realization or speculative pool injection). Bound 0
+    // rejects every non-empty response.
+    const schema::AccessMethod& am = schema_.method(access.method);
+    if (am.bounded() &&
+        response_ids.size() > static_cast<size_t>(am.result_bound)) {
+      return;
+    }
     schema::Transition t = schema::MakeTransitionFromIds(
         schema_, node.config, std::move(access), response_ids);
     if (positive_known ? !at.guard.EvalNegated(t) : !at.guard.Eval(t)) {

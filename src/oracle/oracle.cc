@@ -403,9 +403,16 @@ class PathEnumerator {
   void EnumerateResponses(schema::AccessMethodId am, const Tuple& binding,
                           const std::vector<Tuple>& candidates) {
     // All subsets of the candidates up to max_response_facts, smallest
-    // first (the empty response is always a well-formed response).
+    // first (the empty response is always a well-formed response). A
+    // result-bounded method further caps the subset size at its bound
+    // (bound 0: only the empty response is possible).
     std::set<Tuple> response;
     TryStep(am, binding, response);
+    size_t limit = options_.max_response_facts;
+    const schema::AccessMethod& m = schema_.method(am);
+    if (m.bounded()) {
+      limit = std::min(limit, static_cast<size_t>(m.result_bound));
+    }
     std::function<void(size_t, size_t)> rec = [&](size_t start,
                                                   size_t remaining) {
       if (remaining == 0 || found_ || exhausted_) return;
@@ -417,7 +424,7 @@ class PathEnumerator {
         response.erase(candidates[i]);
       }
     };
-    rec(0, options_.max_response_facts);
+    rec(0, limit);
   }
 
   void TryStep(schema::AccessMethodId am, const Tuple& binding,
@@ -517,6 +524,26 @@ size_t NaiveTotalFacts(const NaiveInstance& inst) {
   return n;
 }
 
+/// Verbatim copy of lts.cc's AppendBoundedSubsets over plain tuples:
+/// the bounded-method response enumeration must stay in lockstep with
+/// the engine's for stat-for-stat agreement.
+void AppendBoundedSubsets(const std::vector<Tuple>& matching, size_t max_size,
+                          bool exact_size, size_t cap,
+                          std::vector<std::vector<Tuple>>* responses) {
+  if (max_size == 0) return;
+  std::vector<Tuple> combo;
+  std::function<void(size_t)> rec = [&](size_t start) {
+    for (size_t i = start; i < matching.size() && responses->size() < cap;
+         ++i) {
+      combo.push_back(matching[i]);
+      if (!exact_size || combo.size() == max_size) responses->push_back(combo);
+      if (combo.size() < max_size) rec(i + 1);
+      combo.pop_back();
+    }
+  };
+  rec(0);
+}
+
 /// Naive mirror of lts.cc's SuccessorsImpl: same binding pools, the
 /// same response policy, the same per-node cap — over plain tuple
 /// sets. Returns the post configurations; `*transitions` counts every
@@ -576,7 +603,25 @@ std::vector<NaiveInstance> NaiveSuccessors(const schema::Schema& schema,
       }
       bool exact = m.exact || options.exact_methods.count(am) > 0;
       std::vector<std::vector<Tuple>> responses;
-      if (exact) {
+      if (m.bounded()) {
+        // Verbatim mirror of lts.cc's bounded response rule: every
+        // <=k-subset (exact: exactly min(k, |matching|)-subsets), in
+        // the same lexicographic enumeration order.
+        size_t bound = static_cast<size_t>(m.result_bound);
+        if (exact) {
+          size_t take = std::min(bound, matching.size());
+          if (take == 0) {
+            responses.push_back({});
+          } else {
+            AppendBoundedSubsets(matching, take, /*exact_size=*/true,
+                                 options.max_successors_per_node, &responses);
+          }
+        } else {
+          responses.push_back({});
+          AppendBoundedSubsets(matching, bound, /*exact_size=*/false,
+                               options.max_successors_per_node, &responses);
+        }
+      } else if (exact) {
         responses.push_back(matching);
       } else {
         responses.push_back({});

@@ -87,6 +87,13 @@ Status AccessPath::Validate(const Schema& schema) const {
     ACCLTL_RETURN_IF_ERROR(
         schema.ValidateBinding(st.access.method, st.access.binding));
     const AccessMethod& m = schema.method(st.access.method);
+    if (m.bounded() &&
+        st.response.size() > static_cast<size_t>(m.result_bound)) {
+      return Status::InvalidArgument(
+          "step " + std::to_string(i) + ": response has " +
+          std::to_string(st.response.size()) + " tuples but method " +
+          m.name + " is bounded at " + std::to_string(m.result_bound));
+    }
     for (const Tuple& t : st.response) {
       ACCLTL_RETURN_IF_ERROR(schema.ValidateTuple(m.relation, t));
       for (int k = 0; k < m.num_inputs(); ++k) {

@@ -86,6 +86,30 @@ void EnumerateBindings(const Schema& schema, AccessMethodId method,
 
 namespace {
 
+/// Appends every subset of `matching` with 1..max_size elements
+/// (`exact_size` restricts to exactly max_size) in lexicographic index
+/// order, stopping at `cap` total responses. This is the
+/// result-bounded response rule; the oracle's NaiveSuccessors carries
+/// a verbatim copy over Tuples — the two enumerations must stay in
+/// lockstep for stat-for-stat agreement.
+template <typename Elem>
+void AppendBoundedSubsets(const std::vector<Elem>& matching, size_t max_size,
+                          bool exact_size, size_t cap,
+                          std::vector<std::vector<Elem>>* responses) {
+  if (max_size == 0) return;
+  std::vector<Elem> combo;
+  std::function<void(size_t)> rec = [&](size_t start) {
+    for (size_t i = start; i < matching.size() && responses->size() < cap;
+         ++i) {
+      combo.push_back(matching[i]);
+      if (!exact_size || combo.size() == max_size) responses->push_back(combo);
+      if (combo.size() < max_size) rec(i + 1);
+      combo.pop_back();
+    }
+  };
+  rec(0);
+}
+
 /// Matching over the universe through the shared match index: facts
 /// are selected by the first input position's index entry, then
 /// filtered on the rest — no per-binding relation scans. `Index` is
@@ -165,7 +189,27 @@ std::vector<Transition> SuccessorsImpl(const Schema& schema,
           options.universe, m.relation, m.input_positions, b, index);
       bool exact = m.exact || options.exact_methods.count(am) > 0;
       std::vector<std::vector<store::FactId>> responses;
-      if (exact) {
+      if (m.bounded()) {
+        // Result-bounded method: every <=k-subset of the matching set
+        // is a possible response (the singleton-enumeration flag does
+        // not apply — subset enumeration subsumes it). An exact
+        // bounded method returns min(k, |matching|) tuples, so only
+        // subsets of exactly that size are responses.
+        size_t bound = static_cast<size_t>(m.result_bound);
+        if (exact) {
+          size_t take = std::min(bound, matching.size());
+          if (take == 0) {
+            responses.push_back({});
+          } else {
+            AppendBoundedSubsets(matching, take, /*exact_size=*/true,
+                                 options.max_successors_per_node, &responses);
+          }
+        } else {
+          responses.push_back({});  // the empty response is always allowed
+          AppendBoundedSubsets(matching, bound, /*exact_size=*/false,
+                               options.max_successors_per_node, &responses);
+        }
+      } else if (exact) {
         responses.push_back(matching);
       } else {
         responses.push_back({});  // empty response

@@ -23,7 +23,8 @@ RelationId Schema::AddRelation(const std::string& name,
 AccessMethodId Schema::AddAccessMethod(const std::string& name,
                                        RelationId relation,
                                        std::vector<Position> input_positions,
-                                       bool exact, bool idempotent) {
+                                       bool exact, bool idempotent,
+                                       int result_bound) {
   assert(!name.empty() && "method name must be non-empty");
   assert(method_by_name_.find(name) == method_by_name_.end() &&
          "duplicate method name");
@@ -38,8 +39,9 @@ AccessMethodId Schema::AddAccessMethod(const std::string& name,
     (void)p;
   }
   AccessMethodId id = static_cast<AccessMethodId>(methods_.size());
+  if (result_bound < 0) result_bound = -1;  // every "unbounded" is -1
   methods_.push_back(AccessMethod{name, relation, std::move(input_positions),
-                                  exact, idempotent});
+                                  exact, idempotent, result_bound});
   methods_on_[relation].push_back(id);
   method_by_name_[name] = id;
   return id;
@@ -122,6 +124,7 @@ std::string Schema::ToString() const {
     std::string tags;
     if (m.exact) tags += " exact";
     if (m.idempotent) tags += " idempotent";
+    if (m.bounded()) tags += " bound=" + std::to_string(m.result_bound);
     lines.push_back("  " + m.name + ": " + relations_[m.relation].name +
                     " inputs={" + Join(ins, ",") + "}" + tags);
   }

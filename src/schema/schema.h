@@ -37,6 +37,15 @@ struct Relation {
 /// (§2): `exact` methods return *all* matching tuples of the underlying
 /// instance; `idempotent` methods are deterministic (same access -> same
 /// response). Neither is assumed by default.
+///
+/// A method may further carry a *result bound* (Amarilli & Benedikt,
+/// "When Can We Answer Queries Using Result-Bounded Data Interfaces?"):
+/// a bounded method returns at most `result_bound` matching tuples,
+/// chosen nondeterministically. `result_bound < 0` (the default) means
+/// unbounded — the classic §2 method. `result_bound == 0` is legal and
+/// means the method only ever answers with the empty response. An
+/// `exact` bound-k method returns min(k, |matching|) tuples: all of
+/// them when they fit, a nondeterministic size-k subset otherwise.
 struct AccessMethod {
   std::string name;
   RelationId relation = 0;
@@ -46,8 +55,11 @@ struct AccessMethod {
   std::vector<Position> input_positions;
   bool exact = false;
   bool idempotent = false;
+  /// Max tuples one access may return; -1 = unbounded.
+  int result_bound = -1;
 
   int num_inputs() const { return static_cast<int>(input_positions.size()); }
+  bool bounded() const { return result_bound >= 0; }
 };
 
 /// A schema with access restrictions (§2): relations plus access
@@ -69,10 +81,11 @@ class Schema {
 
   /// Adds an access method on `relation`; returns its id. Input
   /// positions are deduplicated and sorted; they must be valid positions
-  /// of the relation.
+  /// of the relation. `result_bound` < 0 means unbounded.
   AccessMethodId AddAccessMethod(const std::string& name, RelationId relation,
                                  std::vector<Position> input_positions,
-                                 bool exact = false, bool idempotent = false);
+                                 bool exact = false, bool idempotent = false,
+                                 int result_bound = -1);
 
   int num_relations() const { return static_cast<int>(relations_.size()); }
   int num_access_methods() const { return static_cast<int>(methods_.size()); }

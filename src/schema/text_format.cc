@@ -172,6 +172,9 @@ Result<Schema> ParseSchema(const std::string& text) {
     } else if (keyword == "access") {
       std::string mname = cur.Identifier();
       if (mname.empty()) return cur.Error("expected access-method name");
+      if (schema.FindMethod(mname).ok()) {
+        return cur.Error("duplicate access method '" + mname + "'");
+      }
       if (cur.Identifier() != "on") return cur.Error("expected 'on'");
       std::string rname = cur.Identifier();
       Result<RelationId> rel = schema.FindRelation(rname);
@@ -197,19 +200,42 @@ Result<Schema> ParseSchema(const std::string& text) {
         }
       }
       bool exact = false, idempotent = false;
+      int result_bound = -1;
       while (true) {
         std::string q = cur.PeekIdentifier();
         if (q == "exact") {
           exact = true;
         } else if (q == "idempotent") {
           idempotent = true;
+        } else if (q == "bound") {
+          cur.Identifier();  // consume 'bound'
+          Result<Value> k = cur.Literal();
+          if (!k.ok() || !k.value().is_int()) {
+            return cur.Error("expected a non-negative integer after 'bound'");
+          }
+          int64_t raw = k.value().AsInt();
+          if (raw < 0 || raw > 1000000) {
+            return cur.Error("result bound must be in [0, 1000000], got " +
+                             std::to_string(raw));
+          }
+          result_bound = static_cast<int>(raw);
+          continue;  // 'bound k' consumed its own tokens
         } else {
           break;  // next declaration (or end / syntax error caught there)
         }
         cur.Identifier();  // consume the qualifier
       }
+      // AddAccessMethod asserts these invariants; text input must fail
+      // with a parse error, never an abort. Positions resolve by name
+      // today (always in range), but the check is the contract.
+      for (Position p : inputs) {
+        if (p < 0 || p >= schema.relation(rel.value()).arity()) {
+          return cur.Error("input position " + std::to_string(p) +
+                           " out of range for relation " + rname);
+        }
+      }
       schema.AddAccessMethod(mname, rel.value(), std::move(inputs), exact,
-                             idempotent);
+                             idempotent, result_bound);
     } else {
       return cur.Error("expected 'relation' or 'access', got '" + keyword +
                        "'");
@@ -242,6 +268,9 @@ std::string SerializeSchema(const Schema& schema) {
            ")";
     if (method.exact) out += " exact";
     if (method.idempotent) out += " idempotent";
+    if (method.bounded()) {
+      out += " bound " + std::to_string(method.result_bound);
+    }
     out += "\n";
   }
   return out;

@@ -20,12 +20,18 @@ namespace schema {
 ///                    name: string, houseno: int)
 ///   access AcM1 on Mobile(name)
 ///   access AcM2 on Address(street, postcode) exact
+///   access AcM3 on Address(name) bound 3
 ///
 /// Relation positions are named in the declaration (names are used to
 /// designate access-method inputs and in diagnostics; storage stays
 /// positional, §2's unnamed perspective). Trailing method qualifiers:
-/// `exact`, `idempotent`. A declaration may span lines until its
-/// closing parenthesis (plus qualifiers).
+/// `exact`, `idempotent`, and `bound k` with k a non-negative integer
+/// (a result-bounded method: at most k matching tuples per access,
+/// chosen nondeterministically — omitted means unbounded). A
+/// declaration may span lines until its closing parenthesis (plus
+/// qualifiers). Malformed declarations (duplicate relation or method
+/// names, unknown positions, negative/garbage bounds) are parse
+/// errors carrying the offending line number — never asserts.
 Result<Schema> ParseSchema(const std::string& text);
 
 /// Renders a schema in the format ParseSchema accepts (round-trips:

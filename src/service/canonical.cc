@@ -136,7 +136,7 @@ schema::Schema CanonicalizeSchemaNames(const schema::Schema& schema) {
     const schema::AccessMethod& method = schema.method(m);
     canonical.AddAccessMethod("M" + std::to_string(m), method.relation,
                               method.input_positions, method.exact,
-                              method.idempotent);
+                              method.idempotent, method.result_bound);
   }
   return canonical;
 }

@@ -681,7 +681,7 @@ DiffOutcome RunRenamePair(const FuzzCase& c) {
   for (schema::AccessMethodId m = 0; m < c.schema.num_access_methods(); ++m) {
     const schema::AccessMethod& am = c.schema.method(m);
     renamed.AddAccessMethod("X" + am.name, am.relation, am.input_positions,
-                            am.exact, am.idempotent);
+                            am.exact, am.idempotent, am.result_bound);
   }
   engine::CancelToken renamed_deadline;
   opts.exec = GuardedExec(&renamed_deadline);
@@ -882,7 +882,7 @@ DiffOutcome RunSemanticPair(const FuzzCase& c) {
   for (schema::AccessMethodId m = 0; m < c.schema.num_access_methods(); ++m) {
     const schema::AccessMethod& am = c.schema.method(m);
     renamed.AddAccessMethod("X" + am.name, am.relation, am.input_positions,
-                            am.exact, am.idempotent);
+                            am.exact, am.idempotent, am.result_bound);
   }
   Result<std::shared_ptr<const service::PreparedQuery>> va =
       svc.Prepare(renamed, c.formula, popts);
@@ -1274,6 +1274,114 @@ DiffOutcome RunSessionPair(const FuzzCase& c) {
   return Agree();
 }
 
+/// Rebuilds the schema with every result bound enlarged by `delta`
+/// (unbounded methods are untouched). Names, ids and flags survive, so
+/// the same formula AST applies to both variants.
+schema::Schema RelaxBounds(const schema::Schema& schema, int delta) {
+  schema::Schema relaxed;
+  for (schema::RelationId r = 0; r < schema.num_relations(); ++r) {
+    relaxed.AddRelation(schema.relation(r).name,
+                        schema.relation(r).position_types);
+  }
+  for (schema::AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+    const schema::AccessMethod& am = schema.method(m);
+    int bound = am.bounded() ? am.result_bound + delta : -1;
+    relaxed.AddAccessMethod(am.name, am.relation, am.input_positions,
+                            am.exact, am.idempotent, bound);
+  }
+  return relaxed;
+}
+
+DiffOutcome RunBoundedPair(const FuzzCase& c) {
+  // The generated schema mixes result-bounded methods (small k) with
+  // unbounded siblings. Three checks: (1) the routed engine's decision
+  // is byte-identical at 1/2/8 workers, (2) definitive claims agree
+  // with the naive oracle (whose response enumeration caps subset
+  // sizes at each method's bound), (3) monotonicity in k — enlarging
+  // every bound never flips satisfiable -> unsatisfiable (bounded
+  // non-exact responses are <=k-subsets, so every k-behaviour is a
+  // (k+1)-behaviour; the generator never emits exact bounded methods,
+  // whose response-size floor breaks exactly this property).
+  analysis::DecideOptions opts = OneShotOptions(c);
+  engine::CancelToken base_deadline;
+  opts.exec = GuardedExec(&base_deadline);
+  Result<analysis::Decision> base =
+      analysis::DecideSatisfiability(c.formula, c.schema, opts);
+  if (!base.ok()) {
+    if (base.status().code() == StatusCode::kUnsupported) return Skip();
+    return Diverge("decide failed: " + base.status().ToString());
+  }
+  if (base.value().cancelled) return Skip();
+  std::string expected = DecisionKey(base.value(), c.schema);
+  bool budget_edge = base.value().exhausted_budget;
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    analysis::DecideOptions topts = OneShotOptions(c);
+    engine::CancelToken deadline;
+    topts.exec = GuardedExec(&deadline);
+    topts.exec.num_threads = threads;
+    Result<analysis::Decision> d =
+        analysis::DecideSatisfiability(c.formula, c.schema, topts);
+    if (!d.ok()) {
+      return Diverge("decide failed at " + std::to_string(threads) +
+                     " threads: " + d.status().ToString());
+    }
+    if (d.value().cancelled) return Skip();
+    if (budget_edge || d.value().exhausted_budget) continue;
+    std::string got = DecisionKey(d.value(), c.schema);
+    if (got != expected) {
+      return Diverge("bounded-schema decision differs at " +
+                     std::to_string(threads) + " threads:\n  1 thread : " +
+                     expected + "\n  " + std::to_string(threads) +
+                     " threads: " + got);
+    }
+  }
+
+  bool base_yes = base.value().satisfiable == analysis::Answer::kYes;
+  bool base_no = base.value().satisfiable == analysis::Answer::kNo &&
+                 !budget_edge && !base.value().cancelled;
+  if (base_yes && base.value().has_witness) {
+    // CheckWitnessSound runs AccessPath::Validate, which rejects any
+    // step whose response exceeds its method's bound — an engine that
+    // ignored a bound is caught here, not just by the oracle.
+    std::string bad = CheckWitnessSound(c.formula, c.schema,
+                                        base.value().witness, c.grounded,
+                                        "bounded-schema engine");
+    if (!bad.empty()) return Diverge(bad);
+  }
+
+  oracle::OracleOptions oopts = OracleOpts();
+  oopts.grounded = c.grounded;
+  oracle::OracleResult o = oracle::OracleDecide(c.formula, c.schema, oopts);
+  if (base_no && o.answer == oracle::OracleAnswer::kSat) {
+    return Diverge(
+        "engine says NO on the bounded schema but the oracle found a "
+        "witness:\n" +
+        o.witness.ToString(c.schema));
+  }
+
+  // Monotonicity in k: every bound + 1.
+  schema::Schema relaxed = RelaxBounds(c.schema, 1);
+  analysis::DecideOptions ropts = OneShotOptions(c);
+  engine::CancelToken relaxed_deadline;
+  ropts.exec = GuardedExec(&relaxed_deadline);
+  Result<analysis::Decision> rel =
+      analysis::DecideSatisfiability(c.formula, relaxed, ropts);
+  if (!rel.ok()) {
+    return Diverge("decide failed on the relaxed schema: " +
+                   rel.status().ToString());
+  }
+  bool relaxed_no = rel.value().satisfiable == analysis::Answer::kNo &&
+                    !rel.value().exhausted_budget && !rel.value().cancelled;
+  if (relaxed_no &&
+      (base_yes || o.answer == oracle::OracleAnswer::kSat)) {
+    return Diverge(
+        "monotonicity in k violated: satisfiable at bound k but "
+        "definitively unsatisfiable at bound k+1");
+  }
+  return Agree();
+}
+
 }  // namespace
 
 const std::vector<std::string>& EnginePairs() {
@@ -1281,7 +1389,7 @@ const std::vector<std::string>& EnginePairs() {
       "oracle-zero", "oracle-automata", "zero-automata",
       "service",     "compact",         "rename",
       "budget",      "lts",             "semantic",
-      "session"};
+      "session",     "bounded"};
   return kPairs;
 }
 
@@ -1304,7 +1412,13 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
   // high-arity mixed family — their engine calls carry a wall-clock
   // backstop.
   uint64_t family = rng.Uniform(3);
-  if (family == 2 && !oracle_pair && pair != "lts" && pair != "session") {
+  if (pair == "bounded") {
+    // Small bounded-method schemas (the oracle cross-check is the
+    // naive exponential sweep) with k in {1,2,3}.
+    c.schema = workload::RandomBoundedSchema(
+        &rng, 1 + static_cast<int>(family % 2), 2, 3);
+  } else if (family == 2 && !oracle_pair && pair != "lts" &&
+             pair != "session") {
     c.schema = workload::RandomHighArityMixedSchema(&rng, 1 + rng.Uniform(2));
   } else {
     c.schema = workload::RandomSchema(&rng, 2 + static_cast<int>(family), 2);
@@ -1330,7 +1444,8 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
            ++m) {
         const schema::AccessMethod& am = c.schema.method(m);
         marked.AddAccessMethod(am.name, am.relation, am.input_positions,
-                               am.exact || m == exact_method, am.idempotent);
+                               am.exact || m == exact_method, am.idempotent,
+                               am.result_bound);
       }
       c.schema = marked;
     }
@@ -1347,7 +1462,8 @@ Result<FuzzCase> GenerateCase(const std::string& pair, uint64_t seed) {
   // or the guarded-Until-nest family.
   bool nary = pair == "oracle-automata" ||
               ((pair == "service" || pair == "compact" ||
-                pair == "semantic" || pair == "session") &&
+                pair == "semantic" || pair == "session" ||
+                pair == "bounded") &&
                rng.Chance(1, 3));
   int depth = 1 + static_cast<int>(rng.Uniform(2));
   if (rng.Chance(1, 3)) {
@@ -1388,6 +1504,7 @@ DiffOutcome RunCase(const FuzzCase& c) {
   if (c.pair == "lts") return RunLtsPair(c);
   if (c.pair == "semantic") return RunSemanticPair(c);
   if (c.pair == "session") return RunSessionPair(c);
+  if (c.pair == "bounded") return RunBoundedPair(c);
   return Diverge("unknown engine pair: " + c.pair);
 }
 
@@ -1522,7 +1639,7 @@ bool DropFromSchema(const FuzzCase& c, int drop_relation, int drop_method,
     if (rel_map[static_cast<size_t>(am.relation)] < 0) continue;
     method_map[static_cast<size_t>(m)] = next.AddAccessMethod(
         am.name, rel_map[static_cast<size_t>(am.relation)],
-        am.input_positions, am.exact, am.idempotent);
+        am.input_positions, am.exact, am.idempotent, am.result_bound);
   }
   if (next.num_access_methods() == 0) return false;
 

@@ -54,6 +54,16 @@ namespace testing {
 ///                    must match the fresh verdict (with sound
 ///                    witnesses) — any transfer rule applied in an
 ///                    unsound direction diverges here.
+///   bounded          Result-bounded schemas (methods with `bound k`,
+///                    k ∈ {1,2,3}): the routed engine's decision is
+///                    byte-identical at 1/2/8 workers, engine
+///                    witnesses respect every bound (AccessPath::
+///                    Validate) and satisfy the naive evaluators, a
+///                    definitive engine "no" against an oracle witness
+///                    is a bug, and enlarging every bound by one never
+///                    flips satisfiable → unsatisfiable (monotonicity
+///                    in k — the metamorphic property bounded
+///                    non-exact responses guarantee by construction).
 ///   session          The streaming-session surface vs the naive
 ///                    per-prefix oracle: a progression-backed session
 ///                    must agree with NaiveEvalOnPath after every

@@ -72,6 +72,41 @@ schema::Schema RandomSchema(Rng* rng, int relations, int max_arity) {
   return s;
 }
 
+schema::Schema RandomBoundedSchema(Rng* rng, int relations, int max_arity,
+                                   int max_bound) {
+  schema::Schema s;
+  for (int r = 0; r < relations; ++r) {
+    int arity = 1 + static_cast<int>(rng->Uniform(
+                        static_cast<uint64_t>(max_arity)));
+    std::vector<ValueType> types(static_cast<size_t>(arity),
+                                 ValueType::kString);
+    schema::RelationId id =
+        s.AddRelation("R" + std::to_string(r), std::move(types));
+    // At least one bounded method per relation; a coin-flip unbounded
+    // sibling keeps the bounded/unbounded mix in one schema.
+    int bounded_methods = 1 + static_cast<int>(rng->Uniform(2));
+    for (int m = 0; m < bounded_methods; ++m) {
+      std::vector<schema::Position> inputs;
+      for (int p = 0; p < arity; ++p) {
+        if (rng->Chance(1, 2)) inputs.push_back(p);
+      }
+      int bound = 1 + static_cast<int>(
+                          rng->Uniform(static_cast<uint64_t>(max_bound)));
+      s.AddAccessMethod("B" + std::to_string(r) + "_" + std::to_string(m), id,
+                        std::move(inputs), /*exact=*/false,
+                        /*idempotent=*/false, bound);
+    }
+    if (rng->Chance(1, 2)) {
+      std::vector<schema::Position> inputs;
+      for (int p = 0; p < arity; ++p) {
+        if (rng->Chance(1, 2)) inputs.push_back(p);
+      }
+      s.AddAccessMethod("U" + std::to_string(r), id, std::move(inputs));
+    }
+  }
+  return s;
+}
+
 logic::PosFormulaPtr RandomCq(Rng* rng, const schema::Schema& schema,
                               int atoms, int vars) {
   std::vector<PosFormulaPtr> conj;

@@ -60,6 +60,18 @@ acc::AccPtr RandomBindingPositiveFormula(Rng* rng,
 schema::Instance RandomInstance(Rng* rng, const schema::Schema& schema,
                                 size_t facts, int domain);
 
+/// Scenario family: result-bounded methods. Like RandomSchema, but
+/// every relation additionally carries at least one bounded method
+/// (`bound k` with k in [1, max_bound]), and roughly half of the
+/// unbounded methods are kept alongside — the schema mixes bounded
+/// and unbounded access to the same relations, the shape that forces
+/// engines to branch on *which* <=k-subset a method answered. Bounded
+/// methods are never `exact`: an exact bound-k method's response-size
+/// floor breaks monotonicity in k, which the `bounded` fuzz pair
+/// checks as a metamorphic property.
+schema::Schema RandomBoundedSchema(Rng* rng, int relations, int max_arity,
+                                   int max_bound);
+
 /// Scenario family: high-arity relations (arity 4-6) with *mixed*
 /// position types (string/int/bool) and methods spanning the
 /// input/output spectrum — input-free dumps, half-input lookups, and

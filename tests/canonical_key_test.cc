@@ -51,7 +51,7 @@ class CanonicalKeyTest : public ::testing::Test {
          ++m) {
       const schema::AccessMethod& am = pd_.schema.method(m);
       renamed.AddAccessMethod("X" + am.name, am.relation, am.input_positions,
-                              am.exact, am.idempotent);
+                              am.exact, am.idempotent, am.result_bound);
     }
     return renamed;
   }

@@ -244,6 +244,104 @@ TEST_F(PhoneTest, ExactMethodsReturnFullMatch) {
   EXPECT_TRUE(saw_acm1);
 }
 
+// --- Result-bounded access methods ------------------------------------------
+
+/// One relation R(a, b), one method M with input a, configured with the
+/// given flags/bound; the universe holds two R("x", ·) tuples and one
+/// R("y", ·). Returns the transitions from the empty configuration,
+/// grounded to the seed "x" — so every transition is M("x") and the
+/// matching set has exactly two tuples.
+std::vector<Transition> BoundedSuccessors(bool exact, int result_bound) {
+  Schema s;
+  RelationId r = s.AddRelation("R", {ValueType::kString, ValueType::kString});
+  s.AddAccessMethod("M", r, {0}, exact, /*idempotent=*/false, result_bound);
+  Instance universe(s);
+  universe.AddFact(r, {S("x"), S("1")});
+  universe.AddFact(r, {S("x"), S("2")});
+  universe.AddFact(r, {S("y"), S("3")});
+  LtsOptions opts;
+  opts.universe = universe;
+  opts.grounded = true;
+  opts.seed_values = {S("x")};
+  return Successors(s, Instance(s), opts);
+}
+
+TEST(BoundedMethodTest, SchemaCarriesBoundAndFlags) {
+  Schema s;
+  RelationId r = s.AddRelation("R", {ValueType::kString});
+  AccessMethodId bounded =
+      s.AddAccessMethod("B", r, {0}, /*exact=*/true, /*idempotent=*/true, 2);
+  AccessMethodId unbounded = s.AddAccessMethod("U", r, {0});
+  EXPECT_TRUE(s.method(bounded).bounded());
+  EXPECT_EQ(s.method(bounded).result_bound, 2);
+  EXPECT_TRUE(s.method(bounded).exact);
+  EXPECT_TRUE(s.method(bounded).idempotent);
+  EXPECT_FALSE(s.method(unbounded).bounded());
+  EXPECT_EQ(s.method(unbounded).result_bound, -1);
+  EXPECT_NE(s.ToString().find("bound=2"), std::string::npos);
+}
+
+TEST(BoundedMethodTest, ValidateRejectsOverBoundResponses) {
+  Schema s;
+  RelationId r = s.AddRelation("R", {ValueType::kString, ValueType::kString});
+  AccessMethodId m1 =
+      s.AddAccessMethod("M1", r, {0}, false, false, /*result_bound=*/1);
+  AccessMethodId m0 =
+      s.AddAccessMethod("M0", r, {0}, false, false, /*result_bound=*/0);
+
+  AccessStep within;
+  within.access = {m1, {S("x")}};
+  within.response = {{S("x"), S("1")}};
+  EXPECT_TRUE(AccessPath({within}).Validate(s).ok());
+
+  AccessStep over = within;
+  over.response = {{S("x"), S("1")}, {S("x"), S("2")}};
+  EXPECT_FALSE(AccessPath({over}).Validate(s).ok());
+
+  // Bound 0: only the empty response is a behaviour of the method.
+  AccessStep zero_empty;
+  zero_empty.access = {m0, {S("x")}};
+  EXPECT_TRUE(AccessPath({zero_empty}).Validate(s).ok());
+  AccessStep zero_one = zero_empty;
+  zero_one.response = {{S("x"), S("1")}};
+  EXPECT_FALSE(AccessPath({zero_one}).Validate(s).ok());
+
+  // Bound >= response size behaves like unbounded at validation level.
+  AccessMethodId big =
+      s.AddAccessMethod("Big", r, {0}, false, false, /*result_bound=*/5);
+  AccessStep roomy;
+  roomy.access = {big, {S("x")}};
+  roomy.response = {{S("x"), S("1")}, {S("x"), S("2")}};
+  EXPECT_TRUE(AccessPath({roomy}).Validate(s).ok());
+}
+
+TEST(BoundedMethodTest, LtsEnumeratesAllSubsetsUpToBound) {
+  // |matching| = 2. Bound 0: only the empty response. Bound 1: empty +
+  // two singletons. Bound 2 (>= |matching|): the full powerset — the
+  // same response set the unbounded singleton-enumerating rule yields
+  // when |matching| <= 2.
+  EXPECT_EQ(BoundedSuccessors(false, 0).size(), 1u);
+  EXPECT_EQ(BoundedSuccessors(false, 1).size(), 3u);
+  EXPECT_EQ(BoundedSuccessors(false, 2).size(), 4u);
+  EXPECT_EQ(BoundedSuccessors(false, 3).size(), 4u);  // bound > |matching|
+  EXPECT_EQ(BoundedSuccessors(false, -1).size(), 4u);  // unbounded baseline
+  for (const Transition& t : BoundedSuccessors(false, 1)) {
+    EXPECT_LE(t.response.size(), 1u);
+  }
+}
+
+TEST(BoundedMethodTest, LtsExactBoundedReturnsMaximalSubsets) {
+  // Exact bound-k: min(k, |matching|)-subsets only. k=1 over two
+  // matching tuples: the two singletons (no empty response). k >= 2:
+  // exactly the full matching set, as for plain exact.
+  std::vector<Transition> k1 = BoundedSuccessors(true, 1);
+  EXPECT_EQ(k1.size(), 2u);
+  for (const Transition& t : k1) EXPECT_EQ(t.response.size(), 1u);
+  std::vector<Transition> k2 = BoundedSuccessors(true, 2);
+  ASSERT_EQ(k2.size(), 1u);
+  EXPECT_EQ(k2[0].response.size(), 2u);
+}
+
 }  // namespace
 }  // namespace schema
 }  // namespace accltl

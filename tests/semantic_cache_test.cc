@@ -83,7 +83,7 @@ class SemanticCacheTest : public ::testing::Test {
          ++m) {
       const schema::AccessMethod& am = pd_.schema.method(m);
       renamed.AddAccessMethod("X" + am.name, am.relation, am.input_positions,
-                              am.exact, am.idempotent);
+                              am.exact, am.idempotent, am.result_bound);
     }
     return renamed;
   }

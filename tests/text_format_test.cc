@@ -51,6 +51,45 @@ TEST(TextFormatTest, QualifierCombinations) {
   EXPECT_TRUE(s.value().method(2).input_positions.empty());
 }
 
+TEST(TextFormatTest, BoundQualifier) {
+  Result<Schema> s = ParseSchema(
+      "relation R(a: int, b: int)\n"
+      "access M1 on R(a) bound 3\n"
+      "access M2 on R(a) bound 0\n"
+      "access M3 on R(a, b) exact bound 2 idempotent\n"
+      "access M4 on R(b)\n");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().method(0).result_bound, 3);
+  EXPECT_TRUE(s.value().method(0).bounded());
+  EXPECT_EQ(s.value().method(1).result_bound, 0);
+  EXPECT_TRUE(s.value().method(1).bounded());
+  // `bound k` mixes with the other qualifiers in any order.
+  EXPECT_EQ(s.value().method(2).result_bound, 2);
+  EXPECT_TRUE(s.value().method(2).exact);
+  EXPECT_TRUE(s.value().method(2).idempotent);
+  EXPECT_FALSE(s.value().method(3).bounded());
+  EXPECT_EQ(s.value().method(3).result_bound, -1);
+}
+
+TEST(TextFormatTest, BoundRoundTrips) {
+  Schema s;
+  RelationId r = s.AddRelation("R", {ValueType::kString});
+  s.AddAccessMethod("B0", r, {0}, false, false, 0);
+  s.AddAccessMethod("B3", r, {0}, true, true, 3);
+  s.AddAccessMethod("U", r, {0});
+  std::string text = SerializeSchema(s);
+  EXPECT_NE(text.find("bound 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("bound 3"), std::string::npos) << text;
+  Result<Schema> back = ParseSchema(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  EXPECT_EQ(back.value().method(0).result_bound, 0);
+  EXPECT_EQ(back.value().method(1).result_bound, 3);
+  EXPECT_TRUE(back.value().method(1).exact);
+  EXPECT_TRUE(back.value().method(1).idempotent);
+  EXPECT_EQ(back.value().method(2).result_bound, -1);
+  EXPECT_EQ(SerializeSchema(back.value()), text);
+}
+
 TEST(TextFormatTest, SchemaRoundTrip) {
   workload::PhoneDirectory pd = workload::MakePhoneDirectory();
   std::string text = SerializeSchema(pd.schema);
@@ -83,9 +122,37 @@ TEST(TextFormatTest, SchemaErrors) {
       ParseSchema("relation R(a: int)\nrelation R(b: int)").ok());  // dup
   EXPECT_FALSE(
       ParseSchema("relation R(a: int)\naccess M on R(a) fuzzy").ok());
+  // Malformed bounds: negative, garbage, absent, absurd.
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\naccess M on R(a) bound -1").ok());
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\naccess M on R(a) bound lots").ok());
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\naccess M on R(a) bound").ok());
+  EXPECT_FALSE(
+      ParseSchema("relation R(a: int)\naccess M on R(a) bound 99999999")
+          .ok());
+  // Duplicate access-method name: a parse error, never the AddMethod
+  // assert (the process must not abort on malformed text).
+  EXPECT_FALSE(ParseSchema("relation R(a: int)\n"
+                           "access M on R(a)\n"
+                           "access M on R()")
+                   .ok());
   // Errors carry the line number.
   Status s = ParseSchema("relation R(a: int)\naccess M on Q(a)").status();
   EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.ToString();
+  Status dup = ParseSchema("relation R(a: int)\n"
+                           "access M on R(a)\n"
+                           "access M on R()")
+                   .status();
+  EXPECT_NE(dup.message().find("line 3"), std::string::npos)
+      << dup.ToString();
+  EXPECT_NE(dup.message().find("duplicate access method"), std::string::npos)
+      << dup.ToString();
+  Status bad_bound =
+      ParseSchema("relation R(a: int)\naccess M on R(a) bound -2").status();
+  EXPECT_NE(bad_bound.message().find("line 2"), std::string::npos)
+      << bad_bound.ToString();
 }
 
 TEST(TextFormatTest, ParsesInstanceFacts) {
